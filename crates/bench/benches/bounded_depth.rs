@@ -1,0 +1,57 @@
+//! E8 — Propositions 5.2/5.4: the bounded-case constructions. Expression
+//! size (and evaluation time) explodes with the bound, while the native
+//! operators stay flat — the cost of staying inside the algebra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tr_bench::{flat_bi_instance, nested_chain_instance};
+use tr_core::{eval, Expr, Schema};
+use tr_ext::{both_included, both_included_expr, direct_including_expr, directly_including};
+
+fn bench_bounded(c: &mut Criterion) {
+    let schema = Schema::new(["A", "B"]);
+    let qa = Expr::name(schema.expect_id("A"));
+    let qb = Expr::name(schema.expect_id("B"));
+
+    let mut group = c.benchmark_group("e8_direct_inclusion_bounded");
+    for depth in [2usize, 4, 6] {
+        let e = direct_including_expr(&qa, &qb, &schema, depth);
+        let inst = nested_chain_instance(2 * depth);
+        group.bench_with_input(BenchmarkId::new("algebra_expr", depth), &depth, |b, _| {
+            b.iter(|| eval(&e, &inst))
+        });
+        group.bench_with_input(BenchmarkId::new("native", depth), &depth, |b, _| {
+            b.iter(|| {
+                directly_including(&inst, inst.regions_of_name("A"), inst.regions_of_name("B"))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_both_included_bounded");
+    for width in [2usize, 4, 8] {
+        let inst = flat_bi_instance(width / 2, 99);
+        let s = inst.schema().clone();
+        let e = both_included_expr(
+            &Expr::name(s.expect_id("C")),
+            &Expr::name(s.expect_id("A")),
+            &Expr::name(s.expect_id("B")),
+            width,
+        );
+        group.bench_with_input(BenchmarkId::new("algebra_expr", width), &width, |b, _| {
+            b.iter(|| eval(&e, &inst))
+        });
+        group.bench_with_input(BenchmarkId::new("native", width), &width, |b, _| {
+            b.iter(|| {
+                both_included(
+                    inst.regions_of_name("C"),
+                    inst.regions_of_name("A"),
+                    inst.regions_of_name("B"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 — Theorem 3.5: deciding emptiness of the reduction expression e_φ
+//! costs as much as SAT. DPLL on φ vs witness search over canonical
+//! assignment instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use tr_core::eval;
+use tr_fmft::{assignment_instance, cnf_to_expr, random_3cnf, reduction_schema};
+
+fn bench_cnf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut group = c.benchmark_group("e4_cnf_hardness");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let m = (4.3 * n as f64) as usize;
+        let cnf = random_3cnf(&mut rng, n, m);
+        let schema = reduction_schema(n);
+        let e = cnf_to_expr(&cnf, &schema);
+        group.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| {
+            b.iter(|| cnf.satisfiable())
+        });
+        group.bench_with_input(BenchmarkId::new("emptiness_witness_search", n), &n, |b, _| {
+            b.iter(|| {
+                (0u64..1 << n).any(|mask| {
+                    let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                    !eval(&e, &assignment_instance(&cnf, &schema, &assignment)).is_empty()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cnf);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E9 — the Section 6 while-loop programs: per-operator layered program
+//! vs the native forest operator vs the naive definition, and the
+//! single-loop chain program with full vs RIG-pruned `All`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tr_bench::{figure_1_instance, nested_chain_instance};
+use tr_core::NameId;
+use tr_ext::{direct_chain_program, direct_chain_program_filtered, direct_including_program, directly_including};
+use tr_rig::{MinimalSetProblem, Rig};
+
+fn bench_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_direct_inclusion_vs_depth");
+    for depth in [8usize, 32, 64] {
+        let inst = nested_chain_instance(depth);
+        let b_set = inst.regions_of_name("B").clone();
+        let a_set = inst.regions_of_name("A").clone();
+        group.bench_with_input(BenchmarkId::new("section6_program", depth), &depth, |b, _| {
+            b.iter(|| direct_including_program(&inst, &b_set, &a_set))
+        });
+        group.bench_with_input(BenchmarkId::new("native_forest", depth), &depth, |b, _| {
+            b.iter(|| directly_including(&inst, &b_set, &a_set))
+        });
+    }
+    group.finish();
+
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let chain = vec![
+        schema.expect_id("Program"),
+        schema.expect_id("Proc"),
+        schema.expect_id("Var"),
+    ];
+    let minimal = MinimalSetProblem::for_chain(rig, &chain).solve_exact().unwrap();
+    let keep: Vec<NameId> =
+        minimal.iter().copied().chain(chain[1..chain.len() - 1].iter().copied()).collect();
+
+    let mut group = c.benchmark_group("e9_chain_program_all_pruning");
+    for regions in [5_000usize, 50_000] {
+        let inst = figure_1_instance(regions, 12, 3);
+        assert_eq!(
+            direct_chain_program(&inst, &chain),
+            direct_chain_program_filtered(&inst, &chain, &keep)
+        );
+        group.bench_with_input(BenchmarkId::new("full_all", regions), &regions, |b, _| {
+            b.iter(|| direct_chain_program(&inst, &chain))
+        });
+        group.bench_with_input(BenchmarkId::new("pruned_all", regions), &regions, |b, _| {
+            b.iter(|| direct_chain_program_filtered(&inst, &chain, &keep))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_programs);
+criterion_main!(benches);

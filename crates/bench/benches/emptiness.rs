@@ -1,0 +1,47 @@
+//! E3 — bounded-model emptiness testing (Theorem 3.4): cost grows
+//! exponentially with the expression-derived bounds, as Theorem 3.5
+//! predicts for any complete procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tr_core::{Expr, Schema};
+use tr_fmft::{Bounds, EmptinessChecker};
+
+fn bench_emptiness(c: &mut Criterion) {
+    let schema = Schema::new(["A", "B"]);
+    let a = || Expr::name(schema.expect_id("A"));
+    let b = || Expr::name(schema.expect_id("B"));
+
+    let mut group = c.benchmark_group("e3_emptiness");
+    group.sample_size(10);
+    for ops in [2usize, 3, 4, 5] {
+        let mut sat = b();
+        for _ in 0..ops {
+            sat = a().including(sat);
+        }
+        let mut unsat = a();
+        for _ in 0..ops - 1 {
+            unsat = a().intersect(unsat);
+        }
+        let unsat = unsat.intersect(b());
+        let bounds = Bounds { max_nodes: ops + 1, max_depth: ops + 1 };
+        let checker = EmptinessChecker::new(schema.clone(), bounds);
+        group.bench_with_input(BenchmarkId::new("unsat_full_sweep", ops), &ops, |bch, _| {
+            bch.iter(|| checker.is_empty(&unsat))
+        });
+        group.bench_with_input(BenchmarkId::new("sat_first_witness", ops), &ops, |bch, _| {
+            bch.iter(|| checker.find_witness(&sat).is_some())
+        });
+    }
+    group.finish();
+
+    // Equivalence testing (the optimizer's primitive).
+    let checker = EmptinessChecker::new(schema.clone(), Bounds { max_nodes: 4, max_depth: 4 });
+    let lhs = a().union(b());
+    let rhs = b().union(a());
+    c.bench_function("e3_equivalence_union_comm", |bch| {
+        bch.iter(|| checker.equivalent(&lhs, &rhs))
+    });
+}
+
+criterion_group!(benches, bench_emptiness);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6/E7 — the exhaustive expression sweeps behind the Theorem 5.1/5.3
+//! experiments: how fast can we refute a size bound?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tr_ext::{both_included_probes, direct_inclusion_probes, sweep};
+
+fn bench_sweeps(c: &mut Criterion) {
+    let fig2_probes = direct_inclusion_probes(&[6, 8]);
+    let fig2_schema = tr_markup::figure_2_schema();
+    let fig3_probes = both_included_probes(&[1]);
+    let fig3_schema = tr_markup::figure_3_schema();
+
+    let mut group = c.benchmark_group("e6_e7_sweeps");
+    group.sample_size(10);
+    for ops in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("fig2_direct_inclusion", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let r = sweep(&fig2_schema, ops, &fig2_probes);
+                assert_eq!(r.matching, 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fig3_both_included", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let r = sweep(&fig3_schema, ops, &fig3_probes);
+                assert_eq!(r.matching, 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E10 — Proposition 6.1: the minimal set problem. Exact vs greedy on
+//! vertex-cover reductions, and the polynomial min-cut single-pair case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use tr_core::NameId;
+use tr_rig::{min_vertex_cut, vertex_cover_to_minimal_set, Rig};
+
+fn bench_minimal_set(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(31);
+
+    let mut group = c.benchmark_group("e10_minimal_set");
+    group.sample_size(10);
+    for n in [8usize, 12] {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        if edges.is_empty() {
+            edges.push((0, 1));
+        }
+        let p = vertex_cover_to_minimal_set(n, &edges);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| p.solve_exact().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| p.solve_greedy().unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e10_min_cut_polynomial");
+    for n in [20usize, 40, 80] {
+        let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let schema = tr_core::Schema::new(names);
+        let mut rig = Rig::new(schema);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.3) {
+                    rig.0.add_edge(NameId::from_index(i), NameId::from_index(j));
+                }
+            }
+        }
+        let (u, v) = (NameId::from_index(0), NameId::from_index(n - 1));
+        group.bench_with_input(BenchmarkId::new("min_vertex_cut", n), &n, |b, _| {
+            b.iter(|| min_vertex_cut(&rig, u, v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimal_set);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E2 — structural operator latency, fast engine vs the literal
+//! Definition 2.3 baseline (the PAT "very efficient evaluation" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tr_bench::operator_workload;
+use tr_core::{naive, ops};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_operators_fast");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (r, s) = operator_workload(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("includes", n), &n, |b, _| {
+            b.iter(|| ops::includes(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("included_in", n), &n, |b, _| {
+            b.iter(|| ops::included_in(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("precedes", n), &n, |b, _| {
+            b.iter(|| ops::precedes(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("follows", n), &n, |b, _| {
+            b.iter(|| ops::follows(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| r.union(&s))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |b, _| {
+            b.iter(|| r.intersect(&s))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &n, |b, _| {
+            b.iter(|| r.difference(&s))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e2_operators_naive_baseline");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let (r, s) = operator_workload(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("includes", n), &n, |b, _| {
+            b.iter(|| naive::includes(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("included_in", n), &n, |b, _| {
+            b.iter(|| naive::included_in(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("precedes", n), &n, |b, _| {
+            b.iter(|| naive::precedes(&r, &s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! User-facing latency: query parsing, planning, and end-to-end execution
+//! through the `tr-query` engine on a generated corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tr_bench::program_workload;
+use tr_query::Engine;
+
+fn bench_engine(c: &mut Criterion) {
+    let (text, _) = program_workload(2_000, 42);
+    let engine = Engine::from_source(&text).expect("valid program");
+
+    let chain = "Name within Proc_header within Proc within Program";
+    let sigma = r#"Var matching "x" within Proc"#;
+    let extended = r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#;
+    let bi = r#"bi(Proc, Var matching "x", Var matching "y")"#;
+
+    c.bench_function("engine_parse_only", |b| {
+        b.iter(|| engine.parse_query(chain).unwrap())
+    });
+    c.bench_function("engine_plan_explain", |b| {
+        b.iter(|| engine.explain(chain).unwrap())
+    });
+    let mut group = c.benchmark_group("engine_end_to_end");
+    for (name, q) in [("chain", chain), ("sigma", sigma), ("direct", extended), ("bi", bi)] {
+        group.bench_function(name, |b| b.iter(|| engine.query(q).unwrap()));
+    }
+    group.finish();
+
+    // Indexing cost (parse + suffix array) for the same corpus.
+    let mut group = c.benchmark_group("engine_indexing");
+    group.sample_size(10);
+    group.bench_function("from_source_2000_procs", |b| {
+        b.iter(|| Engine::from_source(&text).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1 — the Section 2.2 RIG rewrite: `e1 = Name ⊂ Proc_header ⊂ Proc ⊂
+//! Program` vs its optimized form `e2`, on generated program files.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tr_bench::program_workload;
+use tr_core::eval;
+use tr_rig::{Chain, ChainDir, ChainItem, Rig};
+
+fn bench_rig_optimization(c: &mut Criterion) {
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let e1 = Chain {
+        dir: ChainDir::IncludedIn,
+        items: ["Name", "Proc_header", "Proc", "Program"]
+            .iter()
+            .map(|n| ChainItem::bare(schema.expect_id(n)))
+            .collect(),
+    }
+    .to_expr();
+    let e2 = Chain::from_expr(&e1).unwrap().optimize(&rig).to_expr();
+
+    let mut group = c.benchmark_group("e1_rig_optimization");
+    for procs in [1_000usize, 10_000] {
+        let (_, inst) = program_workload(procs, 42);
+        assert_eq!(eval(&e1, &inst), eval(&e2, &inst));
+        group.bench_with_input(BenchmarkId::new("e1_unoptimized", procs), &procs, |b, _| {
+            b.iter(|| eval(&e1, &inst))
+        });
+        group.bench_with_input(BenchmarkId::new("e2_optimized", procs), &procs, |b, _| {
+            b.iter(|| eval(&e2, &inst))
+        });
+    }
+    group.finish();
+
+    // The rewrite itself (planner cost) is microscopic; measure it too.
+    c.bench_function("e1_rewrite_cost", |b| {
+        b.iter(|| Chain::from_expr(&e1).unwrap().optimize(&rig))
+    });
+}
+
+criterion_group!(benches, bench_rig_optimization);
+criterion_main!(benches);

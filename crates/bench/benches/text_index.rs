@@ -1,0 +1,37 @@
+//! E12 — the text substrate: suffix array construction, pattern lookup,
+//! and σ_p selection throughput (the PAT word index substitute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tr_bench::synthetic_text;
+use tr_core::WordIndex;
+use tr_text::{SuffixArray, SuffixWordIndex};
+
+fn bench_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_suffix_array_build");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let text = synthetic_text(n, 5);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SuffixArray::new(text.clone()))
+        });
+    }
+    group.finish();
+
+    let text = synthetic_text(100_000, 5);
+    let sa = SuffixArray::new(text.clone());
+    c.bench_function("e12_pattern_range_lookup", |b| {
+        b.iter(|| sa.count(b"region"))
+    });
+
+    let idx = SuffixWordIndex::new(text);
+    idx.occurrences("region"); // prime the memo: steady-state W(r,p) cost
+    let regions: Vec<tr_core::Region> =
+        (0..1000u32).map(|i| tr_core::region(i * 97, i * 97 + 49)).collect();
+    c.bench_function("e12_w_r_p_per_1000_regions", |b| {
+        b.iter(|| regions.iter().filter(|&&r| idx.matches(r, "region")).count())
+    });
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

@@ -1,0 +1,566 @@
+//! Regenerates every experiment table in EXPERIMENTS.md (E1–E12).
+//!
+//! ```text
+//! cargo run -p tr-bench --release --bin report            # all experiments
+//! cargo run -p tr-bench --release --bin report -- E2 E9   # a subset
+//! ```
+//!
+//! Timings are coarse wall-clock averages — for rigorous statistics use
+//! the criterion benches (`cargo bench`); the *shapes* (who wins, how
+//! things scale) are what the reproduction tracks.
+
+use rand::prelude::*;
+use tr_bench::*;
+use tr_core::{eval, ops, Expr, NameId, Schema};
+use tr_fmft::{Bounds, EmptinessChecker};
+use tr_rig::{Chain, ChainDir, ChainItem, MinimalSetProblem, Rig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    println!("textregion experiment report (paper: Consens & Milo, PODS 1995)");
+    println!("================================================================\n");
+    if want("E1") {
+        e1_rig_optimization();
+    }
+    if want("E2") {
+        e2_operators();
+    }
+    if want("E3") {
+        e3_emptiness();
+    }
+    if want("E4") {
+        e4_cnf_hardness();
+    }
+    if want("E5") {
+        e5_deletion_reduction();
+    }
+    if want("E6") || want("E7") {
+        e6_e7_inexpressibility();
+    }
+    if want("E8") {
+        e8_bounded_constructions();
+    }
+    if want("E9") {
+        e9_programs();
+    }
+    if want("E10") {
+        e10_minimal_set();
+    }
+    if want("E11") {
+        e11_translation();
+    }
+    if want("E12") {
+        e12_text_index();
+    }
+    if want("E13") {
+        e13_nary_extension();
+    }
+}
+
+fn us(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:9.3} ms", secs * 1e3)
+    } else {
+        format!("{:9.3} µs", secs * 1e6)
+    }
+}
+
+/// E1 (Figure 1 / Section 2.2): the RIG rewrite `e1 → e2` and its payoff.
+fn e1_rig_optimization() {
+    println!("E1 — RIG-based chain optimization (Figure 1, e1 ≡ e2)");
+    println!("{:>9} {:>9} | {:>12} {:>12} {:>8} | same", "procs", "regions", "e1 (3 ops)", "e2 (2 ops)", "speedup");
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let chain = |names: &[&str]| {
+        Chain {
+            dir: ChainDir::IncludedIn,
+            items: names.iter().map(|n| ChainItem::bare(schema.expect_id(n))).collect(),
+        }
+        .to_expr()
+    };
+    let e1 = chain(&["Name", "Proc_header", "Proc", "Program"]);
+    let e2 = Chain::from_expr(&e1).unwrap().optimize(&rig).to_expr();
+    for procs in [100usize, 1_000, 5_000, 20_000] {
+        let (_, inst) = program_workload(procs, 42);
+        let iters = (200_000 / procs.max(1)).clamp(3, 300);
+        let (t1, r1) = time_avg(iters, || eval(&e1, &inst));
+        let (t2, r2) = time_avg(iters, || eval(&e2, &inst));
+        println!(
+            "{:>9} {:>9} | {} {} {:>7.2}x | {}",
+            procs,
+            inst.len(),
+            us(t1),
+            us(t2),
+            t1 / t2,
+            r1 == r2
+        );
+    }
+    println!("  (e2 = optimizer output; results must be identical on RIG instances)\n");
+}
+
+/// E2: operator latency, fast engine vs the literal-definition baseline.
+fn e2_operators() {
+    println!("E2 — structural operator cost, fast vs naive (PAT's efficiency claim)");
+    println!(
+        "{:>9} | {:>4} | {:>12} {:>12} {:>9}",
+        "|R|=|S|·2", "op", "fast", "naive", "ratio"
+    );
+    type OpFn = fn(&tr_core::RegionSet, &tr_core::RegionSet) -> tr_core::RegionSet;
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let (r, s) = operator_workload(n);
+        let named: [(&str, OpFn, OpFn); 4] = [
+            ("⊃", ops::includes, tr_core::naive::includes),
+            ("⊂", ops::included_in, tr_core::naive::included_in),
+            ("<", ops::precedes, tr_core::naive::precedes),
+            (">", ops::follows, tr_core::naive::follows),
+        ];
+        for (sym, fast, naive) in named {
+            let iters = (2_000_000 / n).clamp(2, 200);
+            let (tf, out_fast) = time_avg(iters, || fast(&r, &s));
+            if n <= 10_000 {
+                let (tn, out_naive) = time_avg(2, || naive(&r, &s));
+                assert_eq!(out_fast, out_naive);
+                println!("{n:>9} | {sym:>4} | {} {} {:>8.1}x", us(tf), us(tn), tn / tf);
+            } else {
+                println!("{n:>9} | {sym:>4} | {} {:>12} {:>9}", us(tf), "(skipped)", "—");
+            }
+        }
+    }
+    println!("  (naive is O(|R|·|S|); skipped above 10⁴ to keep the run short)\n");
+}
+
+/// E3 (Theorems 3.4/3.6): bounded-model emptiness testing cost growth.
+fn e3_emptiness() {
+    println!("E3 — emptiness testing cost vs expression size (Thm 3.4; expected exponential)");
+    println!(
+        "{:>4} {:>6} {:>6} | {:>14} | {:>12} {:>12}",
+        "ops", "nodes", "depth", "models visited", "t(unsat)", "t(sat)"
+    );
+    let schema = Schema::new(["A", "B"]);
+    let a = || Expr::name(schema.expect_id("A"));
+    let b = || Expr::name(schema.expect_id("B"));
+    for ops_n in 1..=5usize {
+        // A ⊃ (A ⊃ … ⊃ B): satisfiable, needs a chain witness of ops+1 nodes.
+        let mut sat = b();
+        for _ in 0..ops_n {
+            sat = a().including(sat);
+        }
+        // (…) ∩ B: a name-disjointness contradiction of the same size.
+        let mut unsat = a();
+        for _ in 0..ops_n - 1 {
+            unsat = a().intersect(unsat);
+        }
+        let unsat = unsat.intersect(b());
+        let bounds = Bounds { max_nodes: ops_n + 1, max_depth: ops_n + 1 };
+        let checker = EmptinessChecker::new(schema.clone(), bounds);
+        let visited = checker.count_models(&sat);
+        let (t_unsat, empty) = time_avg(3, || checker.is_empty(&unsat));
+        assert!(empty);
+        let (t_sat, found) = time_avg(3, || checker.is_empty(&sat));
+        assert!(!found);
+        println!(
+            "{:>4} {:>6} {:>6} | {:>14} | {} {}",
+            ops_n,
+            bounds.max_nodes,
+            bounds.max_depth,
+            visited,
+            us(t_unsat),
+            us(t_sat)
+        );
+    }
+    println!("  (unsat must sweep the whole space; sat stops at the first witness)\n");
+}
+
+/// E4 (Theorem 3.5): the 3-CNF reduction — emptiness inherits SAT's cost.
+fn e4_cnf_hardness() {
+    println!("E4 — Co-NP-hardness: emptiness of e_φ vs DPLL on φ (agreement + cost)");
+    println!(
+        "{:>5} {:>7} {:>6} | {:>12} {:>12} | {:>9}",
+        "vars", "clauses", "sat?", "t(dpll)", "t(witness)", "|e_φ| ops"
+    );
+    let mut rng = StdRng::seed_from_u64(2025);
+    for n in [4usize, 6, 8, 10, 12, 14] {
+        let m = (4.3 * n as f64) as usize;
+        let cnf = tr_fmft::random_3cnf(&mut rng, n, m);
+        let schema = tr_fmft::reduction_schema(n);
+        let e = tr_fmft::cnf_to_expr(&cnf, &schema);
+        let (t_dpll, sat) = time_avg(3, || cnf.satisfiable());
+        // Witness search over the canonical assignment instances: the
+        // NP side of the reduction, 2^n instance evaluations worst case.
+        let (t_wit, witnessed) = time_avg(1, || {
+            (0u64..1 << n).any(|mask| {
+                let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                !eval(&e, &tr_fmft::assignment_instance(&cnf, &schema, &assignment)).is_empty()
+            })
+        });
+        assert_eq!(sat, witnessed);
+        println!(
+            "{:>5} {:>7} {:>6} | {} {} | {:>9}",
+            n,
+            m,
+            sat,
+            us(t_dpll),
+            us(t_wit),
+            e.num_ops()
+        );
+    }
+    println!("  (both sides agree on every formula; cost grows exponentially in n)\n");
+}
+
+/// E5 (Theorems 4.1/4.4): the deletion/reduction invariances, empirically.
+fn e5_deletion_reduction() {
+    println!("E5 — deletion & reduction theorems (must be 100% agreement)");
+    let schema = Schema::new(["A", "B"]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut trials = 0;
+    let mut ok = 0;
+    for _ in 0..150 {
+        let inst = tr_markup::random_hierarchical_instance(&schema, 20, &["x"], 0.3, &mut rng);
+        let e = random_expr(&mut rng, &schema, 4);
+        let core = tr_ext::deletion_core(&e, &inst);
+        ok += tr_ext::check_deletion_invariance(&e, &inst, &core, 6, &mut rng);
+        trials += 6;
+    }
+    println!("  Theorem 4.1 (deletion):  {ok}/{trials} random S-deleted versions agreed");
+
+    let mut agree = 0;
+    let mut total = 0;
+    for k in [1usize, 2, 3] {
+        let (inst, h) = tr_markup::figure_3_instance(k);
+        let reduced = tr_ext::reduce(&inst, h.second_a, h.first_a, &[]).expect("isomorphic");
+        tr_ext::for_each_expr(&tr_markup::figure_3_schema(), 2, &mut |e| {
+            if e.num_order_ops() > 0 {
+                return false;
+            }
+            total += 1;
+            let before = eval(e, &inst);
+            let after = eval(e, &reduced);
+            let invariant = before.is_empty() == after.is_empty()
+                && reduced.all_regions().iter().all(|r| before.contains(r) == after.contains(r));
+            agree += usize::from(invariant);
+            false
+        });
+    }
+    println!("  Theorem 4.4 (reduction): {agree}/{total} order-free expressions invariant under reduce\n");
+}
+
+fn random_expr(rng: &mut StdRng, schema: &Schema, ops_n: usize) -> Expr {
+    if ops_n == 0 {
+        return Expr::name(NameId::from_index(rng.gen_range(0..schema.len())));
+    }
+    if rng.gen_bool(0.15) {
+        return random_expr(rng, schema, ops_n - 1).select("x");
+    }
+    let split = rng.gen_range(0..ops_n);
+    Expr::bin(
+        tr_core::BinOp::ALL[rng.gen_range(0..7)],
+        random_expr(rng, schema, split),
+        random_expr(rng, schema, ops_n - 1 - split),
+    )
+}
+
+/// E6/E7 (Theorems 5.1/5.3): exhaustive inexpressibility sweeps.
+fn e6_e7_inexpressibility() {
+    println!("E6 — Theorem 5.1: no expression of size ≤ 3 computes B ⊃_d A (Figure 2 probes)");
+    println!("{:>4} {:>12} {:>9} {:>12}", "ops", "expressions", "matching", "time");
+    let probes = tr_ext::direct_inclusion_probes(&[6, 8]);
+    let schema = tr_markup::figure_2_schema();
+    for ops_n in 0..=3 {
+        let (t, r) = time_avg(1, || tr_ext::sweep(&schema, ops_n, &probes));
+        println!("{:>4} {:>12} {:>9} {}", r.ops, r.checked, r.matching, us(t));
+        assert_eq!(r.matching, 0);
+    }
+    println!();
+    println!("E7 — Theorem 5.3: no expression of size ≤ 3 computes C BI (B, A) (Figure 3 probes)");
+    println!("{:>4} {:>12} {:>9} {:>12}", "ops", "expressions", "matching", "time");
+    let probes = tr_ext::both_included_probes(&[1]);
+    let schema = tr_markup::figure_3_schema();
+    for ops_n in 0..=3 {
+        let (t, r) = time_avg(1, || tr_ext::sweep(&schema, ops_n, &probes));
+        println!("{:>4} {:>12} {:>9} {}", r.ops, r.checked, r.matching, us(t));
+        assert_eq!(r.matching, 0);
+    }
+    println!();
+}
+
+/// E8 (Propositions 5.2/5.4): the bounded-case constructions — cost of
+/// expressing the inexpressible when depth/width is bounded.
+fn e8_bounded_constructions() {
+    println!("E8 — Prop 5.2: ⊃_d as an algebra expression under bounded nesting depth");
+    println!(
+        "{:>6} {:>10} | {:>12} {:>12} {:>12} | same",
+        "depth", "expr ops", "expr eval", "memo eval", "native ⊃_d"
+    );
+    let schema = Schema::new(["A", "B"]);
+    let (qa, qb) = (Expr::name(schema.expect_id("A")), Expr::name(schema.expect_id("B")));
+    for depth in [1usize, 2, 4, 6, 8] {
+        let e = tr_ext::direct_including_expr(&qa, &qb, &schema, depth);
+        // 400 independent chains: large enough that operator work (not
+        // memo-key hashing) dominates.
+        let inst = nested_forest_instance(2 * depth, 400);
+        let (t_expr, via_expr) = time_avg(20, || eval(&e, &inst));
+        let (t_memo, via_memo) = time_avg(20, || tr_core::eval_memo(&e, &inst));
+        let (t_nat, via_native) = time_avg(20, || {
+            tr_ext::directly_including(&inst, inst.regions_of_name("A"), inst.regions_of_name("B"))
+        });
+        let same = via_expr == via_native && via_memo == via_native;
+        println!(
+            "{:>6} {:>10} | {} {} {} | {}",
+            depth,
+            e.num_ops(),
+            us(t_expr),
+            us(t_memo),
+            us(t_nat),
+            same
+        );
+    }
+    println!("  (expression size grows exponentially with depth; memoizing shared");
+    println!("   sub-expressions recovers polynomial evaluation — the native operator");
+    println!("   is cheaper still)\n");
+
+    println!("E8b — Prop 5.4: BI as an algebra expression under bounded width");
+    println!("{:>6} {:>10} | {:>12} {:>12} | same", "width", "expr ops", "expr eval", "native BI");
+    for width in [2usize, 4, 6, 8] {
+        let inst = flat_bi_instance(width / 2, 99);
+        let s = inst.schema().clone();
+        let e = tr_ext::both_included_expr(
+            &Expr::name(s.expect_id("C")),
+            &Expr::name(s.expect_id("A")),
+            &Expr::name(s.expect_id("B")),
+            width,
+        );
+        let (t_expr, via_expr) = time_avg(10, || eval(&e, &inst));
+        let (t_nat, via_native) = time_avg(10, || {
+            tr_ext::both_included(
+                inst.regions_of_name("C"),
+                inst.regions_of_name("A"),
+                inst.regions_of_name("B"),
+            )
+        });
+        println!(
+            "{:>6} {:>10} | {} {} | {}",
+            width,
+            e.num_ops(),
+            us(t_expr),
+            us(t_nat),
+            via_expr == via_native
+        );
+    }
+    println!();
+}
+
+/// E9 (Section 6): the while-loop programs.
+fn e9_programs() {
+    println!("E9 — Section 6 programs: ⊃_d cost vs nesting depth");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12}",
+        "depth", "program", "native", "naive ⊃_d"
+    );
+    for depth in [4usize, 8, 16, 32, 64] {
+        let inst = nested_chain_instance(depth);
+        let b = inst.regions_of_name("B").clone();
+        let a = inst.regions_of_name("A").clone();
+        let (t_prog, via_prog) = time_avg(20, || tr_ext::direct_including_program(&inst, &b, &a));
+        let (t_nat, via_nat) = time_avg(20, || tr_ext::directly_including(&inst, &b, &a));
+        let (t_naive, via_naive) =
+            time_avg(5, || tr_ext::direct::naive::directly_including(&inst, &b, &a));
+        assert_eq!(via_prog, via_nat);
+        assert_eq!(via_prog, via_naive);
+        println!("{:>6} | {} {} {}", depth, us(t_prog), us(t_nat), us(t_naive));
+    }
+    println!("  (the program's iteration count is the nesting depth, as the paper says)\n");
+
+    println!("E9b — single-loop chain program, full vs RIG-pruned All (Figure 1 instances)");
+    println!(
+        "{:>9} | {:>12} {:>12} {:>8} | same",
+        "regions", "full All", "pruned All", "speedup"
+    );
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let chain = vec![
+        schema.expect_id("Program"),
+        schema.expect_id("Proc"),
+        schema.expect_id("Var"),
+    ];
+    let minimal = MinimalSetProblem::for_chain(rig.clone(), &chain)
+        .solve_exact()
+        .expect("feasible");
+    let keep: Vec<NameId> =
+        minimal.iter().copied().chain(chain[1..chain.len() - 1].iter().copied()).collect();
+    for regions in [500usize, 5_000, 50_000] {
+        let inst = figure_1_instance(regions, 12, 3);
+        let iters = (200_000 / regions).clamp(3, 100);
+        let (t_full, full) = time_avg(iters, || tr_ext::direct_chain_program(&inst, &chain));
+        let (t_pruned, pruned) =
+            time_avg(iters, || tr_ext::direct_chain_program_filtered(&inst, &chain, &keep));
+        println!(
+            "{:>9} | {} {} {:>7.2}x | {}",
+            inst.len(),
+            us(t_full),
+            us(t_pruned),
+            t_full / t_pruned,
+            full == pruned
+        );
+    }
+    println!("  (pruned All uses the minimal-set solution {:?})\n", minimal.len());
+}
+
+/// E10 (Proposition 6.1): the minimal set problem.
+fn e10_minimal_set() {
+    println!("E10 — minimal set problem: exact vs greedy on vertex-cover reductions");
+    println!(
+        "{:>6} {:>6} | {:>7} {:>7} {:>7} | {:>12} {:>12}",
+        "verts", "edges", "VC", "exact", "greedy", "t(exact)", "t(greedy)"
+    );
+    let mut rng = StdRng::seed_from_u64(31);
+    for n in [6usize, 9, 12, 15, 18] {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        if edges.is_empty() {
+            edges.push((0, 1));
+        }
+        let p = tr_rig::vertex_cover_to_minimal_set(n, &edges);
+        let vc = tr_rig::min_vertex_cover_brute(n, &edges);
+        let (t_exact, exact) = time_avg(1, || p.solve_exact().expect("feasible"));
+        let (t_greedy, greedy) = time_avg(1, || p.solve_greedy().expect("feasible"));
+        assert_eq!(exact.len(), vc);
+        assert!(p.covers(&greedy));
+        println!(
+            "{:>6} {:>6} | {:>7} {:>7} {:>7} | {} {}",
+            n,
+            edges.len(),
+            vc,
+            exact.len(),
+            greedy.len(),
+            us(t_exact),
+            us(t_greedy)
+        );
+    }
+    println!("  (exact == brute-force vertex cover, per the reduction; greedy may overshoot)\n");
+
+    println!("E10b — polynomial single-pair case via min-cut (random DAG RIGs)");
+    println!("{:>6} {:>8} | {:>7} | {:>12}", "names", "edges", "cut", "t(min-cut)");
+    for n in [10usize, 20, 40, 80] {
+        let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let schema = Schema::new(names);
+        let mut rig = Rig::new(schema.clone());
+        let mut edges = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.3) {
+                    rig.0.add_edge(NameId::from_index(i), NameId::from_index(j));
+                    edges += 1;
+                }
+            }
+        }
+        let (u, v) = (NameId::from_index(0), NameId::from_index(n - 1));
+        let (t, cut) = time_avg(3, || tr_rig::min_vertex_cut(&rig, u, v));
+        println!("{:>6} {:>8} | {:>7} | {}", n, edges, cut.len(), us(t));
+    }
+    println!();
+}
+
+/// E11 (Proposition 3.3): algebra ⇄ restricted formula round trips.
+fn e11_translation() {
+    println!("E11 — Proposition 3.3: algebra ⇄ restricted FMFT round trips");
+    let schema = Schema::new(["A", "B"]);
+    let patterns: Vec<String> = vec!["x".into()];
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut agree = 0;
+    let total = 500;
+    for _ in 0..total {
+        let ops_n = rng.gen_range(1..6);
+        let e = random_expr(&mut rng, &schema, ops_n);
+        let inst = tr_markup::random_hierarchical_instance(&schema, 25, &["x"], 0.3, &mut rng);
+        let phi = tr_fmft::expr_to_formula(&e, &patterns);
+        let back = tr_fmft::formula_to_expr(&phi, &schema, &patterns);
+        let direct = eval(&e, &inst);
+        let model = tr_fmft::Model::from_instance(&inst, &["x"]);
+        let mask = tr_fmft::eval_expr_on_model(&e, &model);
+        let forest = inst.forest();
+        let model_agrees = forest.iter().all(|(u, r, _)| direct.contains(r) == mask[u]);
+        let round_trip_agrees = eval(&back, &inst) == direct;
+        agree += usize::from(model_agrees && round_trip_agrees);
+    }
+    println!("  {agree}/{total} random (expression, instance) pairs agreed across both directions\n");
+}
+
+/// E13 (Section 7): the n-ary extension expresses the inexpressible —
+/// at a join-shaped price the native operators avoid.
+fn e13_nary_extension() {
+    println!("E13 — Section 7 extension: ⊃_d and BI as n-ary join expressions");
+    println!(
+        "{:>9} | {:>12} {:>12} | {:>12} {:>12} | same",
+        "regions", "⊃_d n-ary", "⊃_d native", "BI n-ary", "BI native"
+    );
+    let schema = Schema::new(["A", "B", "C"]);
+    let direct = tr_nary::direct_including_expr(schema.expect_id("C"), schema.expect_id("A"));
+    let bi = tr_nary::both_included_expr(
+        schema.expect_id("C"),
+        schema.expect_id("A"),
+        schema.expect_id("B"),
+    );
+    for n in [20usize, 60, 120] {
+        let inst = flat_bi_instance(n, 7);
+        let (t_nd, nd) = time_avg(3, || direct.eval(&inst).to_set());
+        let (t_vd, vd) = time_avg(20, || {
+            tr_ext::directly_including(&inst, inst.regions_of_name("C"), inst.regions_of_name("A"))
+        });
+        let (t_nb, nb) = time_avg(3, || bi.eval(&inst).to_set());
+        let (t_vb, vb) = time_avg(20, || {
+            tr_ext::both_included(
+                inst.regions_of_name("C"),
+                inst.regions_of_name("A"),
+                inst.regions_of_name("B"),
+            )
+        });
+        println!(
+            "{:>9} | {} {} | {} {} | {}",
+            inst.len(),
+            us(t_nd),
+            us(t_vd),
+            us(t_nb),
+            us(t_vb),
+            nd == vd && nb == vb
+        );
+    }
+    println!("  (the joins materialize O(n²)/O(n³) intermediates — expressible ≠ cheap,");
+    println!("   which is why Section 6's loop programs remain the practical route)\n");
+}
+
+/// E12: the text substrate (the PAT-engine substitute).
+fn e12_text_index() {
+    println!("E12 — suffix-array word index: build and query cost");
+    println!(
+        "{:>10} | {:>12} {:>14} {:>14} | {:>8}",
+        "bytes", "build", "cold lookup", "W(r,p) x1000", "hits"
+    );
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let text = synthetic_text(n, 5);
+        let (t_build, idx) = time_avg(1, || tr_text::SuffixWordIndex::new(text.clone()));
+        // First (un-memoized) occurrence-list computation for a pattern.
+        let start = std::time::Instant::now();
+        let hits = idx.occurrences("region").len();
+        let t_occ = start.elapsed().as_secs_f64();
+        let regions: Vec<tr_core::Region> =
+            (0..1000).map(|i| tr_core::region(i * 97 % (n as u32 - 50), i * 97 % (n as u32 - 50) + 49)).collect();
+        let (t_w, _) = time_avg(5, || {
+            regions
+                .iter()
+                .filter(|&&r| tr_core::WordIndex::matches(&idx, r, "region"))
+                .count()
+        });
+        println!("{:>10} | {} {} {} | {:>8}", n, us(t_build), us(t_occ), us(t_w), hits);
+    }
+    println!("  (W(r,p) is a binary search after the first memoized lookup — PAT-style)\n");
+}

@@ -1,0 +1,170 @@
+//! Shared workload builders and timing helpers for the benchmark harness.
+//!
+//! The criterion benches under `benches/` measure steady-state latency per
+//! experiment; the `report` binary (`src/bin/report.rs`) regenerates the
+//! EXPERIMENTS.md tables in one run with coarse (but honest) wall-clock
+//! timing.
+
+use rand::prelude::*;
+use tr_core::{region, Instance, InstanceBuilder, Pos, RegionSet, Schema};
+use tr_markup::{random_rig_instance, ProgramSpec, RigInstanceConfig};
+use tr_rig::Rig;
+
+/// Times `f` by running it `iters` times and returning the per-iteration
+/// average in seconds. `f`'s result is returned (from the last run) so the
+/// compiler cannot discard the work.
+pub fn time_avg<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(iters >= 1);
+    let mut last = f(); // warm-up (also primes caches/allocations)
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        last = std::hint::black_box(f());
+    }
+    (start.elapsed().as_secs_f64() / iters as f64, last)
+}
+
+/// A flat (non-nested) region set of `n` regions of width `w`, starting at
+/// `offset` and spaced `stride` apart.
+pub fn flat_set(n: usize, offset: Pos, w: Pos, stride: Pos) -> RegionSet {
+    RegionSet::from_sorted(
+        (0..n as Pos)
+            .map(|i| region(offset + i * stride, offset + i * stride + w))
+            .collect(),
+    )
+}
+
+/// A pair of interleaved region sets for the operator benchmarks (E2):
+/// `parents` are wide regions, `children` sit inside every other parent.
+pub fn operator_workload(n: usize) -> (RegionSet, RegionSet) {
+    let parents = flat_set(n, 0, 8, 10);
+    let children = RegionSet::from_sorted(
+        (0..n as Pos)
+            .filter(|i| i % 2 == 0)
+            .map(|i| region(i * 10 + 2, i * 10 + 5))
+            .collect(),
+    );
+    (parents, children)
+}
+
+/// A deeply nested two-name instance: a single chain of `depth` regions
+/// alternating A/B (the Figure 2 shape), for the direct-inclusion program
+/// benchmarks (E9).
+pub fn nested_chain_instance(depth: usize) -> Instance {
+    tr_markup::figure_2_instance(depth)
+}
+
+/// A forest of `copies` independent alternating chains, each `depth`
+/// levels deep — a realistically sized workload for the bounded-depth
+/// constructions (E8).
+pub fn nested_forest_instance(depth: usize, copies: usize) -> Instance {
+    let schema = Schema::new(["A", "B"]);
+    let mut b = InstanceBuilder::new(schema);
+    let span = 2 * depth as Pos + 2;
+    for c in 0..copies as Pos {
+        let base = c * (span + 2);
+        for lvl in 0..depth as Pos {
+            let name = if lvl % 2 == 0 { "B" } else { "A" };
+            b = b.add(name, region(base + lvl, base + span - lvl));
+        }
+    }
+    b.build_valid()
+}
+
+/// A wide-and-deep random instance satisfying the Figure 1 RIG, rooted at
+/// `Program`, with about `regions` regions (E1/E9 realistic workload).
+pub fn figure_1_instance(regions: usize, max_depth: usize, seed: u64) -> Instance {
+    let rig = Rig::figure_1();
+    let mut cfg = RigInstanceConfig::new(rig.schema(), regions);
+    cfg.roots = vec![rig.schema().expect_id("Program")];
+    cfg.max_depth = max_depth;
+    cfg.max_children = 6;
+    random_rig_instance(&rig, &cfg, &mut StdRng::seed_from_u64(seed))
+}
+
+/// A generated program source of roughly `procs` procedures (E1 text-based
+/// workload), plus its parsed instance.
+pub fn program_workload(procs: usize, seed: u64) -> (String, Instance<tr_text::SuffixWordIndex>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = ProgramSpec::random(&mut rng, procs, 6, 3);
+    let text = spec.render();
+    let inst = tr_markup::parse_program(&text).expect("generated programs parse");
+    (text, inst)
+}
+
+/// Synthetic English-ish text of `n` bytes for the text-index benchmarks
+/// (E12): Zipf-ish words so patterns have realistic hit counts.
+pub fn synthetic_text(n: usize, seed: u64) -> Vec<u8> {
+    const WORDS: [&str; 16] = [
+        "the", "region", "algebra", "text", "query", "index", "tree", "node", "pattern",
+        "search", "structure", "document", "word", "suffix", "engine", "data",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n + 16);
+    while out.len() < n {
+        // Zipf-ish: favor low indices.
+        let pick = (rng.gen_range(0.0f64..1.0).powi(2) * WORDS.len() as f64) as usize;
+        out.extend_from_slice(WORDS[pick.min(WORDS.len() - 1)].as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(n);
+    out
+}
+
+/// A row of `n` sibling C regions each containing an A and a B leaf (in
+/// random order) — the flat family for both-included benchmarks (E8).
+pub fn flat_bi_instance(n: usize, seed: u64) -> Instance {
+    let schema = Schema::new(["A", "B", "C"]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(schema);
+    let mut pos: Pos = 0;
+    for _ in 0..n {
+        let c = region(pos, pos + 8);
+        b = b.add("C", c);
+        if rng.gen_bool(0.5) {
+            b = b.add("A", region(pos + 1, pos + 2)).add("B", region(pos + 4, pos + 5));
+        } else {
+            b = b.add("B", region(pos + 1, pos + 2)).add("A", region(pos + 4, pos + 5));
+        }
+        pos += 10;
+    }
+    b.build_valid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let (p, c) = operator_workload(100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(c.len(), 50);
+        assert_eq!(tr_core::ops::includes(&p, &c).len(), 50);
+
+        let inst = nested_chain_instance(16);
+        assert_eq!(inst.nesting_depth(), 16);
+
+        let forest = nested_forest_instance(6, 10);
+        assert_eq!(forest.nesting_depth(), 6);
+        assert_eq!(forest.len(), 60);
+
+        let inst = figure_1_instance(200, 8, 1);
+        assert!(tr_rig::satisfies_rig(&inst, &Rig::figure_1()));
+
+        let (_, inst) = program_workload(20, 2);
+        assert!(!inst.is_empty());
+
+        let text = synthetic_text(1000, 3);
+        assert_eq!(text.len(), 1000);
+
+        let bi = flat_bi_instance(10, 4);
+        assert_eq!(bi.regions_of_name("C").len(), 10);
+    }
+
+    #[test]
+    fn time_avg_returns_result() {
+        let (secs, v) = time_avg(3, || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

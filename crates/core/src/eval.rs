@@ -1,0 +1,250 @@
+//! Evaluation of region algebra expressions over an instance
+//! (`e(I)` in the paper's notation).
+
+use crate::expr::{BinOp, Expr};
+use crate::instance::Instance;
+use crate::set::RegionSet;
+use crate::word::WordIndex;
+use crate::{naive, ops};
+
+/// Evaluates `e(I)` using the fast operator implementations.
+pub fn eval<W: WordIndex>(e: &Expr, inst: &Instance<W>) -> RegionSet {
+    eval_with(e, inst, &FAST)
+}
+
+/// Evaluates `e(I)` using the naive (literal Definition 2.3) operators.
+/// The results are always identical to [`eval`]; this exists as the oracle
+/// and baseline.
+pub fn eval_naive<W: WordIndex>(e: &Expr, inst: &Instance<W>) -> RegionSet {
+    eval_with(e, inst, &NAIVE)
+}
+
+/// The structural-operator vtable, letting callers pick the fast or naive
+/// engine (experiment E2 sweeps both).
+pub struct OpTable {
+    /// Implementation of `R ⊃ S`.
+    pub includes: fn(&RegionSet, &RegionSet) -> RegionSet,
+    /// Implementation of `R ⊂ S`.
+    pub included_in: fn(&RegionSet, &RegionSet) -> RegionSet,
+    /// Implementation of `R < S`.
+    pub precedes: fn(&RegionSet, &RegionSet) -> RegionSet,
+    /// Implementation of `R > S`.
+    pub follows: fn(&RegionSet, &RegionSet) -> RegionSet,
+}
+
+/// The sub-quadratic engine of [`crate::ops`].
+pub static FAST: OpTable = OpTable {
+    includes: ops::includes,
+    included_in: ops::included_in,
+    precedes: ops::precedes,
+    follows: ops::follows,
+};
+
+/// The quadratic reference engine of [`crate::naive`].
+pub static NAIVE: OpTable = OpTable {
+    includes: naive::includes,
+    included_in: naive::included_in,
+    precedes: naive::precedes,
+    follows: naive::follows,
+};
+
+/// Evaluates `e(I)` with memoization of repeated sub-expressions.
+///
+/// Results are identical to [`eval`]. The payoff is on expressions with
+/// massive internal duplication — e.g. the bounded-depth constructions of
+/// Proposition 5.2 repeat their `rest ⊂ rest` sub-expression
+/// exponentially while only O(depth) duplicates are *distinct* — but note
+/// the trade-off: memo lookups hash whole sub-trees, so on instances
+/// small enough that operator evaluation is cheaper than hashing, plain
+/// [`eval`] wins. Experiment E8 measures both sides of the crossover.
+pub fn eval_memo<W: WordIndex>(e: &Expr, inst: &Instance<W>) -> RegionSet {
+    let mut memo: std::collections::HashMap<&Expr, RegionSet> = std::collections::HashMap::new();
+    fn go<'e, W: WordIndex>(
+        e: &'e Expr,
+        inst: &Instance<W>,
+        memo: &mut std::collections::HashMap<&'e Expr, RegionSet>,
+    ) -> RegionSet {
+        if let Some(hit) = memo.get(e) {
+            return hit.clone();
+        }
+        let value = match e {
+            Expr::Name(id) => inst.regions_of(*id).clone(),
+            Expr::Select(p, inner) => inst.select(&go(inner, inst, memo), p),
+            Expr::Bin(op, l, r) => {
+                let lv = go(l, inst, memo);
+                let rv = go(r, inst, memo);
+                match op {
+                    BinOp::Union => lv.union(&rv),
+                    BinOp::Intersect => lv.intersect(&rv),
+                    BinOp::Diff => lv.difference(&rv),
+                    BinOp::Including => ops::includes(&lv, &rv),
+                    BinOp::IncludedIn => ops::included_in(&lv, &rv),
+                    BinOp::Before => ops::precedes(&lv, &rv),
+                    BinOp::After => ops::follows(&lv, &rv),
+                }
+            }
+        };
+        memo.insert(e, value.clone());
+        value
+    }
+    go(e, inst, &mut memo)
+}
+
+/// Evaluates `e(I)` with an explicit operator table.
+pub fn eval_with<W: WordIndex>(e: &Expr, inst: &Instance<W>, t: &OpTable) -> RegionSet {
+    match e {
+        Expr::Name(id) => inst.regions_of(*id).clone(),
+        Expr::Select(p, inner) => inst.select(&eval_with(inner, inst, t), p),
+        Expr::Bin(op, l, r) => {
+            let lv = eval_with(l, inst, t);
+            let rv = eval_with(r, inst, t);
+            match op {
+                BinOp::Union => lv.union(&rv),
+                BinOp::Intersect => lv.intersect(&rv),
+                BinOp::Diff => lv.difference(&rv),
+                BinOp::Including => (t.includes)(&lv, &rv),
+                BinOp::IncludedIn => (t.included_in)(&lv, &rv),
+                BinOp::Before => (t.precedes)(&lv, &rv),
+                BinOp::After => (t.follows)(&lv, &rv),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::region::region;
+    use crate::schema::Schema;
+
+    /// The paper's Section 2.2 example: `e1 = Name ⊂ Proc_header ⊂ Proc ⊂
+    /// Program` and `e2 = Name ⊂ Proc_header ⊂ Program` agree on instances
+    /// shaped like real programs.
+    #[test]
+    fn section_2_2_example() {
+        let schema = Schema::new(["Program", "Proc", "Proc_header", "Name", "Var"]);
+        // program [0..99] { proc [10..40] { header [11..20] { name [12..14] } },
+        //                   name [2..4] (program's own name, directly in program) }
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("Program", region(0, 99))
+            .add("Name", region(2, 4))
+            .add("Proc", region(10, 40))
+            .add("Proc_header", region(11, 20))
+            .add("Name", region(12, 14))
+            .add("Var", region(25, 30))
+            .build_valid();
+        let name = Expr::name(schema.expect_id("Name"));
+        let hdr = Expr::name(schema.expect_id("Proc_header"));
+        let prc = Expr::name(schema.expect_id("Proc"));
+        let prg = Expr::name(schema.expect_id("Program"));
+        let e1 = name
+            .clone()
+            .included_in(hdr.clone().included_in(prc.included_in(prg.clone())));
+        let e2 = name.included_in(hdr.included_in(prg));
+        let r1 = eval(&e1, &inst);
+        let r2 = eval(&e2, &inst);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.as_slice(), &[region(12, 14)], "only the procedure's name");
+    }
+
+    #[test]
+    fn selection_uses_word_index() {
+        let schema = Schema::new(["Var"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("Var", region(0, 9))
+            .add("Var", region(20, 29))
+            .occurrence("x", 5, 1)
+            .build_valid();
+        let e = Expr::name(schema.expect_id("Var")).select("x");
+        assert_eq!(eval(&e, &inst).as_slice(), &[region(0, 9)]);
+    }
+
+    #[test]
+    fn set_operators() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 9))
+            .add("A", region(20, 29))
+            .add("B", region(20, 29))
+            .build();
+        // A and B share [20..29]: that violates the unique-name assumption,
+        // so build it differently: B gets a nested region instead.
+        assert!(inst.is_err());
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 9))
+            .add("A", region(20, 29))
+            .add("B", region(21, 28))
+            .build_valid();
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        assert_eq!(eval(&a.clone().union(b.clone()), &inst).len(), 3);
+        assert_eq!(eval(&a.clone().intersect(b.clone()), &inst).len(), 0);
+        assert_eq!(eval(&a.clone().diff(b.clone()), &inst).len(), 2);
+        assert_eq!(
+            eval(&a.clone().including(b.clone()), &inst).as_slice(),
+            &[region(20, 29)]
+        );
+        assert_eq!(eval(&b.clone().included_in(a.clone()), &inst).as_slice(), &[region(21, 28)]);
+        assert_eq!(eval(&a.clone().before(b.clone()), &inst).as_slice(), &[region(0, 9)]);
+        assert_eq!(eval(&b.after(a), &inst).as_slice(), &[region(21, 28)]);
+    }
+
+    #[test]
+    fn memoized_evaluation_agrees_with_plain() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(19);
+        let schema = Schema::new(["A", "B"]);
+        for _ in 0..30 {
+            let mut b = InstanceBuilder::new(schema.clone());
+            let mut pos = 0u32;
+            for _ in 0..rng.gen_range(1..8) {
+                let len = rng.gen_range(1..20);
+                b = b.add(if rng.gen_bool(0.5) { "A" } else { "B" }, region(pos, pos + len));
+                pos += len + 2;
+            }
+            let inst = b.build_valid();
+            let a = Expr::name(schema.expect_id("A"));
+            let bb = Expr::name(schema.expect_id("B"));
+            // Deliberately share sub-expressions.
+            let shared = a.clone().included_in(bb.clone());
+            let e = shared.clone().union(shared.clone().intersect(shared.clone()));
+            assert_eq!(eval_memo(&e, &inst), eval(&e, &inst));
+            let e2 = a.clone().including(bb.clone()).diff(bb.including(a));
+            assert_eq!(eval_memo(&e2, &inst), eval(&e2, &inst));
+        }
+    }
+
+    #[test]
+    fn fast_and_naive_agree_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let schema = Schema::new(["A", "B"]);
+        for _ in 0..40 {
+            // Random hierarchical instance: segments of a balanced bracket walk.
+            let mut b = InstanceBuilder::new(schema.clone());
+            let mut pos = 0u32;
+            for _ in 0..rng.gen_range(0..8) {
+                let len = rng.gen_range(1..20);
+                let name = if rng.gen_bool(0.5) { "A" } else { "B" };
+                b = b.add(name, region(pos, pos + len));
+                if rng.gen_bool(0.5) && len >= 3 {
+                    let other = if name == "A" { "B" } else { "A" };
+                    b = b.add(other, region(pos + 1, pos + len - 1));
+                }
+                pos += len + 2;
+            }
+            let inst = b.build_valid();
+            let a = Expr::name(schema.expect_id("A"));
+            let bb = Expr::name(schema.expect_id("B"));
+            for e in [
+                a.clone().including(bb.clone()),
+                a.clone().included_in(bb.clone()),
+                a.clone().before(bb.clone()).after(bb.clone()),
+                a.clone().diff(bb.clone().included_in(a.clone())),
+            ] {
+                assert_eq!(eval(&e, &inst), eval_naive(&e, &inst), "expr {e} inst {inst:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Region algebra expressions (Definition 2.2):
+//!
+//! ```text
+//! e → R_i | e ∪ e | e ∩ e | e − e | e ⊃ e | e ⊂ e | e < e | e > e | σ_p(e) | (e)
+//! ```
+//!
+//! Expressions are plain trees over [`NameId`]s and pattern strings.
+//! Following the paper, the structural operators are *not* associative and
+//! unparenthesized chains group from the right; the [`fmt::Display`]
+//! implementation prints the minimal parentheses under that convention.
+
+use crate::schema::{NameId, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The binary operators of the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// `e ∪ e` — set union.
+    Union,
+    /// `e ∩ e` — set intersection.
+    Intersect,
+    /// `e − e` — set difference.
+    Diff,
+    /// `e ⊃ e` — regions of the left including some region of the right.
+    Including,
+    /// `e ⊂ e` — regions of the left included in some region of the right.
+    IncludedIn,
+    /// `e < e` — regions of the left preceding some region of the right.
+    Before,
+    /// `e > e` — regions of the left following some region of the right.
+    After,
+}
+
+impl BinOp {
+    /// All seven operators, in a fixed order (used by the expression
+    /// enumerator in `tr-ext`).
+    pub const ALL: [BinOp; 7] = [
+        BinOp::Union,
+        BinOp::Intersect,
+        BinOp::Diff,
+        BinOp::Including,
+        BinOp::IncludedIn,
+        BinOp::Before,
+        BinOp::After,
+    ];
+
+    /// True for `<` and `>` — the operators counted by `k` in Theorem 4.4.
+    pub fn is_order(self) -> bool {
+        matches!(self, BinOp::Before | BinOp::After)
+    }
+
+    /// The operator's symbol as printed by `Display`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Union => "∪",
+            BinOp::Intersect => "∩",
+            BinOp::Diff => "−",
+            BinOp::Including => "⊃",
+            BinOp::IncludedIn => "⊂",
+            BinOp::Before => "<",
+            BinOp::After => ">",
+        }
+    }
+}
+
+/// A region algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A region name `R_i`.
+    Name(NameId),
+    /// A binary operator application.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A selection `σ_p(e)`.
+    Select(String, Box<Expr>),
+}
+
+impl Expr {
+    /// `R_i` as an expression.
+    pub fn name(id: NameId) -> Expr {
+        Expr::Name(id)
+    }
+
+    /// Applies a binary operator.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Bin(op, Box::new(left), Box::new(right))
+    }
+
+    /// `self ∪ rhs`.
+    pub fn union(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Union, self, rhs)
+    }
+
+    /// `self ∩ rhs`.
+    pub fn intersect(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Intersect, self, rhs)
+    }
+
+    /// `self − rhs`.
+    pub fn diff(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Diff, self, rhs)
+    }
+
+    /// `self ⊃ rhs`.
+    pub fn including(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Including, self, rhs)
+    }
+
+    /// `self ⊂ rhs`.
+    pub fn included_in(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::IncludedIn, self, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn before(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Before, self, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn after(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::After, self, rhs)
+    }
+
+    /// `σ_p(self)`.
+    pub fn select(self, pattern: impl Into<String>) -> Expr {
+        Expr::Select(pattern.into(), Box::new(self))
+    }
+
+    /// The number of operations in the expression — `|e|` in the paper's
+    /// theorems. Each binary operator and each selection counts as one
+    /// operation; a bare region name has zero.
+    pub fn num_ops(&self) -> usize {
+        match self {
+            Expr::Name(_) => 0,
+            Expr::Bin(_, l, r) => 1 + l.num_ops() + r.num_ops(),
+            Expr::Select(_, e) => 1 + e.num_ops(),
+        }
+    }
+
+    /// The number of `<` and `>` operations — `k` in Theorem 4.4.
+    pub fn num_order_ops(&self) -> usize {
+        match self {
+            Expr::Name(_) => 0,
+            Expr::Bin(op, l, r) => {
+                usize::from(op.is_order()) + l.num_order_ops() + r.num_order_ops()
+            }
+            Expr::Select(_, e) => e.num_order_ops(),
+        }
+    }
+
+    /// The set of patterns appearing in selections — `P` in the theorems.
+    pub fn patterns(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_patterns(&mut out);
+        out
+    }
+
+    fn collect_patterns<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Expr::Name(_) => {}
+            Expr::Bin(_, l, r) => {
+                l.collect_patterns(out);
+                r.collect_patterns(out);
+            }
+            Expr::Select(p, e) => {
+                out.insert(p.as_str());
+                e.collect_patterns(out);
+            }
+        }
+    }
+
+    /// The set of region names appearing in the expression.
+    pub fn names(&self) -> BTreeSet<NameId> {
+        let mut out = BTreeSet::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut BTreeSet<NameId>) {
+        match self {
+            Expr::Name(id) => {
+                out.insert(*id);
+            }
+            Expr::Bin(_, l, r) => {
+                l.collect_names(out);
+                r.collect_names(out);
+            }
+            Expr::Select(_, e) => e.collect_names(out),
+        }
+    }
+
+    /// Renders the expression with names resolved against a schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, schema }
+    }
+}
+
+/// Helper returned by [`Expr::display`].
+pub struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.expr, Some(self.schema), f, false)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, None, f, false)
+    }
+}
+
+/// Prints `e`; `left_of_bin` is true when `e` is the left operand of a
+/// binary operator, in which case a binary `e` needs parentheses (the
+/// paper's convention groups unparenthesized chains from the right).
+fn fmt_expr(
+    e: &Expr,
+    schema: Option<&Schema>,
+    f: &mut fmt::Formatter<'_>,
+    left_of_bin: bool,
+) -> fmt::Result {
+    match e {
+        Expr::Name(id) => match schema {
+            Some(s) => write!(f, "{}", s.name(*id)),
+            None => write!(f, "R{}", id.index()),
+        },
+        Expr::Bin(op, l, r) => {
+            if left_of_bin {
+                write!(f, "(")?;
+            }
+            fmt_expr(l, schema, f, true)?;
+            write!(f, " {} ", op.symbol())?;
+            fmt_expr(r, schema, f, false)?;
+            if left_of_bin {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Select(p, inner) => {
+            write!(f, "σ[{p:?}](")?;
+            fmt_expr(inner, schema, f, false)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (NameId, NameId, NameId) {
+        (NameId::from_index(0), NameId::from_index(1), NameId::from_index(2))
+    }
+
+    #[test]
+    fn counts() {
+        let (a, b, c) = ids();
+        let e = Expr::name(a)
+            .included_in(Expr::name(b).included_in(Expr::name(c)))
+            .select("x");
+        assert_eq!(e.num_ops(), 3);
+        assert_eq!(e.num_order_ops(), 0);
+        let e2 = Expr::name(a).before(Expr::name(b).after(Expr::name(c)));
+        assert_eq!(e2.num_order_ops(), 2);
+    }
+
+    #[test]
+    fn pattern_and_name_collection() {
+        let (a, b, _) = ids();
+        let e = Expr::name(a).select("x").union(Expr::name(b).select("y").select("x"));
+        assert_eq!(e.patterns().into_iter().collect::<Vec<_>>(), vec!["x", "y"]);
+        assert_eq!(e.names().len(), 2);
+    }
+
+    #[test]
+    fn display_groups_from_the_right() {
+        let (a, b, c) = ids();
+        // Right-grouped chain needs no parens.
+        let chain = Expr::name(a).included_in(Expr::name(b).included_in(Expr::name(c)));
+        assert_eq!(chain.to_string(), "R0 ⊂ R1 ⊂ R2");
+        // Left-grouped needs parens on the left operand.
+        let left = Expr::name(a).included_in(Expr::name(b)).included_in(Expr::name(c));
+        assert_eq!(left.to_string(), "(R0 ⊂ R1) ⊂ R2");
+    }
+
+    #[test]
+    fn display_with_schema_names() {
+        let schema = Schema::new(["Name", "Proc_header", "Program"]);
+        let e = Expr::name(schema.expect_id("Name"))
+            .included_in(Expr::name(schema.expect_id("Proc_header")).included_in(Expr::name(schema.expect_id("Program"))));
+        assert_eq!(e.display(&schema).to_string(), "Name ⊂ Proc_header ⊂ Program");
+    }
+
+    #[test]
+    fn select_displays_pattern() {
+        let (a, _, _) = ids();
+        assert_eq!(Expr::name(a).select("x").to_string(), "σ[\"x\"](R0)");
+    }
+}

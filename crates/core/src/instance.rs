@@ -1,0 +1,514 @@
+//! Instances of a region index (Definition 2.1) and their hierarchical
+//! validation (Section 2.1's nesting assumption).
+//!
+//! An [`Instance`] maps every region name of a [`Schema`] to a
+//! [`RegionSet`], and carries a word index. Construction validates the
+//! paper's standing assumptions:
+//!
+//! * every region belongs to exactly one region set, and
+//! * every two regions are either disjoint or one *strictly* includes the
+//!   other (no partial overlap, no two distinct names on identical
+//!   endpoints).
+//!
+//! The [`Forest`] view materializes the direct-inclusion structure (parents
+//! and children), which is what the FMFT model correspondence (Definition
+//! 3.2) and the extended operators (`⊃_d`, `⊂_d`) are defined on.
+
+use crate::region::Region;
+use crate::schema::{NameId, Schema};
+use crate::set::RegionSet;
+use crate::word::{MatchPointIndex, WordIndex};
+use std::fmt;
+
+/// Errors detected while validating an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// Two regions overlap without one strictly including the other.
+    PartialOverlap {
+        /// The earlier region (in sorted order).
+        a: Region,
+        /// The later, partially-overlapping region.
+        b: Region,
+    },
+    /// The same endpoints appear under two different region names.
+    DuplicateRegion {
+        /// The offending endpoints.
+        region: Region,
+        /// The first name the region appears under.
+        first: NameId,
+        /// The second name the region appears under.
+        second: NameId,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::PartialOverlap { a, b } => {
+                write!(f, "regions {a} and {b} partially overlap; instances must be hierarchical")
+            }
+            InstanceError::DuplicateRegion { region, first, second } => write!(
+                f,
+                "region {region} appears under two names ({:?} and {:?}); every region belongs to one set",
+                first, second
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A validated hierarchical instance of a region index.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Instance<W = MatchPointIndex> {
+    schema: Schema,
+    /// One region set per schema name, indexed by `NameId::index()`.
+    sets: Vec<RegionSet>,
+    /// All named regions merged, in sorted order, with their names.
+    all: Vec<(Region, NameId)>,
+    word: W,
+}
+
+impl<W: Default> Instance<W> {
+    /// An instance with empty region sets and a default word index.
+    pub fn empty(schema: Schema) -> Instance<W> {
+        let sets = vec![RegionSet::new(); schema.len()];
+        Instance { schema, sets, all: Vec::new(), word: W::default() }
+    }
+}
+
+impl<W> Instance<W> {
+    /// Builds and validates an instance from per-name region sets.
+    pub fn build(
+        schema: Schema,
+        mut sets: Vec<RegionSet>,
+        word: W,
+    ) -> Result<Instance<W>, InstanceError> {
+        assert_eq!(sets.len(), schema.len(), "one region set per schema name");
+        // Merge all regions, remembering names, and validate.
+        let mut all: Vec<(Region, NameId)> = Vec::with_capacity(sets.iter().map(RegionSet::len).sum());
+        for (i, set) in sets.iter().enumerate() {
+            let id = NameId::from_index(i);
+            all.extend(set.iter().map(|r| (r, id)));
+        }
+        all.sort_unstable();
+        for w in all.windows(2) {
+            let ((a, na), (b, nb)) = (w[0], w[1]);
+            if a == b {
+                return Err(InstanceError::DuplicateRegion { region: a, first: na, second: nb });
+            }
+        }
+        // Hierarchy sweep: sorted order visits would-be parents first.
+        let mut stack: Vec<Region> = Vec::new();
+        for &(r, _) in &all {
+            while let Some(&top) = stack.last() {
+                if top.includes(r) {
+                    break;
+                }
+                if top.overlaps(r) {
+                    return Err(InstanceError::PartialOverlap { a: top, b: r });
+                }
+                stack.pop();
+            }
+            stack.push(r);
+        }
+        // Normalize (defensive): sets may have been handed over unsorted only
+        // through from_sorted misuse; RegionSet maintains its own invariant.
+        for s in &mut sets {
+            debug_assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
+        }
+        Ok(Instance { schema, sets, all, word })
+    }
+
+    /// The schema this instance instantiates.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance `R_i(I)` of a region name.
+    #[inline]
+    pub fn regions_of(&self, id: NameId) -> &RegionSet {
+        &self.sets[id.index()]
+    }
+
+    /// The instance of a region name, looked up by string.
+    pub fn regions_of_name(&self, name: &str) -> &RegionSet {
+        self.regions_of(self.schema.expect_id(name))
+    }
+
+    /// All named regions with their names, in sorted order.
+    #[inline]
+    pub fn all_with_names(&self) -> &[(Region, NameId)] {
+        &self.all
+    }
+
+    /// All named regions as a set.
+    pub fn all_regions(&self) -> RegionSet {
+        RegionSet::from_sorted(self.all.iter().map(|&(r, _)| r).collect())
+    }
+
+    /// Total number of regions across all names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True if the instance has no regions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The name a region belongs to, if it is in the instance.
+    pub fn name_of(&self, r: Region) -> Option<NameId> {
+        self.all
+            .binary_search_by(|&(x, _)| x.cmp(&r))
+            .ok()
+            .map(|i| self.all[i].1)
+    }
+
+    /// True if the region is in the instance (under any name).
+    pub fn contains(&self, r: Region) -> bool {
+        self.name_of(r).is_some()
+    }
+
+    /// The word index.
+    #[inline]
+    pub fn word_index(&self) -> &W {
+        &self.word
+    }
+
+    /// Mutable access to the word index. Note the word index is not part of
+    /// the hierarchy invariant, so mutation cannot invalidate the instance.
+    #[inline]
+    pub fn word_index_mut(&mut self) -> &mut W {
+        &mut self.word
+    }
+
+    /// Materializes the direct-inclusion forest over the named regions.
+    pub fn forest(&self) -> Forest {
+        Forest::new(&self.all)
+    }
+
+    /// The nesting depth: the length of the longest chain
+    /// `r_1 ⊃ r_2 ⊃ … ⊃ r_d` of regions in the instance.
+    pub fn nesting_depth(&self) -> usize {
+        let mut max_depth = 0usize;
+        let mut stack: Vec<Region> = Vec::new();
+        for &(r, _) in &self.all {
+            while let Some(&top) = stack.last() {
+                if top.includes(r) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(r);
+            max_depth = max_depth.max(stack.len());
+        }
+        max_depth
+    }
+}
+
+impl<W: Clone> Instance<W> {
+    /// Returns a copy of the instance without the given regions (the
+    /// *deleted versions* of Section 4.1). The word index is shared
+    /// unchanged — Definition 2.1 defines `W` on regions, and surviving
+    /// regions keep their text.
+    pub fn without_regions(&self, doomed: &RegionSet) -> Instance<W> {
+        let sets: Vec<RegionSet> = self.sets.iter().map(|s| s.difference(doomed)).collect();
+        let all: Vec<(Region, NameId)> = self
+            .all
+            .iter()
+            .copied()
+            .filter(|&(r, _)| !doomed.contains(r))
+            .collect();
+        Instance { schema: self.schema.clone(), sets, all, word: self.word.clone() }
+    }
+
+    /// Returns a copy keeping only the given regions.
+    pub fn restricted_to(&self, kept: &RegionSet) -> Instance<W> {
+        let sets: Vec<RegionSet> = self.sets.iter().map(|s| s.intersect(kept)).collect();
+        let all: Vec<(Region, NameId)> = self
+            .all
+            .iter()
+            .copied()
+            .filter(|&(r, _)| kept.contains(r))
+            .collect();
+        Instance { schema: self.schema.clone(), sets, all, word: self.word.clone() }
+    }
+}
+
+impl<W: WordIndex> Instance<W> {
+    /// `σ_p(R)` for an explicit set: the regions whose text matches `p`.
+    pub fn select(&self, set: &RegionSet, pattern: &str) -> RegionSet {
+        set.filter(|r| self.word.matches(r, pattern))
+    }
+}
+
+impl<W> fmt::Debug for Instance<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for id in self.schema.ids() {
+            m.entry(&self.schema.name(id), &self.sets[id.index()]);
+        }
+        m.finish()
+    }
+}
+
+/// A convenience builder for instances over a [`MatchPointIndex`].
+pub struct InstanceBuilder {
+    schema: Schema,
+    sets: Vec<RegionSet>,
+    word: MatchPointIndex,
+}
+
+impl InstanceBuilder {
+    /// Starts a builder for the given schema.
+    pub fn new(schema: Schema) -> InstanceBuilder {
+        let sets = vec![RegionSet::new(); schema.len()];
+        InstanceBuilder { schema, sets, word: MatchPointIndex::new() }
+    }
+
+    /// Adds a region under a name (by string).
+    pub fn add(mut self, name: &str, r: Region) -> InstanceBuilder {
+        let id = self.schema.expect_id(name);
+        self.sets[id.index()].insert(r);
+        self
+    }
+
+    /// Adds a region under a name id.
+    pub fn add_id(mut self, id: NameId, r: Region) -> InstanceBuilder {
+        self.sets[id.index()].insert(r);
+        self
+    }
+
+    /// In-place variant of [`InstanceBuilder::add_id`], for loops.
+    pub fn push_id(&mut self, id: NameId, r: Region) {
+        self.sets[id.index()].insert(r);
+    }
+
+    /// In-place variant of [`InstanceBuilder::occurrence`], for loops.
+    pub fn push_occurrence(&mut self, pattern: &str, start: crate::region::Pos, len: crate::region::Pos) {
+        self.word.add_occurrence(pattern, start, len);
+    }
+
+    /// Records a pattern occurrence in the word index.
+    pub fn occurrence(mut self, pattern: &str, start: crate::region::Pos, len: crate::region::Pos) -> InstanceBuilder {
+        self.word.add_occurrence(pattern, start, len);
+        self
+    }
+
+    /// Validates and finishes the instance.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        Instance::build(self.schema, self.sets, self.word)
+    }
+
+    /// Validates and finishes, panicking on invalid input. For tests and
+    /// examples with hand-written instances.
+    pub fn build_valid(self) -> Instance {
+        self.build().expect("hand-written instance must be hierarchical")
+    }
+}
+
+/// The direct-inclusion forest over an instance's regions.
+///
+/// Node indices follow the instance's sorted region order, so parents always
+/// have smaller indices than their children.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    nodes: Vec<(Region, NameId)>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl Forest {
+    fn new(all: &[(Region, NameId)]) -> Forest {
+        let n = all.len();
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &(r, _)) in all.iter().enumerate() {
+            while let Some(&top) = stack.last() {
+                if all[top].0.includes(r) {
+                    break;
+                }
+                stack.pop();
+            }
+            match stack.last() {
+                Some(&p) => {
+                    parent[i] = Some(p);
+                    children[p].push(i);
+                }
+                None => roots.push(i),
+            }
+            stack.push(i);
+        }
+        Forest { nodes: all.to_vec(), parent, children, roots }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the forest is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The region and name at a node index.
+    #[inline]
+    pub fn node(&self, i: usize) -> (Region, NameId) {
+        self.nodes[i]
+    }
+
+    /// The node index of a region, if present.
+    pub fn index_of(&self, r: Region) -> Option<usize> {
+        self.nodes.binary_search_by(|&(x, _)| x.cmp(&r)).ok()
+    }
+
+    /// The parent node (the region that *directly includes* this one).
+    #[inline]
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// The children (regions this one directly includes), in text order.
+    #[inline]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// The root nodes, in text order.
+    #[inline]
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Depth of a node (roots have depth 1).
+    pub fn depth(&self, mut i: usize) -> usize {
+        let mut d = 1;
+        while let Some(p) = self.parent[i] {
+            d += 1;
+            i = p;
+        }
+        d
+    }
+
+    /// Iterates `(index, region, name)` in sorted (pre-)order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Region, NameId)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, &(r, n))| (i, r, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 4))
+            .add("B", region(6, 8))
+            .add("C", region(2, 3))
+            .build_valid();
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.regions_of_name("B").len(), 2);
+        assert_eq!(inst.name_of(region(2, 3)), Some(inst.schema().expect_id("C")));
+        assert_eq!(inst.name_of(region(2, 4)), None);
+        assert_eq!(inst.nesting_depth(), 3);
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let err = InstanceBuilder::new(schema())
+            .add("A", region(0, 5))
+            .add("B", region(3, 9))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::PartialOverlap { .. }));
+    }
+
+    #[test]
+    fn rejects_same_region_under_two_names() {
+        let err = InstanceBuilder::new(schema())
+            .add("A", region(0, 5))
+            .add("B", region(0, 5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::DuplicateRegion { .. }));
+    }
+
+    #[test]
+    fn accepts_shared_endpoints_when_nested() {
+        // [0..9] ⊃ [0..5] is strict inclusion despite the shared left end.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(0, 5))
+            .build();
+        assert!(inst.is_ok());
+    }
+
+    #[test]
+    fn forest_structure() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 4))
+            .add("C", region(2, 3))
+            .add("B", region(6, 8))
+            .add("A", region(20, 30))
+            .build_valid();
+        let f = inst.forest();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.roots().len(), 2);
+        let i_a = f.index_of(region(0, 9)).unwrap();
+        let i_b1 = f.index_of(region(1, 4)).unwrap();
+        let i_c = f.index_of(region(2, 3)).unwrap();
+        let i_b2 = f.index_of(region(6, 8)).unwrap();
+        assert_eq!(f.parent(i_b1), Some(i_a));
+        assert_eq!(f.parent(i_c), Some(i_b1));
+        assert_eq!(f.parent(i_b2), Some(i_a));
+        assert_eq!(f.children(i_a), &[i_b1, i_b2]);
+        assert_eq!(f.depth(i_c), 3);
+        assert_eq!(f.depth(i_a), 1);
+    }
+
+    #[test]
+    fn deletion_preserves_validity_and_word_index() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 4))
+            .occurrence("x", 2, 1)
+            .build_valid();
+        let doomed = RegionSet::singleton(region(1, 4));
+        let smaller = inst.without_regions(&doomed);
+        assert_eq!(smaller.len(), 1);
+        assert!(smaller.contains(region(0, 9)));
+        assert!(!smaller.contains(region(1, 4)));
+        assert!(crate::word::WordIndex::matches(smaller.word_index(), region(0, 9), "x"));
+    }
+
+    #[test]
+    fn restriction_keeps_only_given_regions() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 4))
+            .add("C", region(6, 7))
+            .build_valid();
+        let kept: RegionSet = [region(0, 9), region(6, 7)].into_iter().collect();
+        let small = inst.restricted_to(&kept);
+        assert_eq!(small.len(), 2);
+        assert!(small.regions_of_name("B").is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # tr-core — the region algebra
+//!
+//! Core of the workspace reproducing *“Algebras for Querying Text Regions”*
+//! (Consens & Milo, PODS 1995): text [`Region`]s, sorted [`RegionSet`]s, the
+//! seven-operator region algebra (Definition 2.2/2.3), hierarchical
+//! [`Instance`]s of a region index (Definition 2.1), and an evaluator.
+//!
+//! ```
+//! use tr_core::{Expr, InstanceBuilder, Schema, eval, region};
+//!
+//! let schema = Schema::new(["Doc", "Sec"]);
+//! let inst = InstanceBuilder::new(schema.clone())
+//!     .add("Doc", region(0, 99))
+//!     .add("Sec", region(10, 40))
+//!     .occurrence("text", 12, 4)
+//!     .build_valid();
+//! // Sections mentioning "text": σ_text(Sec ⊂ Doc)
+//! let q = Expr::name(schema.expect_id("Sec"))
+//!     .included_in(Expr::name(schema.expect_id("Doc")))
+//!     .select("text");
+//! assert_eq!(eval(&q, &inst).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod expr;
+pub mod instance;
+pub mod naive;
+pub mod ops;
+pub mod region;
+pub mod schema;
+pub mod set;
+pub mod word;
+
+pub use eval::{eval, eval_memo, eval_naive, eval_with, OpTable, FAST, NAIVE};
+pub use expr::{BinOp, Expr};
+pub use instance::{Forest, Instance, InstanceBuilder, InstanceError};
+pub use region::{region, Pos, Region};
+pub use schema::{NameId, Schema};
+pub use set::RegionSet;
+pub use word::{EmptyWordIndex, ExplicitWordIndex, MatchPointIndex, WordIndex};

@@ -1,0 +1,44 @@
+//! Quadratic reference implementations of the structural operators.
+//!
+//! These transcribe Definition 2.3 literally (`R ⊃ S = {r ∈ R : ∃ s ∈ S,
+//! r ⊃ s}` etc.) and are used as the oracle for property tests and as the
+//! baseline in experiment E2. They must stay as close to the paper's
+//! set-builder notation as possible — do not optimize them.
+
+use crate::set::RegionSet;
+
+/// `R ⊃ S`, by exhaustive pairwise check.
+pub fn includes(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    r.filter(|x| s.iter().any(|y| x.includes(y)))
+}
+
+/// `R ⊂ S`, by exhaustive pairwise check.
+pub fn included_in(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    r.filter(|x| s.iter().any(|y| x.included_in(y)))
+}
+
+/// `R < S`, by exhaustive pairwise check.
+pub fn precedes(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    r.filter(|x| s.iter().any(|y| x.precedes(y)))
+}
+
+/// `R > S`, by exhaustive pairwise check.
+pub fn follows(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    r.filter(|x| s.iter().any(|y| x.follows(y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    #[test]
+    fn naive_matches_definitions() {
+        let r: RegionSet = [region(0, 9), region(2, 3), region(12, 14)].into_iter().collect();
+        let s: RegionSet = [region(4, 5), region(10, 11)].into_iter().collect();
+        assert_eq!(includes(&r, &s).as_slice(), &[region(0, 9)]);
+        assert_eq!(included_in(&s, &r).as_slice(), &[region(4, 5)]);
+        assert_eq!(precedes(&r, &s).as_slice(), &[region(0, 9), region(2, 3)]);
+        assert_eq!(follows(&r, &s).as_slice(), &[region(12, 14)]);
+    }
+}

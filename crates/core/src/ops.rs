@@ -1,0 +1,245 @@
+//! The four structural semi-join operators of the region algebra
+//! (Definition 2.3): *including* `R ⊃ S`, *included* `R ⊂ S`, *precedes*
+//! `R < S`, and *follows* `R > S`.
+//!
+//! These are the operators the paper singles out as having "a very efficient
+//! evaluation engine" in PAT. The implementations here are sub-quadratic:
+//!
+//! * `R < S` / `R > S` need only the extreme endpoint of `S` — O(|R| + |S|).
+//! * `R ⊂ S` uses prefix maxima of right endpoints over `S` sorted by left —
+//!   O(|R| log |S| + |S|).
+//! * `R ⊃ S` uses a sparse-table range-minimum structure over right
+//!   endpoints — O((|R| + |S|) log |S|).
+//!
+//! Quadratic reference implementations live in [`crate::naive`] and serve as
+//! the oracle for property tests and as the baseline for experiment E2.
+
+use crate::region::Pos;
+use crate::set::RegionSet;
+
+/// `R < S`: the regions of `R` that precede *some* region of `S`.
+///
+/// `r` precedes some `s` iff `right(r) < max{left(s)}`.
+pub fn precedes(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    match s.max_left() {
+        None => RegionSet::new(),
+        Some(max_left) => r.filter(|x| x.right() < max_left),
+    }
+}
+
+/// `R > S`: the regions of `R` that follow *some* region of `S`.
+///
+/// `r` follows some `s` iff `left(r) > min{right(s)}`.
+pub fn follows(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    match s.min_right() {
+        None => RegionSet::new(),
+        Some(min_right) => r.filter(|x| x.left() > min_right),
+    }
+}
+
+/// `R ⊂ S`: the regions of `R` strictly included in some region of `S`.
+pub fn included_in(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    if r.is_empty() || s.is_empty() {
+        return RegionSet::new();
+    }
+    // prefix_max[i] = max right endpoint among the first i regions of S
+    // (S is sorted by left asc, right desc).
+    let sv = s.as_slice();
+    let mut prefix_max: Vec<Pos> = Vec::with_capacity(sv.len() + 1);
+    prefix_max.push(0);
+    let mut best = 0;
+    for reg in sv {
+        best = best.max(reg.right());
+        prefix_max.push(best);
+    }
+    r.filter(|x| {
+        // Candidates with left(s) < left(x): containment needs right(s) >= right(x).
+        let lt = s.lower_bound_left(x.left());
+        if lt > 0 && prefix_max[lt] >= x.right() {
+            return true;
+        }
+        // Candidates with left(s) == left(x): containment needs right(s) > right(x).
+        // Within the equal-left group regions are sorted by right desc, so the
+        // group's first element has the largest right endpoint.
+        let le = s.upper_bound_left(x.left());
+        lt < le && sv[lt].right() > x.right()
+    })
+}
+
+/// `R ⊃ S`: the regions of `R` that strictly include some region of `S`.
+pub fn includes(r: &RegionSet, s: &RegionSet) -> RegionSet {
+    if r.is_empty() || s.is_empty() {
+        return RegionSet::new();
+    }
+    let rmq = MinRightRmq::new(s);
+    let sv = s.as_slice();
+    r.filter(|x| {
+        // A region s with r ⊃ s must have left(s) in [left(x), right(x)].
+        // Split the index range at left(s) == left(x):
+        //  - strictly greater left: need right(s) <= right(x);
+        //  - equal left: need right(s) < right(x) (strictness).
+        let lo = s.lower_bound_left(x.left());
+        let mid = s.upper_bound_left(x.left());
+        let hi = s.upper_bound_left(x.right());
+        if mid < hi {
+            if let Some(min_r) = rmq.min_right(mid, hi) {
+                if min_r <= x.right() {
+                    return true;
+                }
+            }
+        }
+        // Equal-left group is sorted right desc: its minimum right is last.
+        lo < mid && sv[mid - 1].right() < x.right()
+    })
+}
+
+/// Sparse-table range-minimum structure over the right endpoints of a
+/// [`RegionSet`] (in its sorted-by-left order). Build is O(n log n),
+/// queries are O(1).
+pub struct MinRightRmq {
+    /// `table[k][i]` = min right endpoint of the 2^k regions starting at i.
+    table: Vec<Vec<Pos>>,
+}
+
+impl MinRightRmq {
+    /// Builds the structure over `s` (ordered as stored: left asc, right desc).
+    pub fn new(s: &RegionSet) -> MinRightRmq {
+        let base: Vec<Pos> = s.iter().map(|r| r.right()).collect();
+        let n = base.len();
+        let levels = if n <= 1 { 1 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let mut table = Vec::with_capacity(levels.max(1));
+        table.push(base);
+        let mut k = 1usize;
+        while (1 << k) <= n {
+            let half = 1 << (k - 1);
+            let prev = &table[k - 1];
+            let row: Vec<Pos> = (0..=n - (1 << k))
+                .map(|i| prev[i].min(prev[i + half]))
+                .collect();
+            table.push(row);
+            k += 1;
+        }
+        MinRightRmq { table }
+    }
+
+    /// Minimum right endpoint among indices `lo..hi` (half-open). Returns
+    /// `None` for an empty range.
+    pub fn min_right(&self, lo: usize, hi: usize) -> Option<Pos> {
+        if lo >= hi {
+            return None;
+        }
+        let len = hi - lo;
+        let k = usize::BITS as usize - 1 - len.leading_zeros() as usize;
+        let a = self.table[k][lo];
+        let b = self.table[k][hi - (1 << k)];
+        Some(a.min(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::region::region;
+
+    fn set(rs: &[(Pos, Pos)]) -> RegionSet {
+        rs.iter().map(|&(l, r)| region(l, r)).collect()
+    }
+
+    #[test]
+    fn precedes_basic() {
+        let r = set(&[(0, 2), (3, 5), (8, 9)]);
+        let s = set(&[(6, 7)]);
+        assert_eq!(precedes(&r, &s), set(&[(0, 2), (3, 5)]));
+        assert_eq!(follows(&r, &s), set(&[(8, 9)]));
+        assert!(precedes(&r, &RegionSet::new()).is_empty());
+        assert!(follows(&r, &RegionSet::new()).is_empty());
+    }
+
+    #[test]
+    fn touching_regions_do_not_precede() {
+        let r = set(&[(0, 6)]);
+        let s = set(&[(6, 7)]);
+        assert!(precedes(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn included_in_basic() {
+        let r = set(&[(1, 2), (4, 8), (0, 20)]);
+        let s = set(&[(0, 9)]);
+        assert_eq!(included_in(&r, &s), set(&[(1, 2), (4, 8)]));
+    }
+
+    #[test]
+    fn inclusion_excludes_identical_regions() {
+        let r = set(&[(0, 9)]);
+        let s = set(&[(0, 9)]);
+        assert!(included_in(&r, &s).is_empty());
+        assert!(includes(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn inclusion_with_shared_endpoint_is_strict_inclusion() {
+        // [0..9] ⊃ [0..5]: shares the left endpoint but is strictly larger.
+        let r = set(&[(0, 9)]);
+        let s = set(&[(0, 5)]);
+        assert_eq!(includes(&r, &s), set(&[(0, 9)]));
+        assert_eq!(included_in(&s, &r), set(&[(0, 5)]));
+        // shared right endpoint
+        let s2 = set(&[(4, 9)]);
+        assert_eq!(includes(&r, &s2), set(&[(0, 9)]));
+        assert_eq!(included_in(&s2, &r), set(&[(4, 9)]));
+    }
+
+    #[test]
+    fn includes_basic() {
+        let r = set(&[(0, 9), (2, 3), (10, 30)]);
+        let s = set(&[(4, 5), (12, 13)]);
+        assert_eq!(includes(&r, &s), set(&[(0, 9), (10, 30)]));
+    }
+
+    #[test]
+    fn rmq_matches_scan() {
+        let s = set(&[(0, 9), (1, 7), (2, 12), (3, 3), (5, 6)]);
+        let rmq = MinRightRmq::new(&s);
+        let rights: Vec<Pos> = s.iter().map(|r| r.right()).collect();
+        for lo in 0..=s.len() {
+            for hi in lo..=s.len() {
+                let expect = rights[lo..hi].iter().copied().min();
+                assert_eq!(rmq.min_right(lo, hi), expect, "range {lo}..{hi}");
+            }
+        }
+    }
+
+    /// Cross-check all four fast operators against the naive oracle on a
+    /// deterministic pseudo-random workload (the real randomized version is
+    /// a proptest in `tests/`).
+    #[test]
+    fn fast_ops_match_naive_oracle() {
+        let mut seed = 0x2545F49u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let mk = |next: &mut dyn FnMut() -> u64| {
+                let n = (next() % 12) as usize;
+                (0..n)
+                    .map(|_| {
+                        let l = (next() % 30) as Pos;
+                        let len = (next() % 10) as Pos;
+                        region(l, l + len)
+                    })
+                    .collect::<RegionSet>()
+            };
+            let r = mk(&mut next);
+            let s = mk(&mut next);
+            assert_eq!(includes(&r, &s), naive::includes(&r, &s), "⊃ r={r:?} s={s:?}");
+            assert_eq!(included_in(&r, &s), naive::included_in(&r, &s), "⊂ r={r:?} s={s:?}");
+            assert_eq!(precedes(&r, &s), naive::precedes(&r, &s), "< r={r:?} s={s:?}");
+            assert_eq!(follows(&r, &s), naive::follows(&r, &s), "> r={r:?} s={s:?}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`Region`] type: a substring of the indexed text identified by its
+//! two endpoint positions, plus the structural predicates of the paper
+//! (strict inclusion and precedence, Section 2.1).
+
+use std::fmt;
+
+/// A position in the indexed text (byte or token offset — the algebra never
+/// interprets positions beyond comparing them).
+pub type Pos = u32;
+
+/// A text region `[left, right]` with inclusive endpoints, `left <= right`.
+///
+/// Following Definition 2.2/2.3 of the paper, a region is defined by a pair
+/// of positions corresponding to its beginning and end. All structural
+/// operators compare endpoints only; the region does not carry its text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    left: Pos,
+    right: Pos,
+}
+
+impl Region {
+    /// Creates a region. Panics if `left > right`.
+    #[inline]
+    pub fn new(left: Pos, right: Pos) -> Region {
+        assert!(left <= right, "invalid region: left {left} > right {right}");
+        Region { left, right }
+    }
+
+    /// Creates a region without checking `left <= right`.
+    ///
+    /// Callers must uphold the invariant; violated invariants produce
+    /// nonsensical (but memory-safe) operator results.
+    #[inline]
+    pub fn new_unchecked(left: Pos, right: Pos) -> Region {
+        debug_assert!(left <= right);
+        Region { left, right }
+    }
+
+    /// Left (start) endpoint.
+    #[inline]
+    pub fn left(self) -> Pos {
+        self.left
+    }
+
+    /// Right (end) endpoint (inclusive).
+    #[inline]
+    pub fn right(self) -> Pos {
+        self.right
+    }
+
+    /// Number of positions covered by the region.
+    #[inline]
+    pub fn len(self) -> u64 {
+        u64::from(self.right) - u64::from(self.left) + 1
+    }
+
+    /// Regions are never empty: they cover at least one position.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Strict inclusion `self ⊃ other` exactly as defined in Section 2.1:
+    /// `(left(r) < left(s) ∧ right(r) ≥ right(s)) ∨ (left(r) ≤ left(s) ∧
+    /// right(r) > right(s))`. Equivalently: `self` covers `other` and the
+    /// two regions are not identical.
+    #[inline]
+    pub fn includes(self, other: Region) -> bool {
+        (self.left < other.left && self.right >= other.right)
+            || (self.left <= other.left && self.right > other.right)
+    }
+
+    /// Strict inclusion in the other direction: `self ⊂ other`.
+    #[inline]
+    pub fn included_in(self, other: Region) -> bool {
+        other.includes(self)
+    }
+
+    /// Precedence `self < other`: `right(self) < left(other)` (Section 2.1).
+    #[inline]
+    pub fn precedes(self, other: Region) -> bool {
+        self.right < other.left
+    }
+
+    /// Follows `self > other`: `right(other) < left(self)`.
+    #[inline]
+    pub fn follows(self, other: Region) -> bool {
+        other.precedes(self)
+    }
+
+    /// True if the regions share at least one position.
+    #[inline]
+    pub fn overlaps(self, other: Region) -> bool {
+        self.left <= other.right && other.left <= self.right
+    }
+
+    /// True if the regions share no position.
+    #[inline]
+    pub fn disjoint(self, other: Region) -> bool {
+        !self.overlaps(other)
+    }
+
+    /// True if the pair is *hierarchical*: disjoint, equal, or one strictly
+    /// includes the other. Partial overlap is the only non-hierarchical
+    /// configuration.
+    #[inline]
+    pub fn hierarchical_with(self, other: Region) -> bool {
+        self.disjoint(other)
+            || self == other
+            || self.includes(other)
+            || other.includes(self)
+    }
+
+    /// True if `pos` falls inside the region.
+    #[inline]
+    pub fn contains_pos(self, pos: Pos) -> bool {
+        self.left <= pos && pos <= self.right
+    }
+}
+
+/// Regions are ordered by `(left ascending, right descending)`.
+///
+/// Under this order a region precedes everything it strictly includes, which
+/// makes a single sorted scan visit parents before children — the property
+/// every sweep in [`crate::ops`] and [`crate::instance`] relies on.
+impl Ord for Region {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.left
+            .cmp(&other.left)
+            .then_with(|| other.right.cmp(&self.right))
+    }
+}
+
+impl PartialOrd for Region {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.left, self.right)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.left, self.right)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+#[inline]
+pub fn region(left: Pos, right: Pos) -> Region {
+    Region::new(left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_is_strict() {
+        let r = region(0, 10);
+        assert!(r.includes(region(1, 9)));
+        assert!(r.includes(region(0, 9)));
+        assert!(r.includes(region(1, 10)));
+        assert!(!r.includes(region(0, 10)), "a region does not include itself");
+        assert!(!r.includes(region(0, 11)));
+        assert!(!r.includes(region(5, 11)));
+        assert!(region(1, 9).included_in(r));
+        assert!(!r.included_in(r));
+    }
+
+    #[test]
+    fn precedence_requires_gap_free_order() {
+        assert!(region(0, 3).precedes(region(4, 9)));
+        assert!(!region(0, 4).precedes(region(4, 9)), "touching endpoints do not precede");
+        assert!(region(4, 9).follows(region(0, 3)));
+        assert!(!region(0, 3).follows(region(4, 9)));
+    }
+
+    #[test]
+    fn overlap_and_disjoint() {
+        assert!(region(0, 5).overlaps(region(5, 9)));
+        assert!(region(0, 5).disjoint(region(6, 9)));
+        assert!(region(0, 9).overlaps(region(3, 4)));
+    }
+
+    #[test]
+    fn hierarchical_pairs() {
+        assert!(region(0, 9).hierarchical_with(region(2, 5)));
+        assert!(region(0, 3).hierarchical_with(region(4, 9)));
+        assert!(region(0, 5).hierarchical_with(region(0, 5)));
+        assert!(!region(0, 5).hierarchical_with(region(3, 9)), "partial overlap");
+    }
+
+    #[test]
+    fn ordering_puts_parents_first() {
+        let mut v = vec![region(2, 3), region(0, 9), region(0, 4), region(2, 8)];
+        v.sort();
+        assert_eq!(v, vec![region(0, 9), region(0, 4), region(2, 8), region(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid region")]
+    fn rejects_inverted_endpoints() {
+        let _ = Region::new(5, 4);
+    }
+
+    #[test]
+    fn len_and_pos() {
+        assert_eq!(region(3, 3).len(), 1);
+        assert_eq!(region(0, 9).len(), 10);
+        assert!(region(2, 4).contains_pos(2));
+        assert!(region(2, 4).contains_pos(4));
+        assert!(!region(2, 4).contains_pos(5));
+    }
+}

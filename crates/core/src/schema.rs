@@ -1,0 +1,124 @@
+//! The region index schema (Definition 2.1): the fixed set of region names
+//! `R_1, …, R_n` a file is indexed with.
+
+use std::fmt;
+
+/// Identifies a region name within a [`Schema`]. Cheap to copy; stable for
+/// the lifetime of the schema.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(pub(crate) u16);
+
+impl NameId {
+    /// The index of this name in its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NameId` from a raw index. The caller must ensure the index
+    /// is valid for the schema it will be used with.
+    #[inline]
+    pub fn from_index(i: usize) -> NameId {
+        NameId(u16::try_from(i).expect("schema supports at most 65536 names"))
+    }
+}
+
+impl fmt::Debug for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NameId({})", self.0)
+    }
+}
+
+/// A region index schema: an ordered set of distinct region names.
+///
+/// The paper writes `𝓘 = {R_1, …, R_n}`; queries refer to names, instances
+/// map each name to a set of regions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from names. Panics on duplicates — the paper's region
+    /// names are a *set*.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Schema {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate region name {n:?} in schema"
+            );
+        }
+        assert!(names.len() <= u16::MAX as usize + 1, "too many region names");
+        Schema { names }
+    }
+
+    /// Number of region names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the schema has no names.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks a name up by string.
+    pub fn id(&self, name: &str) -> Option<NameId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(NameId::from_index)
+    }
+
+    /// Looks a name up by string, panicking with a helpful message if absent.
+    /// Intended for examples and tests where the name is statically known.
+    pub fn expect_id(&self, name: &str) -> NameId {
+        self.id(name)
+            .unwrap_or_else(|| panic!("region name {name:?} not in schema {:?}", self.names))
+    }
+
+    /// The string for a name id.
+    pub fn name(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All name ids, in schema order.
+    pub fn ids(&self) -> impl Iterator<Item = NameId> + '_ {
+        (0..self.names.len()).map(NameId::from_index)
+    }
+
+    /// All names, in schema order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_round_trips() {
+        let s = Schema::new(["Prog", "Proc", "Var"]);
+        assert_eq!(s.len(), 3);
+        let proc_id = s.expect_id("Proc");
+        assert_eq!(s.name(proc_id), "Proc");
+        assert_eq!(s.id("Nope"), None);
+        assert_eq!(s.ids().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region name")]
+    fn rejects_duplicates() {
+        let _ = Schema::new(["A", "B", "A"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn expect_id_panics_with_context() {
+        Schema::new(["A"]).expect_id("B");
+    }
+}

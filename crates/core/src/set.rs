@@ -1,0 +1,319 @@
+//! [`RegionSet`]: the set-at-a-time value manipulated by the algebra.
+//!
+//! A `RegionSet` is a duplicate-free `Vec<Region>` kept sorted by
+//! `(left asc, right desc)`. All algebra operators consume and produce
+//! `RegionSet`s; keeping them sorted lets every operator run as a linear
+//! merge or a sweep with O(1)/O(log n) per-element probes (see
+//! [`crate::ops`]).
+
+use crate::region::{Pos, Region};
+use std::fmt;
+
+/// A sorted, duplicate-free set of [`Region`]s.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+}
+
+impl RegionSet {
+    /// The empty set.
+    #[inline]
+    pub fn new() -> RegionSet {
+        RegionSet { regions: Vec::new() }
+    }
+
+    /// The empty set, with room for `cap` regions.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> RegionSet {
+        RegionSet { regions: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a set from arbitrary regions, sorting and deduplicating.
+    pub fn from_regions(mut regions: Vec<Region>) -> RegionSet {
+        regions.sort_unstable();
+        regions.dedup();
+        RegionSet { regions }
+    }
+
+    /// Builds a set from a vector the caller promises is already sorted by
+    /// `(left asc, right desc)` and duplicate-free. Checked in debug builds.
+    pub fn from_sorted(regions: Vec<Region>) -> RegionSet {
+        debug_assert!(regions.windows(2).all(|w| w[0] < w[1]), "regions not sorted/deduped");
+        RegionSet { regions }
+    }
+
+    /// Singleton set.
+    pub fn singleton(r: Region) -> RegionSet {
+        RegionSet { regions: vec![r] }
+    }
+
+    /// Number of regions in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if the set has no regions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions, sorted by `(left asc, right desc)`.
+    #[inline]
+    pub fn as_slice(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Iterates the regions in sorted order.
+    #[inline]
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Region>> {
+        self.regions.iter().copied()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, r: Region) -> bool {
+        self.regions.binary_search(&r).is_ok()
+    }
+
+    /// Inserts a region, keeping the order invariant. O(n) worst case;
+    /// intended for incremental construction in tests and generators.
+    pub fn insert(&mut self, r: Region) -> bool {
+        match self.regions.binary_search(&r) {
+            Ok(_) => false,
+            Err(i) => {
+                self.regions.insert(i, r);
+                true
+            }
+        }
+    }
+
+    /// Removes a region if present.
+    pub fn remove(&mut self, r: Region) -> bool {
+        match self.regions.binary_search(&r) {
+            Ok(i) => {
+                self.regions.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set union (linear merge).
+    pub fn union(&self, other: &RegionSet) -> RegionSet {
+        let (a, b) = (&self.regions, &other.regions);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        RegionSet { regions: out }
+    }
+
+    /// Set intersection (linear merge).
+    pub fn intersect(&self, other: &RegionSet) -> RegionSet {
+        let (a, b) = (&self.regions, &other.regions);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RegionSet { regions: out }
+    }
+
+    /// Set difference `self − other` (linear merge).
+    pub fn difference(&self, other: &RegionSet) -> RegionSet {
+        let (a, b) = (&self.regions, &other.regions);
+        let mut out = Vec::with_capacity(a.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        RegionSet { regions: out }
+    }
+
+    /// True if `self` and `other` contain exactly the same regions.
+    pub fn set_eq(&self, other: &RegionSet) -> bool {
+        self.regions == other.regions
+    }
+
+    /// True if every region of `self` is in `other`.
+    pub fn is_subset(&self, other: &RegionSet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.iter().all(|r| other.contains(r))
+    }
+
+    /// Keeps only the regions satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(Region) -> bool) {
+        self.regions.retain(|r| pred(*r));
+    }
+
+    /// Returns the set of regions satisfying `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(Region) -> bool) -> RegionSet {
+        RegionSet {
+            regions: self.iter().filter(|r| pred(*r)).collect(),
+        }
+    }
+
+    /// Largest left endpoint, if any. Used by the `precedes` operator.
+    pub fn max_left(&self) -> Option<Pos> {
+        // Sorted by left ascending, so the maximum left is at the back.
+        self.regions.last().map(|r| r.left())
+    }
+
+    /// Smallest right endpoint, if any. Used by the `follows` operator.
+    pub fn min_right(&self) -> Option<Pos> {
+        self.regions.iter().map(|r| r.right()).min()
+    }
+
+    /// Index of the first region with `left >= pos` (lower bound on left).
+    pub fn lower_bound_left(&self, pos: Pos) -> usize {
+        self.regions.partition_point(|r| r.left() < pos)
+    }
+
+    /// Index one past the last region with `left <= pos` (upper bound).
+    pub fn upper_bound_left(&self, pos: Pos) -> usize {
+        self.regions.partition_point(|r| r.left() <= pos)
+    }
+}
+
+impl FromIterator<Region> for RegionSet {
+    fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> RegionSet {
+        RegionSet::from_regions(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionSet {
+    type Item = Region;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Region>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for RegionSet {
+    type Item = Region;
+    type IntoIter = std::vec::IntoIter<Region>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regions.into_iter()
+    }
+}
+
+impl fmt::Debug for RegionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.regions.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    fn set(rs: &[(Pos, Pos)]) -> RegionSet {
+        rs.iter().map(|&(l, r)| region(l, r)).collect()
+    }
+
+    #[test]
+    fn from_regions_sorts_and_dedups() {
+        let s = RegionSet::from_regions(vec![region(5, 6), region(0, 9), region(5, 6)]);
+        assert_eq!(s.as_slice(), &[region(0, 9), region(5, 6)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[(0, 9), (2, 3), (5, 6)]);
+        let b = set(&[(2, 3), (7, 8)]);
+        assert_eq!(a.union(&b), set(&[(0, 9), (2, 3), (5, 6), (7, 8)]));
+        assert_eq!(a.intersect(&b), set(&[(2, 3)]));
+        assert_eq!(a.difference(&b), set(&[(0, 9), (5, 6)]));
+        assert_eq!(b.difference(&a), set(&[(7, 8)]));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = set(&[(1, 2), (4, 8)]);
+        assert_eq!(a.union(&RegionSet::new()), a);
+        assert_eq!(RegionSet::new().union(&a), a);
+        assert!(a.intersect(&RegionSet::new()).is_empty());
+        assert_eq!(a.difference(&RegionSet::new()), a);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegionSet::new();
+        assert!(s.insert(region(3, 7)));
+        assert!(!s.insert(region(3, 7)), "duplicate insert is a no-op");
+        assert!(s.insert(region(0, 9)));
+        assert_eq!(s.as_slice(), &[region(0, 9), region(3, 7)]);
+        assert!(s.contains(region(3, 7)));
+        assert!(s.remove(region(3, 7)));
+        assert!(!s.remove(region(3, 7)));
+        assert!(!s.contains(region(3, 7)));
+    }
+
+    #[test]
+    fn extrema() {
+        let s = set(&[(0, 9), (2, 3), (5, 12)]);
+        assert_eq!(s.max_left(), Some(5));
+        assert_eq!(s.min_right(), Some(3));
+        assert_eq!(RegionSet::new().max_left(), None);
+        assert_eq!(RegionSet::new().min_right(), None);
+    }
+
+    #[test]
+    fn subset() {
+        let a = set(&[(0, 9), (2, 3)]);
+        let b = set(&[(0, 9), (2, 3), (5, 6)]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(RegionSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn bounds() {
+        let s = set(&[(0, 9), (2, 8), (2, 3), (5, 6)]);
+        assert_eq!(s.lower_bound_left(2), 1);
+        assert_eq!(s.upper_bound_left(2), 3);
+        assert_eq!(s.lower_bound_left(10), 4);
+        assert_eq!(s.upper_bound_left(0), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The word index abstraction (Definition 2.1).
+//!
+//! The paper deliberately abstracts over the pattern language: a word index
+//! is a binary predicate `W(r, p)` that holds iff the text stored in region
+//! `r` contains the pattern `p`. We mirror that with the [`WordIndex`]
+//! trait. Two implementations ship with the workspace:
+//!
+//! * [`MatchPointIndex`] (here): an explicit table of match points per
+//!   pattern, convenient for tests, generators, and the FMFT model
+//!   correspondence (where pattern truth is just another monadic predicate).
+//! * `tr_text::SuffixWordIndex`: a suffix-array-backed index over real text,
+//!   the PAT-engine substitute.
+
+use crate::region::{Pos, Region};
+use crate::set::RegionSet;
+use std::collections::BTreeMap;
+
+/// A word index: decides whether the text of a region contains a pattern.
+pub trait WordIndex {
+    /// `W(r, p)`: true iff region `r`'s text contains pattern `p`.
+    fn matches(&self, r: Region, pattern: &str) -> bool;
+
+    /// The occurrences of `pattern` as regions — PAT's *match point sets*,
+    /// the second set type of the original algebra (Section 2.1). Indexes
+    /// that only answer the boolean `W(r, p)` (like
+    /// [`crate::ExplicitWordIndex`]) keep the default empty answer;
+    /// positional indexes ([`MatchPointIndex`], the suffix-array index in
+    /// `tr-text`) override it.
+    fn occurrence_regions(&self, _pattern: &str) -> RegionSet {
+        RegionSet::new()
+    }
+}
+
+/// The trivial word index under which no pattern ever matches. Useful for
+/// purely structural instances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyWordIndex;
+
+impl WordIndex for EmptyWordIndex {
+    fn matches(&self, _r: Region, _pattern: &str) -> bool {
+        false
+    }
+}
+
+/// A word index backed by an explicit table of *match points*: for each
+/// pattern, the sorted list of `(position, length)` pairs at which it occurs
+/// in the text. `W(r, p)` holds iff some occurrence of `p` lies entirely
+/// inside `r`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchPointIndex {
+    /// pattern → sorted (start, length) occurrences.
+    occurrences: BTreeMap<String, Vec<(Pos, Pos)>>,
+}
+
+impl MatchPointIndex {
+    /// An index with no occurrences.
+    pub fn new() -> MatchPointIndex {
+        MatchPointIndex::default()
+    }
+
+    /// Records an occurrence of `pattern` covering `len` positions starting
+    /// at `start`. `len` must be at least 1.
+    pub fn add_occurrence(&mut self, pattern: &str, start: Pos, len: Pos) {
+        assert!(len >= 1, "occurrences cover at least one position");
+        let v = self.occurrences.entry(pattern.to_owned()).or_default();
+        match v.binary_search(&(start, len)) {
+            Ok(_) => {}
+            Err(i) => v.insert(i, (start, len)),
+        }
+    }
+
+    /// Records a length-1 occurrence (a "match point" in PAT terminology).
+    pub fn add_point(&mut self, pattern: &str, at: Pos) {
+        self.add_occurrence(pattern, at, 1);
+    }
+
+    /// The sorted occurrences of `pattern`, if any.
+    pub fn occurrences(&self, pattern: &str) -> &[(Pos, Pos)] {
+        self.occurrences.get(pattern).map_or(&[], Vec::as_slice)
+    }
+
+    /// Patterns known to this index, in sorted order.
+    pub fn patterns(&self) -> impl Iterator<Item = &str> {
+        self.occurrences.keys().map(String::as_str)
+    }
+}
+
+/// A word index given by an explicit truth table over `(region, pattern)`
+/// pairs. Unlisted pairs are false.
+///
+/// Definition 2.1 allows `W` to be an *arbitrary* boolean mapping — in
+/// particular it need not be monotone in the region (a pattern can hold on
+/// a child region but not its parent, e.g. under exact-word or proximity
+/// semantics). [`MatchPointIndex`] and the suffix-array index are always
+/// monotone, so this type is what realizes arbitrary FMFT models as
+/// instances (Definition 3.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplicitWordIndex {
+    truths: std::collections::BTreeSet<(Region, String)>,
+}
+
+impl ExplicitWordIndex {
+    /// An index where every `W(r, p)` is false.
+    pub fn new() -> ExplicitWordIndex {
+        ExplicitWordIndex::default()
+    }
+
+    /// Declares `W(r, pattern)` true.
+    pub fn set(&mut self, r: Region, pattern: &str) {
+        self.truths.insert((r, pattern.to_owned()));
+    }
+
+    /// Number of true entries.
+    pub fn len(&self) -> usize {
+        self.truths.len()
+    }
+
+    /// True if no entry is set.
+    pub fn is_empty(&self) -> bool {
+        self.truths.is_empty()
+    }
+}
+
+impl WordIndex for ExplicitWordIndex {
+    fn matches(&self, r: Region, pattern: &str) -> bool {
+        self.truths
+            .range((r, String::new())..)
+            .take_while(|(rr, _)| *rr == r)
+            .any(|(_, pp)| pp == pattern)
+    }
+}
+
+impl WordIndex for MatchPointIndex {
+    fn occurrence_regions(&self, pattern: &str) -> RegionSet {
+        self.occurrences(pattern)
+            .iter()
+            .map(|&(start, len)| Region::new(start, start + len - 1))
+            .collect()
+    }
+
+    fn matches(&self, r: Region, pattern: &str) -> bool {
+        let Some(occ) = self.occurrences.get(pattern) else {
+            return false;
+        };
+        // Occurrences are sorted by start; find the first with start >=
+        // left(r) and check whether it fits inside r. Any occurrence fully
+        // inside r must start at or after left(r); scanning forward from the
+        // lower bound, the first candidates have the smallest ends.
+        let from = occ.partition_point(|&(s, _)| s < r.left());
+        occ[from..]
+            .iter()
+            .take_while(|&&(s, _)| s <= r.right())
+            .any(|&(s, l)| s + l - 1 <= r.right())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    #[test]
+    fn explicit_index_is_exact_and_non_monotone() {
+        let mut w = ExplicitWordIndex::new();
+        w.set(region(2, 5), "x");
+        assert!(w.matches(region(2, 5), "x"));
+        assert!(!w.matches(region(0, 9), "x"), "no upward closure");
+        assert!(!w.matches(region(2, 5), "y"));
+        assert!(!w.matches(region(2, 4), "x"));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn empty_index_never_matches() {
+        assert!(!EmptyWordIndex.matches(region(0, 100), "x"));
+    }
+
+    #[test]
+    fn match_requires_full_containment() {
+        let mut w = MatchPointIndex::new();
+        w.add_occurrence("var", 10, 3); // covers 10..=12
+        assert!(w.matches(region(0, 20), "var"));
+        assert!(w.matches(region(10, 12), "var"), "exact fit");
+        assert!(!w.matches(region(0, 11), "var"), "occurrence truncated on the right");
+        assert!(!w.matches(region(11, 20), "var"), "occurrence truncated on the left");
+        assert!(!w.matches(region(0, 20), "other"));
+    }
+
+    #[test]
+    fn multiple_occurrences() {
+        let mut w = MatchPointIndex::new();
+        w.add_point("x", 5);
+        w.add_point("x", 50);
+        assert!(w.matches(region(0, 10), "x"));
+        assert!(w.matches(region(40, 60), "x"));
+        assert!(!w.matches(region(10, 40), "x"));
+    }
+
+    #[test]
+    fn occurrence_regions_are_match_point_sets() {
+        let mut w = MatchPointIndex::new();
+        w.add_occurrence("var", 10, 3);
+        w.add_point("var", 20);
+        assert_eq!(
+            w.occurrence_regions("var").as_slice(),
+            &[region(10, 12), region(20, 20)]
+        );
+        assert!(w.occurrence_regions("other").is_empty());
+        assert!(EmptyWordIndex.occurrence_regions("var").is_empty());
+        let mut e = ExplicitWordIndex::new();
+        e.set(region(0, 5), "var");
+        assert!(e.occurrence_regions("var").is_empty(), "boolean-only index");
+    }
+
+    #[test]
+    fn duplicate_occurrence_is_deduped() {
+        let mut w = MatchPointIndex::new();
+        w.add_point("x", 5);
+        w.add_point("x", 5);
+        assert_eq!(w.occurrences("x"), &[(5, 1)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The bounded-case expressibility results: Proposition 5.2 (direct
+//! inclusion is expressible when nesting depth is bounded — e.g. under an
+//! acyclic RIG) and Proposition 5.4 (both-included is expressible when the
+//! number of non-overlapping regions is bounded).
+//!
+//! Both constructions produce genuine region algebra [`Expr`]s, so the
+//! claims are checked by evaluating the generated expressions with the
+//! ordinary engine against the native operators of [`crate::direct`].
+
+use tr_core::{BinOp, Expr, Schema};
+
+/// `R_1 ∪ … ∪ R_n` over a schema.
+pub fn all_names_expr(schema: &Schema) -> Expr {
+    let mut ids = schema.ids();
+    let first = Expr::name(ids.next().expect("non-empty schema"));
+    ids.fold(first, |acc, id| acc.union(Expr::name(id)))
+}
+
+/// Proposition 5.2: an algebra expression computing `Q ⊃_d R` on every
+/// instance whose `Q`-nesting depth is at most `depth`.
+///
+/// Layer decomposition: `layer_1(Q) = Q − (Q ⊂ Q)` is the non-nested top
+/// layer, for which the paper's identity applies:
+/// `Q ⊃_d R = Q ⊃ (R − (R ⊂ All ⊂ Q))`. Deeper layers are peeled off with
+/// `rest = Q ⊂ Q` and handled identically; the result is the union over
+/// layers. Expression size grows linearly in `depth` per layer but the
+/// `rest` sub-expression doubles, so total size is O(4^depth) — fine for
+/// the small depths an acyclic RIG guarantees (its longest path bounds the
+/// depth, Section 5.1).
+pub fn direct_including_expr(q: &Expr, r: &Expr, schema: &Schema, depth: usize) -> Expr {
+    assert!(depth >= 1);
+    let all = all_names_expr(schema);
+    let mut layers = Vec::with_capacity(depth);
+    let mut rest = q.clone();
+    for _ in 0..depth {
+        // layer = rest − (rest ⊂ rest); next rest = rest ⊂ rest.
+        let nested = rest.clone().included_in(rest.clone());
+        layers.push(rest.clone().diff(nested.clone()));
+        rest = nested;
+    }
+    let mut out: Option<Expr> = None;
+    for layer in layers {
+        // layer ⊃ (R − (R ⊂ (All ⊂ layer)))
+        let blockers = all.clone().included_in(layer.clone());
+        let eligible = r.clone().diff(r.clone().included_in(blockers));
+        let term = layer.including(eligible);
+        out = Some(match out {
+            None => term,
+            Some(acc) => acc.union(term),
+        });
+    }
+    out.expect("depth >= 1")
+}
+
+/// Proposition 5.2, `⊂_d` direction: `Q ⊂_d R` for instances whose
+/// `R`-nesting depth is at most `depth`.
+pub fn direct_included_expr(q: &Expr, r: &Expr, schema: &Schema, depth: usize) -> Expr {
+    assert!(depth >= 1);
+    let all = all_names_expr(schema);
+    let mut layers = Vec::with_capacity(depth);
+    let mut rest = r.clone();
+    for _ in 0..depth {
+        let nested = rest.clone().included_in(rest.clone());
+        layers.push(rest.clone().diff(nested.clone()));
+        rest = nested;
+    }
+    let mut out: Option<Expr> = None;
+    for layer in layers {
+        let blockers = all.clone().included_in(layer.clone());
+        let eligible = q.clone().diff(q.clone().included_in(blockers));
+        let term = eligible.included_in(layer);
+        out = Some(match out {
+            None => term,
+            Some(acc) => acc.union(term),
+        });
+    }
+    out.expect("depth >= 1")
+}
+
+/// Proposition 5.4: an algebra expression computing `R BI (S, T)` on every
+/// instance where (a) the number of pairwise non-overlapping regions is at
+/// most `width`, and (b) the regions of `S ∪ T` are pairwise non-nested
+/// (as in the Figure 3 family, where `S`/`T` are leaf annotations).
+///
+/// Rank decomposition over `U = S ∪ T`: `rank≥1 = U`,
+/// `rank≥(i+1) = U ∩ (U > rank≥i)` (the length of the longest
+/// `<`-chain of `U`-regions ending at `x`). Under (a) ranks stop at
+/// `width`; under (b) distinct `U`-regions are disjoint, so `s < t` iff
+/// `rank(s) < rank(t)`. Both-included then becomes the union over rank
+/// pairs `i < j` of `(R ⊃ S@i) ∩ (R ⊃ T@j)`… except that intersecting the
+/// two `⊃` tests loses the "same witnesses" requirement in general — but
+/// **not here**: ranks are global, so if `r ⊃ s` with `rank(s) = i` and
+/// `r ⊃ t` with `rank(t) = j > i`, then `s ≠ t`, both are in `U`, both
+/// disjoint (b), and `t < s` would force `rank(s) > rank(t)` — hence
+/// `s < t` inside `r`.
+pub fn both_included_expr(r: &Expr, s: &Expr, t: &Expr, width: usize) -> Expr {
+    assert!(width >= 2, "a pair needs width at least 2");
+    let u = s.clone().union(t.clone());
+    // rank_ge[i] (0-based: rank ≥ i+1).
+    let mut rank_ge = Vec::with_capacity(width);
+    rank_ge.push(u.clone());
+    for i in 1..width {
+        let prev = rank_ge[i - 1].clone();
+        rank_ge.push(u.clone().intersect(Expr::bin(BinOp::After, u.clone(), prev)));
+    }
+    // exact rank i (1-based) = rank_ge[i-1] − rank_ge[i] (or rank_ge[w-1] for i = w).
+    let exact = |i: usize| -> Expr {
+        if i < width {
+            rank_ge[i - 1].clone().diff(rank_ge[i].clone())
+        } else {
+            rank_ge[width - 1].clone()
+        }
+    };
+    let mut out: Option<Expr> = None;
+    for i in 1..width {
+        for j in (i + 1)..=width {
+            let term = r
+                .clone()
+                .including(s.clone().intersect(exact(i)))
+                .intersect(r.clone().including(t.clone().intersect(exact(j))));
+            out = Some(match out {
+                None => term,
+                Some(acc) => acc.union(term),
+            });
+        }
+    }
+    out.expect("width >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use rand::prelude::*;
+    use tr_core::{eval, region, Instance, InstanceBuilder, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    fn random_instance(rng: &mut StdRng, max_regions: usize) -> Instance {
+        let names = ["A", "B", "C"];
+        loop {
+            let mut b = InstanceBuilder::new(schema());
+            let mut spans = vec![(0u32, 127u32)];
+            for _ in 0..rng.gen_range(1..max_regions) {
+                let (l, r) = spans[rng.gen_range(0..spans.len())];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = rng.gen_range(l + 1..r);
+                let nr = rng.gen_range(nl..r);
+                b = b.add(names[rng.gen_range(0..3)], region(nl, nr));
+                spans.push((nl, nr));
+            }
+            if let Ok(inst) = b.build() {
+                return inst;
+            }
+        }
+    }
+
+    #[test]
+    fn direct_including_expr_matches_native_within_depth() {
+        let s = schema();
+        let q = Expr::name(s.expect_id("A"));
+        let r = Expr::name(s.expect_id("B"));
+        let mut rng = StdRng::seed_from_u64(53);
+        let e = direct_including_expr(&q, &r, &s, 8);
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng, 14);
+            assert!(inst.nesting_depth() <= 8, "generator stays within depth");
+            let expected = direct::directly_including(
+                &inst,
+                inst.regions_of_name("A"),
+                inst.regions_of_name("B"),
+            );
+            assert_eq!(eval(&e, &inst), expected, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn direct_included_expr_matches_native_within_depth() {
+        let s = schema();
+        let q = Expr::name(s.expect_id("B"));
+        let r = Expr::name(s.expect_id("A"));
+        let mut rng = StdRng::seed_from_u64(59);
+        let e = direct_included_expr(&q, &r, &s, 8);
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng, 14);
+            let expected = direct::directly_included(
+                &inst,
+                inst.regions_of_name("B"),
+                inst.regions_of_name("A"),
+            );
+            assert_eq!(eval(&e, &inst), expected, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn insufficient_depth_misses_deep_layers() {
+        let s = schema();
+        let q = Expr::name(s.expect_id("A"));
+        let r = Expr::name(s.expect_id("B"));
+        // A ⊃ A ⊃ B: the inner A directly includes B, but a depth-1
+        // expression only sees the top layer.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 20))
+            .add("A", region(2, 18))
+            .add("B", region(5, 6))
+            .build_valid();
+        let shallow = direct_including_expr(&q, &r, &s, 1);
+        let deep = direct_including_expr(&q, &r, &s, 2);
+        assert!(eval(&shallow, &inst).is_empty());
+        assert_eq!(eval(&deep, &inst).as_slice(), &[region(2, 18)]);
+    }
+
+    /// Proposition 5.4 on the Figure-3 shape: Cs containing As and Bs as
+    /// leaves.
+    #[test]
+    fn both_included_expr_matches_native_on_flat_families() {
+        let s = schema();
+        let r = Expr::name(s.expect_id("C"));
+        let se = Expr::name(s.expect_id("A"));
+        let te = Expr::name(s.expect_id("B"));
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..30 {
+            // A row of C regions, each with a random flat mix of A/B leaves.
+            let mut b = InstanceBuilder::new(schema());
+            let mut pos = 0u32;
+            let mut leaves = 0usize;
+            for _ in 0..rng.gen_range(1..5) {
+                let n_leaves = rng.gen_range(0..4);
+                let c = region(pos, pos + 2 + 3 * n_leaves);
+                b = b.add("C", c);
+                for k in 0..n_leaves {
+                    let l = pos + 1 + 3 * k;
+                    b = b.add(if rng.gen_bool(0.5) { "A" } else { "B" }, region(l, l + 1));
+                    leaves += 1;
+                }
+                pos = c.right() + 2;
+            }
+            let inst = b.build_valid();
+            let width = leaves.max(2);
+            let e = both_included_expr(&r, &se, &te, width);
+            let expected = direct::both_included(
+                inst.regions_of_name("C"),
+                inst.regions_of_name("A"),
+                inst.regions_of_name("B"),
+            );
+            assert_eq!(eval(&e, &inst), expected, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn both_included_expr_solves_figure_3() {
+        let (inst, h) = tr_markup::figure_3_instance(1);
+        let s = inst.schema().clone();
+        let width = inst.regions_of_name("A").len() + inst.regions_of_name("B").len();
+        let e = both_included_expr(
+            &Expr::name(s.expect_id("C")),
+            &Expr::name(s.expect_id("B")),
+            &Expr::name(s.expect_id("A")),
+            width,
+        );
+        assert_eq!(eval(&e, &inst).as_slice(), &[h.middle_c]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The deletion theorem (Theorem 4.1) — executable version.
+//!
+//! The theorem: for every expression `e` and instance `I` there is a set
+//! `S` of regions, with nesting at most `2·|e|`, such that deleting *any*
+//! regions outside `S` changes neither `e`'s emptiness nor the membership
+//! of surviving regions. The paper's proof "constructively builds the
+//! desired S" by induction; [`deletion_core`] is that construction:
+//!
+//! * a region name keeps one witness (for emptiness);
+//! * a structural semi-join keeps, for every selected region, one witness
+//!   on the other side — membership of survivors then only depends on
+//!   surviving witnesses, which induction protects;
+//! * set operators and selections need nothing beyond their operands'
+//!   cores.
+//!
+//! [`check_deletion_invariance`] verifies the theorem's two statements on
+//! randomly chosen `S`-deleted versions — it is the engine behind
+//! experiment E5 and the Figure 2 inexpressibility experiment (E6), whose
+//! argument is exactly "any bounded-nesting `S` must miss a deep level".
+
+use rand::Rng;
+use tr_core::{eval, BinOp, Expr, Instance, Region, RegionSet, WordIndex};
+
+/// A set `S` with the Theorem 4.1 property for `e` on `inst`, built by the
+/// proof's induction.
+pub fn deletion_core<W: WordIndex>(e: &Expr, inst: &Instance<W>) -> RegionSet {
+    let mut core = RegionSet::new();
+    build(e, inst, &mut core);
+    core
+}
+
+fn build<W: WordIndex>(e: &Expr, inst: &Instance<W>, core: &mut RegionSet) -> RegionSet {
+    match e {
+        Expr::Name(id) => {
+            let value = inst.regions_of(*id).clone();
+            if let Some(first) = value.iter().next() {
+                core.insert(first);
+            }
+            value
+        }
+        Expr::Select(p, inner) => {
+            let value = inst.select(&build(inner, inst, core), p);
+            if let Some(first) = value.iter().next() {
+                core.insert(first);
+            }
+            value
+        }
+        Expr::Bin(op, l, r) => {
+            let lv = build(l, inst, core);
+            let rv = build(r, inst, core);
+            // Every node keeps one representative of its own result: part
+            // (1) of the theorem (emptiness) needs a surviving member, and
+            // part (2) (membership invariance, by induction) then keeps it
+            // a member. Crucial for difference, whose members are exactly
+            // the regions *not* protected as anyone's witness.
+            let keep_representative = |out: RegionSet, core: &mut RegionSet| {
+                if let Some(first) = out.iter().next() {
+                    core.insert(first);
+                }
+                out
+            };
+            match op {
+                BinOp::Union => keep_representative(lv.union(&rv), core),
+                BinOp::Intersect => keep_representative(lv.intersect(&rv), core),
+                BinOp::Diff => keep_representative(lv.difference(&rv), core),
+                BinOp::Including | BinOp::IncludedIn | BinOp::Before | BinOp::After => {
+                    let test: fn(Region, Region) -> bool = match op {
+                        BinOp::Including => |x, y| x.includes(y),
+                        BinOp::IncludedIn => |x, y| x.included_in(y),
+                        BinOp::Before => |x, y| x.precedes(y),
+                        _ => |x, y| x.follows(y),
+                    };
+                    let out = lv.filter(|x| rv.iter().any(|y| test(x, y)));
+                    // Keep one witness per selected region so membership
+                    // survives arbitrary deletions outside the core.
+                    for x in out.iter() {
+                        if let Some(w) = rv.iter().find(|&y| test(x, y)) {
+                            core.insert(w);
+                            core.insert(x);
+                        }
+                    }
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Checks Theorem 4.1's two statements for `trials` random `S`-deleted
+/// versions of `inst` (each deletes a random subset of the regions outside
+/// `keep`). Returns the number of trials that agreed (must equal `trials`).
+pub fn check_deletion_invariance<R: Rng>(
+    e: &Expr,
+    inst: &Instance,
+    keep: &RegionSet,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    let base = eval(e, inst);
+    let deletable: Vec<Region> = inst
+        .all_regions()
+        .iter()
+        .filter(|r| !keep.contains(*r))
+        .collect();
+    let mut ok = 0;
+    for _ in 0..trials {
+        let doomed: RegionSet = deletable
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.5))
+            .collect();
+        let smaller = inst.without_regions(&doomed);
+        let result = eval(e, &smaller);
+        // (1) emptiness preserved; (2) membership preserved for survivors.
+        let emptiness_ok = base.is_empty() == result.is_empty();
+        let membership_ok = smaller
+            .all_regions()
+            .iter()
+            .all(|r| base.contains(r) == result.contains(r));
+        if emptiness_ok && membership_ok {
+            ok += 1;
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use tr_core::{region, Expr, InstanceBuilder, NameId, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn random_instance(rng: &mut StdRng) -> Instance {
+        let names = ["A", "B"];
+        loop {
+            let mut b = InstanceBuilder::new(schema());
+            let mut spans = vec![(0u32, 63u32)];
+            for _ in 0..rng.gen_range(2..12) {
+                let (l, r) = spans[rng.gen_range(0..spans.len())];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = rng.gen_range(l + 1..r);
+                let nr = rng.gen_range(nl..r);
+                b = b.add(names[rng.gen_range(0..2)], region(nl, nr));
+                spans.push((nl, nr));
+                if rng.gen_bool(0.3) {
+                    b = b.occurrence("x", nl, 1);
+                }
+            }
+            if let Ok(inst) = b.build() {
+                return inst;
+            }
+        }
+    }
+
+    fn random_expr(rng: &mut StdRng, ops: usize) -> Expr {
+        if ops == 0 {
+            return Expr::name(NameId::from_index(rng.gen_range(0..2)));
+        }
+        if rng.gen_bool(0.15) {
+            return random_expr(rng, ops - 1).select("x");
+        }
+        let split = rng.gen_range(0..ops);
+        let l = random_expr(rng, split);
+        let r = random_expr(rng, ops - 1 - split);
+        Expr::bin(BinOp::ALL[rng.gen_range(0..7)], l, r)
+    }
+
+    /// Theorem 4.1, empirically: the constructed core makes every random
+    /// S-deleted version agree with the original.
+    #[test]
+    fn deletion_core_protects_query_results() {
+        let mut rng = StdRng::seed_from_u64(67);
+        for trial in 0..60 {
+            let inst = random_instance(&mut rng);
+            let ops = rng.gen_range(1..5);
+            let e = random_expr(&mut rng, ops);
+            let core = deletion_core(&e, &inst);
+            let ok = check_deletion_invariance(&e, &inst, &core, 12, &mut rng);
+            assert_eq!(ok, 12, "trial {trial}: expr {e} on {inst:?}, core {core:?}");
+        }
+    }
+
+    /// Without protecting the core, deletions generally do change results —
+    /// the check is not vacuous.
+    #[test]
+    fn unprotected_deletion_breaks_results() {
+        let s = schema();
+        let inst = InstanceBuilder::new(s.clone())
+            .add("A", region(0, 9))
+            .add("B", region(1, 2))
+            .build_valid();
+        let e = Expr::name(s.expect_id("A")).including(Expr::name(s.expect_id("B")));
+        // Deleting the only B flips A's membership.
+        let doomed = RegionSet::singleton(region(1, 2));
+        let smaller = inst.without_regions(&doomed);
+        assert!(!eval(&e, &inst).is_empty());
+        assert!(eval(&e, &smaller).is_empty());
+        // And the core indeed contains that B.
+        assert!(deletion_core(&e, &inst).contains(region(1, 2)));
+    }
+
+    #[test]
+    fn core_is_small_for_names() {
+        let s = schema();
+        let inst = InstanceBuilder::new(s.clone())
+            .add("A", region(0, 1))
+            .add("A", region(3, 4))
+            .add("A", region(6, 7))
+            .build_valid();
+        let core = deletion_core(&Expr::name(s.expect_id("A")), &inst);
+        assert_eq!(core.len(), 1, "one witness suffices for emptiness");
+    }
+}

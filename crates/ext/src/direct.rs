@@ -1,0 +1,287 @@
+//! The extended operators of Section 5, evaluated natively (outside the
+//! algebra — Theorems 5.1/5.3 prove the algebra itself cannot express
+//! them):
+//!
+//! * `R ⊃_d S` / `R ⊂_d S` — *direct* inclusion: no other region of the
+//!   instance lies in between;
+//! * `R BI (S, T)` — *both-included*: regions of `R` containing an `S`
+//!   region that precedes a `T` region, with both inside the same `R`
+//!   region (the classic "document-scoped" retrieval request).
+
+use tr_core::{Instance, Pos, Region, RegionSet};
+
+/// `R ⊃_d S = {r ∈ R : ∃s ∈ S, r ⊃ s ∧ ¬∃t ∈ I, r ⊃ t ∧ t ⊃ s}`.
+///
+/// Direct inclusion is relative to *all* regions of the instance `I`, so
+/// the instance is a parameter. O(|I|) via the forest view: `r` directly
+/// includes `s` iff `r` is `s`'s forest parent.
+pub fn directly_including<W>(inst: &Instance<W>, r: &RegionSet, s: &RegionSet) -> RegionSet {
+    let forest = inst.forest();
+    let mut out = Vec::new();
+    for sr in s.iter() {
+        if let Some(si) = forest.index_of(sr) {
+            if let Some(pi) = forest.parent(si) {
+                let (parent, _) = forest.node(pi);
+                if r.contains(parent) {
+                    out.push(parent);
+                }
+            }
+        }
+    }
+    RegionSet::from_regions(out)
+}
+
+/// `R ⊂_d S = {r ∈ R : ∃s ∈ S, s ⊃ r ∧ ¬∃t ∈ I, s ⊃ t ∧ t ⊃ r}`.
+pub fn directly_included<W>(inst: &Instance<W>, r: &RegionSet, s: &RegionSet) -> RegionSet {
+    let forest = inst.forest();
+    r.filter(|x| {
+        forest
+            .index_of(x)
+            .and_then(|i| forest.parent(i))
+            .is_some_and(|pi| s.contains(forest.node(pi).0))
+    })
+}
+
+/// `R BI (S, T) = {r ∈ R : ∃s ∈ S, ∃t ∈ T, r ⊃ s ∧ r ⊃ t ∧ s < t}`
+/// (Section 5.2).
+///
+/// For each `r`, the `S` regions strictly inside `r` form a contiguous
+/// slice of `S`'s sorted order (hierarchical instances have no partial
+/// overlap), so the test reduces to "min right endpoint of `S`-inside-`r`
+/// < max left endpoint of `T`-inside-`r`", answered with prefix/suffix
+/// extrema — O((|R| + |S| + |T|) log) overall.
+pub fn both_included(r: &RegionSet, s: &RegionSet, t: &RegionSet) -> RegionSet {
+    if r.is_empty() || s.is_empty() || t.is_empty() {
+        return RegionSet::new();
+    }
+    let s_min_right = PrefixMinRight::new(s);
+    let t_max_left: Vec<Pos> = t.iter().map(|x| x.left()).collect();
+    r.filter(|x| {
+        let Some(min_right) = inside_range(s, x).and_then(|(lo, hi)| s_min_right.min(lo, hi))
+        else {
+            return false;
+        };
+        // Any T inside x with left > min_right gives a pair s < t. T inside
+        // x forms the contiguous range too; its max left is at the end.
+        match inside_range(t, x) {
+            // The last in-range T region has the largest left endpoint;
+            // a pair s < t exists iff it starts after the earliest S end.
+            Some((_, hi)) => t_max_left[hi - 1] > min_right,
+            None => false,
+        }
+    })
+}
+
+/// The contiguous index range of regions of `set` strictly inside `x`
+/// (relies on hierarchy: any region starting inside `x` is nested in it,
+/// modulo the shared-left-endpoint case, which is handled by skipping
+/// non-included heads).
+fn inside_range(set: &RegionSet, x: Region) -> Option<(usize, usize)> {
+    let mut lo = set.lower_bound_left(x.left());
+    let hi = set.upper_bound_left(x.right());
+    let sv = set.as_slice();
+    // Regions with left == left(x) are inside x only if strictly shorter;
+    // they are sorted right-descending, so skip the oversized head.
+    while lo < hi && !x.includes(sv[lo]) {
+        lo += 1;
+    }
+    (lo < hi).then_some((lo, hi))
+}
+
+/// Prefix-min over right endpoints restricted to arbitrary subranges —
+/// a sparse table like `tr_core::ops::MinRightRmq`, rebuilt here to avoid
+/// exposing core internals.
+struct PrefixMinRight {
+    table: Vec<Vec<Pos>>,
+}
+
+impl PrefixMinRight {
+    fn new(s: &RegionSet) -> PrefixMinRight {
+        let base: Vec<Pos> = s.iter().map(|r| r.right()).collect();
+        let n = base.len();
+        let mut table = vec![base];
+        let mut k = 1;
+        while (1 << k) <= n {
+            let half = 1 << (k - 1);
+            let prev = &table[k - 1];
+            table.push((0..=n - (1 << k)).map(|i| prev[i].min(prev[i + half])).collect());
+            k += 1;
+        }
+        PrefixMinRight { table }
+    }
+
+    fn min(&self, lo: usize, hi: usize) -> Option<Pos> {
+        if lo >= hi {
+            return None;
+        }
+        let k = usize::BITS as usize - 1 - (hi - lo).leading_zeros() as usize;
+        Some(self.table[k][lo].min(self.table[k][hi - (1 << k)]))
+    }
+}
+
+/// Literal-transcription reference implementations, used as oracles.
+pub mod naive {
+    use super::*;
+
+    /// `R ⊃_d S` by the set-builder definition.
+    pub fn directly_including<W>(
+        inst: &Instance<W>,
+        r: &RegionSet,
+        s: &RegionSet,
+    ) -> RegionSet {
+        let all = inst.all_regions();
+        r.filter(|x| {
+            s.iter().any(|y| {
+                x.includes(y) && !all.iter().any(|t| x.includes(t) && t.includes(y))
+            })
+        })
+    }
+
+    /// `R ⊂_d S` by the set-builder definition.
+    pub fn directly_included<W>(
+        inst: &Instance<W>,
+        r: &RegionSet,
+        s: &RegionSet,
+    ) -> RegionSet {
+        let all = inst.all_regions();
+        r.filter(|x| {
+            s.iter().any(|y| {
+                y.includes(x) && !all.iter().any(|t| y.includes(t) && t.includes(x))
+            })
+        })
+    }
+
+    /// `R BI (S, T)` by the set-builder definition.
+    pub fn both_included(r: &RegionSet, s: &RegionSet, t: &RegionSet) -> RegionSet {
+        r.filter(|x| {
+            s.iter().any(|y| {
+                x.includes(y) && t.iter().any(|z| x.includes(z) && y.precedes(z))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{region, InstanceBuilder, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    /// Nested procedures scenario from Section 5.1: a Proc-like A contains
+    /// another A; the inner one directly contains the B.
+    #[test]
+    fn direct_inclusion_skips_ancestors() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 20))
+            .add("A", region(2, 18))
+            .add("B", region(5, 6))
+            .build_valid();
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        assert_eq!(directly_including(&inst, a, b).as_slice(), &[region(2, 18)]);
+        assert_eq!(directly_included(&inst, b, a).as_slice(), &[region(5, 6)]);
+        // The outer A includes B but not directly.
+        assert_eq!(tr_core::ops::includes(a, b).len(), 2);
+    }
+
+    #[test]
+    fn direct_inclusion_respects_interleaved_names() {
+        // A ⊃ C ⊃ B: C breaks the directness.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 10))
+            .add("C", region(1, 9))
+            .add("B", region(2, 3))
+            .build_valid();
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        assert!(directly_including(&inst, a, b).is_empty());
+        assert!(directly_included(&inst, b, a).is_empty());
+        let c = inst.regions_of_name("C");
+        assert_eq!(directly_including(&inst, c, b).as_slice(), &[region(1, 9)]);
+    }
+
+    #[test]
+    fn both_included_scopes_the_pair() {
+        // C1 [ B A ]  C2 [ A B ] — only C2 has A before B.
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 9))
+            .add("B", region(1, 2))
+            .add("A", region(4, 5))
+            .add("C", region(20, 29))
+            .add("A", region(21, 22))
+            .add("B", region(24, 25))
+            .build_valid();
+        let c = inst.regions_of_name("C");
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        assert_eq!(both_included(c, a, b).as_slice(), &[region(20, 29)]);
+        assert_eq!(both_included(c, b, a).as_slice(), &[region(0, 9)]);
+    }
+
+    #[test]
+    fn both_included_requires_distinct_disjoint_pair() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 9))
+            .add("A", region(1, 5))
+            .add("B", region(2, 3))
+            .build_valid();
+        // B is inside A: no A < B pair inside C.
+        let c = inst.regions_of_name("C");
+        assert!(both_included(c, inst.regions_of_name("A"), inst.regions_of_name("B")).is_empty());
+    }
+
+    #[test]
+    fn fast_matches_naive_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            // Random hierarchical instance via interval splitting.
+            let mut b = InstanceBuilder::new(schema());
+            let names = ["A", "B", "C"];
+            let mut spans = vec![(0u32, 63u32)];
+            for _ in 0..rng.gen_range(1..12) {
+                let (l, r) = spans[rng.gen_range(0..spans.len())];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = rng.gen_range(l + 1..r);
+                let nr = rng.gen_range(nl..r);
+                b = b.add(names[rng.gen_range(0..3)], region(nl, nr));
+                spans.push((nl, nr));
+            }
+            let Ok(inst) = b.build() else { continue };
+            let a = inst.regions_of_name("A").clone();
+            let bb = inst.regions_of_name("B").clone();
+            let c = inst.regions_of_name("C").clone();
+            assert_eq!(
+                directly_including(&inst, &a, &bb),
+                naive::directly_including(&inst, &a, &bb),
+                "⊃_d trial {trial} {inst:?}"
+            );
+            assert_eq!(
+                directly_included(&inst, &bb, &a),
+                naive::directly_included(&inst, &bb, &a),
+                "⊂_d trial {trial} {inst:?}"
+            );
+            assert_eq!(
+                both_included(&c, &a, &bb),
+                naive::both_included(&c, &a, &bb),
+                "BI trial {trial} {inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let inst = InstanceBuilder::new(schema()).add("A", region(0, 5)).build_valid();
+        let a = inst.regions_of_name("A");
+        let empty = RegionSet::new();
+        assert!(directly_including(&inst, a, &empty).is_empty());
+        assert!(directly_included(&inst, &empty, a).is_empty());
+        assert!(both_included(a, &empty, a).is_empty());
+        assert!(both_included(&empty, a, a).is_empty());
+    }
+}

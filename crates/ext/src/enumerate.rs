@@ -1,0 +1,256 @@
+//! Exhaustive enumeration of region algebra expressions — the engine of
+//! the inexpressibility experiments (E6/E7, Theorems 5.1 and 5.3).
+//!
+//! The theorems say *no* algebra expression computes `⊃_d` or `BI`. For
+//! any concrete size bound that is a finite claim, and this module checks
+//! it by brute force: enumerate every expression with up to `k`
+//! operations and test it against the target semantics on a set of probe
+//! instances.
+//!
+//! Enumeration is restricted to pattern-free expressions, which is
+//! without loss of generality here: the probe families carry no pattern
+//! occurrences, so on them `σ_p(e) ≡ e − e` (both empty), and every
+//! expression with selections is equivalent on the probes to a
+//! no-larger expression without them.
+
+use tr_core::{BinOp, Expr, Instance, NameId, RegionSet, Schema};
+
+/// Calls `f` on every pattern-free expression with exactly `ops`
+/// operations over `schema`'s names. `f` returning `true` stops the
+/// enumeration (and makes this function return `true`).
+pub fn for_each_expr(
+    schema: &Schema,
+    ops: usize,
+    f: &mut dyn FnMut(&Expr) -> bool,
+) -> bool {
+    let names: Vec<NameId> = schema.ids().collect();
+    let mut e = Enumerator { names: &names, f };
+    e.go(ops, &mut |s, expr| (s.f)(&expr))
+}
+
+/// The number of pattern-free expressions with exactly `ops` operations
+/// over `n_names` names: `Catalan(ops) · 7^ops · n^(ops+1)` — reported by
+/// experiment E6 so readers can see the search-space growth.
+pub fn count_exprs(n_names: usize, ops: usize) -> u64 {
+    let catalan = {
+        let mut c: u64 = 1;
+        for i in 0..ops as u64 {
+            c = c * 2 * (2 * i + 1) / (i + 2);
+        }
+        c
+    };
+    catalan * 7u64.pow(ops as u32) * (n_names as u64).pow(ops as u32 + 1)
+}
+
+struct Enumerator<'a> {
+    names: &'a [NameId],
+    f: &'a mut dyn FnMut(&Expr) -> bool,
+}
+
+impl Enumerator<'_> {
+    /// Enumerates expressions with exactly `ops` operations, handing each
+    /// to `then` (with `self` threaded through for further nesting).
+    fn go(&mut self, ops: usize, then: &mut dyn FnMut(&mut Self, Expr) -> bool) -> bool {
+        if ops == 0 {
+            for &id in self.names {
+                if then(self, Expr::name(id)) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        for split in 0..ops {
+            let right_ops = ops - 1 - split;
+            let stop = self.go(split, &mut |s, l| {
+                s.go(right_ops, &mut |s2, r| {
+                    for op in BinOp::ALL {
+                        if then(s2, Expr::bin(op, l.clone(), r.clone())) {
+                            return true;
+                        }
+                    }
+                    false
+                })
+            });
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A probe: an instance together with the target operator's answer on it.
+pub struct Probe {
+    /// The probe instance.
+    pub instance: Instance,
+    /// What the (inexpressible) operator returns on it.
+    pub expected: RegionSet,
+}
+
+/// The outcome of an exhaustive refutation sweep at one size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepResult {
+    /// Expression size (operation count) swept.
+    pub ops: usize,
+    /// How many expressions were checked.
+    pub checked: u64,
+    /// How many matched the target on *every* probe (0 proves the bound).
+    pub matching: u64,
+}
+
+/// Checks every expression with exactly `ops` operations against the
+/// probes; an expression "matches" if it reproduces `expected` on all of
+/// them. Theorems 5.1/5.3 predict `matching == 0` for the right probe
+/// families at every size.
+pub fn sweep(schema: &Schema, ops: usize, probes: &[Probe]) -> SweepResult {
+    let mut checked = 0u64;
+    let mut matching = 0u64;
+    for_each_expr(schema, ops, &mut |e| {
+        checked += 1;
+        if probes
+            .iter()
+            .all(|p| tr_core::eval(e, &p.instance) == p.expected)
+        {
+            matching += 1;
+        }
+        false
+    });
+    SweepResult { ops, checked, matching }
+}
+
+/// The probe family refuting `B ⊃_d A` (Theorem 5.1 / Figure 2):
+/// alternating chains of several depths plus their single-deletion
+/// variants — by the deletion theorem any bounded expression must answer
+/// both the same, while `⊃_d` does not.
+pub fn direct_inclusion_probes(depths: &[usize]) -> Vec<Probe> {
+    let schema = tr_markup::figure_2_schema();
+    let b = schema.expect_id("B");
+    let a = schema.expect_id("A");
+    let mut probes = Vec::new();
+    for &d in depths {
+        let inst = tr_markup::figure_2_instance(d);
+        let expected =
+            crate::direct::directly_including(&inst, inst.regions_of(b), inst.regions_of(a));
+        probes.push(Probe { instance: inst.clone(), expected });
+        // Delete one interior A level: the B above it stops directly
+        // including an A.
+        let chain = tr_markup::figure_2_chain(d);
+        for (i, &r) in chain.iter().enumerate() {
+            if i % 2 == 1 && i + 1 < chain.len() {
+                let smaller = inst.without_regions(&RegionSet::singleton(r));
+                let expected = crate::direct::directly_including(
+                    &smaller,
+                    smaller.regions_of(b),
+                    smaller.regions_of(a),
+                );
+                probes.push(Probe { instance: smaller, expected });
+            }
+        }
+    }
+    probes
+}
+
+/// The probe family refuting `C BI (B, A)` (Theorem 5.3 / Figure 3):
+/// the `4k + 1`-sibling instances plus their reduced versions.
+pub fn both_included_probes(ks: &[usize]) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    for &k in ks {
+        let (inst, h) = tr_markup::figure_3_instance(k);
+        let expected = crate::direct::both_included(
+            inst.regions_of_name("C"),
+            inst.regions_of_name("B"),
+            inst.regions_of_name("A"),
+        );
+        let reduced = crate::reduce::reduce(&inst, h.second_a, h.first_a, &[])
+            .expect("the middle As are isomorphic");
+        let reduced_expected = crate::direct::both_included(
+            reduced.regions_of_name("C"),
+            reduced.regions_of_name("B"),
+            reduced.regions_of_name("A"),
+        );
+        probes.push(Probe { instance: inst, expected });
+        probes.push(Probe { instance: reduced, expected: reduced_expected });
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::Schema;
+
+    #[test]
+    fn enumeration_counts_match_formula() {
+        let schema = Schema::new(["A", "B"]);
+        for ops in 0..=2 {
+            let mut n = 0u64;
+            for_each_expr(&schema, ops, &mut |_| {
+                n += 1;
+                false
+            });
+            assert_eq!(n, count_exprs(2, ops), "ops = {ops}");
+        }
+        assert_eq!(count_exprs(2, 0), 2);
+        assert_eq!(count_exprs(2, 1), 28);
+        assert_eq!(count_exprs(2, 2), 784);
+    }
+
+    #[test]
+    fn enumeration_stops_early() {
+        let schema = Schema::new(["A", "B"]);
+        let mut n = 0;
+        let stopped = for_each_expr(&schema, 2, &mut |_| {
+            n += 1;
+            n == 10
+        });
+        assert!(stopped);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free() {
+        let schema = Schema::new(["A", "B"]);
+        let mut seen = std::collections::BTreeSet::new();
+        for_each_expr(&schema, 2, &mut |e| {
+            assert!(seen.insert(e.to_string()), "duplicate {e}");
+            false
+        });
+    }
+
+    /// Theorem 5.1 at size ≤ 2: no expression computes B ⊃_d A on the
+    /// Figure 2 probes. (Larger sizes run in the benchmark harness.)
+    #[test]
+    fn no_small_expression_computes_direct_inclusion() {
+        let probes = direct_inclusion_probes(&[6, 8]);
+        let schema = tr_markup::figure_2_schema();
+        for ops in 0..=2 {
+            let result = sweep(&schema, ops, &probes);
+            assert_eq!(result.matching, 0, "ops = {ops}");
+            assert_eq!(result.checked, count_exprs(2, ops));
+        }
+    }
+
+    /// Theorem 5.3 at size ≤ 2 over the Figure 3 probes.
+    #[test]
+    fn no_small_expression_computes_both_included() {
+        let probes = both_included_probes(&[1]);
+        let schema = tr_markup::figure_3_schema();
+        for ops in 0..=2 {
+            let result = sweep(&schema, ops, &probes);
+            assert_eq!(result.matching, 0, "ops = {ops}");
+        }
+    }
+
+    /// Sanity: the sweep *can* find a match when the target is expressible
+    /// (B ⊃ A itself).
+    #[test]
+    fn sweep_finds_expressible_targets() {
+        let schema = tr_markup::figure_2_schema();
+        let (b, a) = (schema.expect_id("B"), schema.expect_id("A"));
+        let inst = tr_markup::figure_2_instance(6);
+        let expected = tr_core::ops::includes(inst.regions_of(b), inst.regions_of(a));
+        let probes = vec![Probe { instance: inst, expected }];
+        let result = sweep(&schema, 1, &probes);
+        assert!(result.matching >= 1, "B ⊃ A is among the size-1 expressions");
+    }
+}

@@ -1,0 +1,42 @@
+//! # tr-ext — beyond the algebra: direct inclusion and both-included
+//!
+//! Section 5 of the paper proves the region algebra cannot express
+//! *direct inclusion* (`⊃_d`, `⊂_d`) or *both-included* (`BI`); Section 6
+//! shows how to support them anyway by embedding the algebra in a host
+//! language with loops. This crate implements both sides:
+//!
+//! * [`direct`] — native evaluation of the three extended operators;
+//! * [`program`] — the Section 6 while-loop programs (per-operator,
+//!   single-loop chain, RIG-pruned `All` set);
+//! * [`bounded`] — the Propositions 5.2/5.4 constructions: genuine
+//!   algebra expressions that work under bounded nesting depth / bounded
+//!   antichain width;
+//! * [`deletion`] — the deletion theorem (4.1) made executable;
+//! * [`reduce()`] — the `reduce` operation and region isomorphism (4.2);
+//! * [`kreduce`] — reduction sequences and k-reduced certificates (4.3);
+//! * [`enumerate`] — exhaustive expression sweeps refuting expressibility
+//!   (the executable face of Theorems 5.1/5.3).
+
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod deletion;
+pub mod kreduce;
+pub mod direct;
+pub mod enumerate;
+pub mod program;
+pub mod reduce;
+
+pub use bounded::{all_names_expr, both_included_expr, direct_included_expr, direct_including_expr};
+pub use deletion::{check_deletion_invariance, deletion_core};
+pub use direct::{both_included, directly_included, directly_including};
+pub use kreduce::{apply_reductions, verify_k_reduced, ReduceStep};
+pub use enumerate::{
+    both_included_probes, count_exprs, direct_inclusion_probes, for_each_expr, sweep, Probe,
+    SweepResult,
+};
+pub use program::{
+    direct_chain_program, direct_chain_program_filtered, direct_included_program,
+    direct_including_program,
+};
+pub use reduce::{isomorphic, reduce, reduce_mapping};

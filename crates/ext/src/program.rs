@@ -1,0 +1,316 @@
+//! The Section 6 programs: direct inclusion computed by embedding the
+//! algebra in a host language with `while` and assignment.
+//!
+//! Three variants, exactly as the paper develops them:
+//!
+//! * [`direct_including_program`] — the per-operator loop for
+//!   `R_1 ⊃_d R_2`, peeling one nesting layer of `R_1` per iteration;
+//! * [`direct_chain_program`] — the single-loop evaluation of a whole
+//!   chain `R_1 ⊃_d R_2 ⊃_d … ⊃_d R_n`, using the replicated set
+//!   `All = ⋃_T T(⊂ T)^{#_e^T}` so one loop suffices;
+//! * [`direct_chain_program_filtered`] — the same with the blocker set
+//!   restricted to chosen names, enabling the RIG-based pruning of
+//!   Section 6 (the minimal set problem, `tr_rig::MinimalSetProblem`).
+
+use tr_core::{ops, Instance, NameId, RegionSet};
+
+/// `R_1 ⊃_d R_2` via the paper's first program. Each iteration handles the
+/// current top layer of (remaining) `R_1` regions:
+///
+/// ```text
+/// R1layer := R1 − (R1 ⊂ R1);   R1rest := R1 − R1layer;   result := ∅;
+/// All := ⋃_{T ∈ 𝓘} T;
+/// while (R1layer ⊃ R2) ≠ ∅ do
+///     result := result ∪ (R1layer ⊃ (R2 − (R2 ⊂ All ⊂ R1layer)));
+///     R1layer := R1rest − (R1rest ⊂ R1rest);
+///     R1rest := R1rest − R1layer;
+/// end
+/// ```
+pub fn direct_including_program<W>(
+    inst: &Instance<W>,
+    r1: &RegionSet,
+    r2: &RegionSet,
+) -> RegionSet {
+    let all = inst.all_regions();
+    let mut layer = r1.difference(&ops::included_in(r1, r1));
+    let mut rest = r1.difference(&layer);
+    let mut result = RegionSet::new();
+    while !ops::includes(&layer, r2).is_empty() {
+        // R2 − (R2 ⊂ (All ⊂ R1layer)): R2 regions with no other region
+        // between them and a layer region.
+        let blockers = ops::included_in(&all, &layer);
+        let eligible = r2.difference(&ops::included_in(r2, &blockers));
+        result = result.union(&ops::includes(&layer, &eligible));
+        layer = rest.difference(&ops::included_in(&rest, &rest));
+        rest = rest.difference(&layer);
+    }
+    result
+}
+
+/// `R_1 ⊂_d R_2` by the symmetric program (the paper notes "a similar
+/// program can be used"): peel layers of `R_2` (the would-be parents) and
+/// keep the `R_1` regions with no region between them and a parent layer.
+pub fn direct_included_program<W>(
+    inst: &Instance<W>,
+    r1: &RegionSet,
+    r2: &RegionSet,
+) -> RegionSet {
+    let all = inst.all_regions();
+    let mut layer = r2.difference(&ops::included_in(r2, r2));
+    let mut rest = r2.difference(&layer);
+    let mut result = RegionSet::new();
+    while !ops::includes(&layer, r1).is_empty() {
+        let blockers = ops::included_in(&all, &layer);
+        let eligible = r1.difference(&ops::included_in(r1, &blockers));
+        result = result.union(&ops::included_in(&eligible, &layer));
+        layer = rest.difference(&ops::included_in(&rest, &rest));
+        rest = rest.difference(&layer);
+    }
+    result
+}
+
+/// The whole chain `R_1 ⊃_d R_2 ⊃_d … ⊃_d R_n` in a single loop (the
+/// paper's second program):
+///
+/// ```text
+/// R1layer := R1 − (R1 ⊂ R1);   R1rest := R1 − R1layer;   result := ∅;
+/// All := ⋃_{T ∈ 𝓘} T(⊂ T)^{#_e^T};
+/// while R1layer ≠ ∅ do
+///     result := result ∪ (R1layer ⊃ R2 ⊃ … ⊃ R_{n−1}
+///                          ⊃ (R_n − (R_n ⊂ All ⊂ R1layer)));
+///     R1layer := R1rest − (R1rest ⊂ R1rest);
+///     R1rest := R1rest − R1layer;
+/// end
+/// ```
+///
+/// One deviation from the paper's text: the replicated set
+/// `T(⊂ T)^{#_e^T}` is computed *relative to the current layer* (nesting
+/// counted among the `T` regions inside the layer) rather than globally.
+/// The global formula under-blocks when the chain's head name recurs
+/// (e.g. `A ⊃_d A ⊃_d B`: the legitimate interior `A` witness sits at
+/// global `A`-depth ≥ 1 simply by being inside the layer, so the global
+/// `A ⊂ A` wrongly marks it a blocker), while the layer-relative count is
+/// exactly "how many `T` witnesses the chain itself accounts for below
+/// the layer". The per-iteration cost is still dominated by inclusion
+/// tests against `All`, which is what the minimal-set optimization
+/// shrinks.
+pub fn direct_chain_program<W>(inst: &Instance<W>, chain: &[NameId]) -> RegionSet {
+    let names: Vec<NameId> = inst.schema().ids().collect();
+    direct_chain_program_filtered(inst, chain, &names)
+}
+
+/// [`direct_chain_program`] with the blocker set restricted to the given
+/// names — the hook for the RIG-based pruning of Section 6: `names_for_all`
+/// only needs a set intercepting every RIG path between consecutive chain
+/// names (a solution of `tr_rig::MinimalSetProblem`), plus the chain's own
+/// interior names.
+pub fn direct_chain_program_filtered<W>(
+    inst: &Instance<W>,
+    chain: &[NameId],
+    names_for_all: &[NameId],
+) -> RegionSet {
+    assert!(chain.len() >= 2, "a chain needs at least two names");
+    let interior = &chain[1..chain.len() - 1];
+    let r1 = inst.regions_of(chain[0]);
+    let rn = inst.regions_of(chain[chain.len() - 1]);
+    let mut layer = r1.difference(&ops::included_in(r1, r1));
+    let mut rest = r1.difference(&layer);
+    let mut result = RegionSet::new();
+    while !layer.is_empty() {
+        // Layer-relative All: for each name T, the T regions inside the
+        // layer, nested (among themselves) deeper than the chain's own
+        // interior occurrences of T can account for.
+        let mut blockers = RegionSet::new();
+        for &id in names_for_all {
+            let occurrences = interior.iter().filter(|&&t| t == id).count();
+            let mut set = ops::included_in(inst.regions_of(id), &layer);
+            for _ in 0..occurrences {
+                let base = set.clone();
+                set = ops::included_in(&set, &base);
+            }
+            blockers = blockers.union(&set);
+        }
+        let mut acc = rn.difference(&ops::included_in(rn, &blockers));
+        // R1layer ⊃ R2 ⊃ … ⊃ R_{n−1} ⊃ acc, grouped from the right.
+        for &name in interior.iter().rev() {
+            acc = ops::includes(inst.regions_of(name), &acc);
+        }
+        result = result.union(&ops::includes(&layer, &acc));
+        layer = rest.difference(&ops::included_in(&rest, &rest));
+        rest = rest.difference(&layer);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use rand::prelude::*;
+    use tr_core::{region, InstanceBuilder, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    fn random_instance(rng: &mut StdRng) -> Instance {
+        let names = ["A", "B", "C"];
+        loop {
+            let mut b = InstanceBuilder::new(schema());
+            let mut spans = vec![(0u32, 127u32)];
+            for _ in 0..rng.gen_range(2..16) {
+                let (l, r) = spans[rng.gen_range(0..spans.len())];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = rng.gen_range(l + 1..r);
+                let nr = rng.gen_range(nl..r);
+                b = b.add(names[rng.gen_range(0..3)], region(nl, nr));
+                spans.push((nl, nr));
+            }
+            if let Ok(inst) = b.build() {
+                return inst;
+            }
+        }
+    }
+
+    #[test]
+    fn program_matches_native_operator() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..60 {
+            let inst = random_instance(&mut rng);
+            let a = inst.regions_of_name("A").clone();
+            let b = inst.regions_of_name("B").clone();
+            assert_eq!(
+                direct_including_program(&inst, &a, &b),
+                direct::directly_including(&inst, &a, &b),
+                "{inst:?}"
+            );
+            assert_eq!(
+                direct_included_program(&inst, &b, &a),
+                direct::directly_included(&inst, &b, &a),
+                "{inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn program_handles_self_nesting() {
+        // A ⊃ A ⊃ B: only the inner A directly includes B.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 20))
+            .add("A", region(2, 18))
+            .add("B", region(5, 6))
+            .build_valid();
+        let a = inst.regions_of_name("A").clone();
+        let b = inst.regions_of_name("B").clone();
+        assert_eq!(direct_including_program(&inst, &a, &b).as_slice(), &[region(2, 18)]);
+    }
+
+    /// The chain program agrees with composing the native operator
+    /// link-by-link: r ∈ result iff ∃ chain r ⊃_d x₂ ⊃_d … ⊃_d x_n.
+    #[test]
+    fn chain_program_matches_native_composition() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let s = schema();
+        let chains: Vec<Vec<NameId>> = vec![
+            vec![s.expect_id("A"), s.expect_id("B")],
+            vec![s.expect_id("A"), s.expect_id("B"), s.expect_id("C")],
+            vec![s.expect_id("A"), s.expect_id("A"), s.expect_id("B")],
+            vec![s.expect_id("C"), s.expect_id("B"), s.expect_id("B"), s.expect_id("A")],
+        ];
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng);
+            for chain in &chains {
+                let expected = native_chain(&inst, chain);
+                assert_eq!(
+                    direct_chain_program(&inst, chain),
+                    expected,
+                    "chain {chain:?} on {inst:?}"
+                );
+            }
+        }
+    }
+
+    /// Native right-to-left composition of ⊃_d: at each step keep the
+    /// *parents* in the next name that directly include a current witness.
+    fn native_chain(inst: &Instance, chain: &[NameId]) -> RegionSet {
+        let mut acc = inst.regions_of(chain[chain.len() - 1]).clone();
+        for &name in chain[..chain.len() - 1].iter().rev() {
+            acc = direct::directly_including(inst, inst.regions_of(name), &acc);
+        }
+        acc
+    }
+
+    #[test]
+    fn filtered_all_preserves_results_when_cover_is_valid() {
+        // Chain A ⊃_d B: the only names that can block are A, B, C, so the
+        // full name set is the sound default…
+        let mut rng = StdRng::seed_from_u64(47);
+        let s = schema();
+        let chain = vec![s.expect_id("A"), s.expect_id("B")];
+        let keep_full: Vec<NameId> = s.ids().collect();
+        for _ in 0..20 {
+            let inst = random_instance(&mut rng);
+            let full = direct_chain_program(&inst, &chain);
+            assert_eq!(direct_chain_program_filtered(&inst, &chain, &keep_full), full);
+        }
+        // …and the unsound pruning (dropping C) must actually differ on a
+        // witness instance, demonstrating why the minimal set matters.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 10))
+            .add("C", region(1, 9))
+            .add("B", region(2, 3))
+            .build_valid();
+        let full = direct_chain_program(&inst, &chain);
+        assert!(full.is_empty(), "C blocks directness");
+        let pruned =
+            direct_chain_program_filtered(&inst, &chain, &[s.expect_id("A"), s.expect_id("B")]);
+        assert_eq!(pruned.as_slice(), &[region(0, 10)], "dropping C loses the blocker");
+    }
+
+    #[test]
+    fn chain_blockers_account_for_interior_witnesses() {
+        // Chain A ⊃_d B ⊃_d C: #_e^B = 1, so the single B on the path is
+        // the chain's own witness, not a blocker…
+        let s = schema();
+        let chain = vec![s.expect_id("A"), s.expect_id("B"), s.expect_id("C")];
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 20))
+            .add("B", region(1, 19))
+            .add("C", region(3, 4))
+            .build_valid();
+        assert_eq!(direct_chain_program(&inst, &chain).as_slice(), &[region(0, 20)]);
+        // …but a second B nested inside the first breaks directness.
+        let inst2 = InstanceBuilder::new(schema())
+            .add("A", region(0, 20))
+            .add("B", region(1, 19))
+            .add("B", region(2, 18))
+            .add("C", region(3, 4))
+            .build_valid();
+        assert!(direct_chain_program(&inst2, &chain).is_empty());
+    }
+
+    /// The case that motivates layer-relative blockers: the chain's head
+    /// name recurring as an interior name.
+    #[test]
+    fn chain_with_recurring_head_name() {
+        let s = schema();
+        let chain = vec![s.expect_id("A"), s.expect_id("A"), s.expect_id("B")];
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 30))
+            .add("A", region(2, 28))
+            .add("B", region(5, 6))
+            .build_valid();
+        // A ⊃_d A ⊃_d B holds for the outer A.
+        assert_eq!(direct_chain_program(&inst, &chain).as_slice(), &[region(0, 30)]);
+        // Inserting a C between the two As breaks the first link.
+        let inst2 = InstanceBuilder::new(schema())
+            .add("A", region(0, 30))
+            .add("C", region(1, 29))
+            .add("A", region(2, 28))
+            .add("B", region(5, 6))
+            .build_valid();
+        assert!(direct_chain_program(&inst2, &chain).is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! The `reduce` operation and region isomorphism (Definitions 4.2/4.3),
+//! the machinery behind the reduction theorem (Theorem 4.4) and the
+//! both-included inexpressibility proof (Theorem 5.3).
+//!
+//! Definition 4.2: `S_r` is the set of regions containing `r` together
+//! with the regions included in `r`; two regions are *isomorphic w.r.t.
+//! P* when a 1-1 mapping between their `S`-sets preserves inclusion,
+//! precedence, region names, and pattern truth. `reduce(I, r₁, r₂)` tests
+//! isomorphism and deletes `r₁`'s side.
+//!
+//! Interpretation note: read literally, deleting all of `S_{r₁}` would
+//! delete `r₁`'s ancestors — which are *shared* with `r₂` whenever the two
+//! regions are siblings (the only case the paper exercises, in the proof
+//! of Theorem 5.3, where the text also says the result "contains all the
+//! regions of I except r''"). We therefore implement the evidently
+//! intended semantics: after checking the `S`-set isomorphism, delete
+//! `r₁` and the regions included in it (its subtree), keeping the shared
+//! ancestors.
+
+use tr_core::{Instance, Region, RegionSet, WordIndex};
+
+/// True if `r1` and `r2` are isomorphic w.r.t. `patterns` in `inst`
+/// (Definition 4.2): their ancestor chains match level-by-level and their
+/// subtrees are order-isomorphic, where matching nodes must agree on
+/// region name and on `W(·, p)` for every `p ∈ patterns`.
+pub fn isomorphic<W: WordIndex>(
+    inst: &Instance<W>,
+    r1: Region,
+    r2: Region,
+    patterns: &[&str],
+) -> bool {
+    let forest = inst.forest();
+    let (Some(i1), Some(i2)) = (forest.index_of(r1), forest.index_of(r2)) else {
+        return false;
+    };
+    // Ancestors (nearest first) must match in name and pattern truth.
+    let chain = |mut i: usize| {
+        let mut out = Vec::new();
+        while let Some(p) = forest.parent(i) {
+            out.push(p);
+            i = p;
+        }
+        out
+    };
+    let (c1, c2) = (chain(i1), chain(i2));
+    if c1.len() != c2.len() {
+        return false;
+    }
+    for (&a, &b) in c1.iter().zip(&c2) {
+        if !labels_match(inst, forest.node(a), forest.node(b), patterns) {
+            return false;
+        }
+    }
+    // Subtrees must be order-isomorphic.
+    subtree_isomorphic(inst, &forest, i1, i2, patterns)
+}
+
+fn labels_match<W: WordIndex>(
+    inst: &Instance<W>,
+    a: (Region, tr_core::NameId),
+    b: (Region, tr_core::NameId),
+    patterns: &[&str],
+) -> bool {
+    a.1 == b.1
+        && patterns.iter().all(|p| {
+            inst.word_index().matches(a.0, p) == inst.word_index().matches(b.0, p)
+        })
+}
+
+fn subtree_isomorphic<W: WordIndex>(
+    inst: &Instance<W>,
+    forest: &tr_core::Forest,
+    i1: usize,
+    i2: usize,
+    patterns: &[&str],
+) -> bool {
+    if !labels_match(inst, forest.node(i1), forest.node(i2), patterns) {
+        return false;
+    }
+    let (k1, k2) = (forest.children(i1), forest.children(i2));
+    k1.len() == k2.len()
+        && k1
+            .iter()
+            .zip(k2)
+            .all(|(&a, &b)| subtree_isomorphic(inst, forest, a, b, patterns))
+}
+
+/// `reduce(I, r₁, r₂)`: if the two regions are isomorphic w.r.t.
+/// `patterns`, returns `I` with `r₁`'s subtree (including `r₁`) deleted;
+/// otherwise `None`.
+pub fn reduce<W: WordIndex + Clone>(
+    inst: &Instance<W>,
+    r1: Region,
+    r2: Region,
+    patterns: &[&str],
+) -> Option<Instance<W>> {
+    if r1 == r2 || !isomorphic(inst, r1, r2, patterns) {
+        return None;
+    }
+    let doomed: RegionSet = inst
+        .all_regions()
+        .iter()
+        .filter(|&x| x == r1 || r1.includes(x))
+        .collect();
+    Some(inst.without_regions(&doomed))
+}
+
+/// The mapping `h` a single reduce defines (Section 4.2): regions of
+/// `r₁`'s subtree map to their isomorphic images in `r₂`'s subtree, all
+/// other regions map to themselves. Returns `None` for regions not in the
+/// original instance.
+pub fn reduce_mapping<W: WordIndex>(
+    inst: &Instance<W>,
+    r1: Region,
+    r2: Region,
+    query: Region,
+) -> Option<Region> {
+    if !inst.contains(query) {
+        return None;
+    }
+    if query != r1 && !r1.includes(query) {
+        return Some(query);
+    }
+    // Walk the same child-index path in r2's subtree.
+    let forest = inst.forest();
+    let (i1, i2) = (forest.index_of(r1)?, forest.index_of(r2)?);
+    let mut path = Vec::new();
+    let mut cur = forest.index_of(query)?;
+    while cur != i1 {
+        let p = forest.parent(cur)?;
+        let pos = forest.children(p).iter().position(|&c| c == cur)?;
+        path.push(pos);
+        cur = p;
+    }
+    let mut dst = i2;
+    for &pos in path.iter().rev() {
+        dst = *forest.children(dst).get(pos)?;
+    }
+    Some(forest.node(dst).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{eval, region, Expr, InstanceBuilder, Schema};
+    use tr_markup::figure_3_instance;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    #[test]
+    fn sibling_leaves_are_isomorphic() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 9))
+            .add("A", region(1, 2))
+            .add("A", region(4, 5))
+            .build_valid();
+        assert!(isomorphic(&inst, region(1, 2), region(4, 5), &[]));
+        assert!(isomorphic(&inst, region(4, 5), region(1, 2), &[]));
+    }
+
+    #[test]
+    fn different_names_or_patterns_break_isomorphism() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 9))
+            .add("A", region(1, 2))
+            .add("B", region(4, 5))
+            .occurrence("x", 1, 1)
+            .build_valid();
+        assert!(!isomorphic(&inst, region(1, 2), region(4, 5), &[]), "names differ");
+        let inst2 = InstanceBuilder::new(schema())
+            .add("C", region(0, 9))
+            .add("A", region(1, 2))
+            .add("A", region(4, 5))
+            .occurrence("x", 1, 1)
+            .build_valid();
+        assert!(isomorphic(&inst2, region(1, 2), region(4, 5), &[]), "no patterns considered");
+        assert!(
+            !isomorphic(&inst2, region(1, 2), region(4, 5), &["x"]),
+            "pattern truth differs"
+        );
+    }
+
+    #[test]
+    fn different_ancestor_chains_break_isomorphism() {
+        // One A under C, another under B-under-C.
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 19))
+            .add("A", region(1, 2))
+            .add("B", region(4, 10))
+            .add("A", region(5, 6))
+            .build_valid();
+        assert!(!isomorphic(&inst, region(1, 2), region(5, 6), &[]));
+    }
+
+    #[test]
+    fn subtree_structure_matters() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 19))
+            .add("A", region(1, 5))
+            .add("B", region(2, 3))
+            .add("A", region(8, 12))
+            .build_valid();
+        assert!(!isomorphic(&inst, region(1, 5), region(8, 12), &[]), "one has a child");
+    }
+
+    #[test]
+    fn reduce_deletes_one_subtree() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 19))
+            .add("A", region(1, 5))
+            .add("B", region(2, 3))
+            .add("A", region(8, 12))
+            .add("B", region(9, 10))
+            .build_valid();
+        let out = reduce(&inst, region(1, 5), region(8, 12), &[]).expect("isomorphic");
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(region(0, 19)), "shared ancestor kept");
+        assert!(out.contains(region(8, 12)));
+        assert!(!out.contains(region(1, 5)));
+        assert!(!out.contains(region(2, 3)), "subtree goes too");
+        // Non-isomorphic pair refuses.
+        assert!(reduce(&inst, region(2, 3), region(8, 12), &[]).is_none());
+        // Self-reduce refuses.
+        assert!(reduce(&inst, region(1, 5), region(1, 5), &[]).is_none());
+    }
+
+    #[test]
+    fn mapping_sends_subtree_to_image() {
+        let inst = InstanceBuilder::new(schema())
+            .add("C", region(0, 19))
+            .add("A", region(1, 5))
+            .add("B", region(2, 3))
+            .add("A", region(8, 12))
+            .add("B", region(9, 10))
+            .build_valid();
+        let (r1, r2) = (region(1, 5), region(8, 12));
+        assert_eq!(reduce_mapping(&inst, r1, r2, region(1, 5)), Some(region(8, 12)));
+        assert_eq!(reduce_mapping(&inst, r1, r2, region(2, 3)), Some(region(9, 10)));
+        assert_eq!(reduce_mapping(&inst, r1, r2, region(0, 19)), Some(region(0, 19)));
+        assert_eq!(reduce_mapping(&inst, r1, r2, region(4, 4)), None, "not a region");
+    }
+
+    /// The Theorem 5.3 scenario: reducing the middle C's second A is a
+    /// legal reduce, and order-insensitive queries (k = 0) cannot tell the
+    /// difference — while the BI semantics (inexpressible) does change.
+    #[test]
+    fn figure_3_reduce_fools_order_free_queries() {
+        let (inst, h) = figure_3_instance(2);
+        let reduced = reduce(&inst, h.second_a, h.first_a, &[]).expect("the two As are isomorphic");
+        assert_eq!(reduced.len(), inst.len() - 1);
+        let s = inst.schema().clone();
+        let c = Expr::name(s.expect_id("C"));
+        let a = Expr::name(s.expect_id("A"));
+        let b = Expr::name(s.expect_id("B"));
+        // Some order-free queries: identical answers on both instances for
+        // every surviving region (Theorem 4.4 with k = 0).
+        for e in [
+            c.clone().including(a.clone()),
+            c.clone().including(b.clone().including(a.clone())),
+            a.clone().included_in(c.clone()),
+            c.clone().diff(c.clone().including(a.clone())),
+        ] {
+            let before = eval(&e, &inst);
+            let after = eval(&e, &reduced);
+            for r in reduced.all_regions().iter() {
+                assert_eq!(before.contains(r), after.contains(r), "query {e}");
+            }
+            assert_eq!(before.is_empty(), after.is_empty(), "query {e}");
+        }
+        // The BI semantics *does* change: the middle C loses its B < A pair.
+        let bi_before = crate::direct::both_included(
+            inst.regions_of_name("C"),
+            inst.regions_of_name("B"),
+            inst.regions_of_name("A"),
+        );
+        let bi_after = crate::direct::both_included(
+            reduced.regions_of_name("C"),
+            reduced.regions_of_name("B"),
+            reduced.regions_of_name("A"),
+        );
+        assert_eq!(bi_before.as_slice(), &[h.middle_c]);
+        assert!(bi_after.is_empty());
+    }
+}

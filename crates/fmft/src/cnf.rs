@@ -1,0 +1,291 @@
+//! Theorem 3.5: emptiness testing in the region algebra is Co-NP-hard,
+//! by reduction from 3-CNF unsatisfiability.
+//!
+//! The paper states the reduction exists without spelling it out; the
+//! construction used here (documented in DESIGN.md) is:
+//!
+//! * region names `D, X_1, …, X_n, T`;
+//! * a candidate region `d ∈ D` encodes the assignment
+//!   `a(i) := d ∈ (D ⊃ (X_i ⊃ T))` — "some `X_i` witness inside `d`
+//!   contains a `T`";
+//! * literal `x_i` ↦ `D ⊃ (X_i ⊃ T)`; literal `¬x_i` ↦
+//!   `D − (D ⊃ (X_i ⊃ T))` (set difference is genuine negation, so the
+//!   two literal sets partition `D` and no consistency gadget is needed);
+//! * clause ↦ union of its literal sets; `e_φ` ↦ `D ∩ ⋂_j clause_j`.
+//!
+//! `e_φ(I)` is nonempty for some instance iff φ is satisfiable, hence
+//! emptiness is Co-NP-hard. The module also carries a small DPLL solver so
+//! tests and experiment E4 can cross-check the reduction.
+
+use tr_core::{region, Expr, Instance, InstanceBuilder, Schema};
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index, `0..num_vars`.
+    pub var: usize,
+    /// True for `x`, false for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+}
+
+/// A CNF formula (clauses of up to three literals; the reduction works for
+/// any clause width).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Evaluates the formula under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| {
+            c.iter().any(|l| assignment[l.var] == l.positive)
+        })
+    }
+
+    /// A satisfying assignment, by DPLL with unit propagation, or `None`.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+        } else {
+            None
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation / conflict detection.
+        loop {
+            let mut propagated = false;
+            for clause in &self.clauses {
+                let mut unassigned = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for l in clause {
+                    match assignment[l.var] {
+                        Some(v) if v == l.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned = Some(*l);
+                            n_unassigned += 1;
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (n_unassigned, unassigned) {
+                    (0, _) => return false, // conflict
+                    (1, Some(l)) => {
+                        assignment[l.var] = Some(l.positive);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+        let Some(var) = assignment.iter().position(Option::is_none) else {
+            return true; // all assigned, no conflict
+        };
+        for choice in [true, false] {
+            let saved = assignment.clone();
+            assignment[var] = Some(choice);
+            if self.dpll(assignment) {
+                return true;
+            }
+            *assignment = saved;
+        }
+        false
+    }
+
+    /// True iff the formula is satisfiable.
+    pub fn satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+}
+
+/// The schema of the reduction: `D, X_0, …, X_{n−1}, T`.
+pub fn reduction_schema(num_vars: usize) -> Schema {
+    let mut names = vec!["D".to_owned()];
+    names.extend((0..num_vars).map(|i| format!("X{i}")));
+    names.push("T".to_owned());
+    Schema::new(names)
+}
+
+/// The expression `e_φ` of the reduction: empty on all instances iff `φ`
+/// is unsatisfiable. Size is linear in the formula.
+pub fn cnf_to_expr(cnf: &Cnf, schema: &Schema) -> Expr {
+    let d = || Expr::name(schema.expect_id("D"));
+    let t = || Expr::name(schema.expect_id("T"));
+    let lit = |l: &Lit| {
+        let x = Expr::name(schema.expect_id(&format!("X{}", l.var)));
+        let truthy = d().including(x.including(t()));
+        if l.positive {
+            truthy
+        } else {
+            d().diff(truthy)
+        }
+    };
+    let mut e = d();
+    for clause in &cnf.clauses {
+        assert!(!clause.is_empty(), "empty clauses make φ trivially unsatisfiable");
+        let mut lits = clause.iter();
+        let mut ce = lit(lits.next().expect("non-empty"));
+        for l in lits {
+            ce = ce.union(lit(l));
+        }
+        e = e.intersect(ce);
+    }
+    e
+}
+
+/// The canonical instance encoding an assignment: a `D` region containing
+/// one `X_i` per variable, with a `T` inside `X_i` iff `a(i)` is true.
+pub fn assignment_instance(cnf: &Cnf, schema: &Schema, assignment: &[bool]) -> Instance {
+    assert_eq!(assignment.len(), cnf.num_vars);
+    let width_per_var = 4u32;
+    let d_right = 1 + width_per_var * cnf.num_vars as u32;
+    let mut b = InstanceBuilder::new(schema.clone()).add("D", region(0, d_right));
+    for (i, &value) in assignment.iter().enumerate() {
+        let left = 1 + width_per_var * i as u32;
+        b = b.add(&format!("X{i}"), region(left, left + 3));
+        if value {
+            b = b.add("T", region(left + 1, left + 2));
+        }
+    }
+    b.build_valid()
+}
+
+/// A pseudo-random 3-CNF with `num_vars` variables and `num_clauses`
+/// clauses (the standard random 3-SAT model), for tests and experiment E4.
+pub fn random_3cnf<R: rand::Rng>(rng: &mut R, num_vars: usize, num_clauses: usize) -> Cnf {
+    assert!(num_vars >= 3);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let mut vars = Vec::with_capacity(3);
+            while vars.len() < 3 {
+                let v = rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            vars.into_iter()
+                .map(|v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness::{Bounds, EmptinessChecker};
+    use rand::prelude::*;
+    use tr_core::eval;
+
+    fn tiny_sat() -> Cnf {
+        // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ x1 ∨ ¬x2)
+        Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        }
+    }
+
+    fn tiny_unsat() -> Cnf {
+        // (x0) ∧ (¬x0) via padded 1-literal clauses.
+        Cnf { num_vars: 3, clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]] }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let m = rng.gen_range(1..18);
+            let cnf = random_3cnf(&mut rng, 5, m);
+            let brute = (0u32..32).any(|mask| {
+                let assignment: Vec<bool> = (0..5).map(|i| mask & (1 << i) != 0).collect();
+                cnf.eval(&assignment)
+            });
+            assert_eq!(cnf.satisfiable(), brute, "{cnf:?}");
+            if let Some(a) = cnf.solve() {
+                assert!(cnf.eval(&a), "solver must return a *satisfying* assignment");
+            }
+        }
+    }
+
+    /// The heart of the reduction: the assignment instance makes `e_φ`
+    /// nonempty exactly when the assignment satisfies φ.
+    #[test]
+    fn assignment_instances_mirror_evaluation() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let m = rng.gen_range(1..10);
+            let cnf = random_3cnf(&mut rng, 4, m);
+            let schema = reduction_schema(cnf.num_vars);
+            let e = cnf_to_expr(&cnf, &schema);
+            for mask in 0u32..16 {
+                let assignment: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+                let inst = assignment_instance(&cnf, &schema, &assignment);
+                assert_eq!(
+                    !eval(&e, &inst).is_empty(),
+                    cnf.eval(&assignment),
+                    "cnf {cnf:?} assignment {assignment:?}"
+                );
+            }
+        }
+    }
+
+    /// Emptiness of `e_φ` (checked generically, within bounds that cover
+    /// the canonical witnesses) coincides with unsatisfiability.
+    #[test]
+    fn emptiness_matches_satisfiability() {
+        for (cnf, expect_sat) in [(tiny_sat(), true), (tiny_unsat(), false)] {
+            let schema = reduction_schema(cnf.num_vars);
+            let e = cnf_to_expr(&cnf, &schema);
+            // A minimal witness is D ⊃ X_i ⊃ T (3 nodes, depth 3): negative
+            // literals are satisfied by *absent* X regions, so a satisfying
+            // assignment never needs more than its true variables
+            // materialized. max_nodes = 4 keeps the UNSAT sweep fast.
+            let bounds = Bounds { max_nodes: 4, max_depth: 3 };
+            let checker = EmptinessChecker::new(schema, bounds);
+            assert_eq!(checker.is_empty(&e), !expect_sat, "{cnf:?}");
+            assert_eq!(cnf.satisfiable(), expect_sat);
+        }
+    }
+
+    #[test]
+    fn expression_size_is_linear() {
+        let cnf = tiny_sat();
+        let schema = reduction_schema(cnf.num_vars);
+        let e = cnf_to_expr(&cnf, &schema);
+        // Each positive literal costs 2 ops, negative 3, plus unions and
+        // intersections; just pin the exact count to catch regressions.
+        assert_eq!(e.num_ops(), 20);
+    }
+}

@@ -1,0 +1,353 @@
+//! Emptiness and equivalence testing (Theorems 3.4 and 3.6).
+//!
+//! The paper shows emptiness of an algebra expression over *all* instances
+//! is decidable (via Rabin's theorem) but Co-NP-hard even for restricted
+//! formulas (Theorem 3.5) — so any complete procedure is super-polynomial.
+//! This module implements a bounded-model checker: it enumerates canonical
+//! labeled forests up to a node budget and nesting depth and evaluates the
+//! expression on each.
+//!
+//! ## Completeness within the bounds
+//!
+//! The nesting bound is principled: by the deletion theorem (4.1), if
+//! `e(I) ≠ ∅` for some `I` then a witness with nesting at most `2·|e|`
+//! survives (delete everything outside the theorem's set `S`). The node
+//! budget is a heuristic cut-off: the reduction machinery (Section 4.2)
+//! collapses isomorphic siblings, which bounds useful width, but the paper
+//! does not state (and we do not claim) a tight closed-form node bound.
+//! [`EmptinessChecker::is_empty`] is therefore *sound for non-emptiness*
+//! (a witness is a real witness) and complete up to the configured budget;
+//! widen [`Bounds`] to trade time for assurance. The defaults make every
+//! equivalence asserted in this workspace's tests exact.
+
+use crate::model::Model;
+use crate::translate::eval_expr_on_model;
+use tr_core::{Expr, NameId, Schema};
+use tr_rig::Rig;
+
+/// Search bounds for the bounded-model checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Maximum number of nodes in candidate models.
+    pub max_nodes: usize,
+    /// Maximum nesting depth of candidate models.
+    pub max_depth: usize,
+}
+
+impl Bounds {
+    /// Bounds derived from an expression: depth `2·|e| + 2` (the deletion
+    /// theorem's bound plus slack), nodes capped at `max_nodes`.
+    pub fn for_expr(e: &Expr, max_nodes: usize) -> Bounds {
+        Bounds { max_nodes, max_depth: 2 * e.num_ops() + 2 }
+    }
+}
+
+/// A bounded-model emptiness/equivalence checker over a schema.
+#[derive(Debug, Clone)]
+pub struct EmptinessChecker {
+    schema: Schema,
+    rig: Option<Rig>,
+    bounds: Bounds,
+}
+
+impl EmptinessChecker {
+    /// A checker over all instances of `schema` (Theorem 3.4 setting).
+    pub fn new(schema: Schema, bounds: Bounds) -> EmptinessChecker {
+        EmptinessChecker { schema, rig: None, bounds }
+    }
+
+    /// A checker over the instances satisfying `rig` (Theorem 3.6
+    /// setting): enumeration only generates forests whose direct
+    /// inclusions are RIG edges.
+    pub fn with_rig(rig: Rig, bounds: Bounds) -> EmptinessChecker {
+        EmptinessChecker { schema: rig.schema().clone(), rig: Some(rig), bounds }
+    }
+
+    /// The configured bounds.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Searches for a model on which `e` selects at least one node.
+    pub fn find_witness(&self, e: &Expr) -> Option<Model> {
+        let patterns: Vec<String> = e.patterns().iter().map(|s| s.to_string()).collect();
+        let mut found = None;
+        self.enumerate(&patterns, &mut |m| {
+            let mask = eval_expr_on_model(e, m);
+            if mask.iter().any(|&b| b) {
+                found = Some(m.clone());
+                true
+            } else {
+                false
+            }
+        });
+        found
+    }
+
+    /// True if `e(I)` is empty for every instance within the bounds
+    /// (see the module docs for the completeness discussion).
+    pub fn is_empty(&self, e: &Expr) -> bool {
+        self.find_witness(e).is_none()
+    }
+
+    /// Equivalence via Theorem 3.4's recipe: `e₁ ≡ e₂` iff
+    /// `(e₁ − e₂) ∪ (e₂ − e₁)` is empty for all instances.
+    pub fn equivalent(&self, e1: &Expr, e2: &Expr) -> bool {
+        self.distinguishing_model(e1, e2).is_none()
+    }
+
+    /// A model on which `e₁` and `e₂` disagree, if one exists in bounds.
+    pub fn distinguishing_model(&self, e1: &Expr, e2: &Expr) -> Option<Model> {
+        let disagreement =
+            e1.clone().diff(e2.clone()).union(e2.clone().diff(e1.clone()));
+        self.find_witness(&disagreement)
+    }
+
+    /// Number of models visited for `e`'s pattern set within the bounds
+    /// (diagnostics for experiment E3: the search-space growth).
+    pub fn count_models(&self, e: &Expr) -> u64 {
+        let patterns: Vec<String> = e.patterns().iter().map(|s| s.to_string()).collect();
+        let mut count = 0u64;
+        self.enumerate(&patterns, &mut |_| {
+            count += 1;
+            false
+        });
+        count
+    }
+
+    /// Enumerates every labeled ordered forest within the bounds (each
+    /// exactly once), calling `visit`; stops early when `visit` returns
+    /// true. Returns whether it stopped early.
+    ///
+    /// Public so other query formalisms (e.g. the n-ary extension of
+    /// Section 7 in `tr-nary`) can reuse the canonical model space for
+    /// their own bounded emptiness/equivalence testing.
+    pub fn for_each_model(
+        &self,
+        patterns: &[String],
+        visit: &mut dyn FnMut(&Model) -> bool,
+    ) -> bool {
+        self.enumerate(patterns, visit)
+    }
+
+    fn enumerate(&self, patterns: &[String], visit: &mut dyn FnMut(&Model) -> bool) -> bool {
+        if self.schema.is_empty() {
+            return false;
+        }
+        for total in 1..=self.bounds.max_nodes {
+            let mut gen = Generator {
+                schema: &self.schema,
+                rig: self.rig.as_ref(),
+                patterns,
+                parents: Vec::with_capacity(total),
+                names: Vec::with_capacity(total),
+                pats: Vec::with_capacity(total),
+                visit,
+            };
+            let mut agenda = vec![Task { size: total, parent: None, depth: self.bounds.max_depth }];
+            if gen.run(&mut agenda) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A pending "emit a forest of `size` nodes under `parent` with `depth`
+/// levels available" obligation.
+#[derive(Clone, Copy)]
+struct Task {
+    size: usize,
+    parent: Option<usize>,
+    depth: usize,
+}
+
+struct Generator<'a> {
+    schema: &'a Schema,
+    rig: Option<&'a Rig>,
+    patterns: &'a [String],
+    parents: Vec<Option<usize>>,
+    names: Vec<NameId>,
+    pats: Vec<Vec<usize>>,
+    visit: &'a mut dyn FnMut(&Model) -> bool,
+}
+
+impl Generator<'_> {
+    /// Processes the agenda depth-first; when it drains, a complete model
+    /// has been assembled. The agenda and node buffers are restored before
+    /// returning, so callers can continue iterating.
+    fn run(&mut self, agenda: &mut Vec<Task>) -> bool {
+        let Some(task) = agenda.pop() else {
+            let m = Model::from_parents(
+                self.schema.clone(),
+                self.patterns.to_vec(),
+                &self.parents,
+                &self.names,
+                &self.pats,
+            );
+            return (self.visit)(&m);
+        };
+        let stop = if task.size == 0 {
+            self.run(agenda)
+        } else if task.depth == 0 {
+            false // no room for any node at this level
+        } else {
+            self.place_first_tree(task, agenda)
+        };
+        agenda.push(task);
+        stop
+    }
+
+    /// Splits `task` into "first tree of t nodes" × "sibling forest of
+    /// size − t nodes" for every t and every labeling of the first root.
+    fn place_first_tree(&mut self, task: Task, agenda: &mut Vec<Task>) -> bool {
+        let labels: Vec<NameId> = match (self.rig, task.parent) {
+            (Some(rig), Some(p)) => rig.successors(self.names[p]).collect(),
+            _ => self.schema.ids().collect(),
+        };
+        let n_pattern_sets = 1usize << self.patterns.len();
+        for t in 1..=task.size {
+            for &name in &labels {
+                for pat_mask in 0..n_pattern_sets {
+                    let node = self.parents.len();
+                    self.parents.push(task.parent);
+                    self.names.push(name);
+                    self.pats.push(
+                        (0..self.patterns.len()).filter(|j| pat_mask & (1 << j) != 0).collect(),
+                    );
+                    // LIFO: children are emitted before the siblings, so
+                    // push siblings first.
+                    agenda.push(Task { size: task.size - t, parent: task.parent, depth: task.depth });
+                    agenda.push(Task { size: t - 1, parent: Some(node), depth: task.depth - 1 });
+                    let stop = self.run(agenda);
+                    agenda.pop();
+                    agenda.pop();
+                    self.parents.pop();
+                    self.names.pop();
+                    self.pats.pop();
+                    if stop {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{eval, Expr};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn a() -> Expr {
+        Expr::name(schema().expect_id("A"))
+    }
+
+    fn b() -> Expr {
+        Expr::name(schema().expect_id("B"))
+    }
+
+    fn checker(max_nodes: usize, max_depth: usize) -> EmptinessChecker {
+        EmptinessChecker::new(schema(), Bounds { max_nodes, max_depth })
+    }
+
+    #[test]
+    fn satisfiable_expressions_have_witnesses() {
+        let c = checker(4, 4);
+        assert!(!c.is_empty(&a()));
+        assert!(!c.is_empty(&a().including(b())));
+        let w = c.find_witness(&a().including(b())).unwrap();
+        assert_eq!(w.len(), 2, "the smallest witness is A ⊃ B");
+        assert!(w.ancestor(0, 1));
+        // The witness is a genuine instance witness too.
+        let inst = w.to_instance();
+        assert!(!eval(&a().including(b()), &inst).is_empty());
+    }
+
+    #[test]
+    fn contradictions_are_empty() {
+        let c = checker(4, 4);
+        assert!(c.is_empty(&a().intersect(b())), "names are disjoint");
+        assert!(c.is_empty(&a().diff(a())));
+        // x includes itself is impossible: A ⊃ A requires two A regions —
+        // not a contradiction.
+        assert!(!c.is_empty(&a().including(a())));
+        // A region both preceding and included in the same single B region
+        // is impossible... but with two B regions it's satisfiable.
+        assert!(!c.is_empty(&a().before(b()).intersect(a().included_in(b()))));
+    }
+
+    #[test]
+    fn selection_needs_a_pattern_witness() {
+        let c = checker(3, 3);
+        assert!(!c.is_empty(&a().select("x")));
+        // σ_x(A) − σ_x(A) is empty.
+        assert!(c.is_empty(&a().select("x").diff(a().select("x"))));
+        // σ_x(A) ∩ (A − σ_x(A)) is empty.
+        assert!(c.is_empty(&a().select("x").intersect(a().diff(a().select("x")))));
+    }
+
+    #[test]
+    fn equivalence_finds_counterexamples() {
+        let c = checker(4, 4);
+        // A ⊃ B vs A: differ on an instance with a lone A.
+        assert!(!c.equivalent(&a().including(b()), &a()));
+        let m = c.distinguishing_model(&a().including(b()), &a()).unwrap();
+        assert_eq!(m.len(), 1);
+        // Union is commutative.
+        assert!(c.equivalent(&a().union(b()), &b().union(a())));
+        // Difference is not.
+        assert!(!c.equivalent(&a().diff(b()), &b().diff(a())));
+        // Idempotence.
+        assert!(c.equivalent(&a(), &a().union(a())));
+        assert!(c.equivalent(&a(), &a().intersect(a())));
+    }
+
+    #[test]
+    fn rig_restricted_equivalence() {
+        // Figure-1-style: with RIG P → H → N, every N nested inside a P
+        // has an H in between, so `N ⊂ H ⊂ P ≡ N ⊂ P` w.r.t. the RIG
+        // (Theorem 3.6's optimization use-case) — but not over all
+        // instances, where N can sit directly inside P.
+        let s3 = Schema::new(["P", "H", "N"]);
+        let rig = Rig::from_edges(s3.clone(), [("P", "H"), ("H", "N")]);
+        let bounds = Bounds { max_nodes: 4, max_depth: 4 };
+        let with_rig = EmptinessChecker::with_rig(rig, bounds);
+        let unrestricted = EmptinessChecker::new(s3.clone(), bounds);
+        let n = Expr::name(s3.expect_id("N"));
+        let h = Expr::name(s3.expect_id("H"));
+        let p = Expr::name(s3.expect_id("P"));
+        let long = n.clone().included_in(h.included_in(p.clone()));
+        let short = n.included_in(p);
+        assert!(with_rig.equivalent(&long, &short));
+        assert!(!unrestricted.equivalent(&long, &short), "N directly inside P distinguishes them");
+    }
+
+    #[test]
+    fn depth_bound_prunes() {
+        // A ⊃ A ⊃ A needs depth 3.
+        let e = a().including(a().including(a()));
+        assert!(checker(5, 2).is_empty(&e));
+        assert!(!checker(5, 3).is_empty(&e));
+    }
+
+    #[test]
+    fn model_counts_grow_fast() {
+        let c1 = checker(3, 3);
+        let c2 = checker(5, 5);
+        let n1 = c1.count_models(&a());
+        let n2 = c2.count_models(&a());
+        assert!(n1 > 0 && n2 > n1 * 10, "n1={n1} n2={n2}");
+    }
+
+    #[test]
+    fn bounds_for_expr_track_size() {
+        let e = a().including(b()).union(a());
+        assert_eq!(Bounds::for_expr(&e, 6).max_depth, 2 * 2 + 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Restricted FMFT formulas (Definition 3.1) and their semantics on
+//! models.
+//!
+//! A restricted formula has one free variable and is built from atomic
+//! predicates `Q(x)` using `∨`, `∧`, `∧¬`, and the guarded existential
+//! forms `(∃y) φ₁(x) ∧ φ₂(y) ∧ x ∘ y` / `(∃y) φ₁(x) ∧ φ₂(y) ∧ y ∘ x`
+//! with `∘ ∈ {⊃, <}`.
+
+use crate::model::Model;
+use tr_core::NameId;
+use std::fmt;
+
+/// An atomic monadic predicate: a region name `Q_i` or a pattern `Q_{n+j}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// One of the region name predicates `Q_1..Q_n`.
+    Name(NameId),
+    /// One of the pattern predicates `Q_{n+1}..Q_{n+k}` (index into the
+    /// model's pattern vocabulary).
+    Pattern(usize),
+}
+
+/// The two binary relations available to restricted formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `⊃` — proper prefix order (proper ancestor in the forest view).
+    Prefix,
+    /// `<` — order (strict precedence on the region side, Definition 3.2).
+    Less,
+}
+
+/// A restricted FMFT formula with free variable `x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Restricted {
+    /// `Q(x)`.
+    Pred(Pred),
+    /// `φ₁(x) ∨ φ₂(x)`.
+    Or(Box<Restricted>, Box<Restricted>),
+    /// `φ₁(x) ∧ φ₂(x)`.
+    And(Box<Restricted>, Box<Restricted>),
+    /// `φ₁(x) ∧ ¬φ₂(x)`.
+    AndNot(Box<Restricted>, Box<Restricted>),
+    /// `(∃y) φ₁(x) ∧ φ₂(y) ∧ x ∘ y` (or `y ∘ x` when `flipped`).
+    Exists {
+        /// The relation `∘`.
+        rel: Rel,
+        /// False: `x ∘ y`; true: `y ∘ x`.
+        flipped: bool,
+        /// `φ₁`, over the free variable `x`.
+        outer: Box<Restricted>,
+        /// `φ₂`, over the bound variable `y`.
+        inner: Box<Restricted>,
+    },
+}
+
+impl Restricted {
+    /// `φ₁ ∨ φ₂`.
+    pub fn or(self, rhs: Restricted) -> Restricted {
+        Restricted::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `φ₁ ∧ φ₂`.
+    pub fn and(self, rhs: Restricted) -> Restricted {
+        Restricted::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `φ₁ ∧ ¬φ₂`.
+    pub fn and_not(self, rhs: Restricted) -> Restricted {
+        Restricted::AndNot(Box::new(self), Box::new(rhs))
+    }
+
+    /// `(∃y) self(x) ∧ inner(y) ∧ x ∘ y`.
+    pub fn exists(self, rel: Rel, inner: Restricted) -> Restricted {
+        Restricted::Exists { rel, flipped: false, outer: Box::new(self), inner: Box::new(inner) }
+    }
+
+    /// `(∃y) self(x) ∧ inner(y) ∧ y ∘ x`.
+    pub fn exists_flipped(self, rel: Rel, inner: Restricted) -> Restricted {
+        Restricted::Exists { rel, flipped: true, outer: Box::new(self), inner: Box::new(inner) }
+    }
+
+    /// Evaluates `φ(t)`: the set of nodes (as a boolean mask, indexed by
+    /// node id) satisfying the formula.
+    pub fn eval(&self, t: &Model) -> Vec<bool> {
+        match self {
+            Restricted::Pred(p) => (0..t.len())
+                .map(|u| match *p {
+                    Pred::Name(n) => t.has_name(u, n),
+                    Pred::Pattern(j) => t.has_pattern(u, j),
+                })
+                .collect(),
+            Restricted::Or(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x || y),
+            Restricted::And(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x && y),
+            Restricted::AndNot(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x && !y),
+            Restricted::Exists { rel, flipped, outer, inner } => {
+                let xs = outer.eval(t);
+                let ys = inner.eval(t);
+                (0..t.len())
+                    .map(|u| {
+                        xs[u]
+                            && (0..t.len()).any(|v| {
+                                ys[v]
+                                    && match (rel, flipped) {
+                                        (Rel::Prefix, false) => t.ancestor(u, v),
+                                        (Rel::Prefix, true) => t.ancestor(v, u),
+                                        (Rel::Less, false) => t.strictly_precedes(u, v),
+                                        (Rel::Less, true) => t.strictly_precedes(v, u),
+                                    }
+                            })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The number of connectives/quantifiers (a size measure mirroring
+    /// `Expr::num_ops`).
+    pub fn size(&self) -> usize {
+        match self {
+            Restricted::Pred(_) => 0,
+            Restricted::Or(a, b) | Restricted::And(a, b) | Restricted::AndNot(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Restricted::Exists { outer, inner, .. } => 1 + outer.size() + inner.size(),
+        }
+    }
+}
+
+impl fmt::Display for Restricted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn var(depth: usize) -> String {
+            match depth {
+                0 => "x".into(),
+                1 => "y".into(),
+                d => format!("y{d}"),
+            }
+        }
+        fn go(phi: &Restricted, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let v = var(depth);
+            match phi {
+                Restricted::Pred(Pred::Name(n)) => write!(f, "Q{}({v})", n.index()),
+                Restricted::Pred(Pred::Pattern(j)) => write!(f, "P{j}({v})"),
+                Restricted::Or(a, b) => {
+                    write!(f, "(")?;
+                    go(a, depth, f)?;
+                    write!(f, " ∨ ")?;
+                    go(b, depth, f)?;
+                    write!(f, ")")
+                }
+                Restricted::And(a, b) => {
+                    write!(f, "(")?;
+                    go(a, depth, f)?;
+                    write!(f, " ∧ ")?;
+                    go(b, depth, f)?;
+                    write!(f, ")")
+                }
+                Restricted::AndNot(a, b) => {
+                    write!(f, "(")?;
+                    go(a, depth, f)?;
+                    write!(f, " ∧ ¬")?;
+                    go(b, depth, f)?;
+                    write!(f, ")")
+                }
+                Restricted::Exists { rel, flipped, outer, inner } => {
+                    let w = var(depth + 1);
+                    let rel_s = match rel {
+                        Rel::Prefix => "⊃",
+                        Rel::Less => "<",
+                    };
+                    write!(f, "(∃{w})(")?;
+                    go(outer, depth, f)?;
+                    write!(f, " ∧ ")?;
+                    go(inner, depth + 1, f)?;
+                    if *flipped {
+                        write!(f, " ∧ {w} {rel_s} {v})")
+                    } else {
+                        write!(f, " ∧ {v} {rel_s} {w})")
+                    }
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+fn zip_with(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::model_literal;
+    use tr_core::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn name(s: &Schema, n: &str) -> Restricted {
+        Restricted::Pred(Pred::Name(s.expect_id(n)))
+    }
+
+    #[test]
+    fn atomic_and_boolean() {
+        let s = schema();
+        let m = model_literal(s.clone(), &["x"], &[(None, "A", &[0]), (Some(0), "B", &[])]);
+        assert_eq!(name(&s, "A").eval(&m), vec![true, false]);
+        assert_eq!(name(&s, "A").or(name(&s, "B")).eval(&m), vec![true, true]);
+        assert_eq!(name(&s, "A").and(name(&s, "B")).eval(&m), vec![false, false]);
+        assert_eq!(
+            name(&s, "A").and_not(Restricted::Pred(Pred::Pattern(0))).eval(&m),
+            vec![false, false]
+        );
+        assert_eq!(
+            name(&s, "B").and_not(Restricted::Pred(Pred::Pattern(0))).eval(&m),
+            vec![false, true]
+        );
+    }
+
+    #[test]
+    fn guarded_exists() {
+        let s = schema();
+        // A ⊃ B ; another A after it.
+        let m = model_literal(
+            s.clone(),
+            &[],
+            &[(None, "A", &[]), (Some(0), "B", &[]), (None, "A", &[])],
+        );
+        // x is an A including a B.
+        let phi = name(&s, "A").exists(Rel::Prefix, name(&s, "B"));
+        assert_eq!(phi.eval(&m), vec![true, false, false]);
+        // x is a B included in an A.
+        let phi = name(&s, "B").exists_flipped(Rel::Prefix, name(&s, "A"));
+        assert_eq!(phi.eval(&m), vec![false, true, false]);
+        // x precedes some A.
+        let phi = name(&s, "A").or(name(&s, "B")).exists(Rel::Less, name(&s, "A"));
+        assert_eq!(phi.eval(&m), vec![true, true, false]);
+        // x follows some B.
+        let phi = name(&s, "A").exists_flipped(Rel::Less, name(&s, "B"));
+        assert_eq!(phi.eval(&m), vec![false, false, true]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = schema();
+        let phi = name(&s, "A").exists(Rel::Prefix, name(&s, "B").and(name(&s, "A")));
+        assert_eq!(phi.to_string(), "(∃y)(Q0(x) ∧ (Q1(y) ∧ Q0(y)) ∧ x ⊃ y)");
+    }
+
+    #[test]
+    fn size_counts_connectives() {
+        let s = schema();
+        assert_eq!(name(&s, "A").size(), 0);
+        assert_eq!(name(&s, "A").or(name(&s, "B")).size(), 1);
+        assert_eq!(name(&s, "A").exists(Rel::Less, name(&s, "B")).size(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tr-fmft — the monadic tree theory side of the paper
+//!
+//! Section 3 of the paper relates the region algebra to the first-order
+//! monadic theory of finite binary trees (FMFT): algebra expressions and
+//! *restricted formulas* express the same region queries (Proposition
+//! 3.3), which makes emptiness — and hence equivalence and optimization —
+//! decidable (Theorems 3.4/3.6) though Co-NP-hard (Theorem 3.5).
+//!
+//! This crate implements all of it executably:
+//!
+//! * [`Model`] — FMFT models as labeled ordered forests, with the
+//!   instance ⇄ model correspondence of Definition 3.2;
+//! * [`Restricted`] — restricted formulas and their semantics;
+//! * [`expr_to_formula`] / [`formula_to_expr`] — Proposition 3.3;
+//! * [`EmptinessChecker`] — bounded-model emptiness and equivalence,
+//!   optionally w.r.t. a RIG;
+//! * [`optimize()`] — the paper's cost-based optimization scheme;
+//! * [`cnf`] — the 3-CNF reduction behind Theorem 3.5, plus a DPLL solver
+//!   for cross-checking.
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod emptiness;
+pub mod formula;
+pub mod model;
+pub mod optimize;
+pub mod translate;
+
+pub use cnf::{assignment_instance, cnf_to_expr, random_3cnf, reduction_schema, Cnf, Lit};
+pub use emptiness::{Bounds, EmptinessChecker};
+pub use formula::{Pred, Rel, Restricted};
+pub use model::{model_literal, Model, ModelNode};
+pub use optimize::{optimize, prunings};
+pub use translate::{eval_expr_on_model, expr_to_formula, formula_to_expr, mask_to_regions};

@@ -1,0 +1,391 @@
+//! FMFT models (Section 3) as labeled ordered forests.
+//!
+//! A model `t = ({0,1}*, ⊃, <, Q_1, …, Q_{n+k})` of the monadic first-order
+//! theory of finite binary trees is, for our purposes, exactly an ordered
+//! forest whose nodes carry one region name (`Q_1..Q_n` are disjoint and
+//! cover the nodes) and a subset of pattern predicates (`Q_{n+1}..Q_{n+k}`).
+//! The paper's Definition 3.2 makes this representation precise:
+//!
+//! * `u` direct prefix of `v` ⇔ `region(u)` directly includes `region(v)`
+//!   (forest parenthood);
+//! * `u` lexicographically before `v` (and not its prefix) ⇔
+//!   `region(u) < region(v)` (forest order);
+//! * `u ∈ Q_i` ⇔ `region(u) ∈ R_i`; `u ∈ Q_{n+j}` ⇔ `W(region(u), p_j)`.
+//!
+//! [`Model`] therefore stores a forest plus per-node labels, with pre/post
+//! numbering so that the two relations used by restricted formulas —
+//! *proper ancestor* (`⊃`) and *strictly precedes* (`<`) — are O(1).
+
+use tr_core::{Instance, NameId, Pos, Region, Schema, WordIndex};
+
+/// A node of a [`Model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelNode {
+    /// The region name predicate this node satisfies (exactly one).
+    pub name: NameId,
+    /// Indices (into [`Model::patterns`]) of the pattern predicates this
+    /// node satisfies.
+    pub patterns: Vec<usize>,
+    /// Children, in order.
+    pub children: Vec<usize>,
+    /// Parent, if any.
+    pub parent: Option<usize>,
+    pre: u32,
+    last: u32,
+}
+
+/// An FMFT model: an ordered forest with name and pattern labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    schema: Schema,
+    patterns: Vec<String>,
+    nodes: Vec<ModelNode>,
+    roots: Vec<usize>,
+}
+
+impl Model {
+    /// Builds a model from parent links (`None` = root, parents must come
+    /// before children in index order), names, and pattern sets. Children
+    /// order is index order.
+    pub fn from_parents(
+        schema: Schema,
+        patterns: Vec<String>,
+        parents: &[Option<usize>],
+        names: &[NameId],
+        pattern_sets: &[Vec<usize>],
+    ) -> Model {
+        assert_eq!(parents.len(), names.len());
+        assert_eq!(parents.len(), pattern_sets.len());
+        let n = parents.len();
+        let mut nodes: Vec<ModelNode> = (0..n)
+            .map(|i| {
+                assert!(names[i].index() < schema.len(), "name out of schema");
+                for &p in &pattern_sets[i] {
+                    assert!(p < patterns.len(), "pattern index out of range");
+                }
+                ModelNode {
+                    name: names[i],
+                    patterns: pattern_sets[i].clone(),
+                    children: Vec::new(),
+                    parent: parents[i],
+                    pre: 0,
+                    last: 0,
+                }
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for (i, parent) in parents.iter().enumerate() {
+            match *parent {
+                Some(p) => {
+                    assert!(p < i, "parents must precede children");
+                    nodes[p].children.push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        let mut m = Model { schema, patterns, nodes, roots };
+        m.renumber();
+        m
+    }
+
+    fn renumber(&mut self) {
+        let mut counter = 0u32;
+        let roots = self.roots.clone();
+        for r in roots {
+            self.number(r, &mut counter);
+        }
+    }
+
+    fn number(&mut self, i: usize, counter: &mut u32) {
+        self.nodes[i].pre = *counter;
+        *counter += 1;
+        let children = self.nodes[i].children.clone();
+        for c in children {
+            self.number(c, counter);
+        }
+        self.nodes[i].last = *counter - 1;
+    }
+
+    /// The schema of name predicates.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The pattern vocabulary `P`.
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    /// Number of nodes (words in `t`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the model has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[ModelNode] {
+        &self.nodes
+    }
+
+    /// The root indices.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// `u ⊃ v` in the model: `u` is a proper ancestor of `v`.
+    #[inline]
+    pub fn ancestor(&self, u: usize, v: usize) -> bool {
+        let (a, b) = (&self.nodes[u], &self.nodes[v]);
+        a.pre < b.pre && b.pre <= a.last
+    }
+
+    /// `u < v` in the region sense: `u`'s subtree lies entirely before `v`
+    /// (Definition 3.2 (2): lexicographic order restricted to non-prefix
+    /// pairs).
+    #[inline]
+    pub fn strictly_precedes(&self, u: usize, v: usize) -> bool {
+        self.nodes[u].last < self.nodes[v].pre
+    }
+
+    /// `u ∈ Q` for a name predicate.
+    #[inline]
+    pub fn has_name(&self, u: usize, name: NameId) -> bool {
+        self.nodes[u].name == name
+    }
+
+    /// `u ∈ Q_{n+j}` for a pattern predicate.
+    #[inline]
+    pub fn has_pattern(&self, u: usize, pat: usize) -> bool {
+        self.nodes[u].patterns.contains(&pat)
+    }
+
+    /// Nesting depth of the forest.
+    pub fn depth(&self) -> usize {
+        fn go(m: &Model, i: usize) -> usize {
+            1 + m.nodes[i].children.iter().map(|&c| go(m, c)).max().unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| go(self, r)).max().unwrap_or(0)
+    }
+
+    /// Builds the model representing an instance w.r.t. a pattern set
+    /// (Definition 3.2, instance → model direction).
+    pub fn from_instance<W: WordIndex>(inst: &Instance<W>, patterns: &[&str]) -> Model {
+        let forest = inst.forest();
+        let n = forest.len();
+        let mut parents = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let mut pattern_sets = Vec::with_capacity(n);
+        for (i, r, name) in forest.iter() {
+            parents.push(forest.parent(i));
+            names.push(name);
+            pattern_sets.push(
+                patterns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| inst.word_index().matches(r, p))
+                    .map(|(j, _)| j)
+                    .collect(),
+            );
+        }
+        // The forest is ordered by (left asc, right desc), so parents precede
+        // children and siblings are in text order — exactly what
+        // `from_parents` expects.
+        Model::from_parents(
+            inst.schema().clone(),
+            patterns.iter().map(|s| s.to_string()).collect(),
+            &parents,
+            &names,
+            &pattern_sets,
+        )
+    }
+
+    /// Realizes the model as a region instance over an
+    /// [`tr_core::ExplicitWordIndex`] (Definition 3.2, model → instance
+    /// direction). Every model with disjoint name predicates — which this
+    /// representation enforces by construction — represents an instance.
+    pub fn to_instance(&self) -> Instance<tr_core::ExplicitWordIndex> {
+        // Lay out like the generators: every node reserves one position on
+        // each side of its children.
+        fn width(m: &Model, i: usize) -> u64 {
+            2 + m.nodes[i].children.iter().map(|&c| width(m, c)).sum::<u64>()
+        }
+        fn emit(
+            m: &Model,
+            i: usize,
+            start: u64,
+            sets: &mut [Vec<Region>],
+            word: &mut tr_core::ExplicitWordIndex,
+        ) -> u64 {
+            let w = width(m, i);
+            let (left, right) = (start as Pos, (start + w - 1) as Pos);
+            let region = Region::new(left, right);
+            sets[m.nodes[i].name.index()].push(region);
+            for &p in &m.nodes[i].patterns {
+                word.set(region, &m.patterns[p]);
+            }
+            let mut cursor = start + 1;
+            for &c in &m.nodes[i].children {
+                cursor = emit(m, c, cursor, sets, word) + 1;
+            }
+            start + w - 1
+        }
+        let mut sets = vec![Vec::new(); self.schema.len()];
+        let mut word = tr_core::ExplicitWordIndex::new();
+        let mut pos = 0u64;
+        for &r in &self.roots {
+            pos = emit(self, r, pos, &mut sets, &mut word) + 1;
+        }
+        let sets = sets.into_iter().map(tr_core::RegionSet::from_regions).collect();
+        Instance::build(self.schema.clone(), sets, word).expect("forest layout is hierarchical")
+    }
+
+    /// The region assigned to node `u` by [`Model::to_instance`]'s layout.
+    pub fn region_of(&self, u: usize) -> Region {
+        // Recompute the layout positions for this node: left = pre-order
+        // position shifted by ancestors; simpler to recompute from scratch.
+        fn width(m: &Model, i: usize) -> u64 {
+            2 + m.nodes[i].children.iter().map(|&c| width(m, c)).sum::<u64>()
+        }
+        fn find(m: &Model, i: usize, start: u64, target: usize) -> Result<Region, u64> {
+            let w = width(m, i);
+            if i == target {
+                return Ok(Region::new(start as Pos, (start + w - 1) as Pos));
+            }
+            let mut cursor = start + 1;
+            for &c in &m.nodes[i].children {
+                match find(m, c, cursor, target) {
+                    Ok(r) => return Ok(r),
+                    Err(next) => cursor = next + 1,
+                }
+            }
+            Err(start + w - 1)
+        }
+        let mut pos = 0u64;
+        for &r in &self.roots {
+            match find(self, r, pos, u) {
+                Ok(region) => return region,
+                Err(next) => pos = next + 1,
+            }
+        }
+        unreachable!("node {u} not in model")
+    }
+}
+
+/// Convenience: build an `InstanceBuilder`-style model literal for tests:
+/// `(parent_or_none, "Name", &["pat", …])` triples.
+pub fn model_literal(
+    schema: Schema,
+    patterns: &[&str],
+    nodes: &[(Option<usize>, &str, &[usize])],
+) -> Model {
+    let parents: Vec<Option<usize>> = nodes.iter().map(|&(p, _, _)| p).collect();
+    let names: Vec<NameId> = nodes.iter().map(|&(_, n, _)| schema.expect_id(n)).collect();
+    let pats: Vec<Vec<usize>> = nodes.iter().map(|&(_, _, ps)| ps.to_vec()).collect();
+    Model::from_parents(
+        schema,
+        patterns.iter().map(|s| s.to_string()).collect(),
+        &parents,
+        &names,
+        &pats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{region, InstanceBuilder};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn sample() -> Model {
+        // A
+        // ├── B {x}
+        // │   └── A
+        // └── B
+        // A (second root)
+        model_literal(
+            schema(),
+            &["x"],
+            &[
+                (None, "A", &[]),
+                (Some(0), "B", &[0]),
+                (Some(1), "A", &[]),
+                (Some(0), "B", &[]),
+                (None, "A", &[]),
+            ],
+        )
+    }
+
+    #[test]
+    fn relations() {
+        let m = sample();
+        assert!(m.ancestor(0, 1));
+        assert!(m.ancestor(0, 2));
+        assert!(m.ancestor(1, 2));
+        assert!(!m.ancestor(2, 1));
+        assert!(!m.ancestor(0, 4));
+        assert!(m.strictly_precedes(1, 3), "first B subtree before second B");
+        assert!(!m.strictly_precedes(0, 1), "ancestor does not precede descendant");
+        assert!(m.strictly_precedes(0, 4));
+        assert!(m.strictly_precedes(2, 3));
+    }
+
+    #[test]
+    fn labels() {
+        let m = sample();
+        let s = m.schema().clone();
+        assert!(m.has_name(0, s.expect_id("A")));
+        assert!(m.has_name(1, s.expect_id("B")));
+        assert!(m.has_pattern(1, 0));
+        assert!(!m.has_pattern(0, 0));
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn instance_round_trip_preserves_structure() {
+        let m = sample();
+        let inst = m.to_instance();
+        assert_eq!(inst.len(), 5);
+        let m2 = Model::from_instance(&inst, &["x"]);
+        assert_eq!(m, m2, "model → instance → model is the identity");
+    }
+
+    #[test]
+    fn from_instance_matches_hand_built() {
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 4))
+            .occurrence("x", 2, 1)
+            .build_valid();
+        let m = Model::from_instance(&inst, &["x"]);
+        assert_eq!(m.len(), 2);
+        assert!(m.ancestor(0, 1));
+        assert!(m.has_pattern(1, 0), "the occurrence is inside B");
+        assert!(m.has_pattern(0, 0), "…and inside A (match-point W is monotone)");
+    }
+
+    #[test]
+    fn region_of_matches_layout() {
+        let m = sample();
+        let inst = m.to_instance();
+        for u in 0..m.len() {
+            assert!(inst.contains(m.region_of(u)), "node {u}");
+            assert_eq!(inst.name_of(m.region_of(u)), Some(m.nodes()[u].name));
+        }
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = model_literal(schema(), &[], &[]);
+        assert!(m.is_empty());
+        assert_eq!(m.depth(), 0);
+        assert!(m.to_instance().is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Cost-based query optimization via emptiness testing (Section 3).
+//!
+//! The paper's scheme: with a price function where every operation adds
+//! cost, optimizing `e` means searching the (finite) set of cheaper
+//! expressions for one equivalent to `e`, deciding each equivalence by
+//! emptiness of the symmetric difference. That search is expensive in
+//! general (Theorem 3.5); this module implements the practical kernel —
+//! candidates are *prunings* of `e` (sub-expressions promoted over their
+//! parent operator), which is where real redundancy lives, and
+//! equivalence is decided by the bounded checker, optionally w.r.t. a RIG
+//! (Theorem 3.6).
+
+use crate::emptiness::EmptinessChecker;
+use std::collections::BTreeSet;
+use tr_core::Expr;
+
+/// All prunings of `e`: expressions obtained by replacing any binary node
+/// with one of its operands, or any selection with its operand, applied
+/// repeatedly. `e` itself is included. The set is finite and at most
+/// exponential in `|e|`; for query-sized expressions it is small.
+pub fn prunings(e: &Expr) -> Vec<Expr> {
+    // Stringify for dedup: Expr is Hash but BTreeSet needs Ord; the textual
+    // form is canonical enough (it round-trips structure exactly).
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut stack = vec![e.clone()];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur.to_string()) {
+            continue;
+        }
+        for child in one_step_prunings(&cur) {
+            stack.push(child);
+        }
+        out.push(cur);
+    }
+    out
+}
+
+/// Prunings that remove exactly one operator somewhere in `e`.
+fn one_step_prunings(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Name(_) => {}
+        Expr::Select(p, inner) => {
+            out.push((**inner).clone());
+            for sub in one_step_prunings(inner) {
+                out.push(sub.select(p.clone()));
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            for sub in one_step_prunings(l) {
+                out.push(Expr::bin(*op, sub, (**r).clone()));
+            }
+            for sub in one_step_prunings(r) {
+                out.push(Expr::bin(*op, (**l).clone(), sub));
+            }
+        }
+    }
+    out
+}
+
+/// The cheapest pruning of `e` equivalent to it under `checker`'s bounds
+/// (and RIG, if the checker carries one). Ties break toward the first
+/// found; the result is `e` itself when nothing cheaper is equivalent.
+pub fn optimize(e: &Expr, checker: &EmptinessChecker) -> Expr {
+    let mut candidates = prunings(e);
+    candidates.sort_by_key(Expr::num_ops);
+    for cand in candidates {
+        if cand.num_ops() >= e.num_ops() {
+            break;
+        }
+        if checker.equivalent(&cand, e) {
+            return cand;
+        }
+    }
+    e.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness::Bounds;
+    use tr_core::{Expr, Schema};
+    use tr_rig::Rig;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn a() -> Expr {
+        Expr::name(schema().expect_id("A"))
+    }
+
+    fn b() -> Expr {
+        Expr::name(schema().expect_id("B"))
+    }
+
+    #[test]
+    fn prunings_cover_all_single_removals() {
+        let e = a().including(b()).union(a().select("x"));
+        let ps = prunings(&e);
+        let strings: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+        assert!(strings.contains(&"R0".to_string()));
+        assert!(strings.contains(&"R1".to_string()));
+        assert!(strings.contains(&"R0 ⊃ R1".to_string()));
+        assert!(strings.contains(&"σ[\"x\"](R0)".to_string()));
+        assert!(strings.contains(&"(R0 ⊃ R1) ∪ R0".to_string()));
+        assert!(strings.contains(&e.to_string()));
+    }
+
+    #[test]
+    fn idempotent_union_is_pruned() {
+        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let e = a().union(a());
+        assert_eq!(optimize(&e, &checker), a());
+    }
+
+    #[test]
+    fn useful_operators_survive() {
+        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let e = a().including(b());
+        assert_eq!(optimize(&e, &checker), e, "A ⊃ B is not equivalent to A or B");
+    }
+
+    #[test]
+    fn rig_enables_deeper_pruning() {
+        // With RIG P → H → N, `N ⊂ H ⊂ P` prunes to `N ⊂ P` (2 ops → 1 op).
+        let s3 = Schema::new(["P", "H", "N"]);
+        let rig = Rig::from_edges(s3.clone(), [("P", "H"), ("H", "N")]);
+        let n = Expr::name(s3.expect_id("N"));
+        let h = Expr::name(s3.expect_id("H"));
+        let p = Expr::name(s3.expect_id("P"));
+        let long = n.clone().included_in(h.included_in(p.clone()));
+        let bounds = Bounds { max_nodes: 4, max_depth: 4 };
+        let with_rig = EmptinessChecker::with_rig(rig, bounds);
+        let opt = optimize(&long, &with_rig);
+        assert_eq!(opt, n.included_in(p));
+        // Without the RIG the long chain is already minimal.
+        let plain = EmptinessChecker::new(s3, bounds);
+        assert_eq!(optimize(&long, &plain), long);
+    }
+
+    #[test]
+    fn optimization_never_increases_cost() {
+        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        for e in [
+            a().intersect(a()).union(b()),
+            a().diff(b()).diff(b()),
+            a().select("x").union(a().select("x")),
+        ] {
+            let opt = optimize(&e, &checker);
+            assert!(opt.num_ops() <= e.num_ops());
+            assert!(checker.equivalent(&opt, &e));
+        }
+    }
+}

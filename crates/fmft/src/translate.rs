@@ -1,0 +1,212 @@
+//! The algebra ⇄ restricted-formula translations of Proposition 3.3.
+//!
+//! Both directions follow the paper's constructive proof: region names map
+//! to name predicates, the set operators to `∨`/`∧`/`∧¬`, the structural
+//! semi-joins to the guarded existentials, and `σ_p` to a conjunction with
+//! the pattern predicate. The tests verify the semantic statement of the
+//! proposition: for every instance `I`, model `t` representing it, and
+//! region `r`, `r ∈ e(I)` iff `node(r) ∈ φ(t)`.
+
+use crate::formula::{Pred, Rel, Restricted};
+use crate::model::Model;
+use tr_core::{BinOp, Expr, RegionSet, Schema};
+
+/// Translates a region algebra expression into an equivalent restricted
+/// formula. `patterns` is the vocabulary `P` (must contain every pattern
+/// in `e`; indices into it become pattern predicates).
+pub fn expr_to_formula(e: &Expr, patterns: &[String]) -> Restricted {
+    match e {
+        Expr::Name(id) => Restricted::Pred(Pred::Name(*id)),
+        Expr::Select(p, inner) => {
+            let j = patterns
+                .iter()
+                .position(|q| q == p)
+                .unwrap_or_else(|| panic!("pattern {p:?} missing from vocabulary"));
+            expr_to_formula(inner, patterns).and(Restricted::Pred(Pred::Pattern(j)))
+        }
+        Expr::Bin(op, l, r) => {
+            let phi1 = expr_to_formula(l, patterns);
+            let phi2 = expr_to_formula(r, patterns);
+            match op {
+                BinOp::Union => phi1.or(phi2),
+                BinOp::Intersect => phi1.and(phi2),
+                BinOp::Diff => phi1.and_not(phi2),
+                BinOp::Including => phi1.exists(Rel::Prefix, phi2),
+                BinOp::IncludedIn => phi1.exists_flipped(Rel::Prefix, phi2),
+                BinOp::Before => phi1.exists(Rel::Less, phi2),
+                BinOp::After => phi1.exists_flipped(Rel::Less, phi2),
+            }
+        }
+    }
+}
+
+/// Translates a restricted formula into an equivalent region algebra
+/// expression (the converse direction of Proposition 3.3).
+///
+/// A bare pattern predicate `Q_{n+j}(x)` denotes "any region matching
+/// `p_j`", which the algebra expresses as `σ_{p_j}(R_1 ∪ … ∪ R_n)` —
+/// hence the `schema` argument.
+pub fn formula_to_expr(phi: &Restricted, schema: &Schema, patterns: &[String]) -> Expr {
+    match phi {
+        Restricted::Pred(Pred::Name(id)) => Expr::Name(*id),
+        Restricted::Pred(Pred::Pattern(j)) => all_names(schema).select(patterns[*j].clone()),
+        Restricted::Or(a, b) => {
+            formula_to_expr(a, schema, patterns).union(formula_to_expr(b, schema, patterns))
+        }
+        Restricted::And(a, b) => {
+            formula_to_expr(a, schema, patterns).intersect(formula_to_expr(b, schema, patterns))
+        }
+        Restricted::AndNot(a, b) => {
+            formula_to_expr(a, schema, patterns).diff(formula_to_expr(b, schema, patterns))
+        }
+        Restricted::Exists { rel, flipped, outer, inner } => {
+            let l = formula_to_expr(outer, schema, patterns);
+            let r = formula_to_expr(inner, schema, patterns);
+            let op = match (rel, flipped) {
+                (Rel::Prefix, false) => BinOp::Including,
+                (Rel::Prefix, true) => BinOp::IncludedIn,
+                (Rel::Less, false) => BinOp::Before,
+                (Rel::Less, true) => BinOp::After,
+            };
+            Expr::bin(op, l, r)
+        }
+    }
+}
+
+/// `R_1 ∪ … ∪ R_n`.
+fn all_names(schema: &Schema) -> Expr {
+    let mut ids = schema.ids();
+    let first = Expr::name(ids.next().expect("schema must be non-empty"));
+    ids.fold(first, |acc, id| acc.union(Expr::name(id)))
+}
+
+/// Evaluates a region algebra expression directly on a model, through the
+/// translation. Returns the node mask.
+pub fn eval_expr_on_model(e: &Expr, t: &Model) -> Vec<bool> {
+    let patterns: Vec<String> = t.patterns().to_vec();
+    expr_to_formula(e, &patterns).eval(t)
+}
+
+/// The set of regions a node mask denotes under the model's layout
+/// ([`Model::to_instance`]'s coordinates).
+pub fn mask_to_regions(t: &Model, mask: &[bool]) -> RegionSet {
+    mask.iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(u, _)| t.region_of(u))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use tr_core::{eval, Instance, NameId};
+
+    fn random_expr<R: Rng>(rng: &mut R, schema: &Schema, patterns: &[&str], ops: usize) -> Expr {
+        if ops == 0 {
+            return Expr::name(NameId::from_index(rng.gen_range(0..schema.len())));
+        }
+        if !patterns.is_empty() && rng.gen_bool(0.2) {
+            let p = patterns[rng.gen_range(0..patterns.len())];
+            return random_expr(rng, schema, patterns, ops - 1).select(p);
+        }
+        let split = rng.gen_range(0..ops);
+        let l = random_expr(rng, schema, patterns, split);
+        let r = random_expr(rng, schema, patterns, ops - 1 - split);
+        let op = BinOp::ALL[rng.gen_range(0..BinOp::ALL.len())];
+        Expr::bin(op, l, r)
+    }
+
+    fn random_instance<R: Rng>(rng: &mut R, schema: &Schema) -> Instance {
+        // Reuse the generator idea locally to avoid a dependency cycle with
+        // tr-markup: a small random forest.
+        let mut b = tr_core::InstanceBuilder::new(schema.clone());
+        let mut pos = 0u32;
+        for _ in 0..rng.gen_range(1..6) {
+            let w = rng.gen_range(2..12);
+            let name = if rng.gen_bool(0.5) { "A" } else { "B" };
+            b = b.add(name, tr_core::region(pos, pos + w));
+            if w >= 4 {
+                let name2 = if rng.gen_bool(0.5) { "A" } else { "B" };
+                b = b.add(name2, tr_core::region(pos + 1, pos + w - 1));
+                if rng.gen_bool(0.5) {
+                    b = b.occurrence("x", pos + 2, 1);
+                }
+            }
+            pos += w + 2;
+        }
+        b.build_valid()
+    }
+
+    /// Proposition 3.3, algebra → formula direction, checked semantically
+    /// on random instances.
+    #[test]
+    fn translation_preserves_semantics() {
+        let schema = Schema::new(["A", "B"]);
+        let patterns = ["x"];
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..200 {
+            let ops = rng.gen_range(1..6);
+            let e = random_expr(&mut rng, &schema, &patterns, ops);
+            let inst = random_instance(&mut rng, &schema);
+            let algebra = eval(&e, &inst);
+            let t = Model::from_instance(&inst, &patterns);
+            let mask = eval_expr_on_model(&e, &t);
+            // Compare region-by-region through the forest correspondence.
+            let forest = inst.forest();
+            for (u, r, _) in forest.iter() {
+                assert_eq!(
+                    algebra.contains(r),
+                    mask[u],
+                    "trial {trial}: expr {e}, region {r}, instance {inst:?}"
+                );
+            }
+        }
+    }
+
+    /// Round trip: formula → expr → formula preserves semantics on the
+    /// models derived from random instances (the converse direction).
+    #[test]
+    fn converse_translation_round_trips() {
+        let schema = Schema::new(["A", "B"]);
+        let patterns: Vec<String> = vec!["x".into()];
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..100 {
+            let ops = rng.gen_range(1..5);
+            let e = random_expr(&mut rng, &schema, &["x"], ops);
+            let phi = expr_to_formula(&e, &patterns);
+            let back = formula_to_expr(&phi, &schema, &patterns);
+            let inst = random_instance(&mut rng, &schema);
+            assert_eq!(eval(&e, &inst), eval(&back, &inst), "expr {e} → {phi} → {back}");
+        }
+    }
+
+    /// A bare pattern predicate becomes a selection over the union of all
+    /// names.
+    #[test]
+    fn pattern_predicate_selects_all_names() {
+        let schema = Schema::new(["A", "B"]);
+        let patterns: Vec<String> = vec!["x".into()];
+        let phi = Restricted::Pred(Pred::Pattern(0));
+        let e = formula_to_expr(&phi, &schema, &patterns);
+        assert_eq!(e.to_string(), "σ[\"x\"](R0 ∪ R1)");
+    }
+
+    #[test]
+    fn mask_round_trip_through_layout() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = tr_core::InstanceBuilder::new(schema.clone())
+            .add("A", tr_core::region(0, 9))
+            .add("B", tr_core::region(1, 4))
+            .build_valid();
+        let t = Model::from_instance(&inst, &[]);
+        let e = Expr::name(schema.expect_id("A"));
+        let mask = eval_expr_on_model(&e, &t);
+        let regions = mask_to_regions(&t, &mask);
+        assert_eq!(regions.len(), 1);
+        // The layout instance must agree with the mask too.
+        let layout = t.to_instance();
+        assert_eq!(eval(&e, &layout), regions);
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's counter-example instance families (Figures 2 and 3), used
+//! by the inexpressibility proofs of Theorems 5.1 and 5.3 and by
+//! experiments E6/E7.
+
+use tr_core::{region, Instance, InstanceBuilder, Region, Schema};
+use tr_rig::Rig;
+
+/// Schema of the Figure 2 family: two mutually-nestable names.
+pub fn figure_2_schema() -> Schema {
+    Schema::new(["A", "B"])
+}
+
+/// The Figure 2 RIG: edges `(A, B)` and `(B, A)` (self-nested regions
+/// through mutual recursion).
+pub fn figure_2_rig() -> Rig {
+    Rig::from_edges(figure_2_schema(), [("A", "B"), ("B", "A")])
+}
+
+/// The Figure 2 counter-example instance: a single chain of `levels`
+/// alternately-named regions, outermost `B`:
+///
+/// ```text
+/// B ⊃ A ⊃ B ⊃ A ⊃ …
+/// ```
+///
+/// Every `B` level directly includes an `A` level (so `B ⊃_d A` selects
+/// every non-innermost `B`), and deleting one interior `A` level makes the
+/// `B` above it directly include a `B` — changing the answer of `⊃_d`
+/// while, by the deletion theorem (4.1), no algebra expression of bounded
+/// size can notice a deep enough deletion. See Theorem 5.1.
+pub fn figure_2_instance(levels: usize) -> Instance {
+    assert!(levels >= 1);
+    let mut b = InstanceBuilder::new(figure_2_schema());
+    for i in 0..levels {
+        let name = if i % 2 == 0 { "B" } else { "A" };
+        let i = i as u32;
+        b = b.add(name, region(i, 2 * levels as u32 - i));
+    }
+    b.build_valid()
+}
+
+/// The chain regions of [`figure_2_instance`], outermost first.
+pub fn figure_2_chain(levels: usize) -> Vec<Region> {
+    (0..levels as u32)
+        .map(|i| region(i, 2 * levels as u32 - i))
+        .collect()
+}
+
+/// Schema of the Figure 3 family.
+pub fn figure_3_schema() -> Schema {
+    Schema::new(["A", "B", "C"])
+}
+
+/// The Figure 3 RIG: `C` regions contain `A`s and `B`s.
+pub fn figure_3_rig() -> Rig {
+    Rig::from_edges(figure_3_schema(), [("C", "A"), ("C", "B")])
+}
+
+/// Handles into a [`figure_3_instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure3 {
+    /// The middle `C` region — the only one with `B` before an `A`.
+    pub middle_c: Region,
+    /// The first `A` inside the middle `C` (before the `B`).
+    pub first_a: Region,
+    /// The second `A` inside the middle `C` (after the `B`) — the region
+    /// whose reduction flips the `BI` answer.
+    pub second_a: Region,
+}
+
+/// The Figure 3 counter-example instance: `4k + 1` sibling `C` regions.
+/// Ordinary `C`s contain `A < B`; the middle one contains `A < B < A`.
+///
+/// `C BI (B, A)` — `C` regions containing a `B` before an `A` — selects
+/// exactly the middle `C`. The two `A`s of the middle `C` are isomorphic
+/// w.r.t. any pattern set, so `reduce` may delete the second one, after
+/// which the middle `C` looks like all the others and drops out of the
+/// `BI` answer; Theorem 4.4 shows a bounded expression cannot tell the
+/// difference when `k` exceeds its order-operation count. See Theorem 5.3.
+pub fn figure_3_instance(k: usize) -> (Instance, Figure3) {
+    let n = 4 * k + 1;
+    let mid = n / 2;
+    let mut b = InstanceBuilder::new(figure_3_schema());
+    let mut handles = None;
+    let mut pos = 0u32;
+    for i in 0..n {
+        // Ordinary C: [ A B ] width 8; middle C: [ A B A ] width 11.
+        if i == mid {
+            let c = region(pos, pos + 10);
+            let a1 = region(pos + 1, pos + 2);
+            let bb = region(pos + 4, pos + 5);
+            let a2 = region(pos + 7, pos + 8);
+            b = b.add("C", c).add("A", a1).add("B", bb).add("A", a2);
+            handles = Some(Figure3 { middle_c: c, first_a: a1, second_a: a2 });
+            pos += 12;
+        } else {
+            let c = region(pos, pos + 7);
+            b = b
+                .add("C", c)
+                .add("A", region(pos + 1, pos + 2))
+                .add("B", region(pos + 4, pos + 5));
+            pos += 9;
+        }
+    }
+    (b.build_valid(), handles.expect("n ≥ 1 so the middle exists"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{eval, Expr, RegionSet};
+    use tr_rig::{satisfies_rig, Rog};
+
+    #[test]
+    fn figure_2_shape() {
+        let inst = figure_2_instance(8);
+        assert_eq!(inst.len(), 8);
+        assert_eq!(inst.nesting_depth(), 8);
+        assert_eq!(inst.regions_of_name("B").len(), 4);
+        assert!(satisfies_rig(&inst, &figure_2_rig()));
+        let chain = figure_2_chain(8);
+        assert_eq!(chain.len(), 8);
+        for w in chain.windows(2) {
+            assert!(w[0].includes(w[1]));
+        }
+    }
+
+    #[test]
+    fn figure_2_b_including_a() {
+        let inst = figure_2_instance(7); // B A B A B A B
+        let s = inst.schema().clone();
+        let e = Expr::name(s.expect_id("B")).including(Expr::name(s.expect_id("A")));
+        // Every B except the innermost includes (transitively) an A.
+        assert_eq!(eval(&e, &inst).len(), 3);
+    }
+
+    #[test]
+    fn figure_3_shape() {
+        let k = 2;
+        let (inst, h) = figure_3_instance(k);
+        assert_eq!(inst.regions_of_name("C").len(), 4 * k + 1);
+        assert_eq!(inst.regions_of_name("A").len(), 4 * k + 2);
+        assert_eq!(inst.regions_of_name("B").len(), 4 * k + 1);
+        assert!(satisfies_rig(&inst, &figure_3_rig()));
+        assert!(h.middle_c.includes(h.first_a));
+        assert!(h.middle_c.includes(h.second_a));
+        assert!(h.first_a.precedes(h.second_a));
+        // The ROG of the family. Note direct precedence crosses C
+        // boundaries: a C (or the trailing A/B inside it) directly precedes
+        // both the next C and that C's leading A, because neither is
+        // "between" the other.
+        let rog = Rog::from_edges(
+            figure_3_schema(),
+            [
+                ("A", "B"), // A < B inside every C
+                ("B", "A"), // B < second A in the middle C
+                ("B", "C"), // trailing B < next C
+                ("A", "C"), // middle trailing A < next C
+                ("A", "A"), // middle trailing A < next C's leading A
+                ("C", "C"), // C < next C
+                ("C", "A"), // C < next C's leading A
+            ],
+        );
+        assert!(tr_rig::satisfies_rog(&inst, &rog));
+        // Dropping the cross-boundary edges must surface a violation.
+        let too_small =
+            Rog::from_edges(figure_3_schema(), [("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")]);
+        assert!(!tr_rig::satisfies_rog(&inst, &too_small));
+    }
+
+    /// Only the middle C has a B preceding an A *within the same C* —
+    /// the both-included semantics the algebra cannot express.
+    #[test]
+    fn figure_3_bi_semantics() {
+        let (inst, h) = figure_3_instance(1);
+        let bi: RegionSet = inst
+            .regions_of_name("C")
+            .filter(|c| {
+                inst.regions_of_name("B").iter().any(|b| {
+                    c.includes(b)
+                        && inst
+                            .regions_of_name("A")
+                            .iter()
+                            .any(|a| c.includes(a) && b.precedes(a))
+                })
+            });
+        assert_eq!(bi.as_slice(), &[h.middle_c]);
+    }
+
+    /// The naive algebra attempt `C ⊃ (B < A)` over-selects: every C
+    /// containing a B that precedes *some* A (possibly in another C).
+    #[test]
+    fn figure_3_naive_attempt_overselects() {
+        let (inst, _) = figure_3_instance(1);
+        let s = inst.schema().clone();
+        let e = Expr::name(s.expect_id("C")).including(
+            Expr::name(s.expect_id("B")).before(Expr::name(s.expect_id("A"))),
+        );
+        // All Cs except the last contain a B preceding an A somewhere.
+        assert_eq!(eval(&e, &inst).len(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tr-markup — producing region instances from documents
+//!
+//! The paper assumes "a specific set of named regions on the indexed text"
+//! (Definition 2.1) without fixing where they come from; in practice they
+//! come from markup or language structure. This crate supplies:
+//!
+//! * [`parse_sgml`] — SGML-lite documents ("SGML documents in general",
+//!   Section 2);
+//! * [`parse_program`] / [`ProgramSpec`] — the paper's running example: a
+//!   toy Pascal-like language whose regions follow the Figure 1 RIG;
+//! * [`random_rig_instance`] / [`random_hierarchical_instance`] — synthetic
+//!   generators for benchmarks and property tests;
+//! * [`figure_2_instance`] / [`figure_3_instance`] — the counter-example
+//!   families of Theorems 5.1 and 5.3.
+
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod random;
+pub mod sgml;
+pub mod source;
+
+pub use families::{
+    figure_2_chain, figure_2_instance, figure_2_rig, figure_2_schema, figure_3_instance,
+    figure_3_rig, figure_3_schema, Figure3,
+};
+pub use random::{random_hierarchical_instance, random_rig_instance, RigInstanceConfig};
+pub use sgml::{parse_sgml, SgmlError};
+pub use source::{parse_program, source_schema, ParseError, ProcSpec, ProgramSpec};

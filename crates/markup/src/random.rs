@@ -1,0 +1,251 @@
+//! Random hierarchical instance generators.
+//!
+//! Two flavours: [`random_rig_instance`] grows a forest whose direct
+//! inclusions follow a given RIG (for RIG-aware experiments), and
+//! [`random_hierarchical_instance`] grows an unconstrained hierarchy (the
+//! workhorse of the property tests, which quantify over *all* instances).
+
+use rand::Rng;
+use tr_core::{Instance, InstanceBuilder, NameId, Pos, Schema};
+use tr_rig::Rig;
+
+/// Shape parameters for [`random_rig_instance`].
+#[derive(Debug, Clone)]
+pub struct RigInstanceConfig {
+    /// Upper bound on the number of regions (generation stops there).
+    pub max_regions: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Maximum children per region.
+    pub max_children: usize,
+    /// Names allowed at the top level.
+    pub roots: Vec<NameId>,
+    /// Pattern vocabulary sprinkled over the regions.
+    pub patterns: Vec<String>,
+    /// Probability that a region carries an occurrence of some pattern.
+    pub pattern_density: f64,
+}
+
+impl RigInstanceConfig {
+    /// A reasonable default: up to `max_regions` regions, depth 8, fanout
+    /// 4, every name allowed at the root, no patterns.
+    pub fn new(schema: &Schema, max_regions: usize) -> RigInstanceConfig {
+        RigInstanceConfig {
+            max_regions,
+            max_depth: 8,
+            max_children: 4,
+            roots: schema.ids().collect(),
+            patterns: Vec::new(),
+            pattern_density: 0.0,
+        }
+    }
+}
+
+/// Tree skeleton node used during generation.
+struct Node {
+    name: NameId,
+    children: Vec<Node>,
+}
+
+impl Node {
+    /// Width of the span needed: every node reserves one position on each
+    /// side of its children, leaves get width 2.
+    fn width(&self) -> u64 {
+        2 + self.children.iter().map(Node::width).sum::<u64>()
+    }
+}
+
+/// Generates a random instance whose direct inclusions all follow `rig`
+/// edges and whose roots are drawn from `cfg.roots`. The result always
+/// satisfies the RIG (checked by the generator's own tests).
+pub fn random_rig_instance<R: Rng>(rig: &Rig, cfg: &RigInstanceConfig, rng: &mut R) -> Instance {
+    let mut remaining = cfg.max_regions;
+    let mut roots: Vec<Node> = Vec::new();
+    while remaining > 0 {
+        if cfg.roots.is_empty() {
+            break;
+        }
+        let name = cfg.roots[rng.gen_range(0..cfg.roots.len())];
+        let node = grow(rig, cfg, rng, name, 1, &mut remaining);
+        roots.push(node);
+    }
+    place(rig.schema().clone(), roots, cfg, rng)
+}
+
+fn grow<R: Rng>(
+    rig: &Rig,
+    cfg: &RigInstanceConfig,
+    rng: &mut R,
+    name: NameId,
+    depth: usize,
+    remaining: &mut usize,
+) -> Node {
+    *remaining = remaining.saturating_sub(1);
+    let mut node = Node { name, children: Vec::new() };
+    if depth >= cfg.max_depth || *remaining == 0 {
+        return node;
+    }
+    let options: Vec<NameId> = rig.successors(name).collect();
+    if options.is_empty() {
+        return node;
+    }
+    let n_children = rng.gen_range(0..=cfg.max_children.min(*remaining));
+    for _ in 0..n_children {
+        if *remaining == 0 {
+            break;
+        }
+        let child = options[rng.gen_range(0..options.len())];
+        node.children.push(grow(rig, cfg, rng, child, depth + 1, remaining));
+    }
+    node
+}
+
+/// Lays the skeleton out on the number line and builds the instance.
+fn place<R: Rng>(
+    schema: Schema,
+    roots: Vec<Node>,
+    cfg: &RigInstanceConfig,
+    rng: &mut R,
+) -> Instance {
+    let mut b = InstanceBuilder::new(schema);
+    let mut pos: u64 = 0;
+    let mut occurrences: Vec<(String, Pos)> = Vec::new();
+    for root in &roots {
+        pos = emit(root, pos, &mut b, cfg, rng, &mut occurrences) + 1;
+    }
+    for (pat, at) in occurrences {
+        b.push_occurrence(&pat, at, 1);
+    }
+    b.build_valid()
+}
+
+/// Emits `node` starting at `start`; returns the node's right endpoint.
+fn emit<R: Rng>(
+    node: &Node,
+    start: u64,
+    b: &mut InstanceBuilder,
+    cfg: &RigInstanceConfig,
+    rng: &mut R,
+    occurrences: &mut Vec<(String, Pos)>,
+) -> u64 {
+    let width = node.width();
+    let (left, right) = (start, start + width - 1);
+    let mut cursor = left + 1;
+    for child in &node.children {
+        cursor = emit(child, cursor, b, cfg, rng, occurrences) + 1;
+    }
+    take_region(b, node.name, left, right);
+    if !cfg.patterns.is_empty() && rng.gen_bool(cfg.pattern_density) {
+        let pat = &cfg.patterns[rng.gen_range(0..cfg.patterns.len())];
+        occurrences.push((pat.clone(), left as Pos));
+    }
+    right
+}
+
+fn take_region(b: &mut InstanceBuilder, name: NameId, left: u64, right: u64) {
+    let (l, r) = (
+        Pos::try_from(left).expect("span fits u32"),
+        Pos::try_from(right).expect("span fits u32"),
+    );
+    b.push_id(name, tr_core::region(l, r));
+}
+
+/// Generates an unconstrained random hierarchical instance: a random
+/// forest of about `target` regions with names drawn uniformly from the
+/// schema, plus random single-position occurrences of `patterns`.
+pub fn random_hierarchical_instance<R: Rng>(
+    schema: &Schema,
+    target: usize,
+    patterns: &[&str],
+    pattern_density: f64,
+    rng: &mut R,
+) -> Instance {
+    assert!(!schema.is_empty(), "need at least one region name");
+    let mut remaining = target.max(1);
+    let mut roots = Vec::new();
+    while remaining > 0 {
+        roots.push(grow_free(schema, rng, 1, &mut remaining));
+        if rng.gen_bool(0.3) {
+            break;
+        }
+    }
+    let cfg = RigInstanceConfig {
+        max_regions: target,
+        max_depth: usize::MAX,
+        max_children: usize::MAX,
+        roots: Vec::new(),
+        patterns: patterns.iter().map(|s| s.to_string()).collect(),
+        pattern_density,
+    };
+    place(schema.clone(), roots, &cfg, rng)
+}
+
+fn grow_free<R: Rng>(schema: &Schema, rng: &mut R, depth: usize, remaining: &mut usize) -> Node {
+    *remaining = remaining.saturating_sub(1);
+    let name = NameId::from_index(rng.gen_range(0..schema.len()));
+    let mut node = Node { name, children: Vec::new() };
+    // Deeper nodes get fewer children to keep sizes bounded.
+    let max_kids = (4usize).saturating_sub(depth / 3).min(*remaining);
+    if max_kids == 0 {
+        return node;
+    }
+    for _ in 0..rng.gen_range(0..=max_kids) {
+        if *remaining == 0 {
+            break;
+        }
+        node.children.push(grow_free(schema, rng, depth + 1, remaining));
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use tr_rig::satisfies_rig;
+
+    #[test]
+    fn rig_instances_satisfy_their_rig() {
+        let rig = Rig::figure_1();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = RigInstanceConfig::new(rig.schema(), 200);
+        cfg.roots = vec![rig.schema().expect_id("Program")];
+        for _ in 0..10 {
+            let inst = random_rig_instance(&rig, &cfg, &mut rng);
+            assert!(satisfies_rig(&inst, &rig));
+            assert!(inst.len() <= 200 + 1);
+        }
+    }
+
+    #[test]
+    fn free_instances_are_valid_and_sized() {
+        let schema = Schema::new(["A", "B", "C"]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let inst =
+                random_hierarchical_instance(&schema, 50, &["x", "y"], 0.3, &mut rng);
+            assert!(!inst.is_empty());
+            assert!(inst.len() <= 51);
+        }
+    }
+
+    #[test]
+    fn pattern_occurrences_land_inside_regions() {
+        use tr_core::WordIndex;
+        let schema = Schema::new(["A"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_hierarchical_instance(&schema, 30, &["x"], 1.0, &mut rng);
+        // Density 1 means every region matches "x" (its own left-end point).
+        for (r, _) in inst.all_with_names() {
+            assert!(inst.word_index().matches(*r, "x"));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let schema = Schema::new(["A", "B"]);
+        let a = random_hierarchical_instance(&schema, 40, &[], 0.0, &mut StdRng::seed_from_u64(7));
+        let b = random_hierarchical_instance(&schema, 40, &[], 0.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! An SGML-lite parser producing hierarchical region instances.
+//!
+//! The paper motivates region indexes with marked-up documents ("SGML
+//! documents in general"). This parser handles the structural subset that
+//! matters for region queries: properly nested `<tag> … </tag>` elements
+//! around arbitrary text, plus the syntax real corpora contain —
+//! attributes (`<sec id="3">`, kept out of the tag name), comments
+//! (`<!-- … -->`, skipped), declarations (`<!DOCTYPE …>`, skipped), and
+//! self-closing elements (`<br/>`, a region covering just the tag). Each
+//! element becomes a region spanning its whole extent (from the `<` of
+//! the open tag to the `>` of the close tag), named by its tag.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use tr_core::{Instance, Region, RegionSet, Schema};
+use tr_text::SuffixWordIndex;
+
+/// Errors from [`parse_sgml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgmlError {
+    /// A `</tag>` without a matching open tag.
+    UnmatchedClose {
+        /// The tag name.
+        tag: String,
+        /// Byte offset of the close tag.
+        at: usize,
+    },
+    /// An open tag never closed.
+    UnclosedTag {
+        /// The tag name.
+        tag: String,
+        /// Byte offset of the open tag.
+        at: usize,
+    },
+    /// A `<` without a matching `>`.
+    MalformedTag {
+        /// Byte offset of the `<`.
+        at: usize,
+    },
+}
+
+impl fmt::Display for SgmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgmlError::UnmatchedClose { tag, at } => {
+                write!(f, "unmatched </{tag}> at byte {at}")
+            }
+            SgmlError::UnclosedTag { tag, at } => write!(f, "<{tag}> at byte {at} never closed"),
+            SgmlError::MalformedTag { at } => write!(f, "malformed tag at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for SgmlError {}
+
+/// Parses SGML-lite markup into a region instance over a suffix-array word
+/// index of the *full* document text (tags included — PAT indexes the raw
+/// file).
+///
+/// The schema is derived from the tags present, in first-appearance order.
+pub fn parse_sgml(text: &str) -> Result<Instance<SuffixWordIndex>, SgmlError> {
+    let bytes = text.as_bytes();
+    let mut tags_in_order: Vec<String> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut open: Vec<(String, usize)> = Vec::new();
+    let mut regions: Vec<(String, Region)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comments and declarations are not regions.
+        if bytes[i..].starts_with(b"<!--") {
+            let end = text[i..]
+                .find("-->")
+                .map(|p| i + p + 3)
+                .ok_or(SgmlError::MalformedTag { at: i })?;
+            i = end;
+            continue;
+        }
+        if bytes[i..].starts_with(b"<!") || bytes[i..].starts_with(b"<?") {
+            let close = bytes[i..]
+                .iter()
+                .position(|&b| b == b'>')
+                .map(|p| i + p)
+                .ok_or(SgmlError::MalformedTag { at: i })?;
+            i = close + 1;
+            continue;
+        }
+        let close = bytes[i..]
+            .iter()
+            .position(|&b| b == b'>')
+            .map(|p| i + p)
+            .ok_or(SgmlError::MalformedTag { at: i })?;
+        let inner = &text[i + 1..close];
+        if let Some(tag) = inner.strip_prefix('/') {
+            let tag = tag.trim().to_owned();
+            match open.pop() {
+                Some((t, start)) if t == tag => {
+                    regions.push((t, Region::new(start as u32, close as u32)));
+                }
+                _ => return Err(SgmlError::UnmatchedClose { tag, at: i }),
+            }
+        } else {
+            let self_closing = inner.ends_with('/');
+            let inner = inner.strip_suffix('/').unwrap_or(inner);
+            // The tag name ends at the first whitespace; the rest is
+            // attributes, which region queries reach through σ patterns.
+            let tag = inner.split_whitespace().next().unwrap_or("").to_owned();
+            if tag.is_empty() {
+                return Err(SgmlError::MalformedTag { at: i });
+            }
+            if seen.insert(tag.clone()) {
+                tags_in_order.push(tag.clone());
+            }
+            if self_closing {
+                regions.push((tag, Region::new(i as u32, close as u32)));
+            } else {
+                open.push((tag, i));
+            }
+        }
+        i = close + 1;
+    }
+    if let Some((tag, at)) = open.pop() {
+        return Err(SgmlError::UnclosedTag { tag, at });
+    }
+
+    let schema = Schema::new(tags_in_order);
+    let mut sets = vec![Vec::new(); schema.len()];
+    for (tag, r) in regions {
+        sets[schema.expect_id(&tag).index()].push(r);
+    }
+    let sets: Vec<RegionSet> = sets.into_iter().map(RegionSet::from_regions).collect();
+    let word = SuffixWordIndex::new(text.as_bytes().to_vec());
+    Ok(Instance::build(schema, sets, word).expect("properly nested markup yields a hierarchy"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{eval, Expr};
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = "<doc><sec>alpha <sub>beta</sub></sec><sec>gamma</sec></doc>";
+        let inst = parse_sgml(doc).unwrap();
+        assert_eq!(inst.schema().names().collect::<Vec<_>>(), vec!["doc", "sec", "sub"]);
+        assert_eq!(inst.regions_of_name("doc").len(), 1);
+        assert_eq!(inst.regions_of_name("sec").len(), 2);
+        assert_eq!(inst.nesting_depth(), 3);
+    }
+
+    #[test]
+    fn regions_support_algebra_queries() {
+        let doc = "<doc><sec>alpha</sec><sec>beta</sec></doc>";
+        let inst = parse_sgml(doc).unwrap();
+        let s = inst.schema().clone();
+        // Sections containing the word "beta".
+        let q = Expr::name(s.expect_id("sec")).select("beta");
+        let out = eval(&q, &inst);
+        assert_eq!(out.len(), 1);
+        let sec = out.iter().next().unwrap();
+        assert!(doc[sec.left() as usize..=sec.right() as usize].contains("beta"));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(matches!(
+            parse_sgml("<a><b></a></b>"),
+            Err(SgmlError::UnmatchedClose { .. })
+        ));
+        assert!(matches!(parse_sgml("<a>"), Err(SgmlError::UnclosedTag { .. })));
+        assert!(matches!(parse_sgml("<a"), Err(SgmlError::MalformedTag { .. })));
+        assert!(matches!(parse_sgml("<>x</>"), Err(SgmlError::MalformedTag { .. })));
+    }
+
+    #[test]
+    fn empty_document_is_fine() {
+        let inst = parse_sgml("no markup at all").unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.schema().len(), 0);
+    }
+
+    #[test]
+    fn attributes_comments_and_self_closing() {
+        let doc = r#"<!DOCTYPE play><doc id="d1"><!-- front matter --><sec class="a">x<br/>y</sec></doc>"#;
+        let inst = parse_sgml(doc).unwrap();
+        assert_eq!(
+            inst.schema().names().collect::<Vec<_>>(),
+            vec!["doc", "sec", "br"],
+            "attribute text is not part of the tag name"
+        );
+        assert_eq!(inst.regions_of_name("br").len(), 1);
+        assert_eq!(inst.nesting_depth(), 3);
+        // Unterminated comment is an error.
+        assert!(parse_sgml("<a><!-- oops</a>").is_err());
+        // Attribute content is searchable via σ (PAT indexes the raw file).
+        let s = inst.schema().clone();
+        let q = tr_core::Expr::name(s.expect_id("sec")).select("class");
+        assert_eq!(tr_core::eval(&q, &inst).len(), 1);
+    }
+
+    #[test]
+    fn self_nested_tags() {
+        let inst = parse_sgml("<d>a<d>b</d>c</d>").unwrap();
+        assert_eq!(inst.regions_of_name("d").len(), 2);
+        assert_eq!(inst.nesting_depth(), 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! The paper's running example substrate: source files of a toy
+//! Pascal-like language whose region structure is exactly the Figure 1
+//! RIG (programs with headers and bodies, recursively nested procedures,
+//! variable declarations, names).
+//!
+//! ```text
+//! program Main;
+//!   var x;
+//!   proc Alpha;
+//!     var y;
+//!   begin end;
+//! begin end.
+//! ```
+//!
+//! [`ProgramSpec`] generates such files (deterministically or randomly,
+//! for the benchmarks), and [`parse_program`] parses them back into a
+//! region instance over a suffix-array word index.
+
+use rand::Rng;
+use std::fmt;
+use tr_core::{Instance, Region, RegionSet, Schema};
+use tr_text::SuffixWordIndex;
+
+/// The Figure 1 schema, in the paper's order.
+pub fn source_schema() -> Schema {
+    Schema::new([
+        "Program",
+        "Prog_header",
+        "Prog_body",
+        "Proc",
+        "Proc_header",
+        "Proc_body",
+        "Name",
+        "Var",
+    ])
+}
+
+/// A procedure to generate: name, variable names, nested procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSpec {
+    /// The procedure name.
+    pub name: String,
+    /// Variables declared in the body, in order.
+    pub vars: Vec<String>,
+    /// Nested procedures, in order.
+    pub procs: Vec<ProcSpec>,
+}
+
+/// A program to generate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// The program name.
+    pub name: String,
+    /// Top-level variables.
+    pub vars: Vec<String>,
+    /// Top-level procedures.
+    pub procs: Vec<ProcSpec>,
+}
+
+impl ProgramSpec {
+    /// Renders the program source text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("program ");
+        out.push_str(&self.name);
+        out.push_str(";\n");
+        render_body(&mut out, &self.vars, &self.procs, 1);
+        out.push_str("begin end.\n");
+        out
+    }
+
+    /// Total number of procedures (at any nesting level).
+    pub fn num_procs(&self) -> usize {
+        fn count(p: &ProcSpec) -> usize {
+            1 + p.procs.iter().map(count).sum::<usize>()
+        }
+        self.procs.iter().map(count).sum()
+    }
+
+    /// A random program with roughly `target_procs` procedures nested up
+    /// to `max_depth` levels, each scope declaring up to `max_vars`
+    /// variables drawn from a small vocabulary (so selections like
+    /// `σ_"x"(Var)` have many hits).
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        target_procs: usize,
+        max_depth: usize,
+        max_vars: usize,
+    ) -> ProgramSpec {
+        let mut counter = 0usize;
+        let mut budget = target_procs;
+        let mut procs = Vec::new();
+        // Keep opening top-level procedure groups until the budget is spent,
+        // so large targets actually materialize.
+        while budget > 0 {
+            let before = budget;
+            procs.extend(random_procs(rng, &mut budget, &mut counter, 1, max_depth, max_vars));
+            if budget == before {
+                // The coin flips declined; force one procedure to guarantee progress.
+                budget -= 1;
+                counter += 1;
+                procs.push(ProcSpec { name: format!("p{counter}"), vars: random_vars(rng, max_vars), procs: Vec::new() });
+            }
+        }
+        ProgramSpec { name: "main".into(), vars: random_vars(rng, max_vars), procs }
+    }
+}
+
+const VAR_VOCAB: [&str; 6] = ["x", "y", "z", "count", "total", "tmp"];
+
+fn random_vars<R: Rng>(rng: &mut R, max_vars: usize) -> Vec<String> {
+    let n = if max_vars == 0 { 0 } else { rng.gen_range(0..=max_vars) };
+    (0..n)
+        .map(|_| VAR_VOCAB[rng.gen_range(0..VAR_VOCAB.len())].to_owned())
+        .collect()
+}
+
+fn random_procs<R: Rng>(
+    rng: &mut R,
+    budget: &mut usize,
+    counter: &mut usize,
+    depth: usize,
+    max_depth: usize,
+    max_vars: usize,
+) -> Vec<ProcSpec> {
+    let mut procs = Vec::new();
+    while *budget > 0 && rng.gen_bool(0.7) {
+        *budget -= 1;
+        *counter += 1;
+        let name = format!("p{counter}");
+        let nested = if depth < max_depth {
+            random_procs(rng, budget, counter, depth + 1, max_depth, max_vars)
+        } else {
+            Vec::new()
+        };
+        procs.push(ProcSpec { name, vars: random_vars(rng, max_vars), procs: nested });
+    }
+    procs
+}
+
+fn render_body(out: &mut String, vars: &[String], procs: &[ProcSpec], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for v in vars {
+        out.push_str(&pad);
+        out.push_str("var ");
+        out.push_str(v);
+        out.push_str(";\n");
+    }
+    for p in procs {
+        out.push_str(&pad);
+        out.push_str("proc ");
+        out.push_str(&p.name);
+        out.push_str(";\n");
+        render_body(out, &p.vars, &p.procs, indent + 1);
+        out.push_str(&pad);
+        out.push_str("begin end;\n");
+    }
+}
+
+/// Errors from [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was expected.
+    pub expected: &'static str,
+    /// Byte offset of the failure.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a toy-language source file into a region instance with the
+/// Figure 1 schema, over a suffix-array word index of the source text.
+pub fn parse_program(text: &str) -> Result<Instance<SuffixWordIndex>, ParseError> {
+    let mut p = Parser { text: text.as_bytes(), pos: 0, out: vec![Vec::new(); 8] };
+    p.program()?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(ParseError { expected: "end of input", at: p.pos });
+    }
+    let schema = source_schema();
+    let sets: Vec<RegionSet> = p.out.into_iter().map(RegionSet::from_regions).collect();
+    let word = SuffixWordIndex::new(text.as_bytes().to_vec());
+    Ok(Instance::build(schema, sets, word).expect("parser output is hierarchical"))
+}
+
+// Set indexes, matching `source_schema()` order.
+const PROGRAM: usize = 0;
+const PROG_HEADER: usize = 1;
+const PROG_BODY: usize = 2;
+const PROC: usize = 3;
+const PROC_HEADER: usize = 4;
+const PROC_BODY: usize = 5;
+const NAME: usize = 6;
+const VAR: usize = 7;
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+    out: Vec<Vec<Region>>,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.text[self.pos..].starts_with(kw.as_bytes())
+            && !self
+                .text
+                .get(self.pos + kw.len())
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += kw.len();
+            Ok(start)
+        } else {
+            Err(ParseError { expected: kw, at: self.pos })
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        self.text[self.pos..].starts_with(kw.as_bytes())
+            && !self
+                .text
+                .get(self.pos + kw.len())
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+    }
+
+    fn punct(&mut self, c: u8) -> Result<usize, ParseError> {
+        self.skip_ws();
+        if self.text.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(self.pos - 1)
+        } else {
+            Err(ParseError { expected: "punctuation", at: self.pos })
+        }
+    }
+
+    /// Parses an identifier; returns its span.
+    fn ident(&mut self) -> Result<(usize, usize), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .text
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError { expected: "identifier", at: self.pos });
+        }
+        Ok((start, self.pos - 1))
+    }
+
+    fn emit(&mut self, set: usize, left: usize, right: usize) {
+        self.out[set].push(Region::new(left as u32, right as u32));
+    }
+
+    fn program(&mut self) -> Result<(), ParseError> {
+        let start = self.keyword("program")?;
+        let (n_l, n_r) = self.ident()?;
+        self.emit(NAME, n_l, n_r);
+        self.emit(PROG_HEADER, start, n_r);
+        self.punct(b';')?;
+        let body_span = self.body()?;
+        let dot = self.punct(b'.')?;
+        self.emit(PROG_BODY, body_span.0, body_span.1);
+        self.emit(PROGRAM, start, dot);
+        Ok(())
+    }
+
+    /// Parses declarations followed by `begin end`; returns the body span
+    /// (first declaration or `begin` through the end of `end`).
+    fn body(&mut self) -> Result<(usize, usize), ParseError> {
+        self.skip_ws();
+        let body_start = self.pos;
+        loop {
+            if self.peek_keyword("var") {
+                let v_start = self.keyword("var")?;
+                self.ident()?;
+                let semi = self.punct(b';')?;
+                self.emit(VAR, v_start, semi);
+            } else if self.peek_keyword("proc") {
+                self.procedure()?;
+            } else {
+                break;
+            }
+        }
+        self.keyword("begin")?;
+        let end_start = self.keyword("end")?;
+        Ok((body_start, end_start + "end".len() - 1))
+    }
+
+    fn procedure(&mut self) -> Result<(), ParseError> {
+        let start = self.keyword("proc")?;
+        let (n_l, n_r) = self.ident()?;
+        self.emit(NAME, n_l, n_r);
+        self.emit(PROC_HEADER, start, n_r);
+        self.punct(b';')?;
+        let body_span = self.body()?;
+        let semi = self.punct(b';')?;
+        self.emit(PROC_BODY, body_span.0, body_span.1);
+        self.emit(PROC, start, semi);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use tr_core::{eval, Expr};
+
+    fn nested_spec() -> ProgramSpec {
+        ProgramSpec {
+            name: "main".into(),
+            vars: vec!["x".into()],
+            procs: vec![ProcSpec {
+                name: "alpha".into(),
+                vars: vec!["y".into()],
+                procs: vec![ProcSpec {
+                    name: "beta".into(),
+                    vars: vec!["x".into()],
+                    procs: vec![],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_and_parse_round_trip_counts() {
+        let spec = nested_spec();
+        let text = spec.render();
+        let inst = parse_program(&text).unwrap();
+        assert_eq!(inst.regions_of_name("Program").len(), 1);
+        assert_eq!(inst.regions_of_name("Proc").len(), 2);
+        assert_eq!(inst.regions_of_name("Var").len(), 3);
+        assert_eq!(inst.regions_of_name("Name").len(), 3, "program + 2 proc names");
+        assert_eq!(inst.regions_of_name("Prog_header").len(), 1);
+        assert_eq!(inst.regions_of_name("Proc_body").len(), 2);
+    }
+
+    #[test]
+    fn paper_query_finds_procedure_names() {
+        let text = nested_spec().render();
+        let inst = parse_program(&text).unwrap();
+        let s = inst.schema().clone();
+        // e2 = Name ⊂ Proc_header ⊂ Program
+        let e2 = Expr::name(s.expect_id("Name")).included_in(
+            Expr::name(s.expect_id("Proc_header")).included_in(Expr::name(s.expect_id("Program"))),
+        );
+        let out = eval(&e2, &inst);
+        assert_eq!(out.len(), 2, "the two procedure names");
+        for r in out.iter() {
+            let name = &text[r.left() as usize..=r.right() as usize];
+            assert!(name == "alpha" || name == "beta");
+        }
+    }
+
+    #[test]
+    fn sigma_var_selects_by_variable_name() {
+        let text = nested_spec().render();
+        let inst = parse_program(&text).unwrap();
+        let s = inst.schema().clone();
+        let q = Expr::name(s.expect_id("Var")).select("x");
+        assert_eq!(eval(&q, &inst).len(), 2, "x is declared twice");
+        let q = Expr::name(s.expect_id("Var")).select("y");
+        assert_eq!(eval(&q, &inst).len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        assert!(parse_program("proc oops; begin end;").is_err());
+        assert!(parse_program("program a; begin end").is_err(), "missing final dot");
+        assert!(parse_program("program a; var ; begin end.").is_err());
+        let trailing = parse_program("program a; begin end. extra");
+        assert!(matches!(trailing, Err(ParseError { expected: "end of input", .. })));
+    }
+
+    #[test]
+    fn empty_bodies_are_regions_too() {
+        let inst = parse_program("program a; begin end.").unwrap();
+        assert_eq!(inst.regions_of_name("Prog_body").len(), 1);
+        assert_eq!(inst.regions_of_name("Var").len(), 0);
+    }
+
+    #[test]
+    fn random_programs_always_parse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let target = rng.gen_range(0..30);
+            let spec = ProgramSpec::random(&mut rng, target, 4, 3);
+            let text = spec.render();
+            let inst = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(inst.regions_of_name("Proc").len(), spec.num_procs());
+        }
+    }
+}

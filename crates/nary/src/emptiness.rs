@@ -1,0 +1,185 @@
+//! Bounded-model emptiness and equivalence for the extended language.
+//!
+//! Section 7: "Theorem 3.6 holds for the extended language, and thus
+//! queries can be optimized. … This is because the input can still be
+//! encoded by monadic predicates." Concretely: an [`NExpr`] still reads
+//! only the region name sets (and the fixed pattern predicates), so
+//! evaluating it over the same canonical model space that
+//! `tr_fmft::EmptinessChecker` enumerates decides emptiness within
+//! bounds — and hence equivalence, and hence optimization.
+
+use crate::expr::{Atom, NExpr};
+use tr_fmft::{Bounds, EmptinessChecker, Model};
+use tr_rig::Rig;
+use tr_core::Schema;
+
+/// Bounded-model emptiness/equivalence for [`NExpr`]s, backed by the
+/// FMFT checker's canonical model enumeration.
+#[derive(Debug, Clone)]
+pub struct NEmptiness {
+    checker: EmptinessChecker,
+}
+
+impl NEmptiness {
+    /// Over all instances of a schema.
+    pub fn new(schema: Schema, bounds: Bounds) -> NEmptiness {
+        NEmptiness { checker: EmptinessChecker::new(schema, bounds) }
+    }
+
+    /// Over the instances satisfying a RIG.
+    pub fn with_rig(rig: Rig, bounds: Bounds) -> NEmptiness {
+        NEmptiness { checker: EmptinessChecker::with_rig(rig, bounds) }
+    }
+
+    /// A model on which `e` evaluates to a non-empty relation, if one
+    /// exists within bounds.
+    pub fn find_witness(&self, e: &NExpr) -> Option<Model> {
+        let patterns = collect_patterns(e);
+        let mut found = None;
+        self.checker.for_each_model(&patterns, &mut |m| {
+            if !e.eval(&m.to_instance()).is_empty() {
+                found = Some(m.clone());
+                true
+            } else {
+                false
+            }
+        });
+        found
+    }
+
+    /// True if `e` is empty on every instance within bounds.
+    pub fn is_empty(&self, e: &NExpr) -> bool {
+        self.find_witness(e).is_none()
+    }
+
+    /// Equivalence within bounds: same relation on every canonical model.
+    /// (For different-arity expressions this is trivially false.)
+    pub fn equivalent(&self, e1: &NExpr, e2: &NExpr) -> bool {
+        let mut patterns = collect_patterns(e1);
+        for p in collect_patterns(e2) {
+            if !patterns.contains(&p) {
+                patterns.push(p);
+            }
+        }
+        patterns.sort();
+        let mut same = true;
+        self.checker.for_each_model(&patterns, &mut |m| {
+            let inst = m.to_instance();
+            if e1.eval(&inst) != e2.eval(&inst) {
+                same = false;
+                true
+            } else {
+                false
+            }
+        });
+        same
+    }
+}
+
+fn collect_patterns(e: &NExpr) -> Vec<String> {
+    fn go(e: &NExpr, out: &mut Vec<String>) {
+        match e {
+            NExpr::Name(_) | NExpr::AllRegions => {}
+            NExpr::Union(a, b) | NExpr::Intersect(a, b) | NExpr::Diff(a, b) | NExpr::Product(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            NExpr::Select(atoms, inner) => {
+                for a in atoms {
+                    if let Atom::Pattern { pattern, .. } = a {
+                        if !out.contains(pattern) {
+                            out.push(pattern.clone());
+                        }
+                    }
+                }
+                go(inner, out);
+            }
+            NExpr::Project(_, inner) => go(inner, out),
+        }
+    }
+    let mut out = Vec::new();
+    go(e, &mut out);
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{both_included_expr, direct_including_expr, StructRel};
+    use tr_core::NameId;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"])
+    }
+
+    fn a() -> NExpr {
+        NExpr::name(NameId::from_index(0))
+    }
+
+    fn b() -> NExpr {
+        NExpr::name(NameId::from_index(1))
+    }
+
+    #[test]
+    fn emptiness_basics() {
+        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        assert!(!ne.is_empty(&a()));
+        assert!(ne.is_empty(&a().intersect(b())), "names are disjoint");
+        // A pair (x ⊃ y) is satisfiable.
+        let pair = a().join(b(), vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }]);
+        assert!(!ne.is_empty(&pair));
+        let w = ne.find_witness(&pair).unwrap();
+        assert_eq!(w.len(), 2);
+        // But x ⊃ y ∧ y ⊃ x is contradictory.
+        let twisted = a().join(
+            b(),
+            vec![
+                Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 },
+                Atom::Cols { left: 1, rel: StructRel::Includes, right: 0 },
+            ],
+        );
+        assert!(ne.is_empty(&twisted));
+    }
+
+    #[test]
+    fn equivalence_for_joins() {
+        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        // σ-conditions commute.
+        let c1 = vec![
+            Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 },
+            Atom::Pattern { col: 0, pattern: "x".into() },
+        ];
+        let mut c2 = c1.clone();
+        c2.reverse();
+        let e1 = a().join(b(), c1);
+        let e2 = a().join(b(), c2);
+        assert!(ne.equivalent(&e1, &e2));
+        // Projection collapses: π_0(A × B) ≡ A iff B is never empty — not
+        // a tautology, so they must be distinguishable (empty B).
+        let e1 = a().product(b()).project(vec![0]);
+        assert!(!ne.equivalent(&e1, &a()));
+        // Different arities are never equivalent.
+        assert!(!ne.equivalent(&a(), &a().product(b())));
+    }
+
+    /// Theorem 5.1/5.3 vs Section 7: the operators inexpressible in the
+    /// *core* algebra are expressible here, and the bounded checker can
+    /// verify non-trivial identities about them — e.g. ⊃_d refines ⊃.
+    #[test]
+    fn extended_operators_are_analyzable() {
+        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let direct = direct_including_expr(NameId::from_index(0), NameId::from_index(1));
+        let loose = a()
+            .join(b(), vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }])
+            .project(vec![0]);
+        // ⊃_d ⊆ ⊃: the difference is empty on all models in bounds.
+        assert!(ne.is_empty(&direct.clone().diff(loose.clone())));
+        // The converse is not: ⊃ can hold transitively only.
+        assert!(!ne.is_empty(&loose.diff(direct)));
+        // BI(A, B, B) requires two distinct Bs inside an A.
+        let bi = both_included_expr(NameId::from_index(0), NameId::from_index(1), NameId::from_index(1));
+        let w = ne.find_witness(&bi).unwrap();
+        assert!(w.len() >= 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tr-nary — the Section 7 extension: n-ary relations and joins
+//!
+//! The paper's conclusion proposes extending the region algebra with
+//! n-ary intermediate relations and genuine joins, observing that (a) the
+//! extension corresponds to safe FMFT formulas, so emptiness testing and
+//! optimization still work (Theorem 3.6 carries over, because the *input*
+//! is still monadic), and (b) direct inclusion and both-included — both
+//! inexpressible in the core algebra (Theorems 5.1/5.3) — become
+//! expressible.
+//!
+//! This crate makes all of that executable:
+//!
+//! * [`Relation`] — sorted duplicate-free sets of fixed-arity region
+//!   tuples;
+//! * [`NExpr`] — the extended algebra (∪, ∩, −, ×, theta-σ with
+//!   structural and pattern atoms, π), with arity checking and an
+//!   evaluator;
+//! * [`direct_including_expr`] / [`direct_included_expr`] /
+//!   [`both_included_expr`] — Section 7's expressibility claims as
+//!   concrete expressions, tested against the native operators;
+//! * [`NEmptiness`] — bounded-model emptiness/equivalence over the same
+//!   canonical model space as `tr_fmft::EmptinessChecker`.
+//!
+//! The paper's final caveat is also worth restating here: this extension
+//! keeps the *word index out of the input relations* (patterns appear
+//! only as fixed monadic predicates). Making the word index itself a
+//! binary input relation would let queries join on region content, and
+//! emptiness testing would become undecidable.
+
+#![warn(missing_docs)]
+
+pub mod emptiness;
+pub mod expr;
+pub mod relation;
+
+pub use emptiness::NEmptiness;
+pub use expr::{
+    both_included_expr, direct_included_expr, direct_including_expr, Atom, NExpr, StructRel,
+};
+pub use relation::{Relation, Tuple};

@@ -1,0 +1,218 @@
+//! N-ary region relations: the data model of the Section 7 extension.
+//!
+//! The paper's conclusion proposes lifting the algebra from unary
+//! relations (sets of regions) to *n-ary relations with attributes over
+//! the region domain*, with genuine joins instead of semi-joins. A
+//! [`Relation`] is a duplicate-free, sorted set of fixed-arity region
+//! tuples.
+
+use tr_core::{Region, RegionSet};
+
+/// A tuple of regions. Tuples of one relation all share its arity.
+pub type Tuple = Vec<Region>;
+
+/// A set of region tuples of fixed arity.
+///
+/// Arity-0 relations are allowed and act as booleans: the empty relation
+/// is *false*, the relation containing the empty tuple is *true* (they
+/// arise from projecting everything away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    /// Sorted, duplicate-free.
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Relation {
+        Relation { arity, tuples: Vec::new() }
+    }
+
+    /// Builds a relation from tuples (sorting and deduplicating). Panics
+    /// if a tuple's length differs from `arity`.
+    pub fn from_tuples(arity: usize, mut tuples: Vec<Tuple>) -> Relation {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { arity, tuples }
+    }
+
+    /// Lifts a region set to a unary relation.
+    pub fn from_set(set: &RegionSet) -> Relation {
+        Relation {
+            arity: 1,
+            tuples: set.iter().map(|r| vec![r]).collect(),
+        }
+    }
+
+    /// Collapses a unary relation back to a region set. Panics on other
+    /// arities.
+    pub fn to_set(&self) -> RegionSet {
+        assert_eq!(self.arity, 1, "only unary relations are region sets");
+        self.tuples.iter().map(|t| t[0]).collect()
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, sorted.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Set union (same arity).
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Relation::from_tuples(self.arity, tuples)
+    }
+
+    /// Set intersection (same arity).
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "intersect arity mismatch");
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| other.tuples.binary_search(t).is_ok())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set difference (same arity).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "difference arity mismatch");
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| other.tuples.binary_search(t).is_err())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Cartesian product: arity is the sum of arities.
+    pub fn product(&self, other: &Relation) -> Relation {
+        let mut tuples = Vec::with_capacity(self.len() * other.len());
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let mut t = a.clone();
+                t.extend_from_slice(b);
+                tuples.push(t);
+            }
+        }
+        // Product of sorted inputs is sorted lexicographically already,
+        // and duplicate-free.
+        Relation { arity: self.arity + other.arity, tuples }
+    }
+
+    /// Keeps tuples satisfying `pred`.
+    pub fn select(&self, mut pred: impl FnMut(&[Region]) -> bool) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Projects onto the given columns (in the given order; columns may
+    /// repeat). The result is re-sorted and deduplicated.
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        for &c in cols {
+            assert!(c < self.arity, "projection column {c} out of arity {}", self.arity);
+        }
+        Relation::from_tuples(
+            cols.len(),
+            self.tuples
+                .iter()
+                .map(|t| cols.iter().map(|&c| t[c]).collect())
+                .collect(),
+        )
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Region]) -> bool {
+        self.tuples.binary_search_by(|x| x.as_slice().cmp(t)).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::region;
+
+    fn unary(rs: &[(u32, u32)]) -> Relation {
+        Relation::from_set(&rs.iter().map(|&(l, r)| region(l, r)).collect())
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let rel = unary(&[(0, 9), (2, 3)]);
+        assert_eq!(rel.arity(), 1);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(Relation::from_set(&rel.to_set()), rel);
+    }
+
+    #[test]
+    fn product_and_project() {
+        let a = unary(&[(0, 1), (2, 3)]);
+        let b = unary(&[(4, 5)]);
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&[region(0, 1), region(4, 5)]));
+        assert_eq!(p.project(&[0]), a);
+        assert_eq!(p.project(&[1]), b);
+        // Swapping columns.
+        let swapped = p.project(&[1, 0]);
+        assert!(swapped.contains(&[region(4, 5), region(0, 1)]));
+    }
+
+    #[test]
+    fn set_ops_and_select() {
+        let a = unary(&[(0, 1), (2, 3), (4, 5)]);
+        let b = unary(&[(2, 3)]);
+        assert_eq!(a.intersect(&b), b);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert_eq!(a.union(&b), a);
+        let sel = a.select(|t| t[0].left() >= 2);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn arity_zero_booleans() {
+        let t = Relation::from_tuples(0, vec![vec![]]);
+        let f = Relation::empty(0);
+        assert!(!t.is_empty());
+        assert!(f.is_empty());
+        let some = unary(&[(0, 1)]);
+        assert_eq!(some.project(&[]), t, "projecting a non-empty relation to arity 0 is true");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mismatched_union_panics() {
+        let a = unary(&[(0, 1)]);
+        let b = a.product(&a);
+        let _ = a.union(&b);
+    }
+}

@@ -1,0 +1,240 @@
+//! The query AST: the region algebra plus the extended operators of
+//! Sections 5/6, as exposed by the surface language.
+
+use tr_core::{BinOp, Expr, Instance, NameId, RegionSet, Schema, WordIndex};
+use tr_ext as ext;
+
+/// A parsed query. The first eight variants are the algebra of
+/// Definition 2.2; the last three are the extended operators, which the
+/// algebra provably cannot express (Theorems 5.1/5.3) and which the
+/// evaluator therefore handles natively (Section 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A region name.
+    Name(NameId),
+    /// `q union q`.
+    Union(Box<Query>, Box<Query>),
+    /// `q intersect q`.
+    Intersect(Box<Query>, Box<Query>),
+    /// `q minus q`.
+    Minus(Box<Query>, Box<Query>),
+    /// `q containing q` — `⊃`.
+    Containing(Box<Query>, Box<Query>),
+    /// `q within q` — `⊂`.
+    Within(Box<Query>, Box<Query>),
+    /// `q before q` — `<`.
+    Before(Box<Query>, Box<Query>),
+    /// `q after q` — `>`.
+    After(Box<Query>, Box<Query>),
+    /// `q matching "p"` — `σ_p`.
+    Matching(String, Box<Query>),
+    /// `q directly containing q` — `⊃_d`.
+    DirectlyContaining(Box<Query>, Box<Query>),
+    /// `q directly within q` — `⊂_d`.
+    DirectlyWithin(Box<Query>, Box<Query>),
+    /// `bi(r, s, t)` — `R BI (S, T)`: `r` regions containing an `s`
+    /// before a `t`.
+    BothIncluded(Box<Query>, Box<Query>, Box<Query>),
+    /// A bare quoted pattern: the pattern's *match point set* as regions
+    /// (PAT's second set type, Section 2.1). Requires a positional word
+    /// index; boolean-only indexes yield the empty set.
+    MatchPoints(String),
+}
+
+impl Query {
+    /// True if the query stays within the pure region algebra.
+    pub fn is_algebraic(&self) -> bool {
+        match self {
+            Query::Name(_) => true,
+            Query::MatchPoints(_) => false,
+            Query::Matching(_, q) => q.is_algebraic(),
+            Query::Union(a, b)
+            | Query::Intersect(a, b)
+            | Query::Minus(a, b)
+            | Query::Containing(a, b)
+            | Query::Within(a, b)
+            | Query::Before(a, b)
+            | Query::After(a, b) => a.is_algebraic() && b.is_algebraic(),
+            Query::DirectlyContaining(..) | Query::DirectlyWithin(..) | Query::BothIncluded(..) => {
+                false
+            }
+        }
+    }
+
+    /// Compiles a pure-algebra query to an [`Expr`]; `None` if it uses an
+    /// extended operator anywhere.
+    pub fn to_expr(&self) -> Option<Expr> {
+        let bin = |op: BinOp, a: &Query, b: &Query| -> Option<Expr> {
+            Some(Expr::bin(op, a.to_expr()?, b.to_expr()?))
+        };
+        match self {
+            Query::Name(id) => Some(Expr::name(*id)),
+            Query::MatchPoints(_) => None,
+            Query::Matching(p, q) => Some(q.to_expr()?.select(p.clone())),
+            Query::Union(a, b) => bin(BinOp::Union, a, b),
+            Query::Intersect(a, b) => bin(BinOp::Intersect, a, b),
+            Query::Minus(a, b) => bin(BinOp::Diff, a, b),
+            Query::Containing(a, b) => bin(BinOp::Including, a, b),
+            Query::Within(a, b) => bin(BinOp::IncludedIn, a, b),
+            Query::Before(a, b) => bin(BinOp::Before, a, b),
+            Query::After(a, b) => bin(BinOp::After, a, b),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the query on an instance. Pure-algebra sub-queries run on
+    /// the algebra evaluator; extended operators use the native
+    /// implementations of `tr-ext`.
+    pub fn eval<W: WordIndex>(&self, inst: &Instance<W>) -> RegionSet {
+        // Fast path: compile whole sub-trees to the algebra when possible.
+        if let Some(e) = self.to_expr() {
+            return tr_core::eval(&e, inst);
+        }
+        match self {
+            Query::Name(id) => inst.regions_of(*id).clone(),
+            Query::MatchPoints(p) => inst.word_index().occurrence_regions(p),
+            Query::Matching(p, q) => inst.select(&q.eval(inst), p),
+            Query::Union(a, b) => a.eval(inst).union(&b.eval(inst)),
+            Query::Intersect(a, b) => a.eval(inst).intersect(&b.eval(inst)),
+            Query::Minus(a, b) => a.eval(inst).difference(&b.eval(inst)),
+            Query::Containing(a, b) => tr_core::ops::includes(&a.eval(inst), &b.eval(inst)),
+            Query::Within(a, b) => tr_core::ops::included_in(&a.eval(inst), &b.eval(inst)),
+            Query::Before(a, b) => tr_core::ops::precedes(&a.eval(inst), &b.eval(inst)),
+            Query::After(a, b) => tr_core::ops::follows(&a.eval(inst), &b.eval(inst)),
+            Query::DirectlyContaining(a, b) => {
+                ext::directly_including(inst, &a.eval(inst), &b.eval(inst))
+            }
+            Query::DirectlyWithin(a, b) => {
+                ext::directly_included(inst, &a.eval(inst), &b.eval(inst))
+            }
+            Query::BothIncluded(r, s, t) => {
+                ext::both_included(&r.eval(inst), &s.eval(inst), &t.eval(inst))
+            }
+        }
+    }
+
+    /// Renders the query back to surface syntax.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
+        QueryDisplay { query: self, schema }
+    }
+}
+
+/// Helper returned by [`Query::display`].
+pub struct QueryDisplay<'a> {
+    query: &'a Query,
+    schema: &'a Schema,
+}
+
+impl std::fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_query(self.query, self.schema, f)
+    }
+}
+
+fn fmt_query(q: &Query, s: &Schema, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    let infix = |f: &mut std::fmt::Formatter<'_>, a: &Query, kw: &str, b: &Query| {
+        write!(f, "(")?;
+        fmt_query(a, s, f)?;
+        write!(f, " {kw} ")?;
+        fmt_query(b, s, f)?;
+        write!(f, ")")
+    };
+    match q {
+        Query::Name(id) => write!(f, "{}", s.name(*id)),
+        Query::MatchPoints(p) => write!(f, "{p:?}"),
+        Query::Union(a, b) => infix(f, a, "union", b),
+        Query::Intersect(a, b) => infix(f, a, "intersect", b),
+        Query::Minus(a, b) => infix(f, a, "minus", b),
+        Query::Containing(a, b) => infix(f, a, "containing", b),
+        Query::Within(a, b) => infix(f, a, "within", b),
+        Query::Before(a, b) => infix(f, a, "before", b),
+        Query::After(a, b) => infix(f, a, "after", b),
+        Query::DirectlyContaining(a, b) => infix(f, a, "directly containing", b),
+        Query::DirectlyWithin(a, b) => infix(f, a, "directly within", b),
+        Query::Matching(p, inner) => {
+            write!(f, "(")?;
+            fmt_query(inner, s, f)?;
+            write!(f, " matching {p:?})")
+        }
+        Query::BothIncluded(r, s_, t) => {
+            write!(f, "bi(")?;
+            fmt_query(r, s, f)?;
+            write!(f, ", ")?;
+            fmt_query(s_, s, f)?;
+            write!(f, ", ")?;
+            fmt_query(t, s, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::{region, InstanceBuilder};
+
+    fn setup() -> (Schema, Instance) {
+        let schema = Schema::new(["A", "B", "C"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 20))
+            .add("A", region(2, 18))
+            .add("B", region(5, 6))
+            .add("C", region(30, 40))
+            .occurrence("x", 5, 1)
+            .build_valid();
+        (schema, inst)
+    }
+
+    #[test]
+    fn algebra_queries_compile_and_match_core_eval() {
+        let (s, inst) = setup();
+        let q = Query::Within(
+            Box::new(Query::Name(s.expect_id("B"))),
+            Box::new(Query::Name(s.expect_id("A"))),
+        );
+        assert!(q.is_algebraic());
+        let e = q.to_expr().unwrap();
+        assert_eq!(q.eval(&inst), tr_core::eval(&e, &inst));
+    }
+
+    #[test]
+    fn extended_operators_evaluate_natively() {
+        let (s, inst) = setup();
+        let q = Query::DirectlyContaining(
+            Box::new(Query::Name(s.expect_id("A"))),
+            Box::new(Query::Name(s.expect_id("B"))),
+        );
+        assert!(!q.is_algebraic());
+        assert!(q.to_expr().is_none());
+        assert_eq!(q.eval(&inst).as_slice(), &[region(2, 18)]);
+    }
+
+    #[test]
+    fn mixed_queries_use_both_engines() {
+        let (s, inst) = setup();
+        // (A directly containing B) union C
+        let q = Query::Union(
+            Box::new(Query::DirectlyContaining(
+                Box::new(Query::Name(s.expect_id("A"))),
+                Box::new(Query::Name(s.expect_id("B"))),
+            )),
+            Box::new(Query::Name(s.expect_id("C"))),
+        );
+        assert_eq!(q.eval(&inst).len(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let (s, _) = setup();
+        let q = Query::Matching(
+            "x".into(),
+            Box::new(Query::Within(
+                Box::new(Query::Name(s.expect_id("B"))),
+                Box::new(Query::Name(s.expect_id("A"))),
+            )),
+        );
+        let text = q.display(&s).to_string();
+        let parsed = crate::parse::parse(&text, &s).unwrap();
+        assert_eq!(parsed, q);
+    }
+}

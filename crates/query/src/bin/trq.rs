@@ -1,0 +1,209 @@
+//! `trq` — query text regions from the command line.
+//!
+//! ```text
+//! trq <file> [query]           run one query (REPL on stdin if omitted)
+//!
+//! options:
+//!   --format sgml|source|auto  document format (default: auto-detect;
+//!                              persisted .trx indexes are detected by magic)
+//!   --save <path>              persist the built index to <path> and exit
+//!   --explain                  show the plan instead of running
+//!   --limit N                  print at most N hits (default 20)
+//! ```
+//!
+//! REPL commands: `:schema`, `:explain <query>`, `:let <name> = <query>`,
+//! `:quit`.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use tr_query::Engine;
+
+struct Options {
+    file: Option<String>,
+    query: Option<String>,
+    format: Format,
+    explain: bool,
+    limit: usize,
+    save: Option<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Auto,
+    Sgml,
+    Source,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trq <file> [query] [--format sgml|source|auto] [--explain] [--limit N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        query: None,
+        format: Format::Auto,
+        explain: false,
+        limit: 20,
+        save: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("sgml") => Format::Sgml,
+                    Some("source") => Format::Source,
+                    Some("auto") => Format::Auto,
+                    _ => usage(),
+                }
+            }
+            "--explain" => opts.explain = true,
+            "--save" => opts.save = Some(args.next().unwrap_or_else(|| usage())),
+            "--limit" => {
+                opts.limit = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ if opts.file.is_none() => opts.file = Some(arg),
+            _ if opts.query.is_none() => opts.query = Some(arg),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn open_engine(path: &str, format: Format) -> Result<Engine, String> {
+    // Persisted indexes are detected by their magic bytes.
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if raw.starts_with(tr_store::MAGIC) {
+        let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
+        return Ok(Engine::from_parts(doc.text, doc.instance, doc.rig));
+    }
+    let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8 text"))?;
+    let format = match format {
+        Format::Auto => {
+            if text.trim_start().starts_with('<') {
+                Format::Sgml
+            } else {
+                Format::Source
+            }
+        }
+        f => f,
+    };
+    match format {
+        Format::Sgml => Engine::from_sgml(&text).map_err(|e| e.to_string()),
+        Format::Source => Engine::from_source(&text).map_err(|e| e.to_string()),
+        Format::Auto => unreachable!(),
+    }
+}
+
+fn run_query(engine: &Engine, query: &str, explain: bool, limit: usize) {
+    if explain {
+        match engine.explain(query) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    match engine.query(query) {
+        Ok(hits) => {
+            println!("{} hit(s)", hits.len());
+            for r in hits.iter().take(limit) {
+                let snippet: String = engine
+                    .snippet(r)
+                    .chars()
+                    .take(72)
+                    .map(|c| if c == '\n' { ' ' } else { c })
+                    .collect();
+                println!("  {r}\t{snippet}");
+            }
+            if hits.len() > limit {
+                println!("  … {} more (raise with --limit)", hits.len() - limit);
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn repl(mut engine: Engine, limit: usize) {
+    println!(
+        "indexed {} regions; names: {}",
+        engine.instance().len(),
+        engine.schema().names().collect::<Vec<_>>().join(", ")
+    );
+    println!("enter queries (:schema, :explain <q>, :let <name> = <q>, :quit)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("trq> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":schema" {
+            for name in engine.schema().names() {
+                println!("  {name}  ({} regions)", engine.instance().regions_of_name(name).len());
+            }
+            for v in engine.views() {
+                println!("  {v}  (view)");
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":explain ") {
+            run_query(&engine, q, true, limit);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":let ") {
+            match rest.split_once('=') {
+                Some((name, def)) => match engine.define_view(name.trim(), def.trim()) {
+                    Ok(()) => println!("view {} defined", name.trim()),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                None => eprintln!("usage: :let <name> = <query>"),
+            }
+            continue;
+        }
+        run_query(&engine, line, false, limit);
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let Some(file) = &opts.file else { usage() };
+    let engine = match open_engine(file, opts.format) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = &opts.save {
+        match tr_store::save_document(out, engine.text(), engine.instance(), engine.rig()) {
+            Ok(()) => {
+                println!("index saved to {out} ({} regions)", engine.instance().len());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: cannot save {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match &opts.query {
+        Some(q) => run_query(&engine, q, opts.explain, opts.limit),
+        None => repl(engine, opts.limit),
+    }
+    ExitCode::SUCCESS
+}

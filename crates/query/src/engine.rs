@@ -1,0 +1,335 @@
+//! The end-to-end engine: text in, regions out.
+//!
+//! [`Engine`] ties together the whole stack: a document is parsed into a
+//! hierarchical instance over a suffix-array word index (`tr-markup` +
+//! `tr-text`), queries are parsed (`parse`), planned (RIG-based chain
+//! optimization from `tr-rig` when a RIG is attached), and evaluated
+//! (`tr-core` operators, `tr-ext` for the extended operators).
+
+use crate::ast::Query;
+use crate::parse::{parse_with_views, ParseError};
+use std::collections::BTreeMap;
+use std::fmt;
+use tr_core::{Expr, Instance, Region, RegionSet, Schema};
+use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
+use tr_rig::Rig;
+use tr_text::SuffixWordIndex;
+
+/// Errors surfaced by [`Engine`] entry points.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query text failed to parse.
+    Query(ParseError),
+    /// The SGML document failed to parse.
+    Sgml(SgmlError),
+    /// The source-code document failed to parse.
+    Source(SourceError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Sgml(e) => write!(f, "document error: {e}"),
+            EngineError::Source(e) => write!(f, "source error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> EngineError {
+        EngineError::Query(e)
+    }
+}
+
+/// A queryable indexed document.
+pub struct Engine {
+    text: String,
+    instance: Instance<SuffixWordIndex>,
+    rig: Option<Rig>,
+    views: BTreeMap<String, Query>,
+}
+
+impl Engine {
+    /// Indexes an SGML-lite document (schema derived from its tags).
+    pub fn from_sgml(text: &str) -> Result<Engine, EngineError> {
+        let instance = parse_sgml(text).map_err(EngineError::Sgml)?;
+        Ok(Engine { text: text.to_owned(), instance, rig: None, views: BTreeMap::new() })
+    }
+
+    /// Indexes a toy-language source file (Figure 1 schema), attaching the
+    /// Figure 1 RIG so chain queries get optimized automatically.
+    pub fn from_source(text: &str) -> Result<Engine, EngineError> {
+        let instance = parse_program(text).map_err(EngineError::Source)?;
+        Ok(Engine {
+            text: text.to_owned(),
+            instance,
+            rig: Some(Rig::figure_1()),
+            views: BTreeMap::new(),
+        })
+    }
+
+    /// Builds an engine from already-indexed parts (e.g. a persisted
+    /// document loaded by `tr-store`). The instance's word index must
+    /// cover `text`.
+    pub fn from_parts(
+        text: String,
+        instance: Instance<SuffixWordIndex>,
+        rig: Option<Rig>,
+    ) -> Engine {
+        if let Some(rig) = &rig {
+            assert_eq!(rig.schema(), instance.schema(), "RIG schema must match");
+        }
+        Engine { text, instance, rig, views: BTreeMap::new() }
+    }
+
+    /// Attaches a RIG (the instance is *assumed* to satisfy it; use
+    /// `tr_rig::check_rig` to verify).
+    pub fn with_rig(mut self, rig: Rig) -> Engine {
+        assert_eq!(rig.schema(), self.instance.schema(), "RIG schema must match");
+        self.rig = Some(rig);
+        self
+    }
+
+    /// The indexed document text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance<SuffixWordIndex> {
+        &self.instance
+    }
+
+    /// The schema (region names available to queries).
+    pub fn schema(&self) -> &Schema {
+        self.instance.schema()
+    }
+
+    /// The attached RIG, if any.
+    pub fn rig(&self) -> Option<&Rig> {
+        self.rig.as_ref()
+    }
+
+    /// Parses, plans, and runs a query.
+    pub fn query(&self, q: &str) -> Result<RegionSet, EngineError> {
+        let ast = parse_with_views(q, self.schema(), &self.views)?;
+        // Pure-algebra queries go through the planner (RIG chain
+        // optimization); extended queries evaluate the AST directly.
+        match (ast.to_expr(), &self.rig) {
+            (Some(e), Some(rig)) => Ok(tr_core::eval(&tr_rig::optimize_expr(&e, rig), &self.instance)),
+            (Some(e), None) => Ok(tr_core::eval(&e, &self.instance)),
+            (None, _) => Ok(ast.eval(&self.instance)),
+        }
+    }
+
+    /// Explains how a query would run: the compiled algebra expression and
+    /// its RIG-optimized form (or a note that it uses extended operators).
+    pub fn explain(&self, q: &str) -> Result<String, EngineError> {
+        let ast = parse_with_views(q, self.schema(), &self.views)?;
+        let schema = self.schema();
+        Ok(match ast.to_expr() {
+            Some(e) => {
+                let mut out = format!("algebra: {}", e.display(schema));
+                if let Some(rig) = &self.rig {
+                    let opt = tr_rig::optimize_expr(&e, rig);
+                    if opt != e {
+                        out.push_str(&format!(
+                            "\noptimized (w.r.t. RIG): {} [{} → {} ops]",
+                            opt.display(schema),
+                            e.num_ops(),
+                            opt.num_ops()
+                        ));
+                    } else {
+                        out.push_str("\noptimized (w.r.t. RIG): unchanged");
+                    }
+                }
+                out
+            }
+            None => format!(
+                "extended query (outside the region algebra — Theorems 5.1/5.3): {}",
+                ast.display(schema)
+            ),
+        })
+    }
+
+    /// Parses a query without running it (for tooling).
+    pub fn parse_query(&self, q: &str) -> Result<Query, EngineError> {
+        Ok(parse_with_views(q, self.schema(), &self.views)?)
+    }
+
+    /// Defines (or replaces) a named view: a query that later queries can
+    /// reference like a region name. Views may reference earlier views
+    /// (expanded at definition time, so no cycles can form). A view may
+    /// not shadow a schema name.
+    pub fn define_view(&mut self, name: &str, definition: &str) -> Result<(), EngineError> {
+        if self.schema().id(name).is_some() {
+            return Err(EngineError::Query(ParseError {
+                message: format!("view {name:?} would shadow a region name"),
+                at: 0,
+            }));
+        }
+        if !is_identifier(name) {
+            return Err(EngineError::Query(ParseError {
+                message: format!("invalid view name {name:?}"),
+                at: 0,
+            }));
+        }
+        let q = parse_with_views(definition, self.schema(), &self.views)?;
+        self.views.insert(name.to_owned(), q);
+        Ok(())
+    }
+
+    /// The names of the defined views, sorted.
+    pub fn views(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// The compiled algebra expression for a pure-algebra query.
+    pub fn compile(&self, q: &str) -> Result<Option<Expr>, EngineError> {
+        Ok(self.parse_query(q)?.to_expr())
+    }
+
+    /// The document text covered by a region.
+    pub fn snippet(&self, r: Region) -> &str {
+        &self.text[r.left() as usize..=(r.right() as usize).min(self.text.len() - 1)]
+    }
+}
+
+fn is_identifier(name: &str) -> bool {
+    !name.is_empty() && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_markup::ProgramSpec;
+
+    fn sgml_engine() -> Engine {
+        Engine::from_sgml(
+            "<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sgml_end_to_end() {
+        let e = sgml_engine();
+        let out = e.query(r#"sec matching "beta""#).unwrap();
+        assert_eq!(out.len(), 2, "both sections contain beta");
+        let out = e.query(r#"sec matching "beta" minus (sec containing note)"#).unwrap();
+        assert_eq!(out.len(), 1, "only the first has beta outside a note");
+        assert!(e.snippet(out.iter().next().unwrap()).contains("alpha"));
+    }
+
+    #[test]
+    fn source_engine_runs_paper_queries() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let spec = ProgramSpec::random(&mut rng, 10, 3, 2);
+        let text = spec.render();
+        let e = Engine::from_source(&text).unwrap();
+        // The paper's e1 and e2 must agree (the instance satisfies Fig. 1).
+        let e1 = e.query("Name within Proc_header within Proc within Program").unwrap();
+        let e2 = e.query("Name within Proc_header within Program").unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len(), spec.num_procs());
+    }
+
+    #[test]
+    fn explain_shows_rig_optimization() {
+        let text = "program a; proc b; begin end; begin end.";
+        let e = Engine::from_source(text).unwrap();
+        let plan = e.explain("Name within Proc_header within Proc within Program").unwrap();
+        assert!(plan.contains("optimized"), "{plan}");
+        assert!(plan.contains("3 → 2 ops") || plan.contains("→ 2 ops"), "{plan}");
+        let plan = e.explain("Proc directly containing Proc_body").unwrap();
+        assert!(plan.contains("extended query"), "{plan}");
+    }
+
+    #[test]
+    fn extended_queries_work_end_to_end() {
+        // Nested procs: "find the procedures that define variable x"
+        // (Section 5.1) — ⊃ over-selects, ⊃_d is exact.
+        let text = "program a; proc outer; proc inner; var x; begin end; begin end; begin end.";
+        let e = Engine::from_source(text).unwrap();
+        let loose = e
+            .query(r#"Proc containing (Proc_body containing (Var matching "x"))"#)
+            .unwrap();
+        assert_eq!(loose.len(), 2, "the outer proc is selected spuriously");
+        let tight = e
+            .query(r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#)
+            .unwrap();
+        assert_eq!(tight.len(), 1);
+        assert!(e.snippet(tight.iter().next().unwrap()).starts_with("proc inner"));
+    }
+
+    #[test]
+    fn bi_query_end_to_end() {
+        // Section 5.2: procedures where the definition of x precedes y.
+        // Both procs declare y *before* x, so no proc qualifies — but p's x
+        // does precede q's y, which is exactly the cross-procedure trap the
+        // naive algebra formulation falls into.
+        let text = "program a; proc p; var y; var x; begin end; proc q; var y; var x; begin end; begin end.";
+        let e = Engine::from_source(text).unwrap();
+        let out = e
+            .query(r#"bi(Proc, Var matching "x", Var matching "y")"#)
+            .unwrap();
+        assert!(out.is_empty(), "no proc has x before y within itself");
+        let naive = e
+            .query(r#"Proc containing ((Var matching "x") before (Var matching "y"))"#)
+            .unwrap();
+        assert_eq!(naive.len(), 1, "p selected spuriously via q's y");
+        assert!(e.snippet(naive.iter().next().unwrap()).starts_with("proc p"));
+        // And a positive case: x before y inside the same proc.
+        let text2 = "program a; proc p; var x; var y; begin end; begin end.";
+        let e2 = Engine::from_source(text2).unwrap();
+        let out2 = e2
+            .query(r#"bi(Proc, Var matching "x", Var matching "y")"#)
+            .unwrap();
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn bare_patterns_query_match_points() {
+        let e = sgml_engine();
+        // The occurrences of "beta" as regions (PAT match point sets)…
+        let points = e.query(r#""beta""#).unwrap();
+        assert_eq!(points.len(), 2);
+        for r in points.iter() {
+            assert_eq!(e.snippet(r), "beta");
+        }
+        // …compose with structural operators.
+        assert_eq!(e.query(r#""beta" within note"#).unwrap().len(), 1);
+        assert_eq!(e.query(r#"("beta" within sec) minus ("beta" within note)"#).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn views_expand_like_names() {
+        let mut e = sgml_engine();
+        e.define_view("beta_secs", r#"sec matching "beta""#).unwrap();
+        assert_eq!(e.query("beta_secs").unwrap().len(), 2);
+        assert_eq!(
+            e.query("beta_secs minus (sec containing note)").unwrap().len(),
+            1
+        );
+        // Views can build on views.
+        e.define_view("clean", "beta_secs minus (sec containing note)").unwrap();
+        assert_eq!(e.query("clean").unwrap().len(), 1);
+        assert_eq!(e.views().collect::<Vec<_>>(), vec!["beta_secs", "clean"]);
+        // Shadowing a schema name is rejected.
+        assert!(e.define_view("sec", "note").is_err());
+        assert!(e.define_view("bad name", "note").is_err());
+        // Unknown names still error.
+        assert!(e.query("nonexistent_view").is_err());
+    }
+
+    #[test]
+    fn query_errors_are_reported() {
+        let e = sgml_engine();
+        assert!(matches!(e.query("nope within doc"), Err(EngineError::Query(_))));
+        assert!(Engine::from_sgml("<a><b></a>").is_err());
+        assert!(Engine::from_source("not a program").is_err());
+    }
+}

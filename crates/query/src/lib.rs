@@ -1,0 +1,27 @@
+//! # tr-query — the user-facing query layer
+//!
+//! A small PAT-flavoured query language over indexed documents, tying the
+//! whole workspace together: parse a document (`tr-markup`), index its
+//! text (`tr-text`), parse a query ([`parse()`]), plan it (RIG chain
+//! optimization from `tr-rig`), and evaluate it (`tr-core` /`tr-ext`).
+//!
+//! ```
+//! use tr_query::Engine;
+//!
+//! let doc = "<doc><sec>alpha</sec><sec>beta <note>alpha</note></sec></doc>";
+//! let engine = Engine::from_sgml(doc).unwrap();
+//! let hits = engine.query(r#"sec matching "alpha""#).unwrap();
+//! assert_eq!(hits.len(), 2);
+//! let tight = engine.query(r#"sec matching "alpha" minus (sec containing note)"#).unwrap();
+//! assert_eq!(tight.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod parse;
+
+pub use ast::Query;
+pub use engine::{Engine, EngineError};
+pub use parse::{parse, ParseError};

@@ -1,0 +1,402 @@
+//! The surface syntax: a small PAT-flavoured query language.
+//!
+//! ```text
+//! query    := set
+//! set      := struct (("union" | "minus" | "intersect") struct)*      (left-assoc)
+//! struct   := postfix (STRUCTOP struct)?                              (right-assoc,
+//!              STRUCTOP ∈ within | containing | before | after
+//!                        | directly within | directly containing)
+//! postfix  := primary ("matching" STRING)*
+//! primary  := NAME | STRING | "bi" "(" query "," query "," query ")"
+//!           | "(" query ")"
+//! ```
+//!
+//! A bare `STRING` is the pattern's match point set — PAT's second set
+//! type — so `"food of love" within line` works directly.
+//!
+//! Structural operators group from the right with no mixing at one level —
+//! matching the paper's convention that `A ⊂ B ⊂ C` means `A ⊂ (B ⊂ C)`;
+//! parenthesize to override. `union`/`minus`/`intersect` associate left
+//! and bind looser than the structural operators.
+
+use crate::ast::Query;
+use std::collections::BTreeMap;
+use std::fmt;
+use tr_core::Schema;
+
+/// A parse error with a byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the query string.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') if matches!(bytes.get(i + 1), Some(b'"') | Some(b'\\')) => {
+                            raw.push(bytes[i + 1]);
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            raw.push(b);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string".into(),
+                                at: start,
+                            })
+                        }
+                    }
+                }
+                // The input is a &str, so the collected bytes are valid
+                // UTF-8 (escapes only ever insert ASCII).
+                let s = String::from_utf8(raw)
+                    .map_err(|_| ParseError { message: "invalid UTF-8 in string".into(), at: start })?;
+                out.push((Tok::Str(s), start));
+            }
+            b if b.is_ascii_alphanumeric() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(input[start..i].to_owned()), start));
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character {:?}", c as char),
+                    at: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a query against a schema (names are resolved eagerly, so typos
+/// surface as parse errors with positions).
+pub fn parse(input: &str, schema: &Schema) -> Result<Query, ParseError> {
+    parse_with_views(input, schema, &BTreeMap::new())
+}
+
+/// Parses a query against a schema plus named *views* (the paper's
+/// footnote 1: dynamically defined region sets are treated as views).
+/// A view reference expands to its definition's AST inline.
+pub fn parse_with_views(
+    input: &str,
+    schema: &Schema,
+    views: &BTreeMap<String, Query>,
+) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, schema, views, input_len: input.len() };
+    let q = p.set()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { message: "trailing input".into(), at: p.here() });
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    schema: &'a Schema,
+    views: &'a BTreeMap<String, Query>,
+    input_len: usize,
+}
+
+impl Parser<'_> {
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.input_len, |&(_, at)| at)
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.toks.get(self.pos) {
+            Some((Tok::Ident(s), _)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if self.peek_ident() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.toks.get(self.pos).map(|(t, _)| t) == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected {what}"), at: self.here() })
+        }
+    }
+
+    fn set(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.structural()?;
+        loop {
+            if self.eat_ident("union") {
+                q = Query::Union(Box::new(q), Box::new(self.structural()?));
+            } else if self.eat_ident("minus") {
+                q = Query::Minus(Box::new(q), Box::new(self.structural()?));
+            } else if self.eat_ident("intersect") {
+                q = Query::Intersect(Box::new(q), Box::new(self.structural()?));
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    fn structural(&mut self) -> Result<Query, ParseError> {
+        let left = self.postfix()?;
+        let make = |ctor: fn(Box<Query>, Box<Query>) -> Query, l: Query, r: Query| {
+            ctor(Box::new(l), Box::new(r))
+        };
+        if self.eat_ident("within") {
+            return Ok(make(Query::Within, left, self.structural()?));
+        }
+        if self.eat_ident("containing") {
+            return Ok(make(Query::Containing, left, self.structural()?));
+        }
+        if self.eat_ident("before") {
+            return Ok(make(Query::Before, left, self.structural()?));
+        }
+        if self.eat_ident("after") {
+            return Ok(make(Query::After, left, self.structural()?));
+        }
+        if self.peek_ident() == Some("directly") {
+            let save = self.pos;
+            self.pos += 1;
+            if self.eat_ident("within") {
+                return Ok(make(Query::DirectlyWithin, left, self.structural()?));
+            }
+            if self.eat_ident("containing") {
+                return Ok(make(Query::DirectlyContaining, left, self.structural()?));
+            }
+            self.pos = save;
+            return Err(ParseError {
+                message: "expected `within` or `containing` after `directly`".into(),
+                at: self.here(),
+            });
+        }
+        Ok(left)
+    }
+
+    fn postfix(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.primary()?;
+        while self.eat_ident("matching") {
+            match self.bump() {
+                Some(Tok::Str(p)) => q = Query::Matching(p, Box::new(q)),
+                _ => {
+                    return Err(ParseError {
+                        message: "expected a quoted pattern after `matching`".into(),
+                        at: self.here(),
+                    })
+                }
+            }
+        }
+        Ok(q)
+    }
+
+    fn primary(&mut self) -> Result<Query, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let q = self.set()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(q)
+            }
+            Some(Tok::Str(p)) => Ok(Query::MatchPoints(p)),
+            Some(Tok::Ident(name)) if name == "bi" => {
+                self.expect(Tok::LParen, "`(` after `bi`")?;
+                let r = self.set()?;
+                self.expect(Tok::Comma, "`,`")?;
+                let s = self.set()?;
+                self.expect(Tok::Comma, "`,`")?;
+                let t = self.set()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(Query::BothIncluded(Box::new(r), Box::new(s), Box::new(t)))
+            }
+            Some(Tok::Ident(name)) => match self.schema.id(&name) {
+                Some(id) => Ok(Query::Name(id)),
+                None => match self.views.get(&name) {
+                    Some(view) => Ok(view.clone()),
+                    None => Err(ParseError {
+                        message: format!(
+                            "unknown region name or view {name:?} (schema: {})",
+                            self.schema.names().collect::<Vec<_>>().join(", ")
+                        ),
+                        at,
+                    }),
+                },
+            },
+            _ => Err(ParseError {
+                message: "expected a region name, a quoted pattern, `bi(…)`, or `(`".into(),
+                at,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["Doc", "Sec", "Par"])
+    }
+
+    fn p(s: &str) -> Query {
+        parse(s, &schema()).unwrap()
+    }
+
+    #[test]
+    fn structural_chains_group_right() {
+        let q = p("Par within Sec within Doc");
+        let expect = Query::Within(
+            Box::new(Query::Name(schema().expect_id("Par"))),
+            Box::new(Query::Within(
+                Box::new(Query::Name(schema().expect_id("Sec"))),
+                Box::new(Query::Name(schema().expect_id("Doc"))),
+            )),
+        );
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn set_operators_group_left_and_bind_loose() {
+        let q = p("Par within Sec union Doc minus Sec");
+        // ((Par within Sec) union Doc) minus Sec
+        match q {
+            Query::Minus(l, _) => match *l {
+                Query::Union(ll, _) => assert!(matches!(*ll, Query::Within(..))),
+                other => panic!("expected union, got {other:?}"),
+            },
+            other => panic!("expected minus, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_binds_tightest() {
+        let q = p("Par matching \"x\" within Sec");
+        match q {
+            Query::Within(l, _) => assert!(matches!(*l, Query::Matching(..))),
+            other => panic!("{other:?}"),
+        }
+        // Repeated and parenthesized selections.
+        assert!(matches!(p("Par matching \"x\" matching \"y\""), Query::Matching(..)));
+        assert!(matches!(p("(Par within Sec) matching \"x\""), Query::Matching(..)));
+    }
+
+    #[test]
+    fn directly_variants() {
+        assert!(matches!(p("Par directly within Sec"), Query::DirectlyWithin(..)));
+        assert!(matches!(p("Sec directly containing Par"), Query::DirectlyContaining(..)));
+        assert!(parse("Par directly before Sec", &schema()).is_err());
+    }
+
+    #[test]
+    fn bi_function() {
+        let q = p("bi(Doc, Par matching \"x\", Par matching \"y\")");
+        assert!(matches!(q, Query::BothIncluded(..)));
+    }
+
+    #[test]
+    fn utf8_patterns_survive_lexing() {
+        let q = p(r#"Par matching "caffè μ-region""#);
+        match q {
+            Query::Matching(pat, _) => assert_eq!(pat, "caffè μ-region"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let q = p(r#"Par matching "say \"hi\"""#);
+        match q {
+            Query::Matching(p, _) => assert_eq!(p, "say \"hi\""),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_patterns_are_match_point_sets() {
+        let q = p(r#""food of love" within Sec"#);
+        match q {
+            Query::Within(l, _) => assert_eq!(*l, Query::MatchPoints("food of love".into())),
+            other => panic!("{other:?}"),
+        }
+        // …and they still work as selection arguments after `matching`.
+        assert!(matches!(p(r#"Par matching "x""#), Query::Matching(..)));
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse("Par within Nope", &schema()).unwrap_err();
+        assert!(err.message.contains("unknown region name"), "{err}");
+        assert_eq!(err.at, 11);
+        assert!(parse("Par within", &schema()).is_err());
+        assert!(parse("(Par", &schema()).is_err());
+        assert!(parse("Par )", &schema()).is_err());
+        assert!(parse("Par matching x", &schema()).is_err());
+        assert!(parse("\"unterminated", &schema()).is_err());
+        assert!(parse("Par @ Sec", &schema()).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Inclusion expressions and their RIG-based optimization.
+//!
+//! Section 2.2's motivating example: with the Figure 1 RIG,
+//! `Name ⊂ Proc_header ⊂ Proc ⊂ Program` is equivalent to the cheaper
+//! `Name ⊂ Proc_header ⊂ Program`, because every `Proc_header` sits
+//! directly inside a `Proc`. Section 5.1 notes that *inclusion
+//! expressions* — chains using only `⊂` (or only `⊃`) — can be optimized
+//! in polynomial time.
+//!
+//! The rewrite implemented here drops an interior chain element `B` from
+//! `… A ⊂ B ⊂ C …` when every RIG path from `C` down to `A` passes through
+//! `B`. On hierarchical instances a region's ancestors are totally ordered,
+//! so a `⊂`-chain selects `x` iff the chain names appear, in order, among
+//! the names on `x`'s ancestor path; since every direct inclusion step is a
+//! RIG edge, the names between the `A`-witness and the `C`-witness trace a
+//! RIG path from `C` to `A`, and path interception guarantees a `B`-witness
+//! in between. The interception test is plain reachability with `B`
+//! removed — polynomial, matching the paper's claim.
+
+use crate::graph::Rig;
+use tr_core::{Expr, NameId, BinOp};
+
+/// The direction of an inclusion chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainDir {
+    /// `R_1 ⊂ R_2 ⊂ … ⊂ R_n` (innermost first).
+    IncludedIn,
+    /// `R_1 ⊃ R_2 ⊃ … ⊃ R_n` (outermost first).
+    Including,
+}
+
+impl ChainDir {
+    fn op(self) -> BinOp {
+        match self {
+            ChainDir::IncludedIn => BinOp::IncludedIn,
+            ChainDir::Including => BinOp::Including,
+        }
+    }
+}
+
+/// One element of a chain: a region name with zero or more selections
+/// applied (`σ_p(…σ_q(R))`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainItem {
+    /// The region name.
+    pub name: NameId,
+    /// Selection patterns applied to the name, outermost first.
+    pub patterns: Vec<String>,
+}
+
+impl ChainItem {
+    /// An item with no selections.
+    pub fn bare(name: NameId) -> ChainItem {
+        ChainItem { name, patterns: Vec::new() }
+    }
+
+    fn to_expr(&self) -> Expr {
+        let mut e = Expr::name(self.name);
+        for p in self.patterns.iter().rev() {
+            e = e.select(p.clone());
+        }
+        e
+    }
+
+    fn from_expr(mut e: &Expr) -> Option<ChainItem> {
+        let mut patterns = Vec::new();
+        loop {
+            match e {
+                Expr::Select(p, inner) => {
+                    patterns.push(p.clone());
+                    e = inner;
+                }
+                Expr::Name(id) => return Some(ChainItem { name: *id, patterns }),
+                Expr::Bin(..) => return None,
+            }
+        }
+    }
+}
+
+/// An inclusion expression: a right-grouped chain of `⊂` (or `⊃`) over
+/// selection-wrapped region names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The chain direction.
+    pub dir: ChainDir,
+    /// The items, in expression order (at least two).
+    pub items: Vec<ChainItem>,
+}
+
+impl Chain {
+    /// Recognizes a right-grouped inclusion chain in an expression.
+    /// Returns `None` if the expression has any other shape.
+    pub fn from_expr(e: &Expr) -> Option<Chain> {
+        let (op, dir) = match find_chain_op(e)? {
+            BinOp::IncludedIn => (BinOp::IncludedIn, ChainDir::IncludedIn),
+            BinOp::Including => (BinOp::Including, ChainDir::Including),
+            _ => return None,
+        };
+        let mut items = Vec::new();
+        let mut cur = e;
+        loop {
+            match cur {
+                Expr::Bin(o, l, r) if *o == op => {
+                    items.push(ChainItem::from_expr(l)?);
+                    cur = r;
+                }
+                _ => {
+                    items.push(ChainItem::from_expr(cur)?);
+                    break;
+                }
+            }
+        }
+        (items.len() >= 2).then_some(Chain { dir, items })
+    }
+
+    /// Rebuilds the (right-grouped) expression.
+    pub fn to_expr(&self) -> Expr {
+        let op = self.dir.op();
+        let mut it = self.items.iter().rev();
+        let mut e = it.next().expect("chains have at least two items").to_expr();
+        for item in it {
+            e = Expr::bin(op, item.to_expr(), e);
+        }
+        e
+    }
+
+    /// The `(outer, inner)` name pair around interior position `j` — the
+    /// direction-aware neighbors used by the droppability test.
+    fn around(&self, j: usize) -> (NameId, NameId) {
+        match self.dir {
+            ChainDir::IncludedIn => (self.items[j + 1].name, self.items[j - 1].name),
+            ChainDir::Including => (self.items[j - 1].name, self.items[j + 1].name),
+        }
+    }
+
+    /// True if interior item `j` can be dropped without changing the
+    /// chain's result on any instance satisfying `rig`.
+    pub fn droppable(&self, rig: &Rig, j: usize) -> bool {
+        if j == 0 || j + 1 >= self.items.len() {
+            return false; // endpoints anchor the result / outermost witness
+        }
+        let item = &self.items[j];
+        if !item.patterns.is_empty() {
+            return false; // selections filter witnesses; never drop them
+        }
+        let (outer, inner) = self.around(j);
+        let mid = item.name;
+        if mid == outer || mid == inner {
+            // With equal names the interception argument breaks down (the
+            // blocked node is also an endpoint); be conservative.
+            return false;
+        }
+        // Every RIG path outer → inner must pass through mid: with mid
+        // removed, inner must be unreachable from outer.
+        !rig.reachable_avoiding(outer, &[mid])[inner.index()]
+    }
+
+    /// Greedily drops droppable interior items until a fixpoint, returning
+    /// the optimized chain. The result is equivalent to `self` on every
+    /// instance satisfying `rig`.
+    ///
+    /// Interior positions are tried outermost-first (right-to-left for a
+    /// `⊂`-chain), which reproduces the paper's Section 2.2 rewrite of
+    /// `Name ⊂ Proc_header ⊂ Proc ⊂ Program` into
+    /// `Name ⊂ Proc_header ⊂ Program`. Several minimal equivalents may
+    /// exist (dropping `Proc_header` and keeping `Proc` is equally sound
+    /// for that RIG); the scan order just fixes a deterministic choice.
+    pub fn optimize(&self, rig: &Rig) -> Chain {
+        let mut cur = self.clone();
+        loop {
+            let Some(j) =
+                (1..cur.items.len().saturating_sub(1)).rev().find(|&j| cur.droppable(rig, j))
+            else {
+                return cur;
+            };
+            cur.items.remove(j);
+        }
+    }
+}
+
+/// The chain operator of `e`'s spine, if `e` is a binary node with a chain
+/// operator.
+fn find_chain_op(e: &Expr) -> Option<BinOp> {
+    match e {
+        Expr::Bin(op, ..) if matches!(op, BinOp::IncludedIn | BinOp::Including) => Some(*op),
+        _ => None,
+    }
+}
+
+/// Optimizes every maximal inclusion chain inside an arbitrary expression.
+/// Sub-expressions that are not chains are traversed recursively.
+pub fn optimize_expr(e: &Expr, rig: &Rig) -> Expr {
+    if let Some(chain) = Chain::from_expr(e) {
+        return chain.optimize(rig).to_expr();
+    }
+    match e {
+        Expr::Name(_) => e.clone(),
+        Expr::Select(p, inner) => optimize_expr(inner, rig).select(p.clone()),
+        Expr::Bin(op, l, r) => Expr::bin(*op, optimize_expr(l, rig), optimize_expr(r, rig)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::Schema;
+
+    fn fig1() -> (Rig, Schema) {
+        let rig = Rig::figure_1();
+        let s = rig.schema().clone();
+        (rig, s)
+    }
+
+    fn chain_of(s: &Schema, dir: ChainDir, names: &[&str]) -> Chain {
+        Chain {
+            dir,
+            items: names.iter().map(|n| ChainItem::bare(s.expect_id(n))).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_expr() {
+        let (_, s) = fig1();
+        let c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        let e = c.to_expr();
+        assert_eq!(e.display(&s).to_string(), "Name ⊂ Proc_header ⊂ Proc ⊂ Program");
+        assert_eq!(Chain::from_expr(&e), Some(c));
+    }
+
+    #[test]
+    fn chain_with_selections_round_trips() {
+        let (_, s) = fig1();
+        let e = Expr::name(s.expect_id("Var"))
+            .select("x")
+            .included_in(Expr::name(s.expect_id("Proc")));
+        let c = Chain::from_expr(&e).expect("is a chain");
+        assert_eq!(c.items[0].patterns, vec!["x".to_string()]);
+        assert_eq!(c.to_expr(), e);
+    }
+
+    #[test]
+    fn non_chains_are_rejected() {
+        let (_, s) = fig1();
+        let a = Expr::name(s.expect_id("Proc"));
+        let b = Expr::name(s.expect_id("Var"));
+        assert!(Chain::from_expr(&a).is_none(), "a bare name is not a chain");
+        assert!(Chain::from_expr(&a.clone().union(b.clone())).is_none());
+        // Mixed ⊂ and ⊃ is not an inclusion expression.
+        let mixed = a.clone().included_in(b.clone().including(a.clone()));
+        assert!(Chain::from_expr(&mixed).is_none());
+        // Left-grouped chains are not the right-grouped canonical form.
+        let left = a.clone().included_in(b.clone()).included_in(a);
+        assert!(Chain::from_expr(&left).is_none());
+    }
+
+    #[test]
+    fn paper_example_drops_proc() {
+        let (rig, s) = fig1();
+        let e1 = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        let opt = e1.optimize(&rig);
+        let e2 = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"]);
+        assert_eq!(opt, e2, "the paper's e1 optimizes to e2");
+    }
+
+    #[test]
+    fn proc_header_is_not_droppable() {
+        // "we cannot further omit the test for inclusion in Proc_header,
+        // since we need to distinguish between names of programs and names
+        // of procedures" — Name reaches Program via Prog_header too.
+        let (rig, s) = fig1();
+        let c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"]);
+        assert_eq!(c.optimize(&rig), c);
+    }
+
+    #[test]
+    fn including_chain_optimizes_symmetrically() {
+        let (rig, s) = fig1();
+        let c = chain_of(&s, ChainDir::Including, &["Program", "Proc", "Proc_header", "Name"]);
+        let opt = c.optimize(&rig);
+        // The scan drops Proc_header (every Proc → Name path passes through
+        // it); [Program, Proc_header, Name] would be an equally minimal
+        // equivalent reached under the opposite scan order.
+        assert_eq!(opt, chain_of(&s, ChainDir::Including, &["Program", "Proc", "Name"]));
+    }
+
+    #[test]
+    fn items_with_patterns_are_kept() {
+        let (rig, s) = fig1();
+        let mut c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        c.items[2].patterns.push("main".into()); // σ_main(Proc)
+        let opt = c.optimize(&rig);
+        // Proc carries a selection, so it survives; its now-redundant
+        // neighbor Proc_header is dropped instead.
+        let mut expected = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc", "Program"]);
+        expected.items[1].patterns.push("main".into());
+        assert_eq!(opt, expected, "selected items are never dropped");
+    }
+
+    #[test]
+    fn optimize_expr_recurses_into_non_chain_shapes() {
+        let (rig, s) = fig1();
+        let chain = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"])
+            .to_expr();
+        let e = chain.clone().union(Expr::name(s.expect_id("Var")));
+        let opt = optimize_expr(&e, &rig);
+        let expected = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"])
+            .to_expr()
+            .union(Expr::name(s.expect_id("Var")));
+        assert_eq!(opt, expected);
+    }
+
+    #[test]
+    fn two_item_chains_never_shrink() {
+        let (rig, s) = fig1();
+        let c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Program"]);
+        assert_eq!(c.optimize(&rig), c);
+    }
+}

@@ -1,0 +1,227 @@
+//! Deriving RIGs and ROGs from a grammar (Section 2.2: "if the structure
+//! of the file follows some grammar G, then the RIG can be automatically
+//! derived from G").
+//!
+//! We model the grammar as a context-free skeleton: productions map a
+//! region name to a sequence of region names (terminal content is
+//! irrelevant to the graphs and is omitted).
+
+use crate::graph::{NameGraph, Rig, Rog};
+use tr_core::{NameId, Schema};
+
+/// A context-free structural grammar over region names.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    schema: Schema,
+    /// Productions: `lhs → rhs₁ … rhsₖ` (nonterminals only).
+    productions: Vec<(NameId, Vec<NameId>)>,
+}
+
+impl Grammar {
+    /// Starts an empty grammar over `schema`.
+    pub fn new(schema: Schema) -> Grammar {
+        Grammar { schema, productions: Vec::new() }
+    }
+
+    /// Adds a production, with names given as strings.
+    pub fn production(mut self, lhs: &str, rhs: &[&str]) -> Grammar {
+        let l = self.schema.expect_id(lhs);
+        let r = rhs.iter().map(|n| self.schema.expect_id(n)).collect();
+        self.productions.push((l, r));
+        self
+    }
+
+    /// The grammar's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The productions.
+    pub fn productions(&self) -> &[(NameId, Vec<NameId>)] {
+        &self.productions
+    }
+
+    /// Derives the RIG: an edge `(A_i, A_j)` iff the grammar has a rule
+    /// with `A_i` on the left and `A_j` on the right (the paper's rule,
+    /// end of Section 2.2).
+    pub fn derive_rig(&self) -> Rig {
+        let mut g = NameGraph::new(self.schema.clone());
+        for (lhs, rhs) in &self.productions {
+            for r in rhs {
+                g.add_edge(*lhs, *r);
+            }
+        }
+        Rig(g)
+    }
+
+    /// Derives a ROG: an edge `(A_i, A_j)` whenever `A_i` appears
+    /// immediately before `A_j` on some right-hand side.
+    ///
+    /// This captures direct precedence between *siblings*. Direct
+    /// precedence in an instance can also hold between non-siblings (e.g.
+    /// the last leaf of one subtree and the head of the next); deriving
+    /// those edges requires first/last-descendant closures and is
+    /// intentionally out of scope — the paper only notes that a ROG "can
+    /// also be derived from a grammar" without fixing the construction.
+    pub fn derive_sibling_rog(&self) -> Rog {
+        let mut g = NameGraph::new(self.schema.clone());
+        for (_, rhs) in &self.productions {
+            for w in rhs.windows(2) {
+                g.add_edge(w[0], w[1]);
+            }
+        }
+        Rog(g)
+    }
+}
+
+impl Grammar {
+    /// Generates a random instance whose structure follows the grammar:
+    /// starting from `start`, each region expands by a randomly chosen
+    /// production (or stays a leaf), recursively, until `max_regions` or
+    /// `max_depth` is reached. The result always satisfies the derived
+    /// RIG — the executable form of Section 2.2's "if the structure of
+    /// the file follows some grammar G, then the RIG can be automatically
+    /// derived from G".
+    pub fn random_instance<R: rand::Rng>(
+        &self,
+        start: &str,
+        max_regions: usize,
+        max_depth: usize,
+        rng: &mut R,
+    ) -> tr_core::Instance {
+        let start = self.schema.expect_id(start);
+        let mut remaining = max_regions.max(1);
+        let tree = self.grow(start, 1, max_depth, &mut remaining, rng);
+        let mut builder = tr_core::InstanceBuilder::new(self.schema.clone());
+        emit(&tree, 0, &mut builder);
+        builder.build_valid()
+    }
+
+    fn grow<R: rand::Rng>(
+        &self,
+        name: NameId,
+        depth: usize,
+        max_depth: usize,
+        remaining: &mut usize,
+        rng: &mut R,
+    ) -> GenNode {
+        *remaining = remaining.saturating_sub(1);
+        let mut node = GenNode { name, children: Vec::new() };
+        if depth >= max_depth || *remaining == 0 {
+            return node;
+        }
+        let options: Vec<&Vec<NameId>> = self
+            .productions
+            .iter()
+            .filter(|(lhs, _)| *lhs == name)
+            .map(|(_, rhs)| rhs)
+            .collect();
+        if options.is_empty() || rng.gen_bool(0.25) {
+            return node; // leaf (terminal content only)
+        }
+        let rhs = options[rng.gen_range(0..options.len())].clone();
+        for child in rhs {
+            if *remaining == 0 {
+                break;
+            }
+            node.children.push(self.grow(child, depth + 1, max_depth, remaining, rng));
+        }
+        node
+    }
+}
+
+struct GenNode {
+    name: NameId,
+    children: Vec<GenNode>,
+}
+
+fn width(n: &GenNode) -> u64 {
+    2 + n.children.iter().map(width).sum::<u64>()
+}
+
+fn emit(n: &GenNode, start: u64, b: &mut tr_core::InstanceBuilder) -> u64 {
+    let right = start + width(n) - 1;
+    b.push_id(n.name, tr_core::Region::new(start as u32, right as u32));
+    let mut cursor = start + 1;
+    for c in &n.children {
+        cursor = emit(c, cursor, b) + 1;
+    }
+    right
+}
+
+/// The paper's running example as a grammar: programs with headers and
+/// bodies, procedures nesting recursively (Section 2.2).
+pub fn source_code_grammar() -> Grammar {
+    let schema = Schema::new([
+        "Program",
+        "Prog_header",
+        "Prog_body",
+        "Proc",
+        "Proc_header",
+        "Proc_body",
+        "Name",
+        "Var",
+    ]);
+    Grammar::new(schema)
+        .production("Program", &["Prog_header", "Prog_body"])
+        .production("Prog_header", &["Name"])
+        .production("Prog_body", &["Var", "Proc"])
+        .production("Proc", &["Proc_header", "Proc_body"])
+        .production("Proc_header", &["Name"])
+        .production("Proc_body", &["Var", "Proc"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Rig;
+
+    #[test]
+    fn derived_rig_matches_figure_1() {
+        let derived = source_code_grammar().derive_rig();
+        assert_eq!(derived, Rig::figure_1());
+    }
+
+    #[test]
+    fn sibling_rog_edges() {
+        let rog = source_code_grammar().derive_sibling_rog();
+        let s = rog.schema().clone();
+        assert!(rog.has_edge(s.expect_id("Prog_header"), s.expect_id("Prog_body")));
+        assert!(rog.has_edge(s.expect_id("Var"), s.expect_id("Proc")));
+        assert!(!rog.has_edge(s.expect_id("Proc"), s.expect_id("Var")));
+    }
+
+    #[test]
+    fn generated_instances_satisfy_the_derived_rig() {
+        use rand::prelude::*;
+        let g = source_code_grammar();
+        let rig = g.derive_rig();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let inst = g.random_instance("Program", 120, 8, &mut rng);
+            assert!(crate::validate::satisfies_rig(&inst, &rig));
+            assert!(!inst.is_empty());
+            assert!(inst.len() <= 121);
+        }
+    }
+
+    #[test]
+    fn generation_respects_depth_and_budget() {
+        use rand::prelude::*;
+        let g = source_code_grammar();
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = g.random_instance("Program", 10, 3, &mut rng);
+        assert!(inst.nesting_depth() <= 3);
+        assert!(inst.len() <= 11);
+        // A start symbol with no productions yields a single region.
+        let inst = g.random_instance("Name", 10, 3, &mut rng);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn empty_grammar_gives_edgeless_graphs() {
+        let g = Grammar::new(Schema::new(["A"]));
+        assert_eq!(g.derive_rig().num_edges(), 0);
+        assert_eq!(g.derive_sibling_rog().num_edges(), 0);
+    }
+}

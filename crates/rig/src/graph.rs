@@ -1,0 +1,342 @@
+//! Region inclusion graphs (RIGs) and region order graphs (ROGs),
+//! Section 2.2 of the paper.
+//!
+//! Both are directed graphs over the region names of a [`Schema`]: a RIG
+//! edge `(R_i, R_j)` says an `R_i` region *can directly include* an `R_j`
+//! region; a ROG edge says an `R_i` region *can directly precede* an `R_j`
+//! region. The two share the [`NameGraph`] representation.
+
+use tr_core::{NameId, Schema};
+
+/// A directed graph over the names of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameGraph {
+    schema: Schema,
+    /// Adjacency by source node (indexed by `NameId::index()`), each list
+    /// sorted and duplicate-free.
+    adj: Vec<Vec<u16>>,
+}
+
+impl NameGraph {
+    /// An edgeless graph over `schema`.
+    pub fn new(schema: Schema) -> NameGraph {
+        let adj = vec![Vec::new(); schema.len()];
+        NameGraph { schema, adj }
+    }
+
+    /// Builds a graph from `(from, to)` name pairs (strings resolved
+    /// against the schema).
+    pub fn from_edges<'a>(
+        schema: Schema,
+        edges: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> NameGraph {
+        let mut g = NameGraph::new(schema);
+        for (a, b) in edges {
+            let (a, b) = (g.schema.expect_id(a), g.schema.expect_id(b));
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds an edge; returns false if it was already present.
+    pub fn add_edge(&mut self, from: NameId, to: NameId) -> bool {
+        let list = &mut self.adj[from.index()];
+        match list.binary_search(&(to.index() as u16)) {
+            Ok(_) => false,
+            Err(i) => {
+                list.insert(i, to.index() as u16);
+                true
+            }
+        }
+    }
+
+    /// True if the edge is present.
+    pub fn has_edge(&self, from: NameId, to: NameId) -> bool {
+        self.adj[from.index()]
+            .binary_search(&(to.index() as u16))
+            .is_ok()
+    }
+
+    /// The successors of a node.
+    pub fn successors(&self, from: NameId) -> impl Iterator<Item = NameId> + '_ {
+        self.adj[from.index()].iter().map(|&i| NameId::from_index(i as usize))
+    }
+
+    /// All edges, in `(from, to)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NameId, NameId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, list)| {
+            list.iter()
+                .map(move |&j| (NameId::from_index(i), NameId::from_index(j as usize)))
+        })
+    }
+
+    /// Nodes reachable from `from` (excluding `from` itself unless it lies
+    /// on a cycle), with the nodes in `blocked` removed from the graph.
+    pub fn reachable_avoiding(&self, from: NameId, blocked: &[NameId]) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut blocked_mask = vec![false; n];
+        for b in blocked {
+            blocked_mask[b.index()] = true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        // Seed with successors so `from` is only marked if re-entered (and
+        // so it always works as a source even when listed in `blocked`).
+        for s in self.successors(from) {
+            if !blocked_mask[s.index()] && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if !blocked_mask[v] && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes reachable from `from` by one or more edges.
+    pub fn reachable(&self, from: NameId) -> Vec<bool> {
+        self.reachable_avoiding(from, &[])
+    }
+
+    /// True if `to` is reachable from `from` by one or more edges.
+    pub fn can_reach(&self, from: NameId, to: NameId) -> bool {
+        self.reachable(from)[to.index()]
+    }
+
+    /// True if the graph has no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n];
+        for (_, to) in self.edges() {
+            indeg[to.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &self.adj[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v as usize);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// The number of nodes on the longest directed path (for an acyclic
+    /// graph). Returns `None` if the graph has a cycle. For a RIG this
+    /// bounds the nesting depth of satisfying instances (Section 5.1).
+    pub fn longest_path_nodes(&self) -> Option<usize> {
+        if !self.is_acyclic() {
+            return None;
+        }
+        let n = self.num_nodes();
+        let mut memo: Vec<Option<usize>> = vec![None; n];
+        fn dfs(g: &NameGraph, u: usize, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(v) = memo[u] {
+                return v;
+            }
+            let best = g.adj[u]
+                .iter()
+                .map(|&v| dfs(g, v as usize, memo))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            memo[u] = Some(best);
+            best
+        }
+        (0..n).map(|u| dfs(self, u, &mut memo)).max().or(Some(0))
+    }
+}
+
+/// A region inclusion graph: edge `(R_i, R_j)` ⇔ an `R_i` region can
+/// directly include an `R_j` region (Definition 2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rig(pub NameGraph);
+
+/// A region order graph: edge `(R_i, R_j)` ⇔ an `R_i` region can directly
+/// precede an `R_j` region (Section 2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rog(pub NameGraph);
+
+impl Rig {
+    /// An edgeless RIG.
+    pub fn new(schema: Schema) -> Rig {
+        Rig(NameGraph::new(schema))
+    }
+
+    /// Builds a RIG from `(parent, child)` name pairs.
+    pub fn from_edges<'a>(
+        schema: Schema,
+        edges: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Rig {
+        Rig(NameGraph::from_edges(schema, edges))
+    }
+
+    /// The paper's Figure 1: the RIG for source-code regions.
+    pub fn figure_1() -> Rig {
+        let schema = Schema::new([
+            "Program",
+            "Prog_header",
+            "Prog_body",
+            "Proc",
+            "Proc_header",
+            "Proc_body",
+            "Name",
+            "Var",
+        ]);
+        Rig::from_edges(
+            schema,
+            [
+                ("Program", "Prog_header"),
+                ("Program", "Prog_body"),
+                ("Prog_header", "Name"),
+                ("Prog_body", "Var"),
+                ("Prog_body", "Proc"),
+                ("Proc", "Proc_header"),
+                ("Proc", "Proc_body"),
+                ("Proc_header", "Name"),
+                ("Proc_body", "Var"),
+                ("Proc_body", "Proc"),
+            ],
+        )
+    }
+}
+
+impl Rog {
+    /// An edgeless ROG.
+    pub fn new(schema: Schema) -> Rog {
+        Rog(NameGraph::new(schema))
+    }
+
+    /// An upper bound on the number of pairwise non-overlapping regions in
+    /// instances satisfying an *acyclic* ROG: the longest directed path
+    /// (in nodes). `None` for cyclic ROGs (unbounded). This is the bound
+    /// Proposition 5.4 needs to make both-included expressible
+    /// (`tr_ext::both_included_expr`'s `width`).
+    pub fn width_bound(&self) -> Option<usize> {
+        self.0.longest_path_nodes()
+    }
+
+    /// Builds a ROG from `(before, after)` name pairs.
+    pub fn from_edges<'a>(
+        schema: Schema,
+        edges: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Rog {
+        Rog(NameGraph::from_edges(schema, edges))
+    }
+}
+
+impl std::ops::Deref for Rig {
+    type Target = NameGraph;
+    fn deref(&self) -> &NameGraph {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Rog {
+    type Target = NameGraph;
+    fn deref(&self) -> &NameGraph {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_shape() {
+        let rig = Rig::figure_1();
+        let s = rig.schema().clone();
+        assert_eq!(rig.num_edges(), 10);
+        assert!(rig.has_edge(s.expect_id("Proc"), s.expect_id("Proc_header")));
+        assert!(!rig.has_edge(s.expect_id("Program"), s.expect_id("Proc")));
+        assert!(!rig.is_acyclic(), "Proc_body → Proc → Proc_body is a cycle");
+    }
+
+    #[test]
+    fn reachability() {
+        let rig = Rig::figure_1();
+        let s = rig.schema().clone();
+        assert!(rig.can_reach(s.expect_id("Program"), s.expect_id("Name")));
+        assert!(!rig.can_reach(s.expect_id("Name"), s.expect_id("Program")));
+        // Cyclic self-reachability.
+        assert!(rig.can_reach(s.expect_id("Proc"), s.expect_id("Proc")));
+        assert!(!rig.can_reach(s.expect_id("Program"), s.expect_id("Program")));
+    }
+
+    #[test]
+    fn reachability_avoiding_blocks_paths() {
+        let rig = Rig::figure_1();
+        let s = rig.schema().clone();
+        let program = s.expect_id("Program");
+        let name = s.expect_id("Name");
+        let hdrs = [s.expect_id("Prog_header"), s.expect_id("Proc_header")];
+        let reach = rig.reachable_avoiding(program, &hdrs);
+        assert!(!reach[name.index()], "all paths to Name go through a header");
+        let reach2 = rig.reachable_avoiding(program, &[s.expect_id("Prog_header")]);
+        assert!(reach2[name.index()], "Proc_header path remains");
+    }
+
+    #[test]
+    fn acyclic_and_longest_path() {
+        let schema = Schema::new(["A", "B", "C"]);
+        let g = NameGraph::from_edges(schema, [("A", "B"), ("B", "C"), ("A", "C")]);
+        assert!(g.is_acyclic());
+        assert_eq!(g.longest_path_nodes(), Some(3));
+        assert_eq!(Rig::figure_1().longest_path_nodes(), None);
+    }
+
+    #[test]
+    fn rog_width_bound() {
+        let schema = Schema::new(["A", "B", "C"]);
+        let rog = Rog::from_edges(schema.clone(), [("A", "B"), ("B", "C")]);
+        assert_eq!(rog.width_bound(), Some(3));
+        let cyclic = Rog::from_edges(schema, [("A", "B"), ("B", "A")]);
+        assert_eq!(cyclic.width_bound(), None, "self-following regions are unbounded");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = NameGraph::new(Schema::new(["A"]));
+        assert!(g.is_acyclic());
+        assert_eq!(g.longest_path_nodes(), Some(1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn add_edge_dedups() {
+        let schema = Schema::new(["A", "B"]);
+        let mut g = NameGraph::new(schema.clone());
+        let (a, b) = (schema.expect_id("A"), schema.expect_id("B"));
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(a, b)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tr-rig — region inclusion graphs and RIG-based optimization
+//!
+//! Section 2.2 of the paper introduces the *region inclusion graph* (RIG):
+//! a schema-level description of which region names can directly include
+//! which. This crate implements:
+//!
+//! * [`Rig`] / [`Rog`] graphs and their derivation from a [`Grammar`];
+//! * validation of instances against a RIG/ROG ([`satisfies_rig`],
+//!   [`satisfies_rog`] — Definition 2.4);
+//! * the polynomial optimizer for *inclusion expressions* (Section 5.1 /
+//!   \[CM94\]): [`Chain::optimize`] and [`optimize_expr`];
+//! * the *minimal set problem* of Section 6 (Proposition 6.1):
+//!   NP-complete in general ([`MinimalSetProblem`], with the vertex-cover
+//!   reduction [`vertex_cover_to_minimal_set`]), polynomial min-cut for a
+//!   single pair ([`min_vertex_cut`]).
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod grammar;
+pub mod graph;
+pub mod mincut;
+pub mod minimal_set;
+pub mod validate;
+
+pub use chain::{optimize_expr, Chain, ChainDir, ChainItem};
+pub use grammar::{source_code_grammar, Grammar};
+pub use graph::{NameGraph, Rig, Rog};
+pub use mincut::min_vertex_cut;
+pub use minimal_set::{min_vertex_cover_brute, vertex_cover_to_minimal_set, MinimalSetProblem};
+pub use validate::{check_rig, check_rog, satisfies_rig, satisfies_rog, RigViolation, RogViolation};

@@ -1,0 +1,183 @@
+//! The polynomial special case of the minimal set problem: for a chain
+//! with a single operation (`e = R_1 ⊃_d R_2`) a minimum interception set
+//! is a minimum *vertex* cut between the two names, computable by max-flow
+//! (the "variant of the min-cut problem" the paper cites from \[PS82\]).
+//!
+//! Standard node-splitting construction: every name `x` becomes
+//! `x_in → x_out` with capacity 1 (∞ for the two endpoints); every RIG
+//! edge `a → b` becomes `a_out → b_in` with capacity ∞. The max flow from
+//! `u_out` to `v_in` equals the minimum number of interior names whose
+//! removal disconnects `u` from `v`; the cut is read off the residual
+//! graph.
+
+use crate::graph::Rig;
+use tr_core::NameId;
+
+const INF: u32 = u32::MAX / 4;
+
+/// A minimum set of interior names intercepting every RIG path `u → v`
+/// with a nonempty interior, via max-flow/min-cut. The direct edge
+/// `u → v` (if present) has nothing to intercept and is excluded from the
+/// flow network. Runs in polynomial time.
+pub fn min_vertex_cut(rig: &Rig, u: NameId, v: NameId) -> Vec<NameId> {
+    let n = rig.num_nodes();
+    // Node 2i = x_in, node 2i+1 = x_out.
+    let size = 2 * n;
+    let mut cap = vec![vec![0u32; size]; size];
+    for i in 0..n {
+        let c = if i == u.index() || i == v.index() { INF } else { 1 };
+        cap[2 * i][2 * i + 1] = c;
+    }
+    for (a, b) in rig.edges() {
+        if (a, b) == (u, v) {
+            continue; // the direct edge needs no interception
+        }
+        cap[2 * a.index() + 1][2 * b.index()] = INF;
+    }
+    let (source, sink) = (2 * u.index() + 1, 2 * v.index());
+    let flow = max_flow(&mut cap, source, sink);
+    debug_assert!(flow < INF, "every remaining u→v path has an interior unit-capacity node");
+    // Residual reachability from the source determines the cut: a name is
+    // cut iff its in-node is reachable but its out-node is not.
+    let reach = residual_reachable(&cap, source, size);
+    let mut cut: Vec<NameId> = (0..n)
+        .filter(|&i| reach[2 * i] && !reach[2 * i + 1])
+        .map(NameId::from_index)
+        .collect();
+    cut.sort_unstable();
+    debug_assert_eq!(cut.len(), flow as usize);
+    cut
+}
+
+/// Edmonds–Karp max flow on a dense capacity matrix. `cap` is mutated
+/// into the residual network.
+fn max_flow(cap: &mut [Vec<u32>], source: usize, sink: usize) -> u32 {
+    let size = cap.len();
+    let mut total = 0u32;
+    loop {
+        // BFS for an augmenting path.
+        let mut prev = vec![usize::MAX; size];
+        prev[source] = source;
+        let mut queue = std::collections::VecDeque::from([source]);
+        'bfs: while let Some(x) = queue.pop_front() {
+            for y in 0..size {
+                if prev[y] == usize::MAX && cap[x][y] > 0 {
+                    prev[y] = x;
+                    if y == sink {
+                        break 'bfs;
+                    }
+                    queue.push_back(y);
+                }
+            }
+        }
+        if prev[sink] == usize::MAX {
+            return total;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u32::MAX;
+        let mut y = sink;
+        while y != source {
+            let x = prev[y];
+            bottleneck = bottleneck.min(cap[x][y]);
+            y = x;
+        }
+        let mut y = sink;
+        while y != source {
+            let x = prev[y];
+            cap[x][y] -= bottleneck;
+            cap[y][x] += bottleneck;
+            y = x;
+        }
+        total += bottleneck;
+    }
+}
+
+fn residual_reachable(cap: &[Vec<u32>], source: usize, size: usize) -> Vec<bool> {
+    let mut seen = vec![false; size];
+    seen[source] = true;
+    let mut stack = vec![source];
+    while let Some(x) = stack.pop() {
+        for y in 0..size {
+            if !seen[y] && cap[x][y] > 0 {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal_set::MinimalSetProblem;
+    use tr_core::Schema;
+
+    #[test]
+    fn diamond_needs_two() {
+        let schema = Schema::new(["A", "B", "C", "D"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]);
+        let cut = min_vertex_cut(&rig, schema.expect_id("A"), schema.expect_id("D"));
+        assert_eq!(cut, vec![schema.expect_id("B"), schema.expect_id("C")]);
+    }
+
+    #[test]
+    fn bottleneck_of_one() {
+        let schema = Schema::new(["A", "B", "C", "M", "D"]);
+        let rig = Rig::from_edges(
+            schema.clone(),
+            [("A", "B"), ("A", "C"), ("B", "M"), ("C", "M"), ("M", "D")],
+        );
+        let cut = min_vertex_cut(&rig, schema.expect_id("A"), schema.expect_id("D"));
+        assert_eq!(cut, vec![schema.expect_id("M")]);
+    }
+
+    #[test]
+    fn direct_edge_alone_needs_nothing() {
+        let schema = Schema::new(["A", "B"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "B")]);
+        assert!(min_vertex_cut(&rig, schema.expect_id("A"), schema.expect_id("B")).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_has_empty_cut() {
+        let schema = Schema::new(["A", "B"]);
+        let rig = Rig::new(schema.clone());
+        let cut = min_vertex_cut(&rig, schema.expect_id("A"), schema.expect_id("B"));
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_exact_solver_on_random_dags() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let n = rng.gen_range(4..9);
+            let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+            let schema = Schema::new(names);
+            let mut rig = Rig::new(schema.clone());
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.35) {
+                        rig.0.add_edge(NameId::from_index(i), NameId::from_index(j));
+                    }
+                }
+            }
+            let (u, v) = (NameId::from_index(0), NameId::from_index(n - 1));
+            let cut = min_vertex_cut(&rig, u, v);
+            let p = MinimalSetProblem::for_chain(rig, &[u, v]);
+            assert!(p.covers(&cut), "trial {trial}: min-cut result must cover");
+            let exact = p.solve_exact().expect("always feasible");
+            assert_eq!(cut.len(), exact.len(), "trial {trial}: sizes must agree");
+        }
+    }
+
+    #[test]
+    fn cut_respects_cycles() {
+        // u → M → u cycle plus u → M → v: M is still the unique cut.
+        let schema = Schema::new(["U", "M", "V"]);
+        let rig = Rig::from_edges(schema.clone(), [("U", "M"), ("M", "U"), ("M", "V")]);
+        let cut = min_vertex_cut(&rig, schema.expect_id("U"), schema.expect_id("V"));
+        assert_eq!(cut, vec![schema.expect_id("M")]);
+    }
+}

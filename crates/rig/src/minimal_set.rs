@@ -1,0 +1,350 @@
+//! The *minimal set problem* of Section 6 (Proposition 6.1).
+//!
+//! The single-loop program that evaluates a direct-inclusion chain
+//! `e = R_1 ⊃_d R_2 ⊃_d … ⊃_d R_n` spends most of its time testing
+//! inclusion against an auxiliary set `All`. Given a RIG `G`, `All` only
+//! needs the regions of a subset `𝓘' ⊆ 𝓘` containing at least one region
+//! name on every path from `R_i` to `R_{i+1}` (endpoints excluded), for
+//! every consecutive pair. Finding a minimum such `𝓘'` is NP-complete
+//! (reduction from vertex cover); this module provides:
+//!
+//! * [`MinimalSetProblem::solve_exact`] — iterative-deepening branch
+//!   search, exponential only in the solution size;
+//! * [`MinimalSetProblem::solve_greedy`] — a polynomial heuristic;
+//! * [`crate::mincut::min_vertex_cut`] — the polynomial min-cut special
+//!   case for a single pair (`e = R_1 ⊃_d R_2`), per the paper's closing
+//!   remark;
+//! * [`vertex_cover_to_minimal_set`] — the hardness-direction reduction,
+//!   used by tests and by experiment E10.
+
+use crate::graph::Rig;
+use tr_core::{NameId, Schema};
+
+/// An instance of the minimal set problem: a RIG plus the consecutive
+/// `(parent-side, child-side)` pairs of a direct-inclusion chain.
+#[derive(Debug, Clone)]
+pub struct MinimalSetProblem {
+    rig: Rig,
+    pairs: Vec<(NameId, NameId)>,
+}
+
+impl MinimalSetProblem {
+    /// Builds the problem for the chain `names[0] ⊃_d names[1] ⊃_d …`.
+    pub fn for_chain(rig: Rig, names: &[NameId]) -> MinimalSetProblem {
+        let pairs = names.windows(2).map(|w| (w[0], w[1])).collect();
+        MinimalSetProblem { rig, pairs }
+    }
+
+    /// Builds the problem from explicit pairs.
+    pub fn for_pairs(rig: Rig, pairs: Vec<(NameId, NameId)>) -> MinimalSetProblem {
+        MinimalSetProblem { rig, pairs }
+    }
+
+    /// The underlying RIG.
+    pub fn rig(&self) -> &Rig {
+        &self.rig
+    }
+
+    /// The pairs to intercept.
+    pub fn pairs(&self) -> &[(NameId, NameId)] {
+        &self.pairs
+    }
+
+    /// True if `set` intercepts every path of every pair.
+    pub fn covers(&self, set: &[NameId]) -> bool {
+        self.pairs.iter().all(|&(u, v)| self.pair_covered(u, v, set))
+    }
+
+    /// True if every path `u → v` has an interior node in `set`.
+    fn pair_covered(&self, u: NameId, v: NameId, set: &[NameId]) -> bool {
+        self.witness_path(u, v, set).is_none()
+    }
+
+    /// A shortest unintercepted path `u → … → v` with a *nonempty*
+    /// interior (as its interior nodes), or `None` if all such paths are
+    /// intercepted. A direct edge `u → v` has nothing between the
+    /// endpoints, so it imposes no interception requirement and is
+    /// skipped.
+    fn witness_path(&self, u: NameId, v: NameId, set: &[NameId]) -> Option<Vec<NameId>> {
+        let n = self.rig.num_nodes();
+        let blocked = |id: NameId| set.contains(&id);
+        // BFS from u; interior nodes must be unblocked; v is always enterable.
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(u.index());
+        // u is the source; do not mark it seen so a cycle back through it
+        // is handled by the blocked check like any interior node.
+        while let Some(x) = queue.pop_front() {
+            for y in self.rig.successors(NameId::from_index(x)) {
+                let yi = y.index();
+                if y == v {
+                    if x == u.index() {
+                        continue; // the direct edge: no interior to intercept
+                    }
+                    // Reconstruct interior: x, prev[x], … back to u.
+                    let mut interior = Vec::new();
+                    let mut cur = x;
+                    while cur != u.index() {
+                        interior.push(NameId::from_index(cur));
+                        cur = prev[cur].expect("interior nodes have predecessors");
+                    }
+                    interior.reverse();
+                    return Some(interior);
+                }
+                if !seen[yi] && !blocked(y) && yi != u.index() {
+                    seen[yi] = true;
+                    prev[yi] = Some(x);
+                    queue.push_back(yi);
+                }
+            }
+        }
+        None
+    }
+
+    /// The minimum interception set. Iterative deepening over the
+    /// solution size: exponential in `|𝓘'|` only, as expected for an
+    /// NP-complete problem. Always succeeds (the full node set minus the
+    /// endpoints intercepts everything interceptable, and direct edges
+    /// need nothing).
+    pub fn solve_exact(&self) -> Option<Vec<NameId>> {
+        for k in 0..=self.rig.num_nodes() {
+            let mut chosen = Vec::new();
+            if self.search(k, &mut chosen) {
+                chosen.sort_unstable();
+                return Some(chosen);
+            }
+        }
+        None
+    }
+
+    fn search(&self, budget: usize, chosen: &mut Vec<NameId>) -> bool {
+        let uncovered = self
+            .pairs
+            .iter()
+            .find_map(|&(u, v)| self.witness_path(u, v, chosen));
+        let Some(interior) = uncovered else {
+            return true; // everything covered
+        };
+        debug_assert!(!interior.is_empty(), "witness paths have interiors");
+        if budget == 0 {
+            return false;
+        }
+        // Some interior node of this path must be chosen: branch on each.
+        for cand in interior {
+            chosen.push(cand);
+            if self.search(budget - 1, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    /// Greedy heuristic: repeatedly add the node covering the most
+    /// still-uncovered pairs. Polynomial; may overshoot the optimum
+    /// (experiment E10 quantifies by how much).
+    pub fn solve_greedy(&self) -> Option<Vec<NameId>> {
+        let mut chosen: Vec<NameId> = Vec::new();
+        loop {
+            let uncovered: Vec<(NameId, NameId)> = self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|&(u, v)| !self.pair_covered(u, v, &chosen))
+                .collect();
+            if uncovered.is_empty() {
+                chosen.sort_unstable();
+                return Some(chosen);
+            }
+            let mut best: Option<(usize, NameId)> = None;
+            for cand in (0..self.rig.num_nodes()).map(NameId::from_index) {
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                chosen.push(cand);
+                let covered_now = uncovered
+                    .iter()
+                    .filter(|&&(u, v)| self.pair_covered(u, v, &chosen))
+                    .count();
+                chosen.pop();
+                if covered_now > 0 && best.is_none_or(|(b, _)| covered_now > b) {
+                    best = Some((covered_now, cand));
+                }
+            }
+            match best {
+                Some((_, pick)) => chosen.push(pick),
+                None => {
+                    // No single node finishes a pair (e.g. parallel interior
+                    // paths): block one witness path and keep going — each
+                    // pick removes at least one path, so this terminates.
+                    let (u, v) = uncovered[0];
+                    let interior =
+                        self.witness_path(u, v, &chosen).expect("pair is uncovered");
+                    chosen.push(interior[0]);
+                }
+            }
+        }
+    }
+}
+
+/// The hardness-direction reduction behind Proposition 6.1: a vertex cover
+/// instance becomes a minimal set instance whose optimum equals the
+/// minimum vertex cover size.
+///
+/// For each graph edge `{a, b}` a fresh source/sink pair `(S_j, T_j)` is
+/// created with the serial path `S_j → a → b → T_j`; its interior is
+/// exactly `{a, b}` (plus detours that still pass through both), so
+/// intercepting every `S_j → T_j` path means choosing `a` or `b` —
+/// covering the edge. The chain `S_1, T_1, S_2, T_2, …` makes exactly
+/// those pairs consecutive (the cross pairs `(T_j, S_{j+1})` have no paths
+/// and are vacuous), so the minimum interception set is a minimum vertex
+/// cover.
+pub fn vertex_cover_to_minimal_set(
+    num_vertices: usize,
+    edges: &[(usize, usize)],
+) -> MinimalSetProblem {
+    let mut names: Vec<String> = (0..num_vertices).map(|i| format!("v{i}")).collect();
+    for j in 0..edges.len() {
+        names.push(format!("S{j}"));
+        names.push(format!("T{j}"));
+    }
+    let schema = Schema::new(names);
+    let mut rig = Rig::new(schema.clone());
+    let mut chain = Vec::with_capacity(2 * edges.len());
+    for (j, &(a, b)) in edges.iter().enumerate() {
+        assert!(a < num_vertices && b < num_vertices && a != b, "bad edge ({a},{b})");
+        let s = schema.expect_id(&format!("S{j}"));
+        let t = schema.expect_id(&format!("T{j}"));
+        let (va, vb) = (NameId::from_index(a), NameId::from_index(b));
+        rig.0.add_edge(s, va);
+        rig.0.add_edge(va, vb);
+        rig.0.add_edge(vb, t);
+        chain.push(s);
+        chain.push(t);
+    }
+    MinimalSetProblem::for_chain(rig, &chain)
+}
+
+/// Brute-force minimum vertex cover, for cross-checking the reduction in
+/// tests and experiment E10. Exponential; keep `num_vertices` small.
+pub fn min_vertex_cover_brute(num_vertices: usize, edges: &[(usize, usize)]) -> usize {
+    assert!(num_vertices <= 20, "brute-force cover limited to 20 vertices");
+    (0u32..1 << num_vertices)
+        .filter(|mask| {
+            edges
+                .iter()
+                .all(|&(a, b)| mask & (1 << a) != 0 || mask & (1 << b) != 0)
+        })
+        .map(u32::count_ones)
+        .min()
+        .unwrap_or(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Rig, Schema) {
+        // A → {B, C} → D: two disjoint interior paths.
+        let schema = Schema::new(["A", "B", "C", "D"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]);
+        (rig, schema)
+    }
+
+    #[test]
+    fn exact_needs_both_diamond_arms() {
+        let (rig, s) = diamond();
+        let p = MinimalSetProblem::for_chain(rig, &[s.expect_id("A"), s.expect_id("D")]);
+        let sol = p.solve_exact().expect("feasible");
+        assert_eq!(sol.len(), 2);
+        assert!(p.covers(&sol));
+    }
+
+    #[test]
+    fn direct_edge_needs_no_interception() {
+        // A direct edge has no interior, so nothing needs intercepting —
+        // the possible direct parent/child pair is precisely the case the
+        // chain program's ⊃ operator handles without blockers.
+        let schema = Schema::new(["A", "B"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "B")]);
+        let p = MinimalSetProblem::for_chain(rig, &[schema.expect_id("A"), schema.expect_id("B")]);
+        assert_eq!(p.solve_exact(), Some(Vec::new()));
+        assert_eq!(p.solve_greedy(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn direct_edge_plus_detour_intercepts_the_detour() {
+        // A → B directly and A → M → B: only the detour needs blocking.
+        let schema = Schema::new(["A", "M", "B"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "B"), ("A", "M"), ("M", "B")]);
+        let p = MinimalSetProblem::for_chain(rig, &[schema.expect_id("A"), schema.expect_id("B")]);
+        assert_eq!(p.solve_exact(), Some(vec![schema.expect_id("M")]));
+    }
+
+    #[test]
+    fn unreachable_pair_needs_nothing() {
+        let schema = Schema::new(["A", "B"]);
+        let rig = Rig::new(schema.clone());
+        let p = MinimalSetProblem::for_chain(rig, &[schema.expect_id("A"), schema.expect_id("B")]);
+        assert_eq!(p.solve_exact(), Some(Vec::new()));
+        assert_eq!(p.solve_greedy(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn single_interior_path() {
+        let schema = Schema::new(["A", "M", "B"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "M"), ("M", "B")]);
+        let p = MinimalSetProblem::for_chain(rig, &[schema.expect_id("A"), schema.expect_id("B")]);
+        assert_eq!(p.solve_exact(), Some(vec![schema.expect_id("M")]));
+        assert_eq!(p.solve_greedy(), Some(vec![schema.expect_id("M")]));
+    }
+
+    #[test]
+    fn chain_with_shared_interior() {
+        // A → M → B and B → M → C: one node M covers both pairs.
+        let schema = Schema::new(["A", "M", "B", "C"]);
+        let rig = Rig::from_edges(
+            schema.clone(),
+            [("A", "M"), ("M", "B"), ("B", "M"), ("M", "C")],
+        );
+        let p = MinimalSetProblem::for_chain(
+            rig,
+            &[schema.expect_id("A"), schema.expect_id("B"), schema.expect_id("C")],
+        );
+        assert_eq!(p.solve_exact(), Some(vec![schema.expect_id("M")]));
+    }
+
+    #[test]
+    fn reduction_preserves_cover_size() {
+        // Triangle: VC = 2. Path of 3 edges: VC = 2. Star: VC = 1.
+        let cases: &[(usize, &[(usize, usize)])] = &[
+            (3, &[(0, 1), (1, 2), (0, 2)]),
+            (4, &[(0, 1), (1, 2), (2, 3)]),
+            (5, &[(0, 1), (0, 2), (0, 3), (0, 4)]),
+        ];
+        for &(n, edges) in cases {
+            let p = vertex_cover_to_minimal_set(n, edges);
+            let exact = p.solve_exact().expect("feasible").len();
+            assert_eq!(exact, min_vertex_cover_brute(n, edges), "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_covers_but_may_overshoot() {
+        let p = vertex_cover_to_minimal_set(3, &[(0, 1), (1, 2), (0, 2)]);
+        let g = p.solve_greedy().expect("feasible");
+        assert!(p.covers(&g));
+        assert!(g.len() >= 2);
+    }
+
+    #[test]
+    fn cycles_through_source_are_handled() {
+        // A → M → A → … and A → M → B: blocking M suffices even though A
+        // lies on a cycle.
+        let schema = Schema::new(["A", "M", "B"]);
+        let rig = Rig::from_edges(schema.clone(), [("A", "M"), ("M", "A"), ("M", "B")]);
+        let p = MinimalSetProblem::for_chain(rig, &[schema.expect_id("A"), schema.expect_id("B")]);
+        assert_eq!(p.solve_exact(), Some(vec![schema.expect_id("M")]));
+    }
+}

@@ -1,0 +1,188 @@
+//! Validating that an instance satisfies a RIG (Definition 2.4) or a ROG.
+//!
+//! `I` satisfies RIG `G` iff for every pair of regions where `r_i` directly
+//! includes `r_j`, the edge `(R_i, R_j)` is in `G`. The ROG condition is
+//! the analogue for direct precedence.
+
+use crate::graph::{Rig, Rog};
+use tr_core::{Instance, NameId, Region};
+
+/// A violation of a RIG: a direct inclusion with no corresponding edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RigViolation {
+    /// The directly-including (parent) region and its name.
+    pub parent: (Region, NameId),
+    /// The directly-included (child) region and its name.
+    pub child: (Region, NameId),
+}
+
+/// Returns the first RIG violation in `I`, if any.
+pub fn check_rig<W>(inst: &Instance<W>, rig: &Rig) -> Option<RigViolation> {
+    assert_eq!(inst.schema(), rig.schema(), "instance and RIG schemas differ");
+    let forest = inst.forest();
+    for (i, child_region, child_name) in forest.iter() {
+        if let Some(p) = forest.parent(i) {
+            let (parent_region, parent_name) = forest.node(p);
+            if !rig.has_edge(parent_name, child_name) {
+                return Some(RigViolation {
+                    parent: (parent_region, parent_name),
+                    child: (child_region, child_name),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// True if `I` satisfies the RIG (`I ∈ 𝓘_G` in the paper's notation).
+pub fn satisfies_rig<W>(inst: &Instance<W>, rig: &Rig) -> bool {
+    check_rig(inst, rig).is_none()
+}
+
+/// A violation of a ROG: a direct precedence with no corresponding edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RogViolation {
+    /// The directly-preceding region and its name.
+    pub before: (Region, NameId),
+    /// The directly-following region and its name.
+    pub after: (Region, NameId),
+}
+
+/// Returns the first ROG violation in `I`, if any.
+///
+/// `r` directly precedes `s` iff `r < s` and there is no `t` with
+/// `r < t < s` (Section 2.2). With regions sorted by left endpoint, `s` is
+/// directly preceded by `r` iff `left(s) > right(r)` and `left(s) ≤ M(r)`,
+/// where `M(r)` is the minimum right endpoint among regions entirely to the
+/// right of `r`.
+pub fn check_rog<W>(inst: &Instance<W>, rog: &Rog) -> Option<RogViolation> {
+    assert_eq!(inst.schema(), rog.schema(), "instance and ROG schemas differ");
+    let all = inst.all_with_names();
+    // suffix_min_right[i] = min right endpoint among regions i.. (sorted by left).
+    let n = all.len();
+    let mut suffix_min_right = vec![u32::MAX; n + 1];
+    for i in (0..n).rev() {
+        suffix_min_right[i] = suffix_min_right[i + 1].min(all[i].0.right());
+    }
+    for &(r, r_name) in all {
+        // Regions strictly to the right of r start at index `from`.
+        let from = all.partition_point(|&(x, _)| x.left() <= r.right());
+        if from == n {
+            continue;
+        }
+        let m = suffix_min_right[from];
+        // Every s with right(r) < left(s) ≤ m is directly preceded by r.
+        for &(s, s_name) in &all[from..] {
+            if s.left() > m {
+                break;
+            }
+            if !rog.has_edge(r_name, s_name) {
+                return Some(RogViolation { before: (r, r_name), after: (s, s_name) });
+            }
+        }
+    }
+    None
+}
+
+/// True if `I` satisfies the ROG.
+pub fn satisfies_rog<W>(inst: &Instance<W>, rog: &Rog) -> bool {
+    check_rog(inst, rog).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Rig, Rog};
+    use tr_core::{region, InstanceBuilder, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B", "C"])
+    }
+
+    #[test]
+    fn rig_accepts_conforming_instance() {
+        let rig = Rig::from_edges(schema(), [("A", "B"), ("B", "C")]);
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 8))
+            .add("C", region(2, 3))
+            .build_valid();
+        assert!(satisfies_rig(&inst, &rig));
+    }
+
+    #[test]
+    fn rig_rejects_wrong_direct_parent() {
+        let rig = Rig::from_edges(schema(), [("A", "B"), ("B", "C")]);
+        // C directly inside A (no B in between) — not an edge.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("C", region(2, 3))
+            .build_valid();
+        let v = check_rig(&inst, &rig).expect("violation");
+        assert_eq!(v.parent.0, region(0, 9));
+        assert_eq!(v.child.0, region(2, 3));
+    }
+
+    #[test]
+    fn rig_only_constrains_direct_inclusion() {
+        let rig = Rig::from_edges(schema(), [("A", "B"), ("B", "C")]);
+        // C transitively inside A through B: fine even though (A, C) is no edge.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 8))
+            .add("C", region(2, 3))
+            .build_valid();
+        assert!(satisfies_rig(&inst, &rig));
+    }
+
+    #[test]
+    fn rog_checks_direct_precedence_only() {
+        let rog = Rog::from_edges(schema(), [("A", "B"), ("B", "C")]);
+        // A [0..1] < B [3..4] < C [6..7]: direct pairs are (A,B), (B,C);
+        // (A,C) is *not* direct because B lies between.
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 1))
+            .add("B", region(3, 4))
+            .add("C", region(6, 7))
+            .build_valid();
+        assert!(satisfies_rog(&inst, &rog));
+    }
+
+    #[test]
+    fn rog_rejects_unlisted_direct_pair() {
+        let rog = Rog::from_edges(schema(), [("A", "B")]);
+        let inst = InstanceBuilder::new(schema())
+            .add("B", region(0, 1))
+            .add("A", region(3, 4))
+            .build_valid();
+        let v = check_rog(&inst, &rog).expect("violation");
+        assert_eq!(v.before.0, region(0, 1));
+        assert_eq!(v.after.0, region(3, 4));
+    }
+
+    #[test]
+    fn rog_nested_regions_do_not_precede() {
+        let rog = Rog::new(schema());
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 9))
+            .add("B", region(1, 8))
+            .build_valid();
+        assert!(satisfies_rog(&inst, &rog), "nested regions have no precedence pairs");
+    }
+
+    #[test]
+    fn rog_multiple_direct_successors() {
+        // A [0..1]; B [3..10] and C [4..5] nested inside B. Direct
+        // precedence: A directly precedes both B and C (C starts before B
+        // ends — both are "first" after A with no region between).
+        let rog = Rog::from_edges(schema(), [("A", "B"), ("A", "C")]);
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 1))
+            .add("B", region(3, 10))
+            .add("C", region(4, 5))
+            .build_valid();
+        assert!(satisfies_rog(&inst, &rog));
+        let rog2 = Rog::from_edges(schema(), [("A", "B")]);
+        assert!(!satisfies_rog(&inst, &rog2));
+    }
+}

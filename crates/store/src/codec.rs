@@ -1,0 +1,219 @@
+//! A small, dependency-free binary codec: little-endian integers,
+//! length-prefixed byte strings, and a checksum trailer.
+//!
+//! The on-disk format is deliberately simple (no compression, no
+//! alignment games) — region indexes are written once and mapped into
+//! memory-shaped vectors on load.
+
+use std::io::{self, Read, Write};
+
+/// Writer half of the codec, accumulating an FNV-1a checksum.
+pub struct Encoder<W: Write> {
+    out: W,
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl<W: Write> Encoder<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Encoder<W> {
+        Encoder { out, hash: FNV_OFFSET }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.out.write_all(bytes)
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.raw(&v.to_le_bytes())
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.raw(&v.to_le_bytes())
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-width fields like
+    /// file magic).
+    pub fn fixed(&mut self, v: &[u8]) -> io::Result<()> {
+        self.raw(v)
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> io::Result<()> {
+        self.u64(v.len() as u64)?;
+        self.raw(v)
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> io::Result<()> {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Writes the checksum trailer and returns the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        let h = self.hash;
+        self.out.write_all(&h.to_le_bytes())?;
+        Ok(self.out)
+    }
+}
+
+/// Reader half, verifying the checksum on [`Decoder::finish`].
+pub struct Decoder<R: Read> {
+    input: R,
+    hash: u64,
+}
+
+/// Decoding errors.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The trailer checksum did not match.
+    Corrupt,
+    /// A length or value was implausible.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o error: {e}"),
+            DecodeError::Corrupt => write!(f, "checksum mismatch (file corrupt or truncated)"),
+            DecodeError::Malformed(what) => write!(f, "malformed file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> DecodeError {
+        DecodeError::Io(e)
+    }
+}
+
+impl<R: Read> Decoder<R> {
+    /// Wraps a reader.
+    pub fn new(input: R) -> Decoder<R> {
+        Decoder { input, hash: FNV_OFFSET }
+    }
+
+    fn raw(&mut self, buf: &mut [u8]) -> Result<(), DecodeError> {
+        self.input.read_exact(buf)?;
+        for &b in buf.iter() {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut b = [0u8; 4];
+        self.raw(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut b = [0u8; 8];
+        self.raw(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads exactly `n` raw bytes (fixed-width fields like file magic).
+    pub fn fixed(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
+        let mut v = vec![0u8; n];
+        self.raw(&mut v)?;
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed byte string, bounded by `max` bytes.
+    pub fn bytes(&mut self, max: u64) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u64()?;
+        if len > max {
+            return Err(DecodeError::Malformed("length exceeds bound"));
+        }
+        let mut v = vec![0u8; len as usize];
+        self.raw(&mut v)?;
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, max: u64) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes(max)?)
+            .map_err(|_| DecodeError::Malformed("invalid utf-8"))
+    }
+
+    /// Verifies the checksum trailer.
+    pub fn finish(mut self) -> Result<(), DecodeError> {
+        let expect = self.hash;
+        let mut b = [0u8; 8];
+        self.input.read_exact(&mut b)?;
+        if u64::from_le_bytes(b) != expect {
+            return Err(DecodeError::Corrupt);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u32(7).unwrap();
+        enc.u64(1 << 40).unwrap();
+        enc.str("hello").unwrap();
+        enc.bytes(&[1, 2, 3]).unwrap();
+        let buf = enc.finish().unwrap();
+
+        let mut dec = Decoder::new(buf.as_slice());
+        assert_eq!(dec.u32().unwrap(), 7);
+        assert_eq!(dec.u64().unwrap(), 1 << 40);
+        assert_eq!(dec.str(100).unwrap(), "hello");
+        assert_eq!(dec.bytes(100).unwrap(), vec![1, 2, 3]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.str("payload").unwrap();
+        let mut buf = enc.finish().unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let mut dec = Decoder::new(buf.as_slice());
+        let _ = dec.str(100); // may or may not fail here…
+        assert!(dec.finish().is_err(), "…but the checksum must catch it");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u64(42).unwrap();
+        let buf = enc.finish().unwrap();
+        let mut dec = Decoder::new(&buf[..buf.len() - 1]);
+        assert_eq!(dec.u64().unwrap(), 42);
+        assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn length_bound_is_enforced() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.bytes(&[0u8; 64]).unwrap();
+        let buf = enc.finish().unwrap();
+        let mut dec = Decoder::new(buf.as_slice());
+        assert!(matches!(dec.bytes(16), Err(DecodeError::Malformed(_))));
+    }
+}

@@ -1,0 +1,282 @@
+//! # tr-store — index persistence
+//!
+//! PAT's whole point (and the paper's opening observation) is that "it is
+//! impractical to fully scan large documents while processing on-line
+//! queries — some of the data must be indexed". Indexing once and
+//! querying many times needs the index on disk; this crate provides a
+//! small, dependency-free binary format for an indexed document: the
+//! text, its suffix array, the region schema and sets, and an optional
+//! RIG.
+//!
+//! ```
+//! use tr_store::{save_document, load_document, StoredDocument};
+//!
+//! let inst = tr_markup::parse_sgml("<d><s>hi</s></d>").unwrap();
+//! let dir = std::env::temp_dir().join("tr_store_doctest.trx");
+//! save_document(&dir, "<d><s>hi</s></d>", &inst, None).unwrap();
+//! let doc: StoredDocument = load_document(&dir).unwrap();
+//! assert_eq!(doc.instance.len(), 2);
+//! # std::fs::remove_file(dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+
+use codec::{DecodeError, Decoder, Encoder};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use tr_core::{Instance, Region, RegionSet, Schema};
+use tr_rig::Rig;
+use tr_text::{SuffixArray, SuffixWordIndex};
+
+/// File magic + format version.
+pub const MAGIC: &[u8; 8] = b"TRXIDX01";
+
+/// Hard caps applied while decoding untrusted files.
+const MAX_TEXT: u64 = 1 << 32;
+const MAX_NAMES: u64 = 1 << 16;
+const MAX_REGIONS: u64 = 1 << 28;
+
+/// A loaded document: text, instance (with a ready suffix-array word
+/// index), and the optional RIG it was saved with.
+pub struct StoredDocument {
+    /// The original document text.
+    pub text: String,
+    /// The region instance over a suffix-array word index.
+    pub instance: Instance<SuffixWordIndex>,
+    /// The RIG, if one was attached at save time.
+    pub rig: Option<Rig>,
+}
+
+/// Errors from [`load_document`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Decoding failed (I/O, checksum, malformed lengths).
+    Decode(DecodeError),
+    /// The file is not a `TRXIDX01` file.
+    BadMagic,
+    /// The contents are inconsistent (bad suffix array, invalid regions,
+    /// non-hierarchical instance…).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Decode(e) => write!(f, "{e}"),
+            LoadError::BadMagic => write!(f, "not a textregion index file"),
+            LoadError::Invalid(what) => write!(f, "invalid index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<DecodeError> for LoadError {
+    fn from(e: DecodeError) -> LoadError {
+        LoadError::Decode(e)
+    }
+}
+
+/// Saves an indexed document (text, suffix array, regions, optional RIG).
+pub fn save_document<W: AsRef<Path>>(
+    path: W,
+    text: &str,
+    instance: &Instance<SuffixWordIndex>,
+    rig: Option<&Rig>,
+) -> std::io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    let mut enc = Encoder::new(file);
+    enc.fixed(MAGIC)?;
+    enc.str(text)?;
+    // Suffix array offsets (so loading skips reconstruction).
+    let sa = instance.word_index().suffix_array();
+    enc.u64(sa.raw().len() as u64)?;
+    for &off in sa.raw() {
+        enc.u32(off)?;
+    }
+    // Schema + region sets.
+    let schema = instance.schema();
+    enc.u64(schema.len() as u64)?;
+    for name in schema.names() {
+        enc.str(name)?;
+    }
+    for id in schema.ids() {
+        let set = instance.regions_of(id);
+        enc.u64(set.len() as u64)?;
+        for r in set.iter() {
+            enc.u32(r.left())?;
+            enc.u32(r.right())?;
+        }
+    }
+    // Optional RIG.
+    match rig {
+        None => enc.u64(0)?,
+        Some(rig) => {
+            let edges: Vec<_> = rig.edges().collect();
+            enc.u64(1)?;
+            enc.u64(edges.len() as u64)?;
+            for (a, b) in edges {
+                enc.u32(a.index() as u32)?;
+                enc.u32(b.index() as u32)?;
+            }
+        }
+    }
+    enc.finish()?.into_inner().map_err(|e| e.into_error())?.sync_all()
+}
+
+/// Loads a document saved by [`save_document`], verifying the checksum,
+/// the suffix array, and the hierarchy invariant.
+pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadError> {
+    let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
+    let mut dec = Decoder::new(file);
+    if dec.fixed(8)? != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let text = dec.str(MAX_TEXT)?;
+    let sa_len = dec.u64()?;
+    if sa_len != text.len() as u64 {
+        return Err(LoadError::Invalid("suffix array length mismatch"));
+    }
+    let mut sa = Vec::with_capacity(sa_len as usize);
+    for _ in 0..sa_len {
+        sa.push(dec.u32()?);
+    }
+    let n_names = dec.u64()?;
+    if n_names > MAX_NAMES {
+        return Err(LoadError::Invalid("too many region names"));
+    }
+    let mut names = Vec::with_capacity(n_names as usize);
+    for _ in 0..n_names {
+        names.push(dec.str(1 << 16)?);
+    }
+    let mut sets = Vec::with_capacity(n_names as usize);
+    for _ in 0..n_names {
+        let count = dec.u64()?;
+        if count > MAX_REGIONS {
+            return Err(LoadError::Invalid("too many regions"));
+        }
+        let mut regions: Vec<Region> = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (l, r) = (dec.u32()?, dec.u32()?);
+            if l > r {
+                return Err(LoadError::Invalid("inverted region"));
+            }
+            regions.push(Region::new(l, r));
+        }
+        sets.push(RegionSet::from_regions(regions));
+    }
+    let rig_edges = match dec.u64()? {
+        0 => None,
+        1 => {
+            let count = dec.u64()?;
+            if count > MAX_REGIONS {
+                return Err(LoadError::Invalid("too many RIG edges"));
+            }
+            let mut edges = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                edges.push((dec.u32()?, dec.u32()?));
+            }
+            Some(edges)
+        }
+        _ => return Err(LoadError::Invalid("bad RIG tag")),
+    };
+    dec.finish()?;
+
+    // Reassemble and validate.
+    let suffix = SuffixArray::from_parts(text.clone().into_bytes(), sa);
+    if !suffix.is_consistent() {
+        return Err(LoadError::Invalid("suffix array does not match text"));
+    }
+    let schema = Schema::new(names);
+    let word = SuffixWordIndex::from_suffix_array(suffix);
+    let instance = Instance::build(schema.clone(), sets, word)
+        .map_err(|_| LoadError::Invalid("regions are not hierarchical"))?;
+    let rig = match rig_edges {
+        None => None,
+        Some(edges) => {
+            let mut rig = Rig::new(schema.clone());
+            for (a, b) in edges {
+                if a as usize >= schema.len() || b as usize >= schema.len() {
+                    return Err(LoadError::Invalid("RIG edge out of schema"));
+                }
+                rig.0.add_edge(
+                    tr_core::NameId::from_index(a as usize),
+                    tr_core::NameId::from_index(b as usize),
+                );
+            }
+            Some(rig)
+        }
+    };
+    Ok(StoredDocument { text, instance, rig })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::eval;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tr_store_test_{}_{name}.trx", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_sgml_document() {
+        let text = "<doc><sec>alpha</sec><sec>beta gamma</sec></doc>";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        let path = tmp("sgml");
+        save_document(&path, text, &inst, None).unwrap();
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.text, text);
+        assert_eq!(doc.instance.len(), inst.len());
+        assert!(doc.rig.is_none());
+        // Queries work identically on the loaded instance.
+        let s = doc.instance.schema().clone();
+        let q = tr_core::Expr::name(s.expect_id("sec")).select("beta");
+        assert_eq!(eval(&q, &doc.instance), eval(&q, &inst));
+    }
+
+    #[test]
+    fn round_trip_with_rig() {
+        let text = "program a; proc b; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("rig");
+        save_document(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.rig.as_ref().map(|r| r.num_edges()), Some(10));
+        assert_eq!(doc.rig.unwrap(), Rig::figure_1());
+    }
+
+    #[test]
+    fn rejects_garbage_and_tampering() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(load_document(&path).is_err());
+
+        let text = "<a>hi</a>";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        save_document(&path, text, &inst, None).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_document(&path).is_err(), "checksum must catch tampering");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_document_round_trips() {
+        let text = "no markup";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        let path = tmp("empty");
+        save_document(&path, text, &inst, None).unwrap();
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(doc.instance.is_empty());
+        assert_eq!(doc.text, text);
+    }
+}

@@ -1,0 +1,205 @@
+//! [`SuffixWordIndex`]: a [`WordIndex`] over real text, backed by a suffix
+//! array — the workspace's stand-in for the PAT engine's sistring index.
+//!
+//! `σ_p` evaluates `W(r, p)` once per candidate region with the *same*
+//! pattern, so the index memoizes the sorted occurrence list per pattern;
+//! after the first lookup each `W(r, p)` test is a binary search.
+
+use crate::pattern::Pattern;
+use crate::suffix::SuffixArray;
+use crate::tokenize::{is_word_byte, word_starts};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use tr_core::{Region, WordIndex};
+
+/// An occurrence of a pattern: `(start offset, byte length)`.
+pub type Occurrence = (u32, u32);
+
+/// A suffix-array-backed word index over a text buffer.
+pub struct SuffixWordIndex {
+    sa: SuffixArray,
+    /// Sorted word-start offsets, for boundary checks.
+    starts: Vec<u32>,
+    /// pattern string → sorted occurrences, memoized.
+    cache: RefCell<HashMap<String, Rc<Vec<Occurrence>>>>,
+}
+
+impl SuffixWordIndex {
+    /// Indexes `text`.
+    pub fn new(text: impl Into<Vec<u8>>) -> SuffixWordIndex {
+        let text = text.into();
+        let starts = word_starts(&text);
+        SuffixWordIndex { sa: SuffixArray::new(text), starts, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Wraps a previously built [`SuffixArray`] (e.g. loaded from disk),
+    /// recomputing the cheap word-start table.
+    pub fn from_suffix_array(sa: SuffixArray) -> SuffixWordIndex {
+        let starts = word_starts(sa.text());
+        SuffixWordIndex { sa, starts, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The underlying suffix array (for persistence).
+    pub fn suffix_array(&self) -> &SuffixArray {
+        &self.sa
+    }
+
+    /// The indexed text.
+    pub fn text(&self) -> &[u8] {
+        self.sa.text()
+    }
+
+    /// The sorted occurrences of a pattern (memoized).
+    pub fn occurrences(&self, pattern: &str) -> Rc<Vec<Occurrence>> {
+        if let Some(hit) = self.cache.borrow().get(pattern) {
+            return Rc::clone(hit);
+        }
+        let computed = Rc::new(self.compute(&Pattern::parse(pattern)));
+        self.cache
+            .borrow_mut()
+            .insert(pattern.to_owned(), Rc::clone(&computed));
+        computed
+    }
+
+    /// Number of occurrences of a pattern.
+    pub fn count(&self, pattern: &str) -> usize {
+        self.occurrences(pattern).len()
+    }
+
+    fn compute(&self, p: &Pattern) -> Vec<Occurrence> {
+        let text = self.sa.text();
+        let needle = p.needle();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        let raw = self.sa.positions(needle);
+        let mut out: Vec<Occurrence> = match p {
+            Pattern::Substring(s) => raw.iter().map(|&pos| (pos, s.len() as u32)).collect(),
+            Pattern::WordExact(s) => raw
+                .iter()
+                .copied()
+                .filter(|&pos| {
+                    let end = pos as usize + s.len();
+                    self.is_word_start(pos) && (end >= text.len() || !is_word_byte(text[end]))
+                })
+                .map(|pos| (pos, s.len() as u32))
+                .collect(),
+            Pattern::WordPrefix(_) => raw
+                .iter()
+                .copied()
+                .filter(|&pos| self.is_word_start(pos))
+                .map(|pos| {
+                    // The occurrence covers the whole matched word, so that
+                    // W(r, "pre*") requires the word to fit inside r.
+                    let mut end = pos as usize;
+                    while end < text.len() && is_word_byte(text[end]) {
+                        end += 1;
+                    }
+                    (pos, (end - pos as usize) as u32)
+                })
+                .collect(),
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn is_word_start(&self, pos: u32) -> bool {
+        self.starts.binary_search(&pos).is_ok()
+    }
+}
+
+impl WordIndex for SuffixWordIndex {
+    fn occurrence_regions(&self, pattern: &str) -> tr_core::RegionSet {
+        self.occurrences(pattern)
+            .iter()
+            .map(|&(start, len)| Region::new(start, start + len - 1))
+            .collect()
+    }
+
+    fn matches(&self, r: Region, pattern: &str) -> bool {
+        let occ = self.occurrences(pattern);
+        let from = occ.partition_point(|&(s, _)| s < r.left());
+        occ[from..]
+            .iter()
+            .take_while(|&&(s, _)| s <= r.right())
+            .any(|&(s, l)| s + l - 1 <= r.right())
+    }
+}
+
+impl std::fmt::Debug for SuffixWordIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuffixWordIndex")
+            .field("text_len", &self.sa.text().len())
+            .field("cached_patterns", &self.cache.borrow().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::region;
+
+    fn idx() -> SuffixWordIndex {
+        SuffixWordIndex::new(&b"the cat sat on the catalog"[..])
+    }
+
+    #[test]
+    fn word_exact_respects_boundaries() {
+        let w = idx();
+        // "cat" the word occurs at 4 only; "catalog" at 19 must not count.
+        assert_eq!(&*w.occurrences("cat"), &vec![(4, 3)]);
+        assert!(w.matches(region(0, 10), "cat"));
+        assert!(!w.matches(region(15, 25), "cat"));
+    }
+
+    #[test]
+    fn word_prefix_covers_whole_word() {
+        let w = idx();
+        assert_eq!(&*w.occurrences("cat*"), &vec![(4, 3), (19, 7)]);
+        // Region must contain the whole matched word.
+        assert!(w.matches(region(19, 25), "cat*"));
+        assert!(!w.matches(region(19, 23), "cat*"), "catalog truncated");
+    }
+
+    #[test]
+    fn substring_matches_anywhere() {
+        let w = idx();
+        assert_eq!(&*w.occurrences("at s"), &vec![(5, 4)]);
+        assert!(w.matches(region(0, 12), "at s"));
+    }
+
+    #[test]
+    fn unknown_pattern_never_matches() {
+        let w = idx();
+        assert!(!w.matches(region(0, 25), "dog"));
+        assert_eq!(w.count("dog"), 0);
+    }
+
+    #[test]
+    fn occurrence_regions_match_point_sets() {
+        let w = idx();
+        assert_eq!(
+            w.occurrence_regions("cat*").as_slice(),
+            &[tr_core::region(4, 6), tr_core::region(19, 25)]
+        );
+        assert!(w.occurrence_regions("dog").is_empty());
+    }
+
+    #[test]
+    fn cache_is_reused() {
+        let w = idx();
+        let a = w.occurrences("cat");
+        let b = w.occurrences("cat");
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn exact_word_at_end_of_text() {
+        let w = SuffixWordIndex::new(&b"find the cat"[..]);
+        assert_eq!(w.count("cat"), 1);
+        assert!(w.matches(region(9, 11), "cat"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # tr-text — the text substrate
+//!
+//! The PAT engine the paper builds on indexes *sistrings* (semi-infinite
+//! strings) in a Patricia tree; this crate provides the equivalent pure
+//! in-memory machinery: a suffix array ([`SuffixArray`]), a tokenizer, a
+//! small pattern language ([`Pattern`]), and [`SuffixWordIndex`] — a
+//! [`tr_core::WordIndex`] over real text with per-pattern memoization.
+//!
+//! ```
+//! use tr_text::SuffixWordIndex;
+//! use tr_core::{WordIndex, region};
+//!
+//! let w = SuffixWordIndex::new(&b"procedure alpha; var x : integer"[..]);
+//! assert!(w.matches(region(0, 31), "alpha"));
+//! assert!(w.matches(region(0, 31), "proc*"));
+//! assert!(!w.matches(region(0, 8), "alpha"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod pattern;
+pub mod suffix;
+pub mod tokenize;
+
+pub use index::{Occurrence, SuffixWordIndex};
+pub use pattern::Pattern;
+pub use suffix::SuffixArray;
+pub use tokenize::{is_word_byte, tokens, word_starts, Token};

@@ -1,0 +1,62 @@
+//! The pattern language.
+//!
+//! The paper abstracts over the pattern language of the word index
+//! (Definition 2.1 only assumes a predicate `W(r, p)`). We provide the
+//! three forms PAT-style engines support:
+//!
+//! * `word` — an exact word (token) match;
+//! * `word*` — a word-prefix match (PAT's native sistring-prefix semantics);
+//! * anything containing a non-word byte — a literal substring match.
+
+use crate::tokenize::is_word_byte;
+
+/// A parsed pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Exact token match: the text contains this word bounded by non-word
+    /// bytes (or text boundaries).
+    WordExact(String),
+    /// Word-prefix match: a token starting with the stem.
+    WordPrefix(String),
+    /// Literal substring match anywhere in the text.
+    Substring(String),
+}
+
+impl Pattern {
+    /// Parses the textual pattern syntax described at the module level.
+    pub fn parse(s: &str) -> Pattern {
+        if let Some(stem) = s.strip_suffix('*') {
+            if !stem.is_empty() && stem.bytes().all(is_word_byte) {
+                return Pattern::WordPrefix(stem.to_owned());
+            }
+        }
+        if !s.is_empty() && s.bytes().all(is_word_byte) {
+            Pattern::WordExact(s.to_owned())
+        } else {
+            Pattern::Substring(s.to_owned())
+        }
+    }
+
+    /// The bytes to search the suffix array for.
+    pub fn needle(&self) -> &[u8] {
+        match self {
+            Pattern::WordExact(s) | Pattern::WordPrefix(s) | Pattern::Substring(s) => s.as_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(Pattern::parse("cat"), Pattern::WordExact("cat".into()));
+        assert_eq!(Pattern::parse("cat*"), Pattern::WordPrefix("cat".into()));
+        assert_eq!(Pattern::parse("cat sat"), Pattern::Substring("cat sat".into()));
+        assert_eq!(Pattern::parse("a.b"), Pattern::Substring("a.b".into()));
+        // A bare `*` has no stem: treated as a substring literal.
+        assert_eq!(Pattern::parse("*"), Pattern::Substring("*".into()));
+        assert_eq!(Pattern::parse(""), Pattern::Substring(String::new()));
+    }
+}

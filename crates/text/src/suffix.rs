@@ -1,0 +1,242 @@
+//! A suffix array over the indexed text.
+//!
+//! This is the workspace's substitute for the PAT engine's Patricia tree
+//! over *sistrings* (semi-infinite strings): both structures answer "at
+//! which positions does the text have `p` as a prefix of the suffix
+//! starting there?" in logarithmic time. Construction uses prefix doubling
+//! (O(n log² n)), which is ample for the in-memory corpora of the paper's
+//! setting.
+
+/// A suffix array over a byte string.
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    text: Vec<u8>,
+    /// Suffix start offsets, sorted by the lexicographic order of the
+    /// suffixes they start.
+    sa: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Builds the suffix array for `text`.
+    pub fn new(text: impl Into<Vec<u8>>) -> SuffixArray {
+        let text = text.into();
+        assert!(text.len() <= u32::MAX as usize, "text too large for u32 offsets");
+        let sa = build(&text);
+        SuffixArray { text, sa }
+    }
+
+    /// Builds a suffix array restricted to the given start positions
+    /// (PAT's *word index*: only word-start sistrings are indexed).
+    /// `starts` need not be sorted.
+    pub fn with_starts(text: impl Into<Vec<u8>>, starts: Vec<u32>) -> SuffixArray {
+        let text = text.into();
+        assert!(text.len() <= u32::MAX as usize);
+        let mut sa = starts;
+        sa.retain(|&s| (s as usize) < text.len());
+        sa.sort_unstable_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        SuffixArray { text, sa }
+    }
+
+    /// Reassembles a suffix array from previously computed parts (e.g. a
+    /// persisted index). The caller must pass the exact array produced by
+    /// [`SuffixArray::new`] for the same text; this is verified in debug
+    /// builds and can be verified explicitly with
+    /// [`SuffixArray::is_consistent`].
+    pub fn from_parts(text: Vec<u8>, sa: Vec<u32>) -> SuffixArray {
+        let out = SuffixArray { text, sa };
+        debug_assert!(out.is_consistent(), "persisted suffix array does not match text");
+        out
+    }
+
+    /// The raw suffix start offsets, in lexicographic suffix order.
+    pub fn raw(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// True if the stored offsets are a valid full suffix array of the
+    /// text (sorted, a permutation of 0..n). O(n log n)-ish; used when
+    /// loading persisted indexes from untrusted files.
+    pub fn is_consistent(&self) -> bool {
+        if self.sa.len() != self.text.len() {
+            return false;
+        }
+        let mut seen = vec![false; self.sa.len()];
+        for &s in &self.sa {
+            match seen.get_mut(s as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => return false,
+            }
+        }
+        self.sa
+            .windows(2)
+            .all(|w| self.text[w[0] as usize..] <= self.text[w[1] as usize..])
+    }
+
+    /// The indexed text.
+    #[inline]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Number of indexed suffixes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// True if no suffixes are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sa.is_empty()
+    }
+
+    /// The half-open range of suffix-array slots whose suffixes start with
+    /// `pattern`.
+    pub fn range(&self, pattern: &[u8]) -> std::ops::Range<usize> {
+        let lo = self.sa.partition_point(|&s| self.suffix(s) < pattern);
+        let hi = lo
+            + self.sa[lo..]
+                .partition_point(|&s| self.suffix(s).starts_with(pattern) || self.suffix(s) < pattern);
+        lo..hi
+    }
+
+    /// All start positions of `pattern` in the indexed suffixes, unsorted
+    /// (suffix-array order).
+    pub fn positions(&self, pattern: &[u8]) -> &[u32] {
+        let r = self.range(pattern);
+        &self.sa[r]
+    }
+
+    /// All start positions of `pattern`, sorted ascending.
+    pub fn positions_sorted(&self, pattern: &[u8]) -> Vec<u32> {
+        let mut v = self.positions(pattern).to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.range(pattern).len()
+    }
+
+    /// True if `pattern` occurs at least once.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        !self.range(pattern).is_empty()
+    }
+
+    #[inline]
+    fn suffix(&self, start: u32) -> &[u8] {
+        &self.text[start as usize..]
+    }
+}
+
+/// Prefix-doubling suffix array construction.
+fn build(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = text.iter().map(|&b| u32::from(b)).collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        // Rank of the suffix starting k positions later (or 0 sentinel,
+        // encoded as rank+1 so that "past the end" sorts first).
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana() {
+        let sa = SuffixArray::new(&b"banana"[..]);
+        // Suffixes sorted: a, ana, anana, banana, na, nana
+        assert_eq!(sa.positions_sorted(b"ana"), vec![1, 3]);
+        assert_eq!(sa.positions_sorted(b"na"), vec![2, 4]);
+        assert_eq!(sa.count(b"a"), 3);
+        assert_eq!(sa.count(b"banana"), 1);
+        assert_eq!(sa.count(b"x"), 0);
+        assert!(sa.contains(b"nan"));
+        assert!(!sa.contains(b"nab"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let sa = SuffixArray::new(&b"abc"[..]);
+        assert_eq!(sa.count(b""), 3);
+    }
+
+    #[test]
+    fn empty_text() {
+        let sa = SuffixArray::new(Vec::new());
+        assert_eq!(sa.count(b"a"), 0);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn matches_scan_on_random_text() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..200);
+            let text: Vec<u8> = (0..n).map(|_| *b"abc".choose(&mut rng).unwrap()).collect();
+            let sa = SuffixArray::new(text.clone());
+            for plen in 1..4 {
+                let start = rng.gen_range(0..n);
+                let pat: Vec<u8> = text[start..(start + plen).min(n)].to_vec();
+                let expect: Vec<u32> = (0..=text.len().saturating_sub(pat.len()))
+                    .filter(|&i| text[i..].starts_with(&pat))
+                    .map(|i| i as u32)
+                    .collect();
+                assert_eq!(sa.positions_sorted(&pat), expect, "text {text:?} pat {pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let text = b"banana".to_vec();
+        let sa = SuffixArray::new(text.clone());
+        let rebuilt = SuffixArray::from_parts(text.clone(), sa.raw().to_vec());
+        assert!(rebuilt.is_consistent());
+        assert_eq!(rebuilt.positions_sorted(b"an"), sa.positions_sorted(b"an"));
+        // Tampered offsets are detected.
+        let mut bad = sa.raw().to_vec();
+        bad.swap(0, 1);
+        let broken = SuffixArray { text, sa: bad };
+        assert!(!broken.is_consistent());
+    }
+
+    #[test]
+    fn word_start_restriction() {
+        let text = b"the cat sat on the mat";
+        let starts = vec![0, 4, 8, 12, 15, 19];
+        let sa = SuffixArray::with_starts(&text[..], starts);
+        // "at" occurs inside cat/sat/mat but never at a word start.
+        assert_eq!(sa.count(b"at"), 0);
+        assert_eq!(sa.positions_sorted(b"the"), vec![0, 15]);
+        assert_eq!(sa.positions_sorted(b"c"), vec![4]);
+    }
+}

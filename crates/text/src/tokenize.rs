@@ -1,0 +1,87 @@
+//! Tokenization: locating word boundaries in the indexed text.
+//!
+//! PAT's word index records the sistrings that begin at word starts; this
+//! module computes those starts and the token extents used by region
+//! builders in `tr-markup`.
+
+/// A token: a maximal run of word bytes (ASCII alphanumerics, `_`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Token {
+    /// The token's text within `text`.
+    pub fn slice<'a>(&self, text: &'a [u8]) -> &'a [u8] {
+        &text[self.start as usize..self.end as usize]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Tokens are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// True for bytes considered part of a word.
+#[inline]
+pub fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All tokens of `text`, in order.
+pub fn tokens(text: &[u8]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < text.len() {
+        if is_word_byte(text[i]) {
+            let start = i;
+            while i < text.len() && is_word_byte(text[i]) {
+                i += 1;
+            }
+            out.push(Token { start: start as u32, end: i as u32 });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The word-start offsets of `text` (PAT's word-index sistring starts).
+pub fn word_starts(text: &[u8]) -> Vec<u32> {
+    tokens(text).into_iter().map(|t| t.start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_word_bytes() {
+        let text = b"the cat, sat_on 2 mats!";
+        let toks = tokens(text);
+        let words: Vec<&[u8]> = toks.iter().map(|t| t.slice(text)).collect();
+        assert_eq!(words, vec![&b"the"[..], b"cat", b"sat_on", b"2", b"mats"]);
+        assert_eq!(word_starts(text), vec![0, 4, 9, 16, 18]);
+    }
+
+    #[test]
+    fn empty_and_all_punctuation() {
+        assert!(tokens(b"").is_empty());
+        assert!(tokens(b" ,.;!").is_empty());
+    }
+
+    #[test]
+    fn token_at_end_of_text() {
+        let toks = tokens(b"abc");
+        assert_eq!(toks, vec![Token { start: 0, end: 3 }]);
+        assert_eq!(toks[0].len(), 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! A dictionary workload in the style of PAT's original deployment on the
+//! Oxford English Dictionary (Gonnet 1987, cited by the paper): entries
+//! with senses and quotations, queried by structure and content through
+//! the suffix-array word index.
+//!
+//! ```text
+//! cargo run -p tr-examples --bin dictionary
+//! ```
+
+use tr_query::Engine;
+
+fn main() {
+    let doc = "<dictionary>\
+<entry><headword>region</headword>\
+<sense><def>a part of space or a surface</def>\
+<quote>vast regions of the text remained unindexed</quote></sense>\
+<sense><def>an administrative area</def></sense></entry>\
+<entry><headword>algebra</headword>\
+<sense><def>a calculus of symbols and operations</def>\
+<quote>the region algebra has seven operations</quote></sense></entry>\
+<entry><headword>suffix</headword>\
+<sense><def>an affix placed after the stem</def>\
+<quote>every suffix of the text is a sistring</quote></sense></entry>\
+</dictionary>";
+
+    let engine = Engine::from_sgml(doc).expect("well-formed");
+    println!(
+        "dictionary indexed: {} entries, {} regions, {} bytes\n",
+        engine.query("entry").unwrap().len(),
+        engine.instance().len(),
+        engine.text().len()
+    );
+
+    let show = |title: &str, query: &str| {
+        let hits = engine.query(query).expect("valid query");
+        println!("{title}\n  {query}\n  {} hit(s)", hits.len());
+        for r in hits.iter() {
+            let text: String = engine.snippet(r).chars().take(70).collect();
+            println!("    {text}");
+        }
+        println!();
+    };
+
+    show(
+        "Entries whose quotations mention the text:",
+        r#"entry containing (quote matching "text")"#,
+    );
+    show(
+        "Headwords of entries with more than… well, with a quotation:",
+        "headword within (entry containing quote)",
+    );
+    show(
+        "Definitions of senses that come with a quotation:",
+        "def within (sense containing quote)",
+    );
+    show(
+        "Word-prefix search (PAT sistring semantics): senses matching \"operat*\":",
+        r#"sense matching "operat*""#,
+    );
+    show(
+        "Senses after the 'algebra' headword:",
+        r#"sense after (headword matching "algebra")"#,
+    );
+    show(
+        "Quotes directly within senses (never nested deeper):",
+        "quote directly within sense",
+    );
+}

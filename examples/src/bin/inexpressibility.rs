@@ -1,0 +1,52 @@
+//! The expressiveness results made tangible: runs the Figure 2 and
+//! Figure 3 counter-example families and exhaustively checks that no
+//! small region algebra expression computes direct inclusion or
+//! both-included (Theorems 5.1 and 5.3).
+//!
+//! ```text
+//! cargo run -p tr-examples --bin inexpressibility [max_ops]
+//! ```
+
+use tr_ext::{both_included_probes, count_exprs, direct_inclusion_probes, sweep};
+
+fn main() {
+    let max_ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    println!("=== Theorem 5.1: B ⊃_d A is not expressible ===");
+    println!("probe family: Figure 2 alternating chains (depths 6 and 8)");
+    println!("plus their single-deletion variants\n");
+    let probes = direct_inclusion_probes(&[6, 8]);
+    let schema = tr_markup::figure_2_schema();
+    println!("{:>4} {:>12} {:>10}", "ops", "expressions", "matching");
+    for ops in 0..=max_ops {
+        let r = sweep(&schema, ops, &probes);
+        println!("{:>4} {:>12} {:>10}", r.ops, r.checked, r.matching);
+        assert_eq!(r.matching, 0, "Theorem 5.1 would be falsified!");
+    }
+    println!("(0 matching at every size, as the theorem demands)\n");
+
+    println!("=== Theorem 5.3: C BI (B, A) is not expressible ===");
+    println!("probe family: Figure 3 instances (k = 1, 2) and their reduced versions\n");
+    let probes = both_included_probes(&[1, 2]);
+    let schema = tr_markup::figure_3_schema();
+    println!("{:>4} {:>12} {:>10}", "ops", "expressions", "matching");
+    for ops in 0..=max_ops {
+        let r = sweep(&schema, ops, &probes);
+        println!("{:>4} {:>12} {:>10}", r.ops, r.checked, r.matching);
+        assert_eq!(r.matching, 0, "Theorem 5.3 would be falsified!");
+    }
+    println!("(0 matching at every size)\n");
+
+    println!("=== search-space growth (why exhaustion stops early) ===");
+    println!("{:>4} {:>16} {:>16}", "ops", "2-name exprs", "3-name exprs");
+    for ops in 0..=6 {
+        println!("{:>4} {:>16} {:>16}", ops, count_exprs(2, ops), count_exprs(3, ops));
+    }
+    println!("\nBut the theorems hold at *every* size: Propositions 5.2/5.4 show the");
+    println!("operators only become expressible under bounded nesting depth (acyclic");
+    println!("RIG) or bounded antichain width — see `tr_ext::bounded` and the");
+    println!("`bounded_depth` benchmark.");
+}

@@ -1,0 +1,102 @@
+//! A larger end-to-end scenario: generate a marked-up play (acts, scenes,
+//! speeches, lines — the classic structured-text-retrieval corpus shape),
+//! index it, and answer structure+content questions, including views and
+//! the extended operators.
+//!
+//! ```text
+//! cargo run -p tr-examples --bin play [acts]
+//! ```
+
+use tr_query::Engine;
+
+/// Deterministically generates a play with `acts` acts.
+fn generate_play(acts: usize) -> String {
+    let speakers = ["DUKE", "VIOLA", "OLIVIA", "FESTE", "MALVOLIO"];
+    let lines = [
+        "If music be the food of love, play on.",
+        "Better a witty fool than a foolish wit.",
+        "Some are born great, some achieve greatness.",
+        "Journeys end in lovers meeting.",
+        "Nothing that is so, is so.",
+        "I was adored once too.",
+    ];
+    let mut out = String::from("<play><title>The Region Night</title>\n");
+    let mut k = 0usize;
+    for act in 1..=acts {
+        out.push_str(&format!("<act><acttitle>Act {act}</acttitle>\n"));
+        for scene in 1..=3 {
+            out.push_str(&format!("<scene><scenetitle>Scene {scene}</scenetitle>\n"));
+            for s in 0..4 {
+                let speaker = speakers[(k + s) % speakers.len()];
+                out.push_str(&format!("<speech><speaker>{speaker}</speaker>"));
+                for l in 0..2 {
+                    out.push_str(&format!("<line>{}</line>", lines[(k + s + l) % lines.len()]));
+                }
+                out.push_str("</speech>\n");
+            }
+            out.push_str("</scene>\n");
+            k += 1;
+        }
+        out.push_str("</act>\n");
+    }
+    out.push_str("</play>\n");
+    out
+}
+
+fn main() {
+    let acts: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let doc = generate_play(acts);
+    let mut engine = Engine::from_sgml(&doc).expect("generated play is well-formed");
+    println!(
+        "play: {} bytes, {} regions, schema: {}\n",
+        doc.len(),
+        engine.instance().len(),
+        engine.schema().names().collect::<Vec<_>>().join(", ")
+    );
+
+    // Views make repeated sub-queries readable (the paper's footnote 1).
+    engine
+        .define_view("feste_speech", r#"speech containing (speaker matching "FESTE")"#)
+        .expect("valid view");
+    engine
+        .define_view("duke_speech", r#"speech containing (speaker matching "DUKE")"#)
+        .expect("valid view");
+    engine
+        .define_view("love_lines", r#"line matching "love""#)
+        .expect("valid view");
+
+    let queries = [
+        ("Scenes where Feste speaks", "scene containing feste_speech"),
+        ("Lines about love", "love_lines"),
+        ("The Duke's lines about love", "love_lines within duke_speech"),
+        (
+            "Speeches after a Malvolio speech, same document order",
+            r#"speech after (speech containing (speaker matching "MALVOLIO"))"#,
+        ),
+        (
+            "Scenes where greatness is mentioned before a journey",
+            r#"bi(scene, line matching "greatness", line matching "Journeys")"#,
+        ),
+        ("Lines directly within speeches (all of them)", "line directly within speech"),
+        (
+            "Speeches NOT mentioning love in their first act",
+            r#"speech within (act containing (acttitle matching "Act 1")) minus (speech containing love_lines)"#,
+        ),
+    ];
+    for (title, q) in queries {
+        match engine.query(q) {
+            Ok(hits) => {
+                println!("{title}:\n  {q}\n  {} hit(s)", hits.len());
+                for r in hits.iter().take(2) {
+                    let snippet: String = engine.snippet(r).chars().take(64).collect();
+                    println!("    {}", snippet.replace('\n', " "));
+                }
+                if hits.len() > 2 {
+                    println!("    …");
+                }
+            }
+            Err(e) => println!("{title}: ERROR {e}"),
+        }
+        println!();
+    }
+}

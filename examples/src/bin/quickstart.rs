@@ -1,0 +1,49 @@
+//! Quickstart: index a small SGML document and run region algebra queries.
+//!
+//! ```text
+//! cargo run -p tr-examples --bin quickstart
+//! ```
+
+use tr_query::Engine;
+
+fn main() {
+    let doc = r#"<report>
+<title>Quarterly engine report</title>
+<section><heading>Results</heading>
+<para>The region engine beat the baseline on every workload.</para>
+<para>Suffix array construction stayed below one second.</para>
+</section>
+<section><heading>Risks</heading>
+<para>The baseline engine may improve next quarter.</para>
+<note><para>Mitigation: keep the benchmark suite green.</para></note>
+</section>
+</report>"#;
+
+    let engine = Engine::from_sgml(doc).expect("well-formed document");
+    println!("indexed {} regions over {} bytes", engine.instance().len(), engine.text().len());
+    println!("schema: {}", engine.schema().names().collect::<Vec<_>>().join(", "));
+    println!();
+
+    let queries = [
+        // Every paragraph mentioning the engine.
+        r#"para matching "engine""#,
+        // Sections whose heading mentions results.
+        r#"section containing (heading matching "Results")"#,
+        // Paragraphs mentioning the engine, but not inside notes.
+        r#"para matching "engine" minus (para within note)"#,
+        // Paragraphs after the Risks heading.
+        r#"para after (heading matching "Risks")"#,
+        // Paragraphs *directly* inside sections (not nested in notes).
+        r#"para directly within section"#,
+    ];
+    for q in queries {
+        let hits = engine.query(q).expect("valid query");
+        println!("query: {q}");
+        println!("  {} hit(s)", hits.len());
+        for r in hits.iter() {
+            let snippet: String = engine.snippet(r).chars().take(60).collect();
+            println!("  {r}  {}", snippet.replace('\n', " "));
+        }
+        println!();
+    }
+}

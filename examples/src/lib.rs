@@ -1,0 +1,9 @@
+//! Runnable example applications for the region algebra workspace.
+//!
+//! * `quickstart` — index an SGML document, run algebra queries;
+//! * `source_code` — the paper's running example (Figure 1 schema, RIG
+//!   optimization, direct inclusion, both-included);
+//! * `dictionary` — a PAT-on-the-OED style dictionary workload;
+//! * `inexpressibility` — Theorems 5.1/5.3 checked by exhaustive sweeps.
+//!
+//! Run with `cargo run -p tr-examples --bin <name>`.

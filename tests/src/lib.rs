@@ -1,0 +1,3 @@
+//! Host crate for the workspace-level integration tests in `tests/`.
+//! The tests exercise cross-crate behaviour: algebra properties, the
+//! paper's theorems, the end-to-end pipeline, and the optimizers.

@@ -1,0 +1,159 @@
+//! Property tests for the core algebra: the fast operators agree with the
+//! literal Definition 2.3 oracle, and the algebraic laws the paper's
+//! optimizer relies on hold on arbitrary hierarchical instances.
+
+use proptest::prelude::*;
+use tr_core::{eval, eval_naive, naive, ops, region, BinOp, Expr, Instance, NameId, Pos, RegionSet, Schema};
+
+/// Strategy: a random hierarchical instance over names A/B with optional
+/// occurrences of pattern "x", built by recursive interval splitting (so
+/// the hierarchy invariant holds by construction).
+fn instances() -> impl Strategy<Value = Instance> {
+    // Each element: (slot index, name choice, relative split, occurrence?)
+    proptest::collection::vec((0usize..8, 0usize..2, 1u32..30, any::<bool>()), 0..14).prop_map(
+        |steps| {
+            let schema = Schema::new(["A", "B"]);
+            let mut b = tr_core::InstanceBuilder::new(schema);
+            let mut spans: Vec<(Pos, Pos)> = vec![(0, 255)];
+            for (slot, name, cut, occ) in steps {
+                let (l, r) = spans[slot % spans.len()];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = l + 1 + cut % ((r - l) / 2);
+                let nr = nl + (r - nl).min(cut);
+                if nr > r - 1 {
+                    continue;
+                }
+                b.push_id(NameId::from_index(name), region(nl, nr));
+                spans.push((nl, nr));
+                if occ {
+                    b.push_occurrence("x", nl, 1);
+                }
+            }
+            match b.build() {
+                Ok(inst) => inst,
+                Err(_) => tr_core::InstanceBuilder::new(Schema::new(["A", "B"])).build_valid(),
+            }
+        },
+    )
+}
+
+/// Strategy: a random algebra expression over A/B and pattern "x".
+fn exprs(max_ops: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..2).prop_map(|i| Expr::name(NameId::from_index(i)));
+    leaf.prop_recursive(max_ops as u32, max_ops as u32 * 2, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..7)
+                .prop_map(|(l, r, op)| Expr::bin(BinOp::ALL[op], l, r)),
+            inner.prop_map(|e| e.select("x")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine's central correctness property: fast == naive.
+    #[test]
+    fn fast_evaluator_matches_naive(e in exprs(4), inst in instances()) {
+        prop_assert_eq!(eval(&e, &inst), eval_naive(&e, &inst));
+    }
+
+    /// Structural semi-joins are restrictions of their left operand.
+    #[test]
+    fn semijoins_shrink_left(inst in instances()) {
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        for f in [ops::includes, ops::included_in, ops::precedes, ops::follows] {
+            prop_assert!(f(a, b).is_subset(a));
+        }
+    }
+
+    /// Distribution over union on the left: (R ∪ S) op T = (R op T) ∪ (S op T).
+    #[test]
+    fn semijoins_distribute_over_left_union(inst in instances()) {
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        let union = a.union(b);
+        for f in [ops::includes, ops::included_in, ops::precedes, ops::follows] {
+            prop_assert_eq!(f(&union, b), f(a, b).union(&f(b, b)));
+        }
+    }
+
+    /// Monotonicity in the right operand: S ⊆ S' ⟹ R op S ⊆ R op S'.
+    #[test]
+    fn semijoins_monotone_in_right(inst in instances()) {
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        let bigger = b.union(a);
+        for f in [ops::includes, ops::included_in, ops::precedes, ops::follows] {
+            prop_assert!(f(a, b).is_subset(&f(a, &bigger)));
+        }
+    }
+
+    /// ⊃ and ⊂ are converse relations on singletons.
+    #[test]
+    fn inclusion_converse(inst in instances()) {
+        let all = inst.all_regions();
+        for r in all.iter() {
+            for s in all.iter() {
+                prop_assert_eq!(r.includes(s), s.included_in(r));
+                // Inclusion and precedence are mutually exclusive.
+                prop_assert!(!(r.includes(s) && (r.precedes(s) || s.precedes(r))));
+            }
+        }
+    }
+
+    /// Precedence is a strict partial order on the instance's regions.
+    #[test]
+    fn precedence_is_strict_partial_order(inst in instances()) {
+        let all: Vec<_> = inst.all_regions().iter().collect();
+        for &r in &all {
+            prop_assert!(!r.precedes(r));
+            for &s in &all {
+                for &t in &all {
+                    if r.precedes(s) && s.precedes(t) {
+                        prop_assert!(r.precedes(t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Set-op laws used by the optimizer: idempotence, absorption, and
+    /// the equivalence test's core identity (e − e) = ∅.
+    #[test]
+    fn set_operator_laws(inst in instances()) {
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        prop_assert_eq!(a.union(a), a.clone());
+        prop_assert_eq!(a.intersect(a), a.clone());
+        prop_assert!(a.difference(a).is_empty());
+        prop_assert_eq!(a.union(&a.intersect(b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(b)), a.clone());
+        prop_assert_eq!(a.difference(b).union(&a.intersect(b)), a.clone());
+    }
+
+    /// Selection commutes with union and distributes into intersection.
+    #[test]
+    fn selection_laws(inst in instances()) {
+        let a = Expr::name(NameId::from_index(0));
+        let b = Expr::name(NameId::from_index(1));
+        let lhs = eval(&a.clone().union(b.clone()).select("x"), &inst);
+        let rhs = eval(&a.clone().select("x").union(b.clone().select("x")), &inst);
+        prop_assert_eq!(lhs, rhs);
+        let lhs = eval(&a.clone().intersect(b.clone()).select("x"), &inst);
+        let rhs = eval(&a.select("x").intersect(b.select("x")), &inst);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Naive oracles agree with hand-rolled set builders (oracle sanity).
+    #[test]
+    fn naive_is_the_definition(inst in instances()) {
+        let a = inst.regions_of_name("A");
+        let b = inst.regions_of_name("B");
+        let expect: RegionSet = a.filter(|x| b.iter().any(|y| x.includes(y)));
+        prop_assert_eq!(naive::includes(a, b), expect);
+    }
+}

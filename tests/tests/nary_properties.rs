@@ -1,0 +1,112 @@
+//! Property tests for the Section 7 extension: the n-ary algebra embeds
+//! the core algebra, and its derived operators match both the native
+//! implementations and the query-language front-end.
+
+use proptest::prelude::*;
+use tr_core::{region, Instance, InstanceBuilder, NameId, Pos, Schema};
+use tr_nary::{Atom, NExpr, StructRel};
+use tr_query::Query;
+
+fn schema() -> Schema {
+    Schema::new(["A", "B", "C"])
+}
+
+/// Strategy: random hierarchical instances over A/B/C.
+fn instances() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0usize..8, 0usize..3, 1u32..30), 0..12).prop_map(|steps| {
+        let mut b = InstanceBuilder::new(schema());
+        let mut spans: Vec<(Pos, Pos)> = vec![(0, 200)];
+        for (slot, name, cut) in steps {
+            let (l, r) = spans[slot % spans.len()];
+            if r - l < 4 {
+                continue;
+            }
+            let nl = l + 1 + cut % ((r - l) / 2);
+            let nr = nl + (r - nl).min(cut);
+            if nr > r - 1 {
+                continue;
+            }
+            b.push_id(NameId::from_index(name), region(nl, nr));
+            spans.push((nl, nr));
+        }
+        b.build().unwrap_or_else(|_| InstanceBuilder::new(schema()).build_valid())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every core semi-join is the projection of an n-ary join.
+    #[test]
+    fn semijoins_embed(inst in instances()) {
+        let s = schema();
+        let (a, b) = (s.expect_id("A"), s.expect_id("B"));
+        let cases: [(StructRel, fn(&tr_core::RegionSet, &tr_core::RegionSet) -> tr_core::RegionSet); 4] = [
+            (StructRel::Includes, tr_core::ops::includes),
+            (StructRel::IncludedIn, tr_core::ops::included_in),
+            (StructRel::Precedes, tr_core::ops::precedes),
+            (StructRel::Follows, tr_core::ops::follows),
+        ];
+        for (rel, core_op) in cases {
+            let nary = NExpr::name(a)
+                .join(NExpr::name(b), vec![Atom::Cols { left: 0, rel, right: 1 }])
+                .project(vec![0]);
+            prop_assert_eq!(
+                nary.eval(&inst).to_set(),
+                core_op(inst.regions_of_name("A"), inst.regions_of_name("B"))
+            );
+        }
+    }
+
+    /// The three derived operators agree with tr-ext natives *and* with
+    /// the query-language front-end on arbitrary instances.
+    #[test]
+    fn derived_operators_agree_everywhere(inst in instances()) {
+        let s = schema();
+        let (a, b, c) = (s.expect_id("A"), s.expect_id("B"), s.expect_id("C"));
+
+        let via_nary = tr_nary::direct_including_expr(a, b).eval(&inst).to_set();
+        let via_native =
+            tr_ext::directly_including(&inst, inst.regions_of_name("A"), inst.regions_of_name("B"));
+        let via_query = Query::DirectlyContaining(
+            Box::new(Query::Name(a)),
+            Box::new(Query::Name(b)),
+        )
+        .eval(&inst);
+        prop_assert_eq!(&via_nary, &via_native);
+        prop_assert_eq!(&via_query, &via_native);
+
+        let bi_nary = tr_nary::both_included_expr(c, a, b).eval(&inst).to_set();
+        let bi_native = tr_ext::both_included(
+            inst.regions_of_name("C"),
+            inst.regions_of_name("A"),
+            inst.regions_of_name("B"),
+        );
+        let bi_query = Query::BothIncluded(
+            Box::new(Query::Name(c)),
+            Box::new(Query::Name(a)),
+            Box::new(Query::Name(b)),
+        )
+        .eval(&inst);
+        prop_assert_eq!(&bi_nary, &bi_native);
+        prop_assert_eq!(&bi_query, &bi_native);
+    }
+
+    /// Projection after product recovers the factors (when the other side
+    /// is non-empty) — on real instances, not just synthetic relations.
+    #[test]
+    fn product_projection_laws(inst in instances()) {
+        let s = schema();
+        let (a, b) = (s.expect_id("A"), s.expect_id("B"));
+        let prod = NExpr::name(a).product(NExpr::name(b)).eval(&inst);
+        let ra = NExpr::name(a).eval(&inst);
+        let rb = NExpr::name(b).eval(&inst);
+        prop_assert_eq!(prod.len(), ra.len() * rb.len());
+        if !rb.is_empty() {
+            prop_assert_eq!(prod.project(&[0]), ra.clone());
+        }
+        if !ra.is_empty() {
+            prop_assert_eq!(prod.project(&[1]), rb);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the optimization machinery: RIG chain rewrites,
+//! the bounded-model equivalence checker, the cost-based optimizer, the
+//! minimal-set solvers, and the Section 6 programs with pruned blockers.
+
+use rand::prelude::*;
+use tr_core::{eval, Expr, NameId};
+use tr_ext::{direct_chain_program, direct_chain_program_filtered};
+use tr_fmft::{optimize, Bounds, EmptinessChecker};
+use tr_markup::{random_rig_instance, RigInstanceConfig};
+use tr_rig::{min_vertex_cut, Chain, ChainDir, ChainItem, MinimalSetProblem, Rig};
+
+/// Chain optimization w.r.t. Figure 1 is semantics-preserving on RIG
+/// instances — for every ⊂-chain over the schema.
+#[test]
+fn chain_rewrites_preserve_semantics_on_rig_instances() {
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut cfg = RigInstanceConfig::new(&schema, 120);
+    cfg.roots = vec![schema.expect_id("Program")];
+    cfg.max_depth = 10;
+
+    // Random ⊂-chains of names that are plausible (each reachable from the
+    // next), ending at Program.
+    let mut checked = 0;
+    for _ in 0..200 {
+        let len = rng.gen_range(3..6);
+        let mut names = vec![schema.expect_id("Program")];
+        for _ in 1..len {
+            let cur = *names.last().unwrap();
+            let succs: Vec<NameId> = rig.successors(cur).collect();
+            if succs.is_empty() {
+                break;
+            }
+            names.push(succs[rng.gen_range(0..succs.len())]);
+        }
+        if names.len() < 3 {
+            continue;
+        }
+        names.reverse(); // innermost first for a ⊂-chain
+        let chain = Chain {
+            dir: ChainDir::IncludedIn,
+            items: names.into_iter().map(ChainItem::bare).collect(),
+        };
+        let optimized = chain.optimize(&rig);
+        if optimized == chain {
+            continue;
+        }
+        checked += 1;
+        let e1 = chain.to_expr();
+        let e2 = optimized.to_expr();
+        for _ in 0..5 {
+            let inst = random_rig_instance(&rig, &cfg, &mut rng);
+            assert_eq!(
+                eval(&e1, &inst),
+                eval(&e2, &inst),
+                "chain {} vs {}",
+                e1.display(&schema),
+                e2.display(&schema)
+            );
+        }
+    }
+    assert!(checked >= 10, "the sweep must exercise real rewrites (got {checked})");
+}
+
+/// The chain optimizer's rewrites are confirmed equivalent by the
+/// independent bounded-model checker (Theorem 3.6 route).
+#[test]
+fn chain_rewrites_confirmed_by_emptiness_checker() {
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let chain = Chain {
+        dir: ChainDir::IncludedIn,
+        items: ["Name", "Proc_header", "Proc", "Program"]
+            .into_iter()
+            .map(|n| ChainItem::bare(schema.expect_id(n)))
+            .collect(),
+    };
+    let optimized = chain.optimize(&rig);
+    assert_ne!(optimized, chain);
+    let checker =
+        EmptinessChecker::with_rig(rig.clone(), Bounds { max_nodes: 5, max_depth: 5 });
+    assert!(checker.equivalent(&chain.to_expr(), &optimized.to_expr()));
+    // And the checker rejects a *wrong* rewrite (dropping Proc_header).
+    let wrong = Chain {
+        dir: ChainDir::IncludedIn,
+        items: ["Name", "Program"]
+            .into_iter()
+            .map(|n| ChainItem::bare(schema.expect_id(n)))
+            .collect(),
+    };
+    assert!(!checker.equivalent(&chain.to_expr(), &wrong.to_expr()));
+}
+
+/// The cost-based optimizer (Section 3's scheme) agrees with the chain
+/// optimizer on the paper's example.
+#[test]
+fn cost_based_optimizer_matches_chain_optimizer() {
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let name = Expr::name(schema.expect_id("Name"));
+    let hdr = Expr::name(schema.expect_id("Proc_header"));
+    let prc = Expr::name(schema.expect_id("Proc"));
+    let prg = Expr::name(schema.expect_id("Program"));
+    let e1 = name.included_in(hdr.included_in(prc.included_in(prg)));
+    let checker = EmptinessChecker::with_rig(rig.clone(), Bounds { max_nodes: 5, max_depth: 5 });
+    let via_pruning = optimize(&e1, &checker);
+    let via_chain = Chain::from_expr(&e1).unwrap().optimize(&rig).to_expr();
+    assert_eq!(via_pruning.num_ops(), via_chain.num_ops());
+    assert!(checker.equivalent(&via_pruning, &via_chain));
+}
+
+/// Minimal-set machinery is internally consistent on random instances:
+/// exact ≤ greedy, exact == min-cut for single pairs, all solutions cover.
+#[test]
+fn minimal_set_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for trial in 0..40 {
+        let n = rng.gen_range(4..10);
+        let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let schema = tr_core::Schema::new(names);
+        let mut rig = Rig::new(schema.clone());
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && (i, j) != (0, n - 1) && rng.gen_bool(0.25) {
+                    rig.0.add_edge(NameId::from_index(i), NameId::from_index(j));
+                }
+            }
+        }
+        let (u, v) = (NameId::from_index(0), NameId::from_index(n - 1));
+        let p = MinimalSetProblem::for_chain(rig.clone(), &[u, v]);
+        let exact = p.solve_exact().expect("always feasible");
+        let greedy = p.solve_greedy().expect("feasible");
+        let cut = min_vertex_cut(&rig, u, v);
+        assert!(p.covers(&exact), "trial {trial}");
+        assert!(p.covers(&greedy), "trial {trial}");
+        assert!(p.covers(&cut), "trial {trial}");
+        assert!(exact.len() <= greedy.len(), "trial {trial}");
+        assert_eq!(exact.len(), cut.len(), "trial {trial}");
+    }
+}
+
+/// Section 6 end-to-end: running the chain program with the blocker set
+/// pruned to a *valid* interception set gives the same answer as the full
+/// set, on RIG-conforming instances.
+#[test]
+fn pruned_chain_program_is_sound_on_rig_instances() {
+    let rig = Rig::figure_1();
+    let schema = rig.schema().clone();
+    let chain = vec![
+        schema.expect_id("Program"),
+        schema.expect_id("Proc"),
+        schema.expect_id("Var"),
+    ];
+    // Interception sets: between Program and Proc every path passes
+    // Prog_body; between Proc and Var every path passes Proc_body.
+    let p = MinimalSetProblem::for_chain(rig.clone(), &chain);
+    let minimal = p.solve_exact().expect("feasible");
+    let keep: Vec<NameId> = minimal
+        .iter()
+        .copied()
+        .chain(chain[1..chain.len() - 1].iter().copied())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut cfg = RigInstanceConfig::new(&schema, 150);
+    cfg.roots = vec![schema.expect_id("Program")];
+    cfg.max_depth = 9;
+    for _ in 0..15 {
+        let inst = random_rig_instance(&rig, &cfg, &mut rng);
+        let full = direct_chain_program(&inst, &chain);
+        let pruned = direct_chain_program_filtered(&inst, &chain, &keep);
+        assert_eq!(full, pruned, "minimal set {minimal:?} on {inst:?}");
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end pipeline tests: documents → instances → queries → regions,
+//! across `tr-markup`, `tr-text`, `tr-rig`, `tr-query`.
+
+use rand::prelude::*;
+use tr_markup::{parse_program, source_schema, ProcSpec, ProgramSpec};
+use tr_query::Engine;
+use tr_rig::{satisfies_rig, Rig};
+
+/// Index → save → load → query: the persisted index answers identically,
+/// keeps its RIG (so the planner still optimizes), and rejects tampering.
+#[test]
+fn persistence_round_trip_through_the_engine() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let spec = ProgramSpec::random(&mut rng, 25, 4, 3);
+    let text = spec.render();
+    let engine = Engine::from_source(&text).unwrap();
+    let path = std::env::temp_dir()
+        .join(format!("tr_pipeline_{}.trx", std::process::id()));
+    tr_store::save_document(&path, engine.text(), engine.instance(), engine.rig()).unwrap();
+
+    let doc = tr_store::load_document(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let loaded = Engine::from_parts(doc.text, doc.instance, doc.rig);
+    for q in [
+        "Name within Proc_header within Proc within Program",
+        r#"Var matching "x" within Proc"#,
+        "Proc directly containing Proc_body",
+        r#""var" within Prog_body"#,
+    ] {
+        assert_eq!(engine.query(q).unwrap(), loaded.query(q).unwrap(), "query {q}");
+    }
+    assert_eq!(
+        engine.explain("Name within Proc_header within Proc within Program").unwrap(),
+        loaded.explain("Name within Proc_header within Proc within Program").unwrap(),
+        "the RIG survives persistence"
+    );
+}
+
+/// Every generated program parses into an instance satisfying Figure 1's
+/// RIG, with the counts the spec dictates.
+#[test]
+fn generated_programs_satisfy_figure_1() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let rig = Rig::figure_1();
+    for _ in 0..25 {
+        let target = rng.gen_range(0..40);
+        let spec = ProgramSpec::random(&mut rng, target, 5, 3);
+        let inst = parse_program(&spec.render()).expect("generator output parses");
+        assert!(satisfies_rig(&inst, &rig));
+        assert_eq!(inst.regions_of_name("Proc").len(), spec.num_procs());
+        assert_eq!(inst.regions_of_name("Program").len(), 1);
+        assert_eq!(
+            inst.regions_of_name("Name").len(),
+            spec.num_procs() + 1,
+            "one name per proc plus the program's"
+        );
+    }
+}
+
+/// The markup schema and the RIG crate's Figure 1 schema agree — queries
+/// written against either resolve identically.
+#[test]
+fn schemas_are_shared() {
+    assert_eq!(&source_schema(), Rig::figure_1().schema());
+}
+
+/// The engine's answers match ground truth computed from the spec:
+/// procedure names via the chain query, per-variable declaration counts
+/// via σ.
+#[test]
+fn engine_matches_spec_ground_truth() {
+    let spec = ProgramSpec {
+        name: "main".into(),
+        vars: vec!["x".into(), "count".into()],
+        procs: vec![
+            ProcSpec {
+                name: "alpha".into(),
+                vars: vec!["x".into()],
+                procs: vec![ProcSpec {
+                    name: "beta".into(),
+                    vars: vec!["y".into(), "x".into()],
+                    procs: vec![],
+                }],
+            },
+            ProcSpec { name: "gamma".into(), vars: vec![], procs: vec![] },
+        ],
+    };
+    let text = spec.render();
+    let engine = Engine::from_source(&text).unwrap();
+
+    // Procedure names through the (RIG-optimizable) chain.
+    let names = engine.query("Name within Proc_header within Proc within Program").unwrap();
+    let mut found: Vec<&str> = names.iter().map(|r| engine.snippet(r)).collect();
+    found.sort_unstable();
+    assert_eq!(found, vec!["alpha", "beta", "gamma"]);
+
+    // Declarations of x: three (main's, alpha's, beta's).
+    assert_eq!(engine.query(r#"Var matching "x""#).unwrap().len(), 3);
+    // …of which two are inside procedures.
+    assert_eq!(engine.query(r#"Var matching "x" within Proc"#).unwrap().len(), 2);
+    // Procedures *directly* defining x (Section 5.1's query).
+    let direct = engine
+        .query(r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#)
+        .unwrap();
+    let mut found: Vec<&str> =
+        direct.iter().map(|r| engine.snippet(r).lines().next().unwrap().trim()).collect();
+    found.sort_unstable();
+    assert_eq!(found, vec!["proc alpha;", "proc beta;"]);
+}
+
+/// SGML and source documents agree on structural queries phrased both as
+/// direct algebra and through the engine.
+#[test]
+fn sgml_pipeline_counts() {
+    let doc = "<book><ch><sec>one</sec><sec>two</sec></ch><ch><sec>three</sec></ch></book>";
+    let engine = Engine::from_sgml(doc).unwrap();
+    assert_eq!(engine.query("sec within ch").unwrap().len(), 3);
+    assert_eq!(engine.query("ch containing sec").unwrap().len(), 2);
+    assert_eq!(engine.query("sec before (sec matching \"three\")").unwrap().len(), 2);
+    assert_eq!(engine.query("sec after (sec matching \"one\")").unwrap().len(), 2);
+    // Snippets round-trip through the suffix index.
+    let hits = engine.query("sec matching \"two\"").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(engine.snippet(hits.iter().next().unwrap()), "<sec>two</sec>");
+}
+
+/// Word-index semantics through the engine: exact word vs prefix.
+#[test]
+fn pattern_semantics_end_to_end() {
+    let doc = "<d><p>category</p><p>cat</p><p>concatenate</p></d>";
+    let engine = Engine::from_sgml(doc).unwrap();
+    assert_eq!(engine.query(r#"p matching "cat""#).unwrap().len(), 1, "exact word");
+    assert_eq!(engine.query(r#"p matching "cat*""#).unwrap().len(), 2, "word prefix");
+    assert_eq!(engine.query(r#"p matching "concat*""#).unwrap().len(), 1);
+}
+
+/// Optimization is semantics-preserving end to end: with and without the
+/// RIG-based planner, answers coincide on random programs.
+#[test]
+fn planner_is_semantics_preserving() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries = [
+        "Name within Proc_header within Proc within Program",
+        "Var within Proc_body within Proc within Prog_body within Program",
+        "Name within Prog_header within Program",
+        "Proc within Prog_body within Program",
+    ];
+    for _ in 0..10 {
+        let target = rng.gen_range(0..25);
+        let spec = ProgramSpec::random(&mut rng, target, 4, 2);
+        let text = spec.render();
+        let with_rig = Engine::from_source(&text).unwrap();
+        let inst = parse_program(&text).unwrap();
+        for q in queries {
+            let optimized = with_rig.query(q).unwrap();
+            // Bypass the planner: compile and evaluate directly.
+            let raw = with_rig.compile(q).unwrap().expect("pure algebra");
+            let unoptimized = tr_core::eval(&raw, &inst);
+            assert_eq!(optimized, unoptimized, "query {q}");
+        }
+    }
+}

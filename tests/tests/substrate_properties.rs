@@ -1,0 +1,207 @@
+//! Property tests for the substrates: the suffix-array word index against
+//! a naive scanning oracle, SGML render/parse round trips, query-language
+//! display/parse round trips, and n-ary relation laws.
+
+use proptest::prelude::*;
+use tr_core::{region, NameId, Region, Schema, WordIndex};
+use tr_nary::Relation;
+use tr_query::Query;
+use tr_text::{Pattern, SuffixWordIndex};
+
+/// Oracle: does `pattern` (under the module's pattern semantics) occur
+/// fully inside `r` in `text`?
+fn naive_matches(text: &[u8], r: Region, pattern: &str) -> bool {
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let word_start = |i: usize| i < text.len() && is_word(text[i]) && (i == 0 || !is_word(text[i - 1]));
+    let occurrences: Vec<(usize, usize)> = match Pattern::parse(pattern) {
+        Pattern::Substring(s) => (0..text.len().saturating_sub(s.len() - 1))
+            .filter(|&i| text[i..].starts_with(s.as_bytes()))
+            .map(|i| (i, s.len()))
+            .collect(),
+        Pattern::WordExact(s) => (0..text.len())
+            .filter(|&i| {
+                word_start(i)
+                    && text[i..].starts_with(s.as_bytes())
+                    && !text.get(i + s.len()).copied().is_some_and(is_word)
+            })
+            .map(|i| (i, s.len()))
+            .collect(),
+        Pattern::WordPrefix(s) => (0..text.len())
+            .filter(|&i| word_start(i) && text[i..].starts_with(s.as_bytes()))
+            .map(|i| {
+                let mut end = i;
+                while end < text.len() && is_word(text[end]) {
+                    end += 1;
+                }
+                (i, end - i)
+            })
+            .collect(),
+    };
+    occurrences
+        .iter()
+        .any(|&(start, len)| start as u32 >= r.left() && (start + len - 1) as u32 <= r.right())
+}
+
+fn texts() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' '), Just(b'.')],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The suffix-array index agrees with the scanning oracle for all
+    /// three pattern forms, on arbitrary regions of arbitrary texts.
+    #[test]
+    fn word_index_matches_oracle(
+        text in texts(),
+        l in 0u32..60,
+        len in 0u32..30,
+        pat in prop_oneof![
+            Just("a"), Just("ab"), Just("ba"), Just("a*"), Just("ab*"),
+            Just("a b"), Just("c."), Just("abc"),
+        ],
+    ) {
+        let n = text.len() as u32;
+        let l = l.min(n - 1);
+        let r = region(l, (l + len).min(n - 1));
+        let idx = SuffixWordIndex::new(text.clone());
+        prop_assert_eq!(
+            idx.matches(r, pat),
+            naive_matches(&text, r, pat),
+            "text {:?} region {} pattern {:?}", String::from_utf8_lossy(&text), r, pat
+        );
+    }
+}
+
+/// Strategy: a random element tree rendered to SGML, returning
+/// `(markup, number of elements, max depth)`.
+fn sgml_docs() -> impl Strategy<Value = (String, usize, usize)> {
+    #[derive(Debug, Clone)]
+    enum Node {
+        Text(u8),
+        Elem(usize, Vec<Node>),
+    }
+    fn leaf() -> impl Strategy<Value = Node> {
+        (0u8..3).prop_map(Node::Text)
+    }
+    let node = leaf().prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (0usize..3, proptest::collection::vec(inner, 0..4))
+                .prop_map(|(t, kids)| Node::Elem(t, kids)),
+        ]
+    });
+    proptest::collection::vec(node, 0..4).prop_map(|roots| {
+        fn render(n: &Node, out: &mut String, count: &mut usize, depth: usize, max: &mut usize) {
+            match n {
+                Node::Text(t) => out.push_str(["x ", "yy ", "z."][*t as usize % 3]),
+                Node::Elem(tag, kids) => {
+                    *count += 1;
+                    *max = (*max).max(depth + 1);
+                    let name = ["a", "b", "c"][*tag % 3];
+                    out.push('<');
+                    out.push_str(name);
+                    out.push('>');
+                    for k in kids {
+                        render(k, out, count, depth + 1, max);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut count = 0;
+        let mut max = 0;
+        for r in &roots {
+            render(r, &mut out, &mut count, 0, &mut max);
+        }
+        (out, count, max)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every rendered element tree parses back with exactly one region per
+    /// element and the tree's depth.
+    #[test]
+    fn sgml_render_parse_round_trip((doc, elements, depth) in sgml_docs()) {
+        let inst = tr_markup::parse_sgml(&doc).unwrap();
+        prop_assert_eq!(inst.len(), elements);
+        prop_assert_eq!(inst.nesting_depth(), depth);
+    }
+}
+
+/// Strategy: random query ASTs over a 2-name schema.
+fn queries() -> impl Strategy<Value = Query> {
+    let leaf = (0usize..2).prop_map(|i| Query::Name(NameId::from_index(i)));
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::Minus(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::Within(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::DirectlyContaining(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::Before(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|q| Query::Matching("pat x".into(), Box::new(q))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Query::BothIncluded(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `display` output re-parses to the same AST (the REPL's `:explain`
+    /// and view expansion depend on this).
+    #[test]
+    fn query_display_parse_round_trip(q in queries()) {
+        let schema = Schema::new(["A", "B"]);
+        let text = q.display(&schema).to_string();
+        let parsed = tr_query::parse(&text, &schema).unwrap();
+        prop_assert_eq!(parsed, q, "text was {}", text);
+    }
+}
+
+fn relations() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0u32..20, 0u32..8), 0..8).prop_map(|pairs| {
+        Relation::from_tuples(
+            1,
+            pairs.into_iter().map(|(l, w)| vec![region(l, l + w)]).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Relational laws the n-ary evaluator relies on.
+    #[test]
+    fn relation_laws(a in relations(), b in relations(), c in relations()) {
+        // Union/intersection are commutative, associative, idempotent.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        // Difference laws.
+        prop_assert_eq!(a.difference(&b).intersect(&b).len(), 0);
+        prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a.clone());
+        // Product arity and size; projection inverts product.
+        let p = a.product(&b);
+        prop_assert_eq!(p.arity(), 2);
+        prop_assert_eq!(p.len(), a.len() * b.len());
+        if !b.is_empty() {
+            prop_assert_eq!(p.project(&[0]), a.clone());
+        }
+        if !a.is_empty() {
+            prop_assert_eq!(p.project(&[1]), b.clone());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests that execute the paper's theorems across crates:
+//! Proposition 3.3 (algebra ≡ restricted FMFT), Theorem 3.5 (the 3-CNF
+//! reduction), Theorem 4.1 (deletion), Theorem 4.4 (reduction), and
+//! Theorems 5.1/5.3 (inexpressibility sweeps).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+use tr_core::{eval, BinOp, Expr, NameId, RegionSet, Schema};
+use tr_ext::{
+    both_included, both_included_probes, check_deletion_invariance, deletion_core,
+    direct_inclusion_probes, reduce, sweep,
+};
+use tr_fmft::{
+    assignment_instance, cnf_to_expr, eval_expr_on_model, random_3cnf, reduction_schema, Model,
+};
+use tr_markup::{figure_3_instance, random_hierarchical_instance};
+
+fn schema_ab() -> Schema {
+    Schema::new(["A", "B"])
+}
+
+fn exprs(max_ops: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..2).prop_map(|i| Expr::name(NameId::from_index(i)));
+    leaf.prop_recursive(max_ops as u32, max_ops as u32 * 2, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..7)
+                .prop_map(|(l, r, op)| Expr::bin(BinOp::ALL[op], l, r)),
+            inner.prop_map(|e| e.select("x")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 3.3 on generator-produced instances: evaluating the
+    /// expression on the instance and its translated formula on the
+    /// representing model pick out the same regions.
+    #[test]
+    fn proposition_3_3(e in exprs(4), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_hierarchical_instance(&schema_ab(), 25, &["x"], 0.3, &mut rng);
+        let algebra = eval(&e, &inst);
+        let model = Model::from_instance(&inst, &["x"]);
+        let mask = eval_expr_on_model(&e, &model);
+        let forest = inst.forest();
+        for (u, r, _) in forest.iter() {
+            prop_assert_eq!(algebra.contains(r), mask[u]);
+        }
+    }
+
+    /// Theorem 4.1 on generator-produced instances: deletions that keep
+    /// the constructed core never change the query's answer.
+    #[test]
+    fn theorem_4_1_deletion(e in exprs(4), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_hierarchical_instance(&schema_ab(), 20, &["x"], 0.3, &mut rng);
+        let core = deletion_core(&e, &inst);
+        let ok = check_deletion_invariance(&e, &inst, &core, 8, &mut rng);
+        prop_assert_eq!(ok, 8);
+    }
+}
+
+/// Theorem 4.4 in the Figure 3 setting: reducing the middle C's second A
+/// leaves every expression with `k = 0` order operations unchanged on
+/// surviving regions — exhaustively for all expressions up to 2 ops.
+#[test]
+fn theorem_4_4_reduction_exhaustive() {
+    let (inst, h) = figure_3_instance(2);
+    let reduced = reduce(&inst, h.second_a, h.first_a, &[]).expect("isomorphic");
+    let schema = tr_markup::figure_3_schema();
+    for ops in 0..=2 {
+        tr_ext::for_each_expr(&schema, ops, &mut |e| {
+            if e.num_order_ops() > 0 {
+                return false; // Theorem 4.4 only constrains k = 0 here
+            }
+            let before = eval(e, &inst);
+            let after = eval(e, &reduced);
+            assert_eq!(before.is_empty(), after.is_empty(), "{e}");
+            for r in reduced.all_regions().iter() {
+                assert_eq!(before.contains(r), after.contains(r), "{e} at {r}");
+            }
+            false
+        });
+    }
+}
+
+/// Theorem 3.5's reduction, cross-checked against DPLL: over all 2^n
+/// assignments, `e_φ` is nonempty on the assignment instance exactly when
+/// the assignment satisfies φ; therefore φ is satisfiable iff some
+/// canonical instance witnesses non-emptiness.
+#[test]
+fn theorem_3_5_reduction_agrees_with_dpll() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..25 {
+        let n = rng.gen_range(3..6);
+        let m = rng.gen_range(1..12);
+        let cnf = random_3cnf(&mut rng, n, m);
+        let schema = reduction_schema(n);
+        let e = cnf_to_expr(&cnf, &schema);
+        let witnessed = (0u32..1 << n).any(|mask| {
+            let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            !eval(&e, &assignment_instance(&cnf, &schema, &assignment)).is_empty()
+        });
+        assert_eq!(witnessed, cnf.satisfiable(), "{cnf:?}");
+    }
+}
+
+/// Theorems 5.1 and 5.3 at expression size 3 (27 440 and 324 135
+/// candidates): still zero matches.
+#[test]
+fn inexpressibility_sweeps_at_size_3() {
+    let probes = direct_inclusion_probes(&[8]);
+    let r = sweep(&tr_markup::figure_2_schema(), 3, &probes);
+    assert_eq!(r.matching, 0);
+    assert_eq!(r.checked, tr_ext::count_exprs(2, 3));
+
+    let probes = both_included_probes(&[1]);
+    let r = sweep(&tr_markup::figure_3_schema(), 3, &probes);
+    assert_eq!(r.matching, 0);
+    assert_eq!(r.checked, tr_ext::count_exprs(3, 3));
+}
+
+/// Proposition 5.5's moral, executably: adding one of the two extended
+/// operators does not give you the other. We verify the ingredients: the
+/// Figure 2 family (which defeats the algebra on `⊃_d`) is invariant
+/// under the `reduce` machinery that defeats `BI`, and vice versa the
+/// Figure 3 family has bounded nesting (depth 2), where `⊃_d` *is*
+/// expressible (Prop 5.2).
+#[test]
+fn proposition_5_5_ingredients() {
+    // Figure 3 has nesting depth 2 → ⊃_d expressible there (Prop 5.2).
+    let (inst, _) = figure_3_instance(2);
+    assert_eq!(inst.nesting_depth(), 2);
+    let s = inst.schema().clone();
+    let e = tr_ext::direct_including_expr(
+        &Expr::name(s.expect_id("C")),
+        &Expr::name(s.expect_id("A")),
+        &s,
+        2,
+    );
+    let native = tr_ext::directly_including(
+        &inst,
+        inst.regions_of_name("C"),
+        inst.regions_of_name("A"),
+    );
+    assert_eq!(eval(&e, &inst), native);
+
+    // Figure 2 has only one region per level → BI is trivial there
+    // (never a disjoint pair inside anything), so BI cannot help ⊃_d.
+    let inst2 = tr_markup::figure_2_instance(8);
+    let a = inst2.regions_of_name("A");
+    let b = inst2.regions_of_name("B");
+    let all: RegionSet = inst2.all_regions();
+    assert!(both_included(&all, a, b).is_empty());
+    assert!(both_included(&all, b, a).is_empty());
+}
