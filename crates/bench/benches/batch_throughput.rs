@@ -1,0 +1,110 @@
+//! E13 — batch query throughput: one-at-a-time evaluation vs the
+//! hash-consed plan (sequential), the parallel wave executor, and the
+//! engine's result cache.
+//!
+//! The batch deliberately repeats sub-expressions across queries (the
+//! realistic "dashboard" shape: many queries over the same few views), so
+//! plan sharing has something to merge and the cache has something to hit.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tr_core::{
+    eval, execute, region, ExecConfig, Expr, Instance, InstanceBuilder, Plan, Pos, Schema,
+};
+use tr_query::Engine;
+
+/// A two-name instance of `2n` regions: wide `A`s, each with a `B` inside.
+fn big_instance(n: usize) -> (Schema, Instance) {
+    let schema = Schema::new(["A", "B"]);
+    let mut b = InstanceBuilder::new(schema.clone());
+    for i in 0..n as Pos {
+        b = b.add("A", region(i * 10, i * 10 + 8));
+        b = b.add("B", region(i * 10 + 2, i * 10 + 5));
+    }
+    (schema, b.build_valid())
+}
+
+/// Eight queries sharing `B ⊂ A` and `A ⊃ B` sub-expressions.
+fn batch(schema: &Schema) -> Vec<Expr> {
+    let a = Expr::name(schema.expect_id("A"));
+    let b = Expr::name(schema.expect_id("B"));
+    let b_in_a = b.clone().included_in(a.clone());
+    let a_has_b = a.clone().including(b.clone());
+    vec![
+        b_in_a.clone(),
+        b_in_a.clone().union(a_has_b.clone()),
+        b_in_a.clone().intersect(b.clone()),
+        a_has_b.clone(),
+        a_has_b.clone().diff(b_in_a.clone()),
+        a.clone().before(b.clone()),
+        a.clone().before(b.clone()).union(b_in_a.clone()),
+        b.after(a),
+    ]
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (schema, inst) = big_instance(100_000);
+    let queries = batch(&schema);
+
+    let mut group = c.benchmark_group("e13_batch_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    // Baseline: each query evaluated independently, tree-walk, one thread.
+    group.bench_function("eval_per_query", |bench| {
+        bench.iter(|| queries.iter().map(|e| eval(e, &inst)).collect::<Vec<_>>())
+    });
+
+    // Hash-consed plan, still one thread: measures pure work sharing.
+    group.bench_function("plan_sequential", |bench| {
+        bench.iter(|| {
+            let mut plan = Plan::new();
+            let roots = plan.lower_batch(queries.iter());
+            execute(&plan, &inst, &ExecConfig::sequential()).take(&roots)
+        })
+    });
+
+    // Shared plan on the wave executor with parallel kernels.
+    group.bench_function("plan_parallel", |bench| {
+        let cfg = ExecConfig::default();
+        bench.iter(|| {
+            let mut plan = Plan::new();
+            let roots = plan.lower_batch(queries.iter());
+            execute(&plan, &inst, &cfg).take(&roots)
+        })
+    });
+
+    group.finish();
+
+    // The engine path: a primed result cache answers a repeated batch
+    // without touching the executor at all.
+    let text = "<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>".repeat(2_000);
+    let engine = Engine::from_sgml(&format!("<all>{text}</all>")).unwrap();
+    let engine_queries: Vec<&str> = vec![
+        r#"sec matching "beta""#,
+        r#"sec matching "beta" minus (sec containing note)"#,
+        "sec containing note",
+        r#"(sec matching "beta") intersect (sec containing note)"#,
+        "note within sec",
+        r#"sec matching "beta" union (note within sec)"#,
+        "doc containing sec",
+        "note within doc",
+    ];
+    let mut group = c.benchmark_group("e13_engine_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(engine_queries.len() as u64));
+    group.bench_function("cold", |bench| {
+        bench.iter(|| {
+            engine.clear_result_cache();
+            engine.query_batch(&engine_queries).unwrap()
+        })
+    });
+    engine.clear_result_cache();
+    engine.query_batch(&engine_queries).unwrap(); // prime
+    group.bench_function("cached", |bench| {
+        bench.iter(|| engine.query_batch(&engine_queries).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -19,14 +19,18 @@ fn bench_cnf(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| {
             b.iter(|| cnf.satisfiable())
         });
-        group.bench_with_input(BenchmarkId::new("emptiness_witness_search", n), &n, |b, _| {
-            b.iter(|| {
-                (0u64..1 << n).any(|mask| {
-                    let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
-                    !eval(&e, &assignment_instance(&cnf, &schema, &assignment)).is_empty()
+        group.bench_with_input(
+            BenchmarkId::new("emptiness_witness_search", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    (0u64..1 << n).any(|mask| {
+                        let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                        !eval(&e, &assignment_instance(&cnf, &schema, &assignment)).is_empty()
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     group.finish();
 }

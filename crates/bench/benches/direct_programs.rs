@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tr_bench::{figure_1_instance, nested_chain_instance};
 use tr_core::NameId;
-use tr_ext::{direct_chain_program, direct_chain_program_filtered, direct_including_program, directly_including};
+use tr_ext::{
+    direct_chain_program, direct_chain_program_filtered, direct_including_program,
+    directly_including,
+};
 use tr_rig::{MinimalSetProblem, Rig};
 
 fn bench_programs(c: &mut Criterion) {
@@ -14,9 +17,11 @@ fn bench_programs(c: &mut Criterion) {
         let inst = nested_chain_instance(depth);
         let b_set = inst.regions_of_name("B").clone();
         let a_set = inst.regions_of_name("A").clone();
-        group.bench_with_input(BenchmarkId::new("section6_program", depth), &depth, |b, _| {
-            b.iter(|| direct_including_program(&inst, &b_set, &a_set))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("section6_program", depth),
+            &depth,
+            |b, _| b.iter(|| direct_including_program(&inst, &b_set, &a_set)),
+        );
         group.bench_with_input(BenchmarkId::new("native_forest", depth), &depth, |b, _| {
             b.iter(|| directly_including(&inst, &b_set, &a_set))
         });
@@ -30,9 +35,14 @@ fn bench_programs(c: &mut Criterion) {
         schema.expect_id("Proc"),
         schema.expect_id("Var"),
     ];
-    let minimal = MinimalSetProblem::for_chain(rig, &chain).solve_exact().unwrap();
-    let keep: Vec<NameId> =
-        minimal.iter().copied().chain(chain[1..chain.len() - 1].iter().copied()).collect();
+    let minimal = MinimalSetProblem::for_chain(rig, &chain)
+        .solve_exact()
+        .unwrap();
+    let keep: Vec<NameId> = minimal
+        .iter()
+        .copied()
+        .chain(chain[1..chain.len() - 1].iter().copied())
+        .collect();
 
     let mut group = c.benchmark_group("e9_chain_program_all_pruning");
     for regions in [5_000usize, 50_000] {

@@ -23,19 +23,30 @@ fn bench_emptiness(c: &mut Criterion) {
             unsat = a().intersect(unsat);
         }
         let unsat = unsat.intersect(b());
-        let bounds = Bounds { max_nodes: ops + 1, max_depth: ops + 1 };
+        let bounds = Bounds {
+            max_nodes: ops + 1,
+            max_depth: ops + 1,
+        };
         let checker = EmptinessChecker::new(schema.clone(), bounds);
         group.bench_with_input(BenchmarkId::new("unsat_full_sweep", ops), &ops, |bch, _| {
             bch.iter(|| checker.is_empty(&unsat))
         });
-        group.bench_with_input(BenchmarkId::new("sat_first_witness", ops), &ops, |bch, _| {
-            bch.iter(|| checker.find_witness(&sat).is_some())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sat_first_witness", ops),
+            &ops,
+            |bch, _| bch.iter(|| checker.find_witness(&sat).is_some()),
+        );
     }
     group.finish();
 
     // Equivalence testing (the optimizer's primitive).
-    let checker = EmptinessChecker::new(schema.clone(), Bounds { max_nodes: 4, max_depth: 4 });
+    let checker = EmptinessChecker::new(
+        schema.clone(),
+        Bounds {
+            max_nodes: 4,
+            max_depth: 4,
+        },
+    );
     let lhs = a().union(b());
     let rhs = b().union(a());
     c.bench_function("e3_equivalence_union_comm", |bch| {

@@ -13,18 +13,26 @@ fn bench_sweeps(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_e7_sweeps");
     group.sample_size(10);
     for ops in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("fig2_direct_inclusion", ops), &ops, |b, &ops| {
-            b.iter(|| {
-                let r = sweep(&fig2_schema, ops, &fig2_probes);
-                assert_eq!(r.matching, 0);
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("fig3_both_included", ops), &ops, |b, &ops| {
-            b.iter(|| {
-                let r = sweep(&fig3_schema, ops, &fig3_probes);
-                assert_eq!(r.matching, 0);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig2_direct_inclusion", ops),
+            &ops,
+            |b, &ops| {
+                b.iter(|| {
+                    let r = sweep(&fig2_schema, ops, &fig2_probes);
+                    assert_eq!(r.matching, 0);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig3_both_included", ops),
+            &ops,
+            |b, &ops| {
+                b.iter(|| {
+                    let r = sweep(&fig3_schema, ops, &fig3_probes);
+                    assert_eq!(r.matching, 0);
+                })
+            },
+        );
     }
     group.finish();
 }

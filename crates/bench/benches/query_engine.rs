@@ -21,7 +21,12 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| engine.explain(chain).unwrap())
     });
     let mut group = c.benchmark_group("engine_end_to_end");
-    for (name, q) in [("chain", chain), ("sigma", sigma), ("direct", extended), ("bi", bi)] {
+    for (name, q) in [
+        ("chain", chain),
+        ("sigma", sigma),
+        ("direct", extended),
+        ("bi", bi),
+    ] {
         group.bench_function(name, |b| b.iter(|| engine.query(q).unwrap()));
     }
     group.finish();

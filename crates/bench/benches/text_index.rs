@@ -26,10 +26,16 @@ fn bench_text(c: &mut Criterion) {
 
     let idx = SuffixWordIndex::new(text);
     idx.occurrences("region"); // prime the memo: steady-state W(r,p) cost
-    let regions: Vec<tr_core::Region> =
-        (0..1000u32).map(|i| tr_core::region(i * 97, i * 97 + 49)).collect();
+    let regions: Vec<tr_core::Region> = (0..1000u32)
+        .map(|i| tr_core::region(i * 97, i * 97 + 49))
+        .collect();
     c.bench_function("e12_w_r_p_per_1000_regions", |b| {
-        b.iter(|| regions.iter().filter(|&&r| idx.matches(r, "region")).count())
+        b.iter(|| {
+            regions
+                .iter()
+                .filter(|&&r| idx.matches(r, "region"))
+                .count()
+        })
     });
 }
 

@@ -72,13 +72,19 @@ fn us(secs: f64) -> String {
 /// E1 (Figure 1 / Section 2.2): the RIG rewrite `e1 → e2` and its payoff.
 fn e1_rig_optimization() {
     println!("E1 — RIG-based chain optimization (Figure 1, e1 ≡ e2)");
-    println!("{:>9} {:>9} | {:>12} {:>12} {:>8} | same", "procs", "regions", "e1 (3 ops)", "e2 (2 ops)", "speedup");
+    println!(
+        "{:>9} {:>9} | {:>12} {:>12} {:>8} | same",
+        "procs", "regions", "e1 (3 ops)", "e2 (2 ops)", "speedup"
+    );
     let rig = Rig::figure_1();
     let schema = rig.schema().clone();
     let chain = |names: &[&str]| {
         Chain {
             dir: ChainDir::IncludedIn,
-            items: names.iter().map(|n| ChainItem::bare(schema.expect_id(n))).collect(),
+            items: names
+                .iter()
+                .map(|n| ChainItem::bare(schema.expect_id(n)))
+                .collect(),
         }
         .to_expr()
     };
@@ -124,9 +130,19 @@ fn e2_operators() {
             if n <= 10_000 {
                 let (tn, out_naive) = time_avg(2, || naive(&r, &s));
                 assert_eq!(out_fast, out_naive);
-                println!("{n:>9} | {sym:>4} | {} {} {:>8.1}x", us(tf), us(tn), tn / tf);
+                println!(
+                    "{n:>9} | {sym:>4} | {} {} {:>8.1}x",
+                    us(tf),
+                    us(tn),
+                    tn / tf
+                );
             } else {
-                println!("{n:>9} | {sym:>4} | {} {:>12} {:>9}", us(tf), "(skipped)", "—");
+                println!(
+                    "{n:>9} | {sym:>4} | {} {:>12} {:>9}",
+                    us(tf),
+                    "(skipped)",
+                    "—"
+                );
             }
         }
     }
@@ -155,7 +171,10 @@ fn e3_emptiness() {
             unsat = a().intersect(unsat);
         }
         let unsat = unsat.intersect(b());
-        let bounds = Bounds { max_nodes: ops_n + 1, max_depth: ops_n + 1 };
+        let bounds = Bounds {
+            max_nodes: ops_n + 1,
+            max_depth: ops_n + 1,
+        };
         let checker = EmptinessChecker::new(schema.clone(), bounds);
         let visited = checker.count_models(&sat);
         let (t_unsat, empty) = time_avg(3, || checker.is_empty(&unsat));
@@ -194,7 +213,11 @@ fn e4_cnf_hardness() {
         let (t_wit, witnessed) = time_avg(1, || {
             (0u64..1 << n).any(|mask| {
                 let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
-                !eval(&e, &tr_fmft::assignment_instance(&cnf, &schema, &assignment)).is_empty()
+                !eval(
+                    &e,
+                    &tr_fmft::assignment_instance(&cnf, &schema, &assignment),
+                )
+                .is_empty()
             })
         });
         assert_eq!(sat, witnessed);
@@ -240,7 +263,10 @@ fn e5_deletion_reduction() {
             let before = eval(e, &inst);
             let after = eval(e, &reduced);
             let invariant = before.is_empty() == after.is_empty()
-                && reduced.all_regions().iter().all(|r| before.contains(r) == after.contains(r));
+                && reduced
+                    .all_regions()
+                    .iter()
+                    .all(|r| before.contains(r) == after.contains(r));
             agree += usize::from(invariant);
             false
         });
@@ -257,7 +283,7 @@ fn random_expr(rng: &mut StdRng, schema: &Schema, ops_n: usize) -> Expr {
     }
     let split = rng.gen_range(0..ops_n);
     Expr::bin(
-        tr_core::BinOp::ALL[rng.gen_range(0..7)],
+        tr_core::BinOp::ALL[rng.gen_range(0..7usize)],
         random_expr(rng, schema, split),
         random_expr(rng, schema, ops_n - 1 - split),
     )
@@ -266,7 +292,10 @@ fn random_expr(rng: &mut StdRng, schema: &Schema, ops_n: usize) -> Expr {
 /// E6/E7 (Theorems 5.1/5.3): exhaustive inexpressibility sweeps.
 fn e6_e7_inexpressibility() {
     println!("E6 — Theorem 5.1: no expression of size ≤ 3 computes B ⊃_d A (Figure 2 probes)");
-    println!("{:>4} {:>12} {:>9} {:>12}", "ops", "expressions", "matching", "time");
+    println!(
+        "{:>4} {:>12} {:>9} {:>12}",
+        "ops", "expressions", "matching", "time"
+    );
     let probes = tr_ext::direct_inclusion_probes(&[6, 8]);
     let schema = tr_markup::figure_2_schema();
     for ops_n in 0..=3 {
@@ -276,7 +305,10 @@ fn e6_e7_inexpressibility() {
     }
     println!();
     println!("E7 — Theorem 5.3: no expression of size ≤ 3 computes C BI (B, A) (Figure 3 probes)");
-    println!("{:>4} {:>12} {:>9} {:>12}", "ops", "expressions", "matching", "time");
+    println!(
+        "{:>4} {:>12} {:>9} {:>12}",
+        "ops", "expressions", "matching", "time"
+    );
     let probes = tr_ext::both_included_probes(&[1]);
     let schema = tr_markup::figure_3_schema();
     for ops_n in 0..=3 {
@@ -296,7 +328,10 @@ fn e8_bounded_constructions() {
         "depth", "expr ops", "expr eval", "memo eval", "native ⊃_d"
     );
     let schema = Schema::new(["A", "B"]);
-    let (qa, qb) = (Expr::name(schema.expect_id("A")), Expr::name(schema.expect_id("B")));
+    let (qa, qb) = (
+        Expr::name(schema.expect_id("A")),
+        Expr::name(schema.expect_id("B")),
+    );
     for depth in [1usize, 2, 4, 6, 8] {
         let e = tr_ext::direct_including_expr(&qa, &qb, &schema, depth);
         // 400 independent chains: large enough that operator work (not
@@ -323,7 +358,10 @@ fn e8_bounded_constructions() {
     println!("   is cheaper still)\n");
 
     println!("E8b — Prop 5.4: BI as an algebra expression under bounded width");
-    println!("{:>6} {:>10} | {:>12} {:>12} | same", "width", "expr ops", "expr eval", "native BI");
+    println!(
+        "{:>6} {:>10} | {:>12} {:>12} | same",
+        "width", "expr ops", "expr eval", "native BI"
+    );
     for width in [2usize, 4, 6, 8] {
         let inst = flat_bi_instance(width / 2, 99);
         let s = inst.schema().clone();
@@ -366,11 +404,18 @@ fn e9_programs() {
         let a = inst.regions_of_name("A").clone();
         let (t_prog, via_prog) = time_avg(20, || tr_ext::direct_including_program(&inst, &b, &a));
         let (t_nat, via_nat) = time_avg(20, || tr_ext::directly_including(&inst, &b, &a));
-        let (t_naive, via_naive) =
-            time_avg(5, || tr_ext::direct::naive::directly_including(&inst, &b, &a));
+        let (t_naive, via_naive) = time_avg(5, || {
+            tr_ext::direct::naive::directly_including(&inst, &b, &a)
+        });
         assert_eq!(via_prog, via_nat);
         assert_eq!(via_prog, via_naive);
-        println!("{:>6} | {} {} {}", depth, us(t_prog), us(t_nat), us(t_naive));
+        println!(
+            "{:>6} | {} {} {}",
+            depth,
+            us(t_prog),
+            us(t_nat),
+            us(t_naive)
+        );
     }
     println!("  (the program's iteration count is the nesting depth, as the paper says)\n");
 
@@ -389,14 +434,18 @@ fn e9_programs() {
     let minimal = MinimalSetProblem::for_chain(rig.clone(), &chain)
         .solve_exact()
         .expect("feasible");
-    let keep: Vec<NameId> =
-        minimal.iter().copied().chain(chain[1..chain.len() - 1].iter().copied()).collect();
+    let keep: Vec<NameId> = minimal
+        .iter()
+        .copied()
+        .chain(chain[1..chain.len() - 1].iter().copied())
+        .collect();
     for regions in [500usize, 5_000, 50_000] {
         let inst = figure_1_instance(regions, 12, 3);
         let iters = (200_000 / regions).clamp(3, 100);
         let (t_full, full) = time_avg(iters, || tr_ext::direct_chain_program(&inst, &chain));
-        let (t_pruned, pruned) =
-            time_avg(iters, || tr_ext::direct_chain_program_filtered(&inst, &chain, &keep));
+        let (t_pruned, pruned) = time_avg(iters, || {
+            tr_ext::direct_chain_program_filtered(&inst, &chain, &keep)
+        });
         println!(
             "{:>9} | {} {} {:>7.2}x | {}",
             inst.len(),
@@ -406,7 +455,10 @@ fn e9_programs() {
             full == pruned
         );
     }
-    println!("  (pruned All uses the minimal-set solution {:?})\n", minimal.len());
+    println!(
+        "  (pruned All uses the minimal-set solution {:?})\n",
+        minimal.len()
+    );
 }
 
 /// E10 (Proposition 6.1): the minimal set problem.
@@ -449,7 +501,10 @@ fn e10_minimal_set() {
     println!("  (exact == brute-force vertex cover, per the reduction; greedy may overshoot)\n");
 
     println!("E10b — polynomial single-pair case via min-cut (random DAG RIGs)");
-    println!("{:>6} {:>8} | {:>7} | {:>12}", "names", "edges", "cut", "t(min-cut)");
+    println!(
+        "{:>6} {:>8} | {:>7} | {:>12}",
+        "names", "edges", "cut", "t(min-cut)"
+    );
     for n in [10usize, 20, 40, 80] {
         let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
         let schema = Schema::new(names);
@@ -492,7 +547,9 @@ fn e11_translation() {
         let round_trip_agrees = eval(&back, &inst) == direct;
         agree += usize::from(model_agrees && round_trip_agrees);
     }
-    println!("  {agree}/{total} random (expression, instance) pairs agreed across both directions\n");
+    println!(
+        "  {agree}/{total} random (expression, instance) pairs agreed across both directions\n"
+    );
 }
 
 /// E13 (Section 7): the n-ary extension expresses the inexpressible —
@@ -552,15 +609,23 @@ fn e12_text_index() {
         let start = std::time::Instant::now();
         let hits = idx.occurrences("region").len();
         let t_occ = start.elapsed().as_secs_f64();
-        let regions: Vec<tr_core::Region> =
-            (0..1000).map(|i| tr_core::region(i * 97 % (n as u32 - 50), i * 97 % (n as u32 - 50) + 49)).collect();
+        let regions: Vec<tr_core::Region> = (0..1000)
+            .map(|i| tr_core::region(i * 97 % (n as u32 - 50), i * 97 % (n as u32 - 50) + 49))
+            .collect();
         let (t_w, _) = time_avg(5, || {
             regions
                 .iter()
                 .filter(|&&r| tr_core::WordIndex::matches(&idx, r, "region"))
                 .count()
         });
-        println!("{:>10} | {} {} {} | {:>8}", n, us(t_build), us(t_occ), us(t_w), hits);
+        println!(
+            "{:>10} | {} {} {} | {:>8}",
+            n,
+            us(t_build),
+            us(t_occ),
+            us(t_w),
+            hits
+        );
     }
     println!("  (W(r,p) is a binary search after the first memoized lookup — PAT-style)\n");
 }

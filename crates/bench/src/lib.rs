@@ -95,8 +95,22 @@ pub fn program_workload(procs: usize, seed: u64) -> (String, Instance<tr_text::S
 /// (E12): Zipf-ish words so patterns have realistic hit counts.
 pub fn synthetic_text(n: usize, seed: u64) -> Vec<u8> {
     const WORDS: [&str; 16] = [
-        "the", "region", "algebra", "text", "query", "index", "tree", "node", "pattern",
-        "search", "structure", "document", "word", "suffix", "engine", "data",
+        "the",
+        "region",
+        "algebra",
+        "text",
+        "query",
+        "index",
+        "tree",
+        "node",
+        "pattern",
+        "search",
+        "structure",
+        "document",
+        "word",
+        "suffix",
+        "engine",
+        "data",
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n + 16);
@@ -121,9 +135,13 @@ pub fn flat_bi_instance(n: usize, seed: u64) -> Instance {
         let c = region(pos, pos + 8);
         b = b.add("C", c);
         if rng.gen_bool(0.5) {
-            b = b.add("A", region(pos + 1, pos + 2)).add("B", region(pos + 4, pos + 5));
+            b = b
+                .add("A", region(pos + 1, pos + 2))
+                .add("B", region(pos + 4, pos + 5));
         } else {
-            b = b.add("B", region(pos + 1, pos + 2)).add("A", region(pos + 4, pos + 5));
+            b = b
+                .add("B", region(pos + 1, pos + 2))
+                .add("A", region(pos + 4, pos + 5));
         }
         pos += 10;
     }

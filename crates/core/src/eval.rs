@@ -1,8 +1,10 @@
 //! Evaluation of region algebra expressions over an instance
 //! (`e(I)` in the paper's notation).
 
+use crate::exec::{execute, ExecConfig};
 use crate::expr::{BinOp, Expr};
 use crate::instance::Instance;
+use crate::plan::Plan;
 use crate::set::RegionSet;
 use crate::word::WordIndex;
 use crate::{naive, ops};
@@ -10,6 +12,25 @@ use crate::{naive, ops};
 /// Evaluates `e(I)` using the fast operator implementations.
 pub fn eval<W: WordIndex>(e: &Expr, inst: &Instance<W>) -> RegionSet {
     eval_with(e, inst, &FAST)
+}
+
+/// Evaluates `e(I)` through the plan-based parallel executor with default
+/// settings (all cores, default kernel cutoff). Results are byte-identical
+/// to [`eval`]; see [`crate::exec`] for tuning and batch execution.
+pub fn eval_parallel<W: WordIndex + Sync>(e: &Expr, inst: &Instance<W>) -> RegionSet {
+    eval_parallel_with(e, inst, &ExecConfig::default())
+}
+
+/// [`eval_parallel`] with explicit execution settings.
+pub fn eval_parallel_with<W: WordIndex + Sync>(
+    e: &Expr,
+    inst: &Instance<W>,
+    cfg: &ExecConfig,
+) -> RegionSet {
+    let mut plan = Plan::new();
+    let root = plan.lower(e);
+    let executed = execute(&plan, inst, cfg);
+    executed.take(&[root]).pop().expect("one root requested")
 }
 
 /// Evaluates `e(I)` using the naive (literal Definition 2.3) operators.
@@ -145,7 +166,11 @@ mod tests {
         let r1 = eval(&e1, &inst);
         let r2 = eval(&e2, &inst);
         assert_eq!(r1, r2);
-        assert_eq!(r1.as_slice(), &[region(12, 14)], "only the procedure's name");
+        assert_eq!(
+            r1.as_slice(),
+            &[region(12, 14)],
+            "only the procedure's name"
+        );
     }
 
     #[test]
@@ -185,8 +210,14 @@ mod tests {
             eval(&a.clone().including(b.clone()), &inst).as_slice(),
             &[region(20, 29)]
         );
-        assert_eq!(eval(&b.clone().included_in(a.clone()), &inst).as_slice(), &[region(21, 28)]);
-        assert_eq!(eval(&a.clone().before(b.clone()), &inst).as_slice(), &[region(0, 9)]);
+        assert_eq!(
+            eval(&b.clone().included_in(a.clone()), &inst).as_slice(),
+            &[region(21, 28)]
+        );
+        assert_eq!(
+            eval(&a.clone().before(b.clone()), &inst).as_slice(),
+            &[region(0, 9)]
+        );
         assert_eq!(eval(&b.after(a), &inst).as_slice(), &[region(21, 28)]);
     }
 
@@ -200,7 +231,10 @@ mod tests {
             let mut pos = 0u32;
             for _ in 0..rng.gen_range(1..8) {
                 let len = rng.gen_range(1..20);
-                b = b.add(if rng.gen_bool(0.5) { "A" } else { "B" }, region(pos, pos + len));
+                b = b.add(
+                    if rng.gen_bool(0.5) { "A" } else { "B" },
+                    region(pos, pos + len),
+                );
                 pos += len + 2;
             }
             let inst = b.build_valid();
@@ -208,7 +242,9 @@ mod tests {
             let bb = Expr::name(schema.expect_id("B"));
             // Deliberately share sub-expressions.
             let shared = a.clone().included_in(bb.clone());
-            let e = shared.clone().union(shared.clone().intersect(shared.clone()));
+            let e = shared
+                .clone()
+                .union(shared.clone().intersect(shared.clone()));
             assert_eq!(eval_memo(&e, &inst), eval(&e, &inst));
             let e2 = a.clone().including(bb.clone()).diff(bb.including(a));
             assert_eq!(eval_memo(&e2, &inst), eval(&e2, &inst));
@@ -243,7 +279,11 @@ mod tests {
                 a.clone().before(bb.clone()).after(bb.clone()),
                 a.clone().diff(bb.clone().included_in(a.clone())),
             ] {
-                assert_eq!(eval(&e, &inst), eval_naive(&e, &inst), "expr {e} inst {inst:?}");
+                assert_eq!(
+                    eval(&e, &inst),
+                    eval_naive(&e, &inst),
+                    "expr {e} inst {inst:?}"
+                );
             }
         }
     }

@@ -1,0 +1,415 @@
+//! Executors for lowered [`Plan`]s: sequential and wave-parallel.
+//!
+//! Both executors evaluate every distinct plan node exactly once (the
+//! [`ExecStats`] counter makes that observable) and share the expensive
+//! per-operand structures: when a node is the right operand of `⊃` or
+//! `⊂`, its [`MinRightRmq`] / [`PrefixMaxRight`] is built once and reused
+//! by every consumer, instead of once per operator application.
+//!
+//! The parallel executor layers two kinds of parallelism:
+//!
+//! * **inter-node**: plan nodes whose children are complete are
+//!   independent, so worker threads pull them from a shared ready queue
+//!   (topological wave scheduling over the DAG);
+//! * **intra-node**: inside a single big operator application the probe
+//!   scan / merge is chunked across threads (see [`crate::par`]), with a
+//!   sequential cutoff so small sets keep the single-threaded fast path.
+//!
+//! Parallel results are byte-identical to [`crate::eval`]'s: every kernel
+//! is a deterministic chunk-and-concatenate of the sequential one.
+
+use crate::instance::Instance;
+use crate::ops::{self, MinRightRmq, PrefixMaxRight};
+use crate::par::{self, Parallelism};
+use crate::plan::{NodeId, Plan, PlanOp};
+use crate::set::RegionSet;
+use crate::word::WordIndex;
+use crate::BinOp;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Tuning for plan execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Worker threads for the DAG scheduler and operator kernels
+    /// (`0` ⇒ all available cores, `1` ⇒ fully sequential).
+    pub threads: usize,
+    /// Minimum operand size before a kernel's scan/merge is split across
+    /// threads; below it the sequential fast path runs unchanged.
+    pub kernel_cutoff: usize,
+}
+
+impl ExecConfig {
+    /// Fully sequential execution (still node-deduplicated and
+    /// structure-sharing).
+    pub fn sequential() -> ExecConfig {
+        ExecConfig {
+            threads: 1,
+            kernel_cutoff: usize::MAX,
+        }
+    }
+
+    /// The resolved number of worker threads.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            par::available_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.resolved_threads(), self.kernel_cutoff)
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            threads: 0,
+            kernel_cutoff: par::DEFAULT_CUTOFF,
+        }
+    }
+}
+
+/// What an execution did — exposed so tests (and the engine's batch API)
+/// can assert sharing: `nodes_evaluated` equals the number of *distinct*
+/// nodes, no matter how many queries or duplicated sub-expressions fed
+/// the plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Plan nodes evaluated (each distinct node exactly once).
+    pub nodes_evaluated: usize,
+    /// Worker threads used by the DAG scheduler.
+    pub threads: usize,
+}
+
+/// The result of executing a plan: one [`RegionSet`] per node.
+#[derive(Debug)]
+pub struct Executed {
+    results: Vec<RegionSet>,
+    stats: ExecStats,
+}
+
+impl Executed {
+    /// The value of node `id` (any node, not just roots).
+    pub fn result(&self, id: NodeId) -> &RegionSet {
+        &self.results[id]
+    }
+
+    /// Consumes the execution, keeping only the requested nodes' values.
+    pub fn take(mut self, ids: &[NodeId]) -> Vec<RegionSet> {
+        ids.iter()
+            .map(|&id| std::mem::take(&mut self.results[id]))
+            .collect()
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+/// Per-node auxiliary structures, built lazily and at most once.
+struct OperandCache {
+    rmq: Vec<OnceLock<MinRightRmq>>,
+    pm: Vec<OnceLock<PrefixMaxRight>>,
+}
+
+impl OperandCache {
+    fn new(n: usize) -> OperandCache {
+        OperandCache {
+            rmq: (0..n).map(|_| OnceLock::new()).collect(),
+            pm: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+/// Executes `plan` over `inst`, returning every node's value plus stats.
+///
+/// With `cfg.threads == 1` this is a simple children-first walk; otherwise
+/// a pool of scoped worker threads drains a ready queue seeded with the
+/// plan's leaves.
+pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecConfig) -> Executed {
+    let n = plan.len();
+    let threads = cfg.resolved_threads().min(n.max(1));
+    let kernels = cfg.parallelism();
+    let aux = OperandCache::new(n);
+
+    if threads <= 1 {
+        let mut results: Vec<RegionSet> = Vec::with_capacity(n);
+        for id in 0..n {
+            let value = eval_node(plan.op(id), |c| &results[c], inst, &aux, &kernels);
+            results.push(value);
+        }
+        return Executed {
+            results,
+            stats: ExecStats {
+                nodes_evaluated: n,
+                threads: 1,
+            },
+        };
+    }
+
+    let parents = plan.parents();
+    let slots: Vec<OnceLock<RegionSet>> = (0..n).map(|_| OnceLock::new()).collect();
+    let pending: Vec<AtomicUsize> = (0..n)
+        .map(|id| AtomicUsize::new(plan.op(id).children().count()))
+        .collect();
+    let ready: Mutex<Vec<NodeId>> = Mutex::new(
+        (0..n)
+            .filter(|&id| pending[id].load(Ordering::Relaxed) == 0)
+            .collect(),
+    );
+    let wake = Condvar::new();
+    let remaining = AtomicUsize::new(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                loop {
+                    let id = {
+                        let mut q = ready.lock().expect("scheduler lock");
+                        loop {
+                            if let Some(id) = q.pop() {
+                                break id;
+                            }
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                return;
+                            }
+                            q = wake.wait(q).expect("scheduler lock");
+                        }
+                    };
+                    let value = eval_node(
+                        plan.op(id),
+                        |c| slots[c].get().expect("children complete before parents"),
+                        inst,
+                        &aux,
+                        &kernels,
+                    );
+                    slots[id].set(value).expect("each node evaluated once");
+                    // Release readiness to parents; wake workers for new work
+                    // (and everyone when the last node lands).
+                    let mut unlocked_new = 0;
+                    {
+                        let mut q = ready.lock().expect("scheduler lock");
+                        for &p in &parents[id] {
+                            if pending[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                q.push(p);
+                                unlocked_new += 1;
+                            }
+                        }
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        wake.notify_all();
+                    } else {
+                        for _ in 0..unlocked_new {
+                            wake.notify_one();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let results: Vec<RegionSet> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all nodes evaluated"))
+        .collect();
+    Executed {
+        results,
+        stats: ExecStats {
+            nodes_evaluated: n,
+            threads,
+        },
+    }
+}
+
+/// Evaluates one node given its children's values.
+fn eval_node<'a, W: WordIndex + Sync>(
+    op: &PlanOp,
+    child: impl Fn(NodeId) -> &'a RegionSet,
+    inst: &Instance<W>,
+    aux: &OperandCache,
+    kernels: &Parallelism,
+) -> RegionSet {
+    match op {
+        PlanOp::Name(id) => inst.regions_of(*id).clone(),
+        PlanOp::Select(pattern, c) => {
+            let word = inst.word_index();
+            child(*c).filter_par(kernels, |r| word.matches(r, pattern))
+        }
+        PlanOp::Bin(bin, l, r) => {
+            let (lv, rv) = (child(*l), child(*r));
+            match bin {
+                BinOp::Union => lv.union_par(rv, kernels),
+                BinOp::Intersect => lv.intersect_par(rv, kernels),
+                BinOp::Diff => lv.difference_par(rv, kernels),
+                BinOp::Including => {
+                    if lv.is_empty() || rv.is_empty() {
+                        return RegionSet::new();
+                    }
+                    let rmq = aux.rmq[*r].get_or_init(|| MinRightRmq::new(rv));
+                    ops::includes_par(lv, rv, rmq, kernels)
+                }
+                BinOp::IncludedIn => {
+                    if lv.is_empty() || rv.is_empty() {
+                        return RegionSet::new();
+                    }
+                    let pm = aux.pm[*r].get_or_init(|| PrefixMaxRight::new(rv));
+                    ops::included_in_par(lv, rv, pm, kernels)
+                }
+                BinOp::Before => ops::precedes_par(lv, rv, kernels),
+                BinOp::After => ops::follows_par(lv, rv, kernels),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, eval_naive};
+    use crate::expr::Expr;
+    use crate::instance::InstanceBuilder;
+    use crate::region::region;
+    use crate::schema::Schema;
+
+    fn sample_instance() -> (Schema, Instance) {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 9))
+            .add("B", region(1, 8))
+            .add("A", region(2, 5))
+            .add("B", region(12, 20))
+            .add("A", region(13, 17))
+            .occurrence("x", 3, 1)
+            .occurrence("x", 14, 1)
+            .build_valid();
+        (schema, inst)
+    }
+
+    fn exprs(schema: &Schema) -> Vec<Expr> {
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        let shared = a.clone().included_in(b.clone());
+        vec![
+            a.clone(),
+            shared.clone(),
+            shared
+                .clone()
+                .union(shared.clone().intersect(shared.clone())),
+            shared.clone().select("x"),
+            a.clone()
+                .including(b.clone())
+                .diff(b.clone().including(a.clone())),
+            a.clone().before(b.clone()).after(b.clone()),
+            b.clone().union(a.clone().included_in(b.clone())),
+            shared.select("x").union(a.including(b)),
+        ]
+    }
+
+    #[test]
+    fn sequential_executor_matches_eval() {
+        let (schema, inst) = sample_instance();
+        for e in exprs(&schema) {
+            let mut plan = Plan::new();
+            let root = plan.lower(&e);
+            let out = execute(&plan, &inst, &ExecConfig::sequential());
+            assert_eq!(out.result(root), &eval(&e, &inst), "expr {e}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_eval_and_naive() {
+        let (schema, inst) = sample_instance();
+        // Force maximal splitting: several threads, cutoff of 1.
+        let cfg = ExecConfig {
+            threads: 4,
+            kernel_cutoff: 1,
+        };
+        for e in exprs(&schema) {
+            let mut plan = Plan::new();
+            let root = plan.lower(&e);
+            let out = execute(&plan, &inst, &cfg);
+            assert_eq!(out.result(root), &eval(&e, &inst), "fast oracle, expr {e}");
+            assert_eq!(
+                out.result(root),
+                &eval_naive(&e, &inst),
+                "naive oracle, expr {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_evaluates_each_distinct_node_once() {
+        let (schema, inst) = sample_instance();
+        let all = exprs(&schema);
+        let mut plan = Plan::new();
+        let roots = plan.lower_batch(all.iter());
+        let distinct = plan.len();
+        // The batch shares A, B, and A⊂B heavily: far fewer nodes than
+        // the sum of tree sizes.
+        let tree_sizes: usize = all.iter().map(|e| e.num_ops() + e.names().len()).sum();
+        assert!(
+            distinct < tree_sizes,
+            "{distinct} nodes vs {tree_sizes} tree ops"
+        );
+        for cfg in [
+            ExecConfig::sequential(),
+            ExecConfig {
+                threads: 4,
+                kernel_cutoff: 1,
+            },
+        ] {
+            let out = execute(&plan, &inst, &cfg);
+            assert_eq!(out.stats().nodes_evaluated, distinct);
+            for (root, e) in roots.iter().zip(&all) {
+                assert_eq!(out.result(*root), &eval(e, &inst), "expr {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn take_returns_roots_in_order() {
+        let (schema, inst) = sample_instance();
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        let mut plan = Plan::new();
+        let roots = plan.lower_batch([&b, &a, &b]);
+        let out = execute(&plan, &inst, &ExecConfig::sequential());
+        let vals = out.take(&roots);
+        assert_eq!(vals[0], eval(&b, &inst));
+        assert_eq!(vals[1], eval(&a, &inst));
+        // Duplicated roots: the second copy was taken already.
+        assert_eq!(roots[0], roots[2]);
+    }
+
+    #[test]
+    fn deep_chain_parallel() {
+        // A linear chain gives the scheduler no inter-node parallelism;
+        // results must still be correct (and the run must not deadlock).
+        let schema = Schema::new(["A", "B"]);
+        let mut builder = InstanceBuilder::new(schema.clone());
+        for i in 0..40u32 {
+            builder = builder.add(if i % 2 == 0 { "A" } else { "B" }, region(i, 100 - i));
+        }
+        let inst = builder.build_valid();
+        let mut e = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        for _ in 0..30 {
+            e = e.included_in(b.clone());
+        }
+        let mut plan = Plan::new();
+        let root = plan.lower(&e);
+        let out = execute(
+            &plan,
+            &inst,
+            &ExecConfig {
+                threads: 8,
+                kernel_cutoff: 1,
+            },
+        );
+        assert_eq!(out.result(root), &eval(&e, &inst));
+    }
+}

@@ -252,7 +252,11 @@ mod tests {
     use super::*;
 
     fn ids() -> (NameId, NameId, NameId) {
-        (NameId::from_index(0), NameId::from_index(1), NameId::from_index(2))
+        (
+            NameId::from_index(0),
+            NameId::from_index(1),
+            NameId::from_index(2),
+        )
     }
 
     #[test]
@@ -270,7 +274,9 @@ mod tests {
     #[test]
     fn pattern_and_name_collection() {
         let (a, b, _) = ids();
-        let e = Expr::name(a).select("x").union(Expr::name(b).select("y").select("x"));
+        let e = Expr::name(a)
+            .select("x")
+            .union(Expr::name(b).select("y").select("x"));
         assert_eq!(e.patterns().into_iter().collect::<Vec<_>>(), vec!["x", "y"]);
         assert_eq!(e.names().len(), 2);
     }
@@ -282,16 +288,23 @@ mod tests {
         let chain = Expr::name(a).included_in(Expr::name(b).included_in(Expr::name(c)));
         assert_eq!(chain.to_string(), "R0 ⊂ R1 ⊂ R2");
         // Left-grouped needs parens on the left operand.
-        let left = Expr::name(a).included_in(Expr::name(b)).included_in(Expr::name(c));
+        let left = Expr::name(a)
+            .included_in(Expr::name(b))
+            .included_in(Expr::name(c));
         assert_eq!(left.to_string(), "(R0 ⊂ R1) ⊂ R2");
     }
 
     #[test]
     fn display_with_schema_names() {
         let schema = Schema::new(["Name", "Proc_header", "Program"]);
-        let e = Expr::name(schema.expect_id("Name"))
-            .included_in(Expr::name(schema.expect_id("Proc_header")).included_in(Expr::name(schema.expect_id("Program"))));
-        assert_eq!(e.display(&schema).to_string(), "Name ⊂ Proc_header ⊂ Program");
+        let e = Expr::name(schema.expect_id("Name")).included_in(
+            Expr::name(schema.expect_id("Proc_header"))
+                .included_in(Expr::name(schema.expect_id("Program"))),
+        );
+        assert_eq!(
+            e.display(&schema).to_string(),
+            "Name ⊂ Proc_header ⊂ Program"
+        );
     }
 
     #[test]

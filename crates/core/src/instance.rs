@@ -73,7 +73,12 @@ impl<W: Default> Instance<W> {
     /// An instance with empty region sets and a default word index.
     pub fn empty(schema: Schema) -> Instance<W> {
         let sets = vec![RegionSet::new(); schema.len()];
-        Instance { schema, sets, all: Vec::new(), word: W::default() }
+        Instance {
+            schema,
+            sets,
+            all: Vec::new(),
+            word: W::default(),
+        }
     }
 }
 
@@ -86,7 +91,8 @@ impl<W> Instance<W> {
     ) -> Result<Instance<W>, InstanceError> {
         assert_eq!(sets.len(), schema.len(), "one region set per schema name");
         // Merge all regions, remembering names, and validate.
-        let mut all: Vec<(Region, NameId)> = Vec::with_capacity(sets.iter().map(RegionSet::len).sum());
+        let mut all: Vec<(Region, NameId)> =
+            Vec::with_capacity(sets.iter().map(RegionSet::len).sum());
         for (i, set) in sets.iter().enumerate() {
             let id = NameId::from_index(i);
             all.extend(set.iter().map(|r| (r, id)));
@@ -95,7 +101,11 @@ impl<W> Instance<W> {
         for w in all.windows(2) {
             let ((a, na), (b, nb)) = (w[0], w[1]);
             if a == b {
-                return Err(InstanceError::DuplicateRegion { region: a, first: na, second: nb });
+                return Err(InstanceError::DuplicateRegion {
+                    region: a,
+                    first: na,
+                    second: nb,
+                });
             }
         }
         // Hierarchy sweep: sorted order visits would-be parents first.
@@ -117,7 +127,12 @@ impl<W> Instance<W> {
         for s in &mut sets {
             debug_assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
         }
-        Ok(Instance { schema, sets, all, word })
+        Ok(Instance {
+            schema,
+            sets,
+            all,
+            word,
+        })
     }
 
     /// The schema this instance instantiates.
@@ -223,7 +238,12 @@ impl<W: Clone> Instance<W> {
             .copied()
             .filter(|&(r, _)| !doomed.contains(r))
             .collect();
-        Instance { schema: self.schema.clone(), sets, all, word: self.word.clone() }
+        Instance {
+            schema: self.schema.clone(),
+            sets,
+            all,
+            word: self.word.clone(),
+        }
     }
 
     /// Returns a copy keeping only the given regions.
@@ -235,7 +255,12 @@ impl<W: Clone> Instance<W> {
             .copied()
             .filter(|&(r, _)| kept.contains(r))
             .collect();
-        Instance { schema: self.schema.clone(), sets, all, word: self.word.clone() }
+        Instance {
+            schema: self.schema.clone(),
+            sets,
+            all,
+            word: self.word.clone(),
+        }
     }
 }
 
@@ -267,7 +292,11 @@ impl InstanceBuilder {
     /// Starts a builder for the given schema.
     pub fn new(schema: Schema) -> InstanceBuilder {
         let sets = vec![RegionSet::new(); schema.len()];
-        InstanceBuilder { schema, sets, word: MatchPointIndex::new() }
+        InstanceBuilder {
+            schema,
+            sets,
+            word: MatchPointIndex::new(),
+        }
     }
 
     /// Adds a region under a name (by string).
@@ -289,12 +318,22 @@ impl InstanceBuilder {
     }
 
     /// In-place variant of [`InstanceBuilder::occurrence`], for loops.
-    pub fn push_occurrence(&mut self, pattern: &str, start: crate::region::Pos, len: crate::region::Pos) {
+    pub fn push_occurrence(
+        &mut self,
+        pattern: &str,
+        start: crate::region::Pos,
+        len: crate::region::Pos,
+    ) {
         self.word.add_occurrence(pattern, start, len);
     }
 
     /// Records a pattern occurrence in the word index.
-    pub fn occurrence(mut self, pattern: &str, start: crate::region::Pos, len: crate::region::Pos) -> InstanceBuilder {
+    pub fn occurrence(
+        mut self,
+        pattern: &str,
+        start: crate::region::Pos,
+        len: crate::region::Pos,
+    ) -> InstanceBuilder {
         self.word.add_occurrence(pattern, start, len);
         self
     }
@@ -307,7 +346,8 @@ impl InstanceBuilder {
     /// Validates and finishes, panicking on invalid input. For tests and
     /// examples with hand-written instances.
     pub fn build_valid(self) -> Instance {
-        self.build().expect("hand-written instance must be hierarchical")
+        self.build()
+            .expect("hand-written instance must be hierarchical")
     }
 }
 
@@ -346,7 +386,12 @@ impl Forest {
             }
             stack.push(i);
         }
-        Forest { nodes: all.to_vec(), parent, children, roots }
+        Forest {
+            nodes: all.to_vec(),
+            parent,
+            children,
+            roots,
+        }
     }
 
     /// Number of nodes.
@@ -425,7 +470,10 @@ mod tests {
             .build_valid();
         assert_eq!(inst.len(), 4);
         assert_eq!(inst.regions_of_name("B").len(), 2);
-        assert_eq!(inst.name_of(region(2, 3)), Some(inst.schema().expect_id("C")));
+        assert_eq!(
+            inst.name_of(region(2, 3)),
+            Some(inst.schema().expect_id("C"))
+        );
         assert_eq!(inst.name_of(region(2, 4)), None);
         assert_eq!(inst.nesting_depth(), 3);
     }
@@ -496,7 +544,11 @@ mod tests {
         assert_eq!(smaller.len(), 1);
         assert!(smaller.contains(region(0, 9)));
         assert!(!smaller.contains(region(1, 4)));
-        assert!(crate::word::WordIndex::matches(smaller.word_index(), region(0, 9), "x"));
+        assert!(crate::word::WordIndex::matches(
+            smaller.word_index(),
+            region(0, 9),
+            "x"
+        ));
     }
 
     #[test]

@@ -34,7 +34,9 @@ mod tests {
 
     #[test]
     fn naive_matches_definitions() {
-        let r: RegionSet = [region(0, 9), region(2, 3), region(12, 14)].into_iter().collect();
+        let r: RegionSet = [region(0, 9), region(2, 3), region(12, 14)]
+            .into_iter()
+            .collect();
         let s: RegionSet = [region(4, 5), region(10, 11)].into_iter().collect();
         assert_eq!(includes(&r, &s).as_slice(), &[region(0, 9)]);
         assert_eq!(included_in(&s, &r).as_slice(), &[region(4, 5)]);

@@ -14,7 +14,8 @@
 //! Quadratic reference implementations live in [`crate::naive`] and serve as
 //! the oracle for property tests and as the baseline for experiment E2.
 
-use crate::region::Pos;
+use crate::par::Parallelism;
+use crate::region::{Pos, Region};
 use crate::set::RegionSet;
 
 /// `R < S`: the regions of `R` that precede *some* region of `S`.
@@ -27,13 +28,30 @@ pub fn precedes(r: &RegionSet, s: &RegionSet) -> RegionSet {
     }
 }
 
+/// [`precedes`] with the scan over `R` split across threads.
+pub fn precedes_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
+    match s.max_left() {
+        None => RegionSet::new(),
+        Some(max_left) => r.filter_par(par, |x| x.right() < max_left),
+    }
+}
+
 /// `R > S`: the regions of `R` that follow *some* region of `S`.
 ///
-/// `r` follows some `s` iff `left(r) > min{right(s)}`.
+/// `r` follows some `s` iff `left(r) > min{right(s)}` (an O(1) probe —
+/// the set caches its minimum right endpoint).
 pub fn follows(r: &RegionSet, s: &RegionSet) -> RegionSet {
     match s.min_right() {
         None => RegionSet::new(),
         Some(min_right) => r.filter(|x| x.left() > min_right),
+    }
+}
+
+/// [`follows`] with the scan over `R` split across threads.
+pub fn follows_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
+    match s.min_right() {
+        None => RegionSet::new(),
+        Some(min_right) => r.filter_par(par, |x| x.left() > min_right),
     }
 }
 
@@ -42,28 +60,42 @@ pub fn included_in(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    // prefix_max[i] = max right endpoint among the first i regions of S
-    // (S is sorted by left asc, right desc).
-    let sv = s.as_slice();
-    let mut prefix_max: Vec<Pos> = Vec::with_capacity(sv.len() + 1);
-    prefix_max.push(0);
-    let mut best = 0;
-    for reg in sv {
-        best = best.max(reg.right());
-        prefix_max.push(best);
+    included_in_with(r, s, &PrefixMaxRight::new(s))
+}
+
+/// [`included_in`] against a prefix-max structure the caller built once
+/// for `s` (the plan executor shares it across every operator whose right
+/// operand is the same plan node).
+pub fn included_in_with(r: &RegionSet, s: &RegionSet, pm: &PrefixMaxRight) -> RegionSet {
+    r.filter(|x| included_in_probe(x, s, pm))
+}
+
+/// [`included_in`] with the probe loop over `R` split across threads.
+pub fn included_in_par(
+    r: &RegionSet,
+    s: &RegionSet,
+    pm: &PrefixMaxRight,
+    par: &Parallelism,
+) -> RegionSet {
+    if r.is_empty() || s.is_empty() {
+        return RegionSet::new();
     }
-    r.filter(|x| {
-        // Candidates with left(s) < left(x): containment needs right(s) >= right(x).
-        let lt = s.lower_bound_left(x.left());
-        if lt > 0 && prefix_max[lt] >= x.right() {
-            return true;
-        }
-        // Candidates with left(s) == left(x): containment needs right(s) > right(x).
-        // Within the equal-left group regions are sorted by right desc, so the
-        // group's first element has the largest right endpoint.
-        let le = s.upper_bound_left(x.left());
-        lt < le && sv[lt].right() > x.right()
-    })
+    r.filter_par(par, |x| included_in_probe(x, s, pm))
+}
+
+/// Is `x` strictly included in some region of `s`?
+#[inline]
+fn included_in_probe(x: Region, s: &RegionSet, pm: &PrefixMaxRight) -> bool {
+    // Candidates with left(s) < left(x): containment needs right(s) >= right(x).
+    let lt = s.lower_bound_left(x.left());
+    if lt > 0 && pm.max_right_of_first(lt) >= x.right() {
+        return true;
+    }
+    // Candidates with left(s) == left(x): containment needs right(s) > right(x).
+    // Within the equal-left group regions are sorted by right desc, so the
+    // group's first element has the largest right endpoint.
+    let le = s.upper_bound_left(x.left());
+    lt < le && s.as_slice()[lt].right() > x.right()
 }
 
 /// `R ⊃ S`: the regions of `R` that strictly include some region of `S`.
@@ -71,26 +103,77 @@ pub fn includes(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    let rmq = MinRightRmq::new(s);
-    let sv = s.as_slice();
-    r.filter(|x| {
-        // A region s with r ⊃ s must have left(s) in [left(x), right(x)].
-        // Split the index range at left(s) == left(x):
-        //  - strictly greater left: need right(s) <= right(x);
-        //  - equal left: need right(s) < right(x) (strictness).
-        let lo = s.lower_bound_left(x.left());
-        let mid = s.upper_bound_left(x.left());
-        let hi = s.upper_bound_left(x.right());
-        if mid < hi {
-            if let Some(min_r) = rmq.min_right(mid, hi) {
-                if min_r <= x.right() {
-                    return true;
-                }
+    includes_with(r, s, &MinRightRmq::new(s))
+}
+
+/// [`includes`] against a range-minimum structure the caller built once
+/// for `s` — a chain like `(A ⊃ S) ⊃ S` (or a batch of queries probing the
+/// same operand) pays the O(|S| log |S|) build a single time.
+pub fn includes_with(r: &RegionSet, s: &RegionSet, rmq: &MinRightRmq) -> RegionSet {
+    r.filter(|x| includes_probe(x, s, rmq))
+}
+
+/// [`includes`] with the probe loop over `R` split across threads.
+pub fn includes_par(
+    r: &RegionSet,
+    s: &RegionSet,
+    rmq: &MinRightRmq,
+    par: &Parallelism,
+) -> RegionSet {
+    if r.is_empty() || s.is_empty() {
+        return RegionSet::new();
+    }
+    r.filter_par(par, |x| includes_probe(x, s, rmq))
+}
+
+/// Does `x` strictly include some region of `s`?
+#[inline]
+fn includes_probe(x: Region, s: &RegionSet, rmq: &MinRightRmq) -> bool {
+    // A region s with r ⊃ s must have left(s) in [left(x), right(x)].
+    // Split the index range at left(s) == left(x):
+    //  - strictly greater left: need right(s) <= right(x);
+    //  - equal left: need right(s) < right(x) (strictness).
+    let lo = s.lower_bound_left(x.left());
+    let mid = s.upper_bound_left(x.left());
+    let hi = s.upper_bound_left(x.right());
+    if mid < hi {
+        if let Some(min_r) = rmq.min_right(mid, hi) {
+            if min_r <= x.right() {
+                return true;
             }
         }
-        // Equal-left group is sorted right desc: its minimum right is last.
-        lo < mid && sv[mid - 1].right() < x.right()
-    })
+    }
+    // Equal-left group is sorted right desc: its minimum right is last.
+    lo < mid && s.as_slice()[mid - 1].right() < x.right()
+}
+
+/// Prefix maxima of right endpoints over a [`RegionSet`] (in its
+/// sorted-by-left order): the O(|S|) auxiliary structure behind `R ⊂ S`.
+/// Built once per operand and reusable across any number of probes.
+pub struct PrefixMaxRight {
+    /// `prefix[i]` = max right endpoint among the first `i` regions.
+    prefix: Vec<Pos>,
+}
+
+impl PrefixMaxRight {
+    /// Builds the prefix maxima for `s`.
+    pub fn new(s: &RegionSet) -> PrefixMaxRight {
+        let mut prefix: Vec<Pos> = Vec::with_capacity(s.len() + 1);
+        prefix.push(0);
+        let mut best = 0;
+        for reg in s.iter() {
+            best = best.max(reg.right());
+            prefix.push(best);
+        }
+        PrefixMaxRight { prefix }
+    }
+
+    /// Maximum right endpoint among the first `count` regions (0 for an
+    /// empty prefix).
+    #[inline]
+    pub fn max_right_of_first(&self, count: usize) -> Pos {
+        self.prefix[count]
+    }
 }
 
 /// Sparse-table range-minimum structure over the right endpoints of a
@@ -106,7 +189,11 @@ impl MinRightRmq {
     pub fn new(s: &RegionSet) -> MinRightRmq {
         let base: Vec<Pos> = s.iter().map(|r| r.right()).collect();
         let n = base.len();
-        let levels = if n <= 1 { 1 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let levels = if n <= 1 {
+            1
+        } else {
+            usize::BITS as usize - (n - 1).leading_zeros() as usize
+        };
         let mut table = Vec::with_capacity(levels.max(1));
         table.push(base);
         let mut k = 1usize;
@@ -236,9 +323,21 @@ mod tests {
             };
             let r = mk(&mut next);
             let s = mk(&mut next);
-            assert_eq!(includes(&r, &s), naive::includes(&r, &s), "⊃ r={r:?} s={s:?}");
-            assert_eq!(included_in(&r, &s), naive::included_in(&r, &s), "⊂ r={r:?} s={s:?}");
-            assert_eq!(precedes(&r, &s), naive::precedes(&r, &s), "< r={r:?} s={s:?}");
+            assert_eq!(
+                includes(&r, &s),
+                naive::includes(&r, &s),
+                "⊃ r={r:?} s={s:?}"
+            );
+            assert_eq!(
+                included_in(&r, &s),
+                naive::included_in(&r, &s),
+                "⊂ r={r:?} s={s:?}"
+            );
+            assert_eq!(
+                precedes(&r, &s),
+                naive::precedes(&r, &s),
+                "< r={r:?} s={s:?}"
+            );
             assert_eq!(follows(&r, &s), naive::follows(&r, &s), "> r={r:?} s={s:?}");
         }
     }

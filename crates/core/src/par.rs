@@ -1,0 +1,173 @@
+//! Chunked data-parallelism on scoped threads.
+//!
+//! The build environment carries no external crates, so instead of rayon
+//! this module provides the one primitive the operator kernels need:
+//! split an index range into near-equal chunks and map them on
+//! `std::thread::scope` workers, preserving chunk order. A [`Parallelism`]
+//! value carries the thread budget and the *sequential cutoff* — inputs
+//! smaller than the cutoff stay on the calling thread, so small sets keep
+//! the single-threaded fast path and thread spawn cost is only paid where
+//! it can be amortized.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Thread budget and sequential cutoff for intra-operator parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads (including the calling thread). `1` means
+    /// fully sequential.
+    pub threads: usize,
+    /// Minimum number of input elements before work is split. Inputs
+    /// smaller than this run sequentially regardless of `threads`.
+    pub cutoff: usize,
+}
+
+/// Default sequential cutoff: below this size, splitting a kernel across
+/// threads costs more than the work itself on typical hardware.
+pub const DEFAULT_CUTOFF: usize = 4096;
+
+impl Parallelism {
+    /// Fully sequential execution.
+    pub fn disabled() -> Parallelism {
+        Parallelism {
+            threads: 1,
+            cutoff: usize::MAX,
+        }
+    }
+
+    /// Uses up to `threads` threads (0 ⇒ all available cores) with the
+    /// given cutoff.
+    pub fn new(threads: usize, cutoff: usize) -> Parallelism {
+        let threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        Parallelism {
+            threads: threads.max(1),
+            cutoff: cutoff.max(1),
+        }
+    }
+
+    /// All available cores with the default cutoff.
+    pub fn available() -> Parallelism {
+        Parallelism::new(0, DEFAULT_CUTOFF)
+    }
+
+    /// How many chunks an input of `len` elements should split into.
+    pub fn chunks_for(&self, len: usize) -> usize {
+        if self.threads <= 1 || len < self.cutoff.saturating_mul(2) {
+            return 1;
+        }
+        self.threads.min(len / self.cutoff).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::available()
+    }
+}
+
+/// Number of hardware threads, defaulting to 1 when unknown.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into `chunks` near-equal ranges and maps each through
+/// `f`, returning results in range order. `chunks <= 1` runs inline on the
+/// calling thread; otherwise `chunks - 1` scoped threads are spawned and
+/// the calling thread takes the first range.
+pub fn map_chunks<U, F>(len: usize, chunks: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(Range<usize>) -> U + Sync,
+{
+    let ranges = split_ranges(len, chunks);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut iter = ranges.into_iter();
+    let first = iter.next().expect("at least one range");
+    let rest: Vec<Range<usize>> = iter.collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = rest
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(first));
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// `0..len` as `chunks` near-equal, in-order, non-empty ranges (fewer than
+/// `chunks` if `len` is small).
+fn split_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    let chunks = chunks.clamp(1, len);
+    (0..chunks)
+        .map(|i| (i * len / chunks)..((i + 1) * len / chunks))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_in_order() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for chunks in 1..6 {
+                let ranges = split_ranges(len, chunks);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "len {len} chunks {chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let seq: u64 = data.iter().sum();
+        for chunks in [1, 2, 3, 8] {
+            let par: u64 = map_chunks(data.len(), chunks, |r| data[r].iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn chunks_respect_cutoff() {
+        let p = Parallelism {
+            threads: 8,
+            cutoff: 100,
+        };
+        assert_eq!(p.chunks_for(50), 1, "below cutoff stays sequential");
+        assert_eq!(
+            p.chunks_for(199),
+            1,
+            "less than two cutoffs stays sequential"
+        );
+        assert!(p.chunks_for(800) >= 2);
+        assert!(p.chunks_for(10_000) <= 8);
+        assert_eq!(Parallelism::disabled().chunks_for(usize::MAX / 4), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Hash-consed query plans: expressions lowered to a shared DAG.
+//!
+//! [`eval_memo`](crate::eval::eval_memo) deduplicates repeated
+//! sub-expressions, but pays by hashing whole sub-*trees* on every memo
+//! probe. Lowering an [`Expr`] into a [`Plan`] moves that cost to a single
+//! structural pass: every distinct sub-expression becomes one
+//! [`PlanOp`] node whose children are node *ids*, so interning a node
+//! hashes O(1) words and common sub-expressions — inside one query or
+//! across a whole batch — collapse to a single node evaluated once.
+//!
+//! Nodes are appended children-first, so a plan's node order is already a
+//! topological order: the sequential executor just walks ids ascending,
+//! and the parallel executor (see [`crate::exec`]) schedules nodes as
+//! their children complete.
+
+use crate::expr::{BinOp, Expr};
+use crate::schema::NameId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Index of a node inside a [`Plan`].
+pub type NodeId = usize;
+
+/// One operator of a lowered plan. Children are [`NodeId`]s into the same
+/// plan, always smaller than the node's own id.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// A region name `R_i` — a leaf, read from the instance.
+    Name(NameId),
+    /// A selection `σ_p(child)`.
+    Select(String, NodeId),
+    /// A binary operator application.
+    Bin(BinOp, NodeId, NodeId),
+}
+
+impl PlanOp {
+    /// The node's children (0, 1, or 2 ids).
+    pub fn children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let pair = match *self {
+            PlanOp::Name(_) => [None, None],
+            PlanOp::Select(_, c) => [Some(c), None],
+            PlanOp::Bin(_, l, r) => [Some(l), Some(r)],
+        };
+        pair.into_iter().flatten()
+    }
+}
+
+/// A hash-consed DAG of [`PlanOp`] nodes, with per-node structural
+/// fingerprints (used by the engine's result cache).
+#[derive(Default, Debug)]
+pub struct Plan {
+    ops: Vec<PlanOp>,
+    fingerprints: Vec<u64>,
+    intern: HashMap<PlanOp, NodeId>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Plan {
+        Plan::default()
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no expression has been lowered yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operator of node `id`.
+    pub fn op(&self, id: NodeId) -> &PlanOp {
+        &self.ops[id]
+    }
+
+    /// All nodes in topological (children-first) order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The structural fingerprint of node `id`: equal sub-expressions get
+    /// equal fingerprints regardless of which plan or batch they were
+    /// lowered into. (Fingerprints are 64-bit hashes — callers that key
+    /// long-lived caches on them should verify with the expression itself,
+    /// as [`expr_fingerprint`] makes cross-plan equality checks cheap.)
+    pub fn fingerprint(&self, id: NodeId) -> u64 {
+        self.fingerprints[id]
+    }
+
+    /// Lowers `e`, returning the root's node id. Shared sub-expressions —
+    /// within `e` or with anything lowered into this plan earlier — are
+    /// reused, not re-added.
+    pub fn lower(&mut self, e: &Expr) -> NodeId {
+        match e {
+            Expr::Name(id) => self.intern_op(PlanOp::Name(*id)),
+            Expr::Select(p, inner) => {
+                let c = self.lower(inner);
+                self.intern_op(PlanOp::Select(p.clone(), c))
+            }
+            Expr::Bin(op, l, r) => {
+                let lc = self.lower(l);
+                let rc = self.lower(r);
+                self.intern_op(PlanOp::Bin(*op, lc, rc))
+            }
+        }
+    }
+
+    /// Lowers a batch of expressions into one shared plan, returning the
+    /// root id of each. Sub-expressions shared *across* queries are
+    /// deduplicated exactly like sub-expressions within one query.
+    pub fn lower_batch<'e>(&mut self, exprs: impl IntoIterator<Item = &'e Expr>) -> Vec<NodeId> {
+        exprs.into_iter().map(|e| self.lower(e)).collect()
+    }
+
+    /// Interns `op`, appending a node only if it is new.
+    fn intern_op(&mut self, op: PlanOp) -> NodeId {
+        if let Some(&id) = self.intern.get(&op) {
+            return id;
+        }
+        let id = self.ops.len();
+        let fp = self.fingerprint_op(&op);
+        self.ops.push(op.clone());
+        self.fingerprints.push(fp);
+        self.intern.insert(op, id);
+        id
+    }
+
+    /// Structural fingerprint of `op` given its children's fingerprints.
+    fn fingerprint_op(&self, op: &PlanOp) -> u64 {
+        let mut h = DefaultHasher::new();
+        match op {
+            PlanOp::Name(id) => {
+                0u8.hash(&mut h);
+                id.hash(&mut h);
+            }
+            PlanOp::Select(p, c) => {
+                1u8.hash(&mut h);
+                p.hash(&mut h);
+                self.fingerprints[*c].hash(&mut h);
+            }
+            PlanOp::Bin(b, l, r) => {
+                2u8.hash(&mut h);
+                b.hash(&mut h);
+                self.fingerprints[*l].hash(&mut h);
+                self.fingerprints[*r].hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// For every node, the ids of the nodes that consume it (with
+    /// multiplicity — `e op e` lists the parent twice under `e`). Used by
+    /// the wave scheduler to propagate readiness.
+    pub fn parents(&self) -> Vec<Vec<NodeId>> {
+        let mut parents = vec![Vec::new(); self.ops.len()];
+        for (id, op) in self.ops.iter().enumerate() {
+            for c in op.children() {
+                parents[c].push(id);
+            }
+        }
+        parents
+    }
+}
+
+/// The structural fingerprint of an expression without building a plan —
+/// identical to the fingerprint its lowered node would get. The engine's
+/// result cache uses this to probe for hits before lowering anything.
+pub fn expr_fingerprint(e: &Expr) -> u64 {
+    fn go(e: &Expr, memo: &mut HashMap<*const Expr, u64>) -> u64 {
+        // Memoized on node address only as a within-call optimization;
+        // correctness comes from the structural hash below.
+        if let Some(&fp) = memo.get(&(e as *const Expr)) {
+            return fp;
+        }
+        let mut h = DefaultHasher::new();
+        let fp = match e {
+            Expr::Name(id) => {
+                0u8.hash(&mut h);
+                id.hash(&mut h);
+                h.finish()
+            }
+            Expr::Select(p, inner) => {
+                let c = go(inner, memo);
+                1u8.hash(&mut h);
+                p.hash(&mut h);
+                c.hash(&mut h);
+                h.finish()
+            }
+            Expr::Bin(op, l, r) => {
+                let lc = go(l, memo);
+                let rc = go(r, memo);
+                2u8.hash(&mut h);
+                op.hash(&mut h);
+                lc.hash(&mut h);
+                rc.hash(&mut h);
+                h.finish()
+            }
+        };
+        memo.insert(e as *const Expr, fp);
+        fp
+    }
+    go(e, &mut HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> (Expr, Expr) {
+        (
+            Expr::name(NameId::from_index(0)),
+            Expr::name(NameId::from_index(1)),
+        )
+    }
+
+    #[test]
+    fn lowering_is_topological_and_deduplicated() {
+        let (a, b) = names();
+        // shared = A ⊂ B appears three times but must be one node.
+        let shared = a.clone().included_in(b.clone());
+        let e = shared
+            .clone()
+            .union(shared.clone().intersect(shared.clone()));
+        let mut plan = Plan::new();
+        let root = plan.lower(&e);
+        // Distinct sub-expressions: A, B, A⊂B, (A⊂B)∩(A⊂B), root.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(root, plan.len() - 1);
+        for (id, op) in plan.ops().iter().enumerate() {
+            for c in op.children() {
+                assert!(c < id, "children precede parents");
+            }
+        }
+        // The tree has 5 binary ops; the DAG collapses them to 3 (plus 2 leaves).
+        assert_eq!(e.num_ops(), 5);
+    }
+
+    #[test]
+    fn batch_lowering_shares_across_queries() {
+        let (a, b) = names();
+        let q1 = a.clone().included_in(b.clone());
+        let q2 = a.clone().included_in(b.clone()).select("x");
+        let q3 = b.clone().union(a.clone().included_in(b.clone()));
+        let mut plan = Plan::new();
+        let roots = plan.lower_batch([&q1, &q2, &q3]);
+        assert_eq!(roots.len(), 3);
+        // Nodes: A, B, A⊂B, σx(A⊂B), B∪(A⊂B) — the shared chain counted once.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(roots[0], 2);
+        // Lowering the same query again returns the same root.
+        assert_eq!(plan.lower(&q1), roots[0]);
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn fingerprints_are_structural() {
+        let (a, b) = names();
+        let q = a.clone().included_in(b.clone());
+        let mut p1 = Plan::new();
+        let r1 = p1.lower(&q);
+        let mut p2 = Plan::new();
+        p2.lower(&b.clone().union(a.clone())); // unrelated prefix
+        let r2 = p2.lower(&q);
+        assert_eq!(
+            p1.fingerprint(r1),
+            p2.fingerprint(r2),
+            "same expr, same fingerprint"
+        );
+        assert_eq!(expr_fingerprint(&q), p1.fingerprint(r1), "expr path agrees");
+        assert_ne!(
+            expr_fingerprint(&a.clone().included_in(b.clone()).select("x")),
+            expr_fingerprint(&a.clone().included_in(b.clone()).select("y")),
+            "patterns distinguish selections"
+        );
+        assert_ne!(
+            expr_fingerprint(&a.clone().before(b.clone())),
+            expr_fingerprint(&b.before(a)),
+            "operand order matters"
+        );
+    }
+
+    #[test]
+    fn parents_with_multiplicity() {
+        let (a, _) = names();
+        let e = a.clone().union(a.clone()); // A ∪ A: parent listed twice under A
+        let mut plan = Plan::new();
+        let root = plan.lower(&e);
+        let parents = plan.parents();
+        assert_eq!(parents[0], vec![root, root]);
+        assert!(parents[root].is_empty());
+    }
+}

@@ -106,10 +106,7 @@ impl Region {
     /// configuration.
     #[inline]
     pub fn hierarchical_with(self, other: Region) -> bool {
-        self.disjoint(other)
-            || self == other
-            || self.includes(other)
-            || other.includes(self)
+        self.disjoint(other) || self == other || self.includes(other) || other.includes(self)
     }
 
     /// True if `pos` falls inside the region.
@@ -168,7 +165,10 @@ mod tests {
         assert!(r.includes(region(1, 9)));
         assert!(r.includes(region(0, 9)));
         assert!(r.includes(region(1, 10)));
-        assert!(!r.includes(region(0, 10)), "a region does not include itself");
+        assert!(
+            !r.includes(region(0, 10)),
+            "a region does not include itself"
+        );
         assert!(!r.includes(region(0, 11)));
         assert!(!r.includes(region(5, 11)));
         assert!(region(1, 9).included_in(r));
@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn precedence_requires_gap_free_order() {
         assert!(region(0, 3).precedes(region(4, 9)));
-        assert!(!region(0, 4).precedes(region(4, 9)), "touching endpoints do not precede");
+        assert!(
+            !region(0, 4).precedes(region(4, 9)),
+            "touching endpoints do not precede"
+        );
         assert!(region(4, 9).follows(region(0, 3)));
         assert!(!region(0, 3).follows(region(4, 9)));
     }
@@ -195,14 +198,20 @@ mod tests {
         assert!(region(0, 9).hierarchical_with(region(2, 5)));
         assert!(region(0, 3).hierarchical_with(region(4, 9)));
         assert!(region(0, 5).hierarchical_with(region(0, 5)));
-        assert!(!region(0, 5).hierarchical_with(region(3, 9)), "partial overlap");
+        assert!(
+            !region(0, 5).hierarchical_with(region(3, 9)),
+            "partial overlap"
+        );
     }
 
     #[test]
     fn ordering_puts_parents_first() {
         let mut v = vec![region(2, 3), region(0, 9), region(0, 4), region(2, 8)];
         v.sort();
-        assert_eq!(v, vec![region(0, 9), region(0, 4), region(2, 8), region(2, 3)]);
+        assert_eq!(
+            v,
+            vec![region(0, 9), region(0, 4), region(2, 8), region(2, 3)]
+        );
     }
 
     #[test]

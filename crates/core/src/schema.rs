@@ -49,7 +49,10 @@ impl Schema {
                 "duplicate region name {n:?} in schema"
             );
         }
-        assert!(names.len() <= u16::MAX as usize + 1, "too many region names");
+        assert!(
+            names.len() <= u16::MAX as usize + 1,
+            "too many region names"
+        );
         Schema { names }
     }
 

@@ -5,7 +5,13 @@
 //! `RegionSet`s; keeping them sorted lets every operator run as a linear
 //! merge or a sweep with O(1)/O(log n) per-element probes (see
 //! [`crate::ops`]).
+//!
+//! The minimum right endpoint is cached at construction and maintained
+//! through `insert`/`remove`, so the `follows` operator's probe is O(1)
+//! instead of a full scan. The set operators also come in `_par` variants
+//! that split large merges across scoped threads (see [`crate::par`]).
 
+use crate::par::{self, Parallelism};
 use crate::region::{Pos, Region};
 use std::fmt;
 
@@ -13,38 +19,64 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Default, Hash)]
 pub struct RegionSet {
     regions: Vec<Region>,
+    /// Cached minimum right endpoint (`None` iff the set is empty).
+    min_right: Option<Pos>,
+}
+
+/// The cached minimum right endpoint of a sorted region slice.
+fn min_right_of(regions: &[Region]) -> Option<Pos> {
+    regions.iter().map(|r| r.right()).min()
 }
 
 impl RegionSet {
     /// The empty set.
     #[inline]
     pub fn new() -> RegionSet {
-        RegionSet { regions: Vec::new() }
+        RegionSet {
+            regions: Vec::new(),
+            min_right: None,
+        }
     }
 
     /// The empty set, with room for `cap` regions.
     #[inline]
     pub fn with_capacity(cap: usize) -> RegionSet {
-        RegionSet { regions: Vec::with_capacity(cap) }
+        RegionSet {
+            regions: Vec::with_capacity(cap),
+            min_right: None,
+        }
+    }
+
+    /// Wraps a vector that already satisfies the order invariant,
+    /// computing the cached extremum.
+    fn from_invariant_vec(regions: Vec<Region>) -> RegionSet {
+        let min_right = min_right_of(&regions);
+        RegionSet { regions, min_right }
     }
 
     /// Builds a set from arbitrary regions, sorting and deduplicating.
     pub fn from_regions(mut regions: Vec<Region>) -> RegionSet {
         regions.sort_unstable();
         regions.dedup();
-        RegionSet { regions }
+        RegionSet::from_invariant_vec(regions)
     }
 
     /// Builds a set from a vector the caller promises is already sorted by
     /// `(left asc, right desc)` and duplicate-free. Checked in debug builds.
     pub fn from_sorted(regions: Vec<Region>) -> RegionSet {
-        debug_assert!(regions.windows(2).all(|w| w[0] < w[1]), "regions not sorted/deduped");
-        RegionSet { regions }
+        debug_assert!(
+            regions.windows(2).all(|w| w[0] < w[1]),
+            "regions not sorted/deduped"
+        );
+        RegionSet::from_invariant_vec(regions)
     }
 
     /// Singleton set.
     pub fn singleton(r: Region) -> RegionSet {
-        RegionSet { regions: vec![r] }
+        RegionSet {
+            regions: vec![r],
+            min_right: Some(r.right()),
+        }
     }
 
     /// Number of regions in the set.
@@ -83,6 +115,10 @@ impl RegionSet {
             Ok(_) => false,
             Err(i) => {
                 self.regions.insert(i, r);
+                self.min_right = Some(match self.min_right {
+                    Some(m) => m.min(r.right()),
+                    None => r.right(),
+                });
                 true
             }
         }
@@ -93,6 +129,10 @@ impl RegionSet {
         match self.regions.binary_search(&r) {
             Ok(i) => {
                 self.regions.remove(i);
+                if self.min_right == Some(r.right()) {
+                    // The removed region may have carried the extremum.
+                    self.min_right = min_right_of(&self.regions);
+                }
                 true
             }
             Err(_) => false,
@@ -101,70 +141,91 @@ impl RegionSet {
 
     /// Set union (linear merge).
     pub fn union(&self, other: &RegionSet) -> RegionSet {
-        let (a, b) = (&self.regions, &other.regions);
-        let mut out = Vec::with_capacity(a.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        RegionSet { regions: out }
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        merge_union(&self.regions, &other.regions, &mut out);
+        RegionSet::from_invariant_vec(out)
     }
 
     /// Set intersection (linear merge).
     pub fn intersect(&self, other: &RegionSet) -> RegionSet {
-        let (a, b) = (&self.regions, &other.regions);
-        let mut out = Vec::with_capacity(a.len().min(b.len()));
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        RegionSet { regions: out }
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        merge_intersect(&self.regions, &other.regions, &mut out);
+        RegionSet::from_invariant_vec(out)
     }
 
     /// Set difference `self − other` (linear merge).
     pub fn difference(&self, other: &RegionSet) -> RegionSet {
-        let (a, b) = (&self.regions, &other.regions);
-        let mut out = Vec::with_capacity(a.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    i += 1;
-                    j += 1;
-                }
-            }
+        let mut out = Vec::with_capacity(self.len());
+        merge_difference(&self.regions, &other.regions, &mut out);
+        RegionSet::from_invariant_vec(out)
+    }
+
+    /// [`RegionSet::union`] with the merge split across threads for large
+    /// inputs (identical results).
+    pub fn union_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        self.merge_par(other, par, merge_union)
+    }
+
+    /// [`RegionSet::intersect`] with the merge split across threads for
+    /// large inputs (identical results).
+    pub fn intersect_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        self.merge_par(other, par, merge_intersect)
+    }
+
+    /// [`RegionSet::difference`] with the merge split across threads for
+    /// large inputs (identical results).
+    pub fn difference_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        self.merge_par(other, par, merge_difference)
+    }
+
+    /// Runs a two-pointer merge kernel over aligned chunks of both sets.
+    ///
+    /// Both inputs are partitioned at the same pivot *values* (drawn
+    /// evenly from `self`), so each chunk pair covers one key interval and
+    /// the concatenated chunk outputs equal the sequential merge.
+    fn merge_par(
+        &self,
+        other: &RegionSet,
+        par: &Parallelism,
+        kernel: fn(&[Region], &[Region], &mut Vec<Region>),
+    ) -> RegionSet {
+        let (a, b) = (&self.regions[..], &other.regions[..]);
+        let chunks = par.chunks_for(a.len() + b.len());
+        if chunks <= 1 {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            kernel(a, b, &mut out);
+            return RegionSet::from_invariant_vec(out);
         }
-        out.extend_from_slice(&a[i..]);
-        RegionSet { regions: out }
+        // Pivot values come from the longer input (guaranteed non-empty
+        // here); both sides are partitioned at the same values, so the
+        // chunk pairs cover aligned key intervals.
+        let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(chunks + 1);
+        bounds.push((0, 0));
+        for i in 1..chunks {
+            let (ai, bi) = if a.len() >= b.len() {
+                let ai = i * a.len() / chunks;
+                (ai, b.partition_point(|x| *x < a[ai]))
+            } else {
+                let bi = i * b.len() / chunks;
+                (a.partition_point(|x| *x < b[bi]), bi)
+            };
+            bounds.push((ai, bi));
+        }
+        bounds.push((a.len(), b.len()));
+        let pieces = par::map_chunks(chunks, chunks, |r| {
+            let mut out = Vec::new();
+            for i in r {
+                let (alo, blo) = bounds[i];
+                let (ahi, bhi) = bounds[i + 1];
+                kernel(&a[alo..ahi], &b[blo..bhi], &mut out);
+            }
+            out
+        });
+        let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+        for piece in pieces {
+            out.extend_from_slice(&piece);
+        }
+        RegionSet::from_invariant_vec(out)
     }
 
     /// True if `self` and `other` contain exactly the same regions.
@@ -172,24 +233,58 @@ impl RegionSet {
         self.regions == other.regions
     }
 
-    /// True if every region of `self` is in `other`.
+    /// True if every region of `self` is in `other` (linear merge over
+    /// both sorted sets).
     pub fn is_subset(&self, other: &RegionSet) -> bool {
         if self.len() > other.len() {
             return false;
         }
-        self.iter().all(|r| other.contains(r))
+        let (a, b) = (&self.regions, &other.regions);
+        let mut j = 0;
+        for r in a {
+            while j < b.len() && b[j] < *r {
+                j += 1;
+            }
+            if j == b.len() || b[j] != *r {
+                return false;
+            }
+            j += 1;
+        }
+        true
     }
 
     /// Keeps only the regions satisfying `pred`.
     pub fn retain(&mut self, mut pred: impl FnMut(Region) -> bool) {
         self.regions.retain(|r| pred(*r));
+        self.min_right = min_right_of(&self.regions);
     }
 
     /// Returns the set of regions satisfying `pred`.
     pub fn filter(&self, mut pred: impl FnMut(Region) -> bool) -> RegionSet {
-        RegionSet {
-            regions: self.iter().filter(|r| pred(*r)).collect(),
+        RegionSet::from_invariant_vec(self.iter().filter(|r| pred(*r)).collect())
+    }
+
+    /// [`RegionSet::filter`] with the scan split across threads for large
+    /// inputs. The predicate must be pure — chunk boundaries are not
+    /// observable in the result.
+    pub fn filter_par(&self, par: &Parallelism, pred: impl Fn(Region) -> bool + Sync) -> RegionSet {
+        let chunks = par.chunks_for(self.len());
+        if chunks <= 1 {
+            return self.filter(pred);
         }
+        let slice = &self.regions;
+        let pieces = par::map_chunks(slice.len(), chunks, |r| {
+            slice[r]
+                .iter()
+                .copied()
+                .filter(|x| pred(*x))
+                .collect::<Vec<Region>>()
+        });
+        let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+        for piece in pieces {
+            out.extend_from_slice(&piece);
+        }
+        RegionSet::from_invariant_vec(out)
     }
 
     /// Largest left endpoint, if any. Used by the `precedes` operator.
@@ -199,8 +294,10 @@ impl RegionSet {
     }
 
     /// Smallest right endpoint, if any. Used by the `follows` operator.
+    /// O(1): cached at construction and maintained by `insert`/`remove`.
+    #[inline]
     pub fn min_right(&self) -> Option<Pos> {
-        self.regions.iter().map(|r| r.right()).min()
+        self.min_right
     }
 
     /// Index of the first region with `left >= pos` (lower bound on left).
@@ -212,6 +309,65 @@ impl RegionSet {
     pub fn upper_bound_left(&self, pos: Pos) -> usize {
         self.regions.partition_point(|r| r.left() <= pos)
     }
+}
+
+/// Two-pointer union of sorted slices, appended to `out`.
+fn merge_union(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Two-pointer intersection of sorted slices, appended to `out`.
+fn merge_intersect(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Two-pointer difference `a − b` of sorted slices, appended to `out`.
+fn merge_difference(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
 }
 
 impl FromIterator<Region> for RegionSet {
@@ -300,12 +456,42 @@ mod tests {
     }
 
     #[test]
+    fn min_right_maintained_through_mutation() {
+        let mut s = RegionSet::new();
+        assert_eq!(s.min_right(), None);
+        s.insert(region(0, 9));
+        assert_eq!(s.min_right(), Some(9));
+        s.insert(region(2, 3));
+        assert_eq!(s.min_right(), Some(3));
+        s.insert(region(5, 12));
+        assert_eq!(s.min_right(), Some(3));
+        // Removing the extremum recomputes it; removing others keeps it.
+        s.remove(region(2, 3));
+        assert_eq!(s.min_right(), Some(9));
+        s.remove(region(5, 12));
+        assert_eq!(s.min_right(), Some(9));
+        s.remove(region(0, 9));
+        assert_eq!(s.min_right(), None);
+        // Every derived-set path recomputes the cache.
+        let t = set(&[(0, 9), (2, 3), (5, 12)]);
+        assert_eq!(t.filter(|r| r.right() != 3).min_right(), Some(9));
+        assert_eq!(t.difference(&set(&[(2, 3)])).min_right(), Some(9));
+        let mut u = t.clone();
+        u.retain(|r| r.left() >= 2);
+        assert_eq!(u.min_right(), Some(3));
+    }
+
+    #[test]
     fn subset() {
         let a = set(&[(0, 9), (2, 3)]);
         let b = set(&[(0, 9), (2, 3), (5, 6)]);
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
         assert!(RegionSet::new().is_subset(&a));
+        // Same lengths, different elements.
+        assert!(!set(&[(0, 9), (4, 5)]).is_subset(&set(&[(0, 9), (5, 6)])));
+        // Merge must not be confused by interleaving.
+        assert!(set(&[(2, 3), (7, 8)]).is_subset(&set(&[(0, 9), (2, 3), (5, 6), (7, 8)])));
     }
 
     #[test]
@@ -315,5 +501,50 @@ mod tests {
         assert_eq!(s.upper_bound_left(2), 3);
         assert_eq!(s.lower_bound_left(10), 4);
         assert_eq!(s.upper_bound_left(0), 1);
+    }
+
+    #[test]
+    fn parallel_merges_match_sequential() {
+        // Deterministic pseudo-random workloads large enough to split.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let par = Parallelism {
+            threads: 4,
+            cutoff: 64,
+        };
+        for _ in 0..8 {
+            let mk = |next: &mut dyn FnMut() -> u64, n: usize| {
+                RegionSet::from_regions(
+                    (0..n)
+                        .map(|_| {
+                            let l = (next() % 5_000) as Pos;
+                            region(l, l + (next() % 40) as Pos)
+                        })
+                        .collect(),
+                )
+            };
+            let a = mk(&mut next, 700);
+            let b = mk(&mut next, 900);
+            assert_eq!(a.union_par(&b, &par), a.union(&b));
+            assert_eq!(a.intersect_par(&b, &par), a.intersect(&b));
+            assert_eq!(a.difference_par(&b, &par), a.difference(&b));
+            assert_eq!(b.difference_par(&a, &par), b.difference(&a));
+            assert_eq!(
+                a.filter_par(&par, |r| r.left() % 3 == 0),
+                a.filter(|r| r.left() % 3 == 0)
+            );
+        }
+        // Degenerate shapes: empty sides and all-equal sets.
+        let empty = RegionSet::new();
+        let a = set(&[(0, 9), (2, 3)]);
+        assert_eq!(a.union_par(&empty, &par), a);
+        assert_eq!(empty.union_par(&a, &par), a);
+        assert_eq!(a.intersect_par(&a, &par), a);
+        assert_eq!(a.difference_par(&a, &par), empty);
     }
 }

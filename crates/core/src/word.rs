@@ -182,8 +182,14 @@ mod tests {
         w.add_occurrence("var", 10, 3); // covers 10..=12
         assert!(w.matches(region(0, 20), "var"));
         assert!(w.matches(region(10, 12), "var"), "exact fit");
-        assert!(!w.matches(region(0, 11), "var"), "occurrence truncated on the right");
-        assert!(!w.matches(region(11, 20), "var"), "occurrence truncated on the left");
+        assert!(
+            !w.matches(region(0, 11), "var"),
+            "occurrence truncated on the right"
+        );
+        assert!(
+            !w.matches(region(11, 20), "var"),
+            "occurrence truncated on the left"
+        );
         assert!(!w.matches(region(0, 20), "other"));
     }
 

@@ -101,7 +101,10 @@ pub fn both_included_expr(r: &Expr, s: &Expr, t: &Expr, width: usize) -> Expr {
     rank_ge.push(u.clone());
     for i in 1..width {
         let prev = rank_ge[i - 1].clone();
-        rank_ge.push(u.clone().intersect(Expr::bin(BinOp::After, u.clone(), prev)));
+        rank_ge.push(
+            u.clone()
+                .intersect(Expr::bin(BinOp::After, u.clone(), prev)),
+        );
     }
     // exact rank i (1-based) = rank_ge[i-1] − rank_ge[i] (or rank_ge[w-1] for i = w).
     let exact = |i: usize| -> Expr {

@@ -104,7 +104,11 @@ impl PrefixMinRight {
         while (1 << k) <= n {
             let half = 1 << (k - 1);
             let prev = &table[k - 1];
-            table.push((0..=n - (1 << k)).map(|i| prev[i].min(prev[i + half])).collect());
+            table.push(
+                (0..=n - (1 << k))
+                    .map(|i| prev[i].min(prev[i + half]))
+                    .collect(),
+            );
             k += 1;
         }
         PrefixMinRight { table }
@@ -124,39 +128,28 @@ pub mod naive {
     use super::*;
 
     /// `R ⊃_d S` by the set-builder definition.
-    pub fn directly_including<W>(
-        inst: &Instance<W>,
-        r: &RegionSet,
-        s: &RegionSet,
-    ) -> RegionSet {
+    pub fn directly_including<W>(inst: &Instance<W>, r: &RegionSet, s: &RegionSet) -> RegionSet {
         let all = inst.all_regions();
         r.filter(|x| {
-            s.iter().any(|y| {
-                x.includes(y) && !all.iter().any(|t| x.includes(t) && t.includes(y))
-            })
+            s.iter()
+                .any(|y| x.includes(y) && !all.iter().any(|t| x.includes(t) && t.includes(y)))
         })
     }
 
     /// `R ⊂_d S` by the set-builder definition.
-    pub fn directly_included<W>(
-        inst: &Instance<W>,
-        r: &RegionSet,
-        s: &RegionSet,
-    ) -> RegionSet {
+    pub fn directly_included<W>(inst: &Instance<W>, r: &RegionSet, s: &RegionSet) -> RegionSet {
         let all = inst.all_regions();
         r.filter(|x| {
-            s.iter().any(|y| {
-                y.includes(x) && !all.iter().any(|t| y.includes(t) && t.includes(x))
-            })
+            s.iter()
+                .any(|y| y.includes(x) && !all.iter().any(|t| y.includes(t) && t.includes(x)))
         })
     }
 
     /// `R BI (S, T)` by the set-builder definition.
     pub fn both_included(r: &RegionSet, s: &RegionSet, t: &RegionSet) -> RegionSet {
         r.filter(|x| {
-            s.iter().any(|y| {
-                x.includes(y) && t.iter().any(|z| x.includes(z) && y.precedes(z))
-            })
+            s.iter()
+                .any(|y| x.includes(y) && t.iter().any(|z| x.includes(z) && y.precedes(z)))
         })
     }
 }
@@ -276,7 +269,9 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let inst = InstanceBuilder::new(schema()).add("A", region(0, 5)).build_valid();
+        let inst = InstanceBuilder::new(schema())
+            .add("A", region(0, 5))
+            .build_valid();
         let a = inst.regions_of_name("A");
         let empty = RegionSet::new();
         assert!(directly_including(&inst, a, &empty).is_empty());

@@ -18,11 +18,7 @@ use tr_core::{BinOp, Expr, Instance, NameId, RegionSet, Schema};
 /// Calls `f` on every pattern-free expression with exactly `ops`
 /// operations over `schema`'s names. `f` returning `true` stops the
 /// enumeration (and makes this function return `true`).
-pub fn for_each_expr(
-    schema: &Schema,
-    ops: usize,
-    f: &mut dyn FnMut(&Expr) -> bool,
-) -> bool {
+pub fn for_each_expr(schema: &Schema, ops: usize, f: &mut dyn FnMut(&Expr) -> bool) -> bool {
     let names: Vec<NameId> = schema.ids().collect();
     let mut e = Enumerator { names: &names, f };
     e.go(ops, &mut |s, expr| (s.f)(&expr))
@@ -115,7 +111,11 @@ pub fn sweep(schema: &Schema, ops: usize, probes: &[Probe]) -> SweepResult {
         }
         false
     });
-    SweepResult { ops, checked, matching }
+    SweepResult {
+        ops,
+        checked,
+        matching,
+    }
 }
 
 /// The probe family refuting `B ⊃_d A` (Theorem 5.1 / Figure 2):
@@ -131,7 +131,10 @@ pub fn direct_inclusion_probes(depths: &[usize]) -> Vec<Probe> {
         let inst = tr_markup::figure_2_instance(d);
         let expected =
             crate::direct::directly_including(&inst, inst.regions_of(b), inst.regions_of(a));
-        probes.push(Probe { instance: inst.clone(), expected });
+        probes.push(Probe {
+            instance: inst.clone(),
+            expected,
+        });
         // Delete one interior A level: the B above it stops directly
         // including an A.
         let chain = tr_markup::figure_2_chain(d);
@@ -143,7 +146,10 @@ pub fn direct_inclusion_probes(depths: &[usize]) -> Vec<Probe> {
                     smaller.regions_of(b),
                     smaller.regions_of(a),
                 );
-                probes.push(Probe { instance: smaller, expected });
+                probes.push(Probe {
+                    instance: smaller,
+                    expected,
+                });
             }
         }
     }
@@ -168,8 +174,14 @@ pub fn both_included_probes(ks: &[usize]) -> Vec<Probe> {
             reduced.regions_of_name("B"),
             reduced.regions_of_name("A"),
         );
-        probes.push(Probe { instance: inst, expected });
-        probes.push(Probe { instance: reduced, expected: reduced_expected });
+        probes.push(Probe {
+            instance: inst,
+            expected,
+        });
+        probes.push(Probe {
+            instance: reduced,
+            expected: reduced_expected,
+        });
     }
     probes
 }
@@ -249,8 +261,14 @@ mod tests {
         let (b, a) = (schema.expect_id("B"), schema.expect_id("A"));
         let inst = tr_markup::figure_2_instance(6);
         let expected = tr_core::ops::includes(inst.regions_of(b), inst.regions_of(a));
-        let probes = vec![Probe { instance: inst, expected }];
+        let probes = vec![Probe {
+            instance: inst,
+            expected,
+        }];
         let result = sweep(&schema, 1, &probes);
-        assert!(result.matching >= 1, "B ⊃ A is among the size-1 expressions");
+        assert!(
+            result.matching >= 1,
+            "B ⊃ A is among the size-1 expressions"
+        );
     }
 }

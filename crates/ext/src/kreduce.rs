@@ -47,8 +47,7 @@ pub fn apply_reductions<W: WordIndex + Clone>(
     patterns: &[&str],
 ) -> Option<(Instance<W>, BTreeMap<Region, Region>)> {
     let mut current = inst.clone();
-    let mut h: BTreeMap<Region, Region> =
-        inst.all_regions().iter().map(|r| (r, r)).collect();
+    let mut h: BTreeMap<Region, Region> = inst.all_regions().iter().map(|r| (r, r)).collect();
     for &(r1, r2) in steps {
         let next = reduce(&current, r1, r2, patterns)?;
         for image in h.values_mut() {
@@ -83,7 +82,7 @@ pub fn verify_k_reduced<W: WordIndex + Clone>(
     for j in 0..applied.len() - 1 {
         let (reduced, h_k) = &applied[j]; // the deeper (k-level) version I'
         let (_, h_km1) = &applied[j + 1]; // its (k−1)-reduced companion I''
-        // h_{k−1}-classes over the original regions.
+                                          // h_{k−1}-classes over the original regions.
         let mut classes: BTreeMap<Region, Vec<Region>> = BTreeMap::new();
         for &r in &originals {
             classes.entry(h_km1[&r]).or_default().push(r);
@@ -183,10 +182,7 @@ mod tests {
         // unrelated* pair (first C onto second C) — classes don't line up.
         let first_c = cs.iter().next().unwrap();
         let second_c = cs.iter().nth(1).unwrap();
-        let levels = vec![
-            vec![(h.middle_c, next_c)],
-            vec![(first_c, second_c)],
-        ];
+        let levels = vec![vec![(h.middle_c, next_c)], vec![(first_c, second_c)]];
         assert!(!verify_k_reduced(&inst, &levels, &[]));
         // And an empty certificate is rejected outright.
         assert!(!verify_k_reduced(&inst, &[], &[]));

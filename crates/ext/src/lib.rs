@@ -21,20 +21,22 @@
 
 pub mod bounded;
 pub mod deletion;
-pub mod kreduce;
 pub mod direct;
 pub mod enumerate;
+pub mod kreduce;
 pub mod program;
 pub mod reduce;
 
-pub use bounded::{all_names_expr, both_included_expr, direct_included_expr, direct_including_expr};
+pub use bounded::{
+    all_names_expr, both_included_expr, direct_included_expr, direct_including_expr,
+};
 pub use deletion::{check_deletion_invariance, deletion_core};
 pub use direct::{both_included, directly_included, directly_including};
-pub use kreduce::{apply_reductions, verify_k_reduced, ReduceStep};
 pub use enumerate::{
     both_included_probes, count_exprs, direct_inclusion_probes, for_each_expr, sweep, Probe,
     SweepResult,
 };
+pub use kreduce::{apply_reductions, verify_k_reduced, ReduceStep};
 pub use program::{
     direct_chain_program, direct_chain_program_filtered, direct_included_program,
     direct_including_program,

@@ -50,11 +50,7 @@ pub fn direct_including_program<W>(
 /// `R_1 ⊂_d R_2` by the symmetric program (the paper notes "a similar
 /// program can be used"): peel layers of `R_2` (the would-be parents) and
 /// keep the `R_1` regions with no region between them and a parent layer.
-pub fn direct_included_program<W>(
-    inst: &Instance<W>,
-    r1: &RegionSet,
-    r2: &RegionSet,
-) -> RegionSet {
+pub fn direct_included_program<W>(inst: &Instance<W>, r1: &RegionSet, r2: &RegionSet) -> RegionSet {
     let all = inst.all_regions();
     let mut layer = r2.difference(&ops::included_in(r2, r2));
     let mut rest = r2.difference(&layer);
@@ -204,7 +200,10 @@ mod tests {
             .build_valid();
         let a = inst.regions_of_name("A").clone();
         let b = inst.regions_of_name("B").clone();
-        assert_eq!(direct_including_program(&inst, &a, &b).as_slice(), &[region(2, 18)]);
+        assert_eq!(
+            direct_including_program(&inst, &a, &b).as_slice(),
+            &[region(2, 18)]
+        );
     }
 
     /// The chain program agrees with composing the native operator
@@ -217,7 +216,12 @@ mod tests {
             vec![s.expect_id("A"), s.expect_id("B")],
             vec![s.expect_id("A"), s.expect_id("B"), s.expect_id("C")],
             vec![s.expect_id("A"), s.expect_id("A"), s.expect_id("B")],
-            vec![s.expect_id("C"), s.expect_id("B"), s.expect_id("B"), s.expect_id("A")],
+            vec![
+                s.expect_id("C"),
+                s.expect_id("B"),
+                s.expect_id("B"),
+                s.expect_id("A"),
+            ],
         ];
         for _ in 0..40 {
             let inst = random_instance(&mut rng);
@@ -253,7 +257,10 @@ mod tests {
         for _ in 0..20 {
             let inst = random_instance(&mut rng);
             let full = direct_chain_program(&inst, &chain);
-            assert_eq!(direct_chain_program_filtered(&inst, &chain, &keep_full), full);
+            assert_eq!(
+                direct_chain_program_filtered(&inst, &chain, &keep_full),
+                full
+            );
         }
         // …and the unsound pruning (dropping C) must actually differ on a
         // witness instance, demonstrating why the minimal set matters.
@@ -266,7 +273,11 @@ mod tests {
         assert!(full.is_empty(), "C blocks directness");
         let pruned =
             direct_chain_program_filtered(&inst, &chain, &[s.expect_id("A"), s.expect_id("B")]);
-        assert_eq!(pruned.as_slice(), &[region(0, 10)], "dropping C loses the blocker");
+        assert_eq!(
+            pruned.as_slice(),
+            &[region(0, 10)],
+            "dropping C loses the blocker"
+        );
     }
 
     #[test]
@@ -280,7 +291,10 @@ mod tests {
             .add("B", region(1, 19))
             .add("C", region(3, 4))
             .build_valid();
-        assert_eq!(direct_chain_program(&inst, &chain).as_slice(), &[region(0, 20)]);
+        assert_eq!(
+            direct_chain_program(&inst, &chain).as_slice(),
+            &[region(0, 20)]
+        );
         // …but a second B nested inside the first breaks directness.
         let inst2 = InstanceBuilder::new(schema())
             .add("A", region(0, 20))
@@ -303,7 +317,10 @@ mod tests {
             .add("B", region(5, 6))
             .build_valid();
         // A ⊃_d A ⊃_d B holds for the outer A.
-        assert_eq!(direct_chain_program(&inst, &chain).as_slice(), &[region(0, 30)]);
+        assert_eq!(
+            direct_chain_program(&inst, &chain).as_slice(),
+            &[region(0, 30)]
+        );
         // Inserting a C between the two As breaks the first link.
         let inst2 = InstanceBuilder::new(schema())
             .add("A", region(0, 30))

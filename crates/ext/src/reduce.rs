@@ -62,9 +62,9 @@ fn labels_match<W: WordIndex>(
     patterns: &[&str],
 ) -> bool {
     a.1 == b.1
-        && patterns.iter().all(|p| {
-            inst.word_index().matches(a.0, p) == inst.word_index().matches(b.0, p)
-        })
+        && patterns
+            .iter()
+            .all(|p| inst.word_index().matches(a.0, p) == inst.word_index().matches(b.0, p))
 }
 
 fn subtree_isomorphic<W: WordIndex>(
@@ -168,14 +168,20 @@ mod tests {
             .add("B", region(4, 5))
             .occurrence("x", 1, 1)
             .build_valid();
-        assert!(!isomorphic(&inst, region(1, 2), region(4, 5), &[]), "names differ");
+        assert!(
+            !isomorphic(&inst, region(1, 2), region(4, 5), &[]),
+            "names differ"
+        );
         let inst2 = InstanceBuilder::new(schema())
             .add("C", region(0, 9))
             .add("A", region(1, 2))
             .add("A", region(4, 5))
             .occurrence("x", 1, 1)
             .build_valid();
-        assert!(isomorphic(&inst2, region(1, 2), region(4, 5), &[]), "no patterns considered");
+        assert!(
+            isomorphic(&inst2, region(1, 2), region(4, 5), &[]),
+            "no patterns considered"
+        );
         assert!(
             !isomorphic(&inst2, region(1, 2), region(4, 5), &["x"]),
             "pattern truth differs"
@@ -202,7 +208,10 @@ mod tests {
             .add("B", region(2, 3))
             .add("A", region(8, 12))
             .build_valid();
-        assert!(!isomorphic(&inst, region(1, 5), region(8, 12), &[]), "one has a child");
+        assert!(
+            !isomorphic(&inst, region(1, 5), region(8, 12), &[]),
+            "one has a child"
+        );
     }
 
     #[test]
@@ -236,10 +245,23 @@ mod tests {
             .add("B", region(9, 10))
             .build_valid();
         let (r1, r2) = (region(1, 5), region(8, 12));
-        assert_eq!(reduce_mapping(&inst, r1, r2, region(1, 5)), Some(region(8, 12)));
-        assert_eq!(reduce_mapping(&inst, r1, r2, region(2, 3)), Some(region(9, 10)));
-        assert_eq!(reduce_mapping(&inst, r1, r2, region(0, 19)), Some(region(0, 19)));
-        assert_eq!(reduce_mapping(&inst, r1, r2, region(4, 4)), None, "not a region");
+        assert_eq!(
+            reduce_mapping(&inst, r1, r2, region(1, 5)),
+            Some(region(8, 12))
+        );
+        assert_eq!(
+            reduce_mapping(&inst, r1, r2, region(2, 3)),
+            Some(region(9, 10))
+        );
+        assert_eq!(
+            reduce_mapping(&inst, r1, r2, region(0, 19)),
+            Some(region(0, 19))
+        );
+        assert_eq!(
+            reduce_mapping(&inst, r1, r2, region(4, 4)),
+            None,
+            "not a region"
+        );
     }
 
     /// The Theorem 5.3 scenario: reducing the middle C's second A is a

@@ -31,12 +31,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 }
 
@@ -54,9 +60,9 @@ impl Cnf {
     /// Evaluates the formula under an assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.num_vars);
-        self.clauses.iter().all(|c| {
-            c.iter().any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// A satisfying assignment, by DPLL with unit propagation, or `None`.
@@ -150,7 +156,10 @@ pub fn cnf_to_expr(cnf: &Cnf, schema: &Schema) -> Expr {
     };
     let mut e = d();
     for clause in &cnf.clauses {
-        assert!(!clause.is_empty(), "empty clauses make φ trivially unsatisfiable");
+        assert!(
+            !clause.is_empty(),
+            "empty clauses make φ trivially unsatisfiable"
+        );
         let mut lits = clause.iter();
         let mut ce = lit(lits.next().expect("non-empty"));
         for l in lits {
@@ -192,7 +201,10 @@ pub fn random_3cnf<R: rand::Rng>(rng: &mut R, num_vars: usize, num_clauses: usiz
                 }
             }
             vars.into_iter()
-                .map(|v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                .map(|v| Lit {
+                    var: v,
+                    positive: rng.gen_bool(0.5),
+                })
                 .collect()
         })
         .collect();
@@ -219,7 +231,10 @@ mod tests {
 
     fn tiny_unsat() -> Cnf {
         // (x0) ∧ (¬x0) via padded 1-literal clauses.
-        Cnf { num_vars: 3, clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]] }
+        Cnf {
+            num_vars: 3,
+            clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        }
     }
 
     #[test]
@@ -272,7 +287,10 @@ mod tests {
             // literals are satisfied by *absent* X regions, so a satisfying
             // assignment never needs more than its true variables
             // materialized. max_nodes = 4 keeps the UNSAT sweep fast.
-            let bounds = Bounds { max_nodes: 4, max_depth: 3 };
+            let bounds = Bounds {
+                max_nodes: 4,
+                max_depth: 3,
+            };
             let checker = EmptinessChecker::new(schema, bounds);
             assert_eq!(checker.is_empty(&e), !expect_sat, "{cnf:?}");
             assert_eq!(cnf.satisfiable(), expect_sat);

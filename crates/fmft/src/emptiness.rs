@@ -38,7 +38,10 @@ impl Bounds {
     /// Bounds derived from an expression: depth `2·|e| + 2` (the deletion
     /// theorem's bound plus slack), nodes capped at `max_nodes`.
     pub fn for_expr(e: &Expr, max_nodes: usize) -> Bounds {
-        Bounds { max_nodes, max_depth: 2 * e.num_ops() + 2 }
+        Bounds {
+            max_nodes,
+            max_depth: 2 * e.num_ops() + 2,
+        }
     }
 }
 
@@ -53,14 +56,22 @@ pub struct EmptinessChecker {
 impl EmptinessChecker {
     /// A checker over all instances of `schema` (Theorem 3.4 setting).
     pub fn new(schema: Schema, bounds: Bounds) -> EmptinessChecker {
-        EmptinessChecker { schema, rig: None, bounds }
+        EmptinessChecker {
+            schema,
+            rig: None,
+            bounds,
+        }
     }
 
     /// A checker over the instances satisfying `rig` (Theorem 3.6
     /// setting): enumeration only generates forests whose direct
     /// inclusions are RIG edges.
     pub fn with_rig(rig: Rig, bounds: Bounds) -> EmptinessChecker {
-        EmptinessChecker { schema: rig.schema().clone(), rig: Some(rig), bounds }
+        EmptinessChecker {
+            schema: rig.schema().clone(),
+            rig: Some(rig),
+            bounds,
+        }
     }
 
     /// The configured bounds.
@@ -98,8 +109,10 @@ impl EmptinessChecker {
 
     /// A model on which `e₁` and `e₂` disagree, if one exists in bounds.
     pub fn distinguishing_model(&self, e1: &Expr, e2: &Expr) -> Option<Model> {
-        let disagreement =
-            e1.clone().diff(e2.clone()).union(e2.clone().diff(e1.clone()));
+        let disagreement = e1
+            .clone()
+            .diff(e2.clone())
+            .union(e2.clone().diff(e1.clone()));
         self.find_witness(&disagreement)
     }
 
@@ -144,7 +157,11 @@ impl EmptinessChecker {
                 pats: Vec::with_capacity(total),
                 visit,
             };
-            let mut agenda = vec![Task { size: total, parent: None, depth: self.bounds.max_depth }];
+            let mut agenda = vec![Task {
+                size: total,
+                parent: None,
+                depth: self.bounds.max_depth,
+            }];
             if gen.run(&mut agenda) {
                 return true;
             }
@@ -213,12 +230,22 @@ impl Generator<'_> {
                     self.parents.push(task.parent);
                     self.names.push(name);
                     self.pats.push(
-                        (0..self.patterns.len()).filter(|j| pat_mask & (1 << j) != 0).collect(),
+                        (0..self.patterns.len())
+                            .filter(|j| pat_mask & (1 << j) != 0)
+                            .collect(),
                     );
                     // LIFO: children are emitted before the siblings, so
                     // push siblings first.
-                    agenda.push(Task { size: task.size - t, parent: task.parent, depth: task.depth });
-                    agenda.push(Task { size: t - 1, parent: Some(node), depth: task.depth - 1 });
+                    agenda.push(Task {
+                        size: task.size - t,
+                        parent: task.parent,
+                        depth: task.depth,
+                    });
+                    agenda.push(Task {
+                        size: t - 1,
+                        parent: Some(node),
+                        depth: task.depth - 1,
+                    });
                     let stop = self.run(agenda);
                     agenda.pop();
                     agenda.pop();
@@ -253,7 +280,13 @@ mod tests {
     }
 
     fn checker(max_nodes: usize, max_depth: usize) -> EmptinessChecker {
-        EmptinessChecker::new(schema(), Bounds { max_nodes, max_depth })
+        EmptinessChecker::new(
+            schema(),
+            Bounds {
+                max_nodes,
+                max_depth,
+            },
+        )
     }
 
     #[test]
@@ -316,7 +349,10 @@ mod tests {
         // instances, where N can sit directly inside P.
         let s3 = Schema::new(["P", "H", "N"]);
         let rig = Rig::from_edges(s3.clone(), [("P", "H"), ("H", "N")]);
-        let bounds = Bounds { max_nodes: 4, max_depth: 4 };
+        let bounds = Bounds {
+            max_nodes: 4,
+            max_depth: 4,
+        };
         let with_rig = EmptinessChecker::with_rig(rig, bounds);
         let unrestricted = EmptinessChecker::new(s3.clone(), bounds);
         let n = Expr::name(s3.expect_id("N"));
@@ -325,7 +361,10 @@ mod tests {
         let long = n.clone().included_in(h.included_in(p.clone()));
         let short = n.included_in(p);
         assert!(with_rig.equivalent(&long, &short));
-        assert!(!unrestricted.equivalent(&long, &short), "N directly inside P distinguishes them");
+        assert!(
+            !unrestricted.equivalent(&long, &short),
+            "N directly inside P distinguishes them"
+        );
     }
 
     #[test]

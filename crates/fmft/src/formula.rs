@@ -7,8 +7,8 @@
 //! with `∘ ∈ {⊃, <}`.
 
 use crate::model::Model;
-use tr_core::NameId;
 use std::fmt;
+use tr_core::NameId;
 
 /// An atomic monadic predicate: a region name `Q_i` or a pattern `Q_{n+j}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,12 +71,22 @@ impl Restricted {
 
     /// `(∃y) self(x) ∧ inner(y) ∧ x ∘ y`.
     pub fn exists(self, rel: Rel, inner: Restricted) -> Restricted {
-        Restricted::Exists { rel, flipped: false, outer: Box::new(self), inner: Box::new(inner) }
+        Restricted::Exists {
+            rel,
+            flipped: false,
+            outer: Box::new(self),
+            inner: Box::new(inner),
+        }
     }
 
     /// `(∃y) self(x) ∧ inner(y) ∧ y ∘ x`.
     pub fn exists_flipped(self, rel: Rel, inner: Restricted) -> Restricted {
-        Restricted::Exists { rel, flipped: true, outer: Box::new(self), inner: Box::new(inner) }
+        Restricted::Exists {
+            rel,
+            flipped: true,
+            outer: Box::new(self),
+            inner: Box::new(inner),
+        }
     }
 
     /// Evaluates `φ(t)`: the set of nodes (as a boolean mask, indexed by
@@ -92,7 +102,12 @@ impl Restricted {
             Restricted::Or(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x || y),
             Restricted::And(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x && y),
             Restricted::AndNot(a, b) => zip_with(a.eval(t), b.eval(t), |x, y| x && !y),
-            Restricted::Exists { rel, flipped, outer, inner } => {
+            Restricted::Exists {
+                rel,
+                flipped,
+                outer,
+                inner,
+            } => {
                 let xs = outer.eval(t);
                 let ys = inner.eval(t);
                 (0..t.len())
@@ -161,7 +176,12 @@ impl fmt::Display for Restricted {
                     go(b, depth, f)?;
                     write!(f, ")")
                 }
-                Restricted::Exists { rel, flipped, outer, inner } => {
+                Restricted::Exists {
+                    rel,
+                    flipped,
+                    outer,
+                    inner,
+                } => {
                     let w = var(depth + 1);
                     let rel_s = match rel {
                         Rel::Prefix => "⊃",
@@ -207,13 +227,20 @@ mod tests {
         let m = model_literal(s.clone(), &["x"], &[(None, "A", &[0]), (Some(0), "B", &[])]);
         assert_eq!(name(&s, "A").eval(&m), vec![true, false]);
         assert_eq!(name(&s, "A").or(name(&s, "B")).eval(&m), vec![true, true]);
-        assert_eq!(name(&s, "A").and(name(&s, "B")).eval(&m), vec![false, false]);
         assert_eq!(
-            name(&s, "A").and_not(Restricted::Pred(Pred::Pattern(0))).eval(&m),
+            name(&s, "A").and(name(&s, "B")).eval(&m),
             vec![false, false]
         );
         assert_eq!(
-            name(&s, "B").and_not(Restricted::Pred(Pred::Pattern(0))).eval(&m),
+            name(&s, "A")
+                .and_not(Restricted::Pred(Pred::Pattern(0)))
+                .eval(&m),
+            vec![false, false]
+        );
+        assert_eq!(
+            name(&s, "B")
+                .and_not(Restricted::Pred(Pred::Pattern(0)))
+                .eval(&m),
             vec![false, true]
         );
     }
@@ -234,7 +261,9 @@ mod tests {
         let phi = name(&s, "B").exists_flipped(Rel::Prefix, name(&s, "A"));
         assert_eq!(phi.eval(&m), vec![false, true, false]);
         // x precedes some A.
-        let phi = name(&s, "A").or(name(&s, "B")).exists(Rel::Less, name(&s, "A"));
+        let phi = name(&s, "A")
+            .or(name(&s, "B"))
+            .exists(Rel::Less, name(&s, "A"));
         assert_eq!(phi.eval(&m), vec![true, true, false]);
         // x follows some B.
         let phi = name(&s, "A").exists_flipped(Rel::Less, name(&s, "B"));

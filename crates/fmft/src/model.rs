@@ -83,7 +83,12 @@ impl Model {
                 None => roots.push(i),
             }
         }
-        let mut m = Model { schema, patterns, nodes, roots };
+        let mut m = Model {
+            schema,
+            patterns,
+            nodes,
+            roots,
+        };
         m.renumber();
         m
     }
@@ -166,7 +171,12 @@ impl Model {
     /// Nesting depth of the forest.
     pub fn depth(&self) -> usize {
         fn go(m: &Model, i: usize) -> usize {
-            1 + m.nodes[i].children.iter().map(|&c| go(m, c)).max().unwrap_or(0)
+            1 + m.nodes[i]
+                .children
+                .iter()
+                .map(|&c| go(m, c))
+                .max()
+                .unwrap_or(0)
         }
         self.roots.iter().map(|&r| go(self, r)).max().unwrap_or(0)
     }
@@ -211,7 +221,11 @@ impl Model {
         // Lay out like the generators: every node reserves one position on
         // each side of its children.
         fn width(m: &Model, i: usize) -> u64 {
-            2 + m.nodes[i].children.iter().map(|&c| width(m, c)).sum::<u64>()
+            2 + m.nodes[i]
+                .children
+                .iter()
+                .map(|&c| width(m, c))
+                .sum::<u64>()
         }
         fn emit(
             m: &Model,
@@ -239,7 +253,10 @@ impl Model {
         for &r in &self.roots {
             pos = emit(self, r, pos, &mut sets, &mut word) + 1;
         }
-        let sets = sets.into_iter().map(tr_core::RegionSet::from_regions).collect();
+        let sets = sets
+            .into_iter()
+            .map(tr_core::RegionSet::from_regions)
+            .collect();
         Instance::build(self.schema.clone(), sets, word).expect("forest layout is hierarchical")
     }
 
@@ -248,7 +265,11 @@ impl Model {
         // Recompute the layout positions for this node: left = pre-order
         // position shifted by ancestors; simpler to recompute from scratch.
         fn width(m: &Model, i: usize) -> u64 {
-            2 + m.nodes[i].children.iter().map(|&c| width(m, c)).sum::<u64>()
+            2 + m.nodes[i]
+                .children
+                .iter()
+                .map(|&c| width(m, c))
+                .sum::<u64>()
         }
         fn find(m: &Model, i: usize, start: u64, target: usize) -> Result<Region, u64> {
             let w = width(m, i);
@@ -331,7 +352,10 @@ mod tests {
         assert!(!m.ancestor(2, 1));
         assert!(!m.ancestor(0, 4));
         assert!(m.strictly_precedes(1, 3), "first B subtree before second B");
-        assert!(!m.strictly_precedes(0, 1), "ancestor does not precede descendant");
+        assert!(
+            !m.strictly_precedes(0, 1),
+            "ancestor does not precede descendant"
+        );
         assert!(m.strictly_precedes(0, 4));
         assert!(m.strictly_precedes(2, 3));
     }
@@ -368,7 +392,10 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(m.ancestor(0, 1));
         assert!(m.has_pattern(1, 0), "the occurrence is inside B");
-        assert!(m.has_pattern(0, 0), "…and inside A (match-point W is monotone)");
+        assert!(
+            m.has_pattern(0, 0),
+            "…and inside A (match-point W is monotone)"
+        );
     }
 
     #[test]

@@ -112,16 +112,32 @@ mod tests {
 
     #[test]
     fn idempotent_union_is_pruned() {
-        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let checker = EmptinessChecker::new(
+            schema(),
+            Bounds {
+                max_nodes: 4,
+                max_depth: 4,
+            },
+        );
         let e = a().union(a());
         assert_eq!(optimize(&e, &checker), a());
     }
 
     #[test]
     fn useful_operators_survive() {
-        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let checker = EmptinessChecker::new(
+            schema(),
+            Bounds {
+                max_nodes: 4,
+                max_depth: 4,
+            },
+        );
         let e = a().including(b());
-        assert_eq!(optimize(&e, &checker), e, "A ⊃ B is not equivalent to A or B");
+        assert_eq!(
+            optimize(&e, &checker),
+            e,
+            "A ⊃ B is not equivalent to A or B"
+        );
     }
 
     #[test]
@@ -133,7 +149,10 @@ mod tests {
         let h = Expr::name(s3.expect_id("H"));
         let p = Expr::name(s3.expect_id("P"));
         let long = n.clone().included_in(h.included_in(p.clone()));
-        let bounds = Bounds { max_nodes: 4, max_depth: 4 };
+        let bounds = Bounds {
+            max_nodes: 4,
+            max_depth: 4,
+        };
         let with_rig = EmptinessChecker::with_rig(rig, bounds);
         let opt = optimize(&long, &with_rig);
         assert_eq!(opt, n.included_in(p));
@@ -144,7 +163,13 @@ mod tests {
 
     #[test]
     fn optimization_never_increases_cost() {
-        let checker = EmptinessChecker::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        let checker = EmptinessChecker::new(
+            schema(),
+            Bounds {
+                max_nodes: 3,
+                max_depth: 3,
+            },
+        );
         for e in [
             a().intersect(a()).union(b()),
             a().diff(b()).diff(b()),

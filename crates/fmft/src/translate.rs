@@ -59,7 +59,12 @@ pub fn formula_to_expr(phi: &Restricted, schema: &Schema, patterns: &[String]) -
         Restricted::AndNot(a, b) => {
             formula_to_expr(a, schema, patterns).diff(formula_to_expr(b, schema, patterns))
         }
-        Restricted::Exists { rel, flipped, outer, inner } => {
+        Restricted::Exists {
+            rel,
+            flipped,
+            outer,
+            inner,
+        } => {
             let l = formula_to_expr(outer, schema, patterns);
             let r = formula_to_expr(inner, schema, patterns);
             let op = match (rel, flipped) {
@@ -178,7 +183,11 @@ mod tests {
             let phi = expr_to_formula(&e, &patterns);
             let back = formula_to_expr(&phi, &schema, &patterns);
             let inst = random_instance(&mut rng, &schema);
-            assert_eq!(eval(&e, &inst), eval(&back, &inst), "expr {e} → {phi} → {back}");
+            assert_eq!(
+                eval(&e, &inst),
+                eval(&back, &inst),
+                "expr {e} → {phi} → {back}"
+            );
         }
     }
 

@@ -91,7 +91,11 @@ pub fn figure_3_instance(k: usize) -> (Instance, Figure3) {
             let bb = region(pos + 4, pos + 5);
             let a2 = region(pos + 7, pos + 8);
             b = b.add("C", c).add("A", a1).add("B", bb).add("A", a2);
-            handles = Some(Figure3 { middle_c: c, first_a: a1, second_a: a2 });
+            handles = Some(Figure3 {
+                middle_c: c,
+                first_a: a1,
+                second_a: a2,
+            });
             pos += 12;
         } else {
             let c = region(pos, pos + 7);
@@ -102,7 +106,10 @@ pub fn figure_3_instance(k: usize) -> (Instance, Figure3) {
             pos += 9;
         }
     }
-    (b.build_valid(), handles.expect("n ≥ 1 so the middle exists"))
+    (
+        b.build_valid(),
+        handles.expect("n ≥ 1 so the middle exists"),
+    )
 }
 
 #[cfg(test)]
@@ -163,8 +170,10 @@ mod tests {
         );
         assert!(tr_rig::satisfies_rog(&inst, &rog));
         // Dropping the cross-boundary edges must surface a violation.
-        let too_small =
-            Rog::from_edges(figure_3_schema(), [("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")]);
+        let too_small = Rog::from_edges(
+            figure_3_schema(),
+            [("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")],
+        );
         assert!(!tr_rig::satisfies_rog(&inst, &too_small));
     }
 
@@ -173,17 +182,15 @@ mod tests {
     #[test]
     fn figure_3_bi_semantics() {
         let (inst, h) = figure_3_instance(1);
-        let bi: RegionSet = inst
-            .regions_of_name("C")
-            .filter(|c| {
-                inst.regions_of_name("B").iter().any(|b| {
-                    c.includes(b)
-                        && inst
-                            .regions_of_name("A")
-                            .iter()
-                            .any(|a| c.includes(a) && b.precedes(a))
-                })
-            });
+        let bi: RegionSet = inst.regions_of_name("C").filter(|c| {
+            inst.regions_of_name("B").iter().any(|b| {
+                c.includes(b)
+                    && inst
+                        .regions_of_name("A")
+                        .iter()
+                        .any(|a| c.includes(a) && b.precedes(a))
+            })
+        });
         assert_eq!(bi.as_slice(), &[h.middle_c]);
     }
 
@@ -193,9 +200,8 @@ mod tests {
     fn figure_3_naive_attempt_overselects() {
         let (inst, _) = figure_3_instance(1);
         let s = inst.schema().clone();
-        let e = Expr::name(s.expect_id("C")).including(
-            Expr::name(s.expect_id("B")).before(Expr::name(s.expect_id("A"))),
-        );
+        let e = Expr::name(s.expect_id("C"))
+            .including(Expr::name(s.expect_id("B")).before(Expr::name(s.expect_id("A"))));
         // All Cs except the last contain a B preceding an A somewhere.
         assert_eq!(eval(&e, &inst).len(), 4);
     }

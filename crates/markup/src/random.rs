@@ -81,7 +81,10 @@ fn grow<R: Rng>(
     remaining: &mut usize,
 ) -> Node {
     *remaining = remaining.saturating_sub(1);
-    let mut node = Node { name, children: Vec::new() };
+    let mut node = Node {
+        name,
+        children: Vec::new(),
+    };
     if depth >= cfg.max_depth || *remaining == 0 {
         return node;
     }
@@ -95,7 +98,8 @@ fn grow<R: Rng>(
             break;
         }
         let child = options[rng.gen_range(0..options.len())];
-        node.children.push(grow(rig, cfg, rng, child, depth + 1, remaining));
+        node.children
+            .push(grow(rig, cfg, rng, child, depth + 1, remaining));
     }
     node
 }
@@ -183,7 +187,10 @@ pub fn random_hierarchical_instance<R: Rng>(
 fn grow_free<R: Rng>(schema: &Schema, rng: &mut R, depth: usize, remaining: &mut usize) -> Node {
     *remaining = remaining.saturating_sub(1);
     let name = NameId::from_index(rng.gen_range(0..schema.len()));
-    let mut node = Node { name, children: Vec::new() };
+    let mut node = Node {
+        name,
+        children: Vec::new(),
+    };
     // Deeper nodes get fewer children to keep sizes bounded.
     let max_kids = (4usize).saturating_sub(depth / 3).min(*remaining);
     if max_kids == 0 {
@@ -193,7 +200,8 @@ fn grow_free<R: Rng>(schema: &Schema, rng: &mut R, depth: usize, remaining: &mut
         if *remaining == 0 {
             break;
         }
-        node.children.push(grow_free(schema, rng, depth + 1, remaining));
+        node.children
+            .push(grow_free(schema, rng, depth + 1, remaining));
     }
     node
 }
@@ -222,8 +230,7 @@ mod tests {
         let schema = Schema::new(["A", "B", "C"]);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..20 {
-            let inst =
-                random_hierarchical_instance(&schema, 50, &["x", "y"], 0.3, &mut rng);
+            let inst = random_hierarchical_instance(&schema, 50, &["x", "y"], 0.3, &mut rng);
             assert!(!inst.is_empty());
             assert!(inst.len() <= 51);
         }

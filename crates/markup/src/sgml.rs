@@ -146,7 +146,10 @@ mod tests {
     fn parses_nested_elements() {
         let doc = "<doc><sec>alpha <sub>beta</sub></sec><sec>gamma</sec></doc>";
         let inst = parse_sgml(doc).unwrap();
-        assert_eq!(inst.schema().names().collect::<Vec<_>>(), vec!["doc", "sec", "sub"]);
+        assert_eq!(
+            inst.schema().names().collect::<Vec<_>>(),
+            vec!["doc", "sec", "sub"]
+        );
         assert_eq!(inst.regions_of_name("doc").len(), 1);
         assert_eq!(inst.regions_of_name("sec").len(), 2);
         assert_eq!(inst.nesting_depth(), 3);
@@ -171,9 +174,18 @@ mod tests {
             parse_sgml("<a><b></a></b>"),
             Err(SgmlError::UnmatchedClose { .. })
         ));
-        assert!(matches!(parse_sgml("<a>"), Err(SgmlError::UnclosedTag { .. })));
-        assert!(matches!(parse_sgml("<a"), Err(SgmlError::MalformedTag { .. })));
-        assert!(matches!(parse_sgml("<>x</>"), Err(SgmlError::MalformedTag { .. })));
+        assert!(matches!(
+            parse_sgml("<a>"),
+            Err(SgmlError::UnclosedTag { .. })
+        ));
+        assert!(matches!(
+            parse_sgml("<a"),
+            Err(SgmlError::MalformedTag { .. })
+        ));
+        assert!(matches!(
+            parse_sgml("<>x</>"),
+            Err(SgmlError::MalformedTag { .. })
+        ));
     }
 
     #[test]

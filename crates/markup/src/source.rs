@@ -94,22 +94,41 @@ impl ProgramSpec {
         // so large targets actually materialize.
         while budget > 0 {
             let before = budget;
-            procs.extend(random_procs(rng, &mut budget, &mut counter, 1, max_depth, max_vars));
+            procs.extend(random_procs(
+                rng,
+                &mut budget,
+                &mut counter,
+                1,
+                max_depth,
+                max_vars,
+            ));
             if budget == before {
                 // The coin flips declined; force one procedure to guarantee progress.
                 budget -= 1;
                 counter += 1;
-                procs.push(ProcSpec { name: format!("p{counter}"), vars: random_vars(rng, max_vars), procs: Vec::new() });
+                procs.push(ProcSpec {
+                    name: format!("p{counter}"),
+                    vars: random_vars(rng, max_vars),
+                    procs: Vec::new(),
+                });
             }
         }
-        ProgramSpec { name: "main".into(), vars: random_vars(rng, max_vars), procs }
+        ProgramSpec {
+            name: "main".into(),
+            vars: random_vars(rng, max_vars),
+            procs,
+        }
     }
 }
 
 const VAR_VOCAB: [&str; 6] = ["x", "y", "z", "count", "total", "tmp"];
 
 fn random_vars<R: Rng>(rng: &mut R, max_vars: usize) -> Vec<String> {
-    let n = if max_vars == 0 { 0 } else { rng.gen_range(0..=max_vars) };
+    let n = if max_vars == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_vars)
+    };
     (0..n)
         .map(|_| VAR_VOCAB[rng.gen_range(0..VAR_VOCAB.len())].to_owned())
         .collect()
@@ -133,7 +152,11 @@ fn random_procs<R: Rng>(
         } else {
             Vec::new()
         };
-        procs.push(ProcSpec { name, vars: random_vars(rng, max_vars), procs: nested });
+        procs.push(ProcSpec {
+            name,
+            vars: random_vars(rng, max_vars),
+            procs: nested,
+        });
     }
     procs
 }
@@ -177,11 +200,18 @@ impl std::error::Error for ParseError {}
 /// Parses a toy-language source file into a region instance with the
 /// Figure 1 schema, over a suffix-array word index of the source text.
 pub fn parse_program(text: &str) -> Result<Instance<SuffixWordIndex>, ParseError> {
-    let mut p = Parser { text: text.as_bytes(), pos: 0, out: vec![Vec::new(); 8] };
+    let mut p = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+        out: vec![Vec::new(); 8],
+    };
     p.program()?;
     p.skip_ws();
     if p.pos != p.text.len() {
-        return Err(ParseError { expected: "end of input", at: p.pos });
+        return Err(ParseError {
+            expected: "end of input",
+            at: p.pos,
+        });
     }
     let schema = source_schema();
     let sets: Vec<RegionSet> = p.out.into_iter().map(RegionSet::from_regions).collect();
@@ -224,7 +254,10 @@ impl Parser<'_> {
             self.pos += kw.len();
             Ok(start)
         } else {
-            Err(ParseError { expected: kw, at: self.pos })
+            Err(ParseError {
+                expected: kw,
+                at: self.pos,
+            })
         }
     }
 
@@ -243,7 +276,10 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(self.pos - 1)
         } else {
-            Err(ParseError { expected: "punctuation", at: self.pos })
+            Err(ParseError {
+                expected: "punctuation",
+                at: self.pos,
+            })
         }
     }
 
@@ -259,7 +295,10 @@ impl Parser<'_> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(ParseError { expected: "identifier", at: self.pos });
+            return Err(ParseError {
+                expected: "identifier",
+                at: self.pos,
+            });
         }
         Ok((start, self.pos - 1))
     }
@@ -347,7 +386,11 @@ mod tests {
         assert_eq!(inst.regions_of_name("Program").len(), 1);
         assert_eq!(inst.regions_of_name("Proc").len(), 2);
         assert_eq!(inst.regions_of_name("Var").len(), 3);
-        assert_eq!(inst.regions_of_name("Name").len(), 3, "program + 2 proc names");
+        assert_eq!(
+            inst.regions_of_name("Name").len(),
+            3,
+            "program + 2 proc names"
+        );
         assert_eq!(inst.regions_of_name("Prog_header").len(), 1);
         assert_eq!(inst.regions_of_name("Proc_body").len(), 2);
     }
@@ -383,10 +426,19 @@ mod tests {
     #[test]
     fn parse_errors_carry_positions() {
         assert!(parse_program("proc oops; begin end;").is_err());
-        assert!(parse_program("program a; begin end").is_err(), "missing final dot");
+        assert!(
+            parse_program("program a; begin end").is_err(),
+            "missing final dot"
+        );
         assert!(parse_program("program a; var ; begin end.").is_err());
         let trailing = parse_program("program a; begin end. extra");
-        assert!(matches!(trailing, Err(ParseError { expected: "end of input", .. })));
+        assert!(matches!(
+            trailing,
+            Err(ParseError {
+                expected: "end of input",
+                ..
+            })
+        ));
     }
 
     #[test]

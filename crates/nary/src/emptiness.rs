@@ -9,9 +9,9 @@
 //! bounds — and hence equivalence, and hence optimization.
 
 use crate::expr::{Atom, NExpr};
+use tr_core::Schema;
 use tr_fmft::{Bounds, EmptinessChecker, Model};
 use tr_rig::Rig;
-use tr_core::Schema;
 
 /// Bounded-model emptiness/equivalence for [`NExpr`]s, backed by the
 /// FMFT checker's canonical model enumeration.
@@ -23,12 +23,16 @@ pub struct NEmptiness {
 impl NEmptiness {
     /// Over all instances of a schema.
     pub fn new(schema: Schema, bounds: Bounds) -> NEmptiness {
-        NEmptiness { checker: EmptinessChecker::new(schema, bounds) }
+        NEmptiness {
+            checker: EmptinessChecker::new(schema, bounds),
+        }
     }
 
     /// Over the instances satisfying a RIG.
     pub fn with_rig(rig: Rig, bounds: Bounds) -> NEmptiness {
-        NEmptiness { checker: EmptinessChecker::with_rig(rig, bounds) }
+        NEmptiness {
+            checker: EmptinessChecker::with_rig(rig, bounds),
+        }
     }
 
     /// A model on which `e` evaluates to a non-empty relation, if one
@@ -80,7 +84,10 @@ fn collect_patterns(e: &NExpr) -> Vec<String> {
     fn go(e: &NExpr, out: &mut Vec<String>) {
         match e {
             NExpr::Name(_) | NExpr::AllRegions => {}
-            NExpr::Union(a, b) | NExpr::Intersect(a, b) | NExpr::Diff(a, b) | NExpr::Product(a, b) => {
+            NExpr::Union(a, b)
+            | NExpr::Intersect(a, b)
+            | NExpr::Diff(a, b)
+            | NExpr::Product(a, b) => {
                 go(a, out);
                 go(b, out);
             }
@@ -123,11 +130,24 @@ mod tests {
 
     #[test]
     fn emptiness_basics() {
-        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        let ne = NEmptiness::new(
+            schema(),
+            Bounds {
+                max_nodes: 3,
+                max_depth: 3,
+            },
+        );
         assert!(!ne.is_empty(&a()));
         assert!(ne.is_empty(&a().intersect(b())), "names are disjoint");
         // A pair (x ⊃ y) is satisfiable.
-        let pair = a().join(b(), vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }]);
+        let pair = a().join(
+            b(),
+            vec![Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 1,
+            }],
+        );
         assert!(!ne.is_empty(&pair));
         let w = ne.find_witness(&pair).unwrap();
         assert_eq!(w.len(), 2);
@@ -135,8 +155,16 @@ mod tests {
         let twisted = a().join(
             b(),
             vec![
-                Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 },
-                Atom::Cols { left: 1, rel: StructRel::Includes, right: 0 },
+                Atom::Cols {
+                    left: 0,
+                    rel: StructRel::Includes,
+                    right: 1,
+                },
+                Atom::Cols {
+                    left: 1,
+                    rel: StructRel::Includes,
+                    right: 0,
+                },
             ],
         );
         assert!(ne.is_empty(&twisted));
@@ -144,11 +172,24 @@ mod tests {
 
     #[test]
     fn equivalence_for_joins() {
-        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 3, max_depth: 3 });
+        let ne = NEmptiness::new(
+            schema(),
+            Bounds {
+                max_nodes: 3,
+                max_depth: 3,
+            },
+        );
         // σ-conditions commute.
         let c1 = vec![
-            Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 },
-            Atom::Pattern { col: 0, pattern: "x".into() },
+            Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 1,
+            },
+            Atom::Pattern {
+                col: 0,
+                pattern: "x".into(),
+            },
         ];
         let mut c2 = c1.clone();
         c2.reverse();
@@ -168,17 +209,34 @@ mod tests {
     /// verify non-trivial identities about them — e.g. ⊃_d refines ⊃.
     #[test]
     fn extended_operators_are_analyzable() {
-        let ne = NEmptiness::new(schema(), Bounds { max_nodes: 4, max_depth: 4 });
+        let ne = NEmptiness::new(
+            schema(),
+            Bounds {
+                max_nodes: 4,
+                max_depth: 4,
+            },
+        );
         let direct = direct_including_expr(NameId::from_index(0), NameId::from_index(1));
         let loose = a()
-            .join(b(), vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }])
+            .join(
+                b(),
+                vec![Atom::Cols {
+                    left: 0,
+                    rel: StructRel::Includes,
+                    right: 1,
+                }],
+            )
             .project(vec![0]);
         // ⊃_d ⊆ ⊃: the difference is empty on all models in bounds.
         assert!(ne.is_empty(&direct.clone().diff(loose.clone())));
         // The converse is not: ⊃ can hold transitively only.
         assert!(!ne.is_empty(&loose.diff(direct)));
         // BI(A, B, B) requires two distinct Bs inside an A.
-        let bi = both_included_expr(NameId::from_index(0), NameId::from_index(1), NameId::from_index(1));
+        let bi = both_included_expr(
+            NameId::from_index(0),
+            NameId::from_index(1),
+            NameId::from_index(1),
+        );
         let w = ne.find_witness(&bi).unwrap();
         assert!(w.len() >= 3);
     }

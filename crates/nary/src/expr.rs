@@ -204,14 +204,26 @@ impl NExpr {
 pub fn direct_including_expr(r1: NameId, r2: NameId) -> NExpr {
     let pairs = NExpr::name(r1).join(
         NExpr::name(r2),
-        vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }],
+        vec![Atom::Cols {
+            left: 0,
+            rel: StructRel::Includes,
+            right: 1,
+        }],
     );
     let bad = NExpr::name(r1)
         .product(NExpr::name(r2))
         .product(NExpr::AllRegions)
         .select(vec![
-            Atom::Cols { left: 0, rel: StructRel::Includes, right: 2 },
-            Atom::Cols { left: 2, rel: StructRel::Includes, right: 1 },
+            Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 2,
+            },
+            Atom::Cols {
+                left: 2,
+                rel: StructRel::Includes,
+                right: 1,
+            },
         ])
         .project(vec![0, 1]);
     pairs.diff(bad).project(vec![0])
@@ -221,14 +233,26 @@ pub fn direct_including_expr(r1: NameId, r2: NameId) -> NExpr {
 pub fn direct_included_expr(r1: NameId, r2: NameId) -> NExpr {
     let pairs = NExpr::name(r1).join(
         NExpr::name(r2),
-        vec![Atom::Cols { left: 0, rel: StructRel::IncludedIn, right: 1 }],
+        vec![Atom::Cols {
+            left: 0,
+            rel: StructRel::IncludedIn,
+            right: 1,
+        }],
     );
     let bad = NExpr::name(r1)
         .product(NExpr::name(r2))
         .product(NExpr::AllRegions)
         .select(vec![
-            Atom::Cols { left: 1, rel: StructRel::Includes, right: 2 },
-            Atom::Cols { left: 2, rel: StructRel::Includes, right: 0 },
+            Atom::Cols {
+                left: 1,
+                rel: StructRel::Includes,
+                right: 2,
+            },
+            Atom::Cols {
+                left: 2,
+                rel: StructRel::Includes,
+                right: 0,
+            },
         ])
         .project(vec![0, 1]);
     pairs.diff(bad).project(vec![0])
@@ -241,9 +265,21 @@ pub fn both_included_expr(r: NameId, s: NameId, t: NameId) -> NExpr {
         .product(NExpr::name(s))
         .product(NExpr::name(t))
         .select(vec![
-            Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 },
-            Atom::Cols { left: 0, rel: StructRel::Includes, right: 2 },
-            Atom::Cols { left: 1, rel: StructRel::Precedes, right: 2 },
+            Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 1,
+            },
+            Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 2,
+            },
+            Atom::Cols {
+                left: 1,
+                rel: StructRel::Precedes,
+                right: 2,
+            },
         ])
         .project(vec![0])
 }
@@ -285,10 +321,18 @@ mod tests {
         let a = NExpr::name(s.expect_id("A"));
         let b = NExpr::name(s.expect_id("B"));
         assert_eq!(a.clone().product(b.clone()).arity(&s), Ok(2));
-        assert!(a.clone().union(a.clone().product(b.clone())).arity(&s).is_err());
         assert!(a
             .clone()
-            .select(vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }])
+            .union(a.clone().product(b.clone()))
+            .arity(&s)
+            .is_err());
+        assert!(a
+            .clone()
+            .select(vec![Atom::Cols {
+                left: 0,
+                rel: StructRel::Includes,
+                right: 1
+            }])
             .arity(&s)
             .is_err());
         assert!(a.clone().project(vec![1]).arity(&s).is_err());
@@ -308,12 +352,20 @@ mod tests {
             let inst = random_instance(&mut rng);
             assert_eq!(
                 e_incl.eval(&inst).to_set(),
-                tr_ext::directly_including(&inst, inst.regions_of_name("A"), inst.regions_of_name("B")),
+                tr_ext::directly_including(
+                    &inst,
+                    inst.regions_of_name("A"),
+                    inst.regions_of_name("B")
+                ),
                 "{inst:?}"
             );
             assert_eq!(
                 e_in.eval(&inst).to_set(),
-                tr_ext::directly_included(&inst, inst.regions_of_name("B"), inst.regions_of_name("A")),
+                tr_ext::directly_included(
+                    &inst,
+                    inst.regions_of_name("B"),
+                    inst.regions_of_name("A")
+                ),
                 "{inst:?}"
             );
         }
@@ -347,8 +399,10 @@ mod tests {
             .add("A", region(20, 29))
             .occurrence("x", 5, 1)
             .build_valid();
-        let e = NExpr::name(s.expect_id("A"))
-            .select(vec![Atom::Pattern { col: 0, pattern: "x".into() }]);
+        let e = NExpr::name(s.expect_id("A")).select(vec![Atom::Pattern {
+            col: 0,
+            pattern: "x".into(),
+        }]);
         assert_eq!(e.eval(&inst).to_set().as_slice(), &[region(0, 9)]);
     }
 
@@ -363,7 +417,11 @@ mod tests {
             let semi = NExpr::name(s.expect_id("A"))
                 .join(
                     NExpr::name(s.expect_id("B")),
-                    vec![Atom::Cols { left: 0, rel: StructRel::Includes, right: 1 }],
+                    vec![Atom::Cols {
+                        left: 0,
+                        rel: StructRel::Includes,
+                        right: 1,
+                    }],
                 )
                 .project(vec![0]);
             assert_eq!(

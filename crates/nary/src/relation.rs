@@ -26,7 +26,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Relation {
-        Relation { arity, tuples: Vec::new() }
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// Builds a relation from tuples (sorting and deduplicating). Panics
@@ -123,7 +126,10 @@ impl Relation {
         }
         // Product of sorted inputs is sorted lexicographically already,
         // and duplicate-free.
-        Relation { arity: self.arity + other.arity, tuples }
+        Relation {
+            arity: self.arity + other.arity,
+            tuples,
+        }
     }
 
     /// Keeps tuples satisfying `pred`.
@@ -138,7 +144,11 @@ impl Relation {
     /// repeat). The result is re-sorted and deduplicated.
     pub fn project(&self, cols: &[usize]) -> Relation {
         for &c in cols {
-            assert!(c < self.arity, "projection column {c} out of arity {}", self.arity);
+            assert!(
+                c < self.arity,
+                "projection column {c} out of arity {}",
+                self.arity
+            );
         }
         Relation::from_tuples(
             cols.len(),
@@ -151,7 +161,9 @@ impl Relation {
 
     /// Membership test.
     pub fn contains(&self, t: &[Region]) -> bool {
-        self.tuples.binary_search_by(|x| x.as_slice().cmp(t)).is_ok()
+        self.tuples
+            .binary_search_by(|x| x.as_slice().cmp(t))
+            .is_ok()
     }
 }
 
@@ -205,7 +217,11 @@ mod tests {
         assert!(!t.is_empty());
         assert!(f.is_empty());
         let some = unary(&[(0, 1)]);
-        assert_eq!(some.project(&[]), t, "projecting a non-empty relation to arity 0 is true");
+        assert_eq!(
+            some.project(&[]),
+            t,
+            "projecting a non-empty relation to arity 0 is true"
+        );
     }
 
     #[test]

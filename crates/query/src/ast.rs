@@ -115,7 +115,10 @@ impl Query {
 
     /// Renders the query back to surface syntax.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
-        QueryDisplay { query: self, schema }
+        QueryDisplay {
+            query: self,
+            schema,
+        }
     }
 }
 

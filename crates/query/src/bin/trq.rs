@@ -35,9 +35,7 @@ enum Format {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: trq <file> [query] [--format sgml|source|auto] [--explain] [--limit N]"
-    );
+    eprintln!("usage: trq <file> [query] [--format sgml|source|auto] [--explain] [--limit N]");
     std::process::exit(2);
 }
 
@@ -64,7 +62,10 @@ fn parse_args() -> Options {
             "--explain" => opts.explain = true,
             "--save" => opts.save = Some(args.next().unwrap_or_else(|| usage())),
             "--limit" => {
-                opts.limit = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.limit = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             _ if opts.file.is_none() => opts.file = Some(arg),
@@ -154,7 +155,10 @@ fn repl(mut engine: Engine, limit: usize) {
         }
         if line == ":schema" {
             for name in engine.schema().names() {
-                println!("  {name}  ({} regions)", engine.instance().regions_of_name(name).len());
+                println!(
+                    "  {name}  ({} regions)",
+                    engine.instance().regions_of_name(name).len()
+                );
             }
             for v in engine.views() {
                 println!("  {v}  (view)");

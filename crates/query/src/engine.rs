@@ -8,9 +8,12 @@
 
 use crate::ast::Query;
 use crate::parse::{parse_with_views, ParseError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use tr_core::{Expr, Instance, Region, RegionSet, Schema};
+use std::sync::Mutex;
+use tr_core::{
+    execute, expr_fingerprint, ExecConfig, Expr, Instance, Plan, Region, RegionSet, Schema,
+};
 use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
 use tr_rig::Rig;
 use tr_text::SuffixWordIndex;
@@ -44,31 +47,104 @@ impl From<ParseError> for EngineError {
     }
 }
 
+/// What a [`Engine::query_batch`] run did, for observability and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: usize,
+    /// Distinct plan nodes after hash-consing the whole batch.
+    pub distinct_nodes: usize,
+    /// Plan nodes actually evaluated — equals `distinct_nodes`: each
+    /// shared sub-expression runs exactly once per batch.
+    pub nodes_evaluated: usize,
+    /// Worker threads used by the executor (0 if nothing was executed).
+    pub threads: usize,
+}
+
+/// A bounded FIFO cache of query results, keyed by structural expression
+/// fingerprint and verified against the stored expression (a 64-bit hash
+/// collision degrades to a miss, never a wrong answer).
+struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, (Expr, RegionSet)>,
+    order: VecDeque<u64>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, fp: u64, e: &Expr) -> Option<RegionSet> {
+        match self.map.get(&fp) {
+            Some((stored, v)) if stored == e => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, fp: u64, e: Expr, v: RegionSet) {
+        if self.map.insert(fp, (e, v)).is_none() {
+            self.order.push_back(fp);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Default capacity of the engine's result cache (distinct queries).
+const RESULT_CACHE_CAPACITY: usize = 128;
+
 /// A queryable indexed document.
 pub struct Engine {
     text: String,
     instance: Instance<SuffixWordIndex>,
     rig: Option<Rig>,
     views: BTreeMap<String, Query>,
+    exec: ExecConfig,
+    cache: Mutex<ResultCache>,
 }
 
 impl Engine {
+    fn new(text: String, instance: Instance<SuffixWordIndex>, rig: Option<Rig>) -> Engine {
+        Engine {
+            text,
+            instance,
+            rig,
+            views: BTreeMap::new(),
+            exec: ExecConfig::default(),
+            cache: Mutex::new(ResultCache::new(RESULT_CACHE_CAPACITY)),
+        }
+    }
+
     /// Indexes an SGML-lite document (schema derived from its tags).
     pub fn from_sgml(text: &str) -> Result<Engine, EngineError> {
         let instance = parse_sgml(text).map_err(EngineError::Sgml)?;
-        Ok(Engine { text: text.to_owned(), instance, rig: None, views: BTreeMap::new() })
+        Ok(Engine::new(text.to_owned(), instance, None))
     }
 
     /// Indexes a toy-language source file (Figure 1 schema), attaching the
     /// Figure 1 RIG so chain queries get optimized automatically.
     pub fn from_source(text: &str) -> Result<Engine, EngineError> {
         let instance = parse_program(text).map_err(EngineError::Source)?;
-        Ok(Engine {
-            text: text.to_owned(),
+        Ok(Engine::new(
+            text.to_owned(),
             instance,
-            rig: Some(Rig::figure_1()),
-            views: BTreeMap::new(),
-        })
+            Some(Rig::figure_1()),
+        ))
     }
 
     /// Builds an engine from already-indexed parts (e.g. a persisted
@@ -82,13 +158,24 @@ impl Engine {
         if let Some(rig) = &rig {
             assert_eq!(rig.schema(), instance.schema(), "RIG schema must match");
         }
-        Engine { text, instance, rig, views: BTreeMap::new() }
+        Engine::new(text, instance, rig)
+    }
+
+    /// Overrides the execution settings used by [`Engine::query_batch`]
+    /// (thread budget and kernel cutoff).
+    pub fn with_exec_config(mut self, cfg: ExecConfig) -> Engine {
+        self.exec = cfg;
+        self
     }
 
     /// Attaches a RIG (the instance is *assumed* to satisfy it; use
     /// `tr_rig::check_rig` to verify).
     pub fn with_rig(mut self, rig: Rig) -> Engine {
-        assert_eq!(rig.schema(), self.instance.schema(), "RIG schema must match");
+        assert_eq!(
+            rig.schema(),
+            self.instance.schema(),
+            "RIG schema must match"
+        );
         self.rig = Some(rig);
         self
     }
@@ -117,12 +204,108 @@ impl Engine {
     pub fn query(&self, q: &str) -> Result<RegionSet, EngineError> {
         let ast = parse_with_views(q, self.schema(), &self.views)?;
         // Pure-algebra queries go through the planner (RIG chain
-        // optimization); extended queries evaluate the AST directly.
-        match (ast.to_expr(), &self.rig) {
-            (Some(e), Some(rig)) => Ok(tr_core::eval(&tr_rig::optimize_expr(&e, rig), &self.instance)),
-            (Some(e), None) => Ok(tr_core::eval(&e, &self.instance)),
-            (None, _) => Ok(ast.eval(&self.instance)),
+        // optimization) and the result cache; extended queries evaluate
+        // the AST directly.
+        match ast.to_expr() {
+            Some(e) => Ok(self.eval_algebra(self.planned(e))),
+            None => Ok(ast.eval(&self.instance)),
         }
+    }
+
+    /// Applies RIG chain optimization when a RIG is attached.
+    fn planned(&self, e: Expr) -> Expr {
+        match &self.rig {
+            Some(rig) => tr_rig::optimize_expr(&e, rig),
+            None => e,
+        }
+    }
+
+    /// Evaluates a pure-algebra expression through the result cache.
+    fn eval_algebra(&self, e: Expr) -> RegionSet {
+        let fp = expr_fingerprint(&e);
+        if let Some(hit) = self.lock_cache().get(fp, &e) {
+            return hit;
+        }
+        let out = tr_core::eval(&e, &self.instance);
+        self.lock_cache().insert(fp, e, out.clone());
+        out
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, ResultCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Runs a batch of queries as one hash-consed plan: sub-expressions
+    /// shared within or across queries are evaluated exactly once, plan
+    /// nodes run on the parallel wave executor, and results land in the
+    /// engine's bounded cache (so re-running a batch is pure lookups).
+    ///
+    /// Returns one result per query, in order. Parsing is all-or-nothing:
+    /// any parse error fails the whole batch before anything runs.
+    pub fn query_batch(&self, queries: &[&str]) -> Result<Vec<RegionSet>, EngineError> {
+        Ok(self.query_batch_with_stats(queries)?.0)
+    }
+
+    /// [`Engine::query_batch`], also reporting how much work sharing and
+    /// caching saved.
+    pub fn query_batch_with_stats(
+        &self,
+        queries: &[&str],
+    ) -> Result<(Vec<RegionSet>, BatchStats), EngineError> {
+        let mut stats = BatchStats {
+            queries: queries.len(),
+            ..BatchStats::default()
+        };
+        let mut results: Vec<Option<RegionSet>> = (0..queries.len()).map(|_| None).collect();
+        let mut plan = Plan::new();
+        // (query index, optimized expr, fingerprint, plan root)
+        let mut misses: Vec<(usize, Expr, u64, tr_core::NodeId)> = Vec::new();
+        {
+            let cache = self.lock_cache();
+            for (i, q) in queries.iter().enumerate() {
+                let ast = parse_with_views(q, self.schema(), &self.views)?;
+                match ast.to_expr() {
+                    Some(e) => {
+                        let e = self.planned(e);
+                        let fp = expr_fingerprint(&e);
+                        if let Some(hit) = cache.get(fp, &e) {
+                            stats.cache_hits += 1;
+                            results[i] = Some(hit);
+                        } else {
+                            let root = plan.lower(&e);
+                            misses.push((i, e, fp, root));
+                        }
+                    }
+                    // Extended operators live outside the algebra; they
+                    // bypass the plan (and the cache) unchanged.
+                    None => results[i] = Some(ast.eval(&self.instance)),
+                }
+            }
+        }
+        stats.distinct_nodes = plan.len();
+        if !plan.is_empty() {
+            let executed = execute(&plan, &self.instance, &self.exec);
+            stats.nodes_evaluated = executed.stats().nodes_evaluated;
+            stats.threads = executed.stats().threads;
+            let mut cache = self.lock_cache();
+            for (i, e, fp, root) in misses {
+                let v = executed.result(root).clone();
+                cache.insert(fp, e, v.clone());
+                results[i] = Some(v);
+            }
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect();
+        Ok((results, stats))
+    }
+
+    /// Drops every cached query result.
+    pub fn clear_result_cache(&self) {
+        self.lock_cache().clear();
     }
 
     /// Explains how a query would run: the compiled algebra expression and
@@ -208,10 +391,8 @@ mod tests {
     use tr_markup::ProgramSpec;
 
     fn sgml_engine() -> Engine {
-        Engine::from_sgml(
-            "<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>",
-        )
-        .unwrap()
+        Engine::from_sgml("<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>")
+            .unwrap()
     }
 
     #[test]
@@ -219,7 +400,9 @@ mod tests {
         let e = sgml_engine();
         let out = e.query(r#"sec matching "beta""#).unwrap();
         assert_eq!(out.len(), 2, "both sections contain beta");
-        let out = e.query(r#"sec matching "beta" minus (sec containing note)"#).unwrap();
+        let out = e
+            .query(r#"sec matching "beta" minus (sec containing note)"#)
+            .unwrap();
         assert_eq!(out.len(), 1, "only the first has beta outside a note");
         assert!(e.snippet(out.iter().next().unwrap()).contains("alpha"));
     }
@@ -231,7 +414,9 @@ mod tests {
         let text = spec.render();
         let e = Engine::from_source(&text).unwrap();
         // The paper's e1 and e2 must agree (the instance satisfies Fig. 1).
-        let e1 = e.query("Name within Proc_header within Proc within Program").unwrap();
+        let e1 = e
+            .query("Name within Proc_header within Proc within Program")
+            .unwrap();
         let e2 = e.query("Name within Proc_header within Program").unwrap();
         assert_eq!(e1, e2);
         assert_eq!(e1.len(), spec.num_procs());
@@ -241,9 +426,14 @@ mod tests {
     fn explain_shows_rig_optimization() {
         let text = "program a; proc b; begin end; begin end.";
         let e = Engine::from_source(text).unwrap();
-        let plan = e.explain("Name within Proc_header within Proc within Program").unwrap();
+        let plan = e
+            .explain("Name within Proc_header within Proc within Program")
+            .unwrap();
         assert!(plan.contains("optimized"), "{plan}");
-        assert!(plan.contains("3 → 2 ops") || plan.contains("→ 2 ops"), "{plan}");
+        assert!(
+            plan.contains("3 → 2 ops") || plan.contains("→ 2 ops"),
+            "{plan}"
+        );
         let plan = e.explain("Proc directly containing Proc_body").unwrap();
         assert!(plan.contains("extended query"), "{plan}");
     }
@@ -262,7 +452,9 @@ mod tests {
             .query(r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#)
             .unwrap();
         assert_eq!(tight.len(), 1);
-        assert!(e.snippet(tight.iter().next().unwrap()).starts_with("proc inner"));
+        assert!(e
+            .snippet(tight.iter().next().unwrap())
+            .starts_with("proc inner"));
     }
 
     #[test]
@@ -281,7 +473,9 @@ mod tests {
             .query(r#"Proc containing ((Var matching "x") before (Var matching "y"))"#)
             .unwrap();
         assert_eq!(naive.len(), 1, "p selected spuriously via q's y");
-        assert!(e.snippet(naive.iter().next().unwrap()).starts_with("proc p"));
+        assert!(e
+            .snippet(naive.iter().next().unwrap())
+            .starts_with("proc p"));
         // And a positive case: x before y inside the same proc.
         let text2 = "program a; proc p; var x; var y; begin end; begin end.";
         let e2 = Engine::from_source(text2).unwrap();
@@ -302,20 +496,29 @@ mod tests {
         }
         // …compose with structural operators.
         assert_eq!(e.query(r#""beta" within note"#).unwrap().len(), 1);
-        assert_eq!(e.query(r#"("beta" within sec) minus ("beta" within note)"#).unwrap().len(), 1);
+        assert_eq!(
+            e.query(r#"("beta" within sec) minus ("beta" within note)"#)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn views_expand_like_names() {
         let mut e = sgml_engine();
-        e.define_view("beta_secs", r#"sec matching "beta""#).unwrap();
+        e.define_view("beta_secs", r#"sec matching "beta""#)
+            .unwrap();
         assert_eq!(e.query("beta_secs").unwrap().len(), 2);
         assert_eq!(
-            e.query("beta_secs minus (sec containing note)").unwrap().len(),
+            e.query("beta_secs minus (sec containing note)")
+                .unwrap()
+                .len(),
             1
         );
         // Views can build on views.
-        e.define_view("clean", "beta_secs minus (sec containing note)").unwrap();
+        e.define_view("clean", "beta_secs minus (sec containing note)")
+            .unwrap();
         assert_eq!(e.query("clean").unwrap().len(), 1);
         assert_eq!(e.views().collect::<Vec<_>>(), vec!["beta_secs", "clean"]);
         // Shadowing a schema name is rejected.
@@ -326,9 +529,93 @@ mod tests {
     }
 
     #[test]
+    fn batch_shares_work_and_matches_single_queries() {
+        let e = sgml_engine();
+        // Eight queries with heavy sub-expression overlap ("sec matching
+        // beta" and "sec containing note" recur throughout).
+        let queries: Vec<&str> = vec![
+            r#"sec matching "beta""#,
+            r#"sec matching "beta" minus (sec containing note)"#,
+            "sec containing note",
+            r#"(sec matching "beta") intersect (sec containing note)"#,
+            "note within sec",
+            r#"sec matching "beta" union (note within sec)"#,
+            "doc containing sec",
+            r#"(sec matching "beta") minus (sec containing note)"#,
+        ];
+        let (batch, stats) = e.query_batch_with_stats(&queries).unwrap();
+        assert_eq!(stats.queries, 8);
+        assert_eq!(stats.cache_hits, 0);
+        // Sharing is real: each distinct node evaluated exactly once, and
+        // fewer nodes than the sum of the individual query trees.
+        assert_eq!(stats.nodes_evaluated, stats.distinct_nodes);
+        let tree_total: usize = queries
+            .iter()
+            .map(|q| {
+                let ex = e.compile(q).unwrap().unwrap();
+                ex.num_ops() + ex.names().len() + 1 // ops + name leaves + selects, roughly
+            })
+            .sum();
+        assert!(
+            stats.distinct_nodes < tree_total,
+            "{} distinct vs {} tree nodes",
+            stats.distinct_nodes,
+            tree_total
+        );
+        // Results agree with the one-at-a-time path on a fresh engine.
+        let fresh = sgml_engine();
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &fresh.query(q).unwrap(), "query {q}");
+        }
+        // Re-running the identical batch is answered from the cache.
+        let (again, stats2) = e.query_batch_with_stats(&queries).unwrap();
+        assert_eq!(again, batch, "batch results are deterministic");
+        assert_eq!(stats2.cache_hits, 8);
+        assert_eq!(stats2.distinct_nodes, 0);
+        e.clear_result_cache();
+        let (third, stats3) = e.query_batch_with_stats(&queries).unwrap();
+        assert_eq!(third, batch);
+        assert_eq!(stats3.cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_handles_extended_queries_and_errors() {
+        let text = "program a; proc outer; proc inner; var x; begin end; begin end; begin end.";
+        let e = Engine::from_source(text).unwrap();
+        let queries: Vec<&str> = vec![
+            r#"Proc containing (Var matching "x")"#,
+            // Extended operator: bypasses the plan, still answered in-order.
+            r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#,
+            "Name within Proc_header within Program",
+        ];
+        let batch = e.query_batch(&queries).unwrap();
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &e.query(q).unwrap(), "query {q}");
+        }
+        // A parse error anywhere fails the whole batch.
+        assert!(e.query_batch(&["Proc", "nope within doc"]).is_err());
+    }
+
+    #[test]
+    fn single_query_cache_is_correct_across_views() {
+        let mut e = sgml_engine();
+        let before = e.query(r#"sec matching "beta""#).unwrap();
+        // Cached re-run.
+        assert_eq!(e.query(r#"sec matching "beta""#).unwrap(), before);
+        // Views expand to expressions, so view-based queries share the
+        // cache by structure, not by query text.
+        e.define_view("beta_secs", r#"sec matching "beta""#)
+            .unwrap();
+        assert_eq!(e.query("beta_secs").unwrap(), before);
+    }
+
+    #[test]
     fn query_errors_are_reported() {
         let e = sgml_engine();
-        assert!(matches!(e.query("nope within doc"), Err(EngineError::Query(_))));
+        assert!(matches!(
+            e.query("nope within doc"),
+            Err(EngineError::Query(_))
+        ));
         assert!(Engine::from_sgml("<a><b></a>").is_err());
         assert!(Engine::from_source("not a program").is_err());
     }

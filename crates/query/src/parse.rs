@@ -98,15 +98,15 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
                 // The input is a &str, so the collected bytes are valid
                 // UTF-8 (escapes only ever insert ASCII).
-                let s = String::from_utf8(raw)
-                    .map_err(|_| ParseError { message: "invalid UTF-8 in string".into(), at: start })?;
+                let s = String::from_utf8(raw).map_err(|_| ParseError {
+                    message: "invalid UTF-8 in string".into(),
+                    at: start,
+                })?;
                 out.push((Tok::Str(s), start));
             }
             b if b.is_ascii_alphanumeric() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Ident(input[start..i].to_owned()), start));
@@ -137,10 +137,19 @@ pub fn parse_with_views(
     views: &BTreeMap<String, Query>,
 ) -> Result<Query, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, schema, views, input_len: input.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+        views,
+        input_len: input.len(),
+    };
     let q = p.set()?;
     if p.pos != p.toks.len() {
-        return Err(ParseError { message: "trailing input".into(), at: p.here() });
+        return Err(ParseError {
+            message: "trailing input".into(),
+            at: p.here(),
+        });
     }
     Ok(q)
 }
@@ -155,7 +164,9 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn here(&self) -> usize {
-        self.toks.get(self.pos).map_or(self.input_len, |&(_, at)| at)
+        self.toks
+            .get(self.pos)
+            .map_or(self.input_len, |&(_, at)| at)
     }
 
     fn peek_ident(&self) -> Option<&str> {
@@ -185,7 +196,10 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected {what}"), at: self.here() })
+            Err(ParseError {
+                message: format!("expected {what}"),
+                at: self.here(),
+            })
         }
     }
 
@@ -341,14 +355,26 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Repeated and parenthesized selections.
-        assert!(matches!(p("Par matching \"x\" matching \"y\""), Query::Matching(..)));
-        assert!(matches!(p("(Par within Sec) matching \"x\""), Query::Matching(..)));
+        assert!(matches!(
+            p("Par matching \"x\" matching \"y\""),
+            Query::Matching(..)
+        ));
+        assert!(matches!(
+            p("(Par within Sec) matching \"x\""),
+            Query::Matching(..)
+        ));
     }
 
     #[test]
     fn directly_variants() {
-        assert!(matches!(p("Par directly within Sec"), Query::DirectlyWithin(..)));
-        assert!(matches!(p("Sec directly containing Par"), Query::DirectlyContaining(..)));
+        assert!(matches!(
+            p("Par directly within Sec"),
+            Query::DirectlyWithin(..)
+        ));
+        assert!(matches!(
+            p("Sec directly containing Par"),
+            Query::DirectlyContaining(..)
+        ));
         assert!(parse("Par directly before Sec", &schema()).is_err());
     }
 

@@ -18,7 +18,7 @@
 //! removed — polynomial, matching the paper's claim.
 
 use crate::graph::Rig;
-use tr_core::{Expr, NameId, BinOp};
+use tr_core::{BinOp, Expr, NameId};
 
 /// The direction of an inclusion chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,10 @@ pub struct ChainItem {
 impl ChainItem {
     /// An item with no selections.
     pub fn bare(name: NameId) -> ChainItem {
-        ChainItem { name, patterns: Vec::new() }
+        ChainItem {
+            name,
+            patterns: Vec::new(),
+        }
     }
 
     fn to_expr(&self) -> Expr {
@@ -70,7 +73,12 @@ impl ChainItem {
                     patterns.push(p.clone());
                     e = inner;
                 }
-                Expr::Name(id) => return Some(ChainItem { name: *id, patterns }),
+                Expr::Name(id) => {
+                    return Some(ChainItem {
+                        name: *id,
+                        patterns,
+                    })
+                }
                 Expr::Bin(..) => return None,
             }
         }
@@ -168,8 +176,9 @@ impl Chain {
     pub fn optimize(&self, rig: &Rig) -> Chain {
         let mut cur = self.clone();
         loop {
-            let Some(j) =
-                (1..cur.items.len().saturating_sub(1)).rev().find(|&j| cur.droppable(rig, j))
+            let Some(j) = (1..cur.items.len().saturating_sub(1))
+                .rev()
+                .find(|&j| cur.droppable(rig, j))
             else {
                 return cur;
             };
@@ -214,16 +223,26 @@ mod tests {
     fn chain_of(s: &Schema, dir: ChainDir, names: &[&str]) -> Chain {
         Chain {
             dir,
-            items: names.iter().map(|n| ChainItem::bare(s.expect_id(n))).collect(),
+            items: names
+                .iter()
+                .map(|n| ChainItem::bare(s.expect_id(n)))
+                .collect(),
         }
     }
 
     #[test]
     fn round_trip_expr() {
         let (_, s) = fig1();
-        let c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        let c = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Proc", "Program"],
+        );
         let e = c.to_expr();
-        assert_eq!(e.display(&s).to_string(), "Name ⊂ Proc_header ⊂ Proc ⊂ Program");
+        assert_eq!(
+            e.display(&s).to_string(),
+            "Name ⊂ Proc_header ⊂ Proc ⊂ Program"
+        );
         assert_eq!(Chain::from_expr(&e), Some(c));
     }
 
@@ -256,9 +275,17 @@ mod tests {
     #[test]
     fn paper_example_drops_proc() {
         let (rig, s) = fig1();
-        let e1 = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        let e1 = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Proc", "Program"],
+        );
         let opt = e1.optimize(&rig);
-        let e2 = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"]);
+        let e2 = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Program"],
+        );
         assert_eq!(opt, e2, "the paper's e1 optimizes to e2");
     }
 
@@ -268,25 +295,40 @@ mod tests {
         // since we need to distinguish between names of programs and names
         // of procedures" — Name reaches Program via Prog_header too.
         let (rig, s) = fig1();
-        let c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"]);
+        let c = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Program"],
+        );
         assert_eq!(c.optimize(&rig), c);
     }
 
     #[test]
     fn including_chain_optimizes_symmetrically() {
         let (rig, s) = fig1();
-        let c = chain_of(&s, ChainDir::Including, &["Program", "Proc", "Proc_header", "Name"]);
+        let c = chain_of(
+            &s,
+            ChainDir::Including,
+            &["Program", "Proc", "Proc_header", "Name"],
+        );
         let opt = c.optimize(&rig);
         // The scan drops Proc_header (every Proc → Name path passes through
         // it); [Program, Proc_header, Name] would be an equally minimal
         // equivalent reached under the opposite scan order.
-        assert_eq!(opt, chain_of(&s, ChainDir::Including, &["Program", "Proc", "Name"]));
+        assert_eq!(
+            opt,
+            chain_of(&s, ChainDir::Including, &["Program", "Proc", "Name"])
+        );
     }
 
     #[test]
     fn items_with_patterns_are_kept() {
         let (rig, s) = fig1();
-        let mut c = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"]);
+        let mut c = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Proc", "Program"],
+        );
         c.items[2].patterns.push("main".into()); // σ_main(Proc)
         let opt = c.optimize(&rig);
         // Proc carries a selection, so it survives; its now-redundant
@@ -299,13 +341,21 @@ mod tests {
     #[test]
     fn optimize_expr_recurses_into_non_chain_shapes() {
         let (rig, s) = fig1();
-        let chain = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Proc", "Program"])
-            .to_expr();
+        let chain = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Proc", "Program"],
+        )
+        .to_expr();
         let e = chain.clone().union(Expr::name(s.expect_id("Var")));
         let opt = optimize_expr(&e, &rig);
-        let expected = chain_of(&s, ChainDir::IncludedIn, &["Name", "Proc_header", "Program"])
-            .to_expr()
-            .union(Expr::name(s.expect_id("Var")));
+        let expected = chain_of(
+            &s,
+            ChainDir::IncludedIn,
+            &["Name", "Proc_header", "Program"],
+        )
+        .to_expr()
+        .union(Expr::name(s.expect_id("Var")));
         assert_eq!(opt, expected);
     }
 

@@ -20,7 +20,10 @@ pub struct Grammar {
 impl Grammar {
     /// Starts an empty grammar over `schema`.
     pub fn new(schema: Schema) -> Grammar {
-        Grammar { schema, productions: Vec::new() }
+        Grammar {
+            schema,
+            productions: Vec::new(),
+        }
     }
 
     /// Adds a production, with names given as strings.
@@ -106,7 +109,10 @@ impl Grammar {
         rng: &mut R,
     ) -> GenNode {
         *remaining = remaining.saturating_sub(1);
-        let mut node = GenNode { name, children: Vec::new() };
+        let mut node = GenNode {
+            name,
+            children: Vec::new(),
+        };
         if depth >= max_depth || *remaining == 0 {
             return node;
         }
@@ -124,7 +130,8 @@ impl Grammar {
             if *remaining == 0 {
                 break;
             }
-            node.children.push(self.grow(child, depth + 1, max_depth, remaining, rng));
+            node.children
+                .push(self.grow(child, depth + 1, max_depth, remaining, rng));
         }
         node
     }

@@ -74,7 +74,9 @@ impl NameGraph {
 
     /// The successors of a node.
     pub fn successors(&self, from: NameId) -> impl Iterator<Item = NameId> + '_ {
-        self.adj[from.index()].iter().map(|&i| NameId::from_index(i as usize))
+        self.adj[from.index()]
+            .iter()
+            .map(|&i| NameId::from_index(i as usize))
     }
 
     /// All edges, in `(from, to)` order.
@@ -298,7 +300,10 @@ mod tests {
         let name = s.expect_id("Name");
         let hdrs = [s.expect_id("Prog_header"), s.expect_id("Proc_header")];
         let reach = rig.reachable_avoiding(program, &hdrs);
-        assert!(!reach[name.index()], "all paths to Name go through a header");
+        assert!(
+            !reach[name.index()],
+            "all paths to Name go through a header"
+        );
         let reach2 = rig.reachable_avoiding(program, &[s.expect_id("Prog_header")]);
         assert!(reach2[name.index()], "Proc_header path remains");
     }
@@ -318,7 +323,11 @@ mod tests {
         let rog = Rog::from_edges(schema.clone(), [("A", "B"), ("B", "C")]);
         assert_eq!(rog.width_bound(), Some(3));
         let cyclic = Rog::from_edges(schema, [("A", "B"), ("B", "A")]);
-        assert_eq!(cyclic.width_bound(), None, "self-following regions are unbounded");
+        assert_eq!(
+            cyclic.width_bound(),
+            None,
+            "self-following regions are unbounded"
+        );
     }
 
     #[test]

@@ -28,4 +28,6 @@ pub use grammar::{source_code_grammar, Grammar};
 pub use graph::{NameGraph, Rig, Rog};
 pub use mincut::min_vertex_cut;
 pub use minimal_set::{min_vertex_cover_brute, vertex_cover_to_minimal_set, MinimalSetProblem};
-pub use validate::{check_rig, check_rog, satisfies_rig, satisfies_rog, RigViolation, RogViolation};
+pub use validate::{
+    check_rig, check_rog, satisfies_rig, satisfies_rog, RigViolation, RogViolation,
+};

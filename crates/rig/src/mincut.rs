@@ -25,7 +25,11 @@ pub fn min_vertex_cut(rig: &Rig, u: NameId, v: NameId) -> Vec<NameId> {
     let size = 2 * n;
     let mut cap = vec![vec![0u32; size]; size];
     for i in 0..n {
-        let c = if i == u.index() || i == v.index() { INF } else { 1 };
+        let c = if i == u.index() || i == v.index() {
+            INF
+        } else {
+            1
+        };
         cap[2 * i][2 * i + 1] = c;
     }
     for (a, b) in rig.edges() {
@@ -36,7 +40,10 @@ pub fn min_vertex_cut(rig: &Rig, u: NameId, v: NameId) -> Vec<NameId> {
     }
     let (source, sink) = (2 * u.index() + 1, 2 * v.index());
     let flow = max_flow(&mut cap, source, sink);
-    debug_assert!(flow < INF, "every remaining u→v path has an interior unit-capacity node");
+    debug_assert!(
+        flow < INF,
+        "every remaining u→v path has an interior unit-capacity node"
+    );
     // Residual reachability from the source determines the cut: a name is
     // cut iff its in-node is reachable but its out-node is not.
     let reach = residual_reachable(&cap, source, size);
@@ -116,7 +123,10 @@ mod tests {
     #[test]
     fn diamond_needs_two() {
         let schema = Schema::new(["A", "B", "C", "D"]);
-        let rig = Rig::from_edges(schema.clone(), [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]);
+        let rig = Rig::from_edges(
+            schema.clone(),
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        );
         let cut = min_vertex_cut(&rig, schema.expect_id("A"), schema.expect_id("D"));
         assert_eq!(cut, vec![schema.expect_id("B"), schema.expect_id("C")]);
     }

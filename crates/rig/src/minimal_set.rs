@@ -52,7 +52,9 @@ impl MinimalSetProblem {
 
     /// True if `set` intercepts every path of every pair.
     pub fn covers(&self, set: &[NameId]) -> bool {
-        self.pairs.iter().all(|&(u, v)| self.pair_covered(u, v, set))
+        self.pairs
+            .iter()
+            .all(|&(u, v)| self.pair_covered(u, v, set))
     }
 
     /// True if every path `u → v` has an interior node in `set`.
@@ -179,8 +181,7 @@ impl MinimalSetProblem {
                     // paths): block one witness path and keep going — each
                     // pick removes at least one path, so this terminates.
                     let (u, v) = uncovered[0];
-                    let interior =
-                        self.witness_path(u, v, &chosen).expect("pair is uncovered");
+                    let interior = self.witness_path(u, v, &chosen).expect("pair is uncovered");
                     chosen.push(interior[0]);
                 }
             }
@@ -213,7 +214,10 @@ pub fn vertex_cover_to_minimal_set(
     let mut rig = Rig::new(schema.clone());
     let mut chain = Vec::with_capacity(2 * edges.len());
     for (j, &(a, b)) in edges.iter().enumerate() {
-        assert!(a < num_vertices && b < num_vertices && a != b, "bad edge ({a},{b})");
+        assert!(
+            a < num_vertices && b < num_vertices && a != b,
+            "bad edge ({a},{b})"
+        );
         let s = schema.expect_id(&format!("S{j}"));
         let t = schema.expect_id(&format!("T{j}"));
         let (va, vb) = (NameId::from_index(a), NameId::from_index(b));
@@ -229,7 +233,10 @@ pub fn vertex_cover_to_minimal_set(
 /// Brute-force minimum vertex cover, for cross-checking the reduction in
 /// tests and experiment E10. Exponential; keep `num_vertices` small.
 pub fn min_vertex_cover_brute(num_vertices: usize, edges: &[(usize, usize)]) -> usize {
-    assert!(num_vertices <= 20, "brute-force cover limited to 20 vertices");
+    assert!(
+        num_vertices <= 20,
+        "brute-force cover limited to 20 vertices"
+    );
     (0u32..1 << num_vertices)
         .filter(|mask| {
             edges
@@ -248,7 +255,10 @@ mod tests {
     fn diamond() -> (Rig, Schema) {
         // A → {B, C} → D: two disjoint interior paths.
         let schema = Schema::new(["A", "B", "C", "D"]);
-        let rig = Rig::from_edges(schema.clone(), [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]);
+        let rig = Rig::from_edges(
+            schema.clone(),
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        );
         (rig, schema)
     }
 
@@ -310,7 +320,11 @@ mod tests {
         );
         let p = MinimalSetProblem::for_chain(
             rig,
-            &[schema.expect_id("A"), schema.expect_id("B"), schema.expect_id("C")],
+            &[
+                schema.expect_id("A"),
+                schema.expect_id("B"),
+                schema.expect_id("C"),
+            ],
         );
         assert_eq!(p.solve_exact(), Some(vec![schema.expect_id("M")]));
     }
@@ -326,7 +340,11 @@ mod tests {
         for &(n, edges) in cases {
             let p = vertex_cover_to_minimal_set(n, edges);
             let exact = p.solve_exact().expect("feasible").len();
-            assert_eq!(exact, min_vertex_cover_brute(n, edges), "n={n} edges={edges:?}");
+            assert_eq!(
+                exact,
+                min_vertex_cover_brute(n, edges),
+                "n={n} edges={edges:?}"
+            );
         }
     }
 

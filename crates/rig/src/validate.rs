@@ -18,7 +18,11 @@ pub struct RigViolation {
 
 /// Returns the first RIG violation in `I`, if any.
 pub fn check_rig<W>(inst: &Instance<W>, rig: &Rig) -> Option<RigViolation> {
-    assert_eq!(inst.schema(), rig.schema(), "instance and RIG schemas differ");
+    assert_eq!(
+        inst.schema(),
+        rig.schema(),
+        "instance and RIG schemas differ"
+    );
     let forest = inst.forest();
     for (i, child_region, child_name) in forest.iter() {
         if let Some(p) = forest.parent(i) {
@@ -56,7 +60,11 @@ pub struct RogViolation {
 /// where `M(r)` is the minimum right endpoint among regions entirely to the
 /// right of `r`.
 pub fn check_rog<W>(inst: &Instance<W>, rog: &Rog) -> Option<RogViolation> {
-    assert_eq!(inst.schema(), rog.schema(), "instance and ROG schemas differ");
+    assert_eq!(
+        inst.schema(),
+        rog.schema(),
+        "instance and ROG schemas differ"
+    );
     let all = inst.all_with_names();
     // suffix_min_right[i] = min right endpoint among regions i.. (sorted by left).
     let n = all.len();
@@ -77,7 +85,10 @@ pub fn check_rog<W>(inst: &Instance<W>, rog: &Rog) -> Option<RogViolation> {
                 break;
             }
             if !rog.has_edge(r_name, s_name) {
-                return Some(RogViolation { before: (r, r_name), after: (s, s_name) });
+                return Some(RogViolation {
+                    before: (r, r_name),
+                    after: (s, s_name),
+                });
             }
         }
     }
@@ -167,7 +178,10 @@ mod tests {
             .add("A", region(0, 9))
             .add("B", region(1, 8))
             .build_valid();
-        assert!(satisfies_rog(&inst, &rog), "nested regions have no precedence pairs");
+        assert!(
+            satisfies_rog(&inst, &rog),
+            "nested regions have no precedence pairs"
+        );
     }
 
     #[test]

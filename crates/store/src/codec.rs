@@ -19,7 +19,10 @@ const FNV_PRIME: u64 = 0x1000_0000_01b3;
 impl<W: Write> Encoder<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Encoder<W> {
-        Encoder { out, hash: FNV_OFFSET }
+        Encoder {
+            out,
+            hash: FNV_OFFSET,
+        }
     }
 
     fn raw(&mut self, bytes: &[u8]) -> io::Result<()> {
@@ -103,7 +106,10 @@ impl From<io::Error> for DecodeError {
 impl<R: Read> Decoder<R> {
     /// Wraps a reader.
     pub fn new(input: R) -> Decoder<R> {
-        Decoder { input, hash: FNV_OFFSET }
+        Decoder {
+            input,
+            hash: FNV_OFFSET,
+        }
     }
 
     fn raw(&mut self, buf: &mut [u8]) -> Result<(), DecodeError> {
@@ -149,8 +155,7 @@ impl<R: Read> Decoder<R> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self, max: u64) -> Result<String, DecodeError> {
-        String::from_utf8(self.bytes(max)?)
-            .map_err(|_| DecodeError::Malformed("invalid utf-8"))
+        String::from_utf8(self.bytes(max)?).map_err(|_| DecodeError::Malformed("invalid utf-8"))
     }
 
     /// Verifies the checksum trailer.

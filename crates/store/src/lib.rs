@@ -124,7 +124,10 @@ pub fn save_document<W: AsRef<Path>>(
             }
         }
     }
-    enc.finish()?.into_inner().map_err(|e| e.into_error())?.sync_all()
+    enc.finish()?
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_all()
 }
 
 /// Loads a document saved by [`save_document`], verifying the checksum,
@@ -210,7 +213,11 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
             Some(rig)
         }
     };
-    Ok(StoredDocument { text, instance, rig })
+    Ok(StoredDocument {
+        text,
+        instance,
+        rig,
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +271,10 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x55;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(load_document(&path).is_err(), "checksum must catch tampering");
+        assert!(
+            load_document(&path).is_err(),
+            "checksum must catch tampering"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -8,9 +8,8 @@
 use crate::pattern::Pattern;
 use crate::suffix::SuffixArray;
 use crate::tokenize::{is_word_byte, word_starts};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 use tr_core::{Region, WordIndex};
 
 /// An occurrence of a pattern: `(start offset, byte length)`.
@@ -22,7 +21,7 @@ pub struct SuffixWordIndex {
     /// Sorted word-start offsets, for boundary checks.
     starts: Vec<u32>,
     /// pattern string → sorted occurrences, memoized.
-    cache: RefCell<HashMap<String, Rc<Vec<Occurrence>>>>,
+    cache: RwLock<HashMap<String, Arc<Vec<Occurrence>>>>,
 }
 
 impl SuffixWordIndex {
@@ -30,14 +29,22 @@ impl SuffixWordIndex {
     pub fn new(text: impl Into<Vec<u8>>) -> SuffixWordIndex {
         let text = text.into();
         let starts = word_starts(&text);
-        SuffixWordIndex { sa: SuffixArray::new(text), starts, cache: RefCell::new(HashMap::new()) }
+        SuffixWordIndex {
+            sa: SuffixArray::new(text),
+            starts,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Wraps a previously built [`SuffixArray`] (e.g. loaded from disk),
     /// recomputing the cheap word-start table.
     pub fn from_suffix_array(sa: SuffixArray) -> SuffixWordIndex {
         let starts = word_starts(sa.text());
-        SuffixWordIndex { sa, starts, cache: RefCell::new(HashMap::new()) }
+        SuffixWordIndex {
+            sa,
+            starts,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The underlying suffix array (for persistence).
@@ -51,15 +58,26 @@ impl SuffixWordIndex {
     }
 
     /// The sorted occurrences of a pattern (memoized).
-    pub fn occurrences(&self, pattern: &str) -> Rc<Vec<Occurrence>> {
-        if let Some(hit) = self.cache.borrow().get(pattern) {
-            return Rc::clone(hit);
+    pub fn occurrences(&self, pattern: &str) -> Arc<Vec<Occurrence>> {
+        if let Some(hit) = self.read_cache().get(pattern) {
+            return Arc::clone(hit);
         }
-        let computed = Rc::new(self.compute(&Pattern::parse(pattern)));
+        let computed = Arc::new(self.compute(&Pattern::parse(pattern)));
+        // Two threads may compute the same pattern concurrently; keep the
+        // first entry so all callers share one allocation.
+        Arc::clone(
+            self.cache
+                .write()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .entry(pattern.to_owned())
+                .or_insert(computed),
+        )
+    }
+
+    fn read_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Vec<Occurrence>>>> {
         self.cache
-            .borrow_mut()
-            .insert(pattern.to_owned(), Rc::clone(&computed));
-        computed
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// Number of occurrences of a pattern.
@@ -132,7 +150,7 @@ impl std::fmt::Debug for SuffixWordIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SuffixWordIndex")
             .field("text_len", &self.sa.text().len())
-            .field("cached_patterns", &self.cache.borrow().len())
+            .field("cached_patterns", &self.read_cache().len())
             .finish()
     }
 }
@@ -193,7 +211,7 @@ mod tests {
         let w = idx();
         let a = w.occurrences("cat");
         let b = w.occurrences("cat");
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

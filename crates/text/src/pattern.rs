@@ -53,7 +53,10 @@ mod tests {
     fn parse_forms() {
         assert_eq!(Pattern::parse("cat"), Pattern::WordExact("cat".into()));
         assert_eq!(Pattern::parse("cat*"), Pattern::WordPrefix("cat".into()));
-        assert_eq!(Pattern::parse("cat sat"), Pattern::Substring("cat sat".into()));
+        assert_eq!(
+            Pattern::parse("cat sat"),
+            Pattern::Substring("cat sat".into())
+        );
         assert_eq!(Pattern::parse("a.b"), Pattern::Substring("a.b".into()));
         // A bare `*` has no stem: treated as a substring literal.
         assert_eq!(Pattern::parse("*"), Pattern::Substring("*".into()));

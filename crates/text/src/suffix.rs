@@ -20,7 +20,10 @@ impl SuffixArray {
     /// Builds the suffix array for `text`.
     pub fn new(text: impl Into<Vec<u8>>) -> SuffixArray {
         let text = text.into();
-        assert!(text.len() <= u32::MAX as usize, "text too large for u32 offsets");
+        assert!(
+            text.len() <= u32::MAX as usize,
+            "text too large for u32 offsets"
+        );
         let sa = build(&text);
         SuffixArray { text, sa }
     }
@@ -44,7 +47,10 @@ impl SuffixArray {
     /// [`SuffixArray::is_consistent`].
     pub fn from_parts(text: Vec<u8>, sa: Vec<u32>) -> SuffixArray {
         let out = SuffixArray { text, sa };
-        debug_assert!(out.is_consistent(), "persisted suffix array does not match text");
+        debug_assert!(
+            out.is_consistent(),
+            "persisted suffix array does not match text"
+        );
         out
     }
 
@@ -95,8 +101,9 @@ impl SuffixArray {
     pub fn range(&self, pattern: &[u8]) -> std::ops::Range<usize> {
         let lo = self.sa.partition_point(|&s| self.suffix(s) < pattern);
         let hi = lo
-            + self.sa[lo..]
-                .partition_point(|&s| self.suffix(s).starts_with(pattern) || self.suffix(s) < pattern);
+            + self.sa[lo..].partition_point(|&s| {
+                self.suffix(s).starts_with(pattern) || self.suffix(s) < pattern
+            });
         lo..hi
     }
 
@@ -153,8 +160,7 @@ fn build(text: &[u8]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + u32::from(key(prev) != key(cur));
         }
         std::mem::swap(&mut rank, &mut tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -210,7 +216,11 @@ mod tests {
                     .filter(|&i| text[i..].starts_with(&pat))
                     .map(|i| i as u32)
                     .collect();
-                assert_eq!(sa.positions_sorted(&pat), expect, "text {text:?} pat {pat:?}");
+                assert_eq!(
+                    sa.positions_sorted(&pat),
+                    expect,
+                    "text {text:?} pat {pat:?}"
+                );
             }
         }
     }

@@ -46,7 +46,10 @@ pub fn tokens(text: &[u8]) -> Vec<Token> {
             while i < text.len() && is_word_byte(text[i]) {
                 i += 1;
             }
-            out.push(Token { start: start as u32, end: i as u32 });
+            out.push(Token {
+                start: start as u32,
+                end: i as u32,
+            });
         } else {
             i += 1;
         }

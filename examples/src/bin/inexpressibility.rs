@@ -43,7 +43,12 @@ fn main() {
     println!("=== search-space growth (why exhaustion stops early) ===");
     println!("{:>4} {:>16} {:>16}", "ops", "2-name exprs", "3-name exprs");
     for ops in 0..=6 {
-        println!("{:>4} {:>16} {:>16}", ops, count_exprs(2, ops), count_exprs(3, ops));
+        println!(
+            "{:>4} {:>16} {:>16}",
+            ops,
+            count_exprs(2, ops),
+            count_exprs(3, ops)
+        );
     }
     println!("\nBut the theorems hold at *every* size: Propositions 5.2/5.4 show the");
     println!("operators only become expressible under bounded nesting depth (acyclic");

@@ -30,7 +30,10 @@ fn generate_play(acts: usize) -> String {
                 let speaker = speakers[(k + s) % speakers.len()];
                 out.push_str(&format!("<speech><speaker>{speaker}</speaker>"));
                 for l in 0..2 {
-                    out.push_str(&format!("<line>{}</line>", lines[(k + s + l) % lines.len()]));
+                    out.push_str(&format!(
+                        "<line>{}</line>",
+                        lines[(k + s + l) % lines.len()]
+                    ));
                 }
                 out.push_str("</speech>\n");
             }
@@ -44,7 +47,10 @@ fn generate_play(acts: usize) -> String {
 }
 
 fn main() {
-    let acts: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let acts: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let doc = generate_play(acts);
     let mut engine = Engine::from_sgml(&doc).expect("generated play is well-formed");
     println!(
@@ -56,10 +62,16 @@ fn main() {
 
     // Views make repeated sub-queries readable (the paper's footnote 1).
     engine
-        .define_view("feste_speech", r#"speech containing (speaker matching "FESTE")"#)
+        .define_view(
+            "feste_speech",
+            r#"speech containing (speaker matching "FESTE")"#,
+        )
         .expect("valid view");
     engine
-        .define_view("duke_speech", r#"speech containing (speaker matching "DUKE")"#)
+        .define_view(
+            "duke_speech",
+            r#"speech containing (speaker matching "DUKE")"#,
+        )
         .expect("valid view");
     engine
         .define_view("love_lines", r#"line matching "love""#)
@@ -68,7 +80,10 @@ fn main() {
     let queries = [
         ("Scenes where Feste speaks", "scene containing feste_speech"),
         ("Lines about love", "love_lines"),
-        ("The Duke's lines about love", "love_lines within duke_speech"),
+        (
+            "The Duke's lines about love",
+            "love_lines within duke_speech",
+        ),
         (
             "Speeches after a Malvolio speech, same document order",
             r#"speech after (speech containing (speaker matching "MALVOLIO"))"#,
@@ -77,7 +92,10 @@ fn main() {
             "Scenes where greatness is mentioned before a journey",
             r#"bi(scene, line matching "greatness", line matching "Journeys")"#,
         ),
-        ("Lines directly within speeches (all of them)", "line directly within speech"),
+        (
+            "Lines directly within speeches (all of them)",
+            "line directly within speech",
+        ),
         (
             "Speeches NOT mentioning love in their first act",
             r#"speech within (act containing (acttitle matching "Act 1")) minus (speech containing love_lines)"#,

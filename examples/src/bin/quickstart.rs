@@ -20,8 +20,15 @@ fn main() {
 </report>"#;
 
     let engine = Engine::from_sgml(doc).expect("well-formed document");
-    println!("indexed {} regions over {} bytes", engine.instance().len(), engine.text().len());
-    println!("schema: {}", engine.schema().names().collect::<Vec<_>>().join(", "));
+    println!(
+        "indexed {} regions over {} bytes",
+        engine.instance().len(),
+        engine.text().len()
+    );
+    println!(
+        "schema: {}",
+        engine.schema().names().collect::<Vec<_>>().join(", ")
+    );
     println!();
 
     let queries = [

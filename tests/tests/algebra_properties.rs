@@ -3,7 +3,9 @@
 //! optimizer relies on hold on arbitrary hierarchical instances.
 
 use proptest::prelude::*;
-use tr_core::{eval, eval_naive, naive, ops, region, BinOp, Expr, Instance, NameId, Pos, RegionSet, Schema};
+use tr_core::{
+    eval, eval_naive, naive, ops, region, BinOp, Expr, Instance, NameId, Pos, RegionSet, Schema,
+};
 
 /// Strategy: a random hierarchical instance over names A/B with optional
 /// occurrences of pattern "x", built by recursive interval splitting (so
@@ -44,8 +46,11 @@ fn exprs(max_ops: usize) -> impl Strategy<Value = Expr> {
     let leaf = (0usize..2).prop_map(|i| Expr::name(NameId::from_index(i)));
     leaf.prop_recursive(max_ops as u32, max_ops as u32 * 2, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), 0usize..7)
-                .prop_map(|(l, r, op)| Expr::bin(BinOp::ALL[op], l, r)),
+            (inner.clone(), inner.clone(), 0usize..7).prop_map(|(l, r, op)| Expr::bin(
+                BinOp::ALL[op],
+                l,
+                r
+            )),
             inner.prop_map(|e| e.select("x")),
         ]
     })

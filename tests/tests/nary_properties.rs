@@ -29,7 +29,8 @@ fn instances() -> impl Strategy<Value = Instance> {
             b.push_id(NameId::from_index(name), region(nl, nr));
             spans.push((nl, nr));
         }
-        b.build().unwrap_or_else(|_| InstanceBuilder::new(schema()).build_valid())
+        b.build()
+            .unwrap_or_else(|_| InstanceBuilder::new(schema()).build_valid())
     })
 }
 
@@ -41,7 +42,8 @@ proptest! {
     fn semijoins_embed(inst in instances()) {
         let s = schema();
         let (a, b) = (s.expect_id("A"), s.expect_id("B"));
-        let cases: [(StructRel, fn(&tr_core::RegionSet, &tr_core::RegionSet) -> tr_core::RegionSet); 4] = [
+        type CoreOp = fn(&tr_core::RegionSet, &tr_core::RegionSet) -> tr_core::RegionSet;
+        let cases: [(StructRel, CoreOp); 4] = [
             (StructRel::Includes, tr_core::ops::includes),
             (StructRel::IncludedIn, tr_core::ops::included_in),
             (StructRel::Precedes, tr_core::ops::precedes),

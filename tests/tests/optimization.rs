@@ -60,7 +60,10 @@ fn chain_rewrites_preserve_semantics_on_rig_instances() {
             );
         }
     }
-    assert!(checked >= 10, "the sweep must exercise real rewrites (got {checked})");
+    assert!(
+        checked >= 10,
+        "the sweep must exercise real rewrites (got {checked})"
+    );
 }
 
 /// The chain optimizer's rewrites are confirmed equivalent by the
@@ -78,8 +81,13 @@ fn chain_rewrites_confirmed_by_emptiness_checker() {
     };
     let optimized = chain.optimize(&rig);
     assert_ne!(optimized, chain);
-    let checker =
-        EmptinessChecker::with_rig(rig.clone(), Bounds { max_nodes: 5, max_depth: 5 });
+    let checker = EmptinessChecker::with_rig(
+        rig.clone(),
+        Bounds {
+            max_nodes: 5,
+            max_depth: 5,
+        },
+    );
     assert!(checker.equivalent(&chain.to_expr(), &optimized.to_expr()));
     // And the checker rejects a *wrong* rewrite (dropping Proc_header).
     let wrong = Chain {
@@ -103,7 +111,13 @@ fn cost_based_optimizer_matches_chain_optimizer() {
     let prc = Expr::name(schema.expect_id("Proc"));
     let prg = Expr::name(schema.expect_id("Program"));
     let e1 = name.included_in(hdr.included_in(prc.included_in(prg)));
-    let checker = EmptinessChecker::with_rig(rig.clone(), Bounds { max_nodes: 5, max_depth: 5 });
+    let checker = EmptinessChecker::with_rig(
+        rig.clone(),
+        Bounds {
+            max_nodes: 5,
+            max_depth: 5,
+        },
+    );
     let via_pruning = optimize(&e1, &checker);
     let via_chain = Chain::from_expr(&e1).unwrap().optimize(&rig).to_expr();
     assert_eq!(via_pruning.num_ops(), via_chain.num_ops());

@@ -1,0 +1,166 @@
+//! Property tests for the plan-based parallel executor: on arbitrary
+//! hierarchical instances and expression DAGs, `eval_parallel` agrees with
+//! both `eval` (fast operators) and `eval_naive` (the literal Definition
+//! 2.3 oracle), batch execution shares nodes without changing answers, and
+//! parallel runs are deterministic.
+
+use proptest::prelude::*;
+use tr_core::{
+    eval, eval_naive, eval_parallel_with, execute, region, BinOp, ExecConfig, Expr, Instance,
+    NameId, Plan, Pos, Schema,
+};
+
+/// Strategy: a random hierarchical instance over names A/B with optional
+/// occurrences of pattern "x" (same construction as algebra_properties).
+fn instances() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0usize..8, 0usize..2, 1u32..30, any::<bool>()), 0..14).prop_map(
+        |steps| {
+            let schema = Schema::new(["A", "B"]);
+            let mut b = tr_core::InstanceBuilder::new(schema);
+            let mut spans: Vec<(Pos, Pos)> = vec![(0, 255)];
+            for (slot, name, cut, occ) in steps {
+                let (l, r) = spans[slot % spans.len()];
+                if r - l < 4 {
+                    continue;
+                }
+                let nl = l + 1 + cut % ((r - l) / 2);
+                let nr = nl + (r - nl).min(cut);
+                if nr > r - 1 {
+                    continue;
+                }
+                b.push_id(NameId::from_index(name), region(nl, nr));
+                spans.push((nl, nr));
+                if occ {
+                    b.push_occurrence("x", nl, 1);
+                }
+            }
+            match b.build() {
+                Ok(inst) => inst,
+                Err(_) => tr_core::InstanceBuilder::new(Schema::new(["A", "B"])).build_valid(),
+            }
+        },
+    )
+}
+
+/// Strategy: a random algebra expression over A/B and pattern "x".
+fn exprs(max_ops: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..2).prop_map(|i| Expr::name(NameId::from_index(i)));
+    leaf.prop_recursive(max_ops as u32, max_ops as u32 * 2, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..7).prop_map(|(l, r, op)| Expr::bin(
+                BinOp::ALL[op],
+                l,
+                r
+            )),
+            inner.prop_map(|e| e.select("x")),
+        ]
+    })
+}
+
+/// Aggressive settings: several scheduler workers, kernels split down to
+/// single elements — maximal interleaving on any input size.
+fn aggressive() -> ExecConfig {
+    ExecConfig {
+        threads: 4,
+        kernel_cutoff: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The oracle triangle: parallel == fast == naive on arbitrary inputs.
+    #[test]
+    fn parallel_matches_fast_and_naive(e in exprs(4), inst in instances()) {
+        let par = eval_parallel_with(&e, &inst, &aggressive());
+        prop_assert_eq!(&par, &eval(&e, &inst));
+        prop_assert_eq!(&par, &eval_naive(&e, &inst));
+    }
+
+    /// Batch execution: sharing sub-expressions across queries changes
+    /// node counts, never answers — and each distinct node runs once.
+    #[test]
+    fn batch_execution_matches_per_query_eval(
+        batch in proptest::collection::vec(exprs(3), 1..6),
+        inst in instances(),
+    ) {
+        let mut plan = Plan::new();
+        let roots = plan.lower_batch(batch.iter());
+        let out = execute(&plan, &inst, &aggressive());
+        prop_assert_eq!(out.stats().nodes_evaluated, plan.len());
+        for (root, e) in roots.iter().zip(&batch) {
+            prop_assert_eq!(out.result(*root), &eval(e, &inst));
+        }
+    }
+
+    /// Determinism: the same batch executed twice (and with different
+    /// thread/cutoff settings) produces byte-identical results.
+    #[test]
+    fn parallel_execution_is_deterministic(
+        batch in proptest::collection::vec(exprs(3), 1..5),
+        inst in instances(),
+    ) {
+        let run = |cfg: &ExecConfig| {
+            let mut plan = Plan::new();
+            let roots = plan.lower_batch(batch.iter());
+            execute(&plan, &inst, cfg).take(&roots)
+        };
+        let first = run(&aggressive());
+        prop_assert_eq!(&first, &run(&aggressive()), "same config, same bytes");
+        prop_assert_eq!(&first, &run(&ExecConfig::sequential()), "thread count is invisible");
+        prop_assert_eq!(
+            &first,
+            &run(&ExecConfig { threads: 2, kernel_cutoff: 3 }),
+            "cutoff is invisible"
+        );
+    }
+}
+
+/// A directed non-property case: a batch with heavy cross-query sharing
+/// evaluates far fewer nodes than the sum of tree sizes, and re-running the
+/// identical batch yields identical results (engine-level determinism).
+#[test]
+fn shared_batch_is_collapsed_and_deterministic() {
+    let schema = Schema::new(["A", "B"]);
+    let mut b = tr_core::InstanceBuilder::new(schema.clone());
+    for i in 0..200u32 {
+        b = b.add("A", region(i * 10, i * 10 + 8));
+        b = b.add("B", region(i * 10 + 2, i * 10 + 5));
+    }
+    let inst = b.build_valid();
+    let a = Expr::name(schema.expect_id("A"));
+    let bb = Expr::name(schema.expect_id("B"));
+    let shared = bb.clone().included_in(a.clone());
+    let batch: Vec<Expr> = (0..8)
+        .map(|i| match i % 4 {
+            0 => shared.clone(),
+            1 => shared.clone().union(a.clone().including(bb.clone())),
+            2 => shared.clone().intersect(bb.clone()).select("x"),
+            _ => shared
+                .clone()
+                .union(shared.clone().intersect(shared.clone())),
+        })
+        .collect();
+    let mut plan = Plan::new();
+    let roots = plan.lower_batch(batch.iter());
+    let tree_sizes: usize = batch.iter().map(|e| e.num_ops() + e.names().len()).sum();
+    assert!(
+        plan.len() < tree_sizes / 2,
+        "{} nodes vs {} tree ops",
+        plan.len(),
+        tree_sizes
+    );
+    let cfg = ExecConfig {
+        threads: 4,
+        kernel_cutoff: 8,
+    };
+    let out1 = execute(&plan, &inst, &cfg);
+    assert_eq!(out1.stats().nodes_evaluated, plan.len());
+    for (root, e) in roots.iter().zip(&batch) {
+        assert_eq!(out1.result(*root), &eval(e, &inst));
+    }
+    let out2 = execute(&plan, &inst, &cfg);
+    for root in &roots {
+        assert_eq!(out1.result(*root), out2.result(*root));
+    }
+}

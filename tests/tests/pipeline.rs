@@ -14,8 +14,7 @@ fn persistence_round_trip_through_the_engine() {
     let spec = ProgramSpec::random(&mut rng, 25, 4, 3);
     let text = spec.render();
     let engine = Engine::from_source(&text).unwrap();
-    let path = std::env::temp_dir()
-        .join(format!("tr_pipeline_{}.trx", std::process::id()));
+    let path = std::env::temp_dir().join(format!("tr_pipeline_{}.trx", std::process::id()));
     tr_store::save_document(&path, engine.text(), engine.instance(), engine.rig()).unwrap();
 
     let doc = tr_store::load_document(&path).unwrap();
@@ -27,11 +26,19 @@ fn persistence_round_trip_through_the_engine() {
         "Proc directly containing Proc_body",
         r#""var" within Prog_body"#,
     ] {
-        assert_eq!(engine.query(q).unwrap(), loaded.query(q).unwrap(), "query {q}");
+        assert_eq!(
+            engine.query(q).unwrap(),
+            loaded.query(q).unwrap(),
+            "query {q}"
+        );
     }
     assert_eq!(
-        engine.explain("Name within Proc_header within Proc within Program").unwrap(),
-        loaded.explain("Name within Proc_header within Proc within Program").unwrap(),
+        engine
+            .explain("Name within Proc_header within Proc within Program")
+            .unwrap(),
+        loaded
+            .explain("Name within Proc_header within Proc within Program")
+            .unwrap(),
         "the RIG survives persistence"
     );
 }
@@ -82,14 +89,20 @@ fn engine_matches_spec_ground_truth() {
                     procs: vec![],
                 }],
             },
-            ProcSpec { name: "gamma".into(), vars: vec![], procs: vec![] },
+            ProcSpec {
+                name: "gamma".into(),
+                vars: vec![],
+                procs: vec![],
+            },
         ],
     };
     let text = spec.render();
     let engine = Engine::from_source(&text).unwrap();
 
     // Procedure names through the (RIG-optimizable) chain.
-    let names = engine.query("Name within Proc_header within Proc within Program").unwrap();
+    let names = engine
+        .query("Name within Proc_header within Proc within Program")
+        .unwrap();
     let mut found: Vec<&str> = names.iter().map(|r| engine.snippet(r)).collect();
     found.sort_unstable();
     assert_eq!(found, vec!["alpha", "beta", "gamma"]);
@@ -97,13 +110,21 @@ fn engine_matches_spec_ground_truth() {
     // Declarations of x: three (main's, alpha's, beta's).
     assert_eq!(engine.query(r#"Var matching "x""#).unwrap().len(), 3);
     // …of which two are inside procedures.
-    assert_eq!(engine.query(r#"Var matching "x" within Proc"#).unwrap().len(), 2);
+    assert_eq!(
+        engine
+            .query(r#"Var matching "x" within Proc"#)
+            .unwrap()
+            .len(),
+        2
+    );
     // Procedures *directly* defining x (Section 5.1's query).
     let direct = engine
         .query(r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#)
         .unwrap();
-    let mut found: Vec<&str> =
-        direct.iter().map(|r| engine.snippet(r).lines().next().unwrap().trim()).collect();
+    let mut found: Vec<&str> = direct
+        .iter()
+        .map(|r| engine.snippet(r).lines().next().unwrap().trim())
+        .collect();
     found.sort_unstable();
     assert_eq!(found, vec!["proc alpha;", "proc beta;"]);
 }
@@ -116,12 +137,27 @@ fn sgml_pipeline_counts() {
     let engine = Engine::from_sgml(doc).unwrap();
     assert_eq!(engine.query("sec within ch").unwrap().len(), 3);
     assert_eq!(engine.query("ch containing sec").unwrap().len(), 2);
-    assert_eq!(engine.query("sec before (sec matching \"three\")").unwrap().len(), 2);
-    assert_eq!(engine.query("sec after (sec matching \"one\")").unwrap().len(), 2);
+    assert_eq!(
+        engine
+            .query("sec before (sec matching \"three\")")
+            .unwrap()
+            .len(),
+        2
+    );
+    assert_eq!(
+        engine
+            .query("sec after (sec matching \"one\")")
+            .unwrap()
+            .len(),
+        2
+    );
     // Snippets round-trip through the suffix index.
     let hits = engine.query("sec matching \"two\"").unwrap();
     assert_eq!(hits.len(), 1);
-    assert_eq!(engine.snippet(hits.iter().next().unwrap()), "<sec>two</sec>");
+    assert_eq!(
+        engine.snippet(hits.iter().next().unwrap()),
+        "<sec>two</sec>"
+    );
 }
 
 /// Word-index semantics through the engine: exact word vs prefix.
@@ -129,8 +165,16 @@ fn sgml_pipeline_counts() {
 fn pattern_semantics_end_to_end() {
     let doc = "<d><p>category</p><p>cat</p><p>concatenate</p></d>";
     let engine = Engine::from_sgml(doc).unwrap();
-    assert_eq!(engine.query(r#"p matching "cat""#).unwrap().len(), 1, "exact word");
-    assert_eq!(engine.query(r#"p matching "cat*""#).unwrap().len(), 2, "word prefix");
+    assert_eq!(
+        engine.query(r#"p matching "cat""#).unwrap().len(),
+        1,
+        "exact word"
+    );
+    assert_eq!(
+        engine.query(r#"p matching "cat*""#).unwrap().len(),
+        2,
+        "word prefix"
+    );
     assert_eq!(engine.query(r#"p matching "concat*""#).unwrap().len(), 1);
 }
 

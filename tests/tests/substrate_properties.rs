@@ -12,7 +12,8 @@ use tr_text::{Pattern, SuffixWordIndex};
 /// fully inside `r` in `text`?
 fn naive_matches(text: &[u8], r: Region, pattern: &str) -> bool {
     let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let word_start = |i: usize| i < text.len() && is_word(text[i]) && (i == 0 || !is_word(text[i - 1]));
+    let word_start =
+        |i: usize| i < text.len() && is_word(text[i]) && (i == 0 || !is_word(text[i - 1]));
     let occurrences: Vec<(usize, usize)> = match Pattern::parse(pattern) {
         Pattern::Substring(s) => (0..text.len().saturating_sub(s.len() - 1))
             .filter(|&i| text[i..].starts_with(s.as_bytes()))
@@ -88,10 +89,8 @@ fn sgml_docs() -> impl Strategy<Value = (String, usize, usize)> {
         (0u8..3).prop_map(Node::Text)
     }
     let node = leaf().prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (0usize..3, proptest::collection::vec(inner, 0..4))
-                .prop_map(|(t, kids)| Node::Elem(t, kids)),
-        ]
+        prop_oneof![(0usize..3, proptest::collection::vec(inner, 0..4))
+            .prop_map(|(t, kids)| Node::Elem(t, kids)),]
     });
     proptest::collection::vec(node, 0..4).prop_map(|roots| {
         fn render(n: &Node, out: &mut String, count: &mut usize, depth: usize, max: &mut usize) {
@@ -141,17 +140,24 @@ fn queries() -> impl Strategy<Value = Query> {
     let leaf = (0usize..2).prop_map(|i| Query::Name(NameId::from_index(i)));
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::Union(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::Minus(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::Minus(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Query::Within(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Query::DirectlyContaining(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Query::Before(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|q| Query::Matching("pat x".into(), Box::new(q))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Query::BothIncluded(Box::new(a), Box::new(b), Box::new(c))),
+            inner
+                .clone()
+                .prop_map(|q| Query::Matching("pat x".into(), Box::new(q))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Query::BothIncluded(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
@@ -174,7 +180,10 @@ fn relations() -> impl Strategy<Value = Relation> {
     proptest::collection::vec((0u32..20, 0u32..8), 0..8).prop_map(|pairs| {
         Relation::from_tuples(
             1,
-            pairs.into_iter().map(|(l, w)| vec![region(l, l + w)]).collect(),
+            pairs
+                .into_iter()
+                .map(|(l, w)| vec![region(l, l + w)])
+                .collect(),
         )
     })
 }

@@ -23,8 +23,11 @@ fn exprs(max_ops: usize) -> impl Strategy<Value = Expr> {
     let leaf = (0usize..2).prop_map(|i| Expr::name(NameId::from_index(i)));
     leaf.prop_recursive(max_ops as u32, max_ops as u32 * 2, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), 0usize..7)
-                .prop_map(|(l, r, op)| Expr::bin(BinOp::ALL[op], l, r)),
+            (inner.clone(), inner.clone(), 0usize..7).prop_map(|(l, r, op)| Expr::bin(
+                BinOp::ALL[op],
+                l,
+                r
+            )),
             inner.prop_map(|e| e.select("x")),
         ]
     })
@@ -139,11 +142,8 @@ fn proposition_5_5_ingredients() {
         &s,
         2,
     );
-    let native = tr_ext::directly_including(
-        &inst,
-        inst.regions_of_name("C"),
-        inst.regions_of_name("A"),
-    );
+    let native =
+        tr_ext::directly_including(&inst, inst.regions_of_name("C"), inst.regions_of_name("A"));
     assert_eq!(eval(&e, &inst), native);
 
     // Figure 2 has only one region per level → BI is trivial there

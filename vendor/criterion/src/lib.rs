@@ -1,0 +1,376 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`BenchmarkGroup`] with
+//! `sample_size` / `throughput` / `bench_with_input`, [`BenchmarkId`], and
+//! [`Throughput`] — backed by a plain wall-clock measurement loop instead
+//! of criterion's statistical machinery.
+//!
+//! Results are printed to stdout and, mirroring real criterion's on-disk
+//! layout, written to `target/criterion/<id>/new/estimates.json` with a
+//! `mean.point_estimate` in nanoseconds so downstream tooling that scrapes
+//! criterion JSON keeps working.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, for reporting throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter (e.g. `includes/1024`).
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter (the group provides the name).
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.name, &self.param) {
+            (n, Some(p)) if n.is_empty() => p.clone(),
+            (n, Some(p)) => format!("{n}/{p}"),
+            (n, None) => n.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_owned(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher<'a> {
+    /// Number of timed iterations requested by the harness.
+    iters: u64,
+    /// Measured wall-clock total for the timed iterations.
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its result live via `black_box`.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up: one untimed call primes caches and lazy allocations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point, handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        run_one(&id.label(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the units of work per iteration (reported, not enforced).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        if self.criterion.matches(&label) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&label, n, self.throughput, f);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; settings are per-group
+    /// already).
+    pub fn finish(self) {}
+}
+
+/// Measures `f`: picks an iteration count targeting a fixed time budget,
+/// then reports the mean per-iteration time over `samples` samples.
+fn run_one<F>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: run once to estimate per-iteration cost.
+    let mut once = Duration::ZERO;
+    f(&mut Bencher {
+        iters: 1,
+        elapsed: &mut once,
+    });
+    // Budget ~20ms per sample, clamped to a sane iteration range so fast
+    // routines get enough iterations to be measurable and slow ones finish.
+    let per_iter = once.as_secs_f64().max(1e-9);
+    let iters = ((0.02 / per_iter) as u64).clamp(1, 1_000_000);
+    let samples = samples.clamp(1, 20);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut elapsed = Duration::ZERO;
+        f(&mut Bencher {
+            iters,
+            elapsed: &mut elapsed,
+        });
+        let per = elapsed.as_secs_f64() / iters as f64;
+        best = best.min(per);
+        total += per;
+    }
+    let mean = total / samples as f64;
+
+    let mut line = format!(
+        "{label:<56} mean {:>12}  best {:>12}",
+        fmt_time(mean),
+        fmt_time(best)
+    );
+    if let Some(t) = throughput {
+        let (units, suffix) = match t {
+            Throughput::Bytes(b) => (b as f64, "B/s"),
+            Throughput::Elements(e) => (e as f64, "elem/s"),
+        };
+        let _ = write!(line, "  {:>12.3e} {}", units / mean, suffix);
+    }
+    println!("{line}");
+    write_estimates(label, mean, best);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The cargo target directory: `$CARGO_TARGET_DIR` if set, else derived
+/// from the bench executable's path (`<target>/<profile>/deps/<bench>`),
+/// else `target` relative to the working directory. Real criterion writes
+/// under the *workspace* target dir, so the stub must too — under
+/// `cargo bench` the working directory is the package dir, not the root.
+fn cargo_target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut p = exe.as_path();
+        while let Some(parent) = p.parent() {
+            if parent.file_name().is_some_and(|n| n == "target") {
+                return parent.to_path_buf();
+            }
+            p = parent;
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// Mirrors criterion's `target/criterion/<id>/new/estimates.json` layout
+/// (mean/median point estimates in nanoseconds).
+fn write_estimates(label: &str, mean_secs: f64, best_secs: f64) {
+    let mut dir = cargo_target_dir();
+    dir.push("criterion");
+    for part in label.split('/') {
+        // Same character sanitization criterion applies to path components.
+        let clean: String = part
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.push(clean);
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let ns = mean_secs * 1e9;
+    let best_ns = best_secs * 1e9;
+    let json = format!(
+        concat!(
+            "{{\"mean\":{{\"point_estimate\":{mean},\"standard_error\":0.0}},",
+            "\"median\":{{\"point_estimate\":{best},\"standard_error\":0.0}},",
+            "\"slope\":{{\"point_estimate\":{mean},\"standard_error\":0.0}}}}"
+        ),
+        mean = ns,
+        best = best_ns,
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// Groups benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes --bench; `cargo test` passes its own
+            // harness flags. Ignore everything but an optional name filter.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("op", 42).label(), "op/42");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn bench_runs_and_writes_estimates() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut ran = 0u32;
+        c.bench_function("stub_smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("stub_group");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        let path = cargo_target_dir().join("criterion/stub_group/sum/8/new/estimates.json");
+        assert!(
+            path.exists(),
+            "estimates.json written at {}",
+            path.display()
+        );
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("point_estimate"), "{body}");
+    }
+}

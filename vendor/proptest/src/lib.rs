@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_recursive`,
+//! range and tuple strategies, [`collection::vec`], `any::<T>()`,
+//! [`strategy::Just`], the `prop_oneof!` / `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed (per test-case index), and failing cases are *not*
+//! shrunk — the failing input is reported as generated. That keeps the
+//! property-test suite meaningful offline without pulling in the real
+//! dependency graph.
+
+use rand::prelude::*;
+use std::rc::Rc;
+
+/// The deterministic RNG threaded through strategies.
+pub type TestRng = StdRng;
+
+/// A generator of test values.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a cloneable recipe for producing a `Value` from a [`TestRng`].
+pub trait Strategy: Clone {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U + 'static>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy {
+            gen_fn: Rc::new(move |rng| inner.generate(rng)),
+        }
+    }
+
+    /// Recursive strategies: `f` lifts a strategy for the inner level to a
+    /// strategy for the outer level; generation stops at `depth` levels
+    /// (the `max_size` / `expected_branch` hints are accepted for API
+    /// compatibility but unused — there is no size-driven shrinking here).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _max_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(level).boxed();
+            let shallow = leaf.clone();
+            // At each level, fall back to the leaf half the time so
+            // generated structures span all depths, not just the maximum.
+            level = BoxedStrategy {
+                gen_fn: Rc::new(move |rng: &mut TestRng| {
+                    if rng.gen_bool(0.5) {
+                        shallow.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                }),
+            };
+        }
+        level
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F: ?Sized> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Strategy combinators and primitives.
+pub mod strategy {
+    use super::*;
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — the engine behind
+    /// `prop_oneof!`.
+    pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        BoxedStrategy {
+            gen_fn: Rc::new(move |rng: &mut TestRng| {
+                let i = rng.gen_range(0..arms.len());
+                arms[i].generate(rng)
+            }),
+        }
+    }
+}
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy {
+                    gen_fn: Rc::new(|rng: &mut TestRng| {
+                        use rand::RngCore;
+                        rng.next_u64() as $t
+                    }),
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy {
+            gen_fn: Rc::new(|rng: &mut TestRng| rng.gen_bool(0.5)),
+        }
+    }
+}
+
+/// The canonical strategy for `T` (upstream `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy + 'static>(
+        element: S,
+        len: core::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy {
+            gen_fn: Rc::new(move |rng: &mut TestRng| {
+                let n = rng.gen_range(len.clone());
+                (0..n).map(|_| element.generate(rng)).collect()
+            }),
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`. Only the case
+    /// count is meaningful in this stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-case RNG: fixed base seed mixed with the case
+    /// index, so each case differs but runs are reproducible.
+    pub fn case_rng(test_name: &str, case: u32) -> super::TestRng {
+        use rand::SeedableRng as _;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        super::TestRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body for the
+/// configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::__rt::case_rng(stringify!($name), case);
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::strategy::Just;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps() {
+        let mut rng = crate::__rt::case_rng("ranges", 0);
+        let s = (0u32..10, 5usize..6).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_span_depths() {
+        let leaf = (0u8..4).prop_map(Tree::Leaf);
+        let trees = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = crate::__rt::case_rng("rec", 1);
+        let depths: std::collections::BTreeSet<usize> =
+            (0..200).map(|_| depth(&trees.generate(&mut rng))).collect();
+        assert!(depths.contains(&0), "leaves occur");
+        assert!(
+            depths.iter().any(|&d| d >= 2),
+            "deep trees occur: {depths:?}"
+        );
+        assert!(depths.iter().all(|&d| d <= 4), "depth bounded: {depths:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn macro_end_to_end((a, b) in (0u32..50, 0u32..50), v in crate::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(v.len(), v.iter().copied().count());
+            prop_assert!(v.iter().all(|&x| x < 3), "elements in range: {:?}", v);
+        }
+    }
+}
