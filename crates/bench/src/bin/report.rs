@@ -1,8 +1,15 @@
-//! Regenerates every experiment table in EXPERIMENTS.md (E1–E12).
+//! Regenerates every experiment table in EXPERIMENTS.md (E1–E12), and
+//! hosts the CI performance-regression gate.
 //!
 //! ```text
 //! cargo run -p tr-bench --release --bin report            # all experiments
 //! cargo run -p tr-bench --release --bin report -- E2 E9   # a subset
+//!
+//! # the regression gate (see crates/bench/src/gate.rs):
+//! report --emit-baseline BENCH_BASELINE.json   # record a new baseline
+//! report --check BENCH_BASELINE.json           # fail on >20% regressions
+//! report --check BENCH_BASELINE.json --handicap 1.35   # simulate one
+//! report --stats-json                          # suite results as JSON
 //! ```
 //!
 //! Timings are coarse wall-clock averages — for rigorous statistics use
@@ -10,13 +17,17 @@
 //! things scale) are what the reproduction tracks.
 
 use rand::prelude::*;
+use tr_bench::gate;
 use tr_bench::*;
 use tr_core::{eval, ops, Expr, NameId, Schema};
 use tr_fmft::{Bounds, EmptinessChecker};
 use tr_rig::{Chain, ChainDir, ChainItem, MinimalSetProblem, Rig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = run_gate_mode(&mut args) {
+        std::process::exit(code);
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
 
     println!("textregion experiment report (paper: Consens & Milo, PODS 1995)");
@@ -57,6 +68,111 @@ fn main() {
     if want("E13") {
         e13_nary_extension();
     }
+}
+
+/// Handles the gate flags (`--emit-baseline`, `--check`, `--stats-json`,
+/// `--handicap`). Returns `Some(exit code)` when a gate mode ran, `None`
+/// to fall through to the experiment report.
+fn run_gate_mode(args: &mut Vec<String>) -> Option<i32> {
+    fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+        let i = args.iter().position(|a| a == flag);
+        if let Some(i) = i {
+            args.remove(i);
+        }
+        i.is_some()
+    }
+    /// Removes `flag` and its value; `Some(None)` means the value was missing.
+    fn take_valued(args: &mut Vec<String>, flag: &str) -> Option<Option<String>> {
+        let i = args.iter().position(|a| a == flag)?;
+        args.remove(i);
+        Some((i < args.len() && !args[i].starts_with("--")).then(|| args.remove(i)))
+    }
+
+    let handicap = match take_valued(args, "--handicap") {
+        Some(Some(v)) => match v.parse::<f64>() {
+            Ok(h) if h > 0.0 => h,
+            _ => {
+                eprintln!("--handicap needs a positive factor, got {v:?}");
+                return Some(2);
+            }
+        },
+        Some(None) => {
+            eprintln!("--handicap needs a factor (e.g. 1.35)");
+            return Some(2);
+        }
+        None => 1.0,
+    };
+    let emit = take_valued(args, "--emit-baseline");
+    let check = take_valued(args, "--check");
+    let stats_json = take_switch(args, "--stats-json");
+    if emit.is_none() && check.is_none() && !stats_json {
+        return None;
+    }
+
+    eprintln!("running regression-gate suite (handicap {handicap})...");
+    let suite = gate::run_suite(handicap);
+    if stats_json {
+        println!("{}", suite.to_json().pretty());
+    }
+
+    if let Some(path) = emit {
+        let Some(path) = path else {
+            eprintln!("--emit-baseline needs a path");
+            return Some(2);
+        };
+        if let Err(e) = std::fs::write(&path, suite.to_json().pretty() + "\n") {
+            eprintln!("cannot write baseline {path}: {e}");
+            return Some(2);
+        }
+        eprintln!("baseline written to {path}");
+    }
+
+    if let Some(path) = check {
+        let Some(path) = path else {
+            eprintln!("--check needs a baseline path");
+            return Some(2);
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return Some(2);
+            }
+        };
+        let baseline = match tr_obs::parse_json(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|j| gate::Suite::from_json(&j))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bad baseline {path}: {e}");
+                return Some(2);
+            }
+        };
+        let regressions = gate::check(&suite, &baseline, gate::DEFAULT_TOLERANCE);
+        for bench in &suite.benches {
+            let base = baseline.get(&bench.name).map(|b| b.secs);
+            eprintln!(
+                "  {:<24} {:>12.3} µs (baseline {})",
+                bench.name,
+                bench.secs * 1e6,
+                base.map_or("-".into(), |s| format!("{:.3} µs", s * 1e6)),
+            );
+        }
+        if regressions.is_empty() {
+            eprintln!(
+                "gate: PASS ({} benches within tolerance)",
+                suite.benches.len()
+            );
+        } else {
+            eprintln!("gate: FAIL — {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return Some(1);
+        }
+    }
+    Some(0)
 }
 
 fn us(secs: f64) -> String {

@@ -1,0 +1,442 @@
+//! The CI performance-regression gate.
+//!
+//! A small suite of named *hot-path* benchmarks (operator kernels, the
+//! batch engine cold and cached, text index construction) measured with
+//! wall-clock timing **and** deterministic work counters read from the
+//! `tr_obs` registry. `report --emit-baseline` writes the suite's results
+//! as JSON (the committed `BENCH_BASELINE.json`); `report --check` re-runs
+//! the suite and fails when a bench got more than [`DEFAULT_TOLERANCE`]
+//! slower than the baseline, or does more than that much extra work.
+//!
+//! Two guards make the timing comparison survive CI-machine variance:
+//!
+//! * every run includes a fixed CPU-bound `calibrate` bench, and the
+//!   checker rescales all baseline times by the observed calibration
+//!   ratio before applying the tolerance — a uniformly slower machine
+//!   does not trip the gate, a genuinely slower hot path does;
+//! * the work counters (plan nodes executed, cache hits, patterns
+//!   computed) have no noise at all, so algorithmic regressions — a
+//!   broken cache, lost plan sharing — fail deterministically even when
+//!   timing happens to absorb them.
+
+use crate::{operator_workload, program_workload, synthetic_text};
+use tr_core::{ops, ExecConfig};
+use tr_obs::Json;
+use tr_query::Engine;
+
+/// Default failure threshold: 20% slower (or 20% more work) than baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Baseline/result schema version (bump when bench definitions change).
+pub const SUITE_VERSION: u64 = 1;
+
+/// One measured hot-path bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable bench name (baseline keys).
+    pub name: String,
+    /// Per-iteration wall time in seconds.
+    pub secs: f64,
+    /// Deterministic work counters for one execution (obs registry
+    /// deltas), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A full suite run (or a parsed baseline).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Suite {
+    /// Results in suite order.
+    pub benches: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Looks up a bench by name.
+    pub fn get(&self, name: &str) -> Option<&BenchResult> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// The suite as JSON (the `BENCH_BASELINE.json` format).
+    pub fn to_json(&self) -> Json {
+        let benches = self
+            .benches
+            .iter()
+            .map(|b| {
+                let mut counters = Json::obj();
+                for (k, v) in &b.counters {
+                    counters.set(k, Json::from(*v));
+                }
+                Json::obj()
+                    .with("name", Json::from(b.name.as_str()))
+                    .with("secs", Json::from(b.secs))
+                    .with("counters", counters)
+            })
+            .collect();
+        Json::obj()
+            .with("version", Json::from(SUITE_VERSION))
+            .with("benches", Json::Arr(benches))
+    }
+
+    /// Parses the [`Suite::to_json`] format.
+    pub fn from_json(j: &Json) -> Result<Suite, String> {
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing version")?;
+        if version != SUITE_VERSION {
+            return Err(format!(
+                "baseline version {version} != suite version {SUITE_VERSION}; \
+                 refresh with --emit-baseline"
+            ));
+        }
+        let mut benches = Vec::new();
+        for b in j
+            .get("benches")
+            .and_then(Json::as_arr)
+            .ok_or("missing benches")?
+        {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("bench missing name")?
+                .to_owned();
+            let secs = b
+                .get("secs")
+                .and_then(Json::as_f64)
+                .ok_or("bench missing secs")?;
+            let mut counters = Vec::new();
+            if let Some(pairs) = b.get("counters").and_then(Json::as_obj) {
+                for (k, v) in pairs {
+                    counters.push((k.clone(), v.as_u64().ok_or("bad counter value")?));
+                }
+            }
+            benches.push(BenchResult {
+                name,
+                secs,
+                counters,
+            });
+        }
+        Ok(Suite { benches })
+    }
+}
+
+/// Counters whose deltas are recorded per bench: deterministic under a
+/// fixed [`ExecConfig`], machine-independent, and each guarding a real
+/// optimization (plan sharing, the result cache, pattern memoization).
+const TRACKED_COUNTERS: [&str; 7] = [
+    "engine.queries",
+    "engine.cache.hits",
+    "engine.cache.misses",
+    "exec.nodes",
+    "exec.rmq_built",
+    "exec.pm_built",
+    "text.pattern.computed",
+];
+
+fn counter_deltas(before: &[(String, u64)]) -> Vec<(String, u64)> {
+    let after = tr_obs::counter_values();
+    let mut out = Vec::new();
+    for (name, now) in after {
+        if !TRACKED_COUNTERS.contains(&name.as_str()) {
+            continue;
+        }
+        let was = before
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        if now > was {
+            out.push((name, now - was));
+        }
+    }
+    out
+}
+
+/// Best-of-`iters` wall time. The *minimum* is the estimator here, not
+/// the mean: scheduling noise and frequency scaling only ever add time,
+/// so the min converges on the true cost and keeps run-to-run variance
+/// far below the gate's tolerance.
+fn time_min<T>(iters: usize, f: &mut impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `f` and captures its tracked-counter delta over one execution.
+fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warm up and capture counters over exactly one execution, so the
+    // recorded work is per-run, not per-suite.
+    f();
+    let before = tr_obs::counter_values();
+    f();
+    let counters = counter_deltas(&before);
+    let secs = time_min(iters, &mut f);
+    BenchResult {
+        name: name.to_owned(),
+        secs,
+        counters,
+    }
+}
+
+/// The mixed query batch the engine benches run (heavy sub-expression
+/// sharing; all names from the Figure 1 schema, `"x"` from the generator's
+/// variable vocabulary).
+pub const GATE_QUERIES: [&str; 6] = [
+    "Name within Proc_header within Proc within Program",
+    r#"Var matching "x""#,
+    r#"Proc containing (Var matching "x")"#,
+    "Proc_header within Proc",
+    r#"(Proc containing (Var matching "x")) intersect (Proc_header within Proc)"#,
+    "Var within Proc_body",
+];
+
+/// Runs the hot-path suite. `handicap` multiplies every measured time
+/// (1.0 for honest runs; >1 simulates a regression so the gate's failure
+/// path can be exercised end to end).
+pub fn run_suite(handicap: f64) -> Suite {
+    let mut benches = Vec::new();
+
+    // A fixed CPU-bound workload for cross-machine normalization; its
+    // time is never gated, only used to rescale the others. Long enough
+    // (~4 ms) that timer noise is negligible against it.
+    benches.push(bench("calibrate", 9, || {
+        let mut acc = 0u64;
+        for i in 0..20_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc)
+    }));
+
+    // Operator kernels over large flat sets (the paper's core operators).
+    let (parents, children) = operator_workload(200_000);
+    benches.push(bench("op_includes_200k", 20, || {
+        ops::includes(&parents, &children)
+    }));
+    benches.push(bench("op_included_in_200k", 20, || {
+        ops::included_in(&children, &parents)
+    }));
+    benches.push(bench("op_precedes_200k", 20, || {
+        ops::precedes(&parents, &children)
+    }));
+
+    // The end-to-end engine: parse + plan + execute a mixed batch, cold
+    // (cache cleared every run) and fully cached. Threads are pinned so
+    // the work counters are machine-independent.
+    let (text, _) = program_workload(2_000, 42);
+    let engine = || {
+        Engine::from_source(&text)
+            .expect("generated programs parse")
+            .with_exec_config(ExecConfig {
+                threads: 2,
+                kernel_cutoff: tr_core::par::DEFAULT_CUTOFF,
+            })
+    };
+    let cold = engine();
+    benches.push(bench("batch_cold_2k_procs", 10, || {
+        cold.clear_result_cache();
+        cold.query_batch(&GATE_QUERIES).expect("gate queries run")
+    }));
+    let cached = engine();
+    cached.query_batch(&GATE_QUERIES).expect("gate queries run");
+    benches.push(bench("batch_cached_2k_procs", 50, || {
+        cached.query_batch(&GATE_QUERIES).expect("gate queries run")
+    }));
+
+    // Text substrate: suffix-array index construction.
+    let text_bytes = synthetic_text(262_144, 5);
+    benches.push(bench("index_build_256k", 3, || {
+        tr_text::SuffixWordIndex::new(text_bytes.clone())
+    }));
+
+    // The handicap simulates the *hot paths* regressing on an unchanged
+    // machine, so calibration is exempt — otherwise normalization would
+    // cancel it out.
+    for b in &mut benches {
+        if b.name != "calibrate" {
+            b.secs *= handicap;
+        }
+    }
+    Suite { benches }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The offending bench.
+    pub bench: String,
+    /// What regressed (`time` or a counter name).
+    pub what: String,
+    /// Baseline value (seconds or count; time already normalized).
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.1}% (baseline {:.3e}, current {:.3e})",
+            self.bench,
+            self.what,
+            (self.current / self.baseline - 1.0) * 100.0,
+            self.baseline,
+            self.current
+        )
+    }
+}
+
+/// Compares a fresh run against a baseline. Returns every violation of
+/// `tolerance` (fractional, e.g. 0.2 = 20%). Baseline times are rescaled
+/// by the calibration ratio first; counters compare raw.
+pub fn check(current: &Suite, baseline: &Suite, tolerance: f64) -> Vec<Regression> {
+    let scale = match (current.get("calibrate"), baseline.get("calibrate")) {
+        (Some(c), Some(b)) if b.secs > 0.0 => c.secs / b.secs,
+        _ => 1.0,
+    };
+    let mut out = Vec::new();
+    for base in &baseline.benches {
+        if base.name == "calibrate" {
+            continue;
+        }
+        let Some(cur) = current.get(&base.name) else {
+            out.push(Regression {
+                bench: base.name.clone(),
+                what: "missing from current run".into(),
+                baseline: base.secs,
+                current: 0.0,
+            });
+            continue;
+        };
+        let allowed = base.secs * scale * (1.0 + tolerance);
+        if cur.secs > allowed {
+            out.push(Regression {
+                bench: base.name.clone(),
+                what: "time".into(),
+                baseline: base.secs * scale,
+                current: cur.secs,
+            });
+        }
+        for (name, base_v) in &base.counters {
+            let cur_v = cur
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            if cur_v as f64 > *base_v as f64 * (1.0 + tolerance) {
+                out.push(Regression {
+                    bench: base.name.clone(),
+                    what: name.clone(),
+                    baseline: *base_v as f64,
+                    current: cur_v as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Entry<'a> = (&'a str, f64, &'a [(&'a str, u64)]);
+
+    fn suite(entries: &[Entry<'_>]) -> Suite {
+        Suite {
+            benches: entries
+                .iter()
+                .map(|(name, secs, counters)| BenchResult {
+                    name: (*name).to_owned(),
+                    secs: *secs,
+                    counters: counters
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), *v))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = suite(&[
+            ("calibrate", 1e-3, &[]),
+            ("op", 2.5e-4, &[("exec.nodes", 12)]),
+        ]);
+        let parsed = Suite::from_json(&tr_obs::parse_json(&s.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut j = suite(&[]).to_json();
+        j.set("version", Json::from(999u64));
+        assert!(Suite::from_json(&j).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = suite(&[("calibrate", 1.0, &[]), ("op", 1.0, &[("exec.nodes", 10)])]);
+        let cur = suite(&[("calibrate", 1.0, &[]), ("op", 1.15, &[("exec.nodes", 10)])]);
+        assert!(check(&cur, &base, 0.2).is_empty());
+    }
+
+    #[test]
+    fn time_regression_fails() {
+        let base = suite(&[("calibrate", 1.0, &[]), ("op", 1.0, &[])]);
+        let cur = suite(&[("calibrate", 1.0, &[]), ("op", 1.3, &[])]);
+        let regs = check(&cur, &base, 0.2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "time");
+        assert!(regs[0].to_string().contains("op"));
+    }
+
+    #[test]
+    fn calibration_rescues_a_uniformly_slower_machine() {
+        let base = suite(&[("calibrate", 1.0, &[]), ("op", 1.0, &[])]);
+        // Everything 2x slower (slower CI runner), hot path unchanged
+        // relative to calibration: passes.
+        let cur = suite(&[("calibrate", 2.0, &[]), ("op", 2.1, &[])]);
+        assert!(check(&cur, &base, 0.2).is_empty());
+        // Hot path 2x slower *beyond* the machine factor: fails.
+        let cur = suite(&[("calibrate", 2.0, &[]), ("op", 4.2, &[])]);
+        assert_eq!(check(&cur, &base, 0.2).len(), 1);
+    }
+
+    #[test]
+    fn counter_regression_fails_deterministically() {
+        let base = suite(&[("op", 1.0, &[("engine.cache.hits", 6), ("exec.nodes", 10)])]);
+        // Same speed, but the plan stopped sharing: 2x the nodes.
+        let cur = suite(&[("op", 1.0, &[("engine.cache.hits", 6), ("exec.nodes", 20)])]);
+        let regs = check(&cur, &base, 0.2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "exec.nodes");
+    }
+
+    #[test]
+    fn missing_bench_fails() {
+        let base = suite(&[("op", 1.0, &[])]);
+        let cur = suite(&[]);
+        assert_eq!(check(&cur, &base, 0.2).len(), 1);
+    }
+
+    #[test]
+    fn simulated_regression_trips_the_gate_end_to_end() {
+        // A miniature end-to-end run of the real suite machinery: the
+        // handicap multiplies measured times, exactly what CI's gate
+        // self-test step does with `--handicap`.
+        let base = suite(&[("calibrate", 1.0, &[]), ("op", 1.0, &[])]);
+        let mut cur = base.clone();
+        for b in &mut cur.benches {
+            if b.name != "calibrate" {
+                b.secs *= 1.5; // handicap applied to gated benches
+            }
+        }
+        assert!(!check(&cur, &base, DEFAULT_TOLERANCE).is_empty());
+    }
+}

@@ -5,6 +5,8 @@
 //! EXPERIMENTS.md tables in one run with coarse (but honest) wall-clock
 //! timing.
 
+pub mod gate;
+
 use rand::prelude::*;
 use tr_core::{region, Instance, InstanceBuilder, Pos, RegionSet, Schema};
 use tr_markup::{random_rig_instance, ProgramSpec, RigInstanceConfig};

@@ -15,7 +15,7 @@
 //!   scan / merge is chunked across threads (see [`crate::par`]), with a
 //!   sequential cutoff so small sets keep the single-threaded fast path.
 //!
-//! Parallel results are byte-identical to [`crate::eval`]'s: every kernel
+//! Parallel results are byte-identical to [`crate::eval()`]'s: every kernel
 //! is a deterministic chunk-and-concatenate of the sequential one.
 
 use crate::instance::Instance;
@@ -26,7 +26,73 @@ use crate::set::RegionSet;
 use crate::word::WordIndex;
 use crate::BinOp;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cached handles into the `tr_obs` metrics registry (one map probe per
+/// process, then plain atomics on the hot path).
+struct ExecMetrics {
+    /// `exec.runs`: calls to [`execute`].
+    runs: Arc<tr_obs::Counter>,
+    /// `exec.nodes`: total plan nodes evaluated.
+    nodes: Arc<tr_obs::Counter>,
+    /// `exec.waves`: structural waves (DAG depth levels) scheduled.
+    waves: Arc<tr_obs::Counter>,
+    /// `exec.rmq_built` / `exec.pm_built`: per-operand structures built.
+    rmq_built: Arc<tr_obs::Counter>,
+    pm_built: Arc<tr_obs::Counter>,
+    /// `exec.wall_ns`: wall time per [`execute`] call.
+    wall_ns: Arc<tr_obs::Histogram>,
+    /// `exec.wave.nodes`: nodes per structural wave.
+    wave_nodes: Arc<tr_obs::Histogram>,
+    /// `exec.kernel.<op>.ns`: per-operator-kernel evaluation time.
+    kernels: [Arc<tr_obs::Histogram>; 9],
+}
+
+impl ExecMetrics {
+    fn get() -> &'static ExecMetrics {
+        static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| ExecMetrics {
+            runs: tr_obs::counter("exec.runs"),
+            nodes: tr_obs::counter("exec.nodes"),
+            waves: tr_obs::counter("exec.waves"),
+            rmq_built: tr_obs::counter("exec.rmq_built"),
+            pm_built: tr_obs::counter("exec.pm_built"),
+            wall_ns: tr_obs::histogram("exec.wall_ns"),
+            wave_nodes: tr_obs::histogram("exec.wave.nodes"),
+            kernels: KERNEL_NAMES.map(|k| tr_obs::histogram(&format!("exec.kernel.{k}.ns"))),
+        })
+    }
+}
+
+/// Kernel labels, indexed by [`kernel_index`].
+const KERNEL_NAMES: [&str; 9] = [
+    "name",
+    "select",
+    "union",
+    "intersect",
+    "diff",
+    "including",
+    "included_in",
+    "before",
+    "after",
+];
+
+fn kernel_index(op: &PlanOp) -> usize {
+    match op {
+        PlanOp::Name(_) => 0,
+        PlanOp::Select(..) => 1,
+        PlanOp::Bin(bin, ..) => match bin {
+            BinOp::Union => 2,
+            BinOp::Intersect => 3,
+            BinOp::Diff => 4,
+            BinOp::Including => 5,
+            BinOp::IncludedIn => 6,
+            BinOp::Before => 7,
+            BinOp::After => 8,
+        },
+    }
+}
 
 /// Tuning for plan execution.
 #[derive(Clone, Copy, Debug)]
@@ -80,8 +146,15 @@ impl Default for ExecConfig {
 pub struct ExecStats {
     /// Plan nodes evaluated (each distinct node exactly once).
     pub nodes_evaluated: usize,
-    /// Worker threads used by the DAG scheduler.
+    /// Worker threads that actually evaluated at least one node — the
+    /// real pool engagement, not the configured budget: `1` when the
+    /// plan was too small for the pool and the sequential path ran, and
+    /// at most the number of spawned workers otherwise.
     pub threads: usize,
+    /// Structural waves (DAG depth levels) the plan spanned.
+    pub waves: usize,
+    /// Wall-clock time of the whole execution, in nanoseconds.
+    pub wall_ns: u64,
 }
 
 /// The result of executing a plan: one [`RegionSet`] per node.
@@ -131,10 +204,16 @@ impl OperandCache {
 /// a pool of scoped worker threads drains a ready queue seeded with the
 /// plan's leaves.
 pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecConfig) -> Executed {
+    let _span = tr_obs::span("exec.execute");
+    let started = Instant::now();
+    let metrics = ExecMetrics::get();
     let n = plan.len();
     let threads = cfg.resolved_threads().min(n.max(1));
     let kernels = cfg.parallelism();
     let aux = OperandCache::new(n);
+    let waves = record_waves(plan, metrics);
+    metrics.runs.inc();
+    metrics.nodes.add(n as u64);
 
     if threads <= 1 {
         let mut results: Vec<RegionSet> = Vec::with_capacity(n);
@@ -142,16 +221,21 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
             let value = eval_node(plan.op(id), |c| &results[c], inst, &aux, &kernels);
             results.push(value);
         }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        metrics.wall_ns.record(wall_ns);
         return Executed {
             results,
             stats: ExecStats {
                 nodes_evaluated: n,
                 threads: 1,
+                waves,
+                wall_ns,
             },
         };
     }
 
     let parents = plan.parents();
+    let engaged = AtomicUsize::new(0);
     let slots: Vec<OnceLock<RegionSet>> = (0..n).map(|_| OnceLock::new()).collect();
     let pending: Vec<AtomicUsize> = (0..n)
         .map(|id| AtomicUsize::new(plan.op(id).children().count()))
@@ -167,19 +251,27 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut evaluated_any = false;
                 loop {
                     let id = {
                         let mut q = ready.lock().expect("scheduler lock");
                         loop {
                             if let Some(id) = q.pop() {
-                                break id;
+                                break Some(id);
                             }
                             if remaining.load(Ordering::Acquire) == 0 {
-                                return;
+                                break None;
                             }
                             q = wake.wait(q).expect("scheduler lock");
                         }
                     };
+                    let Some(id) = id else {
+                        if evaluated_any {
+                            engaged.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    };
+                    evaluated_any = true;
                     let value = eval_node(
                         plan.op(id),
                         |c| slots[c].get().expect("children complete before parents"),
@@ -216,13 +308,46 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
         .into_iter()
         .map(|s| s.into_inner().expect("all nodes evaluated"))
         .collect();
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    metrics.wall_ns.record(wall_ns);
     Executed {
         results,
         stats: ExecStats {
             nodes_evaluated: n,
-            threads,
+            threads: engaged.load(Ordering::Relaxed).max(1),
+            waves,
+            wall_ns,
         },
     }
+}
+
+/// Computes the plan's structural waves — nodes grouped by DAG depth
+/// (leaves are wave 0, a node sits one past its deepest child) — and
+/// records the per-wave node counts. Returns the number of waves.
+fn record_waves(plan: &Plan, metrics: &ExecMetrics) -> usize {
+    if plan.is_empty() {
+        return 0;
+    }
+    let mut depth = vec![0usize; plan.len()];
+    let mut width = Vec::new();
+    for id in 0..plan.len() {
+        let d = plan
+            .op(id)
+            .children()
+            .map(|c| depth[c] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[id] = d;
+        if d >= width.len() {
+            width.resize(d + 1, 0usize);
+        }
+        width[d] += 1;
+    }
+    metrics.waves.add(width.len() as u64);
+    for &w in &width {
+        metrics.wave_nodes.record(w as u64);
+    }
+    width.len()
 }
 
 /// Evaluates one node given its children's values.
@@ -232,6 +357,21 @@ fn eval_node<'a, W: WordIndex + Sync>(
     inst: &Instance<W>,
     aux: &OperandCache,
     kernels: &Parallelism,
+) -> RegionSet {
+    let metrics = ExecMetrics::get();
+    let started = Instant::now();
+    let out = eval_node_inner(op, child, inst, aux, kernels, metrics);
+    metrics.kernels[kernel_index(op)].record(started.elapsed().as_nanos() as u64);
+    out
+}
+
+fn eval_node_inner<'a, W: WordIndex + Sync>(
+    op: &PlanOp,
+    child: impl Fn(NodeId) -> &'a RegionSet,
+    inst: &Instance<W>,
+    aux: &OperandCache,
+    kernels: &Parallelism,
+    metrics: &ExecMetrics,
 ) -> RegionSet {
     match op {
         PlanOp::Name(id) => inst.regions_of(*id).clone(),
@@ -249,14 +389,20 @@ fn eval_node<'a, W: WordIndex + Sync>(
                     if lv.is_empty() || rv.is_empty() {
                         return RegionSet::new();
                     }
-                    let rmq = aux.rmq[*r].get_or_init(|| MinRightRmq::new(rv));
+                    let rmq = aux.rmq[*r].get_or_init(|| {
+                        metrics.rmq_built.inc();
+                        MinRightRmq::new(rv)
+                    });
                     ops::includes_par(lv, rv, rmq, kernels)
                 }
                 BinOp::IncludedIn => {
                     if lv.is_empty() || rv.is_empty() {
                         return RegionSet::new();
                     }
-                    let pm = aux.pm[*r].get_or_init(|| PrefixMaxRight::new(rv));
+                    let pm = aux.pm[*r].get_or_init(|| {
+                        metrics.pm_built.inc();
+                        PrefixMaxRight::new(rv)
+                    });
                     ops::included_in_par(lv, rv, pm, kernels)
                 }
                 BinOp::Before => ops::precedes_par(lv, rv, kernels),

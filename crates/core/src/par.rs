@@ -11,6 +11,32 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles into the `tr_obs` metrics registry.
+struct ParMetrics {
+    /// `par.splits`: kernel invocations that split across threads.
+    splits: Arc<tr_obs::Counter>,
+    /// `par.chunks`: total chunks produced by split kernels.
+    chunks: Arc<tr_obs::Counter>,
+    /// `par.threads_spawned`: scoped worker threads spawned.
+    threads_spawned: Arc<tr_obs::Counter>,
+    /// `par.cutoff_hits`: kernels kept sequential by the cutoff despite a
+    /// multi-thread budget.
+    cutoff_hits: Arc<tr_obs::Counter>,
+}
+
+impl ParMetrics {
+    fn get() -> &'static ParMetrics {
+        static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| ParMetrics {
+            splits: tr_obs::counter("par.splits"),
+            chunks: tr_obs::counter("par.chunks"),
+            threads_spawned: tr_obs::counter("par.threads_spawned"),
+            cutoff_hits: tr_obs::counter("par.cutoff_hits"),
+        })
+    }
+}
 
 /// Thread budget and sequential cutoff for intra-operator parallelism.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +82,14 @@ impl Parallelism {
     }
 
     /// How many chunks an input of `len` elements should split into.
+    /// Counts sequential-cutoff hits (a multi-thread budget kept
+    /// sequential because the input was too small) in `par.cutoff_hits`.
     pub fn chunks_for(&self, len: usize) -> usize {
-        if self.threads <= 1 || len < self.cutoff.saturating_mul(2) {
+        if self.threads <= 1 {
+            return 1;
+        }
+        if len < self.cutoff.saturating_mul(2) {
+            ParMetrics::get().cutoff_hits.inc();
             return 1;
         }
         self.threads.min(len / self.cutoff).max(1)
@@ -90,6 +122,10 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
+    let metrics = ParMetrics::get();
+    metrics.splits.inc();
+    metrics.chunks.add(ranges.len() as u64);
+    metrics.threads_spawned.add(ranges.len() as u64 - 1);
     let mut iter = ranges.into_iter();
     let first = iter.next().expect("at least one range");
     let rest: Vec<Range<usize>> = iter.collect();

@@ -115,11 +115,20 @@ impl Plan {
         exprs.into_iter().map(|e| self.lower(e)).collect()
     }
 
-    /// Interns `op`, appending a node only if it is new.
+    /// Interns `op`, appending a node only if it is new. Counts dedup
+    /// effectiveness in `plan.intern_hits` / `plan.nodes_interned`.
     fn intern_op(&mut self, op: PlanOp) -> NodeId {
+        use std::sync::{Arc, OnceLock};
+        static HITS: OnceLock<Arc<tr_obs::Counter>> = OnceLock::new();
+        static INTERNED: OnceLock<Arc<tr_obs::Counter>> = OnceLock::new();
         if let Some(&id) = self.intern.get(&op) {
+            HITS.get_or_init(|| tr_obs::counter("plan.intern_hits"))
+                .inc();
             return id;
         }
+        INTERNED
+            .get_or_init(|| tr_obs::counter("plan.nodes_interned"))
+            .inc();
         let id = self.ops.len();
         let fp = self.fingerprint_op(&op);
         self.ops.push(op.clone());

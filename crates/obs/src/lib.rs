@@ -1,0 +1,74 @@
+//! # tr-obs — zero-dependency observability for the textregion engine
+//!
+//! The build environment has no registry access, so instead of `tracing` +
+//! `metrics` + `serde_json` this crate implements the minimal slice the
+//! workspace needs, with no dependencies at all:
+//!
+//! * **[`mod@span`]**: hierarchical wall-clock spans with monotonic timings
+//!   (per-thread nesting, bounded ring of recent root traces);
+//! * **[`metrics`]**: a process-wide registry of atomic [`Counter`]s and
+//!   fixed power-of-two-bucket [`Histogram`]s;
+//! * **[`json`]**: an ordered [`Json`] value with writer *and* parser, so
+//!   snapshots can be emitted by `trq --stats-json` and read back by the
+//!   benchmark regression gate.
+//!
+//! Everything is always-on and cheap: recording is a handful of relaxed
+//! atomics, and the instrumented crates cache metric handles in
+//! `OnceLock`s so the registry map is probed once per process.
+//!
+//! ```
+//! let requests = tr_obs::counter("doc.requests");
+//! requests.inc();
+//! {
+//!     let _phase = tr_obs::span("doc.phase");
+//!     tr_obs::histogram("doc.latency_ns").record(1280);
+//! }
+//! let snap = tr_obs::snapshot(); // counters + histograms + recent spans
+//! assert_eq!(snap.get("counters").unwrap().get("doc.requests").unwrap().as_u64(), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{
+    counter, counter_value, counter_values, histogram, Counter, Histogram, Registry,
+};
+pub use span::{clear_recent, last_root, recent_roots, span, timed, FinishedSpan, SpanGuard};
+
+/// One JSON snapshot of the whole observability state: the metric
+/// registry (counters + histograms) plus recent root span traces.
+pub fn snapshot() -> Json {
+    metrics::snapshot().with(
+        "spans",
+        Json::Arr(recent_roots().iter().map(FinishedSpan::to_json).collect()),
+    )
+}
+
+/// [`snapshot`], pretty-printed.
+pub fn snapshot_json() -> String {
+    snapshot().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_combines_metrics_and_spans() {
+        counter("lib.test.counter").add(2);
+        timed("lib.test.span", || {});
+        let snap = snapshot();
+        assert!(snap.get("counters").is_some());
+        assert!(snap.get("histograms").is_some());
+        let spans = snap.get("spans").unwrap().as_arr().unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("lib.test.span")));
+        // The full snapshot is valid JSON.
+        assert!(parse_json(&snapshot_json()).is_ok());
+    }
+}

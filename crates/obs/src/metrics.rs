@@ -1,0 +1,365 @@
+//! The process-wide metrics registry: named atomic counters and
+//! fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Arc`s into the global
+//! registry: look one up once (a mutex + map probe), then record through
+//! it with plain atomic operations — hot paths cache handles in a
+//! `OnceLock` so steady-state cost is one `fetch_add`.
+//!
+//! Histograms use fixed power-of-two buckets (bucket *i* counts values in
+//! `[2^(i-1), 2^i)`), which needs no configuration, costs one atomic
+//! increment to record, and resolves an order-of-magnitude-spread metric
+//! like nanosecond latencies to ~2x precision — enough for the regression
+//! gate and `--stats-json` reporting this layer exists for.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets (`u64` values have bit
+/// lengths 0..=64).
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: its bit length (0 for 0).
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 if none).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 if none).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// holding the q-th sample. Accurate to the bucket's factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_bound(i), n))
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("count", Json::from(self.count()))
+            .with("sum", Json::from(self.sum()))
+            .with("mean", Json::from(self.mean()))
+            .with("p50", Json::from(self.quantile(0.5)))
+            .with("p99", Json::from(self.quantile(0.99)))
+            .with("max", Json::from(self.max()));
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(le, n)| Json::Arr(vec![Json::from(le), Json::from(n)]))
+            .collect();
+        j.set("buckets", Json::Arr(buckets));
+        j
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Use the process-wide instance via [`counter`] / [`histogram`] /
+/// [`snapshot`]; independent registries exist only for tests.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Current counter values, sorted by name (zero-valued ones included).
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every metric as a JSON object with `counters` and
+    /// `histograms` sections.
+    pub fn snapshot(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, v) in self.counter_values() {
+            counters.set(&name, Json::from(v));
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
+            histograms.set(name, h.to_json());
+        }
+        Json::obj()
+            .with("counters", counters)
+            .with("histograms", histograms)
+    }
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-wide counter named `name` (created on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// The process-wide histogram named `name` (created on first use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// JSON snapshot of the process-wide registry.
+pub fn snapshot() -> Json {
+    global().snapshot()
+}
+
+/// Current values of every process-wide counter, sorted by name.
+pub fn counter_values() -> Vec<(String, u64)> {
+    global().counter_values()
+}
+
+/// The current value of one process-wide counter (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    counter(name).get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        assert_eq!(r.counter_values(), vec![("x".into(), 5)]);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // value → bucket: 0→0, 1→1, 2..3→2, 4..7→3, …
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Inclusive upper bounds match.
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(3), 7);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_bound(bucket_of(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+        // p50 is within the bucket of the 2nd sample (value 2, bucket ≤3).
+        assert!(h.quantile(0.5) <= 3);
+        // p100 caps at the observed max, not the bucket bound (127).
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(Histogram::default().quantile(0.9), 0, "empty histogram");
+    }
+
+    #[test]
+    fn histogram_bucket_counts() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 2), (3, 2), (15, 1)],
+            "buckets: 0; 1,1; 2,3; 8"
+        );
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let r = Registry::new();
+        r.counter("hits").add(3);
+        r.histogram("lat").record(5);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get("counters").unwrap().get("hits").unwrap().as_u64(),
+            Some(3)
+        );
+        let lat = snap.get("histograms").unwrap().get("lat").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("sum").unwrap().as_u64(), Some(5));
+        // Snapshots serialize and parse back.
+        assert!(crate::json::parse(&snap.pretty()).is_ok());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        let h = r.histogram("h");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

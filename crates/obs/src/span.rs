@@ -1,0 +1,257 @@
+//! Hierarchical timing spans.
+//!
+//! A [`span`] guard marks a region of work on the current thread; spans
+//! opened while another is active nest under it. When a span finishes its
+//! wall time lands in the metrics histogram `span.<name>`, and when a
+//! *root* span finishes, its whole tree is pushed into a bounded
+//! process-wide ring of recent traces ([`recent_roots`]) for JSON export.
+//!
+//! Timings are monotonic: all timestamps come from one process-wide
+//! [`Instant`] epoch, so a child's `start_ns` is always ≥ its parent's
+//! and offsets are comparable across spans in one trace.
+//!
+//! Nesting is per-thread by design: work an instrumented function fans
+//! out to worker threads is attributed to the calling thread's covering
+//! span, while per-item costs on the workers go to plain histograms
+//! (see `tr_core::exec`), which aggregate across threads for free.
+
+use crate::json::Json;
+use crate::metrics;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum root traces retained in the recent ring.
+const RECENT_CAP: usize = 32;
+
+/// A completed span: name, when it started (ns since the process epoch),
+/// how long it ran, and the spans nested inside it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinishedSpan {
+    /// The name passed to [`span`].
+    pub name: &'static str,
+    /// Start time in nanoseconds since the process-wide epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Child spans, in completion order.
+    pub children: Vec<FinishedSpan>,
+}
+
+impl FinishedSpan {
+    /// The span tree as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("name", Json::from(self.name))
+            .with("start_ns", Json::from(self.start_ns))
+            .with("duration_ns", Json::from(self.duration_ns));
+        if !self.children.is_empty() {
+            j.set(
+                "children",
+                Json::Arr(self.children.iter().map(FinishedSpan::to_json).collect()),
+            );
+        }
+        j
+    }
+
+    /// Finds the first descendant (or self) with this name, depth-first.
+    pub fn find(&self, name: &str) -> Option<&FinishedSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    children: Vec<FinishedSpan>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn recent() -> &'static Mutex<VecDeque<FinishedSpan>> {
+    static RECENT: OnceLock<Mutex<VecDeque<FinishedSpan>>> = OnceLock::new();
+    RECENT.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Opens a span named `name` on the current thread. The span closes when
+/// the returned guard drops.
+#[must_use = "a span guard measures until it is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(Frame {
+            name,
+            start: Instant::now(),
+            start_ns: epoch().elapsed().as_nanos() as u64,
+            children: Vec::new(),
+        });
+        stack.len()
+    });
+    SpanGuard { depth }
+}
+
+/// Closes its span on drop. See [`span`].
+pub struct SpanGuard {
+    /// 1-based depth of this guard's frame; dropping closes any deeper
+    /// frames first, so out-of-order drops cannot corrupt the stack.
+    depth: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            while stack.len() >= self.depth {
+                let frame = stack.pop().expect("frame at guard depth");
+                let finished = FinishedSpan {
+                    name: frame.name,
+                    start_ns: frame.start_ns,
+                    duration_ns: frame.start.elapsed().as_nanos() as u64,
+                    children: frame.children,
+                };
+                metrics::histogram(&format!("span.{}", finished.name)).record(finished.duration_ns);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(finished),
+                    None => {
+                        let mut ring = recent().lock().unwrap_or_else(|p| p.into_inner());
+                        if ring.len() == RECENT_CAP {
+                            ring.pop_front();
+                        }
+                        ring.push_back(finished);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Times `f` under a span named `name`.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _guard = span(name);
+    f()
+}
+
+/// The most recent completed root spans, oldest first (bounded ring).
+pub fn recent_roots() -> Vec<FinishedSpan> {
+    recent()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// The most recent completed root span with this name, if any.
+pub fn last_root(name: &str) -> Option<FinishedSpan> {
+    recent()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .rev()
+        .find(|s| s.name == name)
+        .cloned()
+}
+
+/// Drops all retained root spans (tests and long-lived processes).
+pub fn clear_recent() {
+    recent().lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        clear_recent();
+        {
+            let _root = span("t.root");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _child = span("t.child");
+                let _grand = span("t.grand");
+            }
+            let _sibling = span("t.sibling");
+        }
+        let root = last_root("t.root").expect("root recorded");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "t.child");
+        assert_eq!(root.children[0].children[0].name, "t.grand");
+        assert_eq!(root.children[1].name, "t.sibling");
+        // Monotonic: children start after the parent, fit inside it.
+        for c in &root.children {
+            assert!(c.start_ns >= root.start_ns);
+            assert!(c.duration_ns <= root.duration_ns);
+        }
+        assert!(root.duration_ns >= 2_000_000, "slept 2ms");
+        assert!(root.find("t.grand").is_some());
+        assert!(root.find("t.missing").is_none());
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let before = metrics::histogram("span.t.metric").count();
+        timed("t.metric", || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        let h = metrics::histogram("span.t.metric");
+        assert_eq!(h.count(), before + 1);
+        assert!(h.max() >= 50_000);
+    }
+
+    #[test]
+    fn out_of_order_drops_do_not_corrupt_the_stack() {
+        clear_recent();
+        let root = span("t.ooo_root");
+        let a = span("t.ooo_a");
+        let b = span("t.ooo_b");
+        drop(a); // closes b first (as a child), then a
+        drop(b); // already closed: no-op
+        drop(root);
+        let root = last_root("t.ooo_root").expect("root recorded");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "t.ooo_a");
+        assert_eq!(root.children[0].children[0].name, "t.ooo_b");
+    }
+
+    #[test]
+    fn threads_get_independent_roots() {
+        clear_recent();
+        std::thread::scope(|s| {
+            let _main = span("t.main");
+            s.spawn(|| {
+                let _w = span("t.worker");
+            })
+            .join()
+            .unwrap();
+        });
+        // The worker span finished on its own thread → its own root.
+        assert!(last_root("t.worker").is_some());
+        let main = last_root("t.main").expect("main recorded");
+        assert!(main.children.is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        clear_recent();
+        timed("t.json", || {
+            let _c = span("t.json_child");
+        });
+        let j = last_root("t.json").unwrap().to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("t.json"));
+        assert!(j.get("duration_ns").unwrap().as_u64().is_some());
+        assert_eq!(j.get("children").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

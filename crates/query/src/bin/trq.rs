@@ -1,7 +1,10 @@
 //! `trq` — query text regions from the command line.
 //!
 //! ```text
-//! trq <file> [query]           run one query (REPL on stdin if omitted)
+//! trq <file> [query ...]       run queries (REPL on stdin if none);
+//!                              two or more queries run as one batch
+//! trq stats <file> [query ...] run queries, then print an observability
+//!                              report (phases, counters, histograms)
 //!
 //! options:
 //!   --format sgml|source|auto  document format (default: auto-detect;
@@ -9,22 +12,27 @@
 //!   --save <path>              persist the built index to <path> and exit
 //!   --explain                  show the plan instead of running
 //!   --limit N                  print at most N hits (default 20)
+//!   --stats-json               emit per-phase timings, batch stats, and the
+//!                              full metrics snapshot as JSON
 //! ```
 //!
 //! REPL commands: `:schema`, `:explain <query>`, `:let <name> = <query>`,
-//! `:quit`.
+//! `:stats`, `:quit`.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use tr_query::Engine;
+use tr_obs::Json;
+use tr_query::{BatchStats, Engine};
 
 struct Options {
+    stats_cmd: bool,
     file: Option<String>,
-    query: Option<String>,
+    queries: Vec<String>,
     format: Format,
     explain: bool,
     limit: usize,
     save: Option<String>,
+    stats_json: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -35,20 +43,29 @@ enum Format {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: trq <file> [query] [--format sgml|source|auto] [--explain] [--limit N]");
+    eprintln!(
+        "usage: trq [stats] <file> [query ...] [--format sgml|source|auto] \
+         [--explain] [--limit N] [--stats-json]"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
+        stats_cmd: false,
         file: None,
-        query: None,
+        queries: Vec::new(),
         format: Format::Auto,
         explain: false,
         limit: 20,
         save: None,
+        stats_json: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("stats") {
+        opts.stats_cmd = true;
+        args.next();
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
@@ -60,6 +77,7 @@ fn parse_args() -> Options {
                 }
             }
             "--explain" => opts.explain = true,
+            "--stats-json" => opts.stats_json = true,
             "--save" => opts.save = Some(args.next().unwrap_or_else(|| usage())),
             "--limit" => {
                 opts.limit = args
@@ -69,8 +87,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => usage(),
             _ if opts.file.is_none() => opts.file = Some(arg),
-            _ if opts.query.is_none() => opts.query = Some(arg),
-            _ => usage(),
+            _ => opts.queries.push(arg),
         }
     }
     opts
@@ -101,6 +118,22 @@ fn open_engine(path: &str, format: Format) -> Result<Engine, String> {
     }
 }
 
+fn print_hits(engine: &Engine, hits: &tr_core::RegionSet, limit: usize) {
+    println!("{} hit(s)", hits.len());
+    for r in hits.iter().take(limit) {
+        let snippet: String = engine
+            .snippet(r)
+            .chars()
+            .take(72)
+            .map(|c| if c == '\n' { ' ' } else { c })
+            .collect();
+        println!("  {r}\t{snippet}");
+    }
+    if hits.len() > limit {
+        println!("  … {} more (raise with --limit)", hits.len() - limit);
+    }
+}
+
 fn run_query(engine: &Engine, query: &str, explain: bool, limit: usize) {
     if explain {
         match engine.explain(query) {
@@ -110,23 +143,188 @@ fn run_query(engine: &Engine, query: &str, explain: bool, limit: usize) {
         return;
     }
     match engine.query(query) {
-        Ok(hits) => {
-            println!("{} hit(s)", hits.len());
-            for r in hits.iter().take(limit) {
-                let snippet: String = engine
-                    .snippet(r)
-                    .chars()
-                    .take(72)
-                    .map(|c| if c == '\n' { ' ' } else { c })
-                    .collect();
-                println!("  {r}\t{snippet}");
-            }
-            if hits.len() > limit {
-                println!("  … {} more (raise with --limit)", hits.len() - limit);
-            }
-        }
+        Ok(hits) => print_hits(engine, &hits, limit),
         Err(e) => eprintln!("error: {e}"),
     }
+}
+
+/// `BatchStats` as a JSON object.
+fn batch_stats_json(stats: &BatchStats) -> Json {
+    Json::obj()
+        .with("queries", Json::from(stats.queries))
+        .with("cache_hits", Json::from(stats.cache_hits))
+        .with("distinct_nodes", Json::from(stats.distinct_nodes))
+        .with("nodes_evaluated", Json::from(stats.nodes_evaluated))
+        .with("threads", Json::from(stats.threads))
+}
+
+/// Per-phase wall times from the most recent `engine.batch` span tree.
+fn phases_json() -> Json {
+    let mut phases = Json::obj();
+    if let Some(root) = tr_obs::last_root("engine.batch") {
+        for child in &root.children {
+            phases.set(
+                child.name.trim_start_matches("engine."),
+                Json::from(child.duration_ns),
+            );
+        }
+        phases.set("total", Json::from(root.duration_ns));
+    }
+    phases
+}
+
+/// Runs `queries` as one batch, printing hits or the `--stats-json`
+/// document. Returns false on error.
+fn run_batch(engine: &Engine, queries: &[&str], limit: usize, stats_json: bool) -> bool {
+    let (results, stats) = match engine.query_batch_with_stats(queries) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    };
+    if stats_json {
+        let per_query = queries
+            .iter()
+            .zip(&results)
+            .map(|(q, hits)| {
+                Json::obj()
+                    .with("query", Json::from(*q))
+                    .with("hits", Json::from(hits.len()))
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("queries", Json::Arr(per_query))
+            .with("batch", batch_stats_json(&stats))
+            .with("phases", phases_json())
+            .with("obs", tr_obs::snapshot());
+        print!("{}", doc.pretty());
+        return true;
+    }
+    for (q, hits) in queries.iter().zip(&results) {
+        if queries.len() > 1 {
+            println!("▶ {q}");
+        }
+        print_hits(engine, hits, limit);
+    }
+    println!(
+        "batch: {} queries, {} cache hits, {} distinct nodes, {} evaluated, {} thread(s)",
+        stats.queries, stats.cache_hits, stats.distinct_nodes, stats.nodes_evaluated, stats.threads
+    );
+    true
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Human-readable observability report for the `stats` subcommand and the
+/// REPL's `:stats` command.
+fn print_stats_report() {
+    if let Some(root) = tr_obs::last_root("engine.batch") {
+        println!("last batch ({} total):", fmt_ns(root.duration_ns));
+        fn walk(span: &tr_obs::FinishedSpan, depth: usize) {
+            println!(
+                "  {:indent$}{:<24} {:>12}",
+                "",
+                span.name,
+                fmt_ns(span.duration_ns),
+                indent = depth * 2
+            );
+            for c in &span.children {
+                walk(c, depth + 1);
+            }
+        }
+        walk(&root, 0);
+    }
+    println!("counters:");
+    for (name, v) in tr_obs::counter_values() {
+        if v > 0 {
+            println!("  {name:<28} {v:>12}");
+        }
+    }
+    println!("histograms (count / mean / p99 / max):");
+    let snap = tr_obs::snapshot();
+    if let Some(hists) = snap.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in hists {
+            let get = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+            if get("count") == 0 {
+                continue;
+            }
+            let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            // Only duration-valued histograms get time units.
+            let show: fn(u64) -> String = if name.ends_with("ns") || name.starts_with("span.") {
+                fmt_ns
+            } else {
+                |v| v.to_string()
+            };
+            println!(
+                "  {name:<28} {:>8} / {:>10} / {:>10} / {:>10}",
+                get("count"),
+                show(mean),
+                show(get("p99")),
+                show(get("max")),
+            );
+        }
+    }
+}
+
+/// The `stats` subcommand: run the given queries (or a schema-derived
+/// probe batch) and print the observability report.
+fn run_stats_cmd(engine: &Engine, opts: &Options) -> bool {
+    let probe: Vec<String>;
+    let queries: Vec<&str> = if opts.queries.is_empty() {
+        // No queries given: probe each region name. The batch runs twice
+        // below, so the second round exercises the result cache.
+        probe = engine.schema().names().take(4).map(str::to_owned).collect();
+        probe.iter().map(String::as_str).collect()
+    } else {
+        opts.queries.iter().map(String::as_str).collect()
+    };
+    let rounds = if opts.queries.is_empty() { 2 } else { 1 };
+    let mut outcome = None;
+    for _ in 0..rounds {
+        match engine.query_batch_with_stats(&queries) {
+            Ok(out) => outcome = Some(out),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return false;
+            }
+        }
+    }
+    let (results, stats) = outcome.expect("at least one round ran");
+    if opts.stats_json {
+        let per_query = queries
+            .iter()
+            .zip(&results)
+            .map(|(q, hits)| {
+                Json::obj()
+                    .with("query", Json::from(*q))
+                    .with("hits", Json::from(hits.len()))
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("queries", Json::Arr(per_query))
+            .with("batch", batch_stats_json(&stats))
+            .with("phases", phases_json())
+            .with("obs", tr_obs::snapshot());
+        print!("{}", doc.pretty());
+        return true;
+    }
+    println!(
+        "ran {} queries: {} cache hits, {} distinct nodes, {} evaluated\n",
+        stats.queries, stats.cache_hits, stats.distinct_nodes, stats.nodes_evaluated
+    );
+    print_stats_report();
+    true
 }
 
 fn repl(mut engine: Engine, limit: usize) {
@@ -135,7 +333,7 @@ fn repl(mut engine: Engine, limit: usize) {
         engine.instance().len(),
         engine.schema().names().collect::<Vec<_>>().join(", ")
     );
-    println!("enter queries (:schema, :explain <q>, :let <name> = <q>, :quit)");
+    println!("enter queries (:schema, :explain <q>, :let <name> = <q>, :stats, :quit)");
     let stdin = std::io::stdin();
     loop {
         print!("trq> ");
@@ -163,6 +361,10 @@ fn repl(mut engine: Engine, limit: usize) {
             for v in engine.views() {
                 println!("  {v}  (view)");
             }
+            continue;
+        }
+        if line == ":stats" {
+            print_stats_report();
             continue;
         }
         if let Some(q) = line.strip_prefix(":explain ") {
@@ -193,6 +395,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.stats_cmd {
+        return if run_stats_cmd(&engine, &opts) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if let Some(out) = &opts.save {
         match tr_store::save_document(out, engine.text(), engine.instance(), engine.rig()) {
             Ok(()) => {
@@ -205,9 +414,21 @@ fn main() -> ExitCode {
             }
         }
     }
-    match &opts.query {
-        Some(q) => run_query(&engine, q, opts.explain, opts.limit),
-        None => repl(engine, opts.limit),
+    match opts.queries.len() {
+        0 => repl(engine, opts.limit),
+        1 if !opts.stats_json => run_query(&engine, &opts.queries[0], opts.explain, opts.limit),
+        _ => {
+            if opts.explain {
+                for q in &opts.queries {
+                    run_query(&engine, q, true, opts.limit);
+                }
+            } else {
+                let queries: Vec<&str> = opts.queries.iter().map(String::as_str).collect();
+                if !run_batch(&engine, &queries, opts.limit, opts.stats_json) {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -10,13 +10,46 @@ use crate::ast::Query;
 use crate::parse::{parse_with_views, ParseError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use tr_core::{
     execute, expr_fingerprint, ExecConfig, Expr, Instance, Plan, Region, RegionSet, Schema,
 };
 use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
 use tr_rig::Rig;
 use tr_text::SuffixWordIndex;
+
+/// Cached handles into the `tr_obs` metrics registry. Every counter here
+/// is defined so that, per batch, `engine.cache.hits + engine.cache.misses
+/// + engine.extended == engine.queries` — the same identity `BatchStats`
+/// satisfies, which `trq --stats-json` and the integration tests check.
+struct EngineMetrics {
+    /// `engine.batches` / `engine.queries`: batch calls and queries seen.
+    batches: Arc<tr_obs::Counter>,
+    queries: Arc<tr_obs::Counter>,
+    /// `engine.cache.hits` / `engine.cache.misses`: result-cache outcomes
+    /// for pure-algebra queries.
+    cache_hits: Arc<tr_obs::Counter>,
+    cache_misses: Arc<tr_obs::Counter>,
+    /// `engine.extended`: queries using extended operators (bypass the
+    /// plan and the cache).
+    extended: Arc<tr_obs::Counter>,
+    /// `engine.nodes_executed`: distinct plan nodes run on the executor.
+    nodes_executed: Arc<tr_obs::Counter>,
+}
+
+impl EngineMetrics {
+    fn get() -> &'static EngineMetrics {
+        static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| EngineMetrics {
+            batches: tr_obs::counter("engine.batches"),
+            queries: tr_obs::counter("engine.queries"),
+            cache_hits: tr_obs::counter("engine.cache.hits"),
+            cache_misses: tr_obs::counter("engine.cache.misses"),
+            extended: tr_obs::counter("engine.extended"),
+            nodes_executed: tr_obs::counter("engine.nodes_executed"),
+        })
+    }
+}
 
 /// Errors surfaced by [`Engine`] entry points.
 #[derive(Debug)]
@@ -59,7 +92,10 @@ pub struct BatchStats {
     /// Plan nodes actually evaluated — equals `distinct_nodes`: each
     /// shared sub-expression runs exactly once per batch.
     pub nodes_evaluated: usize,
-    /// Worker threads used by the executor (0 if nothing was executed).
+    /// Worker threads the executor actually engaged — `1` when the plan
+    /// was small enough that the sequential path (or a single worker)
+    /// handled it, and `0` if nothing was executed at all (every query
+    /// cached or extended).
     pub threads: usize,
 }
 
@@ -202,13 +238,19 @@ impl Engine {
 
     /// Parses, plans, and runs a query.
     pub fn query(&self, q: &str) -> Result<RegionSet, EngineError> {
+        let _span = tr_obs::span("engine.query");
+        let metrics = EngineMetrics::get();
+        metrics.queries.inc();
         let ast = parse_with_views(q, self.schema(), &self.views)?;
         // Pure-algebra queries go through the planner (RIG chain
         // optimization) and the result cache; extended queries evaluate
         // the AST directly.
         match ast.to_expr() {
             Some(e) => Ok(self.eval_algebra(self.planned(e))),
-            None => Ok(ast.eval(&self.instance)),
+            None => {
+                metrics.extended.inc();
+                Ok(ast.eval(&self.instance))
+            }
         }
     }
 
@@ -222,10 +264,13 @@ impl Engine {
 
     /// Evaluates a pure-algebra expression through the result cache.
     fn eval_algebra(&self, e: Expr) -> RegionSet {
+        let metrics = EngineMetrics::get();
         let fp = expr_fingerprint(&e);
         if let Some(hit) = self.lock_cache().get(fp, &e) {
+            metrics.cache_hits.inc();
             return hit;
         }
+        metrics.cache_misses.inc();
         let out = tr_core::eval(&e, &self.instance);
         self.lock_cache().insert(fp, e, out.clone());
         out
@@ -254,41 +299,81 @@ impl Engine {
         &self,
         queries: &[&str],
     ) -> Result<(Vec<RegionSet>, BatchStats), EngineError> {
+        let _batch = tr_obs::span("engine.batch");
+        let metrics = EngineMetrics::get();
+        metrics.batches.inc();
+        metrics.queries.add(queries.len() as u64);
         let mut stats = BatchStats {
             queries: queries.len(),
             ..BatchStats::default()
         };
+
+        // Phase 1 — parse (all-or-nothing: any error fails the batch
+        // before anything runs).
+        let asts: Vec<Query> = {
+            let _span = tr_obs::span("engine.parse");
+            queries
+                .iter()
+                .map(|q| parse_with_views(q, self.schema(), &self.views))
+                .collect::<Result<_, _>>()?
+        };
+
+        // Phase 2 — plan: compile to algebra, probe the result cache,
+        // lower every miss into one shared hash-consed plan.
         let mut results: Vec<Option<RegionSet>> = (0..queries.len()).map(|_| None).collect();
         let mut plan = Plan::new();
         // (query index, optimized expr, fingerprint, plan root)
         let mut misses: Vec<(usize, Expr, u64, tr_core::NodeId)> = Vec::new();
+        // Extended operators live outside the algebra; they bypass the
+        // plan (and the cache) unchanged.
+        let mut extended: Vec<(usize, Query)> = Vec::new();
         {
+            let _span = tr_obs::span("engine.plan");
             let cache = self.lock_cache();
-            for (i, q) in queries.iter().enumerate() {
-                let ast = parse_with_views(q, self.schema(), &self.views)?;
+            for (i, ast) in asts.into_iter().enumerate() {
                 match ast.to_expr() {
                     Some(e) => {
                         let e = self.planned(e);
                         let fp = expr_fingerprint(&e);
                         if let Some(hit) = cache.get(fp, &e) {
+                            metrics.cache_hits.inc();
                             stats.cache_hits += 1;
                             results[i] = Some(hit);
                         } else {
+                            metrics.cache_misses.inc();
                             let root = plan.lower(&e);
                             misses.push((i, e, fp, root));
                         }
                     }
-                    // Extended operators live outside the algebra; they
-                    // bypass the plan (and the cache) unchanged.
-                    None => results[i] = Some(ast.eval(&self.instance)),
+                    None => extended.push((i, ast)),
                 }
             }
         }
         stats.distinct_nodes = plan.len();
+
+        // Phase 3 — extended queries evaluate their ASTs directly.
+        if !extended.is_empty() {
+            let _span = tr_obs::span("engine.extended");
+            metrics.extended.add(extended.len() as u64);
+            for (i, ast) in extended {
+                results[i] = Some(ast.eval(&self.instance));
+            }
+        }
+
+        // Phase 4 — execute the shared plan; Phase 5 — materialize
+        // results into the cache and the output slots.
         if !plan.is_empty() {
-            let executed = execute(&plan, &self.instance, &self.exec);
-            stats.nodes_evaluated = executed.stats().nodes_evaluated;
-            stats.threads = executed.stats().threads;
+            let executed = {
+                let _span = tr_obs::span("engine.execute");
+                execute(&plan, &self.instance, &self.exec)
+            };
+            let exec_stats = executed.stats();
+            stats.nodes_evaluated = exec_stats.nodes_evaluated;
+            stats.threads = exec_stats.threads;
+            metrics
+                .nodes_executed
+                .add(exec_stats.nodes_evaluated as u64);
+            let _span = tr_obs::span("engine.materialize");
             let mut cache = self.lock_cache();
             for (i, e, fp, root) in misses {
                 let v = executed.result(root).clone();

@@ -9,8 +9,36 @@ use crate::pattern::Pattern;
 use crate::suffix::SuffixArray;
 use crate::tokenize::{is_word_byte, word_starts};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use tr_core::{Region, WordIndex};
+
+/// Cached handles into the `tr_obs` metrics registry.
+struct TextMetrics {
+    /// `text.index.builds` / `text.index.bytes`: indexes built, bytes in.
+    builds: Arc<tr_obs::Counter>,
+    bytes: Arc<tr_obs::Counter>,
+    /// `text.pattern.cache_hits` / `text.pattern.computed`: memoized
+    /// occurrence-list reuse vs fresh suffix-array scans.
+    pattern_hits: Arc<tr_obs::Counter>,
+    pattern_computed: Arc<tr_obs::Counter>,
+    /// `text.index.build_ns` / `text.pattern.compute_ns`: wall times.
+    build_ns: Arc<tr_obs::Histogram>,
+    compute_ns: Arc<tr_obs::Histogram>,
+}
+
+impl TextMetrics {
+    fn get() -> &'static TextMetrics {
+        static METRICS: OnceLock<TextMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| TextMetrics {
+            builds: tr_obs::counter("text.index.builds"),
+            bytes: tr_obs::counter("text.index.bytes"),
+            pattern_hits: tr_obs::counter("text.pattern.cache_hits"),
+            pattern_computed: tr_obs::counter("text.pattern.computed"),
+            build_ns: tr_obs::histogram("text.index.build_ns"),
+            compute_ns: tr_obs::histogram("text.pattern.compute_ns"),
+        })
+    }
+}
 
 /// An occurrence of a pattern: `(start offset, byte length)`.
 pub type Occurrence = (u32, u32);
@@ -27,13 +55,20 @@ pub struct SuffixWordIndex {
 impl SuffixWordIndex {
     /// Indexes `text`.
     pub fn new(text: impl Into<Vec<u8>>) -> SuffixWordIndex {
+        let _span = tr_obs::span("text.index.build");
+        let started = std::time::Instant::now();
         let text = text.into();
+        let metrics = TextMetrics::get();
+        metrics.builds.inc();
+        metrics.bytes.add(text.len() as u64);
         let starts = word_starts(&text);
-        SuffixWordIndex {
+        let built = SuffixWordIndex {
             sa: SuffixArray::new(text),
             starts,
             cache: RwLock::new(HashMap::new()),
-        }
+        };
+        metrics.build_ns.record(started.elapsed().as_nanos() as u64);
+        built
     }
 
     /// Wraps a previously built [`SuffixArray`] (e.g. loaded from disk),
@@ -59,10 +94,17 @@ impl SuffixWordIndex {
 
     /// The sorted occurrences of a pattern (memoized).
     pub fn occurrences(&self, pattern: &str) -> Arc<Vec<Occurrence>> {
+        let metrics = TextMetrics::get();
         if let Some(hit) = self.read_cache().get(pattern) {
+            metrics.pattern_hits.inc();
             return Arc::clone(hit);
         }
+        let started = std::time::Instant::now();
         let computed = Arc::new(self.compute(&Pattern::parse(pattern)));
+        metrics.pattern_computed.inc();
+        metrics
+            .compute_ns
+            .record(started.elapsed().as_nanos() as u64);
         // Two threads may compute the same pattern concurrently; keep the
         // first entry so all callers share one allocation.
         Arc::clone(

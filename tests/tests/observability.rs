@@ -1,0 +1,116 @@
+//! The engine's `BatchStats` and the `tr_obs` registry must agree: the
+//! batch API reports per-batch numbers, the registry accumulates the same
+//! events process-wide, and `hits + misses + extended == queries` always.
+//!
+//! This file deliberately holds a single `#[test]` in its own integration
+//! binary: the obs registry is process-global, and a sibling test touching
+//! the engine concurrently would make the counter deltas unattributable.
+
+use tr_query::Engine;
+
+/// The counters the engine path maintains (see `EngineMetrics`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EngineCounters {
+    batches: u64,
+    queries: u64,
+    hits: u64,
+    misses: u64,
+    extended: u64,
+    nodes_executed: u64,
+}
+
+impl EngineCounters {
+    fn read() -> EngineCounters {
+        EngineCounters {
+            batches: tr_obs::counter_value("engine.batches"),
+            queries: tr_obs::counter_value("engine.queries"),
+            hits: tr_obs::counter_value("engine.cache.hits"),
+            misses: tr_obs::counter_value("engine.cache.misses"),
+            extended: tr_obs::counter_value("engine.extended"),
+            nodes_executed: tr_obs::counter_value("engine.nodes_executed"),
+        }
+    }
+
+    fn delta_since(self, before: EngineCounters) -> EngineCounters {
+        EngineCounters {
+            batches: self.batches - before.batches,
+            queries: self.queries - before.queries,
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            extended: self.extended - before.extended,
+            nodes_executed: self.nodes_executed - before.nodes_executed,
+        }
+    }
+}
+
+#[test]
+fn batch_stats_and_obs_registry_agree() {
+    let text = "program a; proc outer; proc inner; var x; begin end; begin end; begin end.";
+    let engine = Engine::from_source(text).unwrap();
+    let queries: Vec<&str> = vec![
+        "Name within Proc_header within Proc",
+        r#"Proc containing (Var matching "x")"#,
+        // Duplicate of the first query *within* the batch: the shared plan
+        // dedups it to the same root, but the result cache only fills at
+        // materialize time, so it still counts as a miss in round one.
+        "Name within Proc_header within Proc",
+        // Extended operator: bypasses plan and cache entirely.
+        r#"Proc directly containing (Proc_body directly containing (Var matching "x"))"#,
+    ];
+
+    let before = EngineCounters::read();
+
+    // Round 1: cold cache.
+    let (res1, stats1) = engine.query_batch_with_stats(&queries).unwrap();
+    assert_eq!(stats1.queries, 4);
+    assert_eq!(stats1.cache_hits, 0, "cold cache: no hits");
+    let d1 = EngineCounters::read().delta_since(before);
+    assert_eq!(d1.batches, 1);
+    assert_eq!(d1.queries, stats1.queries as u64);
+    assert_eq!(d1.hits, stats1.cache_hits as u64);
+    assert_eq!(d1.misses, 3, "both copies of the duplicate miss");
+    assert_eq!(d1.extended, 1);
+    assert_eq!(d1.nodes_executed, stats1.nodes_evaluated as u64);
+
+    // Round 2: every plan query hits the cache; the extended query can
+    // never be cached and evaluates again.
+    let (res2, stats2) = engine.query_batch_with_stats(&queries).unwrap();
+    assert_eq!(res2, res1, "cached answers are identical");
+    assert_eq!(stats2.cache_hits, 3);
+    assert_eq!(stats2.nodes_evaluated, 0, "nothing left to execute");
+    let d2 = EngineCounters::read().delta_since(before);
+    assert_eq!(d2.batches, 2);
+    assert_eq!(
+        d2.hits,
+        (stats1.cache_hits + stats2.cache_hits) as u64,
+        "registry accumulates per-batch hits"
+    );
+    assert_eq!(
+        d2.nodes_executed,
+        (stats1.nodes_evaluated + stats2.nodes_evaluated) as u64
+    );
+
+    // The invariant the whole layer hangs on: every query is exactly one
+    // of hit / miss / extended.
+    assert_eq!(d2.hits + d2.misses + d2.extended, d2.queries);
+
+    // The JSON snapshot is the same data: spot-check one counter and the
+    // span tree of the last batch.
+    let snap = tr_obs::snapshot();
+    let counters = snap.get("counters").expect("snapshot has counters");
+    assert_eq!(
+        counters.get("engine.queries").and_then(|j| j.as_u64()),
+        Some(EngineCounters::read().queries)
+    );
+    let batch_span = tr_obs::last_root("engine.batch").expect("batch span recorded");
+    for phase in ["engine.parse", "engine.plan"] {
+        assert!(
+            batch_span.find(phase).is_some(),
+            "batch span has child {phase}"
+        );
+    }
+    assert!(
+        batch_span.find("engine.execute").is_none(),
+        "round 2 executed nothing, so no execute phase span"
+    );
+}
