@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in EXPERIMENTS.md (E1–E12), and
+//! Regenerates every experiment table in EXPERIMENTS.md (E1–E14), and
 //! hosts the CI performance-regression gate.
 //!
 //! ```text
@@ -67,6 +67,9 @@ fn main() {
     }
     if want("E13") {
         e13_nary_extension();
+    }
+    if want("E14") {
+        e14_serve_throughput();
     }
 }
 
@@ -709,6 +712,93 @@ fn e13_nary_extension() {
     }
     println!("  (the joins materialize O(n²)/O(n³) intermediates — expressible ≠ cheap,");
     println!("   which is why Section 6's loop programs remain the practical route)\n");
+}
+
+/// E14: the serve layer — end-to-end request throughput over loopback
+/// TCP as concurrency grows. Not gated: absolute numbers swing with the
+/// host's scheduler; the *shape* (scaling until the worker pool
+/// saturates) is what the table documents.
+fn e14_serve_throughput() {
+    use tr_serve::{Catalog, Client, Server, ServerConfig};
+
+    println!("E14 — tr-serve: request throughput vs concurrent connections");
+    println!(
+        "{:>6} | {:>9} {:>12} | {:>10} | rejected",
+        "conns", "requests", "wall", "req/s"
+    );
+    // A mid-sized synthetic play: enough regions that queries do real
+    // work, small enough that the table regenerates in seconds.
+    let mut text = String::from("<play>");
+    for act in 0..20 {
+        text.push_str("<act>");
+        for sp in 0..40 {
+            text.push_str(&format!(
+                "<speech>speak {} words of scene {} and verse {}</speech>",
+                ["love", "death", "york", "crown"][sp % 4],
+                act,
+                sp
+            ));
+        }
+        text.push_str("</act>");
+    }
+    text.push_str("</play>");
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        "play",
+        tr_query::Engine::from_sgml(&text).expect("valid synthetic corpus"),
+    );
+    let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default())
+        .expect("ephemeral port bind");
+    let addr = server.local_addr();
+
+    const QUERIES: [&str; 4] = [
+        r#"speech matching "love""#,
+        "speech within act",
+        r#"act containing (speech matching "crown")"#,
+        "speech",
+    ];
+    for conns in [1usize, 2, 4, 8, 16] {
+        let per_conn = 150;
+        let rejected0 = tr_obs::counter_value("serve.rejected");
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..per_conn {
+                        let q = QUERIES[(c + i) % QUERIES.len()];
+                        // Shed requests are part of the measured story —
+                        // retry so every client completes its quota.
+                        loop {
+                            match client.query("play", q) {
+                                Ok(_) => break,
+                                Err(e) if e.is_rejected() => continue,
+                                Err(e) => panic!("serve bench request failed: {e}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("bench client");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let total = (conns * per_conn) as f64;
+        println!(
+            "{:>6} | {:>9} {} | {:>10.0} | {}",
+            conns,
+            conns * per_conn,
+            us(wall),
+            total / wall,
+            tr_obs::counter_value("serve.rejected") - rejected0,
+        );
+    }
+    server.shutdown();
+    println!("  (loopback TCP, default config: workers = min(cores, 8), queue 128.");
+    println!("   Repeated queries are engine result-cache hits, so the wire and");
+    println!("   thread hand-offs dominate: the table reports protocol overhead,");
+    println!("   not query evaluation. Shed requests are retried by the client.)\n");
 }
 
 /// E12: the text substrate (the PAT-engine substitute).

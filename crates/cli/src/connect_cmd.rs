@@ -1,0 +1,199 @@
+//! `trq connect [addr]` — interactive client for a running tr-serve.
+//!
+//! The REPL keeps a *current document* (`:use <doc>` switches it) and
+//! sends every plain line as a query against it. Session views defined
+//! with `:let` live on the server for exactly this connection.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use tr_obs::Json;
+use tr_serve::{Client, ClientError};
+
+fn usage() -> ! {
+    eprintln!("usage: trq connect [HOST:PORT]   (default 127.0.0.1:7878)");
+    std::process::exit(2);
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            a => addr = a.to_owned(),
+        }
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let docs = match client.list_docs() {
+        Ok(reply) => doc_names(&reply),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("connected to {addr}; documents: {}", docs.join(", "));
+    let mut current = match docs.first() {
+        Some(d) => d.clone(),
+        None => {
+            eprintln!("error: server has no documents");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "querying {current:?} (:use <doc>, :docs, :explain <q>, :batch <q>; <q>…, \
+         :let <name> = <q>, :stats, :quit)"
+    );
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("{current}> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        let outcome = dispatch(&mut client, &mut current, line);
+        match outcome {
+            Ok(()) => {}
+            Err(ClientError::Io(e)) => {
+                eprintln!("connection lost: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dispatch(client: &mut Client, current: &mut String, line: &str) -> Result<(), ClientError> {
+    if line == ":docs" {
+        let reply = client.list_docs()?;
+        for doc in reply.get("docs").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name = doc.get("name").and_then(Json::as_str).unwrap_or("?");
+            let regions = doc.get("regions").and_then(Json::as_u64).unwrap_or(0);
+            println!("  {name}  ({regions} regions)");
+        }
+        return Ok(());
+    }
+    if let Some(doc) = line.strip_prefix(":use ") {
+        // Validate by running a no-op against the catalog.
+        let reply = client.list_docs()?;
+        let names = doc_names(&reply);
+        let doc = doc.trim();
+        if names.iter().any(|n| n == doc) {
+            *current = doc.to_owned();
+            println!("now querying {doc:?}");
+        } else {
+            println!("no such document {doc:?} (have: {})", names.join(", "));
+        }
+        return Ok(());
+    }
+    if line == ":stats" {
+        let reply = client.stats()?;
+        print!("{}", reply.pretty());
+        return Ok(());
+    }
+    if line == ":ping" {
+        client.ping()?;
+        println!("pong");
+        return Ok(());
+    }
+    if let Some(q) = line.strip_prefix(":explain ") {
+        let reply = client.explain(current, q)?;
+        println!("{}", reply.get("text").and_then(Json::as_str).unwrap_or(""));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":let ") {
+        match rest.split_once('=') {
+            Some((name, def)) => {
+                client.define_view(current, name.trim(), def.trim())?;
+                println!("view {} defined (this session only)", name.trim());
+            }
+            None => eprintln!("usage: :let <name> = <query>"),
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":batch ") {
+        let queries: Vec<&str> = rest
+            .split(';')
+            .map(str::trim)
+            .filter(|q| !q.is_empty())
+            .collect();
+        let reply = client.batch(current, &queries)?;
+        let empty = vec![];
+        let results = reply
+            .get("results")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty);
+        for (q, result) in queries.iter().zip(results) {
+            println!("▶ {q}");
+            print_result(result);
+        }
+        if let Some(batch) = reply.get("batch") {
+            let get = |k: &str| batch.get(k).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "batch: {} queries, {} cache hits, {} distinct nodes, {} evaluated",
+                get("queries"),
+                get("cache_hits"),
+                get("distinct_nodes"),
+                get("nodes_evaluated"),
+            );
+        }
+        return Ok(());
+    }
+    let reply = client.query(current, line)?;
+    print_result(&reply);
+    Ok(())
+}
+
+fn print_result(result: &Json) {
+    let hits = result.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    println!("{hits} hit(s)");
+    let empty = vec![];
+    let regions = result
+        .get("regions")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for r in regions.iter().take(20) {
+        if let Some(pair) = r.as_arr() {
+            if let (Some(l), Some(rr)) = (
+                pair.first().and_then(Json::as_u64),
+                pair.get(1).and_then(Json::as_u64),
+            ) {
+                println!("  [{l}, {rr}]");
+            }
+        }
+    }
+    if regions.len() > 20 {
+        println!("  … {} more shown server-side", regions.len() - 20);
+    }
+    if result.get("truncated").is_some() {
+        println!("  (region list truncated by the server)");
+    }
+}
+
+fn doc_names(reply: &Json) -> Vec<String> {
+    reply
+        .get("docs")
+        .and_then(Json::as_arr)
+        .map(|docs| {
+            docs.iter()
+                .filter_map(|d| d.get("name").and_then(Json::as_str).map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default()
+}

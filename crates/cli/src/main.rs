@@ -5,6 +5,9 @@
 //!                              two or more queries run as one batch
 //! trq stats <file> [query ...] run queries, then print an observability
 //!                              report (phases, counters, histograms)
+//! trq serve <corpus-dir>       serve every document in a directory over
+//!                              TCP (newline-delimited JSON protocol)
+//! trq connect [addr]           interactive client for a running server
 //!
 //! options:
 //!   --format sgml|source|auto  document format (default: auto-detect;
@@ -17,12 +20,16 @@
 //! ```
 //!
 //! REPL commands: `:schema`, `:explain <query>`, `:let <name> = <query>`,
-//! `:stats`, `:quit`.
+//! `:stats`, `:quit`. `trq serve --help` / `trq connect --help` list the
+//! server and client options.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use tr_obs::Json;
 use tr_query::{BatchStats, Engine};
+
+mod connect_cmd;
+mod serve_cmd;
 
 struct Options {
     stats_cmd: bool,
@@ -45,12 +52,14 @@ enum Format {
 fn usage() -> ! {
     eprintln!(
         "usage: trq [stats] <file> [query ...] [--format sgml|source|auto] \
-         [--explain] [--limit N] [--stats-json]"
+         [--explain] [--limit N] [--stats-json]\n\
+         \x20      trq serve <corpus-dir> [--addr HOST:PORT] [--workers N] …\n\
+         \x20      trq connect [addr]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Options {
+fn parse_args(args: Vec<String>) -> Options {
     let mut opts = Options {
         stats_cmd: false,
         file: None,
@@ -61,7 +70,7 @@ fn parse_args() -> Options {
         save: None,
         stats_json: false,
     };
-    let mut args = std::env::args().skip(1).peekable();
+    let mut args = args.into_iter().peekable();
     if args.peek().map(String::as_str) == Some("stats") {
         opts.stats_cmd = true;
         args.next();
@@ -98,7 +107,7 @@ fn open_engine(path: &str, format: Format) -> Result<Engine, String> {
     let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if raw.starts_with(tr_store::MAGIC) {
         let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
-        return Ok(Engine::from_parts(doc.text, doc.instance, doc.rig));
+        return Ok(Engine::from_stored(doc));
     }
     let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8 text"))?;
     let format = match format {
@@ -386,7 +395,13 @@ fn repl(mut engine: Engine, limit: usize) {
 }
 
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_cmd::run(&args[1..]),
+        Some("connect") => return connect_cmd::run(&args[1..]),
+        _ => {}
+    }
+    let opts = parse_args(args);
     let Some(file) = &opts.file else { usage() };
     let engine = match open_engine(file, opts.format) {
         Ok(e) => e,

@@ -1,0 +1,86 @@
+//! `trq serve <corpus-dir>` — run the tr-serve server in the foreground.
+//!
+//! The server binds, prints its address and catalog, and then waits for
+//! EOF (or the line `quit`) on stdin before shutting down gracefully —
+//! that makes it scriptable: `trq serve corpus/ < /dev/null` serves until
+//! killed, and a test harness can hold the pipe open and close it to
+//! trigger a drain.
+
+use std::io::BufRead;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+use tr_serve::{Catalog, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trq serve <corpus-dir> [--addr HOST:PORT] [--workers N] \
+         [--queue N] [--max-conns N] [--deadline-ms N] [--max-frame-bytes N]\n\
+         serves every .trx/.sgml/.xml/.src/.txt file in <corpus-dir>; \
+         EOF or \"quit\" on stdin shuts down gracefully"
+    );
+    std::process::exit(2);
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut dir: Option<&str> = None;
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> usize {
+            it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {what} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => cfg.workers = num("--workers").max(1),
+            "--queue" => cfg.queue_capacity = num("--queue").max(1),
+            "--max-conns" => cfg.max_connections = num("--max-conns").max(1),
+            "--deadline-ms" => cfg.deadline = Duration::from_millis(num("--deadline-ms") as u64),
+            "--max-frame-bytes" => cfg.max_frame_bytes = num("--max-frame-bytes").max(64),
+            "--help" | "-h" => usage(),
+            _ if dir.is_none() => dir = Some(arg),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    let catalog = match Catalog::open(Path::new(dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<&str> = catalog.names().collect();
+    println!("loaded {} document(s): {}", names.len(), names.join(", "));
+
+    let server = match Server::start(catalog, addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tr-serve listening on {}", server.local_addr());
+    println!("(EOF or \"quit\" on stdin shuts down gracefully)");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("draining…");
+    server.shutdown();
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,7 @@
 
 use crate::ast::Query;
 use crate::parse::{parse_with_views, ParseError};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -144,6 +145,37 @@ impl ResultCache {
 /// Default capacity of the engine's result cache (distinct queries).
 const RESULT_CACHE_CAPACITY: usize = 128;
 
+/// View definitions scoped to one client session, layered over a shared
+/// (immutable) [`Engine`].
+///
+/// A long-lived server shares one engine per document across many
+/// connections, but the paper's footnote-1 views are conversational
+/// state: each session defines its own. `SessionViews` holds that state
+/// outside the engine; pass it to [`Engine::query_with`],
+/// [`Engine::explain_with`], or [`Engine::query_batch_with`]. Session
+/// definitions shadow engine-level views of the same name.
+#[derive(Clone, Debug, Default)]
+pub struct SessionViews {
+    views: BTreeMap<String, Query>,
+}
+
+impl SessionViews {
+    /// An empty set of session views.
+    pub fn new() -> SessionViews {
+        SessionViews::default()
+    }
+
+    /// The defined view names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// True when no views are defined.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
 /// A queryable indexed document.
 pub struct Engine {
     text: String,
@@ -181,6 +213,12 @@ impl Engine {
             instance,
             Some(Rig::figure_1()),
         ))
+    }
+
+    /// Builds an engine from a document loaded by `tr-store` — the one
+    /// loading path shared by the CLI and the server catalog.
+    pub fn from_stored(doc: tr_store::StoredDocument) -> Engine {
+        Engine::from_parts(doc.text, doc.instance, doc.rig)
     }
 
     /// Builds an engine from already-indexed parts (e.g. a persisted
@@ -238,10 +276,16 @@ impl Engine {
 
     /// Parses, plans, and runs a query.
     pub fn query(&self, q: &str) -> Result<RegionSet, EngineError> {
+        self.query_with(&SessionViews::new(), q)
+    }
+
+    /// [`Engine::query`], resolving view names against `session` as well
+    /// as the engine's own views (session definitions win).
+    pub fn query_with(&self, session: &SessionViews, q: &str) -> Result<RegionSet, EngineError> {
         let _span = tr_obs::span("engine.query");
         let metrics = EngineMetrics::get();
         metrics.queries.inc();
-        let ast = parse_with_views(q, self.schema(), &self.views)?;
+        let ast = parse_with_views(q, self.schema(), &self.merged_views(session))?;
         // Pure-algebra queries go through the planner (RIG chain
         // optimization) and the result cache; extended queries evaluate
         // the AST directly.
@@ -251,6 +295,22 @@ impl Engine {
                 metrics.extended.inc();
                 Ok(ast.eval(&self.instance))
             }
+        }
+    }
+
+    /// The views visible to a session: the engine's own, with session
+    /// definitions layered on top. Borrows whichever side is empty so
+    /// the common cases (no views at all, or server sessions over a
+    /// view-less shared engine) allocate nothing.
+    fn merged_views<'a>(&'a self, session: &'a SessionViews) -> Cow<'a, BTreeMap<String, Query>> {
+        if session.views.is_empty() {
+            Cow::Borrowed(&self.views)
+        } else if self.views.is_empty() {
+            Cow::Borrowed(&session.views)
+        } else {
+            let mut merged = self.views.clone();
+            merged.extend(session.views.iter().map(|(k, v)| (k.clone(), v.clone())));
+            Cow::Owned(merged)
         }
     }
 
@@ -299,6 +359,17 @@ impl Engine {
         &self,
         queries: &[&str],
     ) -> Result<(Vec<RegionSet>, BatchStats), EngineError> {
+        self.query_batch_with(&SessionViews::new(), queries)
+    }
+
+    /// [`Engine::query_batch_with_stats`], resolving view names against
+    /// `session` as well as the engine's own views.
+    pub fn query_batch_with(
+        &self,
+        session: &SessionViews,
+        queries: &[&str],
+    ) -> Result<(Vec<RegionSet>, BatchStats), EngineError> {
+        let views = self.merged_views(session);
         let _batch = tr_obs::span("engine.batch");
         let metrics = EngineMetrics::get();
         metrics.batches.inc();
@@ -314,7 +385,7 @@ impl Engine {
             let _span = tr_obs::span("engine.parse");
             queries
                 .iter()
-                .map(|q| parse_with_views(q, self.schema(), &self.views))
+                .map(|q| parse_with_views(q, self.schema(), &views))
                 .collect::<Result<_, _>>()?
         };
 
@@ -396,7 +467,13 @@ impl Engine {
     /// Explains how a query would run: the compiled algebra expression and
     /// its RIG-optimized form (or a note that it uses extended operators).
     pub fn explain(&self, q: &str) -> Result<String, EngineError> {
-        let ast = parse_with_views(q, self.schema(), &self.views)?;
+        self.explain_with(&SessionViews::new(), q)
+    }
+
+    /// [`Engine::explain`], resolving view names against `session` as
+    /// well as the engine's own views.
+    pub fn explain_with(&self, session: &SessionViews, q: &str) -> Result<String, EngineError> {
+        let ast = parse_with_views(q, self.schema(), &self.merged_views(session))?;
         let schema = self.schema();
         Ok(match ast.to_expr() {
             Some(e) => {
@@ -433,6 +510,29 @@ impl Engine {
     /// (expanded at definition time, so no cycles can form). A view may
     /// not shadow a schema name.
     pub fn define_view(&mut self, name: &str, definition: &str) -> Result<(), EngineError> {
+        self.check_view_name(name)?;
+        let q = parse_with_views(definition, self.schema(), &self.views)?;
+        self.views.insert(name.to_owned(), q);
+        Ok(())
+    }
+
+    /// Defines (or replaces) a view in `session` without touching the
+    /// shared engine — the server's per-connection `define-view`. The
+    /// definition may reference earlier session or engine views
+    /// (expanded at definition time, so no cycles can form).
+    pub fn define_session_view(
+        &self,
+        session: &mut SessionViews,
+        name: &str,
+        definition: &str,
+    ) -> Result<(), EngineError> {
+        self.check_view_name(name)?;
+        let q = parse_with_views(definition, self.schema(), &self.merged_views(session))?;
+        session.views.insert(name.to_owned(), q);
+        Ok(())
+    }
+
+    fn check_view_name(&self, name: &str) -> Result<(), EngineError> {
         if self.schema().id(name).is_some() {
             return Err(EngineError::Query(ParseError {
                 message: format!("view {name:?} would shadow a region name"),
@@ -445,8 +545,6 @@ impl Engine {
                 at: 0,
             }));
         }
-        let q = parse_with_views(definition, self.schema(), &self.views)?;
-        self.views.insert(name.to_owned(), q);
         Ok(())
     }
 
@@ -679,6 +777,51 @@ mod tests {
         }
         // A parse error anywhere fails the whole batch.
         assert!(e.query_batch(&["Proc", "nope within doc"]).is_err());
+    }
+
+    #[test]
+    fn session_views_shadow_without_touching_the_engine() {
+        let e = sgml_engine();
+        let mut alice = SessionViews::new();
+        let mut bob = SessionViews::new();
+        e.define_session_view(&mut alice, "picks", r#"sec matching "beta""#)
+            .unwrap();
+        e.define_session_view(&mut bob, "picks", "sec containing note")
+            .unwrap();
+        // Same name, different definitions, independent sessions.
+        assert_eq!(e.query_with(&alice, "picks").unwrap().len(), 2);
+        assert_eq!(e.query_with(&bob, "picks").unwrap().len(), 1);
+        // The shared engine itself never learned the name.
+        assert!(e.query("picks").is_err());
+        assert!(e.views().next().is_none());
+        // Session views layer: later definitions may use earlier ones.
+        e.define_session_view(&mut alice, "clean", "picks minus (sec containing note)")
+            .unwrap();
+        assert_eq!(e.query_with(&alice, "clean").unwrap().len(), 1);
+        assert_eq!(alice.names().collect::<Vec<_>>(), vec!["clean", "picks"]);
+        // Batch and explain resolve session views too.
+        let (batch, _) = e.query_batch_with(&alice, &["picks", "clean"]).unwrap();
+        assert_eq!(batch[0], e.query_with(&alice, "picks").unwrap());
+        assert!(e.explain_with(&alice, "clean").unwrap().contains("algebra"));
+        // Validation matches engine-level views.
+        assert!(e.define_session_view(&mut alice, "sec", "note").is_err());
+        assert!(e
+            .define_session_view(&mut alice, "bad name", "note")
+            .is_err());
+    }
+
+    #[test]
+    fn from_stored_round_trips_through_the_store() {
+        let text = "<doc><sec>alpha beta</sec></doc>";
+        let direct = Engine::from_sgml(text).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("tr_query_from_stored_{}.trx", std::process::id()));
+        tr_store::save_document(&path, direct.text(), direct.instance(), direct.rig()).unwrap();
+        let loaded = Engine::from_stored(tr_store::load_document(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let q = r#"sec matching "beta""#;
+        assert_eq!(loaded.query(q).unwrap(), direct.query(q).unwrap());
+        assert_eq!(loaded.text(), direct.text());
     }
 
     #[test]

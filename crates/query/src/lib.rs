@@ -23,5 +23,5 @@ pub mod engine;
 pub mod parse;
 
 pub use ast::Query;
-pub use engine::{BatchStats, Engine, EngineError};
+pub use engine::{BatchStats, Engine, EngineError, SessionViews};
 pub use parse::{parse, ParseError};

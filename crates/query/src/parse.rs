@@ -143,6 +143,7 @@ pub fn parse_with_views(
         schema,
         views,
         input_len: input.len(),
+        depth: 0,
     };
     let q = p.set()?;
     if p.pos != p.toks.len() {
@@ -154,15 +155,33 @@ pub fn parse_with_views(
     Ok(q)
 }
 
+/// Maximum recursion depth across structural chains and parentheses.
+/// The parser (and everything downstream that walks the AST) recurses,
+/// so untrusted input — the server feeds this network bytes — must not
+/// be able to drive the stack arbitrarily deep. 512 is far beyond any
+/// meaningful query while keeping worst-case stack use a few hundred KB.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     toks: Vec<(Tok, usize)>,
     pos: usize,
     schema: &'a Schema,
     views: &'a BTreeMap<String, Query>,
     input_len: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError {
+                message: format!("query nested deeper than {MAX_DEPTH} levels"),
+                at: self.here(),
+            });
+        }
+        Ok(())
+    }
     fn here(&self) -> usize {
         self.toks
             .get(self.pos)
@@ -219,6 +238,13 @@ impl Parser<'_> {
     }
 
     fn structural(&mut self) -> Result<Query, ParseError> {
+        self.enter()?;
+        let out = self.structural_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn structural_inner(&mut self) -> Result<Query, ParseError> {
         let left = self.postfix()?;
         let make = |ctor: fn(Box<Query>, Box<Query>) -> Query, l: Query, r: Query| {
             ctor(Box::new(l), Box::new(r))
@@ -270,6 +296,13 @@ impl Parser<'_> {
     }
 
     fn primary(&mut self) -> Result<Query, ParseError> {
+        self.enter()?;
+        let out = self.primary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn primary_inner(&mut self) -> Result<Query, ParseError> {
         let at = self.here();
         match self.bump() {
             Some(Tok::LParen) => {
@@ -411,6 +444,23 @@ mod tests {
         }
         // …and they still work as selection arguments after `matching`.
         assert!(matches!(p(r#"Par matching "x""#), Query::Matching(..)));
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        // Thousands of open parens must produce an error, not a stack
+        // overflow (the server feeds this parser untrusted bytes).
+        let hostile = format!("{}Par{}", "(".repeat(20_000), ")".repeat(20_000));
+        let err = parse(&hostile, &schema()).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{err}");
+        // Long `within` chains recurse too.
+        let chain = vec!["Par"; 5_000].join(" within ");
+        assert!(parse(&chain, &schema()).is_err());
+        // Reasonable nesting is untouched.
+        let fine = format!("{}Par{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse(&fine, &schema()).is_ok());
+        let fine_chain = vec!["Par"; 100].join(" within ");
+        assert!(parse(&fine_chain, &schema()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! The document catalog: one shared, immutable [`Engine`] per document.
+//!
+//! A corpus directory is scanned once at startup; every recognised file
+//! becomes a named document (the file stem). Engines are built eagerly —
+//! index construction is the expensive part, and the whole point of a
+//! server is paying it once — and shared across connections behind `Arc`s
+//! (the engine stack is `Sync`: its caches are internally locked).
+//!
+//! Recognised files:
+//!
+//! | pattern        | loaded as                                       |
+//! |----------------|--------------------------------------------------|
+//! | `*.trx`        | persisted index via `tr_store::load_document`    |
+//! | `*.sgml`/`*.xml` | SGML-lite text via `Engine::from_sgml`          |
+//! | `*.src`/`*.txt` | toy-language source via `Engine::from_source`   |
+//!
+//! Anything else (subdirectories, dotfiles, READMEs…) is ignored. A file
+//! that matches but fails to load aborts the catalog: a broken corpus is
+//! an operator error the server must refuse to start on, not skip past.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use tr_query::Engine;
+
+/// A named collection of shared engines.
+#[derive(Default)]
+pub struct Catalog {
+    docs: BTreeMap<String, Arc<Engine>>,
+}
+
+/// Why a catalog could not be opened.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The corpus directory could not be read.
+    Io(std::io::Error),
+    /// A recognised file failed to load (path, reason).
+    Load(String, String),
+    /// Two files share a stem — document names must be unique.
+    Duplicate(String),
+    /// The directory held no recognised documents at all.
+    Empty,
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "cannot read corpus directory: {e}"),
+            CatalogError::Load(path, why) => write!(f, "cannot load {path}: {why}"),
+            CatalogError::Duplicate(name) => {
+                write!(f, "duplicate document name {name:?} in corpus")
+            }
+            CatalogError::Empty => write!(f, "corpus directory holds no documents"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl Catalog {
+    /// An empty catalog (add documents with [`Catalog::insert`]).
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Scans `dir` and loads every recognised file.
+    pub fn open(dir: &Path) -> Result<Catalog, CatalogError> {
+        let mut catalog = Catalog::new();
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .map_err(CatalogError::Io)?
+            .collect::<Result<_, _>>()
+            .map_err(CatalogError::Io)?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let Some(engine) = load_path(&path)
+                .map_err(|why| CatalogError::Load(path.display().to_string(), why))?
+            else {
+                continue; // unrecognised extension
+            };
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name.is_empty() || name.starts_with('.') {
+                continue;
+            }
+            if catalog.docs.contains_key(&name) {
+                return Err(CatalogError::Duplicate(name));
+            }
+            catalog.docs.insert(name, Arc::new(engine));
+        }
+        if catalog.docs.is_empty() {
+            return Err(CatalogError::Empty);
+        }
+        Ok(catalog)
+    }
+
+    /// Adds (or replaces) a document under `name`.
+    pub fn insert(&mut self, name: &str, engine: Engine) {
+        self.docs.insert(name.to_owned(), Arc::new(engine));
+    }
+
+    /// The engine for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Arc<Engine>> {
+        self.docs.get(name)
+    }
+
+    /// Document names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(String::as_str)
+    }
+
+    /// Name/engine pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Engine>)> {
+        self.docs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Loads one corpus file by extension; `Ok(None)` means "not a document".
+fn load_path(path: &Path) -> Result<Option<Engine>, String> {
+    let ext = path
+        .extension()
+        .map(|e| e.to_string_lossy().to_ascii_lowercase())
+        .unwrap_or_default();
+    match ext.as_str() {
+        "trx" => {
+            let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
+            Ok(Some(Engine::from_stored(doc)))
+        }
+        "sgml" | "xml" => {
+            let text = read_utf8(path)?;
+            Engine::from_sgml(&text)
+                .map(Some)
+                .map_err(|e| e.to_string())
+        }
+        "src" | "txt" => {
+            let text = read_utf8(path)?;
+            Engine::from_source(&text)
+                .map(Some)
+                .map_err(|e| e.to_string())
+        }
+        _ => Ok(None),
+    }
+}
+
+fn read_utf8(path: &Path) -> Result<String, String> {
+    let raw = std::fs::read(path).map_err(|e| e.to_string())?;
+    String::from_utf8(raw).map_err(|_| "not UTF-8 text".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tr_serve_catalog_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn opens_a_mixed_corpus() {
+        let dir = tmp_dir("mixed");
+        std::fs::write(dir.join("a.sgml"), "<d><s>alpha beta</s></d>").unwrap();
+        std::fs::write(
+            dir.join("b.src"),
+            "program a; proc b; begin end; begin end.",
+        )
+        .unwrap();
+        std::fs::write(dir.join("README.md"), "not a document").unwrap();
+        // A persisted index alongside the raw files.
+        let e = Engine::from_sgml("<d><s>gamma</s></d>").unwrap();
+        tr_store::save_document(dir.join("c.trx"), e.text(), e.instance(), e.rig()).unwrap();
+
+        let catalog = Catalog::open(&dir).unwrap();
+        assert_eq!(catalog.names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(catalog.len(), 3);
+        let a = catalog.get("a").unwrap();
+        assert_eq!(a.query(r#"s matching "beta""#).unwrap().len(), 1);
+        let c = catalog.get("c").unwrap();
+        assert_eq!(c.query(r#"s matching "gamma""#).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broken_corpus_refuses_to_open() {
+        let dir = tmp_dir("broken");
+        std::fs::write(dir.join("bad.trx"), b"definitely not an index").unwrap();
+        assert!(matches!(Catalog::open(&dir), Err(CatalogError::Load(..))));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let dir = tmp_dir("empty");
+        assert!(matches!(Catalog::open(&dir), Err(CatalogError::Empty)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

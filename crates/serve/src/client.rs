@@ -1,0 +1,223 @@
+//! A small blocking client for the tr-serve protocol.
+//!
+//! Used by the `trq connect` REPL and the integration tests; it speaks
+//! exactly the frames [`crate::protocol`] defines. One request at a time
+//! is the intended pattern, but [`Client::request`] tolerates out-of-order
+//! replies (the server's worker pool makes no ordering promise) by
+//! stashing frames whose `id` doesn't match until their turn comes.
+
+use crate::protocol::ErrorCode;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use tr_obs::Json;
+
+/// What a request can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke.
+    Io(io::Error),
+    /// The server replied with a structured error frame.
+    Server {
+        /// The machine-readable `error.code`.
+        code: String,
+        /// The human-readable `error.message`.
+        message: String,
+    },
+    /// The server sent something that is not a valid reply frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is a server error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// True when the server refused admission (queue full) — the one
+    /// error a well-behaved client retries after backing off.
+    pub fn is_rejected(&self) -> bool {
+        self.code() == Some(ErrorCode::Rejected.as_str())
+    }
+}
+
+/// A blocking connection to a tr-serve server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    stashed: VecDeque<Json>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+            stashed: VecDeque::new(),
+        })
+    }
+
+    /// Caps how long [`Client::recv`] waits for a frame.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Writes one raw line (the `\n` is appended). Escape hatch for
+    /// tests that need to send malformed frames on purpose.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next reply frame, whatever its `id`.
+    pub fn recv(&mut self) -> Result<Json, ClientError> {
+        if let Some(j) = self.stashed.pop_front() {
+            return Ok(j);
+        }
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        tr_obs::parse_json(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+    }
+
+    /// Sends `fields` as a request frame (an `"id"` is added), waits for
+    /// the reply with that id, and converts error frames to
+    /// [`ClientError::Server`].
+    pub fn request(&mut self, op: &str, fields: Json) -> Result<Json, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut frame = Json::obj()
+            .with("id", Json::from(id))
+            .with("op", Json::from(op));
+        if let Json::Obj(pairs) = fields {
+            for (k, v) in pairs {
+                frame.set(&k, v);
+            }
+        }
+        self.send_raw(&frame.to_string())?;
+        loop {
+            let reply = self.read_frame()?;
+            if reply.get("id").and_then(Json::as_u64) == Some(id) {
+                return check_ok(reply);
+            }
+            self.stashed.push_back(reply);
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request("ping", Json::obj()).map(|_| ())
+    }
+
+    /// Names and sizes of the catalog documents.
+    pub fn list_docs(&mut self) -> Result<Json, ClientError> {
+        self.request("list-docs", Json::obj())
+    }
+
+    /// Server counters, uptime, queue depth.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request("stats", Json::obj())
+    }
+
+    /// Runs `q` against `doc`; the reply carries `hits` and `regions`.
+    pub fn query(&mut self, doc: &str, q: &str) -> Result<Json, ClientError> {
+        self.request(
+            "query",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("q", Json::from(q)),
+        )
+    }
+
+    /// Runs `queries` as one shared-plan batch against `doc`.
+    pub fn batch(&mut self, doc: &str, queries: &[&str]) -> Result<Json, ClientError> {
+        self.request(
+            "batch",
+            Json::obj().with("doc", Json::from(doc)).with(
+                "queries",
+                Json::Arr(queries.iter().copied().map(Json::from).collect()),
+            ),
+        )
+    }
+
+    /// Asks for `q`'s plan without running it.
+    pub fn explain(&mut self, doc: &str, q: &str) -> Result<Json, ClientError> {
+        self.request(
+            "explain",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("q", Json::from(q)),
+        )
+    }
+
+    /// Defines a session-local view on `doc`.
+    pub fn define_view(&mut self, doc: &str, name: &str, def: &str) -> Result<(), ClientError> {
+        self.request(
+            "define-view",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("name", Json::from(name))
+                .with("def", Json::from(def)),
+        )
+        .map(|_| ())
+    }
+}
+
+/// Turns an error frame into [`ClientError::Server`].
+fn check_ok(reply: Json) -> Result<Json, ClientError> {
+    match reply.get("ok") {
+        Some(Json::Bool(true)) => Ok(reply),
+        Some(Json::Bool(false)) => {
+            let err = reply.get("error");
+            let field = |name: &str| {
+                err.and_then(|e| e.get(name))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned()
+            };
+            Err(ClientError::Server {
+                code: field("code"),
+                message: field("message"),
+            })
+        }
+        _ => Err(ClientError::Protocol("reply missing \"ok\"".to_owned())),
+    }
+}

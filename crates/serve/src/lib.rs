@@ -1,0 +1,164 @@
+//! # tr-serve — a concurrent multi-document query server
+//!
+//! Everything below tr-serve answers one question for one caller inside
+//! one process. This crate turns the stack into a long-lived service: a
+//! [`Catalog`] of immutable, index-built [`tr_query::Engine`]s shared
+//! across TCP connections, a newline-delimited JSON [`protocol`], and the
+//! robustness machinery a server owes its operators — bounded admission
+//! ([`queue`]), per-request deadlines, frame-size and connection limits,
+//! malformed-input hardening, and a graceful drain on shutdown.
+//!
+//! The design bets are:
+//!
+//! * **immutability buys concurrency** — engines are built once at
+//!   startup and never mutated, so queries need no locks beyond the
+//!   engines' internal memo caches; per-session state (`define-view`)
+//!   lives in the connection, layered over the shared engine;
+//! * **overload is an answer, not a stall** — admission is `try_push`:
+//!   when the queue is full the client hears `rejected` immediately;
+//! * **bad input costs one reply** — a malformed frame, oversize line,
+//!   hostile query, or even a panicking handler produces a structured
+//!   error on that connection and touches nothing else.
+//!
+//! ```no_run
+//! use tr_serve::{Catalog, Client, Server, ServerConfig};
+//!
+//! let catalog = Catalog::open(std::path::Path::new("corpus/"))?;
+//! let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let reply = client.query("hamlet", r#"speech matching "bodkin""#)?;
+//! println!("{} hits", reply.get("hits").unwrap());
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Observability: connections run under a `serve.conn` span, worker-side
+//! execution under `serve.request`; counters `serve.accepted`,
+//! `serve.completed`, `serve.failed`, `serve.rejected`, `serve.timeouts`,
+//! `serve.malformed`, `serve.conns.*` and the `serve.queue_wait_ns`
+//! histogram land in the process-global `tr_obs` registry (see DESIGN.md
+//! for the full taxonomy). The invariant `accepted == completed + failed`
+//! holds exactly once the server has drained.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogError};
+pub use client::{Client, ClientError};
+pub use protocol::ErrorCode;
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_obs::Json;
+    use tr_query::Engine;
+
+    fn two_doc_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.insert(
+            "play",
+            Engine::from_sgml(
+                "<play><act><speech>to be or not to be</speech>\
+                 <speech>ay there's the rub</speech></act></play>",
+            )
+            .unwrap(),
+        );
+        catalog.insert(
+            "prog",
+            Engine::from_source("program p; proc q; begin end; begin end.").unwrap(),
+        );
+        catalog
+    }
+
+    #[test]
+    fn end_to_end_round_trip() {
+        let server =
+            Server::start(two_doc_catalog(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+
+        client.ping().unwrap();
+
+        let docs = client.list_docs().unwrap();
+        let names: Vec<_> = docs
+            .get("docs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|d| d.get("name").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["play", "prog"]);
+
+        let reply = client.query("play", r#"speech matching "rub""#).unwrap();
+        assert_eq!(reply.get("hits").unwrap().as_u64(), Some(1));
+
+        // Session views are per-connection: visible here, invisible on a
+        // fresh connection.
+        client
+            .define_view("play", "hit", r#"speech matching "be""#)
+            .unwrap();
+        let reply = client.query("play", "hit").unwrap();
+        assert_eq!(reply.get("hits").unwrap().as_u64(), Some(1));
+        let mut other = Client::connect(addr).unwrap();
+        let err = other.query("play", "hit").unwrap_err();
+        assert_eq!(err.code(), Some("query_error"));
+
+        // Batch against the second document.
+        let reply = client.batch("prog", &["Proc", "Proc_body"]).unwrap();
+        let results = reply.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+
+        // Errors are structured, and the connection survives them.
+        let err = client.query("nope", "x").unwrap_err();
+        assert_eq!(err.code(), Some("unknown_doc"));
+        client.send_raw("this is not json").unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(
+            reply.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_json")
+        );
+        client.ping().unwrap();
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversize_frames_are_refused_without_dropping_the_conn() {
+        let cfg = ServerConfig {
+            max_frame_bytes: 256,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(two_doc_catalog(), "127.0.0.1:0", cfg).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.send_raw(&"x".repeat(4096)).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(
+            reply.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("too_large")
+        );
+        // Still alive.
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_serve_counters() {
+        let server =
+            Server::start(two_doc_catalog(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.query("play", "speech").unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("docs").unwrap().as_u64(), Some(2));
+        let counters = stats.get("counters").unwrap();
+        assert!(counters.get("serve.accepted").unwrap().as_u64().unwrap() >= 1);
+        assert!(matches!(stats.get("uptime_ms"), Some(Json::Num(_))));
+        server.shutdown();
+    }
+}

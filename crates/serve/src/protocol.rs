@@ -1,0 +1,383 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one line of JSON, terminated by `\n`. Requests carry an
+//! `"op"` discriminator and an optional `"id"` (any JSON value) which is
+//! echoed back verbatim in the reply, so clients that pipeline requests
+//! can match replies out of order — the worker pool does not promise to
+//! answer one connection's requests in submission order.
+//!
+//! ```text
+//! → {"id": 1, "op": "query", "doc": "shak", "q": "speech matching \"love\""}
+//! ← {"id": 1, "ok": true, "op": "query", "hits": 42, "regions": [[0, 17], …]}
+//! → {"id": 2, "op": "nonsense"}
+//! ← {"id": 2, "ok": false, "error": {"code": "unknown_op", "message": "…"}}
+//! ```
+//!
+//! The full request/response reference lives in DESIGN.md ("The serve
+//! layer"); this module is the single source of truth for frame shapes —
+//! both the server and [`crate::client`] go through it.
+
+use tr_core::RegionSet;
+use tr_obs::Json;
+
+/// Machine-readable error codes carried in `error.code`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON.
+    BadJson,
+    /// The frame was JSON but missing/mistyping required fields.
+    BadRequest,
+    /// The `op` value is not one the server knows.
+    UnknownOp,
+    /// The `doc` value names no catalog document.
+    UnknownDoc,
+    /// The query itself failed (parse error, unknown region name…).
+    Query,
+    /// The admission queue was full — back off and retry.
+    Rejected,
+    /// The request sat past its deadline before a worker picked it up.
+    Timeout,
+    /// The frame exceeded the request-size limit.
+    TooLarge,
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+    /// The request crashed the handler (a bug — but the connection and
+    /// its neighbours survive it).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable string form carried on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownDoc => "unknown_doc",
+            ErrorCode::Query => "query_error",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Default / maximum number of regions returned per query result.
+pub const DEFAULT_REGION_LIMIT: usize = 1_000;
+/// Hard cap a client-supplied `limit` is clamped to.
+pub const MAX_REGION_LIMIT: usize = 10_000;
+
+/// A parsed request: the echoed `id` plus the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation value, echoed in the reply.
+    pub id: Option<Json>,
+    /// The operation to perform.
+    pub body: RequestBody,
+}
+
+/// The operations the protocol knows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe.
+    Ping,
+    /// List catalog documents.
+    ListDocs,
+    /// Server counters and uptime.
+    Stats,
+    /// Run one query against a document.
+    Query {
+        /// Catalog document name.
+        doc: String,
+        /// Query text.
+        q: String,
+        /// Region cap for the reply (clamped to [`MAX_REGION_LIMIT`]).
+        limit: usize,
+    },
+    /// Run several queries as one shared-plan batch.
+    Batch {
+        /// Catalog document name.
+        doc: String,
+        /// Query texts.
+        queries: Vec<String>,
+        /// Region cap per result (clamped to [`MAX_REGION_LIMIT`]).
+        limit: usize,
+    },
+    /// Explain how a query would run, without running it.
+    Explain {
+        /// Catalog document name.
+        doc: String,
+        /// Query text.
+        q: String,
+    },
+    /// Define a view visible only to this connection's session.
+    DefineView {
+        /// Catalog document name.
+        doc: String,
+        /// View name.
+        name: String,
+        /// View definition (query text).
+        def: String,
+    },
+}
+
+impl RequestBody {
+    /// The `op` string for this body (echoed in ok replies).
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::Ping => "ping",
+            RequestBody::ListDocs => "list-docs",
+            RequestBody::Stats => "stats",
+            RequestBody::Query { .. } => "query",
+            RequestBody::Batch { .. } => "batch",
+            RequestBody::Explain { .. } => "explain",
+            RequestBody::DefineView { .. } => "define-view",
+        }
+    }
+}
+
+/// A request parse failure: the code + message to reply with, plus the
+/// `id` if one could still be extracted (so the error is correlatable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestError {
+    /// Echoed id, when the frame was JSON enough to carry one.
+    pub id: Option<Json>,
+    /// Error code for the reply.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Parses one frame (a line, without the trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let json = tr_obs::parse_json(line).map_err(|e| RequestError {
+        id: None,
+        code: ErrorCode::BadJson,
+        message: e.to_string(),
+    })?;
+    let id = json.get("id").cloned();
+    let fail = |code: ErrorCode, message: String| RequestError {
+        id: id.clone(),
+        code,
+        message,
+    };
+    let str_field = |name: &str| -> Result<String, RequestError> {
+        json.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    format!("missing or non-string field {name:?}"),
+                )
+            })
+    };
+    let limit_field = || -> Result<usize, RequestError> {
+        match json.get("limit") {
+            None => Ok(DEFAULT_REGION_LIMIT),
+            Some(v) => v
+                .as_u64()
+                .map(|n| (n as usize).min(MAX_REGION_LIMIT))
+                .ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadRequest,
+                        "limit must be a non-negative integer".to_owned(),
+                    )
+                }),
+        }
+    };
+    let op = json.get("op").and_then(Json::as_str).ok_or_else(|| {
+        fail(
+            ErrorCode::BadRequest,
+            "missing or non-string field \"op\"".to_owned(),
+        )
+    })?;
+    let body = match op {
+        "ping" => RequestBody::Ping,
+        "list-docs" => RequestBody::ListDocs,
+        "stats" => RequestBody::Stats,
+        "query" => RequestBody::Query {
+            doc: str_field("doc")?,
+            q: str_field("q")?,
+            limit: limit_field()?,
+        },
+        "batch" => {
+            let queries = json
+                .get("queries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadRequest,
+                        "missing or non-array field \"queries\"".to_owned(),
+                    )
+                })?
+                .iter()
+                .map(|q| {
+                    q.as_str().map(str::to_owned).ok_or_else(|| {
+                        fail(
+                            ErrorCode::BadRequest,
+                            "\"queries\" entries must be strings".to_owned(),
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            RequestBody::Batch {
+                doc: str_field("doc")?,
+                queries,
+                limit: limit_field()?,
+            }
+        }
+        "explain" => RequestBody::Explain {
+            doc: str_field("doc")?,
+            q: str_field("q")?,
+        },
+        "define-view" => RequestBody::DefineView {
+            doc: str_field("doc")?,
+            name: str_field("name")?,
+            def: str_field("def")?,
+        },
+        other => return Err(fail(ErrorCode::UnknownOp, format!("unknown op {other:?}"))),
+    };
+    Ok(Request { id, body })
+}
+
+/// An ok reply frame: `{"id": …, "ok": true, "op": …, <fields>}`.
+pub fn ok_frame(id: Option<&Json>, op: &str, fields: Json) -> String {
+    let mut j = Json::obj();
+    if let Some(id) = id {
+        j.set("id", id.clone());
+    }
+    j.set("ok", Json::Bool(true));
+    j.set("op", Json::from(op));
+    if let Json::Obj(pairs) = fields {
+        for (k, v) in pairs {
+            j.set(&k, v);
+        }
+    }
+    format!("{j}\n")
+}
+
+/// An error reply frame: `{"id": …, "ok": false, "error": {…}}`.
+pub fn err_frame(id: Option<&Json>, code: ErrorCode, message: &str) -> String {
+    let mut j = Json::obj();
+    if let Some(id) = id {
+        j.set("id", id.clone());
+    }
+    j.set("ok", Json::Bool(false));
+    j.set(
+        "error",
+        Json::obj()
+            .with("code", Json::from(code.as_str()))
+            .with("message", Json::from(message)),
+    );
+    format!("{j}\n")
+}
+
+/// A query result as reply fields: total hit count plus up to `limit`
+/// `[left, right]` pairs (and a `truncated` marker when capped).
+pub fn result_fields(hits: &RegionSet, limit: usize) -> Json {
+    let regions: Vec<Json> = hits
+        .iter()
+        .take(limit)
+        .map(|r| {
+            Json::Arr(vec![
+                Json::from(u64::from(r.left())),
+                Json::from(u64::from(r.right())),
+            ])
+        })
+        .collect();
+    let mut j = Json::obj()
+        .with("hits", Json::from(hits.len()))
+        .with("regions", Json::Arr(regions));
+    if hits.len() > limit {
+        j.set("truncated", Json::Bool(true));
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases = [
+            (r#"{"op":"ping"}"#, "ping"),
+            (r#"{"op":"list-docs"}"#, "list-docs"),
+            (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"query","doc":"d","q":"sec"}"#, "query"),
+            (r#"{"op":"batch","doc":"d","queries":["a","b"]}"#, "batch"),
+            (r#"{"op":"explain","doc":"d","q":"sec"}"#, "explain"),
+            (
+                r#"{"op":"define-view","doc":"d","name":"v","def":"sec"}"#,
+                "define-view",
+            ),
+        ];
+        for (line, op) in cases {
+            let req = parse_request(line).unwrap();
+            assert_eq!(req.body.op(), op, "{line}");
+        }
+    }
+
+    #[test]
+    fn id_is_preserved_even_on_errors() {
+        let req = parse_request(r#"{"id": 7, "op": "ping"}"#).unwrap();
+        assert_eq!(req.id, Some(Json::from(7u64)));
+        let err = parse_request(r#"{"id": "abc", "op": "query"}"#).unwrap_err();
+        assert_eq!(err.id, Some(Json::from("abc")));
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // Not JSON at all: no id to recover.
+        let err = parse_request("garbage{{{").unwrap_err();
+        assert_eq!(err.id, None);
+        assert_eq!(err.code, ErrorCode::BadJson);
+    }
+
+    #[test]
+    fn limit_is_clamped_and_validated() {
+        let req = parse_request(r#"{"op":"query","doc":"d","q":"x","limit":999999}"#).unwrap();
+        match req.body {
+            RequestBody::Query { limit, .. } => assert_eq!(limit, MAX_REGION_LIMIT),
+            other => panic!("{other:?}"),
+        }
+        let req = parse_request(r#"{"op":"query","doc":"d","q":"x"}"#).unwrap();
+        match req.body {
+            RequestBody::Query { limit, .. } => assert_eq!(limit, DEFAULT_REGION_LIMIT),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"query","doc":"d","q":"x","limit":-2}"#).is_err());
+    }
+
+    #[test]
+    fn frames_are_single_lines_and_round_trip() {
+        let id = Json::from(3u64);
+        let ok = ok_frame(
+            Some(&id),
+            "ping",
+            Json::obj().with("pong", Json::Bool(true)),
+        );
+        assert!(ok.ends_with('\n') && !ok.trim_end().contains('\n'));
+        let parsed = tr_obs::parse_json(ok.trim_end()).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(3));
+        let err = err_frame(None, ErrorCode::Rejected, "queue full");
+        let parsed = tr_obs::parse_json(err.trim_end()).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("rejected")
+        );
+    }
+
+    #[test]
+    fn result_fields_cap_regions() {
+        let set = RegionSet::from_regions((0..10).map(|i| tr_core::region(i * 2, i * 2)).collect());
+        let j = result_fields(&set, 4);
+        assert_eq!(j.get("hits").unwrap().as_u64(), Some(10));
+        assert_eq!(j.get("regions").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(j.get("truncated"), Some(&Json::Bool(true)));
+        let j = result_fields(&set, 100);
+        assert_eq!(j.get("regions").unwrap().as_arr().unwrap().len(), 10);
+        assert!(j.get("truncated").is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! A bounded MPMC admission queue with drain-on-close semantics.
+//!
+//! Producers (connection threads) never block: [`Queue::try_push`] either
+//! admits the item or reports `Full` so the caller can send a structured
+//! `rejected` reply — overload must surface as backpressure the client
+//! can see, not as an invisible pile-up. Consumers (workers) block in
+//! [`Queue::pop`], which keeps returning queued items after
+//! [`Queue::close`] until the queue is empty — that drain is what makes
+//! shutdown graceful: every admitted request still gets its reply.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// See module docs.
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a push was refused (the item is handed back).
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue was closed — the server is shutting down.
+    Closed(T),
+}
+
+impl<T> Queue<T> {
+    /// A queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Queue<T> {
+        Queue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item`, or refuses immediately when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` only once the queue is
+    /// closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.takers.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, poppers drain then stop.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.takers.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .items
+            .len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let q = Queue::new(2);
+        q.try_push(1).ok().unwrap();
+        q.try_push(2).ok().unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).ok().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = Queue::new(8);
+        q.try_push("a").ok().unwrap();
+        q.try_push("b").ok().unwrap();
+        q.close();
+        assert!(matches!(q.try_push("c"), Err(PushError::Closed("c"))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = Arc::new(Queue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || while q.pop().is_some() {})
+            })
+            .collect();
+        for i in 0..10 {
+            while matches!(q.try_push(i), Err(PushError::Full(_))) {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+    }
+}

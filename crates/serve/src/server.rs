@@ -1,0 +1,673 @@
+//! The TCP server: accept loop, connection threads, bounded worker pool.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! * one **accept thread** enforces the connection limit;
+//! * one **connection thread** per client reads frames, answers cheap
+//!   session-state ops (`ping`, `list-docs`, `stats`, `define-view`)
+//!   inline, and submits heavy ops (`query`, `batch`, `explain`) to the
+//!   shared admission queue — [`crate::queue::Queue::try_push`] never
+//!   blocks, so an overloaded server answers `rejected` immediately
+//!   instead of hanging;
+//! * a fixed pool of **worker threads** drains the queue, checks each
+//!   job's deadline, and writes the reply to that job's connection.
+//!
+//! Malformed input of any kind — broken JSON, missing fields, oversize
+//! frames, hostile query nesting — produces a JSON error reply on the
+//! offending connection and nothing else: other sessions never notice,
+//! and a panicking handler is caught and answered as an `internal` error.
+//!
+//! **Shutdown** ([`Server::shutdown`]) is a drain, not an abort: stop
+//! accepting, join connection threads (they notice within one read
+//! timeout), close the queue, and let workers finish every admitted job —
+//! which is why the counter invariant `serve.accepted == serve.completed
+//! + serve.failed` holds exactly at quiescence.
+
+use crate::catalog::Catalog;
+use crate::protocol::{self, ErrorCode, Request, RequestBody};
+use crate::queue::{PushError, Queue};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tr_obs::Json;
+use tr_query::{Engine, SessionViews};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (≥ 1).
+    pub workers: usize,
+    /// Admission queue capacity; a full queue answers `rejected`.
+    pub queue_capacity: usize,
+    /// Maximum simultaneous connections; excess gets a `rejected` frame
+    /// and an immediate close.
+    pub max_connections: usize,
+    /// Maximum request frame size in bytes; longer lines are answered
+    /// with `too_large` and discarded.
+    pub max_frame_bytes: usize,
+    /// Per-request deadline: a job still queued past it is answered
+    /// `timeout` instead of executed.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 128,
+            max_connections: 64,
+            max_frame_bytes: 1 << 20,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How long connection threads sleep in `read` before re-checking the
+/// shutdown flag — the upper bound on how stale a drain can be.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Cached handles into the `tr_obs` registry. The request counters keep
+/// the invariant `accepted == completed + failed` at quiescence;
+/// `rejected`/`timeouts`/`malformed` are disjoint views of the traffic
+/// that never reached (or never finished in time for) a handler.
+struct ServeMetrics {
+    conns_accepted: Arc<tr_obs::Counter>,
+    conns_rejected: Arc<tr_obs::Counter>,
+    frames: Arc<tr_obs::Counter>,
+    malformed: Arc<tr_obs::Counter>,
+    accepted: Arc<tr_obs::Counter>,
+    completed: Arc<tr_obs::Counter>,
+    failed: Arc<tr_obs::Counter>,
+    rejected: Arc<tr_obs::Counter>,
+    timeouts: Arc<tr_obs::Counter>,
+}
+
+impl ServeMetrics {
+    fn get() -> &'static ServeMetrics {
+        static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| ServeMetrics {
+            conns_accepted: tr_obs::counter("serve.conns.accepted"),
+            conns_rejected: tr_obs::counter("serve.conns.rejected"),
+            frames: tr_obs::counter("serve.frames"),
+            malformed: tr_obs::counter("serve.malformed"),
+            accepted: tr_obs::counter("serve.accepted"),
+            completed: tr_obs::counter("serve.completed"),
+            failed: tr_obs::counter("serve.failed"),
+            rejected: tr_obs::counter("serve.rejected"),
+            timeouts: tr_obs::counter("serve.timeouts"),
+        })
+    }
+}
+
+/// One admitted heavy request, waiting for a worker.
+struct Job {
+    engine: Arc<Engine>,
+    views: Arc<SessionViews>,
+    id: Option<Json>,
+    body: RequestBody,
+    writer: Arc<ConnWriter>,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+/// The write half of a connection. Workers and the connection thread
+/// share it; the mutex keeps reply frames line-atomic.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Best-effort frame write — a vanished client is not an error.
+    fn send(&self, frame: &str) {
+        let mut s = self.stream.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = s.write_all(frame.as_bytes());
+    }
+}
+
+struct Shared {
+    catalog: Catalog,
+    cfg: ServerConfig,
+    queue: Queue<Job>,
+    shutdown: AtomicBool,
+    conns: AtomicUsize,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    local: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    pub fn start(
+        catalog: Catalog,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Queue::new(cfg.queue_capacity),
+            catalog,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tr-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tr-serve-accept".to_owned())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        Ok(Server {
+            local,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (for ephemeral-port servers).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The number of catalog documents being served.
+    pub fn num_docs(&self) -> usize {
+        self.shared.catalog.len()
+    }
+
+    /// Gracefully shuts down: stop accepting, drain every admitted
+    /// request, join all threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        // Connection threads notice the flag within one read tick; once
+        // they are gone, no producer remains.
+        let conns: Vec<_> = {
+            let mut handles = self
+                .shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            handles.drain(..).collect()
+        };
+        for h in conns {
+            h.join().ok();
+        }
+        // Drain: workers finish every admitted job, then exit.
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let m = ServeMetrics::get();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            m.conns_rejected.inc();
+            let mut stream = stream;
+            let _ = stream.write_all(
+                protocol::err_frame(None, ErrorCode::Rejected, "connection limit reached")
+                    .as_bytes(),
+            );
+            continue; // dropping the stream closes it
+        }
+        m.conns_accepted.inc();
+        shared.conns.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("tr-serve-conn".to_owned())
+            .spawn(move || {
+                handle_conn(&conn_shared, stream);
+                conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        match handle {
+            Ok(h) => shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(h),
+            Err(_) => {
+                shared.conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// What one attempt to read a frame produced.
+enum Frame {
+    /// A complete line (without the `\n`).
+    Line(Vec<u8>),
+    /// The line exceeded the frame limit; its bytes are being discarded.
+    TooLarge,
+    /// Read timeout — nothing arrived; re-check shutdown and try again.
+    Idle,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Incremental line reader over a non-blocking-ish socket (read
+/// timeouts), with oversize-line discard.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    discarding: bool,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    fn next(&mut self, max: usize) -> io::Result<Frame> {
+        loop {
+            if self.discarding {
+                if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    self.buf.drain(..=pos);
+                    self.discarding = false;
+                } else {
+                    self.buf.clear();
+                }
+            }
+            if !self.discarding {
+                if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                    line.pop(); // the \n
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Frame::Line(line));
+                }
+                if self.buf.len() > max {
+                    self.buf.clear();
+                    self.discarding = true;
+                    return Ok(Frame::TooLarge);
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Frame::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _conn = tr_obs::span("serve.conn");
+    let m = ServeMetrics::get();
+    stream.set_read_timeout(Some(READ_TICK)).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut reader = FrameReader::new(stream);
+    // Per-session, per-document view definitions. Snapshots (`Arc`s) are
+    // attached to jobs at admission, so a view defined *before* a query
+    // is always visible to it, regardless of worker scheduling.
+    let mut sessions: HashMap<String, Arc<SessionViews>> = HashMap::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match reader.next(shared.cfg.max_frame_bytes) {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        match frame {
+            Frame::Idle => continue,
+            Frame::Eof => break,
+            Frame::TooLarge => {
+                m.malformed.inc();
+                writer.send(&protocol::err_frame(
+                    None,
+                    ErrorCode::TooLarge,
+                    &format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+                ));
+            }
+            Frame::Line(bytes) => {
+                if bytes.iter().all(u8::is_ascii_whitespace) {
+                    continue;
+                }
+                m.frames.inc();
+                let line = String::from_utf8_lossy(&bytes);
+                match protocol::parse_request(&line) {
+                    Ok(req) => handle_request(shared, &writer, &mut sessions, req),
+                    Err(e) => {
+                        m.malformed.inc();
+                        writer.send(&protocol::err_frame(e.id.as_ref(), e.code, &e.message));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    sessions: &mut HashMap<String, Arc<SessionViews>>,
+    req: Request,
+) {
+    let m = ServeMetrics::get();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        writer.send(&protocol::err_frame(
+            req.id.as_ref(),
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+        return;
+    }
+    let id = req.id;
+    match req.body {
+        // Cheap session/introspection ops run right here on the
+        // connection thread; they are accepted and resolved in one step.
+        RequestBody::Ping => {
+            m.accepted.inc();
+            writer.send(&protocol::ok_frame(
+                id.as_ref(),
+                "ping",
+                Json::obj().with("pong", Json::Bool(true)),
+            ));
+            m.completed.inc();
+        }
+        RequestBody::ListDocs => {
+            m.accepted.inc();
+            let docs = shared.shared_docs_json();
+            writer.send(&protocol::ok_frame(
+                id.as_ref(),
+                "list-docs",
+                Json::obj().with("docs", docs),
+            ));
+            m.completed.inc();
+        }
+        RequestBody::Stats => {
+            m.accepted.inc();
+            writer.send(&protocol::ok_frame(
+                id.as_ref(),
+                "stats",
+                shared.stats_fields(),
+            ));
+            m.completed.inc();
+        }
+        RequestBody::DefineView { doc, name, def } => {
+            m.accepted.inc();
+            let Some(engine) = shared.catalog.get(&doc) else {
+                m.failed.inc();
+                writer.send(&protocol::err_frame(
+                    id.as_ref(),
+                    ErrorCode::UnknownDoc,
+                    &format!("no document {doc:?}"),
+                ));
+                return;
+            };
+            let entry = sessions.entry(doc).or_default();
+            let mut views = (**entry).clone();
+            match engine.define_session_view(&mut views, &name, &def) {
+                Ok(()) => {
+                    *entry = Arc::new(views);
+                    writer.send(&protocol::ok_frame(
+                        id.as_ref(),
+                        "define-view",
+                        Json::obj().with("view", Json::from(name)),
+                    ));
+                    m.completed.inc();
+                }
+                Err(e) => {
+                    m.failed.inc();
+                    writer.send(&protocol::err_frame(
+                        id.as_ref(),
+                        ErrorCode::Query,
+                        &e.to_string(),
+                    ));
+                }
+            }
+        }
+        // Heavy ops go through admission control to the worker pool.
+        body @ (RequestBody::Query { .. }
+        | RequestBody::Batch { .. }
+        | RequestBody::Explain { .. }) => {
+            let doc = match &body {
+                RequestBody::Query { doc, .. }
+                | RequestBody::Batch { doc, .. }
+                | RequestBody::Explain { doc, .. } => doc.clone(),
+                _ => unreachable!(),
+            };
+            let Some(engine) = shared.catalog.get(&doc) else {
+                m.accepted.inc();
+                m.failed.inc();
+                writer.send(&protocol::err_frame(
+                    id.as_ref(),
+                    ErrorCode::UnknownDoc,
+                    &format!("no document {doc:?}"),
+                ));
+                return;
+            };
+            let now = Instant::now();
+            let job = Job {
+                engine: Arc::clone(engine),
+                views: sessions.get(&doc).cloned().unwrap_or_default(),
+                id,
+                body,
+                writer: Arc::clone(writer),
+                enqueued: now,
+                deadline: now + shared.cfg.deadline,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => m.accepted.inc(),
+                Err(PushError::Full(job)) => {
+                    m.rejected.inc();
+                    job.writer.send(&protocol::err_frame(
+                        job.id.as_ref(),
+                        ErrorCode::Rejected,
+                        "admission queue full — retry later",
+                    ));
+                }
+                Err(PushError::Closed(job)) => {
+                    job.writer.send(&protocol::err_frame(
+                        job.id.as_ref(),
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn shared_docs_json(&self) -> Json {
+        let docs = self
+            .catalog
+            .iter()
+            .map(|(name, engine)| {
+                Json::obj()
+                    .with("name", Json::from(name))
+                    .with("regions", Json::from(engine.instance().len()))
+                    .with("bytes", Json::from(engine.text().len()))
+                    .with(
+                        "names",
+                        Json::Arr(engine.schema().names().map(Json::from).collect()),
+                    )
+            })
+            .collect();
+        Json::Arr(docs)
+    }
+
+    fn stats_fields(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, v) in tr_obs::counter_values() {
+            if name.starts_with("serve.") {
+                counters.set(&name, Json::from(v));
+            }
+        }
+        Json::obj()
+            .with(
+                "uptime_ms",
+                Json::from(self.started.elapsed().as_millis() as u64),
+            )
+            .with("docs", Json::from(self.catalog.len()))
+            .with("queue_depth", Json::from(self.queue.len()))
+            .with("counters", counters)
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let m = ServeMetrics::get();
+    let queue_wait = tr_obs::histogram("serve.queue_wait_ns");
+    while let Some(job) = shared.queue.pop() {
+        queue_wait.record(job.enqueued.elapsed().as_nanos() as u64);
+        if Instant::now() >= job.deadline {
+            m.timeouts.inc();
+            m.failed.inc();
+            job.writer.send(&protocol::err_frame(
+                job.id.as_ref(),
+                ErrorCode::Timeout,
+                "deadline expired before execution",
+            ));
+            continue;
+        }
+        let _span = tr_obs::span("serve.request");
+        // A handler panic must cost exactly one error reply, never the
+        // worker (or the process).
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(&job)));
+        match outcome {
+            Ok(Ok(frame)) => {
+                job.writer.send(&frame);
+                m.completed.inc();
+            }
+            Ok(Err((code, message))) => {
+                m.failed.inc();
+                job.writer
+                    .send(&protocol::err_frame(job.id.as_ref(), code, &message));
+            }
+            Err(_) => {
+                m.failed.inc();
+                job.writer.send(&protocol::err_frame(
+                    job.id.as_ref(),
+                    ErrorCode::Internal,
+                    "request handler panicked",
+                ));
+            }
+        }
+    }
+}
+
+/// Runs one heavy op against its engine, returning the ok frame.
+fn execute(job: &Job) -> Result<String, (ErrorCode, String)> {
+    match &job.body {
+        RequestBody::Query { q, limit, .. } => {
+            let hits = job
+                .engine
+                .query_with(&job.views, q)
+                .map_err(|e| (ErrorCode::Query, e.to_string()))?;
+            Ok(protocol::ok_frame(
+                job.id.as_ref(),
+                "query",
+                protocol::result_fields(&hits, *limit),
+            ))
+        }
+        RequestBody::Batch { queries, limit, .. } => {
+            let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+            let (results, stats) = job
+                .engine
+                .query_batch_with(&job.views, &refs)
+                .map_err(|e| (ErrorCode::Query, e.to_string()))?;
+            let results = results
+                .iter()
+                .map(|hits| protocol::result_fields(hits, *limit))
+                .collect();
+            let batch = Json::obj()
+                .with("queries", Json::from(stats.queries))
+                .with("cache_hits", Json::from(stats.cache_hits))
+                .with("distinct_nodes", Json::from(stats.distinct_nodes))
+                .with("nodes_evaluated", Json::from(stats.nodes_evaluated))
+                .with("threads", Json::from(stats.threads));
+            Ok(protocol::ok_frame(
+                job.id.as_ref(),
+                "batch",
+                Json::obj()
+                    .with("results", Json::Arr(results))
+                    .with("batch", batch),
+            ))
+        }
+        RequestBody::Explain { q, .. } => {
+            let text = job
+                .engine
+                .explain_with(&job.views, q)
+                .map_err(|e| (ErrorCode::Query, e.to_string()))?;
+            Ok(protocol::ok_frame(
+                job.id.as_ref(),
+                "explain",
+                Json::obj().with("text", Json::from(text)),
+            ))
+        }
+        _ => Err((
+            ErrorCode::Internal,
+            "non-heavy op reached the worker pool".to_owned(),
+        )),
+    }
+}

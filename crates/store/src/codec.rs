@@ -148,8 +148,18 @@ impl<R: Read> Decoder<R> {
         if len > max {
             return Err(DecodeError::Malformed("length exceeds bound"));
         }
-        let mut v = vec![0u8; len as usize];
-        self.raw(&mut v)?;
+        // Grow as data actually arrives rather than trusting the length
+        // prefix: a corrupted length under `max` must fail with an I/O
+        // error, not commit gigabytes of memory up front.
+        let mut v = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        let mut remaining = len as usize;
+        while remaining > 0 {
+            let n = remaining.min(chunk.len());
+            self.raw(&mut chunk[..n])?;
+            v.extend_from_slice(&chunk[..n]);
+            remaining -= n;
+        }
         Ok(v)
     }
 

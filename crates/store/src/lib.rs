@@ -39,6 +39,12 @@ const MAX_TEXT: u64 = 1 << 32;
 const MAX_NAMES: u64 = 1 << 16;
 const MAX_REGIONS: u64 = 1 << 28;
 
+/// Largest `Vec` capacity committed on the strength of an (untrusted)
+/// count field alone; anything larger grows as elements actually decode,
+/// so a corrupted count fails with a decode error instead of a giant
+/// allocation.
+const MAX_TRUSTED_PREALLOC: usize = 1 << 16;
+
 /// A loaded document: text, instance (with a ready suffix-array word
 /// index), and the optional RIG it was saved with.
 pub struct StoredDocument {
@@ -143,7 +149,7 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
     if sa_len != text.len() as u64 {
         return Err(LoadError::Invalid("suffix array length mismatch"));
     }
-    let mut sa = Vec::with_capacity(sa_len as usize);
+    let mut sa = Vec::with_capacity((sa_len as usize).min(MAX_TRUSTED_PREALLOC));
     for _ in 0..sa_len {
         sa.push(dec.u32()?);
     }
@@ -161,7 +167,8 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
         if count > MAX_REGIONS {
             return Err(LoadError::Invalid("too many regions"));
         }
-        let mut regions: Vec<Region> = Vec::with_capacity(count as usize);
+        let mut regions: Vec<Region> =
+            Vec::with_capacity((count as usize).min(MAX_TRUSTED_PREALLOC));
         for _ in 0..count {
             let (l, r) = (dec.u32()?, dec.u32()?);
             if l > r {
@@ -178,7 +185,7 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
             if count > MAX_REGIONS {
                 return Err(LoadError::Invalid("too many RIG edges"));
             }
-            let mut edges = Vec::with_capacity(count as usize);
+            let mut edges = Vec::with_capacity((count as usize).min(MAX_TRUSTED_PREALLOC));
             for _ in 0..count {
                 edges.push((dec.u32()?, dec.u32()?));
             }
@@ -275,6 +282,36 @@ mod tests {
             load_document(&path).is_err(),
             "checksum must catch tampering"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_fails_cleanly() {
+        // The server loads `.trx` files from operator-supplied corpus
+        // directories, so *every* corruption — not just a lucky sample —
+        // must come back as an error, never a panic or a wild allocation.
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("sweep");
+        save_document(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        assert!(load_document(&path).is_ok(), "pristine file loads");
+        for len in 0..good.len() {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert!(load_document(&path).is_err(), "truncated to {len} bytes");
+        }
+        // FNV-1a folds every byte through a bijection (xor, then multiply
+        // by an odd prime), so any single-bit flip in the payload changes
+        // the computed checksum, and any flip in the trailer changes the
+        // stored one — either way the load must fail.
+        for i in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[i] ^= 1 << bit;
+                std::fs::write(&path, &bad).unwrap();
+                assert!(load_document(&path).is_err(), "bit {bit} of byte {i}");
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,99 @@
+//! Fuzz-style property tests: the parsers that face untrusted input must
+//! **never panic** — not on random bytes, not on near-miss token soup,
+//! not on hostile nesting. tr-serve feeds network bytes straight into
+//! both the query parser and the protocol frame parser, so "worst case is
+//! an `Err`" is a load-bearing contract, not a nicety.
+
+use proptest::collection;
+use proptest::prelude::*;
+use tr_core::Schema;
+
+fn schema() -> Schema {
+    Schema::new(["play", "act", "speech", "line", "w"])
+}
+
+/// Fragments that steer random input toward deep parser paths: real
+/// keywords, region names, quotes, parens, operators, and junk.
+fn tokens() -> proptest::BoxedStrategy<&'static str> {
+    prop_oneof![
+        Just("play"),
+        Just("speech"),
+        Just("w"),
+        Just("nosuch"),
+        Just("within"),
+        Just("containing"),
+        Just("not"),
+        Just("union"),
+        Just("intersect"),
+        Just("matching"),
+        Just("followed"),
+        Just("by"),
+        Just("("),
+        Just(")"),
+        Just("\""),
+        Just("\"love\""),
+        Just("\"unterminated"),
+        Just(","),
+        Just("¬"),
+        Just("\\"),
+        Just("\0"),
+        Just("🦀"),
+        Just("  "),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded) through the query parser: any
+    /// outcome but a panic is acceptable.
+    #[test]
+    fn query_parser_never_panics_on_raw_bytes(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = tr_query::parse(&input, &schema());
+    }
+
+    /// Token soup — syntactically *almost* plausible queries — through
+    /// the query parser.
+    #[test]
+    fn query_parser_never_panics_on_token_soup(parts in collection::vec(tokens(), 0..24)) {
+        let input = parts.join(" ");
+        let _ = tr_query::parse(&input, &schema());
+        // And with no separating spaces, to fuzz the lexer's boundaries.
+        let input = parts.concat();
+        let _ = tr_query::parse(&input, &schema());
+    }
+
+    /// Arbitrary bytes through the serve protocol's frame parser.
+    #[test]
+    fn protocol_parser_never_panics_on_raw_bytes(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = tr_serve::protocol::parse_request(&input);
+    }
+
+    /// JSON-shaped garbage through the frame parser: valid JSON envelope,
+    /// hostile field values.
+    #[test]
+    fn protocol_parser_never_panics_on_json_shaped_garbage(
+        op in collection::vec(any::<u8>(), 0..12),
+        limit in any::<u64>(),
+    ) {
+        let op = String::from_utf8_lossy(&op).replace(['"', '\\'], "");
+        let frame = format!(r#"{{"op":"{op}","doc":"d","q":"x","limit":{limit}}}"#);
+        let _ = tr_serve::protocol::parse_request(&frame);
+    }
+}
+
+/// Hostile nesting is rejected with an error, not a stack overflow —
+/// the recursion depth limit holds at the workspace boundary too.
+#[test]
+fn hostile_nesting_errs_without_overflow() {
+    let schema = schema();
+    for n in [600usize, 5_000, 50_000] {
+        let q = format!("{}w{}", "(".repeat(n), ")".repeat(n));
+        assert!(tr_query::parse(&q, &schema).is_err(), "depth {n}");
+        let chain = "w within ".repeat(n) + "w";
+        assert!(tr_query::parse(&chain, &schema).is_err(), "chain {n}");
+    }
+}

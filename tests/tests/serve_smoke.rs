@@ -1,0 +1,325 @@
+//! End-to-end tests for tr-serve: a real TCP server, a real multi-doc
+//! catalog (persisted `.trx` next to raw SGML and source), and real
+//! concurrent clients — including one that speaks garbage.
+//!
+//! The serve counters live in the process-global `tr_obs` registry, so
+//! every test here serializes on [`lock`] and reads counter *deltas*.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use tr_obs::Json;
+use tr_query::Engine;
+use tr_serve::protocol;
+use tr_serve::{Catalog, Client, Server, ServerConfig};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+const PLAY: &str = "<play><act><speech>to be or not to be that is the question</speech>\
+     <speech>whether tis nobler in the mind to suffer</speech></act>\
+     <act><speech>the slings and arrows of outrageous fortune</speech>\
+     <speech>or to take arms against a sea of troubles</speech></act></play>";
+
+const PROG: &str = "program p; proc alpha; begin end; proc beta; begin end; begin end.";
+
+/// A corpus directory holding raw SGML, toy-language source, and a
+/// persisted `.trx` index — all three catalog load paths.
+fn corpus_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tr_serve_smoke_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("play.sgml"), PLAY).unwrap();
+    std::fs::write(dir.join("prog.src"), PROG).unwrap();
+    let e = Engine::from_sgml(PLAY).unwrap();
+    tr_store::save_document(dir.join("stored.trx"), e.text(), e.instance(), e.rig()).unwrap();
+    dir
+}
+
+/// The serve request counters that must balance at quiescence.
+fn request_counters() -> (u64, u64, u64) {
+    (
+        tr_obs::counter_value("serve.accepted"),
+        tr_obs::counter_value("serve.completed"),
+        tr_obs::counter_value("serve.failed"),
+    )
+}
+
+/// Mixed traffic from many concurrent clients; every query result must
+/// be byte-identical to a direct in-process `Engine` call.
+#[test]
+fn concurrent_clients_get_identical_results() {
+    let _guard = lock();
+    let dir = corpus_dir("mixed");
+    let catalog = Catalog::open(&dir).unwrap();
+    assert_eq!(catalog.len(), 3);
+
+    let (acc0, comp0, fail0) = request_counters();
+    let malformed0 = tr_obs::counter_value("serve.malformed");
+
+    let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Independent reference engines, built from the same sources the
+    // catalog saw.
+    let ref_play = Arc::new(Engine::from_sgml(PLAY).unwrap());
+    let ref_prog = Arc::new(Engine::from_source(PROG).unwrap());
+
+    let queries = [
+        ("play", r#"speech matching "be""#),
+        ("play", "speech within act"),
+        ("stored", r#"speech matching "fortune""#),
+        ("prog", "Proc"),
+        ("prog", "Proc_body within Proc"),
+    ];
+    let garbage = [
+        "not json at all",
+        r#"{"op":"no-such-op"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"id":[1,2],"op":"query","doc":"play","q":"speech","limit":"huge"}"#,
+        "{}",
+        "\u{7f}\u{1b}[2J{{{",
+    ];
+    let garbage_sent = Arc::new(AtomicUsize::new(0));
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 50;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let ref_play = Arc::clone(&ref_play);
+            let ref_prog = Arc::clone(&ref_prog);
+            let garbage_sent = Arc::clone(&garbage_sent);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(20)))
+                    .unwrap();
+                for i in 0..REQUESTS {
+                    match (c + i) % 5 {
+                        0 => {
+                            let (doc, q) = queries[(c + i) % queries.len()];
+                            let reply = client.query(doc, q).unwrap();
+                            let reference = if doc == "prog" { &ref_prog } else { &ref_play };
+                            let hits = reference.query(q).unwrap();
+                            let expected =
+                                protocol::result_fields(&hits, protocol::DEFAULT_REGION_LIMIT);
+                            // Byte-identical: serialize both sides.
+                            assert_eq!(
+                                reply.get("hits").unwrap().to_string(),
+                                expected.get("hits").unwrap().to_string(),
+                                "{doc}: {q}"
+                            );
+                            assert_eq!(
+                                reply.get("regions").unwrap().to_string(),
+                                expected.get("regions").unwrap().to_string(),
+                                "{doc}: {q}"
+                            );
+                        }
+                        1 => {
+                            let reply = client
+                                .batch("play", &[r#"speech matching "be""#, "act", "speech"])
+                                .unwrap();
+                            let results = reply.get("results").unwrap().as_arr().unwrap();
+                            let (expected, _) = ref_play
+                                .query_batch_with_stats(&[
+                                    r#"speech matching "be""#,
+                                    "act",
+                                    "speech",
+                                ])
+                                .unwrap();
+                            for (got, want) in results.iter().zip(&expected) {
+                                let want =
+                                    protocol::result_fields(want, protocol::DEFAULT_REGION_LIMIT);
+                                assert_eq!(got.to_string(), want.to_string());
+                            }
+                        }
+                        2 => {
+                            let reply = client.explain("play", "speech within act").unwrap();
+                            let text = reply.get("text").unwrap().as_str().unwrap();
+                            assert_eq!(text, ref_play.explain("speech within act").unwrap());
+                        }
+                        3 => {
+                            let stats = client.stats().unwrap();
+                            assert_eq!(stats.get("docs").unwrap().as_u64(), Some(3));
+                        }
+                        _ => {
+                            // The garbage client: server must answer with a
+                            // structured error and keep the session alive.
+                            client.send_raw(garbage[(c + i) % garbage.len()]).unwrap();
+                            let reply = client.recv().unwrap();
+                            assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+                            assert!(reply.get("error").unwrap().get("code").is_some());
+                            garbage_sent.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                // The session survived all of it.
+                client.ping().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    server.shutdown();
+
+    // At quiescence every accepted request reached exactly one terminal
+    // state, and every garbage frame was counted as malformed.
+    let (acc, comp, fail) = request_counters();
+    assert_eq!(acc - acc0, (comp - comp0) + (fail - fail0));
+    assert!(
+        tr_obs::counter_value("serve.malformed") - malformed0
+            >= garbage_sent.load(Ordering::SeqCst) as u64
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A tiny queue behind a single worker must shed pipelined load with
+/// structured `rejected` replies — and still answer everything else.
+#[test]
+fn admission_control_rejects_when_saturated() {
+    let _guard = lock();
+    let dir = corpus_dir("saturate");
+    let catalog = Catalog::open(&dir).unwrap();
+    let (acc0, comp0, fail0) = request_counters();
+    let rejected0 = tr_obs::counter_value("serve.rejected");
+
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(catalog, "127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+
+    // Fire a burst of pipelined queries in one write, then collect every
+    // reply. With queue=1/worker=1 some must be shed.
+    const BURST: usize = 100;
+    let frame = r#"{"op":"query","doc":"play","q":"(speech within act) matching \"to\""}"#;
+    let burst = format!("{frame}\n").repeat(BURST);
+    client.send_raw(burst.trim_end()).unwrap();
+
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..BURST {
+        let reply = client.recv().unwrap();
+        match reply.get("ok") {
+            Some(Json::Bool(true)) => ok += 1,
+            _ => {
+                let code = reply
+                    .get("error")
+                    .unwrap()
+                    .get("code")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned();
+                assert_eq!(code, "rejected", "only admission sheds load here");
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(ok + rejected, BURST, "every frame got exactly one reply");
+    assert!(ok >= 1, "the worker made progress");
+    assert!(rejected >= 1, "a 1-deep queue must shed a 100-deep burst");
+
+    // Shed load is visible in the counters, and the invariant holds:
+    // rejected requests were never accepted.
+    server.shutdown();
+    let (acc, comp, fail) = request_counters();
+    assert_eq!(acc - acc0, (comp - comp0) + (fail - fail0));
+    assert_eq!(
+        tr_obs::counter_value("serve.rejected") - rejected0,
+        rejected as u64
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A zero deadline forces every queued request to expire: the client gets
+/// structured `timeout` replies and the failure counters account for them.
+#[test]
+fn deadlines_expire_queued_requests() {
+    let _guard = lock();
+    let dir = corpus_dir("deadline");
+    let catalog = Catalog::open(&dir).unwrap();
+    let (acc0, comp0, fail0) = request_counters();
+    let timeouts0 = tr_obs::counter_value("serve.timeouts");
+
+    let cfg = ServerConfig {
+        deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(catalog, "127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    for _ in 0..5 {
+        let err = client.query("play", "speech").unwrap_err();
+        assert_eq!(err.code(), Some("timeout"));
+    }
+    server.shutdown();
+
+    let (acc, comp, fail) = request_counters();
+    assert_eq!(acc - acc0, (comp - comp0) + (fail - fail0));
+    assert!(tr_obs::counter_value("serve.timeouts") - timeouts0 >= 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shutdown with a deep backlog behind one worker drains: every admitted
+/// request still gets its reply before the socket closes.
+#[test]
+fn graceful_shutdown_drains_admitted_requests() {
+    let _guard = lock();
+    let dir = corpus_dir("drain");
+    let catalog = Catalog::open(&dir).unwrap();
+    let (acc0, comp0, fail0) = request_counters();
+
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(catalog, "127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+
+    let frame = r#"{"op":"query","doc":"play","q":"(speech within act) matching \"the\""}"#;
+    let burst = format!("{frame}\n").repeat(32);
+    client.send_raw(burst.trim_end()).unwrap();
+    // Give the connection thread a moment to admit (some of) the burst,
+    // then shut down while the single worker is still chewing.
+    std::thread::sleep(Duration::from_millis(20));
+    server.shutdown();
+
+    // Everything the server admitted was answered before close; frames it
+    // never read simply have no reply. Count replies until EOF.
+    let mut replies = 0u64;
+    // Iterate until EOF — an Err from recv means the drain is complete.
+    while let Ok(reply) = client.recv() {
+        assert!(reply.get("ok").is_some(), "reply frames stay structured");
+        replies += 1;
+    }
+    let (acc, comp, fail) = request_counters();
+    assert_eq!(acc - acc0, (comp - comp0) + (fail - fail0));
+    // Every terminal outcome for an accepted request produced a reply the
+    // client actually received (rejected/shutting-down replies, if any,
+    // arrive on top of that).
+    assert!(
+        replies >= (comp - comp0) + (fail - fail0),
+        "drain lost replies: got {replies}, accepted {}",
+        acc - acc0
+    );
+    assert!(replies >= 1, "at least part of the burst was admitted");
+    std::fs::remove_dir_all(&dir).ok();
+}
