@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in EXPERIMENTS.md (E1–E14), and
+//! Regenerates every experiment table in EXPERIMENTS.md (E1–E15), and
 //! hosts the CI performance-regression gate.
 //!
 //! ```text
@@ -70,6 +70,9 @@ fn main() {
     }
     if want("E14") {
         e14_serve_throughput();
+    }
+    if want("E15") {
+        e15_cache_hit_latency();
     }
 }
 
@@ -799,6 +802,53 @@ fn e14_serve_throughput() {
     println!("   Repeated queries are engine result-cache hits, so the wire and");
     println!("   thread hand-offs dominate: the table reports protocol overhead,");
     println!("   not query evaluation. Shed requests are retried by the client.)\n");
+}
+
+/// E15: the result-cache hit path. With Arc-backed columnar storage a
+/// hit is fingerprint + lookup + handle clone — O(1) in result size —
+/// so the "hot hit" column should stay flat as the document (and the
+/// cached result) grows. The last column repeats the hit through
+/// [`tr_query::SessionViews`], pricing the per-session view merge that
+/// the server's `query_with` path pays before the cache lookup.
+fn e15_cache_hit_latency() {
+    use tr_query::{Engine, SessionViews};
+
+    println!("E15 — result-cache hit latency (zero-copy handle clone)");
+    println!(
+        "{:>7} | {:>9} | {:>12} {:>12} {:>12}",
+        "procs", "|result|", "cold", "hot hit", "hit+views"
+    );
+    let q = "Name within Proc_header within Proc within Program";
+    for procs in [200usize, 2_000, 8_000] {
+        let (text, _) = program_workload(procs, 42);
+        let engine = Engine::from_source(&text)
+            .expect("generated programs parse")
+            .with_exec_config(tr_core::ExecConfig {
+                threads: 2,
+                kernel_cutoff: tr_core::par::DEFAULT_CUTOFF,
+            });
+        let (t_cold, hits) = time_avg(1, || engine.query(q).expect("gate query runs"));
+        let (t_hot, _) = time_avg(2_000, || engine.query(q).expect("gate query runs"));
+        let mut session = SessionViews::new();
+        engine
+            .define_session_view(&mut session, "hdrs", "Proc_header within Proc")
+            .expect("view definition parses");
+        engine.query_with(&session, q).expect("gate query runs");
+        let (t_view, _) = time_avg(2_000, || {
+            engine.query_with(&session, q).expect("gate query runs")
+        });
+        println!(
+            "{:>7} | {:>9} | {} {} {}",
+            procs,
+            hits.len(),
+            us(t_cold),
+            us(t_hot),
+            us(t_view),
+        );
+    }
+    println!("  (a hit returns a clone of the cached handle — a refcount bump,");
+    println!("   no region copies, so latency is flat in result size; the views");
+    println!("   column adds the session-view merge done before the lookup)\n");
 }
 
 /// E12: the text substrate (the PAT-engine substitute).

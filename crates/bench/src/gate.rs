@@ -28,7 +28,9 @@ use tr_query::Engine;
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
 
 /// Baseline/result schema version (bump when bench definitions change).
-pub const SUITE_VERSION: u64 = 1;
+/// v2: columnar `RegionSet` storage — adds the `cache_hit_hot` bench and
+/// the `engine.cache.bytes_avoided` / `exec.base_zero_copy` counters.
+pub const SUITE_VERSION: u64 = 2;
 
 /// One measured hot-path bench.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,11 +124,13 @@ impl Suite {
 /// Counters whose deltas are recorded per bench: deterministic under a
 /// fixed [`ExecConfig`], machine-independent, and each guarding a real
 /// optimization (plan sharing, the result cache, pattern memoization).
-const TRACKED_COUNTERS: [&str; 7] = [
+const TRACKED_COUNTERS: [&str; 9] = [
     "engine.queries",
     "engine.cache.hits",
     "engine.cache.misses",
+    "engine.cache.bytes_avoided",
     "exec.nodes",
+    "exec.base_zero_copy",
     "exec.rmq_built",
     "exec.pm_built",
     "text.pattern.computed",
@@ -243,6 +247,13 @@ pub fn run_suite(handicap: f64) -> Suite {
     cached.query_batch(&GATE_QUERIES).expect("gate queries run");
     benches.push(bench("batch_cached_2k_procs", 50, || {
         cached.query_batch(&GATE_QUERIES).expect("gate queries run")
+    }));
+
+    // The single-query hot cache-hit path: fingerprint + lookup + handle
+    // clone. With columnar storage the clone is O(1), so this bench gates
+    // the constant-time promise of the zero-copy representation.
+    benches.push(bench("cache_hit_hot", 200, || {
+        cached.query(GATE_QUERIES[0]).expect("gate query runs")
     }));
 
     // Text substrate: suffix-array index construction.

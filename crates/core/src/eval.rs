@@ -166,11 +166,7 @@ mod tests {
         let r1 = eval(&e1, &inst);
         let r2 = eval(&e2, &inst);
         assert_eq!(r1, r2);
-        assert_eq!(
-            r1.as_slice(),
-            &[region(12, 14)],
-            "only the procedure's name"
-        );
+        assert_eq!(r1.to_vec(), &[region(12, 14)], "only the procedure's name");
     }
 
     #[test]
@@ -182,7 +178,7 @@ mod tests {
             .occurrence("x", 5, 1)
             .build_valid();
         let e = Expr::name(schema.expect_id("Var")).select("x");
-        assert_eq!(eval(&e, &inst).as_slice(), &[region(0, 9)]);
+        assert_eq!(eval(&e, &inst).to_vec(), &[region(0, 9)]);
     }
 
     #[test]
@@ -207,18 +203,18 @@ mod tests {
         assert_eq!(eval(&a.clone().intersect(b.clone()), &inst).len(), 0);
         assert_eq!(eval(&a.clone().diff(b.clone()), &inst).len(), 2);
         assert_eq!(
-            eval(&a.clone().including(b.clone()), &inst).as_slice(),
+            eval(&a.clone().including(b.clone()), &inst).to_vec(),
             &[region(20, 29)]
         );
         assert_eq!(
-            eval(&b.clone().included_in(a.clone()), &inst).as_slice(),
+            eval(&b.clone().included_in(a.clone()), &inst).to_vec(),
             &[region(21, 28)]
         );
         assert_eq!(
-            eval(&a.clone().before(b.clone()), &inst).as_slice(),
+            eval(&a.clone().before(b.clone()), &inst).to_vec(),
             &[region(0, 9)]
         );
-        assert_eq!(eval(&b.after(a), &inst).as_slice(), &[region(21, 28)]);
+        assert_eq!(eval(&b.after(a), &inst).to_vec(), &[region(21, 28)]);
     }
 
     #[test]

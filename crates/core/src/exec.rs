@@ -1,10 +1,14 @@
 //! Executors for lowered [`Plan`]s: sequential and wave-parallel.
 //!
 //! Both executors evaluate every distinct plan node exactly once (the
-//! [`ExecStats`] counter makes that observable) and share the expensive
-//! per-operand structures: when a node is the right operand of `⊃` or
-//! `⊂`, its [`MinRightRmq`] / [`PrefixMaxRight`] is built once and reused
-//! by every consumer, instead of once per operator application.
+//! [`ExecStats`] counter makes that observable). The expensive per-operand
+//! structures (`MinRightRmq` / `PrefixMaxRight`) are memoized on each
+//! operand's shared [`crate::set::RegionBuf`] (see
+//! [`RegionSet::min_right_rmq`]), so they are built at most once per
+//! buffer — shared not just across consumers within one plan, but across
+//! every plan and batch probing the same base name. Base-name fetches
+//! (`PlanOp::Name`) are zero-copy handle clones, counted by
+//! `exec.base_zero_copy`.
 //!
 //! The parallel executor layers two kinds of parallelism:
 //!
@@ -19,7 +23,7 @@
 //! is a deterministic chunk-and-concatenate of the sequential one.
 
 use crate::instance::Instance;
-use crate::ops::{self, MinRightRmq, PrefixMaxRight};
+use crate::ops;
 use crate::par::{self, Parallelism};
 use crate::plan::{NodeId, Plan, PlanOp};
 use crate::set::RegionSet;
@@ -38,9 +42,11 @@ struct ExecMetrics {
     nodes: Arc<tr_obs::Counter>,
     /// `exec.waves`: structural waves (DAG depth levels) scheduled.
     waves: Arc<tr_obs::Counter>,
-    /// `exec.rmq_built` / `exec.pm_built`: per-operand structures built.
-    rmq_built: Arc<tr_obs::Counter>,
-    pm_built: Arc<tr_obs::Counter>,
+    /// `exec.base_zero_copy`: base-name fetches served as zero-copy
+    /// handle clones of the instance's buffer (i.e. every `Name` node —
+    /// the counter makes "no region copies on the base-set path"
+    /// observable and testable).
+    base_zero_copy: Arc<tr_obs::Counter>,
     /// `exec.wall_ns`: wall time per [`execute`] call.
     wall_ns: Arc<tr_obs::Histogram>,
     /// `exec.wave.nodes`: nodes per structural wave.
@@ -56,8 +62,7 @@ impl ExecMetrics {
             runs: tr_obs::counter("exec.runs"),
             nodes: tr_obs::counter("exec.nodes"),
             waves: tr_obs::counter("exec.waves"),
-            rmq_built: tr_obs::counter("exec.rmq_built"),
-            pm_built: tr_obs::counter("exec.pm_built"),
+            base_zero_copy: tr_obs::counter("exec.base_zero_copy"),
             wall_ns: tr_obs::histogram("exec.wall_ns"),
             wave_nodes: tr_obs::histogram("exec.wave.nodes"),
             kernels: KERNEL_NAMES.map(|k| tr_obs::histogram(&format!("exec.kernel.{k}.ns"))),
@@ -183,21 +188,6 @@ impl Executed {
     }
 }
 
-/// Per-node auxiliary structures, built lazily and at most once.
-struct OperandCache {
-    rmq: Vec<OnceLock<MinRightRmq>>,
-    pm: Vec<OnceLock<PrefixMaxRight>>,
-}
-
-impl OperandCache {
-    fn new(n: usize) -> OperandCache {
-        OperandCache {
-            rmq: (0..n).map(|_| OnceLock::new()).collect(),
-            pm: (0..n).map(|_| OnceLock::new()).collect(),
-        }
-    }
-}
-
 /// Executes `plan` over `inst`, returning every node's value plus stats.
 ///
 /// With `cfg.threads == 1` this is a simple children-first walk; otherwise
@@ -210,7 +200,6 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
     let n = plan.len();
     let threads = cfg.resolved_threads().min(n.max(1));
     let kernels = cfg.parallelism();
-    let aux = OperandCache::new(n);
     let waves = record_waves(plan, metrics);
     metrics.runs.inc();
     metrics.nodes.add(n as u64);
@@ -218,7 +207,7 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
     if threads <= 1 {
         let mut results: Vec<RegionSet> = Vec::with_capacity(n);
         for id in 0..n {
-            let value = eval_node(plan.op(id), |c| &results[c], inst, &aux, &kernels);
+            let value = eval_node(plan.op(id), |c| &results[c], inst, &kernels);
             results.push(value);
         }
         let wall_ns = started.elapsed().as_nanos() as u64;
@@ -276,7 +265,6 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
                         plan.op(id),
                         |c| slots[c].get().expect("children complete before parents"),
                         inst,
-                        &aux,
                         &kernels,
                     );
                     slots[id].set(value).expect("each node evaluated once");
@@ -355,12 +343,11 @@ fn eval_node<'a, W: WordIndex + Sync>(
     op: &PlanOp,
     child: impl Fn(NodeId) -> &'a RegionSet,
     inst: &Instance<W>,
-    aux: &OperandCache,
     kernels: &Parallelism,
 ) -> RegionSet {
     let metrics = ExecMetrics::get();
     let started = Instant::now();
-    let out = eval_node_inner(op, child, inst, aux, kernels, metrics);
+    let out = eval_node_inner(op, child, inst, kernels, metrics);
     metrics.kernels[kernel_index(op)].record(started.elapsed().as_nanos() as u64);
     out
 }
@@ -369,12 +356,16 @@ fn eval_node_inner<'a, W: WordIndex + Sync>(
     op: &PlanOp,
     child: impl Fn(NodeId) -> &'a RegionSet,
     inst: &Instance<W>,
-    aux: &OperandCache,
     kernels: &Parallelism,
     metrics: &ExecMetrics,
 ) -> RegionSet {
     match op {
-        PlanOp::Name(id) => inst.regions_of(*id).clone(),
+        PlanOp::Name(id) => {
+            // A handle clone of the instance's columnar buffer: refcount
+            // bump, no region copies.
+            metrics.base_zero_copy.inc();
+            inst.regions_of(*id).clone()
+        }
         PlanOp::Select(pattern, c) => {
             let word = inst.word_index();
             child(*c).filter_par(kernels, |r| word.matches(r, pattern))
@@ -385,26 +376,8 @@ fn eval_node_inner<'a, W: WordIndex + Sync>(
                 BinOp::Union => lv.union_par(rv, kernels),
                 BinOp::Intersect => lv.intersect_par(rv, kernels),
                 BinOp::Diff => lv.difference_par(rv, kernels),
-                BinOp::Including => {
-                    if lv.is_empty() || rv.is_empty() {
-                        return RegionSet::new();
-                    }
-                    let rmq = aux.rmq[*r].get_or_init(|| {
-                        metrics.rmq_built.inc();
-                        MinRightRmq::new(rv)
-                    });
-                    ops::includes_par(lv, rv, rmq, kernels)
-                }
-                BinOp::IncludedIn => {
-                    if lv.is_empty() || rv.is_empty() {
-                        return RegionSet::new();
-                    }
-                    let pm = aux.pm[*r].get_or_init(|| {
-                        metrics.pm_built.inc();
-                        PrefixMaxRight::new(rv)
-                    });
-                    ops::included_in_par(lv, rv, pm, kernels)
-                }
+                BinOp::Including => ops::includes_par(lv, rv, kernels),
+                BinOp::IncludedIn => ops::included_in_par(lv, rv, kernels),
                 BinOp::Before => ops::precedes_par(lv, rv, kernels),
                 BinOp::After => ops::follows_par(lv, rv, kernels),
             }

@@ -125,7 +125,7 @@ impl<W> Instance<W> {
         // Normalize (defensive): sets may have been handed over unsorted only
         // through from_sorted misuse; RegionSet maintains its own invariant.
         for s in &mut sets {
-            debug_assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(s.validate().is_ok(), "{}", s.validate().unwrap_err());
         }
         Ok(Instance {
             schema,

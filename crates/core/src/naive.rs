@@ -38,9 +38,9 @@ mod tests {
             .into_iter()
             .collect();
         let s: RegionSet = [region(4, 5), region(10, 11)].into_iter().collect();
-        assert_eq!(includes(&r, &s).as_slice(), &[region(0, 9)]);
-        assert_eq!(included_in(&s, &r).as_slice(), &[region(4, 5)]);
-        assert_eq!(precedes(&r, &s).as_slice(), &[region(0, 9), region(2, 3)]);
-        assert_eq!(follows(&r, &s).as_slice(), &[region(12, 14)]);
+        assert_eq!(includes(&r, &s).to_vec(), &[region(0, 9)]);
+        assert_eq!(included_in(&s, &r).to_vec(), &[region(4, 5)]);
+        assert_eq!(precedes(&r, &s).to_vec(), &[region(0, 9), region(2, 3)]);
+        assert_eq!(follows(&r, &s).to_vec(), &[region(12, 14)]);
     }
 }

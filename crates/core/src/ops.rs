@@ -6,10 +6,20 @@
 //! evaluation engine" in PAT. The implementations here are sub-quadratic:
 //!
 //! * `R < S` / `R > S` need only the extreme endpoint of `S` — O(|R| + |S|).
-//! * `R ⊂ S` uses prefix maxima of right endpoints over `S` sorted by left —
-//!   O(|R| log |S| + |S|).
+//!   `R > S` selects a *suffix* of `R` in storage order, so its result is a
+//!   zero-copy slice of `R` found by one binary search.
+//! * `R ⊂ S` uses range maxima of right endpoints over `S` sorted by left —
+//!   O(|R| log |S| + |S| log |S|).
 //! * `R ⊃ S` uses a sparse-table range-minimum structure over right
 //!   endpoints — O((|R| + |S|) log |S|).
+//!
+//! The auxiliary structures ([`PrefixMaxRight`], [`MinRightRmq`]) are built
+//! lazily once per underlying [`crate::set::RegionBuf`] and memoized there
+//! (see [`RegionSet::prefix_max_right`] / [`RegionSet::min_right_rmq`]), so
+//! repeated probes of the same operand — across operators, plan nodes, and
+//! whole query batches — pay the build a single time. Because a view may
+//! start mid-buffer, probes address the buffer-wide structures with
+//! buffer-absolute indices.
 //!
 //! Quadratic reference implementations live in [`crate::naive`] and serve as
 //! the oracle for property tests and as the baseline for experiment E2.
@@ -38,21 +48,21 @@ pub fn precedes_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSe
 
 /// `R > S`: the regions of `R` that follow *some* region of `S`.
 ///
-/// `r` follows some `s` iff `left(r) > min{right(s)}` (an O(1) probe —
-/// the set caches its minimum right endpoint).
+/// `r` follows some `s` iff `left(r) > min{right(s)}`. The qualifying
+/// regions form a suffix of `R` in `(left asc, right desc)` order, so the
+/// result is a zero-copy slice of `R`: one O(log |R|) binary search, no
+/// region copies.
 pub fn follows(r: &RegionSet, s: &RegionSet) -> RegionSet {
     match s.min_right() {
         None => RegionSet::new(),
-        Some(min_right) => r.filter(|x| x.left() > min_right),
+        Some(min_right) => r.slice(r.upper_bound_left(min_right), r.len()),
     }
 }
 
-/// [`follows`] with the scan over `R` split across threads.
-pub fn follows_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
-    match s.min_right() {
-        None => RegionSet::new(),
-        Some(min_right) => r.filter_par(par, |x| x.left() > min_right),
-    }
+/// [`follows`]; already O(log |R|), so the parallel variant is the same
+/// binary search.
+pub fn follows_par(r: &RegionSet, s: &RegionSet, _par: &Parallelism) -> RegionSet {
+    follows(r, s)
 }
 
 /// `R ⊂ S`: the regions of `R` strictly included in some region of `S`.
@@ -60,42 +70,38 @@ pub fn included_in(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    included_in_with(r, s, &PrefixMaxRight::new(s))
-}
-
-/// [`included_in`] against a prefix-max structure the caller built once
-/// for `s` (the plan executor shares it across every operator whose right
-/// operand is the same plan node).
-pub fn included_in_with(r: &RegionSet, s: &RegionSet, pm: &PrefixMaxRight) -> RegionSet {
-    r.filter(|x| included_in_probe(x, s, pm))
+    let pm = s.prefix_max_right();
+    let base = s.buf_start();
+    r.filter(|x| included_in_probe(x, s, pm, base))
 }
 
 /// [`included_in`] with the probe loop over `R` split across threads.
-pub fn included_in_par(
-    r: &RegionSet,
-    s: &RegionSet,
-    pm: &PrefixMaxRight,
-    par: &Parallelism,
-) -> RegionSet {
+pub fn included_in_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    r.filter_par(par, |x| included_in_probe(x, s, pm))
+    let pm = s.prefix_max_right();
+    let base = s.buf_start();
+    r.filter_par(par, |x| included_in_probe(x, s, pm, base))
 }
 
-/// Is `x` strictly included in some region of `s`?
+/// Is `x` strictly included in some region of `s`? `base` is the offset of
+/// `s`'s view inside its buffer (`pm` is buffer-wide).
 #[inline]
-fn included_in_probe(x: Region, s: &RegionSet, pm: &PrefixMaxRight) -> bool {
+fn included_in_probe(x: Region, s: &RegionSet, pm: &PrefixMaxRight, base: usize) -> bool {
     // Candidates with left(s) < left(x): containment needs right(s) >= right(x).
     let lt = s.lower_bound_left(x.left());
-    if lt > 0 && pm.max_right_of_first(lt) >= x.right() {
+    if pm
+        .max_right_in(base, base + lt)
+        .is_some_and(|m| m >= x.right())
+    {
         return true;
     }
     // Candidates with left(s) == left(x): containment needs right(s) > right(x).
     // Within the equal-left group regions are sorted by right desc, so the
     // group's first element has the largest right endpoint.
     let le = s.upper_bound_left(x.left());
-    lt < le && s.as_slice()[lt].right() > x.right()
+    lt < le && s.get(lt).right() > x.right()
 }
 
 /// `R ⊃ S`: the regions of `R` that strictly include some region of `S`.
@@ -103,32 +109,25 @@ pub fn includes(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    includes_with(r, s, &MinRightRmq::new(s))
-}
-
-/// [`includes`] against a range-minimum structure the caller built once
-/// for `s` — a chain like `(A ⊃ S) ⊃ S` (or a batch of queries probing the
-/// same operand) pays the O(|S| log |S|) build a single time.
-pub fn includes_with(r: &RegionSet, s: &RegionSet, rmq: &MinRightRmq) -> RegionSet {
-    r.filter(|x| includes_probe(x, s, rmq))
+    let rmq = s.min_right_rmq();
+    let base = s.buf_start();
+    r.filter(|x| includes_probe(x, s, rmq, base))
 }
 
 /// [`includes`] with the probe loop over `R` split across threads.
-pub fn includes_par(
-    r: &RegionSet,
-    s: &RegionSet,
-    rmq: &MinRightRmq,
-    par: &Parallelism,
-) -> RegionSet {
+pub fn includes_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    r.filter_par(par, |x| includes_probe(x, s, rmq))
+    let rmq = s.min_right_rmq();
+    let base = s.buf_start();
+    r.filter_par(par, |x| includes_probe(x, s, rmq, base))
 }
 
-/// Does `x` strictly include some region of `s`?
+/// Does `x` strictly include some region of `s`? `base` is the offset of
+/// `s`'s view inside its buffer (`rmq` is buffer-wide).
 #[inline]
-fn includes_probe(x: Region, s: &RegionSet, rmq: &MinRightRmq) -> bool {
+fn includes_probe(x: Region, s: &RegionSet, rmq: &MinRightRmq, base: usize) -> bool {
     // A region s with r ⊃ s must have left(s) in [left(x), right(x)].
     // Split the index range at left(s) == left(x):
     //  - strictly greater left: need right(s) <= right(x);
@@ -137,90 +136,126 @@ fn includes_probe(x: Region, s: &RegionSet, rmq: &MinRightRmq) -> bool {
     let mid = s.upper_bound_left(x.left());
     let hi = s.upper_bound_left(x.right());
     if mid < hi {
-        if let Some(min_r) = rmq.min_right(mid, hi) {
+        if let Some(min_r) = rmq.min_right(base + mid, base + hi) {
             if min_r <= x.right() {
                 return true;
             }
         }
     }
     // Equal-left group is sorted right desc: its minimum right is last.
-    lo < mid && s.as_slice()[mid - 1].right() < x.right()
+    lo < mid && s.get(mid - 1).right() < x.right()
 }
 
-/// Prefix maxima of right endpoints over a [`RegionSet`] (in its
-/// sorted-by-left order): the O(|S|) auxiliary structure behind `R ⊂ S`.
-/// Built once per operand and reusable across any number of probes.
+/// Sparse-table range-*maximum* structure over right endpoints (in the
+/// set's sorted-by-left order): the auxiliary behind `R ⊂ S`. Build is
+/// O(n log n), queries are O(1). Built once per [`crate::set::RegionBuf`]
+/// and memoized there; reusable across any number of probes.
+///
+/// (Historically a plain prefix-max array — the name stuck. Views can
+/// start mid-buffer, and a prefix from index 0 would overcount for them,
+/// so the structure answers arbitrary ranges.)
 pub struct PrefixMaxRight {
-    /// `prefix[i]` = max right endpoint among the first `i` regions.
-    prefix: Vec<Pos>,
+    /// `table[k][i]` = max right endpoint of the 2^k entries starting at i.
+    table: Vec<Vec<Pos>>,
 }
 
 impl PrefixMaxRight {
-    /// Builds the prefix maxima for `s`.
+    /// Builds the range maxima over `s`'s right-endpoint column.
     pub fn new(s: &RegionSet) -> PrefixMaxRight {
-        let mut prefix: Vec<Pos> = Vec::with_capacity(s.len() + 1);
-        prefix.push(0);
-        let mut best = 0;
-        for reg in s.iter() {
-            best = best.max(reg.right());
-            prefix.push(best);
-        }
-        PrefixMaxRight { prefix }
+        PrefixMaxRight::over_rights(s.rights())
     }
 
-    /// Maximum right endpoint among the first `count` regions (0 for an
+    /// Builds the range maxima over a raw right-endpoint column.
+    pub fn over_rights(rights: &[Pos]) -> PrefixMaxRight {
+        PrefixMaxRight {
+            table: sparse_table(rights, |a, b| a.max(b)),
+        }
+    }
+
+    /// Maximum right endpoint among indices `lo..hi` (half-open). Returns
+    /// `None` for an empty range.
+    #[inline]
+    pub fn max_right_in(&self, lo: usize, hi: usize) -> Option<Pos> {
+        sparse_query(&self.table, lo, hi, |a, b| a.max(b))
+    }
+
+    /// Maximum right endpoint among the first `count` entries (0 for an
     /// empty prefix).
     #[inline]
     pub fn max_right_of_first(&self, count: usize) -> Pos {
-        self.prefix[count]
+        self.max_right_in(0, count).unwrap_or(0)
     }
 }
 
 /// Sparse-table range-minimum structure over the right endpoints of a
 /// [`RegionSet`] (in its sorted-by-left order). Build is O(n log n),
-/// queries are O(1).
+/// queries are O(1). Built once per [`crate::set::RegionBuf`] and
+/// memoized there.
 pub struct MinRightRmq {
-    /// `table[k][i]` = min right endpoint of the 2^k regions starting at i.
+    /// `table[k][i]` = min right endpoint of the 2^k entries starting at i.
     table: Vec<Vec<Pos>>,
 }
 
 impl MinRightRmq {
     /// Builds the structure over `s` (ordered as stored: left asc, right desc).
     pub fn new(s: &RegionSet) -> MinRightRmq {
-        let base: Vec<Pos> = s.iter().map(|r| r.right()).collect();
-        let n = base.len();
-        let levels = if n <= 1 {
-            1
-        } else {
-            usize::BITS as usize - (n - 1).leading_zeros() as usize
-        };
-        let mut table = Vec::with_capacity(levels.max(1));
-        table.push(base);
-        let mut k = 1usize;
-        while (1 << k) <= n {
-            let half = 1 << (k - 1);
-            let prev = &table[k - 1];
-            let row: Vec<Pos> = (0..=n - (1 << k))
-                .map(|i| prev[i].min(prev[i + half]))
-                .collect();
-            table.push(row);
-            k += 1;
+        MinRightRmq::over_rights(s.rights())
+    }
+
+    /// Builds the structure over a raw right-endpoint column.
+    pub fn over_rights(rights: &[Pos]) -> MinRightRmq {
+        MinRightRmq {
+            table: sparse_table(rights, |a, b| a.min(b)),
         }
-        MinRightRmq { table }
     }
 
     /// Minimum right endpoint among indices `lo..hi` (half-open). Returns
     /// `None` for an empty range.
     pub fn min_right(&self, lo: usize, hi: usize) -> Option<Pos> {
-        if lo >= hi {
-            return None;
-        }
-        let len = hi - lo;
-        let k = usize::BITS as usize - 1 - len.leading_zeros() as usize;
-        let a = self.table[k][lo];
-        let b = self.table[k][hi - (1 << k)];
-        Some(a.min(b))
+        sparse_query(&self.table, lo, hi, |a, b| a.min(b))
     }
+}
+
+/// Builds a sparse table for an idempotent associative `combine`
+/// (min/max): `table[k][i]` covers the 2^k entries starting at `i`.
+fn sparse_table(base: &[Pos], combine: fn(Pos, Pos) -> Pos) -> Vec<Vec<Pos>> {
+    let n = base.len();
+    let levels = if n <= 1 {
+        1
+    } else {
+        usize::BITS as usize - (n - 1).leading_zeros() as usize
+    };
+    let mut table = Vec::with_capacity(levels.max(1));
+    table.push(base.to_vec());
+    let mut k = 1usize;
+    while (1 << k) <= n {
+        let half = 1 << (k - 1);
+        let prev = &table[k - 1];
+        let row: Vec<Pos> = (0..=n - (1 << k))
+            .map(|i| combine(prev[i], prev[i + half]))
+            .collect();
+        table.push(row);
+        k += 1;
+    }
+    table
+}
+
+/// O(1) sparse-table query over `lo..hi` (half-open; `None` when empty).
+#[inline]
+fn sparse_query(
+    table: &[Vec<Pos>],
+    lo: usize,
+    hi: usize,
+    combine: fn(Pos, Pos) -> Pos,
+) -> Option<Pos> {
+    if lo >= hi {
+        return None;
+    }
+    let len = hi - lo;
+    let k = usize::BITS as usize - 1 - len.leading_zeros() as usize;
+    let a = table[k][lo];
+    let b = table[k][hi - (1 << k)];
+    Some(combine(a, b))
 }
 
 #[cfg(test)]
@@ -248,6 +283,19 @@ mod tests {
         let r = set(&[(0, 6)]);
         let s = set(&[(6, 7)]);
         assert!(precedes(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn follows_is_a_zero_copy_suffix() {
+        let r = set(&[(0, 2), (3, 5), (8, 9), (10, 11)]);
+        let s = set(&[(1, 4), (6, 7)]);
+        let out = follows(&r, &s);
+        assert_eq!(out, set(&[(8, 9), (10, 11)]));
+        assert!(out.shares_buf(&r), "follows must alias its left operand");
+        // Contiguous precedes results also alias (prefix of R).
+        let pre = precedes(&r, &set(&[(9, 20)]));
+        assert_eq!(pre, set(&[(0, 2), (3, 5)]));
+        assert!(pre.shares_buf(&r));
     }
 
     #[test]
@@ -289,13 +337,40 @@ mod tests {
     fn rmq_matches_scan() {
         let s = set(&[(0, 9), (1, 7), (2, 12), (3, 3), (5, 6)]);
         let rmq = MinRightRmq::new(&s);
+        let pm = PrefixMaxRight::new(&s);
         let rights: Vec<Pos> = s.iter().map(|r| r.right()).collect();
         for lo in 0..=s.len() {
             for hi in lo..=s.len() {
-                let expect = rights[lo..hi].iter().copied().min();
-                assert_eq!(rmq.min_right(lo, hi), expect, "range {lo}..{hi}");
+                let min = rights.get(lo..hi).and_then(|w| w.iter().copied().min());
+                let max = rights.get(lo..hi).and_then(|w| w.iter().copied().max());
+                assert_eq!(rmq.min_right(lo, hi), min, "min range {lo}..{hi}");
+                assert_eq!(pm.max_right_in(lo, hi), max, "max range {lo}..{hi}");
             }
         }
+        assert_eq!(pm.max_right_of_first(0), 0);
+        assert_eq!(pm.max_right_of_first(3), 12);
+    }
+
+    /// Mid-buffer views must probe correctly: the memoized auxiliaries are
+    /// buffer-wide, so a stale prefix-from-zero interpretation would let
+    /// regions *before* the view leak into the answer.
+    #[test]
+    fn ops_are_correct_on_mid_buffer_views() {
+        let parent = set(&[(0, 50), (2, 3), (6, 40), (8, 9), (12, 13)]);
+        // Suffix view dropping the huge [0..50] and [2..3].
+        let s = parent.slice(2, 5);
+        assert!(s.shares_buf(&parent));
+        let r = set(&[(7, 20), (9, 10), (0, 45)]);
+        assert_eq!(includes(&r, &s), naive::includes(&r, &s));
+        assert_eq!(included_in(&r, &s), naive::included_in(&r, &s));
+        // [0..45] ⊂ [0..50] in the parent, but [0..50] is outside the view.
+        assert!(included_in(&set(&[(0, 45)]), &s).is_empty());
+        // Views as left operand too.
+        let rv = parent.slice(1, 4);
+        assert_eq!(includes(&rv, &r), naive::includes(&rv, &r));
+        assert_eq!(included_in(&rv, &r), naive::included_in(&rv, &r));
+        assert_eq!(precedes(&rv, &r), naive::precedes(&rv, &r));
+        assert_eq!(follows(&rv, &r), naive::follows(&rv, &r));
     }
 
     /// Cross-check all four fast operators against the naive oracle on a

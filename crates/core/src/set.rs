@@ -1,200 +1,577 @@
 //! [`RegionSet`]: the set-at-a-time value manipulated by the algebra.
 //!
-//! A `RegionSet` is a duplicate-free `Vec<Region>` kept sorted by
+//! A `RegionSet` is a duplicate-free sequence of regions kept sorted by
 //! `(left asc, right desc)`. All algebra operators consume and produce
 //! `RegionSet`s; keeping them sorted lets every operator run as a linear
 //! merge or a sweep with O(1)/O(log n) per-element probes (see
 //! [`crate::ops`]).
 //!
-//! The minimum right endpoint is cached at construction and maintained
-//! through `insert`/`remove`, so the `follows` operator's probe is O(1)
-//! instead of a full scan. The set operators also come in `_par` variants
-//! that split large merges across scoped threads (see [`crate::par`]).
+//! # Memory layout
+//!
+//! Storage is columnar and shared. A [`RegionBuf`] owns the two endpoint
+//! columns (`lefts`, `rights`) in structure-of-arrays layout; a
+//! `RegionSet` is a cheap *view* `{ buf: Arc<RegionBuf>, start..end }`.
+//! Cloning a set is a refcount bump plus a range copy — no region data
+//! moves. Contiguous sub-ranges (the output shape of `follows` and of any
+//! filter whose matches happen to be contiguous) are zero-copy
+//! [`RegionSet::slice`]s of their input. Buffers are immutable once
+//! shared: mutation goes copy-on-write unless the handle is the sole
+//! owner of a full-buffer view.
+//!
+//! The per-operand auxiliary structures used by the inclusion operators
+//! ([`crate::ops::PrefixMaxRight`], [`crate::ops::MinRightRmq`]) are built
+//! lazily *once per buffer* and memoized on the `RegionBuf`, so every view
+//! of the same underlying data — and every query probing the same base
+//! name — shares one build. The minimum right endpoint is likewise cached
+//! (per handle), so the `follows` operator's probe is O(1) after the first
+//! call. The set operators also come in `_par` variants that split large
+//! merges across scoped threads (see [`crate::par`]).
 
+use crate::ops::{MinRightRmq, PrefixMaxRight};
 use crate::par::{self, Parallelism};
 use crate::region::{Pos, Region};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
-/// A sorted, duplicate-free set of [`Region`]s.
-#[derive(Clone, PartialEq, Eq, Default, Hash)]
-pub struct RegionSet {
-    regions: Vec<Region>,
-    /// Cached minimum right endpoint (`None` iff the set is empty).
-    min_right: Option<Pos>,
+/// Compares two regions given as endpoint pairs: `(left asc, right desc)`,
+/// the storage order (identical to `Region`'s `Ord`).
+#[inline]
+fn cmp_lr(al: Pos, ar: Pos, bl: Pos, br: Pos) -> Ordering {
+    al.cmp(&bl).then_with(|| br.cmp(&ar))
 }
 
-/// The cached minimum right endpoint of a sorted region slice.
-fn min_right_of(regions: &[Region]) -> Option<Pos> {
-    regions.iter().map(|r| r.right()).min()
+/// Counters for the memoized per-buffer auxiliary builds. The names keep
+/// the `exec.` prefix they had when the plan executor owned the caches,
+/// so baselines and the bench gate's counter diff stay comparable.
+struct AuxMetrics {
+    pm_built: Arc<tr_obs::Counter>,
+    rmq_built: Arc<tr_obs::Counter>,
+}
+
+impl AuxMetrics {
+    fn get() -> &'static AuxMetrics {
+        static METRICS: OnceLock<AuxMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| AuxMetrics {
+            pm_built: tr_obs::counter("exec.pm_built"),
+            rmq_built: tr_obs::counter("exec.rmq_built"),
+        })
+    }
+}
+
+/// The shared, immutable columnar storage behind one or more [`RegionSet`]
+/// views: the two endpoint columns plus the lazily-built auxiliary indexes
+/// that the inclusion operators probe.
+pub struct RegionBuf {
+    lefts: Vec<Pos>,
+    rights: Vec<Pos>,
+    /// Memoized prefix/range maxima of right endpoints (for `R ⊂ S`).
+    pm: OnceLock<PrefixMaxRight>,
+    /// Memoized range-minimum structure over right endpoints (for `R ⊃ S`).
+    rmq: OnceLock<MinRightRmq>,
+}
+
+impl RegionBuf {
+    fn new(lefts: Vec<Pos>, rights: Vec<Pos>) -> RegionBuf {
+        debug_assert_eq!(lefts.len(), rights.len());
+        RegionBuf {
+            lefts,
+            rights,
+            pm: OnceLock::new(),
+            rmq: OnceLock::new(),
+        }
+    }
+
+    /// Number of regions stored in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lefts.len()
+    }
+
+    /// True if the buffer holds no regions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lefts.is_empty()
+    }
+}
+
+/// The shared buffer behind every empty set: `RegionSet::new()` never
+/// allocates.
+fn empty_buf() -> Arc<RegionBuf> {
+    static EMPTY: OnceLock<Arc<RegionBuf>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(RegionBuf::new(Vec::new(), Vec::new()))))
+}
+
+/// A sorted, duplicate-free set of [`Region`]s — a cheap view into an
+/// [`Arc`]-shared columnar [`RegionBuf`].
+#[derive(Clone)]
+pub struct RegionSet {
+    buf: Arc<RegionBuf>,
+    start: usize,
+    end: usize,
+    /// Cached minimum right endpoint of the view (`None` iff empty).
+    /// Filled lazily; carried through `insert`/`remove` when possible.
+    min_right: OnceLock<Option<Pos>>,
 }
 
 impl RegionSet {
-    /// The empty set.
+    /// The empty set. Allocation-free: all empty sets share one buffer.
     #[inline]
     pub fn new() -> RegionSet {
         RegionSet {
-            regions: Vec::new(),
-            min_right: None,
+            buf: empty_buf(),
+            start: 0,
+            end: 0,
+            min_right: OnceLock::new(),
         }
     }
 
-    /// The empty set, with room for `cap` regions.
-    #[inline]
-    pub fn with_capacity(cap: usize) -> RegionSet {
+    /// Wraps columns that already satisfy the order invariant.
+    fn from_invariant_columns(lefts: Vec<Pos>, rights: Vec<Pos>) -> RegionSet {
+        let n = lefts.len();
+        debug_assert_eq!(n, rights.len());
+        if n == 0 {
+            return RegionSet::new();
+        }
         RegionSet {
-            regions: Vec::with_capacity(cap),
-            min_right: None,
+            buf: Arc::new(RegionBuf::new(lefts, rights)),
+            start: 0,
+            end: n,
+            min_right: OnceLock::new(),
         }
-    }
-
-    /// Wraps a vector that already satisfies the order invariant,
-    /// computing the cached extremum.
-    fn from_invariant_vec(regions: Vec<Region>) -> RegionSet {
-        let min_right = min_right_of(&regions);
-        RegionSet { regions, min_right }
     }
 
     /// Builds a set from arbitrary regions, sorting and deduplicating.
     pub fn from_regions(mut regions: Vec<Region>) -> RegionSet {
         regions.sort_unstable();
         regions.dedup();
-        RegionSet::from_invariant_vec(regions)
+        let mut lefts = Vec::with_capacity(regions.len());
+        let mut rights = Vec::with_capacity(regions.len());
+        for r in &regions {
+            lefts.push(r.left());
+            rights.push(r.right());
+        }
+        RegionSet::from_invariant_columns(lefts, rights)
     }
 
     /// Builds a set from a vector the caller promises is already sorted by
     /// `(left asc, right desc)` and duplicate-free. Checked in debug builds.
     pub fn from_sorted(regions: Vec<Region>) -> RegionSet {
+        let mut lefts = Vec::with_capacity(regions.len());
+        let mut rights = Vec::with_capacity(regions.len());
+        for r in &regions {
+            lefts.push(r.left());
+            rights.push(r.right());
+        }
+        let out = RegionSet::from_invariant_columns(lefts, rights);
         debug_assert!(
-            regions.windows(2).all(|w| w[0] < w[1]),
-            "regions not sorted/deduped"
+            out.validate().is_ok(),
+            "from_sorted: {}",
+            out.validate().unwrap_err()
         );
-        RegionSet::from_invariant_vec(regions)
+        out
+    }
+
+    /// Builds a set directly from endpoint columns (e.g. a decoded store
+    /// page or an occurrence list), with no intermediate `Vec<Region>`.
+    ///
+    /// If the columns are already sorted by `(left asc, right desc)` and
+    /// duplicate-free they are adopted as-is; otherwise they are sorted
+    /// and deduplicated first. Panics if the columns differ in length or
+    /// contain an inverted pair (`left > right`).
+    pub fn from_columns(lefts: Vec<Pos>, rights: Vec<Pos>) -> RegionSet {
+        assert_eq!(lefts.len(), rights.len(), "column length mismatch");
+        for (&l, &r) in lefts.iter().zip(&rights) {
+            assert!(l <= r, "invalid region: left {l} > right {r}");
+        }
+        let sorted = (1..lefts.len())
+            .all(|i| cmp_lr(lefts[i - 1], rights[i - 1], lefts[i], rights[i]) == Ordering::Less);
+        if sorted {
+            RegionSet::from_invariant_columns(lefts, rights)
+        } else {
+            RegionSet::from_regions(
+                lefts
+                    .into_iter()
+                    .zip(rights)
+                    .map(|(l, r)| Region::new(l, r))
+                    .collect(),
+            )
+        }
     }
 
     /// Singleton set.
     pub fn singleton(r: Region) -> RegionSet {
-        RegionSet {
-            regions: vec![r],
-            min_right: Some(r.right()),
-        }
+        let out = RegionSet::from_invariant_columns(vec![r.left()], vec![r.right()]);
+        let _ = out.min_right.set(Some(r.right()));
+        out
     }
 
     /// Number of regions in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.end - self.start
     }
 
     /// True if the set has no regions.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.start == self.end
     }
 
-    /// The regions, sorted by `(left asc, right desc)`.
+    /// The left-endpoint column of the view, sorted ascending.
     #[inline]
-    pub fn as_slice(&self) -> &[Region] {
-        &self.regions
+    pub fn lefts(&self) -> &[Pos] {
+        &self.buf.lefts[self.start..self.end]
+    }
+
+    /// The right-endpoint column of the view (aligned with [`Self::lefts`]).
+    #[inline]
+    pub fn rights(&self) -> &[Pos] {
+        &self.buf.rights[self.start..self.end]
+    }
+
+    /// The `i`-th region of the view. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Region {
+        Region::new_unchecked(self.lefts()[i], self.rights()[i])
+    }
+
+    /// Materializes the view as a `Vec<Region>` (sorted order).
+    pub fn to_vec(&self) -> Vec<Region> {
+        self.iter().collect()
     }
 
     /// Iterates the regions in sorted order.
     #[inline]
-    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Region>> {
-        self.regions.iter().copied()
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            lefts: self.lefts(),
+            rights: self.rights(),
+        }
+    }
+
+    /// A zero-copy sub-view covering the `lo..hi` range of this view's
+    /// regions (indices are view-relative). Panics if out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> RegionSet {
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        let out = RegionSet {
+            buf: Arc::clone(&self.buf),
+            start: self.start + lo,
+            end: self.start + hi,
+            min_right: OnceLock::new(),
+        };
+        if lo == 0 && hi == self.len() {
+            if let Some(&m) = self.min_right.get() {
+                let _ = out.min_right.set(m);
+            }
+        }
+        out
+    }
+
+    /// True if both handles view the *same underlying buffer* (regardless
+    /// of range) — i.e. no region data was copied between them.
+    #[inline]
+    pub fn shares_buf(&self, other: &RegionSet) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// True if both handles are the identical view (same buffer, same range).
+    #[inline]
+    fn same_view(&self, other: &RegionSet) -> bool {
+        self.shares_buf(other) && self.start == other.start && self.end == other.end
+    }
+
+    /// Offset of this view's first region inside its buffer. The inclusion
+    /// probes need it to address the buffer-wide memoized auxiliaries.
+    #[inline]
+    pub(crate) fn buf_start(&self) -> usize {
+        self.start
+    }
+
+    /// The memoized prefix/range-max-right structure of the underlying
+    /// buffer, built on first use (shared by every view of the buffer).
+    pub fn prefix_max_right(&self) -> &PrefixMaxRight {
+        self.buf.pm.get_or_init(|| {
+            AuxMetrics::get().pm_built.inc();
+            PrefixMaxRight::over_rights(&self.buf.rights)
+        })
+    }
+
+    /// The memoized range-min-right structure of the underlying buffer,
+    /// built on first use (shared by every view of the buffer).
+    pub fn min_right_rmq(&self) -> &MinRightRmq {
+        self.buf.rmq.get_or_init(|| {
+            AuxMetrics::get().rmq_built.inc();
+            MinRightRmq::over_rights(&self.buf.rights)
+        })
+    }
+
+    /// Binary search for `r` in the view; `Ok(index)` or the insertion
+    /// point.
+    fn search(&self, r: Region) -> Result<usize, usize> {
+        let (lefts, rights) = (self.lefts(), self.rights());
+        let (mut lo, mut hi) = (0usize, lefts.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_lr(lefts[mid], rights[mid], r.left(), r.right()) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, r: Region) -> bool {
-        self.regions.binary_search(&r).is_ok()
+        self.search(r).is_ok()
     }
 
     /// Inserts a region, keeping the order invariant. O(n) worst case;
     /// intended for incremental construction in tests and generators.
+    ///
+    /// Mutates the buffer in place when this handle is the sole owner of a
+    /// full-buffer view; otherwise copies on write (aliased views are
+    /// never disturbed).
     pub fn insert(&mut self, r: Region) -> bool {
-        match self.regions.binary_search(&r) {
-            Ok(_) => false,
-            Err(i) => {
-                self.regions.insert(i, r);
-                self.min_right = Some(match self.min_right {
-                    Some(m) => m.min(r.right()),
-                    None => r.right(),
-                });
-                true
+        let i = match self.search(r) {
+            Ok(_) => return false,
+            Err(i) => i,
+        };
+        // Carry the cached extremum across the mutation when it is filled.
+        let carried = self
+            .min_right
+            .get()
+            .map(|m| Some(m.map_or(r.right(), |v| v.min(r.right()))));
+        if self.start == 0 && self.end == self.buf.len() {
+            if let Some(buf) = Arc::get_mut(&mut self.buf) {
+                buf.lefts.insert(i, r.left());
+                buf.rights.insert(i, r.right());
+                // The memoized auxiliaries describe the old contents.
+                buf.pm = OnceLock::new();
+                buf.rmq = OnceLock::new();
+                self.end += 1;
+                self.reset_min_right(carried);
+                debug_assert!(self.validate().is_ok(), "insert broke the invariant");
+                return true;
             }
+        }
+        let (lefts, rights) = (self.lefts(), self.rights());
+        let mut nl = Vec::with_capacity(lefts.len() + 1);
+        let mut nr = Vec::with_capacity(rights.len() + 1);
+        nl.extend_from_slice(&lefts[..i]);
+        nl.push(r.left());
+        nl.extend_from_slice(&lefts[i..]);
+        nr.extend_from_slice(&rights[..i]);
+        nr.push(r.right());
+        nr.extend_from_slice(&rights[i..]);
+        *self = RegionSet::from_invariant_columns(nl, nr);
+        self.reset_min_right(carried);
+        debug_assert!(self.validate().is_ok(), "insert broke the invariant");
+        true
+    }
+
+    /// Removes a region if present. Same in-place/copy-on-write policy as
+    /// [`Self::insert`].
+    pub fn remove(&mut self, r: Region) -> bool {
+        let i = match self.search(r) {
+            Ok(i) => i,
+            Err(_) => return false,
+        };
+        // The removed region may have carried the cached extremum; keep
+        // the cache only when it provably did not.
+        let carried = match self.min_right.get() {
+            Some(&Some(m)) if m != r.right() => Some(Some(m)),
+            _ => None,
+        };
+        if self.start == 0 && self.end == self.buf.len() {
+            if let Some(buf) = Arc::get_mut(&mut self.buf) {
+                buf.lefts.remove(i);
+                buf.rights.remove(i);
+                buf.pm = OnceLock::new();
+                buf.rmq = OnceLock::new();
+                self.end -= 1;
+                self.reset_min_right(carried);
+                debug_assert!(self.validate().is_ok(), "remove broke the invariant");
+                return true;
+            }
+        }
+        let (lefts, rights) = (self.lefts(), self.rights());
+        let mut nl = Vec::with_capacity(lefts.len() - 1);
+        let mut nr = Vec::with_capacity(rights.len() - 1);
+        nl.extend_from_slice(&lefts[..i]);
+        nl.extend_from_slice(&lefts[i + 1..]);
+        nr.extend_from_slice(&rights[..i]);
+        nr.extend_from_slice(&rights[i + 1..]);
+        *self = RegionSet::from_invariant_columns(nl, nr);
+        self.reset_min_right(carried);
+        debug_assert!(self.validate().is_ok(), "remove broke the invariant");
+        true
+    }
+
+    /// Replaces the `min_right` cache: filled with `carried` if known,
+    /// otherwise left empty for lazy recomputation.
+    fn reset_min_right(&mut self, carried: Option<Option<Pos>>) {
+        self.min_right = OnceLock::new();
+        if let Some(v) = carried {
+            let _ = self.min_right.set(v);
         }
     }
 
-    /// Removes a region if present.
-    pub fn remove(&mut self, r: Region) -> bool {
-        match self.regions.binary_search(&r) {
-            Ok(i) => {
-                self.regions.remove(i);
-                if self.min_right == Some(r.right()) {
-                    // The removed region may have carried the extremum.
-                    self.min_right = min_right_of(&self.regions);
-                }
-                true
-            }
-            Err(_) => false,
+    /// Checks every representation invariant: aligned columns, view range
+    /// in bounds, no inverted region, strict `(left asc, right desc)`
+    /// order (which implies dedup), and — when filled — coherence of the
+    /// cached `min_right`. Used by debug assertions and tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let buf = &*self.buf;
+        if buf.lefts.len() != buf.rights.len() {
+            return Err(format!(
+                "column length mismatch: {} lefts vs {} rights",
+                buf.lefts.len(),
+                buf.rights.len()
+            ));
         }
+        if self.start > self.end || self.end > buf.len() {
+            return Err(format!(
+                "view {}..{} out of bounds for buffer of {}",
+                self.start,
+                self.end,
+                buf.len()
+            ));
+        }
+        for i in 0..buf.len() {
+            if buf.lefts[i] > buf.rights[i] {
+                return Err(format!(
+                    "inverted region at {i}: [{}..{}]",
+                    buf.lefts[i], buf.rights[i]
+                ));
+            }
+            if i > 0
+                && cmp_lr(
+                    buf.lefts[i - 1],
+                    buf.rights[i - 1],
+                    buf.lefts[i],
+                    buf.rights[i],
+                ) != Ordering::Less
+            {
+                return Err(format!(
+                    "order violated at {i}: [{}..{}] !< [{}..{}]",
+                    buf.lefts[i - 1],
+                    buf.rights[i - 1],
+                    buf.lefts[i],
+                    buf.rights[i]
+                ));
+            }
+        }
+        if let Some(&cached) = self.min_right.get() {
+            let actual = self.rights().iter().copied().min();
+            if cached != actual {
+                return Err(format!(
+                    "min_right cache incoherent: cached {cached:?}, actual {actual:?}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Set union (linear merge).
     pub fn union(&self, other: &RegionSet) -> RegionSet {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        merge_union(&self.regions, &other.regions, &mut out);
-        RegionSet::from_invariant_vec(out)
+        if self.is_empty() || self.same_view(other) {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out = ColsOut::with_capacity(self.len() + other.len());
+        merge_union(self.cols(), other.cols(), &mut out);
+        out.into_set()
     }
 
     /// Set intersection (linear merge).
     pub fn intersect(&self, other: &RegionSet) -> RegionSet {
-        let mut out = Vec::with_capacity(self.len().min(other.len()));
-        merge_intersect(&self.regions, &other.regions, &mut out);
-        RegionSet::from_invariant_vec(out)
+        if self.is_empty() || other.is_empty() {
+            return RegionSet::new();
+        }
+        if self.same_view(other) {
+            return self.clone();
+        }
+        let mut out = ColsOut::with_capacity(self.len().min(other.len()));
+        merge_intersect(self.cols(), other.cols(), &mut out);
+        out.into_set()
     }
 
     /// Set difference `self − other` (linear merge).
     pub fn difference(&self, other: &RegionSet) -> RegionSet {
-        let mut out = Vec::with_capacity(self.len());
-        merge_difference(&self.regions, &other.regions, &mut out);
-        RegionSet::from_invariant_vec(out)
+        if self.is_empty() || self.same_view(other) {
+            return RegionSet::new();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out = ColsOut::with_capacity(self.len());
+        merge_difference(self.cols(), other.cols(), &mut out);
+        out.into_set()
     }
 
     /// [`RegionSet::union`] with the merge split across threads for large
     /// inputs (identical results).
     pub fn union_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        if self.is_empty() || self.same_view(other) {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         self.merge_par(other, par, merge_union)
     }
 
     /// [`RegionSet::intersect`] with the merge split across threads for
     /// large inputs (identical results).
     pub fn intersect_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        if self.is_empty() || other.is_empty() {
+            return RegionSet::new();
+        }
+        if self.same_view(other) {
+            return self.clone();
+        }
         self.merge_par(other, par, merge_intersect)
     }
 
     /// [`RegionSet::difference`] with the merge split across threads for
     /// large inputs (identical results).
     pub fn difference_par(&self, other: &RegionSet, par: &Parallelism) -> RegionSet {
+        if self.is_empty() || self.same_view(other) {
+            return RegionSet::new();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         self.merge_par(other, par, merge_difference)
+    }
+
+    /// The borrowed column pair of this view.
+    #[inline]
+    fn cols(&self) -> Cols<'_> {
+        Cols {
+            lefts: self.lefts(),
+            rights: self.rights(),
+        }
     }
 
     /// Runs a two-pointer merge kernel over aligned chunks of both sets.
     ///
     /// Both inputs are partitioned at the same pivot *values* (drawn
-    /// evenly from `self`), so each chunk pair covers one key interval and
-    /// the concatenated chunk outputs equal the sequential merge.
-    fn merge_par(
-        &self,
-        other: &RegionSet,
-        par: &Parallelism,
-        kernel: fn(&[Region], &[Region], &mut Vec<Region>),
-    ) -> RegionSet {
-        let (a, b) = (&self.regions[..], &other.regions[..]);
+    /// evenly from the longer input), so each chunk pair covers one key
+    /// interval and the concatenated chunk outputs equal the sequential
+    /// merge.
+    fn merge_par(&self, other: &RegionSet, par: &Parallelism, kernel: MergeKernel) -> RegionSet {
+        let (a, b) = (self.cols(), other.cols());
         let chunks = par.chunks_for(a.len() + b.len());
         if chunks <= 1 {
-            let mut out = Vec::with_capacity(a.len() + b.len());
+            let mut out = ColsOut::with_capacity(a.len() + b.len());
             kernel(a, b, &mut out);
-            return RegionSet::from_invariant_vec(out);
+            return out.into_set();
         }
         // Pivot values come from the longer input (guaranteed non-empty
         // here); both sides are partitioned at the same values, so the
@@ -204,33 +581,31 @@ impl RegionSet {
         for i in 1..chunks {
             let (ai, bi) = if a.len() >= b.len() {
                 let ai = i * a.len() / chunks;
-                (ai, b.partition_point(|x| *x < a[ai]))
+                let (pl, pr) = a.at(ai);
+                (ai, b.lower_bound(pl, pr))
             } else {
                 let bi = i * b.len() / chunks;
-                (a.partition_point(|x| *x < b[bi]), bi)
+                let (pl, pr) = b.at(bi);
+                (a.lower_bound(pl, pr), bi)
             };
             bounds.push((ai, bi));
         }
         bounds.push((a.len(), b.len()));
         let pieces = par::map_chunks(chunks, chunks, |r| {
-            let mut out = Vec::new();
+            let mut out = ColsOut::new();
             for i in r {
                 let (alo, blo) = bounds[i];
                 let (ahi, bhi) = bounds[i + 1];
-                kernel(&a[alo..ahi], &b[blo..bhi], &mut out);
+                kernel(a.sub(alo, ahi), b.sub(blo, bhi), &mut out);
             }
             out
         });
-        let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
-        for piece in pieces {
-            out.extend_from_slice(&piece);
-        }
-        RegionSet::from_invariant_vec(out)
+        ColsOut::concat(pieces).into_set()
     }
 
     /// True if `self` and `other` contain exactly the same regions.
     pub fn set_eq(&self, other: &RegionSet) -> bool {
-        self.regions == other.regions
+        self == other
     }
 
     /// True if every region of `self` is in `other` (linear merge over
@@ -239,13 +614,22 @@ impl RegionSet {
         if self.len() > other.len() {
             return false;
         }
-        let (a, b) = (&self.regions, &other.regions);
+        if self.same_view(other) {
+            return true;
+        }
+        let (a, b) = (self.cols(), other.cols());
         let mut j = 0;
-        for r in a {
-            while j < b.len() && b[j] < *r {
-                j += 1;
+        for i in 0..a.len() {
+            let (al, ar) = a.at(i);
+            while j < b.len() {
+                let (bl, br) = b.at(j);
+                match cmp_lr(bl, br, al, ar) {
+                    Ordering::Less => j += 1,
+                    Ordering::Equal => break,
+                    Ordering::Greater => return false,
+                }
             }
-            if j == b.len() || b[j] != *r {
+            if j == b.len() {
                 return false;
             }
             j += 1;
@@ -254,14 +638,61 @@ impl RegionSet {
     }
 
     /// Keeps only the regions satisfying `pred`.
-    pub fn retain(&mut self, mut pred: impl FnMut(Region) -> bool) {
-        self.regions.retain(|r| pred(*r));
-        self.min_right = min_right_of(&self.regions);
+    pub fn retain(&mut self, pred: impl FnMut(Region) -> bool) {
+        let out = self.filter(pred);
+        *self = out;
     }
 
     /// Returns the set of regions satisfying `pred`.
+    ///
+    /// When the matching regions form one contiguous run of the view the
+    /// result is a zero-copy [`Self::slice`]; otherwise the survivors are
+    /// copied into a fresh buffer. Either way the predicate is evaluated
+    /// exactly once per region.
     pub fn filter(&self, mut pred: impl FnMut(Region) -> bool) -> RegionSet {
-        RegionSet::from_invariant_vec(self.iter().filter(|r| pred(*r)).collect())
+        let n = self.len();
+        let (lefts, rights) = (self.lefts(), self.rights());
+        let reg = |i: usize| Region::new_unchecked(lefts[i], rights[i]);
+        // Phase 1: find the first match.
+        let mut first = 0;
+        while first < n && !pred(reg(first)) {
+            first += 1;
+        }
+        if first == n {
+            return RegionSet::new();
+        }
+        // Phase 2: extend the contiguous run of matches.
+        let mut run_end = first + 1;
+        while run_end < n && pred(reg(run_end)) {
+            run_end += 1;
+        }
+        // Phase 3: look for a later match. None ⇒ the result is exactly
+        // the run — a zero-copy slice of this view.
+        let mut next = run_end + 1; // pred(run_end) was false (if in range)
+        let mut later = None;
+        while next < n {
+            if pred(reg(next)) {
+                later = Some(next);
+                break;
+            }
+            next += 1;
+        }
+        let k = match later {
+            None => return self.slice(first, run_end),
+            Some(k) => k,
+        };
+        // Non-contiguous: materialize, resuming the scan past `k` so the
+        // predicate still runs exactly once per region.
+        let mut out = ColsOut::with_capacity(run_end - first + 1);
+        out.lefts.extend_from_slice(&lefts[first..run_end]);
+        out.rights.extend_from_slice(&rights[first..run_end]);
+        out.push(lefts[k], rights[k]);
+        for i in k + 1..n {
+            if pred(reg(i)) {
+                out.push(lefts[i], rights[i]);
+            }
+        }
+        out.into_set()
     }
 
     /// [`RegionSet::filter`] with the scan split across threads for large
@@ -272,78 +703,199 @@ impl RegionSet {
         if chunks <= 1 {
             return self.filter(pred);
         }
-        let slice = &self.regions;
-        let pieces = par::map_chunks(slice.len(), chunks, |r| {
-            slice[r]
-                .iter()
-                .copied()
-                .filter(|x| pred(*x))
-                .collect::<Vec<Region>>()
+        let (lefts, rights) = (self.lefts(), self.rights());
+        let pieces = par::map_chunks(lefts.len(), chunks, |r| {
+            let mut out = ColsOut::new();
+            for i in r {
+                if pred(Region::new_unchecked(lefts[i], rights[i])) {
+                    out.push(lefts[i], rights[i]);
+                }
+            }
+            out
         });
-        let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
-        for piece in pieces {
-            out.extend_from_slice(&piece);
-        }
-        RegionSet::from_invariant_vec(out)
+        ColsOut::concat(pieces).into_set()
     }
 
     /// Largest left endpoint, if any. Used by the `precedes` operator.
     pub fn max_left(&self) -> Option<Pos> {
         // Sorted by left ascending, so the maximum left is at the back.
-        self.regions.last().map(|r| r.left())
+        self.lefts().last().copied()
     }
 
     /// Smallest right endpoint, if any. Used by the `follows` operator.
-    /// O(1): cached at construction and maintained by `insert`/`remove`.
+    /// O(n) on first call, then O(1) (cached on the handle and carried
+    /// through `insert`/`remove` and full-range clones/slices).
     #[inline]
     pub fn min_right(&self) -> Option<Pos> {
-        self.min_right
+        *self
+            .min_right
+            .get_or_init(|| self.rights().iter().copied().min())
     }
 
     /// Index of the first region with `left >= pos` (lower bound on left).
     pub fn lower_bound_left(&self, pos: Pos) -> usize {
-        self.regions.partition_point(|r| r.left() < pos)
+        self.lefts().partition_point(|&l| l < pos)
     }
 
     /// Index one past the last region with `left <= pos` (upper bound).
     pub fn upper_bound_left(&self, pos: Pos) -> usize {
-        self.regions.partition_point(|r| r.left() <= pos)
+        self.lefts().partition_point(|&l| l <= pos)
     }
 }
 
-/// Two-pointer union of sorted slices, appended to `out`.
-fn merge_union(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+impl Default for RegionSet {
+    fn default() -> RegionSet {
+        RegionSet::new()
+    }
+}
+
+impl PartialEq for RegionSet {
+    fn eq(&self, other: &RegionSet) -> bool {
+        if self.same_view(other) {
+            return true;
+        }
+        self.lefts() == other.lefts() && self.rights() == other.rights()
+    }
+}
+
+impl Eq for RegionSet {}
+
+impl Hash for RegionSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.lefts().hash(state);
+        self.rights().hash(state);
+    }
+}
+
+/// A borrowed column pair: the SoA analogue of `&[Region]`.
+#[derive(Clone, Copy)]
+struct Cols<'a> {
+    lefts: &'a [Pos],
+    rights: &'a [Pos],
+}
+
+impl<'a> Cols<'a> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.lefts.len()
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> (Pos, Pos) {
+        (self.lefts[i], self.rights[i])
+    }
+
+    #[inline]
+    fn sub(&self, lo: usize, hi: usize) -> Cols<'a> {
+        Cols {
+            lefts: &self.lefts[lo..hi],
+            rights: &self.rights[lo..hi],
+        }
+    }
+
+    /// Count of regions strictly less than `(l, r)` in storage order.
+    fn lower_bound(&self, l: Pos, r: Pos) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (ml, mr) = self.at(mid);
+            if cmp_lr(ml, mr, l, r) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Owned output columns being assembled by a merge or filter kernel.
+struct ColsOut {
+    lefts: Vec<Pos>,
+    rights: Vec<Pos>,
+}
+
+impl ColsOut {
+    fn new() -> ColsOut {
+        ColsOut {
+            lefts: Vec::new(),
+            rights: Vec::new(),
+        }
+    }
+
+    fn with_capacity(cap: usize) -> ColsOut {
+        ColsOut {
+            lefts: Vec::with_capacity(cap),
+            rights: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, l: Pos, r: Pos) {
+        self.lefts.push(l);
+        self.rights.push(r);
+    }
+
+    fn extend_from(&mut self, cols: Cols<'_>, lo: usize) {
+        self.lefts.extend_from_slice(&cols.lefts[lo..]);
+        self.rights.extend_from_slice(&cols.rights[lo..]);
+    }
+
+    fn concat(pieces: Vec<ColsOut>) -> ColsOut {
+        let total = pieces.iter().map(|p| p.lefts.len()).sum();
+        let mut out = ColsOut::with_capacity(total);
+        for p in pieces {
+            out.lefts.extend_from_slice(&p.lefts);
+            out.rights.extend_from_slice(&p.rights);
+        }
+        out
+    }
+
+    fn into_set(self) -> RegionSet {
+        RegionSet::from_invariant_columns(self.lefts, self.rights)
+    }
+}
+
+/// A two-pointer merge kernel over sorted column pairs.
+type MergeKernel = fn(Cols<'_>, Cols<'_>, &mut ColsOut);
+
+/// Two-pointer union of sorted columns, appended to `out`.
+fn merge_union(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
+        let (al, ar) = a.at(i);
+        let (bl, br) = b.at(j);
+        match cmp_lr(al, ar, bl, br) {
+            Ordering::Less => {
+                out.push(al, ar);
                 i += 1;
             }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
+            Ordering::Greater => {
+                out.push(bl, br);
                 j += 1;
             }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+            Ordering::Equal => {
+                out.push(al, ar);
                 i += 1;
                 j += 1;
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+    out.extend_from(a, i);
+    out.extend_from(b, j);
 }
 
-/// Two-pointer intersection of sorted slices, appended to `out`.
-fn merge_intersect(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+/// Two-pointer intersection of sorted columns, appended to `out`.
+fn merge_intersect(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+        let (al, ar) = a.at(i);
+        let (bl, br) = b.at(j);
+        match cmp_lr(al, ar, bl, br) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(al, ar);
                 i += 1;
                 j += 1;
             }
@@ -351,24 +903,107 @@ fn merge_intersect(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
     }
 }
 
-/// Two-pointer difference `a − b` of sorted slices, appended to `out`.
-fn merge_difference(a: &[Region], b: &[Region], out: &mut Vec<Region>) {
+/// Two-pointer difference `a − b` of sorted columns, appended to `out`.
+fn merge_difference(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
+        let (al, ar) = a.at(i);
+        let (bl, br) = b.at(j);
+        match cmp_lr(al, ar, bl, br) {
+            Ordering::Less => {
+                out.push(al, ar);
                 i += 1;
             }
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
                 i += 1;
                 j += 1;
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
+    out.extend_from(a, i);
 }
+
+/// Borrowed iterator over a [`RegionSet`] view, in sorted order.
+#[derive(Clone)]
+pub struct Iter<'a> {
+    lefts: &'a [Pos],
+    rights: &'a [Pos],
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Region;
+
+    #[inline]
+    fn next(&mut self) -> Option<Region> {
+        let (&l, lrest) = self.lefts.split_first()?;
+        let (&r, rrest) = self.rights.split_first()?;
+        self.lefts = lrest;
+        self.rights = rrest;
+        Some(Region::new_unchecked(l, r))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.lefts.len(), Some(self.lefts.len()))
+    }
+}
+
+impl DoubleEndedIterator for Iter<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Region> {
+        let (&l, lrest) = self.lefts.split_last()?;
+        let (&r, rrest) = self.rights.split_last()?;
+        self.lefts = lrest;
+        self.rights = rrest;
+        Some(Region::new_unchecked(l, r))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+impl std::iter::FusedIterator for Iter<'_> {}
+
+/// Owning iterator over a [`RegionSet`] (the handle keeps the buffer
+/// alive; regions are materialized one at a time).
+pub struct IntoIter {
+    set: RegionSet,
+    front: usize,
+    back: usize,
+}
+
+impl Iterator for IntoIter {
+    type Item = Region;
+
+    #[inline]
+    fn next(&mut self) -> Option<Region> {
+        if self.front >= self.back {
+            return None;
+        }
+        let r = self.set.get(self.front);
+        self.front += 1;
+        Some(r)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for IntoIter {
+    #[inline]
+    fn next_back(&mut self) -> Option<Region> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.set.get(self.back))
+    }
+}
+
+impl ExactSizeIterator for IntoIter {}
+impl std::iter::FusedIterator for IntoIter {}
 
 impl FromIterator<Region> for RegionSet {
     fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> RegionSet {
@@ -378,7 +1013,7 @@ impl FromIterator<Region> for RegionSet {
 
 impl<'a> IntoIterator for &'a RegionSet {
     type Item = Region;
-    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Region>>;
+    type IntoIter = Iter<'a>;
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
@@ -386,15 +1021,20 @@ impl<'a> IntoIterator for &'a RegionSet {
 
 impl IntoIterator for RegionSet {
     type Item = Region;
-    type IntoIter = std::vec::IntoIter<Region>;
+    type IntoIter = IntoIter;
     fn into_iter(self) -> Self::IntoIter {
-        self.regions.into_iter()
+        let n = self.len();
+        IntoIter {
+            set: self,
+            front: 0,
+            back: n,
+        }
     }
 }
 
 impl fmt::Debug for RegionSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.regions.iter()).finish()
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -410,8 +1050,26 @@ mod tests {
     #[test]
     fn from_regions_sorts_and_dedups() {
         let s = RegionSet::from_regions(vec![region(5, 6), region(0, 9), region(5, 6)]);
-        assert_eq!(s.as_slice(), &[region(0, 9), region(5, 6)]);
+        assert_eq!(s.to_vec(), vec![region(0, 9), region(5, 6)]);
         assert_eq!(s.len(), 2);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn from_columns_adopts_sorted_and_sorts_unsorted() {
+        // Already in (left asc, right desc) order: adopted verbatim.
+        let s = RegionSet::from_columns(vec![0, 0, 2], vec![9, 4, 3]);
+        assert_eq!(s.to_vec(), vec![region(0, 9), region(0, 4), region(2, 3)]);
+        // Unsorted (same left, right ascending) plus a duplicate: fixed up.
+        let t = RegionSet::from_columns(vec![0, 0, 0], vec![4, 9, 9]);
+        assert_eq!(t.to_vec(), vec![region(0, 9), region(0, 4)]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid region")]
+    fn from_columns_rejects_inverted_pair() {
+        let _ = RegionSet::from_columns(vec![1, 5], vec![9, 4]);
     }
 
     #[test]
@@ -431,6 +1089,9 @@ mod tests {
         assert_eq!(RegionSet::new().union(&a), a);
         assert!(a.intersect(&RegionSet::new()).is_empty());
         assert_eq!(a.difference(&RegionSet::new()), a);
+        // The identity cases are zero-copy: same buffer, no merge.
+        assert!(a.union(&RegionSet::new()).shares_buf(&a));
+        assert!(a.difference(&RegionSet::new()).shares_buf(&a));
     }
 
     #[test]
@@ -439,7 +1100,7 @@ mod tests {
         assert!(s.insert(region(3, 7)));
         assert!(!s.insert(region(3, 7)), "duplicate insert is a no-op");
         assert!(s.insert(region(0, 9)));
-        assert_eq!(s.as_slice(), &[region(0, 9), region(3, 7)]);
+        assert_eq!(s.to_vec(), vec![region(0, 9), region(3, 7)]);
         assert!(s.contains(region(3, 7)));
         assert!(s.remove(region(3, 7)));
         assert!(!s.remove(region(3, 7)));
@@ -479,6 +1140,16 @@ mod tests {
         let mut u = t.clone();
         u.retain(|r| r.left() >= 2);
         assert_eq!(u.min_right(), Some(3));
+        // The cache stays coherent through every mutation (validate
+        // re-checks it whenever it is filled).
+        let mut v = set(&[(0, 9), (4, 6)]);
+        assert_eq!(v.min_right(), Some(6));
+        v.insert(region(2, 3));
+        assert_eq!(v.min_right(), Some(3));
+        assert!(v.validate().is_ok());
+        v.remove(region(2, 3));
+        assert!(v.validate().is_ok());
+        assert_eq!(v.min_right(), Some(6));
     }
 
     #[test]
@@ -501,6 +1172,108 @@ mod tests {
         assert_eq!(s.upper_bound_left(2), 3);
         assert_eq!(s.lower_bound_left(10), 4);
         assert_eq!(s.upper_bound_left(0), 1);
+    }
+
+    #[test]
+    fn clone_and_slice_are_zero_copy() {
+        let s = set(&[(0, 9), (2, 8), (2, 3), (5, 6)]);
+        let c = s.clone();
+        assert!(c.shares_buf(&s), "clone must not copy region data");
+        assert_eq!(c, s);
+        let sub = s.slice(1, 3);
+        assert!(sub.shares_buf(&s));
+        assert_eq!(sub.to_vec(), vec![region(2, 8), region(2, 3)]);
+        assert_eq!(sub.min_right(), Some(3));
+        assert!(sub.validate().is_ok());
+        // Bounds on the sub-view are view-relative.
+        assert_eq!(sub.lower_bound_left(2), 0);
+        assert_eq!(sub.max_left(), Some(2));
+    }
+
+    #[test]
+    fn filter_with_contiguous_matches_is_zero_copy() {
+        let s = set(&[(0, 9), (2, 8), (2, 3), (5, 6), (7, 8)]);
+        // Matches form the contiguous run at indices 1..=3.
+        let f = s.filter(|r| (2..=5).contains(&r.left()));
+        assert!(f.shares_buf(&s), "contiguous filter result must alias");
+        assert_eq!(f.to_vec(), vec![region(2, 8), region(2, 3), region(5, 6)]);
+        // Non-contiguous matches materialize a fresh buffer.
+        let g = s.filter(|r| r.left() == 0 || r.left() == 5);
+        assert!(!g.shares_buf(&s));
+        assert_eq!(g.to_vec(), vec![region(0, 9), region(5, 6)]);
+        // All-match and no-match extremes.
+        assert!(s.filter(|_| true).shares_buf(&s));
+        assert!(s.filter(|_| false).is_empty());
+    }
+
+    #[test]
+    fn mutation_of_aliased_view_copies_on_write() {
+        let mut s = set(&[(0, 9), (5, 6)]);
+        let snapshot = s.clone();
+        assert!(snapshot.shares_buf(&s));
+        s.insert(region(2, 3));
+        // The writer moved to a fresh buffer; the snapshot is untouched.
+        assert!(!snapshot.shares_buf(&s));
+        assert_eq!(snapshot.to_vec(), vec![region(0, 9), region(5, 6)]);
+        assert_eq!(s.to_vec(), vec![region(0, 9), region(2, 3), region(5, 6)]);
+        // A sole-owner full view mutates in place (no reallocation of the
+        // handle's identity is observable, but the result is the same).
+        let mut t = set(&[(1, 2)]);
+        t.insert(region(4, 5));
+        t.remove(region(1, 2));
+        assert_eq!(t.to_vec(), vec![region(4, 5)]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_violations() {
+        let s = set(&[(0, 9), (2, 3)]);
+        assert!(s.validate().is_ok());
+        assert!(RegionSet::new().validate().is_ok());
+        // A stale-range view is rejected (constructed via slice misuse is
+        // impossible from safe code, so fabricate one directly).
+        let bad = RegionSet {
+            buf: Arc::clone(&s.buf),
+            start: 1,
+            end: 5,
+            min_right: OnceLock::new(),
+        };
+        assert!(bad.validate().is_err());
+        // An incoherent min_right cache is caught.
+        let poisoned = RegionSet {
+            buf: Arc::clone(&s.buf),
+            start: 0,
+            end: 2,
+            min_right: OnceLock::new(),
+        };
+        let _ = poisoned.min_right.set(Some(42));
+        assert!(poisoned.validate().unwrap_err().contains("min_right"));
+    }
+
+    #[test]
+    fn memoized_auxiliaries_are_shared_across_views() {
+        let s = set(&[(0, 9), (1, 7), (2, 12), (3, 3), (5, 6)]);
+        let pm1 = s.prefix_max_right() as *const PrefixMaxRight;
+        let view = s.slice(1, 4);
+        let pm2 = view.prefix_max_right() as *const PrefixMaxRight;
+        assert_eq!(pm1, pm2, "one build per buffer, shared by all views");
+        let rmq1 = s.min_right_rmq() as *const MinRightRmq;
+        let rmq2 = s.clone().min_right_rmq() as *const MinRightRmq;
+        assert_eq!(rmq1, rmq2);
+    }
+
+    #[test]
+    fn iterators_cover_both_directions() {
+        let s = set(&[(0, 9), (2, 3), (5, 6)]);
+        let fwd: Vec<Region> = s.iter().collect();
+        let rev: Vec<Region> = s.iter().rev().collect();
+        assert_eq!(fwd, vec![region(0, 9), region(2, 3), region(5, 6)]);
+        assert_eq!(rev, vec![region(5, 6), region(2, 3), region(0, 9)]);
+        assert_eq!(s.iter().len(), 3);
+        let owned: Vec<Region> = s.clone().into_iter().collect();
+        assert_eq!(owned, fwd);
+        let owned_rev: Vec<Region> = s.into_iter().rev().collect();
+        assert_eq!(owned_rev, rev);
     }
 
     #[test]

@@ -132,10 +132,15 @@ impl WordIndex for ExplicitWordIndex {
 
 impl WordIndex for MatchPointIndex {
     fn occurrence_regions(&self, pattern: &str) -> RegionSet {
-        self.occurrences(pattern)
-            .iter()
-            .map(|&(start, len)| Region::new(start, start + len - 1))
-            .collect()
+        // Straight into columnar storage: no intermediate `Vec<Region>`.
+        let occ = self.occurrences(pattern);
+        let mut lefts = Vec::with_capacity(occ.len());
+        let mut rights = Vec::with_capacity(occ.len());
+        for &(start, len) in occ.iter() {
+            lefts.push(start);
+            rights.push(start + len - 1);
+        }
+        RegionSet::from_columns(lefts, rights)
     }
 
     fn matches(&self, r: Region, pattern: &str) -> bool {
@@ -209,7 +214,7 @@ mod tests {
         w.add_occurrence("var", 10, 3);
         w.add_point("var", 20);
         assert_eq!(
-            w.occurrence_regions("var").as_slice(),
+            w.occurrence_regions("var").to_vec(),
             &[region(10, 12), region(20, 20)]
         );
         assert!(w.occurrence_regions("other").is_empty());

@@ -214,7 +214,7 @@ mod tests {
         let shallow = direct_including_expr(&q, &r, &s, 1);
         let deep = direct_including_expr(&q, &r, &s, 2);
         assert!(eval(&shallow, &inst).is_empty());
-        assert_eq!(eval(&deep, &inst).as_slice(), &[region(2, 18)]);
+        assert_eq!(eval(&deep, &inst).to_vec(), &[region(2, 18)]);
     }
 
     /// Proposition 5.4 on the Figure-3 shape: Cs containing As and Bs as
@@ -265,6 +265,6 @@ mod tests {
             &Expr::name(s.expect_id("A")),
             width,
         );
-        assert_eq!(eval(&e, &inst).as_slice(), &[h.middle_c]);
+        assert_eq!(eval(&e, &inst).to_vec(), &[h.middle_c]);
     }
 }

@@ -201,7 +201,7 @@ mod tests {
         let a = inst.regions_of_name("A").clone();
         let b = inst.regions_of_name("B").clone();
         assert_eq!(
-            direct_including_program(&inst, &a, &b).as_slice(),
+            direct_including_program(&inst, &a, &b).to_vec(),
             &[region(2, 18)]
         );
     }
@@ -274,7 +274,7 @@ mod tests {
         let pruned =
             direct_chain_program_filtered(&inst, &chain, &[s.expect_id("A"), s.expect_id("B")]);
         assert_eq!(
-            pruned.as_slice(),
+            pruned.to_vec(),
             &[region(0, 10)],
             "dropping C loses the blocker"
         );
@@ -292,7 +292,7 @@ mod tests {
             .add("C", region(3, 4))
             .build_valid();
         assert_eq!(
-            direct_chain_program(&inst, &chain).as_slice(),
+            direct_chain_program(&inst, &chain).to_vec(),
             &[region(0, 20)]
         );
         // …but a second B nested inside the first breaks directness.
@@ -318,7 +318,7 @@ mod tests {
             .build_valid();
         // A ⊃_d A ⊃_d B holds for the outer A.
         assert_eq!(
-            direct_chain_program(&inst, &chain).as_slice(),
+            direct_chain_program(&inst, &chain).to_vec(),
             &[region(0, 30)]
         );
         // Inserting a C between the two As breaks the first link.

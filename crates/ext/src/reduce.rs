@@ -302,7 +302,7 @@ mod tests {
             reduced.regions_of_name("B"),
             reduced.regions_of_name("A"),
         );
-        assert_eq!(bi_before.as_slice(), &[h.middle_c]);
+        assert_eq!(bi_before.to_vec(), &[h.middle_c]);
         assert!(bi_after.is_empty());
     }
 }

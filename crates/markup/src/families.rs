@@ -191,7 +191,7 @@ mod tests {
                         .any(|a| c.includes(a) && b.precedes(a))
             })
         });
-        assert_eq!(bi.as_slice(), &[h.middle_c]);
+        assert_eq!(bi.to_vec(), &[h.middle_c]);
     }
 
     /// The naive algebra attempt `C ⊃ (B < A)` over-selects: every C

@@ -403,7 +403,7 @@ mod tests {
             col: 0,
             pattern: "x".into(),
         }]);
-        assert_eq!(e.eval(&inst).to_set().as_slice(), &[region(0, 9)]);
+        assert_eq!(e.eval(&inst).to_set().to_vec(), &[region(0, 9)]);
     }
 
     /// The unary fragment embeds the core algebra: semi-joins are

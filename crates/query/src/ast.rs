@@ -209,7 +209,7 @@ mod tests {
         );
         assert!(!q.is_algebraic());
         assert!(q.to_expr().is_none());
-        assert_eq!(q.eval(&inst).as_slice(), &[region(2, 18)]);
+        assert_eq!(q.eval(&inst).to_vec(), &[region(2, 18)]);
     }
 
     #[test]

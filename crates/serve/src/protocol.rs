@@ -278,15 +278,13 @@ pub fn err_frame(id: Option<&Json>, code: ErrorCode, message: &str) -> String {
 /// A query result as reply fields: total hit count plus up to `limit`
 /// `[left, right]` pairs (and a `truncated` marker when capped).
 pub fn result_fields(hits: &RegionSet, limit: usize) -> Json {
-    let regions: Vec<Json> = hits
+    // Serialize straight off the columnar storage (no Region values are
+    // materialized for the shipped prefix).
+    let n = hits.len().min(limit);
+    let regions: Vec<Json> = hits.lefts()[..n]
         .iter()
-        .take(limit)
-        .map(|r| {
-            Json::Arr(vec![
-                Json::from(u64::from(r.left())),
-                Json::from(u64::from(r.right())),
-            ])
-        })
+        .zip(&hits.rights()[..n])
+        .map(|(&l, &r)| Json::Arr(vec![Json::from(u64::from(l)), Json::from(u64::from(r))]))
         .collect();
     let mut j = Json::obj()
         .with("hits", Json::from(hits.len()))

@@ -27,7 +27,7 @@ use codec::{DecodeError, Decoder, Encoder};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
-use tr_core::{Instance, Region, RegionSet, Schema};
+use tr_core::{Instance, RegionSet, Schema};
 use tr_rig::Rig;
 use tr_text::{SuffixArray, SuffixWordIndex};
 
@@ -112,9 +112,10 @@ pub fn save_document<W: AsRef<Path>>(
     for id in schema.ids() {
         let set = instance.regions_of(id);
         enc.u64(set.len() as u64)?;
-        for r in set.iter() {
-            enc.u32(r.left())?;
-            enc.u32(r.right())?;
+        // Serialize straight off the columnar storage.
+        for (&l, &r) in set.lefts().iter().zip(set.rights()) {
+            enc.u32(l)?;
+            enc.u32(r)?;
         }
     }
     // Optional RIG.
@@ -167,16 +168,20 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
         if count > MAX_REGIONS {
             return Err(LoadError::Invalid("too many regions"));
         }
-        let mut regions: Vec<Region> =
-            Vec::with_capacity((count as usize).min(MAX_TRUSTED_PREALLOC));
+        // Decode straight into the columnar buffer — no intermediate
+        // `Vec<Region>`.
+        let prealloc = (count as usize).min(MAX_TRUSTED_PREALLOC);
+        let mut lefts: Vec<u32> = Vec::with_capacity(prealloc);
+        let mut rights: Vec<u32> = Vec::with_capacity(prealloc);
         for _ in 0..count {
             let (l, r) = (dec.u32()?, dec.u32()?);
             if l > r {
                 return Err(LoadError::Invalid("inverted region"));
             }
-            regions.push(Region::new(l, r));
+            lefts.push(l);
+            rights.push(r);
         }
-        sets.push(RegionSet::from_regions(regions));
+        sets.push(RegionSet::from_columns(lefts, rights));
     }
     let rig_edges = match dec.u64()? {
         0 => None,

@@ -172,10 +172,15 @@ impl SuffixWordIndex {
 
 impl WordIndex for SuffixWordIndex {
     fn occurrence_regions(&self, pattern: &str) -> tr_core::RegionSet {
-        self.occurrences(pattern)
-            .iter()
-            .map(|&(start, len)| Region::new(start, start + len - 1))
-            .collect()
+        // Straight into columnar storage: no intermediate `Vec<Region>`.
+        let occ = self.occurrences(pattern);
+        let mut lefts = Vec::with_capacity(occ.len());
+        let mut rights = Vec::with_capacity(occ.len());
+        for &(start, len) in occ.iter() {
+            lefts.push(start);
+            rights.push(start + len - 1);
+        }
+        tr_core::RegionSet::from_columns(lefts, rights)
     }
 
     fn matches(&self, r: Region, pattern: &str) -> bool {
@@ -242,7 +247,7 @@ mod tests {
     fn occurrence_regions_match_point_sets() {
         let w = idx();
         assert_eq!(
-            w.occurrence_regions("cat*").as_slice(),
+            w.occurrence_regions("cat*").to_vec(),
             &[tr_core::region(4, 6), tr_core::region(19, 25)]
         );
         assert!(w.occurrence_regions("dog").is_empty());

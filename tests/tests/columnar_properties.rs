@@ -1,0 +1,151 @@
+//! Property tests for the Arc-backed columnar [`RegionSet`]: every
+//! columnar operator (serial and `_par`) is byte-identical to a plain
+//! `Vec<Region>` oracle that never touches the columnar code paths, and
+//! zero-copy views stay frozen no matter what later happens to the
+//! buffer they alias.
+
+use proptest::prelude::*;
+use tr_core::{ops, par::Parallelism, region, Pos, Region, RegionSet};
+
+/// Strategy: a random sorted, deduplicated `Vec<Region>` — the oracle's
+/// representation, built without `RegionSet` involvement (`Region`'s
+/// `Ord` is the paper's `(left asc, right desc)` order).
+fn region_vecs() -> impl Strategy<Value = Vec<Region>> {
+    proptest::collection::vec((0u32..240, 0u32..16), 0..48).prop_map(|pairs| {
+        let mut v: Vec<Region> = pairs.into_iter().map(|(l, d)| region(l, l + d)).collect();
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+/// Aggressive parallelism: enough threads to split, a cutoff low enough
+/// that even these small inputs take the parallel path.
+fn par() -> Parallelism {
+    Parallelism::new(4, 2)
+}
+
+/// The Definition 2.3 selection oracle over plain vectors.
+fn sel(a: &[Region], b: &[Region], pred: impl Fn(Region, Region) -> bool) -> Vec<Region> {
+    a.iter()
+        .copied()
+        .filter(|&x| b.iter().any(|&y| pred(x, y)))
+        .collect()
+}
+
+/// Asserts a columnar result is byte-identical to the oracle: same
+/// regions, same column contents, and internally consistent.
+fn assert_matches(got: &RegionSet, want: &[Region]) {
+    assert_eq!(got.to_vec(), want);
+    let lefts: Vec<Pos> = want.iter().map(|r| r.left()).collect();
+    let rights: Vec<Pos> = want.iter().map(|r| r.right()).collect();
+    assert_eq!(got.lefts(), &lefts[..]);
+    assert_eq!(got.rights(), &rights[..]);
+    assert!(got.validate().is_ok(), "{}", got.validate().unwrap_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The four structural operators, serial and parallel, against the
+    /// pairwise oracle.
+    #[test]
+    fn structural_ops_match_oracle(av in region_vecs(), bv in region_vecs()) {
+        let a = RegionSet::from_regions(av.clone());
+        let b = RegionSet::from_regions(bv.clone());
+        let p = par();
+        type Pred = fn(Region, Region) -> bool;
+        type Op = fn(&RegionSet, &RegionSet) -> RegionSet;
+        type ParOp = fn(&RegionSet, &RegionSet, &Parallelism) -> RegionSet;
+        let cases: [(Op, ParOp, Pred); 4] = [
+            (ops::includes, ops::includes_par, |x, y| x.includes(y)),
+            (ops::included_in, ops::included_in_par, |x, y| x.included_in(y)),
+            (ops::precedes, ops::precedes_par, |x, y| x.precedes(y)),
+            (ops::follows, ops::follows_par, |x, y| x.follows(y)),
+        ];
+        for (f, fp, pred) in cases {
+            let want = sel(&av, &bv, pred);
+            assert_matches(&f(&a, &b), &want);
+            assert_matches(&fp(&a, &b, &p), &want);
+        }
+    }
+
+    /// Union, intersection, and difference, serial and parallel, against
+    /// sort/dedup set arithmetic on plain vectors.
+    #[test]
+    fn set_ops_match_oracle(av in region_vecs(), bv in region_vecs()) {
+        let a = RegionSet::from_regions(av.clone());
+        let b = RegionSet::from_regions(bv.clone());
+        let p = par();
+
+        let mut union: Vec<Region> = av.iter().chain(&bv).copied().collect();
+        union.sort();
+        union.dedup();
+        let inter: Vec<Region> = av.iter().copied().filter(|x| bv.contains(x)).collect();
+        let diff: Vec<Region> = av.iter().copied().filter(|x| !bv.contains(x)).collect();
+
+        assert_matches(&a.union(&b), &union);
+        assert_matches(&a.union_par(&b, &p), &union);
+        assert_matches(&a.intersect(&b), &inter);
+        assert_matches(&a.intersect_par(&b, &p), &inter);
+        assert_matches(&a.difference(&b), &diff);
+        assert_matches(&a.difference_par(&b, &p), &diff);
+    }
+
+    /// `filter` / `filter_par` against vector `filter`, for a predicate
+    /// that produces both contiguous (zero-copy) and scattered results.
+    #[test]
+    fn filter_matches_oracle(av in region_vecs(), lo in 0u32..240, hi in 0u32..256) {
+        let a = RegionSet::from_regions(av.clone());
+        let pred = |r: Region| r.left() >= lo && r.right() <= hi;
+        let want: Vec<Region> = av.iter().copied().filter(|&r| pred(r)).collect();
+        assert_matches(&a.filter(pred), &want);
+        assert_matches(&a.filter_par(&par(), pred), &want);
+    }
+
+    /// `from_columns` (sorted-adoption fast path or fallback sort) always
+    /// agrees with `from_regions` on the same data.
+    #[test]
+    fn from_columns_matches_from_regions(pairs in proptest::collection::vec((0u32..240, 0u32..16), 0..48)) {
+        let regions: Vec<Region> = pairs.iter().map(|&(l, d)| region(l, l + d)).collect();
+        let (lefts, rights) = pairs.iter().map(|&(l, d)| (l, l + d)).unzip();
+        let from_cols = RegionSet::from_columns(lefts, rights);
+        prop_assert!(from_cols.validate().is_ok());
+        prop_assert_eq!(from_cols, RegionSet::from_regions(regions));
+    }
+
+    /// The aliasing guarantee: a zero-copy slice is a frozen snapshot.
+    /// Later activity on the parent handle — mutation (which must copy on
+    /// write, since the buffer is shared), more slicing, or dropping the
+    /// parent entirely — never changes what the view sees.
+    #[test]
+    fn zero_copy_views_survive_parent_activity(
+        av in region_vecs(),
+        lo in 0usize..48,
+        len in 0usize..48,
+        (el, ed) in (0u32..240, 0u32..16),
+    ) {
+        let mut parent = RegionSet::from_regions(av);
+        let lo = lo.min(parent.len());
+        let hi = (lo + len).min(parent.len());
+        let view = parent.slice(lo, hi);
+        let snapshot = view.to_vec();
+        prop_assert!(view.shares_buf(&parent), "slice must alias, not copy");
+
+        // Mutate through a sibling handle first: the buffer is shared
+        // three ways (parent, view, sibling), so this must copy.
+        let mut sibling = parent.clone();
+        if sibling.insert(region(el, el + ed)) {
+            prop_assert!(!sibling.shares_buf(&view), "insert into a shared buffer must copy");
+        }
+        prop_assert_eq!(view.to_vec(), snapshot.clone());
+
+        // Then through the parent itself, then drop the parent.
+        parent.insert(region(el, el + ed));
+        parent.remove(region(el, el + ed));
+        drop(parent);
+        drop(sibling);
+        prop_assert_eq!(view.to_vec(), snapshot);
+        prop_assert!(view.validate().is_ok());
+    }
+}

@@ -17,6 +17,8 @@ struct EngineCounters {
     misses: u64,
     extended: u64,
     nodes_executed: u64,
+    bytes_avoided: u64,
+    base_zero_copy: u64,
 }
 
 impl EngineCounters {
@@ -28,6 +30,8 @@ impl EngineCounters {
             misses: tr_obs::counter_value("engine.cache.misses"),
             extended: tr_obs::counter_value("engine.extended"),
             nodes_executed: tr_obs::counter_value("engine.nodes_executed"),
+            bytes_avoided: tr_obs::counter_value("engine.cache.bytes_avoided"),
+            base_zero_copy: tr_obs::counter_value("exec.base_zero_copy"),
         }
     }
 
@@ -39,8 +43,16 @@ impl EngineCounters {
             misses: self.misses - before.misses,
             extended: self.extended - before.extended,
             nodes_executed: self.nodes_executed - before.nodes_executed,
+            bytes_avoided: self.bytes_avoided - before.bytes_avoided,
+            base_zero_copy: self.base_zero_copy - before.base_zero_copy,
         }
     }
+}
+
+/// What a cache hit for `set` would have copied under the old owned
+/// representation: both `u32` columns.
+fn region_bytes(set: &tr_core::RegionSet) -> u64 {
+    (set.len() * 2 * std::mem::size_of::<tr_core::Pos>()) as u64
 }
 
 #[test]
@@ -71,6 +83,11 @@ fn batch_stats_and_obs_registry_agree() {
     assert_eq!(d1.misses, 3, "both copies of the duplicate miss");
     assert_eq!(d1.extended, 1);
     assert_eq!(d1.nodes_executed, stats1.nodes_evaluated as u64);
+    assert_eq!(d1.bytes_avoided, 0, "no hits, so nothing avoided");
+    assert!(
+        d1.base_zero_copy > 0,
+        "base name sets are fetched as zero-copy handles"
+    );
 
     // Round 2: every plan query hits the cache; the extended query can
     // never be cached and evaluates again.
@@ -89,6 +106,27 @@ fn batch_stats_and_obs_registry_agree() {
         d2.nodes_executed,
         (stats1.nodes_evaluated + stats2.nodes_evaluated) as u64
     );
+    // The acceptance claim of the columnar refactor, in counters: round
+    // 2's three hits returned handles, not copies. `bytes_avoided` prices
+    // exactly the columns a copy would have duplicated, and no further
+    // base sets were fetched because nothing executed.
+    assert_eq!(
+        d2.bytes_avoided,
+        2 * region_bytes(&res2[0]) + region_bytes(&res2[1]),
+        "each hit records the copy it skipped"
+    );
+    assert_eq!(
+        d2.base_zero_copy, d1.base_zero_copy,
+        "round 2 executed nothing, so no new base-set fetches"
+    );
+    // And the handles really are zero-copy: both rounds' answers alias
+    // the same columnar buffer the cache holds.
+    for (a, b) in res1.iter().zip(&res2).take(3) {
+        assert!(
+            a.is_empty() || a.shares_buf(b),
+            "cached answers share storage with the originals"
+        );
+    }
 
     // The invariant the whole layer hangs on: every query is exactly one
     // of hit / miss / extended.
