@@ -1,4 +1,4 @@
-//! Regenerates every experiment table in EXPERIMENTS.md (E1–E15), and
+//! Regenerates every experiment table in EXPERIMENTS.md (E1–E16), and
 //! hosts the CI performance-regression gate.
 //!
 //! ```text
@@ -9,6 +9,8 @@
 //! report --emit-baseline BENCH_BASELINE.json   # record a new baseline
 //! report --check BENCH_BASELINE.json           # fail on >20% regressions
 //! report --check BENCH_BASELINE.json --handicap 1.35   # simulate one
+//! report --check BENCH_BASELINE.json --inflate-counter exec.nodes
+//!                                              # simulate a work regression
 //! report --stats-json                          # suite results as JSON
 //! ```
 //!
@@ -74,6 +76,9 @@ fn main() {
     if want("E15") {
         e15_cache_hit_latency();
     }
+    if want("E16") {
+        e16_segment_scaling();
+    }
 }
 
 /// Handles the gate flags (`--emit-baseline`, `--check`, `--stats-json`,
@@ -108,6 +113,14 @@ fn run_gate_mode(args: &mut Vec<String>) -> Option<i32> {
         }
         None => 1.0,
     };
+    let inflate = match take_valued(args, "--inflate-counter") {
+        Some(Some(name)) => Some(name),
+        Some(None) => {
+            eprintln!("--inflate-counter needs a counter name (e.g. exec.segment_waves)");
+            return Some(2);
+        }
+        None => None,
+    };
     let emit = take_valued(args, "--emit-baseline");
     let check = take_valued(args, "--check");
     let stats_json = take_switch(args, "--stats-json");
@@ -116,7 +129,26 @@ fn run_gate_mode(args: &mut Vec<String>) -> Option<i32> {
     }
 
     eprintln!("running regression-gate suite (handicap {handicap})...");
-    let suite = gate::run_suite(handicap);
+    let mut suite = gate::run_suite(handicap);
+    // `--inflate-counter` is the work-counter analogue of `--handicap`:
+    // it multiplies one named counter by 10 across the fresh run so CI
+    // can prove the gate's deterministic (counter) failure path fires.
+    if let Some(name) = inflate {
+        let mut touched = false;
+        for b in &mut suite.benches {
+            for (k, v) in &mut b.counters {
+                if *k == name {
+                    *v *= 10;
+                    touched = true;
+                }
+            }
+        }
+        if !touched {
+            eprintln!("--inflate-counter: no bench records counter {name:?}");
+            return Some(2);
+        }
+        eprintln!("inflated counter {name} x10 across the suite");
+    }
     if stats_json {
         println!("{}", suite.to_json().pretty());
     }
@@ -849,6 +881,72 @@ fn e15_cache_hit_latency() {
     println!("  (a hit returns a clone of the cached handle — a refcount bump,");
     println!("   no region copies, so latency is flat in result size; the views");
     println!("   column adds the session-view merge done before the lookup)\n");
+}
+
+/// E16: the segmented corpus engine. One SGML document is partitioned
+/// into N position-range segments; every plan node then evaluates per
+/// segment (boundary-window operands, serial kernels) with the segments
+/// fanned across threads and the results re-glued by ordered merge. The
+/// oracle — enforced by proptests — is that the output is byte-identical
+/// at every N; this table reports what the parallelism buys.
+fn e16_segment_scaling() {
+    use tr_query::Engine;
+
+    let threads = tr_core::par::available_threads().min(8);
+    println!("E16 — segmented execution: cold batch time vs segment count");
+    println!(
+        "  ({} threads; identical results at every N — same document, same queries)",
+        threads
+    );
+    println!(
+        "{:>10} | {:>8} | {:>12} {:>8} | same",
+        "sections", "N", "cold batch", "speedup"
+    );
+    const QUERIES: [&str; 5] = [
+        r#"sec matching "algebra""#,
+        "note within sec",
+        r#"sec containing (note matching "region")"#,
+        "p within sec",
+        r#"(sec containing note) intersect (sec matching "query")"#,
+    ];
+    for sections in [500usize, 3_000] {
+        let text = sgml_workload(sections, 42);
+        let make = |n: usize| {
+            Engine::from_sgml(&text)
+                .expect("generated SGML parses")
+                .with_exec_config(tr_core::ExecConfig {
+                    threads,
+                    kernel_cutoff: tr_core::par::DEFAULT_CUTOFF,
+                })
+                .with_segments(n)
+        };
+        let baseline_engine = make(1);
+        let baseline = baseline_engine
+            .query_batch(&QUERIES)
+            .expect("E16 queries run");
+        let mut t1 = 0.0;
+        for n in [1usize, 2, 4, 8, 16] {
+            let engine = make(n);
+            let (t, out) = time_avg(8, || {
+                engine.clear_result_cache();
+                engine.query_batch(&QUERIES).expect("E16 queries run")
+            });
+            if n == 1 {
+                t1 = t;
+            }
+            println!(
+                "{:>10} | {:>8} | {} {:>7.2}x | {}",
+                sections,
+                n,
+                us(t),
+                t1 / t,
+                out == baseline
+            );
+        }
+    }
+    println!("  (N = 1 is the unsegmented executor; larger N trades merge overhead");
+    println!("   for per-segment parallelism, so the sweet spot tracks core count.");
+    println!("   The oracle column re-checks byte-identity on every row.)\n");
 }
 
 /// E12: the text substrate (the PAT-engine substitute).

@@ -30,7 +30,10 @@ pub const DEFAULT_TOLERANCE: f64 = 0.20;
 /// Baseline/result schema version (bump when bench definitions change).
 /// v2: columnar `RegionSet` storage — adds the `cache_hit_hot` bench and
 /// the `engine.cache.bytes_avoided` / `exec.base_zero_copy` counters.
-pub const SUITE_VERSION: u64 = 2;
+/// v3: segmented execution — adds the `segment_scaling` bench and the
+/// `corpus.segments` / `exec.segment_waves` counters (and the engine
+/// benches now run segmented, since their documents exceed one segment).
+pub const SUITE_VERSION: u64 = 3;
 
 /// One measured hot-path bench.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,15 +127,17 @@ impl Suite {
 /// Counters whose deltas are recorded per bench: deterministic under a
 /// fixed [`ExecConfig`], machine-independent, and each guarding a real
 /// optimization (plan sharing, the result cache, pattern memoization).
-const TRACKED_COUNTERS: [&str; 9] = [
+const TRACKED_COUNTERS: [&str; 11] = [
     "engine.queries",
     "engine.cache.hits",
     "engine.cache.misses",
     "engine.cache.bytes_avoided",
+    "corpus.segments",
     "exec.nodes",
     "exec.base_zero_copy",
     "exec.rmq_built",
     "exec.pm_built",
+    "exec.segment_waves",
     "text.pattern.computed",
 ];
 
@@ -254,6 +259,29 @@ pub fn run_suite(handicap: f64) -> Suite {
     // the constant-time promise of the zero-copy representation.
     benches.push(bench("cache_hit_hot", 200, || {
         cached.query(GATE_QUERIES[0]).expect("gate query runs")
+    }));
+
+    // Segmented execution: corpus construction plus a cold batch on an
+    // 8-segment engine. `corpus.segments` and `exec.segment_waves` are
+    // pure functions of the workload (never of core count), so this bench
+    // deterministically guards both the partitioning heuristic and the
+    // per-node wave structure of the segmented executor. One pinned
+    // thread: the waves then run inline, so the timing tracks the
+    // split/window/merge machinery itself rather than scheduler jitter
+    // (the parallel payoff is E16's story, not the gate's).
+    let seg_engine = engine()
+        .with_exec_config(ExecConfig {
+            threads: 1,
+            kernel_cutoff: tr_core::par::DEFAULT_CUTOFF,
+        })
+        .with_segments(8);
+    benches.push(bench("segment_scaling", 40, || {
+        let corpus = tr_core::Corpus::from_instance(seg_engine.instance(), text.len(), 8);
+        seg_engine.clear_result_cache();
+        let out = seg_engine
+            .query_batch(&GATE_QUERIES)
+            .expect("gate queries run");
+        (corpus.num_segments(), out)
     }));
 
     // Text substrate: suffix-array index construction.

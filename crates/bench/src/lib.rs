@@ -126,6 +126,41 @@ pub fn synthetic_text(n: usize, seed: u64) -> Vec<u8> {
     out
 }
 
+/// A generated SGML-lite document of `sections` sections for the
+/// segmentation benchmarks (E16): each `<sec>` holds a few paragraphs of
+/// Zipf-ish words with occasional `<note>` insets, so the position space
+/// is wide, the markup is hierarchical, and pattern hits spread across
+/// every segment. Deterministic in `seed`.
+pub fn sgml_workload(sections: usize, seed: u64) -> String {
+    const WORDS: [&str; 12] = [
+        "the", "region", "algebra", "text", "query", "index", "tree", "node", "pattern", "search",
+        "word", "engine",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(sections * 256);
+    out.push_str("<doc>");
+    for _ in 0..sections {
+        out.push_str("<sec>");
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str("<p>");
+            for _ in 0..rng.gen_range(8..40) {
+                let pick = (rng.gen_range(0.0f64..1.0).powi(2) * WORDS.len() as f64) as usize;
+                out.push_str(WORDS[pick.min(WORDS.len() - 1)]);
+                out.push(' ');
+            }
+            if rng.gen_bool(0.3) {
+                out.push_str("<note>");
+                out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+                out.push_str("</note>");
+            }
+            out.push_str("</p>");
+        }
+        out.push_str("</sec>");
+    }
+    out.push_str("</doc>");
+    out
+}
+
 /// A row of `n` sibling C regions each containing an A and a B leaf (in
 /// random order) — the flat family for both-included benchmarks (E8).
 pub fn flat_bi_instance(n: usize, seed: u64) -> Instance {
@@ -179,6 +214,12 @@ mod tests {
 
         let bi = flat_bi_instance(10, 4);
         assert_eq!(bi.regions_of_name("C").len(), 10);
+
+        let sgml = sgml_workload(50, 7);
+        assert_eq!(sgml, sgml_workload(50, 7), "deterministic in seed");
+        let engine = tr_query::Engine::from_sgml(&sgml).expect("generated SGML parses");
+        assert_eq!(engine.query("sec").unwrap().len(), 50);
+        assert!(!engine.query("note within sec").unwrap().is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::instance::Instance;
 use crate::ops;
 use crate::par::{self, Parallelism};
 use crate::plan::{NodeId, Plan, PlanOp};
+use crate::seg::{self, Corpus};
 use crate::set::RegionSet;
 use crate::word::WordIndex;
 use crate::BinOp;
@@ -194,7 +195,27 @@ impl Executed {
 /// a pool of scoped worker threads drains a ready queue seeded with the
 /// plan's leaves.
 pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecConfig) -> Executed {
+    execute_segmented(plan, inst, cfg, None)
+}
+
+/// [`execute`], with an optional segment-parallel mode.
+///
+/// When `corpus` describes more than one segment, every `Select` and
+/// binary-operator node is evaluated per segment — serial kernels over
+/// zero-copy segment views, each given the partner window its boundary
+/// rule requires — and the per-segment results are merged in order (see
+/// [`crate::seg`]). Results are byte-identical to the unsegmented path
+/// for any plan and any segment count; `None` (or a single-segment
+/// corpus) is exactly [`execute`].
+pub fn execute_segmented<W: WordIndex + Sync>(
+    plan: &Plan,
+    inst: &Instance<W>,
+    cfg: &ExecConfig,
+    corpus: Option<&Corpus>,
+) -> Executed {
     let _span = tr_obs::span("exec.execute");
+    // A trivial (single-segment) corpus is the unsegmented path.
+    let bounds = corpus.filter(|c| !c.is_trivial()).map(Corpus::bounds);
     let started = Instant::now();
     let metrics = ExecMetrics::get();
     let n = plan.len();
@@ -207,7 +228,7 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
     if threads <= 1 {
         let mut results: Vec<RegionSet> = Vec::with_capacity(n);
         for id in 0..n {
-            let value = eval_node(plan.op(id), |c| &results[c], inst, &kernels);
+            let value = eval_node(plan.op(id), |c| &results[c], inst, &kernels, bounds);
             results.push(value);
         }
         let wall_ns = started.elapsed().as_nanos() as u64;
@@ -266,6 +287,7 @@ pub fn execute<W: WordIndex + Sync>(plan: &Plan, inst: &Instance<W>, cfg: &ExecC
                         |c| slots[c].get().expect("children complete before parents"),
                         inst,
                         &kernels,
+                        bounds,
                     );
                     slots[id].set(value).expect("each node evaluated once");
                     // Release readiness to parents; wake workers for new work
@@ -338,16 +360,19 @@ fn record_waves(plan: &Plan, metrics: &ExecMetrics) -> usize {
     width.len()
 }
 
-/// Evaluates one node given its children's values.
+/// Evaluates one node given its children's values. `bounds`, when
+/// present, routes `Select` and binary nodes through the segment-parallel
+/// kernels of [`crate::seg`].
 fn eval_node<'a, W: WordIndex + Sync>(
     op: &PlanOp,
     child: impl Fn(NodeId) -> &'a RegionSet,
     inst: &Instance<W>,
     kernels: &Parallelism,
+    bounds: Option<&[crate::region::Pos]>,
 ) -> RegionSet {
     let metrics = ExecMetrics::get();
     let started = Instant::now();
-    let out = eval_node_inner(op, child, inst, kernels, metrics);
+    let out = eval_node_inner(op, child, inst, kernels, bounds, metrics);
     metrics.kernels[kernel_index(op)].record(started.elapsed().as_nanos() as u64);
     out
 }
@@ -357,6 +382,7 @@ fn eval_node_inner<'a, W: WordIndex + Sync>(
     child: impl Fn(NodeId) -> &'a RegionSet,
     inst: &Instance<W>,
     kernels: &Parallelism,
+    bounds: Option<&[crate::region::Pos]>,
     metrics: &ExecMetrics,
 ) -> RegionSet {
     match op {
@@ -368,10 +394,18 @@ fn eval_node_inner<'a, W: WordIndex + Sync>(
         }
         PlanOp::Select(pattern, c) => {
             let word = inst.word_index();
-            child(*c).filter_par(kernels, |r| word.matches(r, pattern))
+            match bounds {
+                Some(b) => {
+                    seg::filter_segmented(child(*c), b, kernels, |r| word.matches(r, pattern))
+                }
+                None => child(*c).filter_par(kernels, |r| word.matches(r, pattern)),
+            }
         }
         PlanOp::Bin(bin, l, r) => {
             let (lv, rv) = (child(*l), child(*r));
+            if let Some(b) = bounds {
+                return seg::eval_bin_segmented(*bin, lv, rv, b, kernels);
+            }
             match bin {
                 BinOp::Union => lv.union_par(rv, kernels),
                 BinOp::Intersect => lv.intersect_par(rv, kernels),
@@ -485,6 +519,33 @@ mod tests {
             assert_eq!(out.stats().nodes_evaluated, distinct);
             for (root, e) in roots.iter().zip(&all) {
                 assert_eq!(out.result(*root), &eval(e, &inst), "expr {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_executor_matches_unsegmented() {
+        let (schema, inst) = sample_instance();
+        // Document spans positions 0..=20; segment at several counts so
+        // boundaries fall inside, between, and beyond the regions.
+        for n in [1usize, 2, 3, 7, 16] {
+            let corpus = Corpus::from_instance(&inst, 21, n);
+            for threads in [1usize, 4] {
+                let cfg = ExecConfig {
+                    threads,
+                    kernel_cutoff: 1,
+                };
+                for e in exprs(&schema) {
+                    let mut plan = Plan::new();
+                    let root = plan.lower(&e);
+                    let out = execute_segmented(&plan, &inst, &cfg, Some(&corpus));
+                    let want = execute(&plan, &inst, &ExecConfig::sequential());
+                    assert_eq!(
+                        out.result(root),
+                        want.result(root),
+                        "expr {e}, {n} segments, {threads} threads"
+                    );
+                }
             }
         }
     }

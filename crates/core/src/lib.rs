@@ -33,18 +33,20 @@ pub mod par;
 pub mod plan;
 pub mod region;
 pub mod schema;
+pub mod seg;
 pub mod set;
 pub mod word;
 
 pub use eval::{
     eval, eval_memo, eval_naive, eval_parallel, eval_parallel_with, eval_with, OpTable, FAST, NAIVE,
 };
-pub use exec::{execute, ExecConfig, ExecStats, Executed};
+pub use exec::{execute, execute_segmented, ExecConfig, ExecStats, Executed};
 pub use expr::{BinOp, Expr};
 pub use instance::{Forest, Instance, InstanceBuilder, InstanceError};
 pub use par::Parallelism;
 pub use plan::{expr_fingerprint, NodeId, Plan, PlanOp};
 pub use region::{region, Pos, Region};
 pub use schema::{NameId, Schema};
+pub use seg::Corpus;
 pub use set::RegionSet;
 pub use word::{EmptyWordIndex, ExplicitWordIndex, MatchPointIndex, WordIndex};

@@ -1,0 +1,368 @@
+//! Position-range segmentation: the [`Corpus`] partition and the
+//! segment-parallel operator kernels behind
+//! [`crate::exec::execute_segmented`].
+//!
+//! A [`Corpus`] splits a document's position space `[0, doc_len)` into N
+//! contiguous segments. A region belongs to the segment containing its
+//! **left endpoint** — so a name's regions, already sorted by
+//! `(left asc, right desc)`, fall into N consecutive column ranges and
+//! every per-segment view is a zero-copy [`RegionSet::slice`] of the one
+//! shared [`crate::set::RegionBuf`]. The probe auxiliaries
+//! (`PrefixMaxRight` / `MinRightRmq`) are memoized per *buffer* with
+//! buffer-absolute indices, so the segment views reuse one memoized
+//! structure instead of building N.
+//!
+//! Each operator then decomposes into independent per-segment runs of the
+//! unchanged *serial* kernel, fanned out across threads by
+//! [`par::map_chunks`], plus a boundary rule choosing which window of the
+//! partner operand each segment must see:
+//!
+//! | operator              | partner window for segment `[lo, hi)`       |
+//! |-----------------------|---------------------------------------------|
+//! | union/intersect/diff  | `S` restricted to lefts in `[lo, hi)`       |
+//! | including (`R ⊃ S`)   | suffix of `S` with lefts `≥ lo`             |
+//! | included-in (`R ⊂ S`) | prefix of `S` with lefts `< hi`             |
+//! | before / after        | one global scalar (`max_left` / `min_right`)|
+//!
+//! Why these suffice: a region `x` in segment `[lo, hi)` has
+//! `lo ≤ x.left < hi`. Any `s ⊂ x` has `s.left ≥ x.left ≥ lo`; any
+//! `s ⊃ x` has `s.left ≤ x.left < hi`; the positional operators only
+//! compare against one scalar of `S`. The set operators pair regions with
+//! equal lefts, and equal lefts land in the same segment.
+//!
+//! Per-segment outputs keep lefts inside their segment's range, so the
+//! concatenation is globally sorted and duplicate-free by construction —
+//! the k-way merge is [`RegionSet::concat`], which collapses to a single
+//! zero-copy handle whenever the parts are adjacent views of one buffer
+//! (always for `after`, and for any contiguous filter result).
+
+use crate::instance::Instance;
+use crate::ops;
+use crate::par::{self, Parallelism};
+use crate::region::{Pos, Region};
+use crate::set::RegionSet;
+use crate::word::WordIndex;
+use crate::BinOp;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cached handles into the `tr_obs` metrics registry.
+struct SegMetrics {
+    /// `corpus.segments`: segments created by [`Corpus`] builds.
+    segments: Arc<tr_obs::Counter>,
+    /// `exec.segment_waves`: plan-node evaluations that ran the
+    /// segment-parallel path (one per segmented node, regardless of N).
+    waves: Arc<tr_obs::Counter>,
+    /// `exec.merge_ns`: nanoseconds spent in the ordered merge
+    /// ([`RegionSet::concat`]) of per-segment results.
+    merge_ns: Arc<tr_obs::Counter>,
+}
+
+impl SegMetrics {
+    fn get() -> &'static SegMetrics {
+        static METRICS: OnceLock<SegMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| SegMetrics {
+            segments: tr_obs::counter("corpus.segments"),
+            waves: tr_obs::counter("exec.segment_waves"),
+            merge_ns: tr_obs::counter("exec.merge_ns"),
+        })
+    }
+}
+
+/// Target segment size: one segment per this many text bytes.
+pub const SEGMENT_TARGET_BYTES: usize = 64 * 1024;
+
+/// Upper bound on the deterministic segment-count heuristic.
+pub const MAX_SEGMENTS: usize = 16;
+
+/// The default segment count for a document of `text_bytes` bytes:
+/// roughly one segment per [`SEGMENT_TARGET_BYTES`], clamped to
+/// `[1, MAX_SEGMENTS]`.
+///
+/// Deliberately a pure function of the document size — never of the core
+/// count — so the same document segments identically on every machine
+/// (the bench gate compares `corpus.segments` across hosts, and stored
+/// manifests stay reproducible).
+pub fn segment_count_for(text_bytes: usize) -> usize {
+    (1 + text_bytes / SEGMENT_TARGET_BYTES).min(MAX_SEGMENTS)
+}
+
+/// Splits `[0, doc_len)` into `n` near-equal position ranges, returned as
+/// `n + 1` monotone boundaries (`bounds[0] == 0`). `n` is clamped to at
+/// least 1. Segment `i` covers positions `[bounds[i], bounds[i+1])`, with
+/// the final segment implicitly extended to cover any position at or past
+/// the last boundary.
+pub fn segment_bounds(doc_len: usize, n: usize) -> Vec<Pos> {
+    let n = n.max(1);
+    (0..=n as u64)
+        .map(|i| ((i * doc_len as u64 / n as u64).min(Pos::MAX as u64)) as Pos)
+        .collect()
+}
+
+/// Where `bounds` cuts `set`'s columns: `n + 1` indices with
+/// `ps[0] == 0`, `ps[n] == set.len()`, and interior `ps[i]` the first
+/// region whose left endpoint is `≥ bounds[i]`. Segment `i`'s regions are
+/// exactly `set.slice(ps[i], ps[i+1])` — a zero-copy view.
+pub fn split_points(set: &RegionSet, bounds: &[Pos]) -> Vec<usize> {
+    let n = bounds.len().saturating_sub(1).max(1);
+    let mut ps = Vec::with_capacity(n + 1);
+    ps.push(0);
+    for &b in bounds.iter().take(n).skip(1) {
+        ps.push(set.lower_bound_left(b));
+    }
+    ps.push(set.len());
+    ps
+}
+
+/// A document's position space partitioned into segments, with each base
+/// name's columns pre-split at the segment boundaries.
+///
+/// Building a corpus copies nothing: per-name segment views are
+/// [`RegionSet::slice`]s of the instance's shared buffers, and the probe
+/// auxiliaries those views use are the buffer-wide memoized ones.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    bounds: Vec<Pos>,
+    /// Per-name split points (`schema` order), each of length
+    /// `num_segments() + 1`.
+    splits: Vec<Vec<usize>>,
+}
+
+impl Corpus {
+    /// Partitions `inst`'s document (of `doc_len` text bytes) into `n`
+    /// segments (clamped to at least 1), assigning every region to the
+    /// segment containing its left endpoint. Adds `n` to the
+    /// `corpus.segments` counter.
+    pub fn from_instance<W: WordIndex>(inst: &Instance<W>, doc_len: usize, n: usize) -> Corpus {
+        let bounds = segment_bounds(doc_len, n);
+        let splits = inst
+            .schema()
+            .ids()
+            .map(|id| split_points(inst.regions_of(id), &bounds))
+            .collect();
+        SegMetrics::get().segments.add(bounds.len() as u64 - 1);
+        Corpus { bounds, splits }
+    }
+
+    /// Number of segments (always at least 1).
+    pub fn num_segments(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The `num_segments() + 1` monotone segment boundaries.
+    pub fn bounds(&self) -> &[Pos] {
+        &self.bounds
+    }
+
+    /// Zero-copy view of name `name`'s regions in segment `seg` (indices
+    /// follow the instance's schema order). Panics if out of bounds.
+    pub fn segment_of_name<W: WordIndex>(
+        &self,
+        inst: &Instance<W>,
+        name: crate::schema::NameId,
+        seg: usize,
+    ) -> RegionSet {
+        let ps = &self.splits[name.index()];
+        inst.regions_of(name).slice(ps[seg], ps[seg + 1])
+    }
+
+    /// True when segmentation is a no-op (a single segment).
+    pub fn is_trivial(&self) -> bool {
+        self.num_segments() <= 1
+    }
+}
+
+/// Runs the per-segment closure for each segment index, fanning segments
+/// across up to `par.threads` threads, and merges the per-segment results
+/// in segment order, timing the merge into `exec.merge_ns`.
+fn fan_out_merge(
+    n_seg: usize,
+    par: &Parallelism,
+    eval_seg: impl Fn(usize) -> RegionSet + Sync,
+) -> RegionSet {
+    let parts: Vec<Vec<RegionSet>> =
+        par::map_chunks(n_seg, par.threads.min(n_seg).max(1), |range| {
+            range.map(&eval_seg).collect()
+        });
+    let flat: Vec<RegionSet> = parts.into_iter().flatten().collect();
+    let merge_started = Instant::now();
+    let out = RegionSet::concat(&flat);
+    SegMetrics::get()
+        .merge_ns
+        .add(merge_started.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Segment-parallel evaluation of one binary operator: `r op s` as the
+/// ordered merge of per-segment serial-kernel runs, each seeing only the
+/// partner window the boundary rule requires (see the module docs).
+/// Byte-identical to the whole-document kernels; falls back to the `_par`
+/// kernels when `bounds` describes a single segment.
+pub fn eval_bin_segmented(
+    op: BinOp,
+    r: &RegionSet,
+    s: &RegionSet,
+    bounds: &[Pos],
+    par: &Parallelism,
+) -> RegionSet {
+    let n_seg = bounds.len().saturating_sub(1);
+    if n_seg <= 1 {
+        return eval_bin_whole(op, r, s, par);
+    }
+    SegMetrics::get().waves.inc();
+    let rp = split_points(r, bounds);
+    match op {
+        BinOp::Union | BinOp::Intersect | BinOp::Diff => {
+            let sp = split_points(s, bounds);
+            fan_out_merge(n_seg, par, |i| {
+                let rseg = r.slice(rp[i], rp[i + 1]);
+                let sseg = s.slice(sp[i], sp[i + 1]);
+                match op {
+                    BinOp::Union => rseg.union(&sseg),
+                    BinOp::Intersect => rseg.intersect(&sseg),
+                    _ => rseg.difference(&sseg),
+                }
+            })
+        }
+        BinOp::Including => {
+            let sp = split_points(s, bounds);
+            // Prebuild the shared auxiliary once, outside the fan-out.
+            s.min_right_rmq();
+            fan_out_merge(n_seg, par, |i| {
+                // Contained partners have lefts ≥ this segment's lo: the
+                // suffix window starting at the segment's own split point.
+                ops::includes(&r.slice(rp[i], rp[i + 1]), &s.slice(sp[i], s.len()))
+            })
+        }
+        BinOp::IncludedIn => {
+            let sp = split_points(s, bounds);
+            s.prefix_max_right();
+            fan_out_merge(n_seg, par, |i| {
+                // Containing partners have lefts < this segment's hi: the
+                // prefix window ending at the next split point.
+                ops::included_in(&r.slice(rp[i], rp[i + 1]), &s.slice(0, sp[i + 1]))
+            })
+        }
+        BinOp::Before => match s.max_left() {
+            None => RegionSet::new(),
+            Some(m) => fan_out_merge(n_seg, par, |i| {
+                r.slice(rp[i], rp[i + 1]).filter(|x| x.right() < m)
+            }),
+        },
+        BinOp::After => match s.min_right() {
+            None => RegionSet::new(),
+            Some(m) => fan_out_merge(n_seg, par, |i| {
+                // Per-segment suffix slices: adjacent views, so the merge
+                // collapses to one zero-copy handle.
+                let rseg = r.slice(rp[i], rp[i + 1]);
+                let cut = rseg.upper_bound_left(m);
+                rseg.slice(cut, rseg.len())
+            }),
+        },
+    }
+}
+
+/// Segment-parallel `filter` (the `Select` kernel): each segment filtered
+/// serially, merged in segment order. Falls back to
+/// [`RegionSet::filter_par`] for a single segment.
+pub fn filter_segmented(
+    set: &RegionSet,
+    bounds: &[Pos],
+    par: &Parallelism,
+    pred: impl Fn(Region) -> bool + Sync,
+) -> RegionSet {
+    let n_seg = bounds.len().saturating_sub(1);
+    if n_seg <= 1 {
+        return set.filter_par(par, pred);
+    }
+    SegMetrics::get().waves.inc();
+    let ps = split_points(set, bounds);
+    fan_out_merge(n_seg, par, |i| set.slice(ps[i], ps[i + 1]).filter(&pred))
+}
+
+/// The unsegmented (N = 1) evaluation of `op` — the oracle the segmented
+/// path must match byte-for-byte.
+fn eval_bin_whole(op: BinOp, r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
+    match op {
+        BinOp::Union => r.union_par(s, par),
+        BinOp::Intersect => r.intersect_par(s, par),
+        BinOp::Diff => r.difference_par(s, par),
+        BinOp::Including => ops::includes_par(r, s, par),
+        BinOp::IncludedIn => ops::included_in_par(r, s, par),
+        BinOp::Before => ops::precedes_par(r, s, par),
+        BinOp::After => ops::follows_par(r, s, par),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::region::region;
+    use crate::schema::Schema;
+
+    #[test]
+    fn heuristic_is_deterministic_and_clamped() {
+        assert_eq!(segment_count_for(0), 1);
+        assert_eq!(segment_count_for(SEGMENT_TARGET_BYTES - 1), 1);
+        assert_eq!(segment_count_for(SEGMENT_TARGET_BYTES), 2);
+        assert_eq!(segment_count_for(usize::MAX / 2), MAX_SEGMENTS);
+    }
+
+    #[test]
+    fn bounds_are_monotone_and_cover() {
+        for (len, n) in [(0usize, 1usize), (0, 4), (1, 3), (100, 7), (100, 200)] {
+            let b = segment_bounds(len, n);
+            assert_eq!(b.len(), n.max(1) + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap() as usize, len);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn split_points_partition_by_left_endpoint() {
+        let set = RegionSet::from_regions(vec![
+            region(0, 30), // straddles every boundary but belongs to seg 0
+            region(2, 3),
+            region(10, 12),
+            region(10, 25),
+            region(19, 21), // straddles the 20-boundary, belongs to seg 1
+            region(20, 22),
+            region(29, 29),
+        ]);
+        let bounds = segment_bounds(30, 3); // [0, 10, 20, 30]
+        let ps = split_points(&set, &bounds);
+        assert_eq!(ps, vec![0, 2, 5, 7]);
+        for i in 0..3 {
+            let seg = set.slice(ps[i], ps[i + 1]);
+            assert!(seg.shares_buf(&set), "segment views are zero-copy");
+            for x in seg.iter() {
+                assert!(x.left() >= bounds[i] && x.left() < bounds[i + 1].max(30));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_segments_cover_each_name() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 90))
+            .add("A", region(5, 10))
+            .add("A", region(40, 60))
+            .add("B", region(6, 9))
+            .add("B", region(70, 80))
+            .build_valid();
+        let corpus = Corpus::from_instance(&inst, 100, 4);
+        assert_eq!(corpus.num_segments(), 4);
+        for id in schema.ids() {
+            let mut seen = 0;
+            for s in 0..corpus.num_segments() {
+                let seg = corpus.segment_of_name(&inst, id, s);
+                assert!(seg.is_empty() || seg.shares_buf(inst.regions_of(id)));
+                seen += seg.len();
+            }
+            assert_eq!(seen, inst.regions_of(id).len(), "segments partition");
+        }
+    }
+}

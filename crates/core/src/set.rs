@@ -269,6 +269,52 @@ impl RegionSet {
         out
     }
 
+    /// Concatenates `parts` into one set. The caller promises the parts
+    /// are already globally ordered: every region of `parts[i]` sorts
+    /// strictly before every region of `parts[i+1]` under the
+    /// `(left asc, right desc)` order, with no duplicates across parts
+    /// (checked in debug builds). This is the k-way merge used by the
+    /// segmented executor, where it holds by construction because segment
+    /// left-ranges are disjoint.
+    ///
+    /// Zero-copy fast path: when the non-empty parts are *adjacent views
+    /// of one shared buffer* (e.g. per-segment suffix slices of the same
+    /// operand), the result is a single handle over the combined range —
+    /// no column is copied. Otherwise the columns are copied once.
+    pub fn concat(parts: &[RegionSet]) -> RegionSet {
+        let live: Vec<&RegionSet> = parts.iter().filter(|p| !p.is_empty()).collect();
+        match live.len() {
+            0 => return RegionSet::new(),
+            1 => return live[0].clone(),
+            _ => {}
+        }
+        let adjacent = live
+            .windows(2)
+            .all(|w| w[0].shares_buf(w[1]) && w[0].end == w[1].start);
+        let out = if adjacent {
+            RegionSet {
+                buf: Arc::clone(&live[0].buf),
+                start: live[0].start,
+                end: live[live.len() - 1].end,
+                min_right: OnceLock::new(),
+            }
+        } else {
+            let total = live.iter().map(|p| p.len()).sum();
+            let mut cols = ColsOut::with_capacity(total);
+            for p in &live {
+                cols.lefts.extend_from_slice(p.lefts());
+                cols.rights.extend_from_slice(p.rights());
+            }
+            cols.into_set()
+        };
+        debug_assert!(
+            out.validate().is_ok(),
+            "concat: {}",
+            out.validate().unwrap_err()
+        );
+        out
+    }
+
     /// True if both handles view the *same underlying buffer* (regardless
     /// of range) — i.e. no region data was copied between them.
     #[inline]

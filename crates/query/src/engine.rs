@@ -13,7 +13,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 use tr_core::{
-    execute, expr_fingerprint, ExecConfig, Expr, Instance, Plan, Region, RegionSet, Schema,
+    execute_segmented, expr_fingerprint, seg, Corpus, ExecConfig, Expr, Instance, Plan, Region,
+    RegionSet, Schema,
 };
 use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
 use tr_rig::Rig;
@@ -196,17 +197,26 @@ pub struct Engine {
     rig: Option<Rig>,
     views: BTreeMap<String, Query>,
     exec: ExecConfig,
+    /// The document's position-range partition. Segment count defaults to
+    /// [`seg::segment_count_for`] of the text size — a pure function of
+    /// the document, never of the machine — and is execution-only state:
+    /// the result-cache fingerprint is the expression structure, so the
+    /// same query yields the same bytes at any segment count.
+    corpus: Corpus,
     cache: Mutex<ResultCache>,
 }
 
 impl Engine {
     fn new(text: String, instance: Instance<SuffixWordIndex>, rig: Option<Rig>) -> Engine {
+        let corpus =
+            Corpus::from_instance(&instance, text.len(), seg::segment_count_for(text.len()));
         Engine {
             text,
             instance,
             rig,
             views: BTreeMap::new(),
             exec: ExecConfig::default(),
+            corpus,
             cache: Mutex::new(ResultCache::new(RESULT_CACHE_CAPACITY)),
         }
     }
@@ -253,6 +263,19 @@ impl Engine {
     pub fn with_exec_config(mut self, cfg: ExecConfig) -> Engine {
         self.exec = cfg;
         self
+    }
+
+    /// Overrides the number of position-range segments (see
+    /// `tr_core::seg`). Results are byte-identical at any segment count;
+    /// this is a tuning/testing knob, not a semantic one.
+    pub fn with_segments(mut self, n: usize) -> Engine {
+        self.corpus = Corpus::from_instance(&self.instance, self.text.len(), n);
+        self
+    }
+
+    /// The number of position-range segments queries execute over.
+    pub fn segment_count(&self) -> usize {
+        self.corpus.num_segments()
     }
 
     /// Attaches a RIG (the instance is *assumed* to satisfy it; use
@@ -347,7 +370,16 @@ impl Engine {
             return hit;
         }
         metrics.cache_misses.inc();
-        let out = tr_core::eval(&e, &self.instance);
+        // Single queries run on the same segmented executor as batches,
+        // so the oracle property (byte-identical results at any segment
+        // count) covers every evaluation path.
+        let mut plan = Plan::new();
+        let root = plan.lower(&e);
+        let executed = execute_segmented(&plan, &self.instance, &self.exec, Some(&self.corpus));
+        metrics
+            .nodes_executed
+            .add(executed.stats().nodes_evaluated as u64);
+        let out = executed.result(root).clone();
         self.lock_cache().insert(fp, e, out.clone());
         out
     }
@@ -453,7 +485,7 @@ impl Engine {
         if !plan.is_empty() {
             let executed = {
                 let _span = tr_obs::span("engine.execute");
-                execute(&plan, &self.instance, &self.exec)
+                execute_segmented(&plan, &self.instance, &self.exec, Some(&self.corpus))
             };
             let exec_stats = executed.stats();
             stats.nodes_evaluated = exec_stats.nodes_evaluated;
@@ -575,9 +607,13 @@ impl Engine {
         Ok(self.parse_query(q)?.to_expr())
     }
 
-    /// The document text covered by a region.
+    /// The document text covered by a region, clamped to the text's
+    /// bounds — total even for regions past the end or an empty document
+    /// (where every snippet is `""`).
     pub fn snippet(&self, r: Region) -> &str {
-        &self.text[r.left() as usize..=(r.right() as usize).min(self.text.len() - 1)]
+        let end = (r.right() as usize + 1).min(self.text.len());
+        let start = (r.left() as usize).min(end);
+        &self.text[start..end]
     }
 }
 
@@ -852,6 +888,53 @@ mod tests {
         e.define_view("beta_secs", r#"sec matching "beta""#)
             .unwrap();
         assert_eq!(e.query("beta_secs").unwrap(), before);
+    }
+
+    #[test]
+    fn empty_document_is_hardened_end_to_end() {
+        // An empty document has no names, no regions, and no text; every
+        // entry point must stay total. `snippet` used to compute
+        // `text.len() - 1` and underflow here.
+        let e = Engine::from_sgml("").unwrap();
+        assert_eq!(e.text(), "");
+        assert_eq!(e.segment_count(), 1);
+        assert_eq!(e.snippet(tr_core::region(0, 0)), "");
+        assert_eq!(e.snippet(tr_core::region(5, 9)), "", "past-the-end clamps");
+        assert!(e.query(r#""anything""#).unwrap().is_empty());
+        let (batch, stats) = e
+            .query_batch_with_stats(&[r#""x""#, r#""x" before "y""#])
+            .unwrap();
+        assert!(batch.iter().all(RegionSet::is_empty));
+        assert_eq!(stats.queries, 2);
+        // Zero-length regions and clamping on a non-empty document.
+        let e = sgml_engine();
+        let n = e.text().len() as u32;
+        assert_eq!(e.snippet(tr_core::region(0, 0)), "<");
+        assert_eq!(e.snippet(tr_core::region(n, n)), "", "start past the end");
+        assert_eq!(e.snippet(tr_core::region(n - 1, n + 7)), ">", "end clamps");
+    }
+
+    #[test]
+    fn results_are_byte_identical_across_segment_counts() {
+        let text = "<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>";
+        let queries = [
+            r#"sec matching "beta""#,
+            r#"sec matching "beta" minus (sec containing note)"#,
+            "note within sec",
+            r#""beta" within sec"#,
+        ];
+        let baseline = Engine::from_sgml(text).unwrap().with_segments(1);
+        for n in [2usize, 3, 7, 16] {
+            let seg = Engine::from_sgml(text).unwrap().with_segments(n);
+            assert_eq!(seg.segment_count(), n);
+            for q in queries {
+                let a = baseline.query(q).unwrap();
+                let b = seg.query(q).unwrap();
+                assert_eq!(a, b, "query {q} at {n} segments");
+                assert_eq!(a.lefts(), b.lefts());
+                assert_eq!(a.rights(), b.rights());
+            }
+        }
     }
 
     #[test]

@@ -1,33 +1,97 @@
 //! The document catalog: one shared, immutable [`Engine`] per document.
 //!
 //! A corpus directory is scanned once at startup; every recognised file
-//! becomes a named document (the file stem). Engines are built eagerly —
-//! index construction is the expensive part, and the whole point of a
-//! server is paying it once — and shared across connections behind `Arc`s
-//! (the engine stack is `Sync`: its caches are internally locked).
+//! becomes a named document (the file stem). Engines are shared across
+//! connections behind `Arc`s (the engine stack is `Sync`: its caches are
+//! internally locked). Raw text documents and v1 `.trx` stores are built
+//! eagerly — index construction is the expensive part, and the whole
+//! point of a server is paying it once. v2 `.trx` stores carry a segment
+//! [`Manifest`](tr_store::Manifest) that can be peeked with one
+//! constant-size read, so they load **lazily**: startup validates the
+//! manifest (magic, extents, caps) and defers the full decode + suffix
+//! array until the first query against that document. A server fronting
+//! a large corpus thus starts in milliseconds and `list-docs` answers
+//! from manifests alone.
 //!
 //! Recognised files:
 //!
-//! | pattern        | loaded as                                       |
-//! |----------------|--------------------------------------------------|
-//! | `*.trx`        | persisted index via `tr_store::load_document`    |
-//! | `*.sgml`/`*.xml` | SGML-lite text via `Engine::from_sgml`          |
-//! | `*.src`/`*.txt` | toy-language source via `Engine::from_source`   |
+//! | pattern          | loaded as                                        |
+//! |------------------|--------------------------------------------------|
+//! | `*.trx` (v2)     | lazily via `tr_store::peek_manifest` + first use |
+//! | `*.trx` (v1)     | eagerly via `tr_store::load_document`            |
+//! | `*.sgml`/`*.xml` | SGML-lite text via `Engine::from_sgml`           |
+//! | `*.src`/`*.txt`  | toy-language source via `Engine::from_source`    |
 //!
 //! Anything else (subdirectories, dotfiles, READMEs…) is ignored. A file
-//! that matches but fails to load aborts the catalog: a broken corpus is
-//! an operator error the server must refuse to start on, not skip past.
+//! that matches but fails startup validation aborts the catalog: a broken
+//! corpus is an operator error the server must refuse to start on, not
+//! skip past. A lazy document whose *deferred* load fails (e.g. the file
+//! was corrupted after startup) caches the failure and reports it on
+//! every access rather than re-hitting the disk.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::Path;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use tr_query::Engine;
 
 /// A named collection of shared engines.
 #[derive(Default)]
 pub struct Catalog {
-    docs: BTreeMap<String, Arc<Engine>>,
+    docs: BTreeMap<String, Entry>,
+}
+
+/// One catalog slot: either a built engine or a validated-but-deferred
+/// v2 store.
+enum Entry {
+    /// Engine built at startup (raw text, v1 store, or [`Catalog::insert`]).
+    Ready(Arc<Engine>),
+    /// v2 store: manifest validated at startup, body decoded on first use.
+    Lazy(LazyDoc),
+}
+
+/// A v2 `.trx` document awaiting its first use.
+struct LazyDoc {
+    path: PathBuf,
+    manifest: tr_store::Manifest,
+    /// Filled exactly once by the first `force`; a failed load is cached
+    /// too, so a corrupt file costs one decode attempt, not one per query.
+    cell: OnceLock<Result<Arc<Engine>, String>>,
+}
+
+impl LazyDoc {
+    fn force(&self) -> &Result<Arc<Engine>, String> {
+        self.cell.get_or_init(|| {
+            tr_store::load_document(&self.path)
+                .map(|doc| Arc::new(Engine::from_stored(doc)))
+                .map_err(|e| e.to_string())
+        })
+    }
+
+    fn loaded_engine(&self) -> Option<&Arc<Engine>> {
+        match self.cell.get() {
+            Some(Ok(engine)) => Some(engine),
+            _ => None,
+        }
+    }
+}
+
+/// Per-document metadata for `list-docs`-style listings, available
+/// without forcing lazy documents to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocSummary {
+    /// Document name (file stem).
+    pub name: String,
+    /// Total stored regions across all names.
+    pub regions: u64,
+    /// Document text length in bytes.
+    pub bytes: u64,
+    /// Region names, in schema order.
+    pub names: Vec<String>,
+    /// Position-range segments the document is partitioned into.
+    pub segments: usize,
+    /// Whether the engine is resident (always true for eager documents).
+    pub loaded: bool,
 }
 
 /// Why a catalog could not be opened.
@@ -77,7 +141,7 @@ impl Catalog {
             if !path.is_file() {
                 continue;
             }
-            let Some(engine) = load_path(&path)
+            let Some(loaded) = load_path(&path)
                 .map_err(|why| CatalogError::Load(path.display().to_string(), why))?
             else {
                 continue; // unrecognised extension
@@ -92,7 +156,7 @@ impl Catalog {
             if catalog.docs.contains_key(&name) {
                 return Err(CatalogError::Duplicate(name));
             }
-            catalog.docs.insert(name, Arc::new(engine));
+            catalog.docs.insert(name, loaded);
         }
         if catalog.docs.is_empty() {
             return Err(CatalogError::Empty);
@@ -102,22 +166,53 @@ impl Catalog {
 
     /// Adds (or replaces) a document under `name`.
     pub fn insert(&mut self, name: &str, engine: Engine) {
-        self.docs.insert(name.to_owned(), Arc::new(engine));
+        self.docs
+            .insert(name.to_owned(), Entry::Ready(Arc::new(engine)));
     }
 
-    /// The engine for `name`, if present.
-    pub fn get(&self, name: &str) -> Option<&Arc<Engine>> {
-        self.docs.get(name)
+    /// The engine for `name`, if present and loadable. Forces a lazy
+    /// document's first load; a document whose deferred load failed
+    /// behaves as absent here (use [`Catalog::try_engine`] to
+    /// distinguish).
+    pub fn get(&self, name: &str) -> Option<Arc<Engine>> {
+        self.try_engine(name)?.ok()
+    }
+
+    /// The engine for `name`: `None` if the catalog has no such
+    /// document, `Some(Err(reason))` if it exists but its deferred load
+    /// failed. Forces a lazy document's first load.
+    pub fn try_engine(&self, name: &str) -> Option<Result<Arc<Engine>, String>> {
+        match self.docs.get(name)? {
+            Entry::Ready(engine) => Some(Ok(Arc::clone(engine))),
+            Entry::Lazy(lazy) => Some(lazy.force().clone()),
+        }
+    }
+
+    /// Per-document metadata, sorted by name. Lazy documents answer from
+    /// their manifest without being forced to load.
+    pub fn summaries(&self) -> Vec<DocSummary> {
+        self.docs
+            .iter()
+            .map(|(name, entry)| match entry {
+                Entry::Ready(engine) => summary_from_engine(name, engine, true),
+                Entry::Lazy(lazy) => match lazy.loaded_engine() {
+                    Some(engine) => summary_from_engine(name, engine, true),
+                    None => DocSummary {
+                        name: name.clone(),
+                        regions: lazy.manifest.total_regions(),
+                        bytes: lazy.manifest.text_bytes,
+                        names: lazy.manifest.names.clone(),
+                        segments: lazy.manifest.num_segments(),
+                        loaded: false,
+                    },
+                },
+            })
+            .collect()
     }
 
     /// Document names, sorted.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.docs.keys().map(String::as_str)
-    }
-
-    /// Name/engine pairs, sorted by name.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Engine>)> {
-        self.docs.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Number of documents.
@@ -131,27 +226,48 @@ impl Catalog {
     }
 }
 
+fn summary_from_engine(name: &str, engine: &Engine, loaded: bool) -> DocSummary {
+    DocSummary {
+        name: name.to_owned(),
+        regions: engine.instance().len() as u64,
+        bytes: engine.text().len() as u64,
+        names: engine.schema().names().map(str::to_owned).collect(),
+        segments: engine.segment_count(),
+        loaded,
+    }
+}
+
 /// Loads one corpus file by extension; `Ok(None)` means "not a document".
-fn load_path(path: &Path) -> Result<Option<Engine>, String> {
+fn load_path(path: &Path) -> Result<Option<Entry>, String> {
     let ext = path
         .extension()
         .map(|e| e.to_string_lossy().to_ascii_lowercase())
         .unwrap_or_default();
     match ext.as_str() {
         "trx" => {
+            // v2 stores defer the body; v1 (or anything peek rejects for
+            // a non-manifest reason) goes through the eager loader, whose
+            // error aborts the catalog.
+            if let Ok(manifest) = tr_store::peek_manifest(path) {
+                return Ok(Some(Entry::Lazy(LazyDoc {
+                    path: path.to_owned(),
+                    manifest,
+                    cell: OnceLock::new(),
+                })));
+            }
             let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
-            Ok(Some(Engine::from_stored(doc)))
+            Ok(Some(Entry::Ready(Arc::new(Engine::from_stored(doc)))))
         }
         "sgml" | "xml" => {
             let text = read_utf8(path)?;
             Engine::from_sgml(&text)
-                .map(Some)
+                .map(|e| Some(Entry::Ready(Arc::new(e))))
                 .map_err(|e| e.to_string())
         }
         "src" | "txt" => {
             let text = read_utf8(path)?;
             Engine::from_source(&text)
-                .map(Some)
+                .map(|e| Some(Entry::Ready(Arc::new(e))))
                 .map_err(|e| e.to_string())
         }
         _ => Ok(None),
@@ -196,6 +312,54 @@ mod tests {
         assert_eq!(a.query(r#"s matching "beta""#).unwrap().len(), 1);
         let c = catalog.get("c").unwrap();
         assert_eq!(c.query(r#"s matching "gamma""#).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_stores_load_lazily() {
+        let dir = tmp_dir("lazy");
+        let e = Engine::from_sgml("<d><s>alpha</s><s>beta gamma</s></d>").unwrap();
+        tr_store::save_document(dir.join("doc.trx"), e.text(), e.instance(), e.rig()).unwrap();
+
+        let catalog = Catalog::open(&dir).unwrap();
+        // Listing answers from the manifest without forcing the load.
+        let summary = &catalog.summaries()[0];
+        assert!(!summary.loaded, "v2 store must not load at startup");
+        assert_eq!(summary.name, "doc");
+        assert_eq!(summary.regions, e.instance().len() as u64);
+        assert_eq!(summary.bytes, e.text().len() as u64);
+        assert_eq!(summary.segments, e.segment_count());
+        assert!(summary.names.contains(&"s".to_owned()));
+
+        // First access forces the load; after it the summary flips.
+        let forced = catalog.get("doc").unwrap();
+        assert_eq!(forced.query(r#"s matching "gamma""#).unwrap().len(), 1);
+        assert!(catalog.summaries()[0].loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_load_failure_is_cached_and_reported() {
+        let dir = tmp_dir("lazyfail");
+        let e = Engine::from_sgml("<d><s>alpha beta</s></d>").unwrap();
+        let path = dir.join("doc.trx");
+        tr_store::save_document(&path, e.text(), e.instance(), e.rig()).unwrap();
+
+        let catalog = Catalog::open(&dir).unwrap();
+        // Corrupt the body *after* startup validation: flip a byte near
+        // the end (inside the checksummed body, past the peeked header).
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 12] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+
+        match catalog.try_engine("doc") {
+            Some(Err(why)) => assert!(!why.is_empty()),
+            other => panic!("expected cached load failure, got {:?}", other.is_some()),
+        }
+        assert!(catalog.get("doc").is_none(), "failed doc behaves as absent");
+        assert!(!catalog.summaries()[0].loaded);
+        assert!(catalog.try_engine("missing").is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

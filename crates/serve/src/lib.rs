@@ -48,7 +48,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{Catalog, CatalogError, DocSummary};
 pub use client::{Client, ClientError};
 pub use protocol::ErrorCode;
 pub use server::{Server, ServerConfig};
@@ -149,6 +149,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_document_is_servable() {
+        // The zero-byte edge of the empty-text audit, end to end: an
+        // engine over "" is cataloged, listed (0 bytes, 1 segment), and
+        // queried without wedging the connection.
+        let mut catalog = Catalog::new();
+        catalog.insert("blank", Engine::from_sgml("").unwrap());
+        let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let docs = client.list_docs().unwrap();
+        let doc = &docs.get("docs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(doc.get("bytes").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("regions").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("segments").unwrap().as_u64(), Some(1));
+        // No names exist in an empty schema, so any query is a clean
+        // structured error — and the connection survives it.
+        let err = client.query("blank", "speech").unwrap_err();
+        assert_eq!(err.code(), Some("query_error"));
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
     fn stats_reports_serve_counters() {
         let server =
             Server::start(two_doc_catalog(), "127.0.0.1:0", ServerConfig::default()).unwrap();
@@ -158,6 +180,9 @@ mod tests {
         assert_eq!(stats.get("docs").unwrap().as_u64(), Some(2));
         let counters = stats.get("counters").unwrap();
         assert!(counters.get("serve.accepted").unwrap().as_u64().unwrap() >= 1);
+        // Segmentation counters ride along: each catalog engine records
+        // its corpus partitioning at build time.
+        assert!(counters.get("corpus.segments").unwrap().as_u64().unwrap() >= 2);
         assert!(matches!(stats.get("uptime_ms"), Some(Json::Num(_))));
         server.shutdown();
     }

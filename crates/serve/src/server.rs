@@ -455,14 +455,26 @@ fn handle_request(
         }
         RequestBody::DefineView { doc, name, def } => {
             m.accepted.inc();
-            let Some(engine) = shared.catalog.get(&doc) else {
-                m.failed.inc();
-                writer.send(&protocol::err_frame(
-                    id.as_ref(),
-                    ErrorCode::UnknownDoc,
-                    &format!("no document {doc:?}"),
-                ));
-                return;
+            let engine = match shared.catalog.try_engine(&doc) {
+                Some(Ok(engine)) => engine,
+                Some(Err(why)) => {
+                    m.failed.inc();
+                    writer.send(&protocol::err_frame(
+                        id.as_ref(),
+                        ErrorCode::Internal,
+                        &format!("document {doc:?} failed to load: {why}"),
+                    ));
+                    return;
+                }
+                None => {
+                    m.failed.inc();
+                    writer.send(&protocol::err_frame(
+                        id.as_ref(),
+                        ErrorCode::UnknownDoc,
+                        &format!("no document {doc:?}"),
+                    ));
+                    return;
+                }
             };
             let entry = sessions.entry(doc).or_default();
             let mut views = (**entry).clone();
@@ -496,19 +508,34 @@ fn handle_request(
                 | RequestBody::Explain { doc, .. } => doc.clone(),
                 _ => unreachable!(),
             };
-            let Some(engine) = shared.catalog.get(&doc) else {
-                m.accepted.inc();
-                m.failed.inc();
-                writer.send(&protocol::err_frame(
-                    id.as_ref(),
-                    ErrorCode::UnknownDoc,
-                    &format!("no document {doc:?}"),
-                ));
-                return;
+            // Forces a lazy document's first load; the decode runs on
+            // this connection's thread, once per document per process.
+            let engine = match shared.catalog.try_engine(&doc) {
+                Some(Ok(engine)) => engine,
+                Some(Err(why)) => {
+                    m.accepted.inc();
+                    m.failed.inc();
+                    writer.send(&protocol::err_frame(
+                        id.as_ref(),
+                        ErrorCode::Internal,
+                        &format!("document {doc:?} failed to load: {why}"),
+                    ));
+                    return;
+                }
+                None => {
+                    m.accepted.inc();
+                    m.failed.inc();
+                    writer.send(&protocol::err_frame(
+                        id.as_ref(),
+                        ErrorCode::UnknownDoc,
+                        &format!("no document {doc:?}"),
+                    ));
+                    return;
+                }
             };
             let now = Instant::now();
             let job = Job {
-                engine: Arc::clone(engine),
+                engine,
                 views: sessions.get(&doc).cloned().unwrap_or_default(),
                 id,
                 body,
@@ -540,18 +567,23 @@ fn handle_request(
 
 impl Shared {
     fn shared_docs_json(&self) -> Json {
+        // Summaries come from manifests for unloaded lazy documents, so
+        // `list-docs` never forces an index build.
         let docs = self
             .catalog
-            .iter()
-            .map(|(name, engine)| {
+            .summaries()
+            .into_iter()
+            .map(|s| {
                 Json::obj()
-                    .with("name", Json::from(name))
-                    .with("regions", Json::from(engine.instance().len()))
-                    .with("bytes", Json::from(engine.text().len()))
+                    .with("name", Json::from(s.name))
+                    .with("regions", Json::from(s.regions))
+                    .with("bytes", Json::from(s.bytes))
                     .with(
                         "names",
-                        Json::Arr(engine.schema().names().map(Json::from).collect()),
+                        Json::Arr(s.names.into_iter().map(Json::from).collect()),
                     )
+                    .with("segments", Json::from(s.segments))
+                    .with("loaded", Json::Bool(s.loaded))
             })
             .collect();
         Json::Arr(docs)
@@ -560,7 +592,11 @@ impl Shared {
     fn stats_fields(&self) -> Json {
         let mut counters = Json::obj();
         for (name, v) in tr_obs::counter_values() {
-            if name.starts_with("serve.") {
+            let relevant = name.starts_with("serve.")
+                || name.starts_with("corpus.")
+                || name == "exec.segment_waves"
+                || name == "exec.merge_ns";
+            if relevant {
                 counters.set(&name, Json::from(v));
             }
         }

@@ -31,19 +31,82 @@ use tr_core::{Instance, RegionSet, Schema};
 use tr_rig::Rig;
 use tr_text::{SuffixArray, SuffixWordIndex};
 
-/// File magic + format version.
+/// File magic of the legacy v1 format: a single implicit segment, no
+/// manifest. Still loadable; no longer written by [`save_document`].
 pub const MAGIC: &[u8; 8] = b"TRXIDX01";
+
+/// File magic of the current v2 format: a segment [`Manifest`] (bounds,
+/// names, per-segment region counts) right after the magic, then the v1
+/// body, then the checksum. The up-front manifest lets a reader answer
+/// "what is in this document?" ([`peek_manifest`]) without decoding the
+/// text, suffix array, or columns — the basis of lazy catalog loading.
+pub const MAGIC_V2: &[u8; 8] = b"TRXIDX02";
 
 /// Hard caps applied while decoding untrusted files.
 const MAX_TEXT: u64 = 1 << 32;
 const MAX_NAMES: u64 = 1 << 16;
 const MAX_REGIONS: u64 = 1 << 28;
+const MAX_STORED_SEGMENTS: u64 = 1 << 12;
 
 /// Largest `Vec` capacity committed on the strength of an (untrusted)
 /// count field alone; anything larger grows as elements actually decode,
 /// so a corrupted count fails with a decode error instead of a giant
 /// allocation.
 const MAX_TRUSTED_PREALLOC: usize = 1 << 16;
+
+/// The v2 segment manifest: everything a reader needs to describe (or
+/// plan the loading of) a stored document without decoding its body.
+///
+/// Regions are assigned to segments by left endpoint against `bounds`
+/// (the `tr_core::seg` rule); `counts[name][seg]` is the number of that
+/// name's regions in that segment, so per-segment extents — and totals —
+/// come straight off the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Byte length of the document text.
+    pub text_bytes: u64,
+    /// `num_segments() + 1` monotone segment boundaries starting at 0.
+    pub bounds: Vec<u32>,
+    /// Region names, in schema order.
+    pub names: Vec<String>,
+    /// Per-name, per-segment region counts (`counts[name].len() ==
+    /// num_segments()` for every name).
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl Manifest {
+    /// Number of position-range segments.
+    pub fn num_segments(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Total regions across all names and segments.
+    pub fn total_regions(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Computes the manifest [`save_document`] writes for this document:
+    /// segment count from `tr_core::seg::segment_count_for(text len)`,
+    /// counts from the left-endpoint assignment rule.
+    pub fn for_document(text: &str, instance: &Instance<SuffixWordIndex>) -> Manifest {
+        let n = tr_core::seg::segment_count_for(text.len());
+        let bounds = tr_core::seg::segment_bounds(text.len(), n);
+        let schema = instance.schema();
+        let counts = schema
+            .ids()
+            .map(|id| {
+                let ps = tr_core::seg::split_points(instance.regions_of(id), &bounds);
+                ps.windows(2).map(|w| (w[1] - w[0]) as u64).collect()
+            })
+            .collect();
+        Manifest {
+            text_bytes: text.len() as u64,
+            bounds,
+            names: schema.names().map(str::to_owned).collect(),
+            counts,
+        }
+    }
+}
 
 /// A loaded document: text, instance (with a ready suffix-array word
 /// index), and the optional RIG it was saved with.
@@ -54,6 +117,9 @@ pub struct StoredDocument {
     pub instance: Instance<SuffixWordIndex>,
     /// The RIG, if one was attached at save time.
     pub rig: Option<Rig>,
+    /// The segment manifest (`None` for legacy v1 files, which describe a
+    /// single implicit segment).
+    pub manifest: Option<Manifest>,
 }
 
 /// Errors from [`load_document`].
@@ -86,7 +152,8 @@ impl From<DecodeError> for LoadError {
     }
 }
 
-/// Saves an indexed document (text, suffix array, regions, optional RIG).
+/// Saves an indexed document (text, suffix array, regions, optional RIG)
+/// in the current v2 format: segment manifest first, then the body.
 pub fn save_document<W: AsRef<Path>>(
     path: W,
     text: &str,
@@ -95,7 +162,59 @@ pub fn save_document<W: AsRef<Path>>(
 ) -> std::io::Result<()> {
     let file = BufWriter::new(File::create(path)?);
     let mut enc = Encoder::new(file);
+    enc.fixed(MAGIC_V2)?;
+    encode_manifest(&mut enc, &Manifest::for_document(text, instance))?;
+    encode_body(&mut enc, text, instance, rig)?;
+    enc.finish()?
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_all()
+}
+
+/// Saves in the legacy v1 single-segment format (no manifest). Kept so
+/// the backward-compatibility path — old files must keep loading — stays
+/// exercisable by tests and tooling; new files should use
+/// [`save_document`].
+pub fn save_document_v1<W: AsRef<Path>>(
+    path: W,
+    text: &str,
+    instance: &Instance<SuffixWordIndex>,
+    rig: Option<&Rig>,
+) -> std::io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    let mut enc = Encoder::new(file);
     enc.fixed(MAGIC)?;
+    encode_body(&mut enc, text, instance, rig)?;
+    enc.finish()?
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_all()
+}
+
+fn encode_manifest<W: std::io::Write>(enc: &mut Encoder<W>, m: &Manifest) -> std::io::Result<()> {
+    enc.u64(m.text_bytes)?;
+    enc.u64(m.num_segments() as u64)?;
+    for &b in &m.bounds {
+        enc.u32(b)?;
+    }
+    enc.u64(m.names.len() as u64)?;
+    for (name, counts) in m.names.iter().zip(&m.counts) {
+        enc.str(name)?;
+        for &c in counts {
+            enc.u64(c)?;
+        }
+    }
+    Ok(())
+}
+
+/// The body shared by both format versions: text, suffix array, schema,
+/// region columns, optional RIG.
+fn encode_body<W: std::io::Write>(
+    enc: &mut Encoder<W>,
+    text: &str,
+    instance: &Instance<SuffixWordIndex>,
+    rig: Option<&Rig>,
+) -> std::io::Result<()> {
     enc.str(text)?;
     // Suffix array offsets (so loading skips reconstruction).
     let sa = instance.word_index().suffix_array();
@@ -131,20 +250,84 @@ pub fn save_document<W: AsRef<Path>>(
             }
         }
     }
-    enc.finish()?
-        .into_inner()
-        .map_err(|e| e.into_error())?
-        .sync_all()
+    Ok(())
 }
 
-/// Loads a document saved by [`save_document`], verifying the checksum,
-/// the suffix array, and the hierarchy invariant.
+/// Reads only the magic and [`Manifest`] of a v2 file — constant work in
+/// the document size, so a catalog can describe (and defer) a large
+/// document without decoding its text, suffix array, or columns.
+///
+/// The checksum trailer sits at the end of the file and is *not*
+/// verified here; a full [`load_document`] still authenticates
+/// everything, including the manifest bytes, before any query runs.
+/// Legacy v1 files have no manifest and return
+/// `Err(LoadError::Invalid(..))`.
+pub fn peek_manifest<P: AsRef<Path>>(path: P) -> Result<Manifest, LoadError> {
+    let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
+    let mut dec = Decoder::new(file);
+    match dec.fixed(8)? {
+        m if m == MAGIC_V2 => decode_manifest(&mut dec),
+        m if m == MAGIC => Err(LoadError::Invalid("v1 store has no manifest")),
+        _ => Err(LoadError::BadMagic),
+    }
+}
+
+fn decode_manifest<R: std::io::Read>(dec: &mut Decoder<R>) -> Result<Manifest, LoadError> {
+    let text_bytes = dec.u64()?;
+    if text_bytes > MAX_TEXT {
+        return Err(LoadError::Invalid("text too large"));
+    }
+    let n_segments = dec.u64()?;
+    if n_segments == 0 || n_segments > MAX_STORED_SEGMENTS {
+        return Err(LoadError::Invalid("implausible segment count"));
+    }
+    let mut bounds = Vec::with_capacity(n_segments as usize + 1);
+    for _ in 0..=n_segments {
+        bounds.push(dec.u32()?);
+    }
+    if bounds[0] != 0 || bounds.windows(2).any(|w| w[0] > w[1]) {
+        return Err(LoadError::Invalid("segment bounds not monotone"));
+    }
+    let n_names = dec.u64()?;
+    if n_names > MAX_NAMES {
+        return Err(LoadError::Invalid("too many region names"));
+    }
+    let mut names = Vec::with_capacity((n_names as usize).min(MAX_TRUSTED_PREALLOC));
+    let mut counts = Vec::with_capacity((n_names as usize).min(MAX_TRUSTED_PREALLOC));
+    for _ in 0..n_names {
+        names.push(dec.str(1 << 16)?);
+        let mut per_seg = Vec::with_capacity(n_segments as usize);
+        let mut total: u64 = 0;
+        for _ in 0..n_segments {
+            let c = dec.u64()?;
+            total = total.saturating_add(c);
+            per_seg.push(c);
+        }
+        if total > MAX_REGIONS {
+            return Err(LoadError::Invalid("too many regions"));
+        }
+        counts.push(per_seg);
+    }
+    Ok(Manifest {
+        text_bytes,
+        bounds,
+        names,
+        counts,
+    })
+}
+
+/// Loads a document saved by [`save_document`] (v2, with manifest) or the
+/// legacy v1 writer, verifying the checksum, the suffix array, the
+/// hierarchy invariant, and — for v2 — that the manifest agrees with the
+/// decoded body.
 pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadError> {
     let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
     let mut dec = Decoder::new(file);
-    if dec.fixed(8)? != MAGIC {
-        return Err(LoadError::BadMagic);
-    }
+    let manifest = match dec.fixed(8)? {
+        m if m == MAGIC_V2 => Some(decode_manifest(&mut dec)?),
+        m if m == MAGIC => None,
+        _ => return Err(LoadError::BadMagic),
+    };
     let text = dec.str(MAX_TEXT)?;
     let sa_len = dec.u64()?;
     if sa_len != text.len() as u64 {
@@ -225,10 +408,33 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
             Some(rig)
         }
     };
+
+    // v2: the manifest must describe exactly the body we decoded — text
+    // size, names, and the per-segment extents of every column under the
+    // left-endpoint assignment rule.
+    if let Some(m) = &manifest {
+        if m.text_bytes != text.len() as u64 {
+            return Err(LoadError::Invalid("manifest text length mismatch"));
+        }
+        let names_match =
+            m.names.len() == schema.len() && m.names.iter().map(String::as_str).eq(schema.names());
+        if !names_match {
+            return Err(LoadError::Invalid("manifest names mismatch"));
+        }
+        for (id, counts) in schema.ids().zip(&m.counts) {
+            let ps = tr_core::seg::split_points(instance.regions_of(id), &m.bounds);
+            let actual = ps.windows(2).map(|w| (w[1] - w[0]) as u64);
+            if counts.len() != ps.len() - 1 || !actual.eq(counts.iter().copied()) {
+                return Err(LoadError::Invalid("manifest segment extents mismatch"));
+            }
+        }
+    }
+
     Ok(StoredDocument {
         text,
         instance,
         rig,
+        manifest,
     })
 }
 
@@ -330,5 +536,63 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(doc.instance.is_empty());
         assert_eq!(doc.text, text);
+    }
+
+    #[test]
+    fn zero_byte_document_round_trips() {
+        // The degenerate end of the empty-text audit: no text at all.
+        let inst = tr_markup::parse_sgml("").unwrap();
+        let path = tmp("zero");
+        save_document(&path, "", &inst, None).unwrap();
+        let m = peek_manifest(&path).unwrap();
+        assert_eq!(m.text_bytes, 0);
+        assert_eq!(m.num_segments(), 1);
+        assert_eq!(m.total_regions(), 0);
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.text, "");
+        assert!(doc.instance.is_empty());
+    }
+
+    #[test]
+    fn v1_stores_still_load() {
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("v1_compat");
+        save_document_v1(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC);
+        // No manifest to peek…
+        assert!(matches!(
+            peek_manifest(&path),
+            Err(LoadError::Invalid("v1 store has no manifest"))
+        ));
+        // …but the document loads in full, flagged as manifest-less.
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(doc.manifest.is_none());
+        assert_eq!(doc.text, text);
+        assert_eq!(doc.instance.len(), inst.len());
+        assert_eq!(doc.rig.unwrap(), Rig::figure_1());
+    }
+
+    #[test]
+    fn manifest_peek_matches_full_load() {
+        let text = "<doc><sec>alpha beta</sec><sec>gamma</sec></doc>";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        let path = tmp("peek");
+        save_document(&path, text, &inst, None).unwrap();
+        let peeked = peek_manifest(&path).unwrap();
+        let doc = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.manifest.as_ref(), Some(&peeked));
+        assert_eq!(peeked.text_bytes as usize, text.len());
+        assert_eq!(peeked.total_regions() as usize, inst.len());
+        assert_eq!(
+            peeked.names,
+            inst.schema().names().collect::<Vec<_>>(),
+            "schema order preserved"
+        );
+        // The manifest's extents are the left-endpoint assignment rule.
+        assert_eq!(peeked, Manifest::for_document(text, &inst));
     }
 }

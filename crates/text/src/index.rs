@@ -127,6 +127,27 @@ impl SuffixWordIndex {
         self.occurrences(pattern).len()
     }
 
+    /// The occurrences whose start offset lies in `[lo, hi)` — the
+    /// range-split view of [`Self::occurrences`] used by segmented
+    /// loading. The memoized whole-document list is computed (or reused)
+    /// and the range is located by binary search, so repeated per-segment
+    /// calls cost two `partition_point`s each, not a rescan.
+    pub fn occurrences_in(&self, pattern: &str, lo: u32, hi: u32) -> Vec<Occurrence> {
+        let occ = self.occurrences(pattern);
+        let from = occ.partition_point(|&(s, _)| s < lo);
+        let to = occ.partition_point(|&(s, _)| s < hi);
+        occ[from..to].to_vec()
+    }
+
+    /// [`WordIndex::occurrence_regions`] restricted to occurrences whose
+    /// start (left endpoint) lies in `[lo, hi)` — i.e. the occurrence
+    /// regions assigned to the segment `[lo, hi)` under the left-endpoint
+    /// rule of `tr_core::seg`.
+    pub fn occurrence_regions_in(&self, pattern: &str, lo: u32, hi: u32) -> tr_core::RegionSet {
+        let full = self.occurrence_regions(pattern);
+        full.slice(full.lower_bound_left(lo), full.lower_bound_left(hi))
+    }
+
     fn compute(&self, p: &Pattern) -> Vec<Occurrence> {
         let text = self.sa.text();
         let needle = p.needle();
@@ -259,6 +280,32 @@ mod tests {
         let a = w.occurrences("cat");
         let b = w.occurrences("cat");
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn range_split_occurrences_partition_the_full_list() {
+        let w = idx();
+        for pat in ["cat*", "at", "the", "dog"] {
+            let full = w.occurrences(pat);
+            // Any cut sequence partitions the list with nothing lost.
+            let bounds = [0u32, 5, 13, 26];
+            let mut glued = Vec::new();
+            for win in bounds.windows(2) {
+                glued.extend(w.occurrences_in(pat, win[0], win[1]));
+            }
+            assert_eq!(&glued, &*full, "pattern {pat}");
+            // And the columnar form agrees, zero-copy per range.
+            let all_regions = w.occurrence_regions(pat);
+            let mut n = 0;
+            for win in bounds.windows(2) {
+                let part = w.occurrence_regions_in(pat, win[0], win[1]);
+                assert!(part.is_empty() || part.validate().is_ok());
+                n += part.len();
+            }
+            assert_eq!(n, all_regions.len(), "pattern {pat}");
+        }
+        assert_eq!(w.occurrences_in("cat*", 5, 19), vec![]);
+        assert_eq!(w.occurrences_in("cat*", 19, 20), vec![(19, 7)]);
     }
 
     #[test]

@@ -151,4 +151,42 @@ fn batch_stats_and_obs_registry_agree() {
         batch_span.find("engine.execute").is_none(),
         "round 2 executed nothing, so no execute phase span"
     );
+
+    // Segmented execution counters. Building an engine records its corpus
+    // segmentation (`corpus.segments`); forcing 4 segments re-partitions;
+    // and a query through the 4-segment engine evaluates its plan nodes
+    // in per-segment waves (`exec.segment_waves`), merging the per-segment
+    // results under the `exec.merge_ns` accumulator.
+    let seg_before = (
+        tr_obs::counter_value("corpus.segments"),
+        tr_obs::counter_value("exec.segment_waves"),
+    );
+    let seg_engine = Engine::from_source(text).unwrap().with_segments(4);
+    let seg_res = seg_engine
+        .query("Name within Proc_header within Proc")
+        .unwrap();
+    assert_eq!(seg_res, res1[0], "segmented answer identical to N = 1");
+    let seg_after = (
+        tr_obs::counter_value("corpus.segments"),
+        tr_obs::counter_value("exec.segment_waves"),
+    );
+    assert_eq!(
+        seg_after.0 - seg_before.0,
+        5,
+        "1 segment at build (tiny doc) + 4 on with_segments(4)"
+    );
+    assert!(
+        seg_after.1 > seg_before.1,
+        "a segmented plan evaluates nodes in waves"
+    );
+    // All three counters surface through the same snapshot the CLI's
+    // `--stats-json` and the server's `stats` reply serialize.
+    let snap = tr_obs::snapshot();
+    let counters = snap.get("counters").expect("snapshot has counters");
+    for name in ["corpus.segments", "exec.segment_waves", "exec.merge_ns"] {
+        assert!(
+            counters.get(name).and_then(|j| j.as_u64()).is_some(),
+            "snapshot carries {name}"
+        );
+    }
 }

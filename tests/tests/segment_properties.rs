@@ -1,0 +1,188 @@
+//! Property tests for segmented execution: the oracle of ISSUE 5. For
+//! any region sets, any operator, and any segment count N, evaluating
+//! per segment with boundary-window partner operands and k-way ordered
+//! merge must be **byte-identical** to the unsegmented (N = 1) kernels —
+//! same regions, same column contents. The strategies deliberately
+//! produce regions that straddle, touch, and nest across the segment
+//! boundaries `segment_bounds` places every `doc_len / N` positions.
+
+use proptest::prelude::*;
+use tr_core::par::Parallelism;
+use tr_core::seg::{self, segment_bounds, split_points};
+use tr_core::{region, BinOp, Pos, Region, RegionSet};
+use tr_query::Engine;
+
+/// Position space used by the core-level strategies: regions start in
+/// `0..240` with widths `0..16`, so at N = 16 over `DOC_LEN = 256`
+/// (boundaries every 16) widths routinely straddle a boundary.
+const DOC_LEN: usize = 256;
+
+const SEGMENT_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+
+fn region_vecs() -> impl Strategy<Value = Vec<Region>> {
+    proptest::collection::vec((0u32..240, 0u32..16), 0..48).prop_map(|pairs| {
+        let mut v: Vec<Region> = pairs.into_iter().map(|(l, d)| region(l, l + d)).collect();
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+/// Aggressive parallelism: enough threads to split, a cutoff low enough
+/// that even small inputs take the parallel path.
+fn par() -> Parallelism {
+    Parallelism::new(4, 2)
+}
+
+const ALL_OPS: [BinOp; 7] = [
+    BinOp::Union,
+    BinOp::Intersect,
+    BinOp::Diff,
+    BinOp::Including,
+    BinOp::IncludedIn,
+    BinOp::Before,
+    BinOp::After,
+];
+
+fn assert_identical(got: &RegionSet, want: &RegionSet, ctx: &str) {
+    assert_eq!(got.to_vec(), want.to_vec(), "{ctx}");
+    assert_eq!(got.lefts(), want.lefts(), "{ctx}: lefts column");
+    assert_eq!(got.rights(), want.rights(), "{ctx}: rights column");
+    assert!(
+        got.validate().is_ok(),
+        "{ctx}: {}",
+        got.validate().unwrap_err()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every binary operator at every segment count equals the N = 1
+    /// evaluation (which `eval_bin_segmented` routes to the `_par`
+    /// whole-document kernels).
+    #[test]
+    fn segmented_operators_match_unsegmented(av in region_vecs(), bv in region_vecs()) {
+        let r = RegionSet::from_regions(av);
+        let s = RegionSet::from_regions(bv);
+        let p = par();
+        let oracle_bounds = segment_bounds(DOC_LEN, 1);
+        for op in ALL_OPS {
+            let want = seg::eval_bin_segmented(op, &r, &s, &oracle_bounds, &p);
+            for n in SEGMENT_COUNTS {
+                let bounds = segment_bounds(DOC_LEN, n);
+                let got = seg::eval_bin_segmented(op, &r, &s, &bounds, &p);
+                assert_identical(&got, &want, &format!("{op:?} at N={n}"));
+            }
+        }
+    }
+
+    /// Segment-parallel `filter` (the `Select` kernel) equals plain
+    /// `filter` at every segment count, for a predicate producing both
+    /// contiguous and scattered survivors.
+    #[test]
+    fn segmented_filter_matches_unsegmented(
+        av in region_vecs(),
+        lo in 0u32..240,
+        hi in 0u32..256,
+    ) {
+        let a = RegionSet::from_regions(av);
+        let pred = |r: Region| r.left() >= lo && r.right() <= hi;
+        let want = a.filter(pred);
+        for n in SEGMENT_COUNTS {
+            let bounds = segment_bounds(DOC_LEN, n);
+            let got = seg::filter_segmented(&a, &bounds, &par(), pred);
+            assert_identical(&got, &want, &format!("filter at N={n}"));
+        }
+    }
+
+    /// `split_points` partitions by left endpoint: gluing the per-segment
+    /// slices back together is the identity, and every region lands in
+    /// the segment containing its left endpoint.
+    #[test]
+    fn split_points_partition_round_trips(av in region_vecs(), n in 1usize..=16) {
+        let a = RegionSet::from_regions(av);
+        let bounds = segment_bounds(DOC_LEN, n);
+        let ps = split_points(&a, &bounds);
+        prop_assert_eq!(ps.len(), n + 1);
+        prop_assert_eq!(ps[0], 0);
+        prop_assert_eq!(ps[n], a.len());
+        let parts: Vec<RegionSet> = (0..n).map(|i| a.slice(ps[i], ps[i + 1])).collect();
+        for (i, part) in parts.iter().enumerate() {
+            for r in part.iter() {
+                prop_assert!(
+                    r.left() >= bounds[i] && (r.left() as u64) < bounds[i + 1] as u64
+                        || (i == n - 1 && r.left() >= bounds[i]),
+                    "region {r:?} misplaced in segment {i}"
+                );
+            }
+        }
+        let glued = RegionSet::concat(&parts);
+        prop_assert_eq!(&glued, &a);
+        prop_assert!(glued.shares_buf(&a) || a.is_empty(), "adjacent slices must reglue zero-copy");
+    }
+
+    /// `segment_bounds` is a monotone cover of the position space for
+    /// any document length and count.
+    #[test]
+    fn bounds_cover_any_length(doc_len in 0usize..100_000, n in 1usize..=16) {
+        let bounds = segment_bounds(doc_len, n);
+        prop_assert_eq!(bounds.len(), n + 1);
+        prop_assert_eq!(bounds[0], 0);
+        prop_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(bounds[n] as u64 >= doc_len as u64 || bounds[n] == Pos::MAX);
+    }
+}
+
+/// End-to-end oracle on a real document: random word soup marked up as
+/// SGML, the full query surface (matching, containment, sequence, set
+/// ops), and every segment count against the N = 1 engine. This drives
+/// the whole stack — parser, plan lowering, segmented executor, merge —
+/// not just the kernels.
+#[test]
+fn engine_results_identical_across_segment_counts_on_random_docs() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let words = ["alpha", "beta", "gamma", "delta", "rho"];
+    let queries = [
+        r#"sec matching "beta""#,
+        r#"sec matching "gamma" minus (sec containing note)"#,
+        "note within sec",
+        r#""alpha" within sec"#,
+        r#"(sec containing "delta") union (sec containing note)"#,
+        r#"note after (sec matching "alpha")"#,
+        r#"sec before note"#,
+    ];
+    for seed in 0u64..6 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let mut text = String::from("<doc>");
+        for _ in 0..rng.gen_range(3..20) {
+            text.push_str("<sec>");
+            for _ in 0..rng.gen_range(1..12) {
+                let w = words[rng.gen_range(0..words.len())];
+                if rng.gen_range(0..4) == 0 {
+                    text.push_str("<note>");
+                    text.push_str(w);
+                    text.push_str("</note>");
+                } else {
+                    text.push_str(w);
+                }
+                text.push(' ');
+            }
+            text.push_str("</sec>");
+        }
+        text.push_str("</doc>");
+
+        let baseline = Engine::from_sgml(&text).unwrap().with_segments(1);
+        for n in [2usize, 3, 7, 16] {
+            let seg_engine = Engine::from_sgml(&text).unwrap().with_segments(n);
+            assert_eq!(seg_engine.segment_count(), n);
+            for q in queries {
+                let a = baseline.query(q).unwrap();
+                let b = seg_engine.query(q).unwrap();
+                assert_eq!(a.lefts(), b.lefts(), "seed {seed}, query {q}, N={n}");
+                assert_eq!(a.rights(), b.rights(), "seed {seed}, query {q}, N={n}");
+            }
+        }
+    }
+}
