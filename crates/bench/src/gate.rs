@@ -33,7 +33,18 @@ pub const DEFAULT_TOLERANCE: f64 = 0.20;
 /// v3: segmented execution — adds the `segment_scaling` bench and the
 /// `corpus.segments` / `exec.segment_waves` counters (and the engine
 /// benches now run segmented, since their documents exceed one segment).
-pub const SUITE_VERSION: u64 = 3;
+/// v4: mmap-backed store v3 + chunked kernels — adds the
+/// `store_open_cold_1m` / `store_open_decode_1m` benches with the
+/// [`MIN_MMAP_SPEEDUP`] ratio rule, and the `exec.kernel_simd` /
+/// `exec.kernel_scalar_tail` / `store.mmap_opens` /
+/// `store.decode_fallbacks` counters.
+pub const SUITE_VERSION: u64 = 4;
+
+/// The mapped-open promise as a *ratio*, immune to machine speed: a v3
+/// mapped cold open (`store_open_cold_1m`) must be at least this many
+/// times faster than the v2 streaming decode of the same document
+/// (`store_open_decode_1m`), measured in the same run.
+pub const MIN_MMAP_SPEEDUP: f64 = 5.0;
 
 /// One measured hot-path bench.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,7 +138,7 @@ impl Suite {
 /// Counters whose deltas are recorded per bench: deterministic under a
 /// fixed [`ExecConfig`], machine-independent, and each guarding a real
 /// optimization (plan sharing, the result cache, pattern memoization).
-const TRACKED_COUNTERS: [&str; 11] = [
+const TRACKED_COUNTERS: [&str; 15] = [
     "engine.queries",
     "engine.cache.hits",
     "engine.cache.misses",
@@ -135,9 +146,13 @@ const TRACKED_COUNTERS: [&str; 11] = [
     "corpus.segments",
     "exec.nodes",
     "exec.base_zero_copy",
+    "exec.kernel_simd",
+    "exec.kernel_scalar_tail",
     "exec.rmq_built",
     "exec.pm_built",
     "exec.segment_waves",
+    "store.mmap_opens",
+    "store.decode_fallbacks",
     "text.pattern.computed",
 ];
 
@@ -290,6 +305,32 @@ pub fn run_suite(handicap: f64) -> Suite {
         tr_text::SuffixWordIndex::new(text_bytes.clone())
     }));
 
+    // Store open paths over a million-region document: the v3 mapped
+    // cold open (manifest + directory decode, then hash-verified
+    // zero-decode column views — forced here, so this is the full
+    // engine-ready cost) against the v2 streaming decode of the same
+    // document. `check` holds the two to the MIN_MMAP_SPEEDUP ratio,
+    // which is machine-independent, so the absolute times are gated
+    // loosely (tolerance) while the *relationship* is gated hard.
+    let (stext, sinst) = crate::store_workload(1_000_000);
+    let dir = std::env::temp_dir().join(format!("tr_gate_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("gate temp dir");
+    let v3 = dir.join("doc_v3.trx");
+    let v2 = dir.join("doc_v2.trx");
+    tr_store::save_document(&v3, &stext, &sinst, None).expect("v3 save");
+    tr_store::save_document_v2(&v2, &stext, &sinst, None).expect("v2 save");
+    benches.push(bench("store_open_cold_1m", 3, || {
+        let store = tr_store::MappedStore::open(&v3).expect("v3 mapped open");
+        for i in 0..store.manifest().names.len() {
+            store.regions(i).expect("column verifies");
+        }
+        store
+    }));
+    benches.push(bench("store_open_decode_1m", 3, || {
+        tr_store::load_document_auto(&v2).expect("v2 decode open")
+    }));
+    std::fs::remove_dir_all(&dir).ok();
+
     // The handicap simulates the *hot paths* regressing on an unchanged
     // machine, so calibration is exempt — otherwise normalization would
     // cancel it out.
@@ -376,6 +417,23 @@ pub fn check(current: &Suite, baseline: &Suite, tolerance: f64) -> Vec<Regressio
             }
         }
     }
+    // The mapped-open ratio rule (v4): evaluated on the *current* run
+    // alone — both benches share the machine and the moment, so no
+    // calibration is needed and no baseline drift can mask a regression
+    // of the zero-decode path back toward a full decode.
+    if let (Some(cold), Some(decode)) = (
+        current.get("store_open_cold_1m"),
+        current.get("store_open_decode_1m"),
+    ) {
+        if cold.secs > 0.0 && decode.secs / cold.secs < MIN_MMAP_SPEEDUP {
+            out.push(Regression {
+                bench: "store_open_cold_1m".into(),
+                what: format!("mmap speedup below {MIN_MMAP_SPEEDUP}x"),
+                baseline: MIN_MMAP_SPEEDUP,
+                current: decode.secs / cold.secs,
+            });
+        }
+    }
     out
 }
 
@@ -455,6 +513,26 @@ mod tests {
         let regs = check(&cur, &base, 0.2);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].what, "exec.nodes");
+    }
+
+    #[test]
+    fn mmap_speedup_ratio_is_enforced() {
+        // 10x faster than the decode open: the ratio rule is satisfied.
+        let ok = suite(&[
+            ("store_open_cold_1m", 1e-3, &[]),
+            ("store_open_decode_1m", 1e-2, &[]),
+        ]);
+        assert!(check(&ok, &ok, DEFAULT_TOLERANCE).is_empty());
+        // Only 4x faster: every time matches its baseline exactly, so
+        // nothing is "slower" — but the ratio rule still fires, because
+        // the mapped open lost its zero-decode advantage.
+        let bad = suite(&[
+            ("store_open_cold_1m", 2.5e-3, &[]),
+            ("store_open_decode_1m", 1e-2, &[]),
+        ]);
+        let regs = check(&bad, &bad, DEFAULT_TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].what.contains("speedup"), "{}", regs[0]);
     }
 
     #[test]

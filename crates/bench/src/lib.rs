@@ -126,6 +126,27 @@ pub fn synthetic_text(n: usize, seed: u64) -> Vec<u8> {
     out
 }
 
+/// A store-sized single-name document for the v3 open benchmarks (gate
+/// `store_open_*_1m`, E17): `n` regions laid out as groups of four
+/// nested spans at stride 8 — `l = (i/4)*8`, `r = l + 7 - i%4` — over
+/// ~2 MB of synthetic text, indexed with a real suffix array so the
+/// saved file carries full-size suffix-array and column sections.
+pub fn store_workload(n: usize) -> (String, Instance<tr_text::SuffixWordIndex>) {
+    let text = String::from_utf8(synthetic_text(2 << 20, 5)).expect("synthetic text is ASCII");
+    let mut lefts: Vec<Pos> = Vec::with_capacity(n);
+    let mut rights: Vec<Pos> = Vec::with_capacity(n);
+    for i in 0..n as Pos {
+        let l = (i / 4) * 8;
+        lefts.push(l);
+        rights.push(l + 7 - (i % 4));
+    }
+    let set = RegionSet::from_columns(lefts, rights);
+    let word = tr_text::SuffixWordIndex::new(text.clone());
+    let inst =
+        Instance::build(Schema::new(["R"]), vec![set], word).expect("nested groups nest cleanly");
+    (text, inst)
+}
+
 /// A generated SGML-lite document of `sections` sections for the
 /// segmentation benchmarks (E16): each `<sec>` holds a few paragraphs of
 /// Zipf-ish words with occasional `<note>` insets, so the position space

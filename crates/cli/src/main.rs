@@ -103,10 +103,12 @@ fn parse_args(args: Vec<String>) -> Options {
 }
 
 fn open_engine(path: &str, format: Format) -> Result<Engine, String> {
-    // Persisted indexes are detected by their magic bytes.
+    // Persisted indexes are detected by their magic bytes (any format
+    // generation — the shared `TRXIDX` prefix); the auto loader then
+    // picks the mapped path for v3 and the streaming decoder otherwise.
     let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if raw.starts_with(tr_store::MAGIC) {
-        let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
+    if raw.starts_with(&tr_store::MAGIC[..6]) {
+        let doc = tr_store::load_document_auto(path).map_err(|e| e.to_string())?;
         return Ok(Engine::from_stored(doc));
     }
     let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8 text"))?;

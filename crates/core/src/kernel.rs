@@ -1,0 +1,564 @@
+//! Branchless / chunked inner-loop kernels over the `u32` endpoint
+//! columns.
+//!
+//! The algebra's hot loops — the inclusion sweeps, the `precedes` boundary
+//! filter, and result materialization — all reduce to elementwise compares
+//! over one or two `u32` columns plus a gather of the surviving rows. This
+//! module provides those loops in two shapes:
+//!
+//! * **chunked**: explicit [`LANES`]-wide blocks that compute a bitmask of
+//!   compare results per block, written so the compiler can keep the whole
+//!   block in vector registers (portable `std::simd`-style code on stable
+//!   Rust), with a scalar tail for the last partial block;
+//! * **scalar**: a plain per-element loop, always compiled, used on
+//!   targets or builds where the chunked path is disabled.
+//!
+//! Which shape runs is decided by [`mode`]: the `simd` cargo feature
+//! (default on) picks the chunked path under [`Mode::Auto`], and tests can
+//! force either path at runtime with [`set_mode`] to prove byte-identity.
+//! Every chunked kernel invocation increments the `exec.kernel_simd`
+//! counter, and `exec.kernel_scalar_tail` counts invocations that had to
+//! finish a partial block element-at-a-time — both are deterministic for
+//! a fixed workload, so the bench gate can diff them across runs.
+//!
+//! Results are produced as a [`Bitmask`] over the input rows and then
+//! materialized in one **bitmask-gather** pass ([`compress`]) instead of a
+//! per-element `push` inside the compare loop; contiguous masks are
+//! detected so callers can keep zero-copy slice results.
+
+use crate::region::Pos;
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock};
+
+/// Width of one chunked block: eight `u32` lanes (one 256-bit vector).
+pub const LANES: usize = 8;
+
+/// Which kernel shape [`mode`] selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Chunked when the `simd` feature is enabled, scalar otherwise.
+    Auto,
+    /// Always the scalar loops (used by tests and `--no-default-features`
+    /// parity checks).
+    ForceScalar,
+    /// Always the chunked loops, even without the `simd` feature.
+    ForceChunked,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide kernel mode. Intended for tests and experiments;
+/// the default ([`Mode::Auto`]) follows the `simd` cargo feature.
+pub fn set_mode(mode: Mode) {
+    let v = match mode {
+        Mode::Auto => 0,
+        Mode::ForceScalar => 1,
+        Mode::ForceChunked => 2,
+    };
+    MODE.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The current process-wide kernel mode.
+pub fn mode() -> Mode {
+    match MODE.load(AtomicOrdering::Relaxed) {
+        1 => Mode::ForceScalar,
+        2 => Mode::ForceChunked,
+        _ => Mode::Auto,
+    }
+}
+
+/// True when the chunked (vector-shaped) loops should run.
+#[inline]
+pub fn chunked_enabled() -> bool {
+    match mode() {
+        Mode::Auto => cfg!(feature = "simd"),
+        Mode::ForceScalar => false,
+        Mode::ForceChunked => true,
+    }
+}
+
+/// Cached handles into the `tr_obs` metrics registry.
+struct KernelMetrics {
+    /// `exec.kernel_simd`: chunked kernel invocations.
+    simd: Arc<tr_obs::Counter>,
+    /// `exec.kernel_scalar_tail`: chunked invocations that finished a
+    /// partial block with the scalar tail loop.
+    scalar_tail: Arc<tr_obs::Counter>,
+}
+
+impl KernelMetrics {
+    fn get() -> &'static KernelMetrics {
+        static METRICS: OnceLock<KernelMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| KernelMetrics {
+            simd: tr_obs::counter("exec.kernel_simd"),
+            scalar_tail: tr_obs::counter("exec.kernel_scalar_tail"),
+        })
+    }
+}
+
+/// Records one chunked kernel invocation over `len` elements.
+#[inline]
+fn count_chunked(len: usize) {
+    count_chunked_runs(1, u64::from(!len.is_multiple_of(LANES)));
+}
+
+/// Records a batch of chunked kernel invocations at once: `runs` total,
+/// `tails` of which ended on a partial block. Sweeps that invoke a mask
+/// kernel once per window run ([`mask_included_run`]) accumulate these
+/// locally and flush once per sweep, keeping the per-run path free of
+/// atomics while reporting totals identical to per-invocation counting.
+#[inline]
+pub fn count_chunked_runs(runs: u64, tails: u64) {
+    if runs == 0 {
+        return;
+    }
+    let m = KernelMetrics::get();
+    m.simd.add(runs);
+    if tails != 0 {
+        m.scalar_tail.add(tails);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmask
+// ---------------------------------------------------------------------------
+
+/// A bitmask over input rows: bit `i` set means row `i` survives.
+///
+/// Backed by `u64` words so chunked kernels can deposit whole blocks of
+/// compare results at once and [`compress`] can gather survivors with
+/// `trailing_zeros` instead of testing every row.
+pub struct Bitmask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Shape of a mask's set bits, used to pick the materialization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskShape {
+    /// No bits set.
+    Empty,
+    /// All set bits form one contiguous run `[start, end)`.
+    Contiguous(usize, usize),
+    /// Set bits are scattered; the payload is their count.
+    Scattered(usize),
+}
+
+impl Bitmask {
+    /// An all-zero mask over `len` rows.
+    pub fn zeros(len: usize) -> Bitmask {
+        Bitmask {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of rows the mask covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    /// ORs the low `n` bits of `bits` into positions `i..i + n`
+    /// (`n ≤ 64`). Bits at `n` and above must be clear.
+    #[inline]
+    pub fn or_bits(&mut self, i: usize, bits: u64, n: usize) {
+        debug_assert!(n <= 64 && i + n <= self.len);
+        debug_assert!(n == 64 || bits >> n == 0, "stray bits above n");
+        if n == 0 {
+            return;
+        }
+        let w = i >> 6;
+        let off = i & 63;
+        self.words[w] |= bits << off;
+        if off + n > 64 {
+            // off > 0 here (off + n > 64 with n ≤ 64), so 64 - off < 64.
+            self.words[w + 1] |= bits >> (64 - off);
+        }
+    }
+
+    /// Raw words (low bit of word 0 is row 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs another mask of the same length into this one (used to stitch
+    /// the disjoint per-chunk masks of a parallel sweep).
+    pub fn or_mask(&mut self, other: &Bitmask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Classifies the set bits: empty, one contiguous run, or scattered.
+    pub fn shape(&self) -> MaskShape {
+        let mut count = 0usize;
+        let mut first = None;
+        let mut last = 0usize;
+        for (w, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            count += word.count_ones() as usize;
+            if first.is_none() {
+                first = Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            last = w * 64 + 63 - word.leading_zeros() as usize;
+        }
+        match first {
+            None => MaskShape::Empty,
+            Some(start) if count == last + 1 - start => MaskShape::Contiguous(start, last + 1),
+            _ => MaskShape::Scattered(count),
+        }
+    }
+}
+
+/// Gathers the rows selected by `mask` out of the two columns in one
+/// bitmask-driven pass (`trailing_zeros` per survivor, no per-row branch
+/// on non-survivors). `count` must equal `mask.count()`.
+pub fn compress(
+    lefts: &[Pos],
+    rights: &[Pos],
+    mask: &Bitmask,
+    count: usize,
+) -> (Vec<Pos>, Vec<Pos>) {
+    debug_assert_eq!(lefts.len(), rights.len());
+    debug_assert_eq!(lefts.len(), mask.len());
+    let mut out_l = Vec::with_capacity(count);
+    let mut out_r = Vec::with_capacity(count);
+    for (w, &word) in mask.words.iter().enumerate() {
+        let mut bits = word;
+        let base = w * 64;
+        while bits != 0 {
+            let i = base + bits.trailing_zeros() as usize;
+            out_l.push(lefts[i]);
+            out_r.push(rights[i]);
+            bits &= bits - 1;
+        }
+    }
+    (out_l, out_r)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise mask kernels
+// ---------------------------------------------------------------------------
+
+/// Sets `mask[lo..hi]` bits where `vals[k] < bound` (the `precedes`
+/// boundary filter: `right(x) < max{left(s)}`).
+pub fn mask_lt(vals: &[Pos], lo: usize, hi: usize, bound: Pos, mask: &mut Bitmask) {
+    debug_assert!(lo <= hi && hi <= vals.len());
+    if lo >= hi {
+        return;
+    }
+    if chunked_enabled() {
+        count_chunked(hi - lo);
+        let mut i = lo;
+        while i + LANES <= hi {
+            let block = &vals[i..i + LANES];
+            let mut bits = 0u64;
+            // Fixed-width compare block: one flag per lane, no branches.
+            for (k, &v) in block.iter().enumerate() {
+                bits |= ((v < bound) as u64) << k;
+            }
+            mask.or_bits(i, bits, LANES);
+            i += LANES;
+        }
+        // Scalar tail: the final partial block (the whole range when it
+        // is shorter than a block).
+        for (k, &v) in vals[i..hi].iter().enumerate() {
+            if v < bound {
+                mask.set(i + k);
+            }
+        }
+    } else {
+        for (k, &v) in vals[lo..hi].iter().enumerate() {
+            if v < bound {
+                mask.set(lo + k);
+            }
+        }
+    }
+}
+
+/// One run of the `included_in` sweep: for rows `lo..hi` of `(lefts,
+/// rights)` the containing-window state is constant — `run_max` is the
+/// largest right endpoint among partners with a strictly smaller left
+/// (`valid` when any exist), and `eq = (sl, sr)` is the head of the
+/// equal-left partner group, if any. Sets bit `k` when the row is
+/// strictly included in some partner.
+///
+/// Runs can be a handful of rows each and a sweep issues one call per
+/// run, so this kernel does **not** touch the dispatch counters itself —
+/// the sweep tallies its runs and flushes them in one
+/// [`count_chunked_runs`] call.
+#[allow(clippy::too_many_arguments)]
+pub fn mask_included_run(
+    lefts: &[Pos],
+    rights: &[Pos],
+    lo: usize,
+    hi: usize,
+    run_max: Pos,
+    has_prev: bool,
+    eq: Option<(Pos, Pos)>,
+    mask: &mut Bitmask,
+) {
+    debug_assert!(lo <= hi && hi <= lefts.len());
+    if lo >= hi {
+        return;
+    }
+    let (sl, sr, has_eq) = match eq {
+        Some((l, r)) => (l, r, true),
+        None => (0, 0, false),
+    };
+    if chunked_enabled() {
+        let hp = has_prev as u64;
+        let he = has_eq as u64;
+        let mut i = lo;
+        while i + LANES <= hi {
+            let mut bits = 0u64;
+            for k in 0..LANES {
+                let l = lefts[i + k];
+                let r = rights[i + k];
+                // Branchless: prior-window hit OR equal-left-group hit.
+                let a = (r <= run_max) as u64 & hp;
+                let b = (l == sl) as u64 & ((r < sr) as u64) & he;
+                bits |= (a | b) << k;
+            }
+            mask.or_bits(i, bits, LANES);
+            i += LANES;
+        }
+        // Scalar tail: the final partial block — on short runs (the
+        // common case for one-child-per-parent data) this is the whole
+        // run, so a sub-block invocation costs what the scalar path does.
+        for k in i..hi {
+            let hit =
+                (has_prev && rights[k] <= run_max) || (has_eq && lefts[k] == sl && rights[k] < sr);
+            if hit {
+                mask.set(k);
+            }
+        }
+    } else {
+        for k in lo..hi {
+            let hit =
+                (has_prev && rights[k] <= run_max) || (has_eq && lefts[k] == sl && rights[k] < sr);
+            if hit {
+                mask.set(k);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branchless searches
+// ---------------------------------------------------------------------------
+
+/// First index in the sorted slice with `vals[i] >= bound`, by branchless
+/// binary search (conditional-add, no compare/jump per step).
+pub fn lower_bound(vals: &[Pos], bound: Pos) -> usize {
+    let mut lo = 0usize;
+    let mut len = vals.len();
+    while len > 1 {
+        let half = len / 2;
+        lo += ((vals[lo + half - 1] < bound) as usize) * half;
+        len -= half;
+    }
+    if len == 1 {
+        lo += (vals[lo] < bound) as usize;
+    }
+    lo
+}
+
+/// First index in the sorted slice with `vals[i] > bound` (branchless).
+pub fn upper_bound(vals: &[Pos], bound: Pos) -> usize {
+    let mut lo = 0usize;
+    let mut len = vals.len();
+    while len > 1 {
+        let half = len / 2;
+        lo += ((vals[lo + half - 1] <= bound) as usize) * half;
+        len -= half;
+    }
+    if len == 1 {
+        lo += (vals[lo] <= bound) as usize;
+    }
+    lo
+}
+
+/// First index `i ≥ from` in the sorted slice with `vals[i] > bound`,
+/// found by galloping out from `from` and finishing with the branchless
+/// binary search — O(log distance) instead of O(log n), which makes the
+/// inclusion sweeps linear when successive probes land close together.
+pub fn gallop_upper_bound(vals: &[Pos], from: usize, bound: Pos) -> usize {
+    let n = vals.len();
+    let mut lo = from;
+    let mut hi = from;
+    let mut step = 1usize;
+    loop {
+        if hi >= n {
+            hi = n;
+            break;
+        }
+        if vals[hi] > bound {
+            break;
+        }
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+    }
+    lo + upper_bound(&vals[lo..hi], bound)
+}
+
+/// First index `i ≥ from` with `(lefts[i], rights[i]) ≥ (l, r)` in the
+/// storage order (`left asc, right desc`), by galloping. Used by the
+/// merge kernels to bulk-skip long single-sided runs.
+pub fn gallop_lower_bound_lr(lefts: &[Pos], rights: &[Pos], from: usize, l: Pos, r: Pos) -> usize {
+    #[inline]
+    fn lt(al: Pos, ar: Pos, bl: Pos, br: Pos) -> bool {
+        // (al, ar) sorts strictly before (bl, br) under (left asc, right desc).
+        al < bl || (al == bl && ar > br)
+    }
+    let n = lefts.len();
+    let mut lo = from;
+    let mut hi = from;
+    let mut step = 1usize;
+    loop {
+        if hi >= n {
+            hi = n;
+            break;
+        }
+        if !lt(lefts[hi], rights[hi], l, r) {
+            break;
+        }
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+    }
+    // Branchless binary search over [lo, hi).
+    let mut len = hi - lo;
+    while len > 1 {
+        let half = len / 2;
+        let p = lo + half - 1;
+        lo += (lt(lefts[p], rights[p], l, r) as usize) * half;
+        len -= half;
+    }
+    if len == 1 {
+        lo += lt(lefts[lo], rights[lo], l, r) as usize;
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_match_partition_point() {
+        let v: Vec<Pos> = vec![1, 3, 3, 3, 7, 9, 9, 12];
+        for b in 0..14 {
+            assert_eq!(lower_bound(&v, b), v.partition_point(|&x| x < b), "lb {b}");
+            assert_eq!(upper_bound(&v, b), v.partition_point(|&x| x <= b), "ub {b}");
+            for from in 0..=v.len() {
+                let want = from + v[from..].partition_point(|&x| x <= b);
+                assert_eq!(gallop_upper_bound(&v, from, b), want, "gallop {from} {b}");
+            }
+        }
+        assert_eq!(lower_bound(&[], 5), 0);
+        assert_eq!(upper_bound(&[], 5), 0);
+        assert_eq!(gallop_upper_bound(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn gallop_lr_matches_linear_scan() {
+        // Storage order: (left asc, right desc).
+        let lefts: Vec<Pos> = vec![0, 0, 2, 2, 2, 5, 9];
+        let rights: Vec<Pos> = vec![9, 4, 8, 8, 3, 5, 12];
+        let lt = |al: Pos, ar: Pos, bl: Pos, br: Pos| al < bl || (al == bl && ar > br);
+        for from in 0..=lefts.len() {
+            for &(l, r) in &[(0, 9), (0, 5), (2, 8), (2, 2), (4, 4), (9, 12), (10, 0)] {
+                let want = (from..lefts.len())
+                    .find(|&i| !lt(lefts[i], rights[i], l, r))
+                    .unwrap_or(lefts.len());
+                assert_eq!(
+                    gallop_lower_bound_lr(&lefts, &rights, from, l, r),
+                    want,
+                    "from={from} key=({l},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_shapes_and_compress() {
+        let mut m = Bitmask::zeros(130);
+        assert_eq!(m.shape(), MaskShape::Empty);
+        for i in 40..100 {
+            m.set(i);
+        }
+        assert_eq!(m.shape(), MaskShape::Contiguous(40, 100));
+        m.set(129);
+        assert_eq!(m.shape(), MaskShape::Scattered(61));
+        assert_eq!(m.count(), 61);
+        assert!(m.get(40) && m.get(99) && m.get(129) && !m.get(100));
+
+        let lefts: Vec<Pos> = (0..130).collect();
+        let rights: Vec<Pos> = (0..130).map(|x| x + 1).collect();
+        let (l, r) = compress(&lefts, &rights, &m, m.count());
+        let want: Vec<Pos> = (40..100).chain([129]).collect();
+        assert_eq!(l, want);
+        assert_eq!(r, want.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn or_bits_straddles_word_boundaries() {
+        let mut m = Bitmask::zeros(130);
+        m.or_bits(60, 0b1111_1111, 8); // straddles word 0 / word 1
+        for i in 60..68 {
+            assert!(m.get(i), "bit {i}");
+        }
+        assert!(!m.get(59) && !m.get(68));
+        m.or_bits(128, 0b11, 2);
+        assert!(m.get(128) && m.get(129));
+    }
+
+    #[test]
+    fn chunked_and_scalar_masks_agree() {
+        let vals: Vec<Pos> = (0..200).map(|i| (i * 7919) % 251).collect();
+        for &bound in &[0, 1, 100, 250, 251] {
+            for lo in [0usize, 3, 63, 64, 65] {
+                let hi = vals.len() - lo.min(5);
+                let mut a = Bitmask::zeros(vals.len());
+                let mut b = Bitmask::zeros(vals.len());
+                set_mode(Mode::ForceChunked);
+                mask_lt(&vals, lo, hi, bound, &mut a);
+                set_mode(Mode::ForceScalar);
+                mask_lt(&vals, lo, hi, bound, &mut b);
+                set_mode(Mode::Auto);
+                assert_eq!(a.words(), b.words(), "bound={bound} lo={lo}");
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@ pub mod eval;
 pub mod exec;
 pub mod expr;
 pub mod instance;
+pub mod kernel;
 pub mod naive;
 pub mod ops;
 pub mod par;
@@ -48,5 +49,5 @@ pub use plan::{expr_fingerprint, NodeId, Plan, PlanOp};
 pub use region::{region, Pos, Region};
 pub use schema::{NameId, Schema};
 pub use seg::Corpus;
-pub use set::RegionSet;
+pub use set::{ColumnSource, RegionSet};
 pub use word::{EmptyWordIndex, ExplicitWordIndex, MatchPointIndex, WordIndex};

@@ -3,29 +3,47 @@
 //! `R < S`, and *follows* `R > S`.
 //!
 //! These are the operators the paper singles out as having "a very efficient
-//! evaluation engine" in PAT. The implementations here are sub-quadratic:
+//! evaluation engine" in PAT. The implementations here are sub-quadratic
+//! *sweeps*: both operands are already sorted by `(left asc, right desc)`,
+//! so the candidate window of `S` that a probe region `x ∈ R` must examine
+//! advances monotonically as the sweep walks `R` left-to-right:
 //!
 //! * `R < S` / `R > S` need only the extreme endpoint of `S` — O(|R| + |S|).
 //!   `R > S` selects a *suffix* of `R` in storage order, so its result is a
-//!   zero-copy slice of `R` found by one binary search.
-//! * `R ⊂ S` uses range maxima of right endpoints over `S` sorted by left —
-//!   O(|R| log |S| + |S| log |S|).
-//! * `R ⊃ S` uses a sparse-table range-minimum structure over right
-//!   endpoints — O((|R| + |S|) log |S|).
+//!   zero-copy slice of `R` found by one branchless binary search; `R < S`
+//!   is one chunked compare pass over `R`'s right column
+//!   ([`crate::kernel::mask_lt`]).
+//! * `R ⊂ S` maintains the count `j` of partners with a strictly smaller
+//!   left and their running maximum right endpoint incrementally —
+//!   amortized O(1) per probe, O(|R| + |S|) total — and evaluates each run
+//!   of probes sharing one window state with a branchless chunked kernel
+//!   ([`crate::kernel::mask_included_run`]).
+//! * `R ⊃ S` hoists the same monotone window advance out of the probe loop
+//!   (the fix for the historical `includes`-vs-`included_in` asymmetry:
+//!   the old probe re-derived its candidate window with three binary
+//!   searches per region) and answers the non-monotone upper bound by
+//!   galloping from the window start, plus one O(1) range-minimum lookup —
+//!   O((|R| + |S|) log g) where `g` is the average gallop distance.
 //!
 //! The auxiliary structures ([`PrefixMaxRight`], [`MinRightRmq`]) are built
 //! lazily once per underlying [`crate::set::RegionBuf`] and memoized there
-//! (see [`RegionSet::prefix_max_right`] / [`RegionSet::min_right_rmq`]), so
-//! repeated probes of the same operand — across operators, plan nodes, and
-//! whole query batches — pay the build a single time. Because a view may
-//! start mid-buffer, probes address the buffer-wide structures with
-//! buffer-absolute indices.
+//! (see [`RegionSet::prefix_max_right`] / [`RegionSet::min_right_rmq`]).
+//! The serial sweeps only consult them to *seed* a mid-array start, so the
+//! parallel variants chunk `R`, seed each chunk's window with one lookup,
+//! and produce bit-identical results. Because a view may start mid-buffer,
+//! probes address the buffer-wide structures with buffer-absolute indices.
+//!
+//! Probe results accumulate in a [`Bitmask`] and materialize in one
+//! bitmask-gather pass (`RegionSet::gather_mask` → [`crate::kernel::compress`]),
+//! which also preserves the zero-copy guarantee: a contiguous mask becomes
+//! a slice of `R`, not a copy.
 //!
 //! Quadratic reference implementations live in [`crate::naive`] and serve as
 //! the oracle for property tests and as the baseline for experiment E2.
 
-use crate::par::Parallelism;
-use crate::region::{Pos, Region};
+use crate::kernel::{self, Bitmask};
+use crate::par::{self, Parallelism};
+use crate::region::Pos;
 use crate::set::RegionSet;
 
 /// `R < S`: the regions of `R` that precede *some* region of `S`.
@@ -34,16 +52,25 @@ use crate::set::RegionSet;
 pub fn precedes(r: &RegionSet, s: &RegionSet) -> RegionSet {
     match s.max_left() {
         None => RegionSet::new(),
-        Some(max_left) => r.filter(|x| x.right() < max_left),
+        Some(max_left) => precedes_before(r, max_left),
     }
 }
 
-/// [`precedes`] with the scan over `R` split across threads.
-pub fn precedes_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
-    match s.max_left() {
-        None => RegionSet::new(),
-        Some(max_left) => r.filter_par(par, |x| x.right() < max_left),
-    }
+/// The `precedes` boundary filter against a known bound: the rows of `r`
+/// with `right < bound`, computed as one chunked compare pass and
+/// materialized from the bitmask (a zero-copy slice of `r` when the
+/// survivors are contiguous). The segmented executor calls this directly
+/// with the global bound.
+pub(crate) fn precedes_before(r: &RegionSet, bound: Pos) -> RegionSet {
+    let mut mask = Bitmask::zeros(r.len());
+    kernel::mask_lt(r.rights(), 0, r.len(), bound, &mut mask);
+    r.gather_mask(&mask)
+}
+
+/// [`precedes`]; the compare pass is memory-bound and already chunked, so
+/// the parallel variant is the same single pass.
+pub fn precedes_par(r: &RegionSet, s: &RegionSet, _par: &Parallelism) -> RegionSet {
+    precedes(r, s)
 }
 
 /// `R > S`: the regions of `R` that follow *some* region of `S`.
@@ -70,38 +97,92 @@ pub fn included_in(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    let pm = s.prefix_max_right();
-    let base = s.buf_start();
-    r.filter(|x| included_in_probe(x, s, pm, base))
+    let mut mask = Bitmask::zeros(r.len());
+    included_in_sweep(r, s, 0, r.len(), &mut mask);
+    r.gather_mask(&mask)
 }
 
-/// [`included_in`] with the probe loop over `R` split across threads.
+/// [`included_in`] with the sweep over `R` split across threads. Each
+/// chunk seeds its window from the memoized prefix-max structure, so the
+/// result is bit-identical to the serial sweep.
 pub fn included_in_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    let pm = s.prefix_max_right();
-    let base = s.buf_start();
-    r.filter_par(par, |x| included_in_probe(x, s, pm, base))
+    let chunks = par.chunks_for(r.len());
+    if chunks <= 1 {
+        return included_in(r, s);
+    }
+    // Prebuild the shared seed structure once, outside the fan-out.
+    s.prefix_max_right();
+    let pieces = par::map_chunks(r.len(), chunks, |range| {
+        let mut m = Bitmask::zeros(r.len());
+        included_in_sweep(r, s, range.start, range.end, &mut m);
+        m
+    });
+    let mut mask = Bitmask::zeros(r.len());
+    for p in &pieces {
+        mask.or_mask(p);
+    }
+    r.gather_mask(&mask)
 }
 
-/// Is `x` strictly included in some region of `s`? `base` is the offset of
-/// `s`'s view inside its buffer (`pm` is buffer-wide).
-#[inline]
-fn included_in_probe(x: Region, s: &RegionSet, pm: &PrefixMaxRight, base: usize) -> bool {
-    // Candidates with left(s) < left(x): containment needs right(s) >= right(x).
-    let lt = s.lower_bound_left(x.left());
-    if pm
-        .max_right_in(base, base + lt)
-        .is_some_and(|m| m >= x.right())
-    {
-        return true;
+/// The `R ⊂ S` sweep over rows `lo..hi` of `r` (view-relative), setting
+/// survivor bits in `mask`.
+///
+/// Walking `r` by ascending left, the containing-candidate window of `s`
+/// is fully described by two monotone quantities: `j`, the number of
+/// partners with a strictly smaller left, and the running maximum right
+/// endpoint among those `j` — both advanced incrementally (amortized O(1)
+/// per row). Runs of rows between two consecutive partner lefts share one
+/// window state and are evaluated by the chunked compare kernel. A
+/// mid-array start (`lo > 0`, the parallel chunks) seeds the window with
+/// one branchless search plus one memoized range-max lookup.
+fn included_in_sweep(r: &RegionSet, s: &RegionSet, lo: usize, hi: usize, mask: &mut Bitmask) {
+    if lo >= hi {
+        return;
     }
-    // Candidates with left(s) == left(x): containment needs right(s) > right(x).
-    // Within the equal-left group regions are sorted by right desc, so the
-    // group's first element has the largest right endpoint.
-    let le = s.upper_bound_left(x.left());
-    lt < le && s.get(lt).right() > x.right()
+    let (rl, rr) = (r.lefts(), r.rights());
+    let (sl, sr) = (s.lefts(), s.rights());
+    let m = sl.len();
+    let chunked = kernel::chunked_enabled();
+    let (mut runs, mut tails) = (0u64, 0u64);
+    let mut j = kernel::lower_bound(sl, rl[lo]);
+    let (mut run_max, mut has_prev) = if j == 0 {
+        (0, false)
+    } else {
+        let base = s.buf_start();
+        let seeded = s.prefix_max_right().max_right_in(base, base + j);
+        (seeded.unwrap_or(0), true)
+    };
+    let mut i = lo;
+    while i < hi {
+        // Advance the window to rl[i]: consume partners with a smaller left.
+        while j < m && sl[j] < rl[i] {
+            run_max = run_max.max(sr[j]);
+            has_prev = true;
+            j += 1;
+        }
+        // Rows i..run_end (lefts ≤ the next partner left) share this
+        // window state; the head of the equal-left partner group — sorted
+        // right desc, so its first element carries the group maximum — is
+        // s[j] exactly when its left matches the row's.
+        let (run_end, eq) = if j < m {
+            let end = kernel::gallop_upper_bound(rl, i, sl[j]).min(hi);
+            (end, Some((sl[j], sr[j])))
+        } else {
+            (hi, None)
+        };
+        kernel::mask_included_run(rl, rr, i, run_end, run_max, has_prev, eq, mask);
+        if chunked {
+            runs += 1;
+            tails += u64::from(!(run_end - i).is_multiple_of(kernel::LANES));
+        }
+        i = run_end;
+    }
+    // One flush for the whole sweep: totals identical to per-run counting,
+    // but the (often tiny) runs stay free of registry atomics.
+    kernel::count_chunked_runs(runs, tails);
 }
 
 /// `R ⊃ S`: the regions of `R` that strictly include some region of `S`.
@@ -109,41 +190,76 @@ pub fn includes(r: &RegionSet, s: &RegionSet) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    let rmq = s.min_right_rmq();
-    let base = s.buf_start();
-    r.filter(|x| includes_probe(x, s, rmq, base))
+    let mut mask = Bitmask::zeros(r.len());
+    includes_sweep(r, s, 0, r.len(), &mut mask);
+    r.gather_mask(&mask)
 }
 
-/// [`includes`] with the probe loop over `R` split across threads.
+/// [`includes`] with the sweep over `R` split across threads. Each chunk
+/// seeds its window with one branchless search; results are bit-identical
+/// to the serial sweep.
 pub fn includes_par(r: &RegionSet, s: &RegionSet, par: &Parallelism) -> RegionSet {
     if r.is_empty() || s.is_empty() {
         return RegionSet::new();
     }
-    let rmq = s.min_right_rmq();
-    let base = s.buf_start();
-    r.filter_par(par, |x| includes_probe(x, s, rmq, base))
+    let chunks = par.chunks_for(r.len());
+    if chunks <= 1 {
+        return includes(r, s);
+    }
+    // Prebuild the shared range-min structure once, outside the fan-out.
+    s.min_right_rmq();
+    let pieces = par::map_chunks(r.len(), chunks, |range| {
+        let mut m = Bitmask::zeros(r.len());
+        includes_sweep(r, s, range.start, range.end, &mut m);
+        m
+    });
+    let mut mask = Bitmask::zeros(r.len());
+    for p in &pieces {
+        mask.or_mask(p);
+    }
+    r.gather_mask(&mask)
 }
 
-/// Does `x` strictly include some region of `s`? `base` is the offset of
-/// `s`'s view inside its buffer (`rmq` is buffer-wide).
-#[inline]
-fn includes_probe(x: Region, s: &RegionSet, rmq: &MinRightRmq, base: usize) -> bool {
-    // A region s with r ⊃ s must have left(s) in [left(x), right(x)].
-    // Split the index range at left(s) == left(x):
-    //  - strictly greater left: need right(s) <= right(x);
-    //  - equal left: need right(s) < right(x) (strictness).
-    let lo = s.lower_bound_left(x.left());
-    let mid = s.upper_bound_left(x.left());
-    let hi = s.upper_bound_left(x.right());
-    if mid < hi {
-        if let Some(min_r) = rmq.min_right(base + mid, base + hi) {
-            if min_r <= x.right() {
-                return true;
-            }
+/// The `R ⊃ S` sweep over rows `lo..hi` of `r` (view-relative), setting
+/// survivor bits in `mask`.
+///
+/// A row `x` includes some partner iff a partner left falls in
+/// `[left(x), right(x)]` with a small-enough right endpoint. The window
+/// start `mid` (first partner left strictly greater than `left(x)`) is
+/// monotone in the sweep and advances amortized O(1) — this hoist is what
+/// closes the historical gap against `included_in`, whose probe was
+/// already windowed. The window *end* depends on `right(x)` and is not
+/// monotone, so it is found by galloping from `mid` (cheap when probes
+/// land close together, log |S| worst case); the survivor test is then one
+/// O(1) memoized range-minimum lookup plus the strict equal-left check.
+fn includes_sweep(r: &RegionSet, s: &RegionSet, lo: usize, hi: usize, mask: &mut Bitmask) {
+    if lo >= hi {
+        return;
+    }
+    let (rl, rr) = (r.lefts(), r.rights());
+    let (sl, sr) = (s.lefts(), s.rights());
+    let m = sl.len();
+    let rmq = s.min_right_rmq();
+    let base = s.buf_start();
+    let mut mid = kernel::upper_bound(sl, rl[lo]);
+    for i in lo..hi {
+        while mid < m && sl[mid] <= rl[i] {
+            mid += 1;
+        }
+        // Partners with left in (left(x), right(x)]: need right ≤ right(x).
+        let hi_s = kernel::gallop_upper_bound(sl, mid, rr[i]);
+        let hit = (mid < hi_s
+            && rmq
+                .min_right(base + mid, base + hi_s)
+                .is_some_and(|mn| mn <= rr[i]))
+            // Equal-left group (sorted right desc, minimum right last):
+            // strict inclusion needs right < right(x), and the element
+            // just before `mid` is the group minimum when lefts match.
+            || (mid > 0 && sl[mid - 1] == rl[i] && sr[mid - 1] < rr[i]);
+        if hit {
+            mask.set(i);
         }
     }
-    // Equal-left group is sorted right desc: its minimum right is last.
-    lo < mid && s.get(mid - 1).right() < x.right()
 }
 
 /// Sparse-table range-*maximum* structure over right endpoints (in the

@@ -246,7 +246,7 @@ pub fn eval_bin_segmented(
         BinOp::Before => match s.max_left() {
             None => RegionSet::new(),
             Some(m) => fan_out_merge(n_seg, par, |i| {
-                r.slice(rp[i], rp[i + 1]).filter(|x| x.right() < m)
+                ops::precedes_before(&r.slice(rp[i], rp[i + 1]), m)
             }),
         },
         BinOp::After => match s.min_right() {

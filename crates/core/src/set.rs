@@ -27,6 +27,7 @@
 //! call. The set operators also come in `_par` variants that split large
 //! merges across scoped threads (see [`crate::par`]).
 
+use crate::kernel::{self, Bitmask, MaskShape};
 use crate::ops::{MinRightRmq, PrefixMaxRight};
 use crate::par::{self, Parallelism};
 use crate::region::{Pos, Region};
@@ -40,6 +41,29 @@ use std::sync::{Arc, OnceLock};
 #[inline]
 fn cmp_lr(al: Pos, ar: Pos, bl: Pos, br: Pos) -> Ordering {
     al.cmp(&bl).then_with(|| br.cmp(&ar))
+}
+
+/// Checks the full column invariant: no inverted region, strict
+/// `(left asc, right desc)` order (which implies dedup). One linear pass.
+fn columns_invariant(lefts: &[Pos], rights: &[Pos]) -> Result<(), String> {
+    for i in 0..lefts.len() {
+        if lefts[i] > rights[i] {
+            return Err(format!(
+                "inverted region at {i}: [{}..{}]",
+                lefts[i], rights[i]
+            ));
+        }
+        if i > 0 && cmp_lr(lefts[i - 1], rights[i - 1], lefts[i], rights[i]) != Ordering::Less {
+            return Err(format!(
+                "order violated at {i}: [{}..{}] !< [{}..{}]",
+                lefts[i - 1],
+                rights[i - 1],
+                lefts[i],
+                rights[i]
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Counters for the memoized per-buffer auxiliary builds. The names keep
@@ -60,12 +84,81 @@ impl AuxMetrics {
     }
 }
 
+/// Read-only backing memory that borrowed columns point into — typically
+/// a store file mapping. The implementor owns the bytes; holding an
+/// `Arc<dyn ColumnSource>` pins them for as long as any view is alive.
+///
+/// Contract: the byte slice returned by [`ColumnSource::bytes`] must refer
+/// to the same, unchanging memory for the source's entire lifetime (the
+/// `RegionBuf` caches raw pointers into it).
+pub trait ColumnSource: Send + Sync {
+    /// The raw backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+/// Physical storage of a buffer's two columns: owned vectors, or `u32`
+/// slices borrowed straight out of a [`ColumnSource`] (the zero-decode
+/// path for mapped store files).
+enum ColStore {
+    /// Heap-owned columns (every constructor except the borrowed adoption).
+    Owned { lefts: Vec<Pos>, rights: Vec<Pos> },
+    /// Columns aliasing `_src`'s bytes. The raw parts are cached because a
+    /// trait object cannot return borrowed slices tied to `self`'s
+    /// lifetime through an `Arc` without re-deriving them on every access.
+    Borrowed {
+        _src: Arc<dyn ColumnSource>,
+        lefts: *const Pos,
+        rights: *const Pos,
+        len: usize,
+    },
+}
+
+// SAFETY: the `Borrowed` pointers reference memory owned and pinned by
+// `_src` (an `Arc<dyn ColumnSource>`, itself `Send + Sync`), which is
+// immutable for its whole lifetime per the `ColumnSource` contract; the
+// `Owned` variant is plain vectors. Shared references therefore never
+// observe mutation, and the pointed-to memory outlives the store.
+unsafe impl Send for ColStore {}
+unsafe impl Sync for ColStore {}
+
+impl ColStore {
+    #[inline]
+    fn lefts(&self) -> &[Pos] {
+        match self {
+            ColStore::Owned { lefts, .. } => lefts,
+            // SAFETY: pointer + len were validated against `_src.bytes()`
+            // at construction and `_src` is alive as long as `self`.
+            ColStore::Borrowed { lefts, len, .. } => unsafe {
+                std::slice::from_raw_parts(*lefts, *len)
+            },
+        }
+    }
+
+    #[inline]
+    fn rights(&self) -> &[Pos] {
+        match self {
+            ColStore::Owned { rights, .. } => rights,
+            // SAFETY: as above.
+            ColStore::Borrowed { rights, len, .. } => unsafe {
+                std::slice::from_raw_parts(*rights, *len)
+            },
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            ColStore::Owned { lefts, .. } => lefts.len(),
+            ColStore::Borrowed { len, .. } => *len,
+        }
+    }
+}
+
 /// The shared, immutable columnar storage behind one or more [`RegionSet`]
 /// views: the two endpoint columns plus the lazily-built auxiliary indexes
 /// that the inclusion operators probe.
 pub struct RegionBuf {
-    lefts: Vec<Pos>,
-    rights: Vec<Pos>,
+    cols: ColStore,
     /// Memoized prefix/range maxima of right endpoints (for `R ⊂ S`).
     pm: OnceLock<PrefixMaxRight>,
     /// Memoized range-minimum structure over right endpoints (for `R ⊃ S`).
@@ -76,23 +169,34 @@ impl RegionBuf {
     fn new(lefts: Vec<Pos>, rights: Vec<Pos>) -> RegionBuf {
         debug_assert_eq!(lefts.len(), rights.len());
         RegionBuf {
-            lefts,
-            rights,
+            cols: ColStore::Owned { lefts, rights },
             pm: OnceLock::new(),
             rmq: OnceLock::new(),
         }
     }
 
+    /// The full left-endpoint column of the buffer.
+    #[inline]
+    fn lefts_all(&self) -> &[Pos] {
+        self.cols.lefts()
+    }
+
+    /// The full right-endpoint column of the buffer.
+    #[inline]
+    fn rights_all(&self) -> &[Pos] {
+        self.cols.rights()
+    }
+
     /// Number of regions stored in the buffer.
     #[inline]
     pub fn len(&self) -> usize {
-        self.lefts.len()
+        self.cols.len()
     }
 
     /// True if the buffer holds no regions.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.lefts.is_empty()
+        self.cols.len() == 0
     }
 }
 
@@ -200,6 +304,88 @@ impl RegionSet {
         }
     }
 
+    /// Adopts two `u32` columns living inside `src`'s backing bytes as a
+    /// **zero-decode** region set: no copy, no parse — the buffer's column
+    /// slices point straight into the source (typically a store file
+    /// mapping), which stays pinned by the `Arc` for as long as any view
+    /// is alive.
+    ///
+    /// `lefts_off` / `rights_off` are byte offsets into `src.bytes()` and
+    /// `len` is the region count. Fails closed — returns `Err` rather than
+    /// aliasing garbage — unless both ranges are in bounds and
+    /// `u32`-aligned and the columns satisfy the full order invariant
+    /// (`left ≤ right`, strict `(left asc, right desc)`). On big-endian
+    /// targets the bytes (little-endian on disk) cannot be reinterpreted
+    /// in place, so they are converted into owned columns instead.
+    pub fn from_borrowed_columns(
+        src: Arc<dyn ColumnSource>,
+        lefts_off: usize,
+        rights_off: usize,
+        len: usize,
+    ) -> Result<RegionSet, String> {
+        let bytes = src.bytes();
+        let width = std::mem::size_of::<Pos>();
+        let nbytes = len
+            .checked_mul(width)
+            .ok_or_else(|| "column length overflows".to_string())?;
+        for (name, off) in [("lefts", lefts_off), ("rights", rights_off)] {
+            if !(bytes.as_ptr() as usize + off).is_multiple_of(width) {
+                return Err(format!("{name} column at byte {off} is not u32-aligned"));
+            }
+            if off.checked_add(nbytes).is_none_or(|end| end > bytes.len()) {
+                return Err(format!(
+                    "{name} column {off}..{} out of bounds for source of {}",
+                    off.saturating_add(nbytes),
+                    bytes.len()
+                ));
+            }
+        }
+        if len == 0 {
+            return Ok(RegionSet::new());
+        }
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: offsets are in bounds and u32-aligned (checked
+            // above); the memory is pinned and immutable per the
+            // `ColumnSource` contract; u32 has no invalid bit patterns.
+            let (lefts, rights) = unsafe {
+                (
+                    std::slice::from_raw_parts(bytes.as_ptr().add(lefts_off) as *const Pos, len),
+                    std::slice::from_raw_parts(bytes.as_ptr().add(rights_off) as *const Pos, len),
+                )
+            };
+            columns_invariant(lefts, rights)?;
+            let (lp, rp) = (lefts.as_ptr(), rights.as_ptr());
+            Ok(RegionSet {
+                buf: Arc::new(RegionBuf {
+                    cols: ColStore::Borrowed {
+                        _src: src,
+                        lefts: lp,
+                        rights: rp,
+                        len,
+                    },
+                    pm: OnceLock::new(),
+                    rmq: OnceLock::new(),
+                }),
+                start: 0,
+                end: len,
+                min_right: OnceLock::new(),
+            })
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            let decode = |off: usize| -> Vec<Pos> {
+                bytes[off..off + nbytes]
+                    .chunks_exact(width)
+                    .map(|c| Pos::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            };
+            let (lefts, rights) = (decode(lefts_off), decode(rights_off));
+            columns_invariant(&lefts, &rights)?;
+            Ok(RegionSet::from_invariant_columns(lefts, rights))
+        }
+    }
+
     /// Singleton set.
     pub fn singleton(r: Region) -> RegionSet {
         let out = RegionSet::from_invariant_columns(vec![r.left()], vec![r.right()]);
@@ -222,13 +408,13 @@ impl RegionSet {
     /// The left-endpoint column of the view, sorted ascending.
     #[inline]
     pub fn lefts(&self) -> &[Pos] {
-        &self.buf.lefts[self.start..self.end]
+        &self.buf.lefts_all()[self.start..self.end]
     }
 
     /// The right-endpoint column of the view (aligned with [`Self::lefts`]).
     #[inline]
     pub fn rights(&self) -> &[Pos] {
-        &self.buf.rights[self.start..self.end]
+        &self.buf.rights_all()[self.start..self.end]
     }
 
     /// The `i`-th region of the view. Panics if out of bounds.
@@ -340,7 +526,7 @@ impl RegionSet {
     pub fn prefix_max_right(&self) -> &PrefixMaxRight {
         self.buf.pm.get_or_init(|| {
             AuxMetrics::get().pm_built.inc();
-            PrefixMaxRight::over_rights(&self.buf.rights)
+            PrefixMaxRight::over_rights(self.buf.rights_all())
         })
     }
 
@@ -349,7 +535,7 @@ impl RegionSet {
     pub fn min_right_rmq(&self) -> &MinRightRmq {
         self.buf.rmq.get_or_init(|| {
             AuxMetrics::get().rmq_built.inc();
-            MinRightRmq::over_rights(&self.buf.rights)
+            MinRightRmq::over_rights(self.buf.rights_all())
         })
     }
 
@@ -390,17 +576,22 @@ impl RegionSet {
             .min_right
             .get()
             .map(|m| Some(m.map_or(r.right(), |v| v.min(r.right()))));
+        // In-place only for a sole-owner full view over *owned* columns:
+        // borrowed (store-mapped) columns are immutable, so mutating them
+        // always copies on write.
         if self.start == 0 && self.end == self.buf.len() {
             if let Some(buf) = Arc::get_mut(&mut self.buf) {
-                buf.lefts.insert(i, r.left());
-                buf.rights.insert(i, r.right());
-                // The memoized auxiliaries describe the old contents.
-                buf.pm = OnceLock::new();
-                buf.rmq = OnceLock::new();
-                self.end += 1;
-                self.reset_min_right(carried);
-                debug_assert!(self.validate().is_ok(), "insert broke the invariant");
-                return true;
+                if let ColStore::Owned { lefts, rights } = &mut buf.cols {
+                    lefts.insert(i, r.left());
+                    rights.insert(i, r.right());
+                    // The memoized auxiliaries describe the old contents.
+                    buf.pm = OnceLock::new();
+                    buf.rmq = OnceLock::new();
+                    self.end += 1;
+                    self.reset_min_right(carried);
+                    debug_assert!(self.validate().is_ok(), "insert broke the invariant");
+                    return true;
+                }
             }
         }
         let (lefts, rights) = (self.lefts(), self.rights());
@@ -433,14 +624,16 @@ impl RegionSet {
         };
         if self.start == 0 && self.end == self.buf.len() {
             if let Some(buf) = Arc::get_mut(&mut self.buf) {
-                buf.lefts.remove(i);
-                buf.rights.remove(i);
-                buf.pm = OnceLock::new();
-                buf.rmq = OnceLock::new();
-                self.end -= 1;
-                self.reset_min_right(carried);
-                debug_assert!(self.validate().is_ok(), "remove broke the invariant");
-                return true;
+                if let ColStore::Owned { lefts, rights } = &mut buf.cols {
+                    lefts.remove(i);
+                    rights.remove(i);
+                    buf.pm = OnceLock::new();
+                    buf.rmq = OnceLock::new();
+                    self.end -= 1;
+                    self.reset_min_right(carried);
+                    debug_assert!(self.validate().is_ok(), "remove broke the invariant");
+                    return true;
+                }
             }
         }
         let (lefts, rights) = (self.lefts(), self.rights());
@@ -471,11 +664,12 @@ impl RegionSet {
     /// cached `min_right`. Used by debug assertions and tests.
     pub fn validate(&self) -> Result<(), String> {
         let buf = &*self.buf;
-        if buf.lefts.len() != buf.rights.len() {
+        let (lefts, rights) = (buf.lefts_all(), buf.rights_all());
+        if lefts.len() != rights.len() {
             return Err(format!(
                 "column length mismatch: {} lefts vs {} rights",
-                buf.lefts.len(),
-                buf.rights.len()
+                lefts.len(),
+                rights.len()
             ));
         }
         if self.start > self.end || self.end > buf.len() {
@@ -486,30 +680,7 @@ impl RegionSet {
                 buf.len()
             ));
         }
-        for i in 0..buf.len() {
-            if buf.lefts[i] > buf.rights[i] {
-                return Err(format!(
-                    "inverted region at {i}: [{}..{}]",
-                    buf.lefts[i], buf.rights[i]
-                ));
-            }
-            if i > 0
-                && cmp_lr(
-                    buf.lefts[i - 1],
-                    buf.rights[i - 1],
-                    buf.lefts[i],
-                    buf.rights[i],
-                ) != Ordering::Less
-            {
-                return Err(format!(
-                    "order violated at {i}: [{}..{}] !< [{}..{}]",
-                    buf.lefts[i - 1],
-                    buf.rights[i - 1],
-                    buf.lefts[i],
-                    buf.rights[i]
-                ));
-            }
-        }
+        columns_invariant(lefts, rights)?;
         if let Some(&cached) = self.min_right.get() {
             let actual = self.rights().iter().copied().min();
             if cached != actual {
@@ -741,6 +912,23 @@ impl RegionSet {
         out.into_set()
     }
 
+    /// Materializes the rows selected by a [`Bitmask`] over this view
+    /// (bit `i` ⇔ view row `i`): the empty set for an empty mask, a
+    /// zero-copy [`Self::slice`] when the survivors are contiguous, and
+    /// otherwise one bitmask-gather pass ([`kernel::compress`]) into a
+    /// fresh buffer.
+    pub(crate) fn gather_mask(&self, mask: &Bitmask) -> RegionSet {
+        debug_assert_eq!(mask.len(), self.len());
+        match mask.shape() {
+            MaskShape::Empty => RegionSet::new(),
+            MaskShape::Contiguous(lo, hi) => self.slice(lo, hi),
+            MaskShape::Scattered(count) => {
+                let (lefts, rights) = kernel::compress(self.lefts(), self.rights(), mask, count);
+                RegionSet::from_invariant_columns(lefts, rights)
+            }
+        }
+    }
+
     /// [`RegionSet::filter`] with the scan split across threads for large
     /// inputs. The predicate must be pure — chunk boundaries are not
     /// observable in the result.
@@ -778,14 +966,16 @@ impl RegionSet {
             .get_or_init(|| self.rights().iter().copied().min())
     }
 
-    /// Index of the first region with `left >= pos` (lower bound on left).
+    /// Index of the first region with `left >= pos` (branchless lower
+    /// bound on the left column).
     pub fn lower_bound_left(&self, pos: Pos) -> usize {
-        self.lefts().partition_point(|&l| l < pos)
+        kernel::lower_bound(self.lefts(), pos)
     }
 
-    /// Index one past the last region with `left <= pos` (upper bound).
+    /// Index one past the last region with `left <= pos` (branchless upper
+    /// bound on the left column).
     pub fn upper_bound_left(&self, pos: Pos) -> usize {
-        self.lefts().partition_point(|&l| l <= pos)
+        kernel::upper_bound(self.lefts(), pos)
     }
 }
 
@@ -905,9 +1095,17 @@ impl ColsOut {
 /// A two-pointer merge kernel over sorted column pairs.
 type MergeKernel = fn(Cols<'_>, Cols<'_>, &mut ColsOut);
 
-/// Two-pointer union of sorted columns, appended to `out`.
+/// After this many consecutive single-sided steps a merge kernel stops
+/// stepping and gallops ([`kernel::gallop_lower_bound_lr`]) to the other
+/// side's key, turning long runs into one search plus one bulk copy or
+/// skip. Identical output, O(k log g) instead of O(g) for a run of g.
+const GALLOP_AFTER: u32 = 7;
+
+/// Two-pointer union of sorted columns, appended to `out`, galloping
+/// through single-sided runs.
 fn merge_union(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
+    let (mut a_run, mut b_run) = (0u32, 0u32);
     while i < a.len() && j < b.len() {
         let (al, ar) = a.at(i);
         let (bl, br) = b.at(j);
@@ -915,15 +1113,35 @@ fn merge_union(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
             Ordering::Less => {
                 out.push(al, ar);
                 i += 1;
+                b_run = 0;
+                a_run += 1;
+                if a_run >= GALLOP_AFTER {
+                    let k = kernel::gallop_lower_bound_lr(a.lefts, a.rights, i, bl, br);
+                    out.lefts.extend_from_slice(&a.lefts[i..k]);
+                    out.rights.extend_from_slice(&a.rights[i..k]);
+                    i = k;
+                    a_run = 0;
+                }
             }
             Ordering::Greater => {
                 out.push(bl, br);
                 j += 1;
+                a_run = 0;
+                b_run += 1;
+                if b_run >= GALLOP_AFTER {
+                    let k = kernel::gallop_lower_bound_lr(b.lefts, b.rights, j, al, ar);
+                    out.lefts.extend_from_slice(&b.lefts[j..k]);
+                    out.rights.extend_from_slice(&b.rights[j..k]);
+                    j = k;
+                    b_run = 0;
+                }
             }
             Ordering::Equal => {
                 out.push(al, ar);
                 i += 1;
                 j += 1;
+                a_run = 0;
+                b_run = 0;
             }
         }
     }
@@ -931,27 +1149,50 @@ fn merge_union(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     out.extend_from(b, j);
 }
 
-/// Two-pointer intersection of sorted columns, appended to `out`.
+/// Two-pointer intersection of sorted columns, appended to `out`,
+/// galloping the lagging side forward through single-sided runs.
 fn merge_intersect(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
+    let (mut a_run, mut b_run) = (0u32, 0u32);
     while i < a.len() && j < b.len() {
         let (al, ar) = a.at(i);
         let (bl, br) = b.at(j);
         match cmp_lr(al, ar, bl, br) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
+            Ordering::Less => {
+                i += 1;
+                b_run = 0;
+                a_run += 1;
+                if a_run >= GALLOP_AFTER {
+                    i = kernel::gallop_lower_bound_lr(a.lefts, a.rights, i, bl, br);
+                    a_run = 0;
+                }
+            }
+            Ordering::Greater => {
+                j += 1;
+                a_run = 0;
+                b_run += 1;
+                if b_run >= GALLOP_AFTER {
+                    j = kernel::gallop_lower_bound_lr(b.lefts, b.rights, j, al, ar);
+                    b_run = 0;
+                }
+            }
             Ordering::Equal => {
                 out.push(al, ar);
                 i += 1;
                 j += 1;
+                a_run = 0;
+                b_run = 0;
             }
         }
     }
 }
 
-/// Two-pointer difference `a − b` of sorted columns, appended to `out`.
+/// Two-pointer difference `a − b` of sorted columns, appended to `out`,
+/// galloping through single-sided runs (bulk-copying `a`'s, bulk-skipping
+/// `b`'s).
 fn merge_difference(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
     let (mut i, mut j) = (0, 0);
+    let (mut a_run, mut b_run) = (0u32, 0u32);
     while i < a.len() && j < b.len() {
         let (al, ar) = a.at(i);
         let (bl, br) = b.at(j);
@@ -959,11 +1200,30 @@ fn merge_difference(a: Cols<'_>, b: Cols<'_>, out: &mut ColsOut) {
             Ordering::Less => {
                 out.push(al, ar);
                 i += 1;
+                b_run = 0;
+                a_run += 1;
+                if a_run >= GALLOP_AFTER {
+                    let k = kernel::gallop_lower_bound_lr(a.lefts, a.rights, i, bl, br);
+                    out.lefts.extend_from_slice(&a.lefts[i..k]);
+                    out.rights.extend_from_slice(&a.rights[i..k]);
+                    i = k;
+                    a_run = 0;
+                }
             }
-            Ordering::Greater => j += 1,
+            Ordering::Greater => {
+                j += 1;
+                a_run = 0;
+                b_run += 1;
+                if b_run >= GALLOP_AFTER {
+                    j = kernel::gallop_lower_bound_lr(b.lefts, b.rights, j, al, ar);
+                    b_run = 0;
+                }
+            }
             Ordering::Equal => {
                 i += 1;
                 j += 1;
+                a_run = 0;
+                b_run = 0;
             }
         }
     }

@@ -5,19 +5,21 @@
 //! connections behind `Arc`s (the engine stack is `Sync`: its caches are
 //! internally locked). Raw text documents and v1 `.trx` stores are built
 //! eagerly — index construction is the expensive part, and the whole
-//! point of a server is paying it once. v2 `.trx` stores carry a segment
-//! [`Manifest`](tr_store::Manifest) that can be peeked with one
+//! point of a server is paying it once. v2/v3 `.trx` stores carry a
+//! segment [`Manifest`](tr_store::Manifest) that can be peeked with one
 //! constant-size read, so they load **lazily**: startup validates the
 //! manifest (magic, extents, caps) and defers the full decode + suffix
 //! array until the first query against that document. A server fronting
 //! a large corpus thus starts in milliseconds and `list-docs` answers
-//! from manifests alone.
+//! from manifests alone. When a deferred v3 load does fire it goes
+//! through `tr_store::load_document_auto`, i.e. the mapped open — the
+//! columns are used in place rather than decoded.
 //!
 //! Recognised files:
 //!
 //! | pattern          | loaded as                                        |
 //! |------------------|--------------------------------------------------|
-//! | `*.trx` (v2)     | lazily via `tr_store::peek_manifest` + first use |
+//! | `*.trx` (v2/v3)  | lazily via `tr_store::peek_manifest` + first use |
 //! | `*.trx` (v1)     | eagerly via `tr_store::load_document`            |
 //! | `*.sgml`/`*.xml` | SGML-lite text via `Engine::from_sgml`           |
 //! | `*.src`/`*.txt`  | toy-language source via `Engine::from_source`    |
@@ -46,11 +48,11 @@ pub struct Catalog {
 enum Entry {
     /// Engine built at startup (raw text, v1 store, or [`Catalog::insert`]).
     Ready(Arc<Engine>),
-    /// v2 store: manifest validated at startup, body decoded on first use.
+    /// v2/v3 store: manifest validated at startup, body loaded on first use.
     Lazy(LazyDoc),
 }
 
-/// A v2 `.trx` document awaiting its first use.
+/// A v2/v3 `.trx` document awaiting its first use.
 struct LazyDoc {
     path: PathBuf,
     manifest: tr_store::Manifest,
@@ -62,7 +64,7 @@ struct LazyDoc {
 impl LazyDoc {
     fn force(&self) -> &Result<Arc<Engine>, String> {
         self.cell.get_or_init(|| {
-            tr_store::load_document(&self.path)
+            tr_store::load_document_auto(&self.path)
                 .map(|doc| Arc::new(Engine::from_stored(doc)))
                 .map_err(|e| e.to_string())
         })
@@ -245,9 +247,9 @@ fn load_path(path: &Path) -> Result<Option<Entry>, String> {
         .unwrap_or_default();
     match ext.as_str() {
         "trx" => {
-            // v2 stores defer the body; v1 (or anything peek rejects for
-            // a non-manifest reason) goes through the eager loader, whose
-            // error aborts the catalog.
+            // v2/v3 stores defer the body; v1 (or anything peek rejects
+            // for a non-manifest reason) goes through the eager loader,
+            // whose error aborts the catalog.
             if let Ok(manifest) = tr_store::peek_manifest(path) {
                 return Ok(Some(Entry::Lazy(LazyDoc {
                     path: path.to_owned(),
@@ -316,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_stores_load_lazily() {
+    fn trx_stores_load_lazily() {
         let dir = tmp_dir("lazy");
         let e = Engine::from_sgml("<d><s>alpha</s><s>beta gamma</s></d>").unwrap();
         tr_store::save_document(dir.join("doc.trx"), e.text(), e.instance(), e.rig()).unwrap();
@@ -324,7 +326,7 @@ mod tests {
         let catalog = Catalog::open(&dir).unwrap();
         // Listing answers from the manifest without forcing the load.
         let summary = &catalog.summaries()[0];
-        assert!(!summary.loaded, "v2 store must not load at startup");
+        assert!(!summary.loaded, "trx store must not load at startup");
         assert_eq!(summary.name, "doc");
         assert_eq!(summary.regions, e.instance().len() as u64);
         assert_eq!(summary.bytes, e.text().len() as u64);

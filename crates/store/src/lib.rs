@@ -8,6 +8,24 @@
 //! text, its suffix array, the region schema and sets, and an optional
 //! RIG.
 //!
+//! Three format generations coexist:
+//!
+//! * **v1** (`TRXIDX01`): a streamed body (text, suffix array, schema,
+//!   region columns, RIG) with a checksum trailer. Load-only.
+//! * **v2** (`TRXIDX02`): a peekable segment [`Manifest`] before the v1
+//!   body, so a catalog can describe a document without decoding it.
+//!   Load-only; [`save_document_v2`] keeps it writable for tests.
+//! * **v3** (`TRXIDX03`, current): the manifest, then a directory of
+//!   64-byte-aligned section offsets and sectional hashes, then the raw
+//!   little-endian `u32` columns (suffix array, per-name lefts/rights)
+//!   laid out for in-place use, then the text + RIG tail. A v3 file can
+//!   be opened two ways: streamed through the same decoder as v1/v2
+//!   ([`load_document`]), or **mapped** ([`MappedStore`]) — the columns
+//!   are handed to the engine as zero-decode views borrowing the mapping,
+//!   so a cold open costs O(manifest + directory), not O(file).
+//!
+//! [`load_document_auto`] picks the best loader by magic.
+//!
 //! ```
 //! use tr_store::{save_document, load_document, StoredDocument};
 //!
@@ -22,25 +40,41 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod mmap;
 
-use codec::{DecodeError, Decoder, Encoder};
+use codec::{fnv1a_words, DecodeError, Decoder, Encoder, FNV_SEED};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 use tr_core::{Instance, RegionSet, Schema};
 use tr_rig::Rig;
 use tr_text::{SuffixArray, SuffixWordIndex};
+
+pub use mmap::force_read_copy;
 
 /// File magic of the legacy v1 format: a single implicit segment, no
 /// manifest. Still loadable; no longer written by [`save_document`].
 pub const MAGIC: &[u8; 8] = b"TRXIDX01";
 
-/// File magic of the current v2 format: a segment [`Manifest`] (bounds,
-/// names, per-segment region counts) right after the magic, then the v1
-/// body, then the checksum. The up-front manifest lets a reader answer
-/// "what is in this document?" ([`peek_manifest`]) without decoding the
-/// text, suffix array, or columns — the basis of lazy catalog loading.
+/// File magic of the v2 format: a segment [`Manifest`] (bounds, names,
+/// per-segment region counts) right after the magic, then the v1 body,
+/// then the checksum. The up-front manifest lets a reader answer "what is
+/// in this document?" ([`peek_manifest`]) without decoding the text,
+/// suffix array, or columns — the basis of lazy catalog loading. Still
+/// loadable; no longer written by [`save_document`].
 pub const MAGIC_V2: &[u8; 8] = b"TRXIDX02";
+
+/// File magic of the current v3 format: manifest, then an offset/hash
+/// directory, then 64-byte-aligned raw `u32` column sections the engine
+/// can use in place (see [`MappedStore`]), then the text + RIG tail and
+/// the global checksum trailer.
+pub const MAGIC_V3: &[u8; 8] = b"TRXIDX03";
+
+/// v3 section alignment: every column section starts on a 64-byte
+/// boundary (cache-line sized, a multiple of every scalar alignment the
+/// kernels need), with zero-filled gaps.
+const COL_ALIGN: u64 = 64;
 
 /// Hard caps applied while decoding untrusted files.
 const MAX_TEXT: u64 = 1 << 32;
@@ -54,7 +88,7 @@ const MAX_STORED_SEGMENTS: u64 = 1 << 12;
 /// allocation.
 const MAX_TRUSTED_PREALLOC: usize = 1 << 16;
 
-/// The v2 segment manifest: everything a reader needs to describe (or
+/// The v2/v3 segment manifest: everything a reader needs to describe (or
 /// plan the loading of) a stored document without decoding its body.
 ///
 /// Regions are assigned to segments by left endpoint against `bounds`
@@ -83,6 +117,11 @@ impl Manifest {
     /// Total regions across all names and segments.
     pub fn total_regions(&self) -> u64 {
         self.counts.iter().flatten().sum()
+    }
+
+    /// Per-name region totals, in schema order.
+    fn name_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.iter().sum()).collect()
     }
 
     /// Computes the manifest [`save_document`] writes for this document:
@@ -122,16 +161,19 @@ pub struct StoredDocument {
     pub manifest: Option<Manifest>,
 }
 
-/// Errors from [`load_document`].
+/// Errors from [`load_document`] and the mapped open path.
 #[derive(Debug)]
 pub enum LoadError {
     /// Decoding failed (I/O, checksum, malformed lengths).
     Decode(DecodeError),
-    /// The file is not a `TRXIDX01` file.
+    /// The file is not a textregion index file.
     BadMagic,
     /// The contents are inconsistent (bad suffix array, invalid regions,
     /// non-hierarchical instance…).
     Invalid(&'static str),
+    /// A mapped v3 section failed verification (hash, bounds, or column
+    /// invariant).
+    Map(String),
 }
 
 impl std::fmt::Display for LoadError {
@@ -140,6 +182,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Decode(e) => write!(f, "{e}"),
             LoadError::BadMagic => write!(f, "not a textregion index file"),
             LoadError::Invalid(what) => write!(f, "invalid index file: {what}"),
+            LoadError::Map(why) => write!(f, "invalid mapped index: {why}"),
         }
     }
 }
@@ -152,9 +195,130 @@ impl From<DecodeError> for LoadError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// v3 layout
+// ---------------------------------------------------------------------------
+
+/// One name's column section in the v3 directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct V3Col {
+    lefts_off: u64,
+    rights_off: u64,
+    /// Chained [`fnv1a_words`] over the lefts bytes then the rights bytes.
+    hash: u64,
+}
+
+/// The decoded v3 directory: section offsets and sectional hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct V3Dir {
+    sa_off: u64,
+    sa_hash: u64,
+    cols: Vec<V3Col>,
+    body_off: u64,
+    tail_hash: u64,
+}
+
+fn align_up(x: u64) -> u64 {
+    x.next_multiple_of(COL_ALIGN)
+}
+
+/// The deterministic v3 section layout: given where the header ends, the
+/// text length (= suffix array length), and the per-name region totals,
+/// every section offset follows. Writer and readers share this function,
+/// so a reader *recomputes* the layout and rejects any directory that
+/// disagrees — misaligned or overlapping offsets can never be followed.
+fn v3_layout(header_end: u64, text_bytes: u64, totals: &[u64]) -> (u64, Vec<(u64, u64)>, u64) {
+    let sa_off = align_up(header_end);
+    let mut cursor = sa_off + 4 * text_bytes;
+    let mut cols = Vec::with_capacity(totals.len());
+    for &t in totals {
+        let l = align_up(cursor);
+        let r = align_up(l + 4 * t);
+        cursor = r + 4 * t;
+        cols.push((l, r));
+    }
+    (sa_off, cols, align_up(cursor))
+}
+
+/// Byte size of the v3 directory for `n` names: suffix-array entry
+/// (offset + hash), per-name entries (two offsets + hash), body offset,
+/// tail hash, header hash.
+fn v3_dir_size(n: usize) -> u64 {
+    16 + 24 * n as u64 + 24
+}
+
+// ---------------------------------------------------------------------------
+// Saving
+// ---------------------------------------------------------------------------
+
 /// Saves an indexed document (text, suffix array, regions, optional RIG)
-/// in the current v2 format: segment manifest first, then the body.
+/// in the current v3 format: manifest, offset/hash directory, aligned raw
+/// column sections, text + RIG tail, checksum trailer.
 pub fn save_document<W: AsRef<Path>>(
+    path: W,
+    text: &str,
+    instance: &Instance<SuffixWordIndex>,
+    rig: Option<&Rig>,
+) -> std::io::Result<()> {
+    let m = Manifest::for_document(text, instance);
+    let file = BufWriter::new(File::create(path)?);
+    let mut enc = Encoder::new(file);
+    enc.fixed(MAGIC_V3)?;
+    encode_manifest(&mut enc, &m)?;
+    let header_end = enc.position() + v3_dir_size(m.names.len());
+    let totals = m.name_totals();
+    let (sa_off, col_offs, body_off) = v3_layout(header_end, m.text_bytes, &totals);
+
+    // Materialize each section so its hash is known before the directory
+    // is written; the write itself then streams in one pass.
+    let sa_bytes = u32s_le(instance.word_index().suffix_array().raw());
+    let schema = instance.schema();
+    let col_bytes: Vec<(Vec<u8>, Vec<u8>)> = schema
+        .ids()
+        .map(|id| {
+            let set = instance.regions_of(id);
+            (u32s_le(set.lefts()), u32s_le(set.rights()))
+        })
+        .collect();
+    let tail = encode_tail(text, rig);
+
+    // Directory, closed by a hash of everything before it: a reader
+    // verifies the manifest + directory alone, then trusts the offsets.
+    enc.u64(sa_off)?;
+    enc.u64(fnv1a_words(FNV_SEED, &sa_bytes))?;
+    for ((l, r), (lb, rb)) in col_offs.iter().zip(&col_bytes) {
+        enc.u64(*l)?;
+        enc.u64(*r)?;
+        enc.u64(fnv1a_words(fnv1a_words(FNV_SEED, lb), rb))?;
+    }
+    enc.u64(body_off)?;
+    enc.u64(fnv1a_words(FNV_SEED, &tail))?;
+    let header_hash = enc.running_hash();
+    enc.u64(header_hash)?;
+    debug_assert_eq!(enc.position(), header_end);
+
+    // Aligned sections with zero-filled gaps, then the tail and trailer.
+    pad_to(&mut enc, sa_off)?;
+    enc.fixed(&sa_bytes)?;
+    for ((l, r), (lb, rb)) in col_offs.iter().zip(&col_bytes) {
+        pad_to(&mut enc, *l)?;
+        enc.fixed(lb)?;
+        pad_to(&mut enc, *r)?;
+        enc.fixed(rb)?;
+    }
+    pad_to(&mut enc, body_off)?;
+    enc.fixed(&tail)?;
+    enc.finish()?
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_all()
+}
+
+/// Saves in the v2 format (manifest + streamed body). Kept so the
+/// backward-compatibility path — old files must keep loading — stays
+/// exercisable by tests and benchmarks; new files should use
+/// [`save_document`].
+pub fn save_document_v2<W: AsRef<Path>>(
     path: W,
     text: &str,
     instance: &Instance<SuffixWordIndex>,
@@ -172,9 +336,8 @@ pub fn save_document<W: AsRef<Path>>(
 }
 
 /// Saves in the legacy v1 single-segment format (no manifest). Kept so
-/// the backward-compatibility path — old files must keep loading — stays
-/// exercisable by tests and tooling; new files should use
-/// [`save_document`].
+/// the backward-compatibility path stays exercisable by tests and
+/// tooling; new files should use [`save_document`].
 pub fn save_document_v1<W: AsRef<Path>>(
     path: W,
     text: &str,
@@ -207,7 +370,7 @@ fn encode_manifest<W: std::io::Write>(enc: &mut Encoder<W>, m: &Manifest) -> std
     Ok(())
 }
 
-/// The body shared by both format versions: text, suffix array, schema,
+/// The streamed body shared by v1 and v2: text, suffix array, schema,
 /// region columns, optional RIG.
 fn encode_body<W: std::io::Write>(
     enc: &mut Encoder<W>,
@@ -253,20 +416,61 @@ fn encode_body<W: std::io::Write>(
     Ok(())
 }
 
-/// Reads only the magic and [`Manifest`] of a v2 file — constant work in
-/// the document size, so a catalog can describe (and defer) a large
+/// The v3 tail (text + RIG), assembled in memory — byte-identical to the
+/// `Encoder` encodings — so its sectional hash is known before the
+/// directory is written.
+fn encode_tail(text: &str, rig: Option<&Rig>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len() + 32);
+    out.extend_from_slice(&(text.len() as u64).to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+    match rig {
+        None => out.extend_from_slice(&0u64.to_le_bytes()),
+        Some(rig) => {
+            let edges: Vec<_> = rig.edges().collect();
+            out.extend_from_slice(&1u64.to_le_bytes());
+            out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+            for (a, b) in edges {
+                out.extend_from_slice(&(a.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(b.index() as u32).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn u32s_le(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn pad_to<W: std::io::Write>(enc: &mut Encoder<W>, off: u64) -> std::io::Result<()> {
+    const ZEROS: [u8; COL_ALIGN as usize] = [0; COL_ALIGN as usize];
+    let gap = off - enc.position();
+    debug_assert!(gap < COL_ALIGN);
+    enc.fixed(&ZEROS[..gap as usize])
+}
+
+// ---------------------------------------------------------------------------
+// Loading (streamed)
+// ---------------------------------------------------------------------------
+
+/// Reads only the magic and [`Manifest`] of a v2/v3 file — constant work
+/// in the document size, so a catalog can describe (and defer) a large
 /// document without decoding its text, suffix array, or columns.
 ///
 /// The checksum trailer sits at the end of the file and is *not*
-/// verified here; a full [`load_document`] still authenticates
-/// everything, including the manifest bytes, before any query runs.
-/// Legacy v1 files have no manifest and return
+/// verified here; a full load still authenticates everything before any
+/// query runs (v3 additionally covers the manifest with the directory's
+/// header hash). Legacy v1 files have no manifest and return
 /// `Err(LoadError::Invalid(..))`.
 pub fn peek_manifest<P: AsRef<Path>>(path: P) -> Result<Manifest, LoadError> {
     let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
     let mut dec = Decoder::new(file);
     match dec.fixed(8)? {
-        m if m == MAGIC_V2 => decode_manifest(&mut dec),
+        m if m == MAGIC_V2 || m == MAGIC_V3 => decode_manifest(&mut dec),
         m if m == MAGIC => Err(LoadError::Invalid("v1 store has no manifest")),
         _ => Err(LoadError::BadMagic),
     }
@@ -316,14 +520,110 @@ fn decode_manifest<R: std::io::Read>(dec: &mut Decoder<R>) -> Result<Manifest, L
     })
 }
 
-/// Loads a document saved by [`save_document`] (v2, with manifest) or the
-/// legacy v1 writer, verifying the checksum, the suffix array, the
-/// hierarchy invariant, and — for v2 — that the manifest agrees with the
-/// decoded body.
+/// A decoded v3 header: manifest, validated directory, per-name totals.
+struct V3Header {
+    manifest: Manifest,
+    totals: Vec<u64>,
+    dir: V3Dir,
+}
+
+/// Decodes and validates the v3 header (manifest + directory), with the
+/// magic already consumed. The directory is authenticated against the
+/// running header hash, then cross-checked against the recomputed layout:
+/// the offsets are a pure function of the manifest, so a directory that
+/// survives both checks cannot name misaligned, overlapping, or
+/// out-of-order sections.
+fn decode_v3_header<R: std::io::Read>(dec: &mut Decoder<R>) -> Result<V3Header, LoadError> {
+    let manifest = decode_manifest(dec)?;
+    let sa_off = dec.u64()?;
+    let sa_hash = dec.u64()?;
+    let mut cols = Vec::with_capacity(manifest.names.len().min(MAX_TRUSTED_PREALLOC));
+    for _ in 0..manifest.names.len() {
+        cols.push(V3Col {
+            lefts_off: dec.u64()?,
+            rights_off: dec.u64()?,
+            hash: dec.u64()?,
+        });
+    }
+    let body_off = dec.u64()?;
+    let tail_hash = dec.u64()?;
+    let expect = dec.running_hash();
+    if dec.u64()? != expect {
+        return Err(LoadError::Invalid("v3 header hash mismatch"));
+    }
+    let totals = manifest.name_totals();
+    let (e_sa, e_cols, e_body) = v3_layout(dec.position(), manifest.text_bytes, &totals);
+    let offsets_ok = sa_off == e_sa
+        && body_off == e_body
+        && cols
+            .iter()
+            .zip(&e_cols)
+            .all(|(c, &(l, r))| c.lefts_off == l && c.rights_off == r);
+    if !offsets_ok {
+        return Err(LoadError::Invalid("v3 directory does not match manifest"));
+    }
+    Ok(V3Header {
+        manifest,
+        totals,
+        dir: V3Dir {
+            sa_off,
+            sa_hash,
+            cols,
+            body_off,
+            tail_hash,
+        },
+    })
+}
+
+/// Consumes the zero padding up to offset `to`, failing on any nonzero
+/// byte — padding is not covered by any sectional hash, so it must be
+/// checked directly.
+fn read_zero_pad<R: std::io::Read>(dec: &mut Decoder<R>, to: u64) -> Result<(), LoadError> {
+    let gap = to
+        .checked_sub(dec.position())
+        .ok_or(LoadError::Invalid("v3 sections out of order"))?;
+    if gap >= COL_ALIGN {
+        return Err(LoadError::Invalid("v3 padding too large"));
+    }
+    if dec.fixed(gap as usize)?.iter().any(|&b| b != 0) {
+        return Err(LoadError::Invalid("v3 padding not zeroed"));
+    }
+    Ok(())
+}
+
+fn decode_rig_edges<R: std::io::Read>(
+    dec: &mut Decoder<R>,
+) -> Result<Option<Vec<(u32, u32)>>, LoadError> {
+    match dec.u64()? {
+        0 => Ok(None),
+        1 => {
+            let count = dec.u64()?;
+            if count > MAX_REGIONS {
+                return Err(LoadError::Invalid("too many RIG edges"));
+            }
+            let mut edges = Vec::with_capacity((count as usize).min(MAX_TRUSTED_PREALLOC));
+            for _ in 0..count {
+                edges.push((dec.u32()?, dec.u32()?));
+            }
+            Ok(Some(edges))
+        }
+        _ => Err(LoadError::Invalid("bad RIG tag")),
+    }
+}
+
+/// Loads a document saved by any writer version through the streaming
+/// decoder, verifying the checksum, the suffix array, the hierarchy
+/// invariant, and — v2/v3 — that the manifest agrees with the decoded
+/// body. For v3 files [`load_document_auto`] (or [`MappedStore`])
+/// normally skips this full decode.
 pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadError> {
     let file = BufReader::new(File::open(path).map_err(DecodeError::Io)?);
     let mut dec = Decoder::new(file);
-    let manifest = match dec.fixed(8)? {
+    let magic = dec.fixed(8)?;
+    if magic == MAGIC_V3 {
+        return load_v3_streamed(dec);
+    }
+    let manifest = match magic {
         m if m == MAGIC_V2 => Some(decode_manifest(&mut dec)?),
         m if m == MAGIC => None,
         _ => return Err(LoadError::BadMagic),
@@ -366,26 +666,71 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
         }
         sets.push(RegionSet::from_columns(lefts, rights));
     }
-    let rig_edges = match dec.u64()? {
-        0 => None,
-        1 => {
-            let count = dec.u64()?;
-            if count > MAX_REGIONS {
-                return Err(LoadError::Invalid("too many RIG edges"));
-            }
-            let mut edges = Vec::with_capacity((count as usize).min(MAX_TRUSTED_PREALLOC));
-            for _ in 0..count {
-                edges.push((dec.u32()?, dec.u32()?));
-            }
-            Some(edges)
-        }
-        _ => return Err(LoadError::Invalid("bad RIG tag")),
-    };
+    let rig_edges = decode_rig_edges(&mut dec)?;
     dec.finish()?;
+    assemble_document(text, sa, true, names, sets, rig_edges, manifest)
+}
 
-    // Reassemble and validate.
+/// The v3 arm of [`load_document`]: same streaming decoder and global
+/// trailer, plus the header-hash and layout cross-checks and the
+/// zero-padding sweep. This is also the no-`mmap` correctness oracle for
+/// the mapped path.
+fn load_v3_streamed<R: std::io::Read>(mut dec: Decoder<R>) -> Result<StoredDocument, LoadError> {
+    let h = decode_v3_header(&mut dec)?;
+    read_zero_pad(&mut dec, h.dir.sa_off)?;
+    let sa_len = h.manifest.text_bytes as usize;
+    let mut sa = Vec::with_capacity(sa_len.min(MAX_TRUSTED_PREALLOC));
+    for _ in 0..sa_len {
+        sa.push(dec.u32()?);
+    }
+    let mut sets = Vec::with_capacity(h.dir.cols.len());
+    for (col, &total) in h.dir.cols.iter().zip(&h.totals) {
+        read_zero_pad(&mut dec, col.lefts_off)?;
+        let prealloc = (total as usize).min(MAX_TRUSTED_PREALLOC);
+        let mut lefts: Vec<u32> = Vec::with_capacity(prealloc);
+        for _ in 0..total {
+            lefts.push(dec.u32()?);
+        }
+        read_zero_pad(&mut dec, col.rights_off)?;
+        let mut rights: Vec<u32> = Vec::with_capacity(prealloc);
+        for &l in &lefts {
+            let r = dec.u32()?;
+            if l > r {
+                return Err(LoadError::Invalid("inverted region"));
+            }
+            rights.push(r);
+        }
+        sets.push(RegionSet::from_columns(lefts, rights));
+    }
+    read_zero_pad(&mut dec, h.dir.body_off)?;
+    let text = dec.str(MAX_TEXT)?;
+    if text.len() as u64 != h.manifest.text_bytes {
+        return Err(LoadError::Invalid("manifest text length mismatch"));
+    }
+    let rig_edges = decode_rig_edges(&mut dec)?;
+    dec.finish()?;
+    let names = h.manifest.names.clone();
+    assemble_document(text, sa, true, names, sets, rig_edges, Some(h.manifest))
+}
+
+/// Rebuilds and validates a [`StoredDocument`] from decoded parts.
+/// `check_sa` runs the full suffix-array/text consistency scan (the
+/// streamed paths do; the mapped path relies on its sectional hash — see
+/// [`MappedStore::into_document`]).
+fn assemble_document(
+    text: String,
+    sa: Vec<u32>,
+    check_sa: bool,
+    names: Vec<String>,
+    sets: Vec<RegionSet>,
+    rig_edges: Option<Vec<(u32, u32)>>,
+    manifest: Option<Manifest>,
+) -> Result<StoredDocument, LoadError> {
+    if sa.len() != text.len() {
+        return Err(LoadError::Invalid("suffix array length mismatch"));
+    }
     let suffix = SuffixArray::from_parts(text.clone().into_bytes(), sa);
-    if !suffix.is_consistent() {
+    if check_sa && !suffix.is_consistent() {
         return Err(LoadError::Invalid("suffix array does not match text"));
     }
     let schema = Schema::new(names);
@@ -409,9 +754,9 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
         }
     };
 
-    // v2: the manifest must describe exactly the body we decoded — text
-    // size, names, and the per-segment extents of every column under the
-    // left-endpoint assignment rule.
+    // v2/v3: the manifest must describe exactly the body we decoded —
+    // text size, names, and the per-segment extents of every column under
+    // the left-endpoint assignment rule.
     if let Some(m) = &manifest {
         if m.text_bytes != text.len() as u64 {
             return Err(LoadError::Invalid("manifest text length mismatch"));
@@ -438,6 +783,179 @@ pub fn load_document<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadErro
     })
 }
 
+// ---------------------------------------------------------------------------
+// Loading (mapped)
+// ---------------------------------------------------------------------------
+
+/// A v3 catalog opened in place: the file is mapped (or read-copied, see
+/// [`mmap`]) and only the manifest + directory are decoded up front —
+/// O(manifest) cold start. Region columns become zero-decode
+/// [`RegionSet`] views borrowing the mapping, each verified (sectional
+/// hash + order invariant) lazily on first touch and cached.
+///
+/// Verification is per section, so a flipped bit in one name's column
+/// fails that column's first use; [`MappedStore::open`] itself
+/// authenticates the manifest and directory (header hash + recomputed
+/// layout) and sweeps the alignment padding, so no unverified offset is
+/// ever followed. The global checksum trailer is *not* read on this path
+/// — every byte except the trailer itself is covered by a sectional
+/// check.
+pub struct MappedStore {
+    map: Arc<mmap::MappedBytes>,
+    manifest: Manifest,
+    totals: Vec<u64>,
+    dir: V3Dir,
+    /// Lazily verified column views, one per name (cached errors too).
+    views: Vec<OnceLock<Result<RegionSet, String>>>,
+}
+
+impl MappedStore {
+    /// Opens a v3 file for in-place use. Work is O(manifest + directory)
+    /// plus the padding sweep; column bytes are not touched. Non-v3 files
+    /// are rejected (`load_document` handles those).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MappedStore, LoadError> {
+        let map = Arc::new(mmap::MappedBytes::open(path.as_ref()).map_err(DecodeError::Io)?);
+        let bytes = map.bytes();
+        let mut dec = Decoder::new(bytes);
+        match dec.fixed(8)? {
+            m if m == MAGIC_V3 => {}
+            m if m == MAGIC || m == MAGIC_V2 => {
+                return Err(LoadError::Invalid("not a v3 store (use the decode loader)"))
+            }
+            _ => return Err(LoadError::BadMagic),
+        }
+        let h = decode_v3_header(&mut dec)?;
+        let header_end = dec.position();
+        // Minimum tail: text length prefix + RIG tag, then the trailer.
+        let min_len = h
+            .dir
+            .body_off
+            .checked_add(24)
+            .ok_or(LoadError::Invalid("v3 offsets overflow"))?;
+        if (bytes.len() as u64) < min_len {
+            return Err(LoadError::Invalid("v3 file truncated"));
+        }
+        // Sweep the alignment gaps: no sectional hash covers them, and a
+        // file the writer produced has them zeroed.
+        let mut gaps: Vec<(u64, u64)> = Vec::with_capacity(2 * h.dir.cols.len() + 2);
+        gaps.push((header_end, h.dir.sa_off));
+        let mut cursor = h.dir.sa_off + 4 * h.manifest.text_bytes;
+        for (col, &t) in h.dir.cols.iter().zip(&h.totals) {
+            gaps.push((cursor, col.lefts_off));
+            gaps.push((col.lefts_off + 4 * t, col.rights_off));
+            cursor = col.rights_off + 4 * t;
+        }
+        gaps.push((cursor, h.dir.body_off));
+        for (from, to) in gaps {
+            if bytes[from as usize..to as usize].iter().any(|&b| b != 0) {
+                return Err(LoadError::Invalid("v3 padding not zeroed"));
+            }
+        }
+        let views = (0..h.totals.len()).map(|_| OnceLock::new()).collect();
+        Ok(MappedStore {
+            map,
+            manifest: h.manifest,
+            totals: h.totals,
+            dir: h.dir,
+            views,
+        })
+    }
+
+    /// The document's manifest (decoded at open).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// True when the backing bytes are a real mapping (false on the
+    /// read-copy fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// The regions of name `i` (schema order; `i < manifest.names.len()`)
+    /// as a zero-decode view into the mapping. First touch verifies the
+    /// column's sectional hash and order invariant; the verified view —
+    /// or the failure — is cached.
+    pub fn regions(&self, i: usize) -> Result<RegionSet, LoadError> {
+        let col = self.dir.cols[i];
+        let total = self.totals[i] as usize;
+        self.views[i]
+            .get_or_init(|| {
+                let bytes = self.map.bytes();
+                let (lo, ro) = (col.lefts_off as usize, col.rights_off as usize);
+                let lb = &bytes[lo..lo + 4 * total];
+                let rb = &bytes[ro..ro + 4 * total];
+                if fnv1a_words(fnv1a_words(FNV_SEED, lb), rb) != col.hash {
+                    return Err("v3 column hash mismatch".to_owned());
+                }
+                RegionSet::from_borrowed_columns(
+                    Arc::clone(&self.map) as Arc<dyn tr_core::ColumnSource>,
+                    lo,
+                    ro,
+                    total,
+                )
+            })
+            .clone()
+            .map_err(LoadError::Map)
+    }
+
+    /// Builds the full [`StoredDocument`] — suffix array, instance over
+    /// the mapped columns, RIG. The suffix array and tail sections are
+    /// hash-verified here; the per-suffix text consistency scan is
+    /// skipped (the sectional hash already authenticates the bytes as
+    /// written, and `Instance::build` still re-validates the hierarchy).
+    pub fn into_document(self) -> Result<StoredDocument, LoadError> {
+        let bytes = self.map.bytes();
+        let sa_lo = self.dir.sa_off as usize;
+        let sa_bytes = &bytes[sa_lo..sa_lo + 4 * self.manifest.text_bytes as usize];
+        if fnv1a_words(FNV_SEED, sa_bytes) != self.dir.sa_hash {
+            return Err(LoadError::Invalid("v3 suffix array hash mismatch"));
+        }
+        let sa: Vec<u32> = sa_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // The tail spans from `body_off` to the global trailer.
+        let tail = &bytes[self.dir.body_off as usize..bytes.len() - 8];
+        if fnv1a_words(FNV_SEED, tail) != self.dir.tail_hash {
+            return Err(LoadError::Invalid("v3 tail hash mismatch"));
+        }
+        let mut dec = Decoder::new(tail);
+        let text = dec.str(MAX_TEXT)?;
+        if text.len() as u64 != self.manifest.text_bytes {
+            return Err(LoadError::Invalid("manifest text length mismatch"));
+        }
+        let rig_edges = decode_rig_edges(&mut dec)?;
+        if dec.position() != tail.len() as u64 {
+            return Err(LoadError::Invalid("v3 tail has trailing bytes"));
+        }
+        let sets = (0..self.manifest.names.len())
+            .map(|i| self.regions(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let names = self.manifest.names.clone();
+        assemble_document(text, sa, false, names, sets, rig_edges, Some(self.manifest))
+    }
+}
+
+/// Loads a document by the best available path for its format: v3 files
+/// open mapped (zero-decode columns, sectional verification), v1/v2 fall
+/// back to the streaming decoder (counted in `store.decode_fallbacks`).
+pub fn load_document_auto<P: AsRef<Path>>(path: P) -> Result<StoredDocument, LoadError> {
+    let path = path.as_ref();
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read;
+        let mut f = File::open(path).map_err(DecodeError::Io)?;
+        f.read_exact(&mut magic).map_err(DecodeError::Io)?;
+    }
+    if &magic == MAGIC_V3 {
+        MappedStore::open(path)?.into_document()
+    } else {
+        mmap::note_decode_fallback();
+        load_document(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,12 +965,35 @@ mod tests {
         std::env::temp_dir().join(format!("tr_store_test_{}_{name}.trx", std::process::id()))
     }
 
+    /// The per-byte FNV-1a the codec streams — reimplemented here so
+    /// corruption tests can *re-forge* checksums after tampering and
+    /// prove the structural checks fail closed on their own.
+    fn fnv_bytes(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Opens a v3 file mapped and touches every section, mirroring what a
+    /// querying catalog would eventually do.
+    fn mapped_load_all(path: &std::path::Path) -> Result<StoredDocument, LoadError> {
+        let store = MappedStore::open(path)?;
+        for i in 0..store.manifest().names.len() {
+            store.regions(i)?;
+        }
+        store.into_document()
+    }
+
     #[test]
     fn round_trip_sgml_document() {
         let text = "<doc><sec>alpha</sec><sec>beta gamma</sec></doc>";
         let inst = tr_markup::parse_sgml(text).unwrap();
         let path = tmp("sgml");
         save_document(&path, text, &inst, None).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V3);
         let doc = load_document(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(doc.text, text);
@@ -477,10 +1018,61 @@ mod tests {
     }
 
     #[test]
+    fn mapped_open_matches_streamed_load() {
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("mapped");
+        save_document(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+
+        let streamed = load_document(&path).unwrap();
+        let store = MappedStore::open(&path).unwrap();
+        assert_eq!(store.manifest(), streamed.manifest.as_ref().unwrap());
+        // Every column view equals the decoded set, region for region.
+        let schema = streamed.instance.schema().clone();
+        for (i, id) in schema.ids().enumerate() {
+            let view = store.regions(i).unwrap();
+            assert_eq!(&view, streamed.instance.regions_of(id));
+            assert!(view.validate().is_ok());
+        }
+        // And the full document round-trips through the mapped path.
+        let doc = store.into_document().unwrap();
+        assert_eq!(doc.text, streamed.text);
+        assert_eq!(doc.instance.len(), streamed.instance.len());
+        assert_eq!(doc.rig, streamed.rig);
+        let q = tr_core::Expr::name(schema.expect_id("Var")).select("x");
+        assert_eq!(eval(&q, &doc.instance), eval(&q, &streamed.instance));
+
+        // The auto loader takes the mapped path for v3.
+        let auto = load_document_auto(&path).unwrap();
+        assert_eq!(auto.instance.len(), streamed.instance.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_copy_fallback_matches_mmap() {
+        let text = "<doc><sec>alpha beta</sec><sec>gamma</sec></doc>";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        let path = tmp("fallback");
+        save_document(&path, text, &inst, None).unwrap();
+
+        force_read_copy(true);
+        let store = MappedStore::open(&path);
+        force_read_copy(false);
+        let store = store.unwrap();
+        assert!(!store.is_mapped(), "forced fallback must not map");
+        let doc = store.into_document().unwrap();
+        let direct = load_document(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.text, direct.text);
+        assert_eq!(doc.instance.len(), direct.instance.len());
+    }
+
+    #[test]
     fn rejects_garbage_and_tampering() {
         let path = tmp("garbage");
         std::fs::write(&path, b"definitely not an index").unwrap();
         assert!(load_document(&path).is_err());
+        assert!(MappedStore::open(&path).is_err());
 
         let text = "<a>hi</a>";
         let inst = tr_markup::parse_sgml(text).unwrap();
@@ -527,15 +1119,103 @@ mod tests {
     }
 
     #[test]
+    fn mapped_path_fails_closed_on_truncation_and_bit_flips() {
+        // The mapped open never reads the global trailer, so its
+        // per-section defenses must catch everything on their own:
+        // header hash over manifest + directory, recomputed layout,
+        // padding sweep, sectional hashes over SA/columns/tail.
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("mapped_sweep");
+        save_document(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        assert!(mapped_load_all(&path).is_ok(), "pristine file maps");
+        for len in 0..good.len() {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert!(mapped_load_all(&path).is_err(), "truncated to {len} bytes");
+        }
+        // Every bit of every byte except the trailer (the mapped path
+        // does not promise to verify the trailer itself).
+        for i in 0..good.len() - 8 {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[i] ^= 1 << bit;
+                std::fs::write(&path, &bad).unwrap();
+                assert!(mapped_load_all(&path).is_err(), "bit {bit} of byte {i}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forged_checksums_do_not_resurrect_bad_layout() {
+        // Tampering that also re-forges the checksums — the structural
+        // checks (layout recomputation, padding sweep) must fail closed
+        // on their own, never alias garbage columns.
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("forged");
+        save_document(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Locate the directory: magic + manifest, sized by re-encoding.
+        let m = Manifest::for_document(text, &inst);
+        let mut probe = Encoder::new(Vec::new());
+        encode_manifest(&mut probe, &m).unwrap();
+        let dir_start = 8 + probe.position() as usize;
+        let dir_size = v3_dir_size(m.names.len()) as usize;
+        let header_end = dir_start + dir_size;
+
+        let reforge = |mut bad: Vec<u8>| {
+            // Recompute the header hash over everything before it, then
+            // the global trailer over everything before *it*.
+            let hh = fnv_bytes(&bad[..header_end - 8]);
+            bad[header_end - 8..header_end].copy_from_slice(&hh.to_le_bytes());
+            let n = bad.len();
+            let trailer = fnv_bytes(&bad[..n - 8]);
+            bad[n - 8..].copy_from_slice(&trailer.to_le_bytes());
+            bad
+        };
+
+        // (a) Misaligned suffix-array offset (+4): hashes check out, but
+        // the recomputed layout disagrees.
+        let mut bad = good.clone();
+        let sa_off = u64::from_le_bytes(bad[dir_start..dir_start + 8].try_into().unwrap());
+        bad[dir_start..dir_start + 8].copy_from_slice(&(sa_off + 4).to_le_bytes());
+        std::fs::write(&path, reforge(bad)).unwrap();
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(LoadError::Invalid("v3 directory does not match manifest"))
+        ));
+        assert!(load_document(&path).is_err());
+
+        // (b) A nonzero byte in the alignment padding right before the
+        // suffix array: no sectional hash covers padding, so only the
+        // explicit sweep can (and must) catch it.
+        let mut bad = good.clone();
+        assert!(sa_off as usize > header_end, "v3 files pad before the SA");
+        bad[header_end] = 0xAA;
+        std::fs::write(&path, reforge(bad)).unwrap();
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(LoadError::Invalid("v3 padding not zeroed"))
+        ));
+        assert!(load_document(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_document_round_trips() {
         let text = "no markup";
         let inst = tr_markup::parse_sgml(text).unwrap();
         let path = tmp("empty");
         save_document(&path, text, &inst, None).unwrap();
         let doc = load_document(&path).unwrap();
+        let mapped = mapped_load_all(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(doc.instance.is_empty());
         assert_eq!(doc.text, text);
+        assert_eq!(mapped.text, text);
     }
 
     #[test]
@@ -549,9 +1229,11 @@ mod tests {
         assert_eq!(m.num_segments(), 1);
         assert_eq!(m.total_regions(), 0);
         let doc = load_document(&path).unwrap();
+        let mapped = mapped_load_all(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(doc.text, "");
         assert!(doc.instance.is_empty());
+        assert_eq!(mapped.text, "");
     }
 
     #[test]
@@ -570,6 +1252,26 @@ mod tests {
         let doc = load_document(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(doc.manifest.is_none());
+        assert_eq!(doc.text, text);
+        assert_eq!(doc.instance.len(), inst.len());
+        assert_eq!(doc.rig.unwrap(), Rig::figure_1());
+    }
+
+    #[test]
+    fn v2_stores_still_load() {
+        let text = "program a; proc b; var x; begin end; begin end.";
+        let inst = tr_markup::parse_program(text).unwrap();
+        let path = tmp("v2_compat");
+        save_document_v2(&path, text, &inst, Some(&Rig::figure_1())).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V2);
+        // The manifest peeks, the body decodes, and the auto loader
+        // routes v2 through the streaming path.
+        let peeked = peek_manifest(&path).unwrap();
+        let doc = load_document_auto(&path).unwrap();
+        // A mapped open of a non-v3 file is a clean refusal.
+        assert!(MappedStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.manifest.as_ref(), Some(&peeked));
         assert_eq!(doc.text, text);
         assert_eq!(doc.instance.len(), inst.len());
         assert_eq!(doc.rig.unwrap(), Rig::figure_1());

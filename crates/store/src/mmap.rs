@@ -1,0 +1,247 @@
+//! Read-only file mappings for the v3 zero-decode open path.
+//!
+//! [`MappedBytes::open`] maps a store file into memory (private,
+//! read-only `mmap(2)` via a minimal FFI shim — the workspace is
+//! dependency-free) and falls back to an aligned heap read-copy when
+//! mapping is unavailable: non-Unix targets, builds without the `mmap`
+//! feature, a failing syscall, or the [`force_read_copy`] test switch.
+//! Either way the caller gets a [`tr_core::ColumnSource`]: stable,
+//! immutable bytes that `RegionSet` views can borrow for the mapping's
+//! whole lifetime.
+//!
+//! Both paths guarantee at least 8-byte base alignment (pages for mmap,
+//! a `u64` heap buffer for the copy), so the format's 64-byte-aligned
+//! column offsets always land `u32`-aligned in memory.
+//!
+//! Two registry counters make the dispatch observable: `store.mmap_opens`
+//! counts true mappings, `store.decode_fallbacks` counts opens served by
+//! a copy or by the streaming decoder instead.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use tr_core::ColumnSource;
+use tr_obs::Counter;
+
+/// Counters for the open-path dispatch, cached once per process.
+struct MmapMetrics {
+    mmap_opens: Arc<Counter>,
+    decode_fallbacks: Arc<Counter>,
+}
+
+fn metrics() -> &'static MmapMetrics {
+    static METRICS: OnceLock<MmapMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MmapMetrics {
+        mmap_opens: tr_obs::counter("store.mmap_opens"),
+        decode_fallbacks: tr_obs::counter("store.decode_fallbacks"),
+    })
+}
+
+/// Records an open that bypassed the mapped path entirely (v1/v2 file,
+/// or a v3 open that had to read-copy).
+pub(crate) fn note_decode_fallback() {
+    metrics().decode_fallbacks.inc();
+}
+
+static FORCE_READ_COPY: AtomicBool = AtomicBool::new(false);
+
+/// Forces [`MappedBytes::open`] onto the aligned read-copy fallback
+/// (tests use this to exercise the no-mmap path on any platform).
+pub fn force_read_copy(on: bool) {
+    FORCE_READ_COPY.store(on, Ordering::SeqCst);
+}
+
+/// A whole store file as stable read-only bytes: an `mmap` when
+/// available, an aligned heap copy otherwise.
+pub struct MappedBytes {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(all(unix, feature = "mmap"))]
+    Map(Mapping),
+    Heap(AlignedBytes),
+}
+
+impl MappedBytes {
+    /// Opens `path` as mapped (preferred) or copied bytes. Only I/O can
+    /// fail; a failed `mmap` syscall silently falls back to the copy.
+    pub fn open(path: &Path) -> std::io::Result<MappedBytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large"))?;
+        if !FORCE_READ_COPY.load(Ordering::SeqCst) {
+            #[cfg(all(unix, feature = "mmap"))]
+            if len > 0 {
+                if let Some(map) = Mapping::new(&file, len) {
+                    metrics().mmap_opens.inc();
+                    return Ok(MappedBytes {
+                        backing: Backing::Map(map),
+                    });
+                }
+            }
+        }
+        metrics().decode_fallbacks.inc();
+        Ok(MappedBytes {
+            backing: Backing::Heap(AlignedBytes::read_from(&mut file, len)?),
+        })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, feature = "mmap"))]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(h) => h.bytes(),
+        }
+    }
+
+    /// True when backed by a real mapping (false on the copy fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, feature = "mmap"))]
+            Backing::Map(_) => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl ColumnSource for MappedBytes {
+    fn bytes(&self) -> &[u8] {
+        MappedBytes::bytes(self)
+    }
+}
+
+/// A byte buffer with `u64` base alignment — `Vec<u8>` only guarantees
+/// alignment 1, which would break the in-place `u32` column views.
+struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn read_from(file: &mut File, len: usize) -> std::io::Result<AlignedBytes> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // View the zeroed u64 buffer as bytes for the read; the tail
+        // bytes past `len` stay zero.
+        let buf: &mut [u8] =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast(), len) };
+        file.read_exact(buf)?;
+        Ok(AlignedBytes { words, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast(), self.len) }
+    }
+}
+
+/// A private read-only `mmap(2)` of a whole file, unmapped on drop.
+#[cfg(all(unix, feature = "mmap"))]
+struct Mapping {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+// Safety: the mapping is PROT_READ MAP_PRIVATE — the kernel never lets
+// anyone write through it, and the pointer/length pair is immutable for
+// the struct's lifetime.
+#[cfg(all(unix, feature = "mmap"))]
+unsafe impl Send for Mapping {}
+#[cfg(all(unix, feature = "mmap"))]
+unsafe impl Sync for Mapping {}
+
+#[cfg(all(unix, feature = "mmap"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(all(unix, feature = "mmap"))]
+impl Mapping {
+    /// Maps `len` bytes of `file`; `None` when the syscall fails (the
+    /// caller falls back to a read-copy).
+    fn new(file: &File, len: usize) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return None;
+        }
+        Some(Mapping { ptr, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr.cast(), self.len) }
+    }
+}
+
+#[cfg(all(unix, feature = "mmap"))]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tr_store_mmap_{}_{name}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_and_copied_bytes_agree() {
+        let path = tmp("agree");
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        std::fs::write(&path, &data).unwrap();
+
+        let mapped = MappedBytes::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), &data[..]);
+
+        force_read_copy(true);
+        let copied = MappedBytes::open(&path).unwrap();
+        force_read_copy(false);
+        assert!(!copied.is_mapped());
+        assert_eq!(copied.bytes(), &data[..]);
+        // The copy fallback must still hand out u32-alignable memory.
+        assert_eq!(copied.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_opens() {
+        let path = tmp("empty");
+        std::fs::write(&path, b"").unwrap();
+        let m = MappedBytes::open(&path).unwrap();
+        assert!(m.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

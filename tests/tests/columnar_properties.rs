@@ -5,7 +5,21 @@
 //! buffer they alias.
 
 use proptest::prelude::*;
+use tr_core::kernel::{set_mode, Mode};
 use tr_core::{ops, par::Parallelism, region, Pos, Region, RegionSet};
+
+/// The three kernel dispatch modes every operator must agree across.
+const MODES: [Mode; 3] = [Mode::ForceScalar, Mode::ForceChunked, Mode::Auto];
+
+/// Restores [`Mode::Auto`] when dropped, so a failing property case
+/// cannot leave the process-global dispatch mode pinned for the other
+/// tests in this binary.
+struct ModeGuard;
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        set_mode(Mode::Auto);
+    }
+}
 
 /// Strategy: a random sorted, deduplicated `Vec<Region>` — the oracle's
 /// representation, built without `RegionSet` involvement (`Region`'s
@@ -112,6 +126,113 @@ proptest! {
         let from_cols = RegionSet::from_columns(lefts, rights);
         prop_assert!(from_cols.validate().is_ok());
         prop_assert_eq!(from_cols, RegionSet::from_regions(regions));
+    }
+
+    /// Kernel dispatch must be invisible in the output: every structural
+    /// operator, serial and parallel, returns byte-identical results
+    /// under the forced scalar loops, the forced 8-lane chunked loops,
+    /// and `Auto` — including over **misaligned mid-buffer views**, whose
+    /// start offsets put the columns at arbitrary lane/word phase (the
+    /// chunked kernels' masks and tails must respect the view window, not
+    /// the backing buffer).
+    #[test]
+    fn kernel_modes_are_byte_identical(
+        av in region_vecs(), bv in region_vecs(),
+        alo in 0usize..48, alen in 0usize..48,
+        blo in 0usize..48, blen in 0usize..48,
+    ) {
+        let _guard = ModeGuard;
+        let a_full = RegionSet::from_regions(av.clone());
+        let b_full = RegionSet::from_regions(bv.clone());
+        let (alo, blo) = (alo.min(av.len()), blo.min(bv.len()));
+        let ahi = (alo + alen).min(av.len());
+        let bhi = (blo + blen).min(bv.len());
+        let (a, b) = (a_full.slice(alo, ahi), b_full.slice(blo, bhi));
+        let (aw, bw) = (&av[alo..ahi], &bv[blo..bhi]);
+        let p = par();
+        type Pred = fn(Region, Region) -> bool;
+        type Op = fn(&RegionSet, &RegionSet) -> RegionSet;
+        type ParOp = fn(&RegionSet, &RegionSet, &Parallelism) -> RegionSet;
+        let cases: [(Op, ParOp, Pred); 4] = [
+            (ops::includes, ops::includes_par, |x, y| x.includes(y)),
+            (ops::included_in, ops::included_in_par, |x, y| x.included_in(y)),
+            (ops::precedes, ops::precedes_par, |x, y| x.precedes(y)),
+            (ops::follows, ops::follows_par, |x, y| x.follows(y)),
+        ];
+        for (f, fp, pred) in cases {
+            let want = sel(aw, bw, pred);
+            for mode in MODES {
+                set_mode(mode);
+                assert_matches(&f(&a, &b), &want);
+                assert_matches(&fp(&a, &b, &p), &want);
+            }
+        }
+    }
+
+    /// Set algebra under every kernel mode (the merges gallop after long
+    /// single-side runs; the gallop must not change a single byte), again
+    /// over misaligned mid-buffer views.
+    #[test]
+    fn set_ops_are_mode_invariant(
+        av in region_vecs(), bv in region_vecs(),
+        alo in 0usize..48, blo in 0usize..48,
+    ) {
+        let _guard = ModeGuard;
+        let a_full = RegionSet::from_regions(av.clone());
+        let b_full = RegionSet::from_regions(bv.clone());
+        let (alo, blo) = (alo.min(av.len()), blo.min(bv.len()));
+        let (a, b) = (a_full.slice(alo, av.len()), b_full.slice(blo, bv.len()));
+        let (aw, bw) = (&av[alo..], &bv[blo..]);
+
+        let mut union: Vec<Region> = aw.iter().chain(bw).copied().collect();
+        union.sort();
+        union.dedup();
+        let inter: Vec<Region> = aw.iter().copied().filter(|x| bw.contains(x)).collect();
+        let diff: Vec<Region> = aw.iter().copied().filter(|x| !bw.contains(x)).collect();
+        for mode in MODES {
+            set_mode(mode);
+            assert_matches(&a.union(&b), &union);
+            assert_matches(&a.intersect(&b), &inter);
+            assert_matches(&a.difference(&b), &diff);
+        }
+    }
+
+    /// Segment-window decomposition, the invariant the segmented corpus
+    /// engine rests on: slicing the probe side at its segment split
+    /// points and running an operator per window (against the full
+    /// partner side) answers exactly the whole-set oracle per window, and
+    /// the windows concatenate back to the whole-set result — under every
+    /// kernel mode, with window starts straddling lane boundaries.
+    #[test]
+    fn segment_windows_stitch_identically(
+        av in region_vecs(), bv in region_vecs(), nseg in 1usize..6,
+    ) {
+        let _guard = ModeGuard;
+        let a = RegionSet::from_regions(av.clone());
+        let b = RegionSet::from_regions(bv.clone());
+        let bounds = tr_core::seg::segment_bounds(256, nseg);
+        let ps = tr_core::seg::split_points(&a, &bounds);
+        type Pred = fn(Region, Region) -> bool;
+        type Op = fn(&RegionSet, &RegionSet) -> RegionSet;
+        let cases: [(Op, Pred); 2] = [
+            (ops::includes, |x, y| x.includes(y)),
+            (ops::included_in, |x, y| x.included_in(y)),
+        ];
+        for (f, pred) in cases {
+            let whole = sel(&av, &bv, pred);
+            for mode in MODES {
+                set_mode(mode);
+                let mut stitched: Vec<Region> = Vec::new();
+                for w in ps.windows(2) {
+                    let win = a.slice(w[0], w[1]);
+                    let want = sel(&av[w[0]..w[1]], &bv, pred);
+                    let got = f(&win, &b);
+                    assert_matches(&got, &want);
+                    stitched.extend(got.to_vec());
+                }
+                prop_assert_eq!(&stitched, &whole, "windows must stitch to the whole");
+            }
+        }
     }
 
     /// The aliasing guarantee: a zero-copy slice is a frozen snapshot.

@@ -189,4 +189,70 @@ fn batch_stats_and_obs_registry_agree() {
             "snapshot carries {name}"
         );
     }
+
+    // Kernel-dispatch counters. Force the chunked path (deterministic
+    // regardless of the `simd` feature) and run a containment query: the
+    // `included_in` sweep goes through the mask kernels, whose inputs
+    // here are smaller than a lane block, so the invocation must also
+    // count a scalar tail. (This binary holds a single test, so flipping
+    // the process-global mode is safe.)
+    let k_before = (
+        tr_obs::counter_value("exec.kernel_simd"),
+        tr_obs::counter_value("exec.kernel_scalar_tail"),
+    );
+    tr_core::kernel::set_mode(tr_core::kernel::Mode::ForceChunked);
+    let fresh = Engine::from_source(text).unwrap();
+    let forced = fresh.query("Name within Proc_header within Proc").unwrap();
+    tr_core::kernel::set_mode(tr_core::kernel::Mode::Auto);
+    assert_eq!(forced, res1[0], "chunked kernels answer identically");
+    let k_after = (
+        tr_obs::counter_value("exec.kernel_simd"),
+        tr_obs::counter_value("exec.kernel_scalar_tail"),
+    );
+    assert!(k_after.0 > k_before.0, "chunked kernel invocations counted");
+    assert!(
+        k_after.1 > k_before.1,
+        "sub-lane inputs finish on the scalar tail"
+    );
+
+    // Store-open counters. A v3 save + auto load takes the mapped path,
+    // a v2 file falls back to the streaming decoder; every open lands in
+    // exactly one of the two counters.
+    let s_before = (
+        tr_obs::counter_value("store.mmap_opens"),
+        tr_obs::counter_value("store.decode_fallbacks"),
+    );
+    let dir = std::env::temp_dir().join(format!("tr_obs_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v3 = dir.join("v3.trx");
+    let v2 = dir.join("v2.trx");
+    tr_store::save_document(&v3, engine.text(), engine.instance(), engine.rig()).unwrap();
+    tr_store::save_document_v2(&v2, engine.text(), engine.instance(), engine.rig()).unwrap();
+    tr_store::load_document_auto(&v3).unwrap();
+    tr_store::load_document_auto(&v2).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let s_after = (
+        tr_obs::counter_value("store.mmap_opens"),
+        tr_obs::counter_value("store.decode_fallbacks"),
+    );
+    let (d_mmap, d_fallback) = (s_after.0 - s_before.0, s_after.1 - s_before.1);
+    assert_eq!(d_mmap + d_fallback, 2, "each open counted exactly once");
+    assert!(d_fallback >= 1, "the v2 open is always a decode fallback");
+    #[cfg(unix)]
+    assert_eq!(d_mmap, 1, "the v3 open maps on unix");
+
+    // All four new counters ride the same snapshot as the rest.
+    let snap = tr_obs::snapshot();
+    let counters = snap.get("counters").expect("snapshot has counters");
+    for name in [
+        "exec.kernel_simd",
+        "exec.kernel_scalar_tail",
+        "store.mmap_opens",
+        "store.decode_fallbacks",
+    ] {
+        assert!(
+            counters.get(name).and_then(|j| j.as_u64()).is_some(),
+            "snapshot carries {name}"
+        );
+    }
 }
