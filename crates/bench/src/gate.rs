@@ -175,6 +175,26 @@ fn counter_deltas(before: &[(String, u64)]) -> Vec<(String, u64)> {
     out
 }
 
+/// The fixed CPU-bound calibration workload: ~4 ms of serial integer
+/// mixing, dependent enough that nothing vectorizes or folds away. Both
+/// gates normalize with it — this perf gate rescales baseline times by
+/// the observed ratio, and the load gate (`tr-bencher check`) scales its
+/// p99 budgets the same way — so the two agree on what "a slower
+/// machine" means.
+pub fn calibration_workload() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..20_000_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Best-of-9 seconds for [`calibration_workload`] — the number a
+/// baseline's `calibrate` entry records, measured fresh.
+pub fn calibration_secs() -> f64 {
+    time_min(9, &mut || std::hint::black_box(calibration_workload()))
+}
+
 /// Best-of-`iters` wall time. The *minimum* is the estimator here, not
 /// the mean: scheduling noise and frequency scaling only ever add time,
 /// so the min converges on the true cost and keeps run-to-run variance
@@ -227,11 +247,7 @@ pub fn run_suite(handicap: f64) -> Suite {
     // time is never gated, only used to rescale the others. Long enough
     // (~4 ms) that timer noise is negligible against it.
     benches.push(bench("calibrate", 9, || {
-        let mut acc = 0u64;
-        for i in 0..20_000_000u64 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-        }
-        std::hint::black_box(acc)
+        std::hint::black_box(calibration_workload())
     }));
 
     // Operator kernels over large flat sets (the paper's core operators).

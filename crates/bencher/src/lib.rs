@@ -1,0 +1,39 @@
+//! # tr-bencher — open-loop load harness for tr-serve
+//!
+//! tr-bench (E14) measures *closed-loop* throughput: its clients wait
+//! for each reply before sending the next request, so when the server
+//! slows down the offered load politely slows with it and queueing
+//! never shows up in the numbers. This crate is the complementary
+//! instrument: an **open-loop** generator that schedules arrivals at a
+//! fixed rate against a live server, opens a fresh connection whenever
+//! the pool is busy instead of blocking the schedule, and records every
+//! request's fate — so tail latency under load is measured honestly,
+//! coordinated-omission included (latency counts from the *scheduled*
+//! arrival, not the send).
+//!
+//! The pieces:
+//!
+//! * [`scenario`] — the declarative `key = value` DSL describing a load
+//!   shape: corpus size, hot/cold document ratio, query-shape mix
+//!   (point / join / batch / oversize), session views, server sizing,
+//!   offered rate;
+//! * [`loadgen`] — the scheduler, connection pool, and per-request
+//!   trace ([`loadgen::RequestRecord`], [`loadgen::Outcome`]);
+//! * [`report`] — reduction to p50/p90/p95/p99/max via the shared
+//!   `tr_obs::Histogram` interpolation, the `load-report.json` format,
+//!   and the `LOAD_BASELINE.json` gate with calibration rescaling.
+//!
+//! The `tr-bencher` binary wires them into `run`, `check` (the CI
+//! gate), `sweep` (the E18 latency-vs-offered-rate curve), `baseline`,
+//! and `gen-corpus`. See DESIGN.md § "Load generation & tail-latency
+//! gating".
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod report;
+pub mod scenario;
+
+pub use loadgen::{arrival_schedule, build_plan, run_load, Outcome, RequestRecord, RunResult};
+pub use report::{check, reduce, LoadBaseline, LoadReport, Summary, Violation};
+pub use scenario::{Scenario, ScenarioError};

@@ -1,0 +1,457 @@
+//! Open-loop load generation against a live tr-serve instance.
+//!
+//! The generator is *open-loop*: request i is due at `start + i/rate`
+//! regardless of whether earlier requests have been answered. When the
+//! due time arrives, an idle pooled connection is reused if one exists;
+//! otherwise a **fresh connection is opened** rather than waiting for
+//! one to free up. A closed-loop driver (tr-bench's E14) silently slows
+//! its arrival rate to match the server and thereby hides queueing — the
+//! classic coordinated-omission bias. Here latency is measured from the
+//! *scheduled* arrival, so a stalled server shows up as a growing tail
+//! instead of a shrinking request count.
+//!
+//! Each request yields one [`RequestRecord`] with nanosecond offsets
+//! (scheduled, sent, first reply byte, done) and an [`Outcome`]; the
+//! reduction to percentiles lives in [`crate::report`].
+
+use crate::scenario::Scenario;
+use rand::prelude::*;
+use std::collections::HashSet;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tr_obs::Json;
+use tr_serve::{Client, ClientError, ReplyTiming};
+
+/// The vocabulary `tr_bench::sgml_workload` salts documents with; point
+/// queries draw from the same list so hit counts are realistic.
+const WORDS: [&str; 12] = [
+    "the", "region", "algebra", "text", "query", "index", "tree", "node", "pattern", "search",
+    "word", "engine",
+];
+
+/// Name of the per-connection session view used when
+/// `Scenario::session_views` is on.
+pub const VIEW_NAME: &str = "bench_hot";
+/// Its definition (annotated sections — selective but non-trivial).
+pub const VIEW_DEF: &str = "sec containing note";
+
+/// Catalog name of document `i` — shared by the in-process booter,
+/// `gen-corpus` (which writes `doc{i}.sgml`, cataloged by file stem),
+/// and the plan builder.
+pub fn doc_name(i: usize) -> String {
+    format!("doc{i}")
+}
+
+/// One request the plan will send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkItem {
+    /// A single `query` frame. When `via_view` is set the query text
+    /// references [`VIEW_NAME`], which the connection defines (untimed)
+    /// on first use for that doc.
+    Query {
+        /// Target document index.
+        doc: usize,
+        /// The query text.
+        q: String,
+        /// Route through the session view.
+        via_view: bool,
+    },
+    /// A `batch` frame carrying three queries under one shared plan.
+    Batch {
+        /// Target document index.
+        doc: usize,
+        /// The batch members.
+        queries: Vec<String>,
+    },
+    /// A deliberately oversize line; the *expected* reply is the
+    /// server's `too_large` error, which counts as [`Outcome::Ok`].
+    Oversize,
+}
+
+/// How one request ended, from the client's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The expected reply arrived (for [`WorkItem::Oversize`], that
+    /// expected reply is the `too_large` error frame).
+    Ok,
+    /// The server refused admission (`rejected`): queue full.
+    Rejected,
+    /// The server answered `timeout`: the deadline expired in queue.
+    DeadlineExpired,
+    /// Any other structured server error — a scenario bug.
+    Error,
+    /// The connection itself failed (connect, I/O, protocol); the
+    /// connection is discarded rather than returned to the pool.
+    Transport,
+}
+
+/// Per-request trace entry. All fields are nanosecond offsets from the
+/// run's start instant, so records order and subtract cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When the open-loop schedule said this request should arrive.
+    pub scheduled_ns: u64,
+    /// When the request frame was actually written.
+    pub sent_ns: u64,
+    /// When the first byte of the reply arrived (equals `done_ns` when
+    /// the reply's timing was lost to an error path).
+    pub first_byte_ns: u64,
+    /// When the exchange finished.
+    pub done_ns: u64,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+impl RequestRecord {
+    /// Client-perceived latency: scheduled arrival → completion. This
+    /// is the coordinated-omission-corrected number — generator lag
+    /// (sent − scheduled) counts against the server, as it would for a
+    /// real arrival that found the system busy.
+    pub fn latency_ns(&self) -> u64 {
+        self.done_ns.saturating_sub(self.scheduled_ns)
+    }
+
+    /// Generator lag: how late the send itself was. A healthy open
+    /// loop keeps this small; the reducer reports its p99 so a noisy
+    /// host can't masquerade as a slow server.
+    pub fn sched_lag_ns(&self) -> u64 {
+        self.sent_ns.saturating_sub(self.scheduled_ns)
+    }
+
+    /// Send → first reply byte: queueing + execution without
+    /// serialization of the (possibly large) reply body.
+    pub fn first_byte_latency_ns(&self) -> u64 {
+        self.first_byte_ns.saturating_sub(self.sent_ns)
+    }
+}
+
+/// Everything one run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// One record per scheduled request, sorted by `scheduled_ns`.
+    pub records: Vec<RequestRecord>,
+    /// Wall-clock from first scheduled arrival to last completion.
+    pub wall: Duration,
+    /// Connections opened over the run (pool reuse keeps this near the
+    /// concurrency level, not the request count).
+    pub connections: u64,
+}
+
+/// The deterministic arrival schedule: `n = round(rate · duration)`
+/// offsets at exactly `i / rate` seconds. Deterministic spacing (rather
+/// than Poisson) keeps run-to-run variance out of the CI gate; the
+/// queueing the gate cares about comes from service-time variance.
+pub fn arrival_schedule(rate: f64, duration: Duration) -> Vec<Duration> {
+    let n = (rate * duration.as_secs_f64()).round().max(1.0) as usize;
+    (0..n)
+        .map(|i| Duration::from_secs_f64(i as f64 / rate))
+        .collect()
+}
+
+/// Builds the request plan: `n` work items drawn from the scenario's
+/// mix and document distribution, deterministically from its seed.
+pub fn build_plan(sc: &Scenario, n: usize) -> Vec<WorkItem> {
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 0x6c6f_6164); // ^ "load"
+    let total = sc.mix.total();
+    (0..n)
+        .map(|_| {
+            let doc = if sc.docs == 1 || rng.gen_bool(sc.hot_fraction) {
+                0
+            } else {
+                rng.gen_range(1..sc.docs)
+            };
+            let pick = rng.gen_range(0..total);
+            if pick < sc.mix.point {
+                let via_view = sc.session_views && rng.gen_bool(0.5);
+                let q = if via_view {
+                    format!("{VIEW_NAME} matching \"{}\"", word(&mut rng))
+                } else {
+                    point_query(&mut rng)
+                };
+                WorkItem::Query { doc, q, via_view }
+            } else if pick < sc.mix.point + sc.mix.join {
+                WorkItem::Query {
+                    doc,
+                    q: join_query(&mut rng),
+                    via_view: false,
+                }
+            } else if pick < sc.mix.point + sc.mix.join + sc.mix.batch {
+                WorkItem::Batch {
+                    doc,
+                    queries: vec![
+                        point_query(&mut rng),
+                        join_query(&mut rng),
+                        "note".to_owned(),
+                    ],
+                }
+            } else {
+                WorkItem::Oversize
+            }
+        })
+        .collect()
+}
+
+fn word(rng: &mut StdRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+fn point_query(rng: &mut StdRng) -> String {
+    let name = ["sec", "p", "note"][rng.gen_range(0..3)];
+    format!("{name} matching \"{}\"", word(rng))
+}
+
+fn join_query(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4) {
+        0 => format!("sec containing (note matching \"{}\")", word(rng)),
+        1 => "p within sec".to_owned(),
+        2 => format!("sec containing (p matching \"{}\")", word(rng)),
+        _ => format!(
+            "(sec containing note) intersect (sec matching \"{}\")",
+            word(rng)
+        ),
+    }
+}
+
+/// A pooled connection plus the session views it has defined so far.
+struct BenchConn {
+    client: Client,
+    views: HashSet<usize>,
+}
+
+impl BenchConn {
+    fn connect(addr: SocketAddr) -> io::Result<BenchConn> {
+        let client = Client::connect(addr)?;
+        // Backstop only: a wedged server must surface as Transport, not
+        // hang the whole run. Normal expiry is the server's deadline.
+        client.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(BenchConn {
+            client,
+            views: HashSet::new(),
+        })
+    }
+
+    /// Executes one item; returns its outcome and, when the reply path
+    /// preserved it, the first-byte/total timing.
+    fn execute(&mut self, item: &WorkItem, oversize_line: &str) -> (Outcome, Option<ReplyTiming>) {
+        match item {
+            WorkItem::Query { doc, q, via_view } => {
+                if *via_view && !self.views.contains(doc) {
+                    // Session setup: one untimed define-view per
+                    // connection per doc. Only its *uses* are load.
+                    match self
+                        .client
+                        .define_view(&doc_name(*doc), VIEW_NAME, VIEW_DEF)
+                    {
+                        Ok(()) => {
+                            self.views.insert(*doc);
+                        }
+                        Err(e) => return (classify(&e), None),
+                    }
+                }
+                let fields = Json::obj()
+                    .with("doc", Json::from(doc_name(*doc)))
+                    .with("q", Json::from(q.as_str()));
+                map_reply(self.client.request_timed("query", fields))
+            }
+            WorkItem::Batch { doc, queries } => {
+                let fields = Json::obj().with("doc", Json::from(doc_name(*doc))).with(
+                    "queries",
+                    Json::Arr(queries.iter().map(|q| Json::from(q.as_str())).collect()),
+                );
+                map_reply(self.client.request_timed("batch", fields))
+            }
+            WorkItem::Oversize => {
+                if self.client.send_raw(oversize_line).is_err() {
+                    return (Outcome::Transport, None);
+                }
+                match self.client.recv_timed() {
+                    Ok((reply, timing)) => {
+                        let code = reply
+                            .get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Json::as_str);
+                        if code == Some("too_large") {
+                            (Outcome::Ok, Some(timing))
+                        } else {
+                            (Outcome::Error, Some(timing))
+                        }
+                    }
+                    Err(_) => (Outcome::Transport, None),
+                }
+            }
+        }
+    }
+}
+
+fn map_reply(res: Result<(Json, ReplyTiming), ClientError>) -> (Outcome, Option<ReplyTiming>) {
+    match res {
+        Ok((_, timing)) => (Outcome::Ok, Some(timing)),
+        Err(e) => (classify(&e), None),
+    }
+}
+
+fn classify(e: &ClientError) -> Outcome {
+    match e {
+        ClientError::Server { code, .. } => match code.as_str() {
+            "rejected" => Outcome::Rejected,
+            "timeout" => Outcome::DeadlineExpired,
+            _ => Outcome::Error,
+        },
+        ClientError::Io(_) | ClientError::Protocol(_) => Outcome::Transport,
+    }
+}
+
+/// Runs the scenario's plan against `addr` at `rate` for `duration`,
+/// open-loop. Blocks until every in-flight request has resolved.
+pub fn run_load(addr: SocketAddr, sc: &Scenario, rate: f64, duration: Duration) -> RunResult {
+    let schedule = arrival_schedule(rate, duration);
+    let plan = build_plan(sc, schedule.len());
+    // One shared oversize payload: max_frame_bytes + 1 KiB of padding,
+    // built once instead of per request.
+    let oversize_line: Arc<str> = "x".repeat(sc.max_frame_kb * 1024 + 1024).into();
+    let idle: Arc<Mutex<Vec<BenchConn>>> = Arc::new(Mutex::new(Vec::new()));
+    let records = Arc::new(Mutex::new(Vec::with_capacity(plan.len())));
+    let connections = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(plan.len());
+    for (due, item) in schedule.into_iter().zip(plan) {
+        if let Some(wait) = (start + due).checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        // Reuse an idle connection; if none is free *right now*, open a
+        // fresh one in the worker thread — never block the schedule.
+        let conn = lock(&idle).pop();
+        let (idle, records, connections, oversize_line) = (
+            Arc::clone(&idle),
+            Arc::clone(&records),
+            Arc::clone(&connections),
+            Arc::clone(&oversize_line),
+        );
+        handles.push(std::thread::spawn(move || {
+            let scheduled_ns = ns(due);
+            let mut conn = match conn {
+                Some(c) => c,
+                None => {
+                    connections.fetch_add(1, Ordering::Relaxed);
+                    match BenchConn::connect(addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            let now = ns(start.elapsed());
+                            lock(&records).push(RequestRecord {
+                                scheduled_ns,
+                                sent_ns: now,
+                                first_byte_ns: now,
+                                done_ns: now,
+                                outcome: Outcome::Transport,
+                            });
+                            return;
+                        }
+                    }
+                }
+            };
+            let sent = Instant::now();
+            let (outcome, timing) = conn.execute(&item, &oversize_line);
+            let done_ns = ns(start.elapsed());
+            let sent_ns = ns(sent.duration_since(start));
+            let first_byte_ns = timing
+                .map(|t| sent_ns + ns(t.first_byte))
+                .unwrap_or(done_ns)
+                .min(done_ns);
+            lock(&records).push(RequestRecord {
+                scheduled_ns,
+                sent_ns,
+                first_byte_ns,
+                done_ns,
+                outcome,
+            });
+            if outcome != Outcome::Transport {
+                lock(&idle).push(conn);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().ok();
+    }
+    let wall = start.elapsed();
+    let mut records = std::mem::take(&mut *lock(&records));
+    records.sort_by_key(|r| r.scheduled_ns);
+    RunResult {
+        records,
+        wall,
+        connections: connections.load(Ordering::Relaxed),
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn schedule_is_evenly_spaced_and_sized() {
+        let s = arrival_schedule(100.0, Duration::from_secs(2));
+        assert_eq!(s.len(), 200);
+        assert_eq!(s[0], Duration::ZERO);
+        for w in s.windows(2) {
+            let gap = (w[1] - w[0]).as_secs_f64();
+            assert!((gap - 0.01).abs() < 1e-9, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn schedule_never_goes_empty() {
+        assert_eq!(arrival_schedule(0.1, Duration::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_respects_the_mix() {
+        let sc = scenario::parse("mix.point = 0\nmix.join = 0\nmix.batch = 1\nmix.oversize = 1\n")
+            .unwrap();
+        let plan = build_plan(&sc, 400);
+        assert_eq!(plan, build_plan(&sc, 400));
+        let oversize = plan.iter().filter(|i| **i == WorkItem::Oversize).count();
+        assert!(
+            plan.len() - oversize > 0 && oversize > 0,
+            "both shapes present: {oversize}/400 oversize"
+        );
+        assert!(plan
+            .iter()
+            .all(|i| matches!(i, WorkItem::Batch { .. } | WorkItem::Oversize)));
+    }
+
+    #[test]
+    fn hot_fraction_one_pins_every_request_to_doc0() {
+        let sc = scenario::parse("docs = 8\nhot_fraction = 1\n").unwrap();
+        for item in build_plan(&sc, 200) {
+            match item {
+                WorkItem::Query { doc, .. } | WorkItem::Batch { doc, .. } => assert_eq!(doc, 0),
+                WorkItem::Oversize => {}
+            }
+        }
+    }
+
+    #[test]
+    fn record_arithmetic_saturates() {
+        let r = RequestRecord {
+            scheduled_ns: 100,
+            sent_ns: 50, // clock skew shouldn't underflow
+            first_byte_ns: 40,
+            done_ns: 60,
+            outcome: Outcome::Ok,
+        };
+        assert_eq!(r.sched_lag_ns(), 0);
+        assert_eq!(r.first_byte_latency_ns(), 0);
+        assert_eq!(r.latency_ns(), 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! The `tr-bencher` CLI: open-loop load runs and the p99 CI gate.
+//!
+//! ```text
+//! tr-bencher run   <scenario.scn> [--rate N] [--duration S] [--addr H:P] [--out PATH]
+//! tr-bencher check <scenario.scn> --baseline LOAD_BASELINE.json [run flags]
+//! tr-bencher sweep <scenario.scn> [--rates 25,50,..] [--duration S] [--addr H:P]
+//! tr-bencher baseline <scenario.scn>... [--out PATH] [--duration S]
+//! tr-bencher gen-corpus <scenario.scn> <dir>
+//! ```
+//!
+//! Without `--addr`, `run`/`check`/`sweep`/`baseline` boot an
+//! in-process [`tr_serve::Server`] sized by the scenario's own
+//! `workers`/`queue`/`deadline_ms`/`max_frame_kb` keys, over a corpus
+//! generated from its `docs`/`sections`/`seed`. With `--addr` they
+//! target a live server (CI's `load-smoke` job does both: the smoke
+//! scenario over TCP against a booted `trq serve`, contention
+//! in-process). Exit codes: 0 pass, 1 gate failure, 2 usage/setup
+//! error.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+use tr_bencher::loadgen::{self, doc_name};
+use tr_bencher::report::{self, LoadBaseline, LoadReport, ScenarioBudget};
+use tr_bencher::scenario::{self, Scenario};
+use tr_serve::{Catalog, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tr-bencher: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "baseline" => cmd_baseline(&args[1..]),
+        "gen-corpus" => cmd_gen_corpus(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?} (try `tr-bencher help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: tr-bencher <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 run        <scenario.scn> [--rate N] [--duration S] [--addr H:P] [--out PATH]\n\
+         \x20            one open-loop run; writes load-report.json\n\
+         \x20 check      <scenario.scn> --baseline LOAD_BASELINE.json [run flags]\n\
+         \x20            run + gate p99/error-rate against committed budgets (exit 1 on fail)\n\
+         \x20 sweep      <scenario.scn> [--rates 25,50,100,200,400] [--duration S] [--addr H:P]\n\
+         \x20            latency-vs-offered-rate table (EXPERIMENTS.md E18)\n\
+         \x20 baseline   <scenario.scn>... [--out LOAD_BASELINE.json] [--duration S]\n\
+         \x20            measure and write fresh budgets (~8x headroom over observed p99)\n\
+         \x20 gen-corpus <scenario.scn> <dir>\n\
+         \x20            write the scenario's corpus as .sgml files for `trq serve`"
+    );
+}
+
+/// Flags shared by run/check/sweep/baseline.
+#[derive(Default)]
+struct Flags {
+    rate: Option<f64>,
+    duration: Option<f64>,
+    addr: Option<String>,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    rates: Option<Vec<f64>>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+                .map(str::to_owned)
+        };
+        match arg.as_str() {
+            "--rate" => {
+                let v = value("--rate")?;
+                f.rate = Some(parse_rate(&v)?);
+            }
+            "--duration" => {
+                let v = value("--duration")?;
+                let d: f64 = v.parse().map_err(|_| format!("bad --duration {v:?}"))?;
+                if !(d > 0.0 && d.is_finite()) {
+                    return Err(format!("--duration must be positive, got {v}"));
+                }
+                f.duration = Some(d);
+            }
+            "--addr" => f.addr = Some(value("--addr")?),
+            "--out" => f.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => f.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--rates" => {
+                let v = value("--rates")?;
+                let rates = v
+                    .split(',')
+                    .map(|r| parse_rate(r.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if rates.is_empty() {
+                    return Err("--rates needs at least one rate".to_owned());
+                }
+                f.rates = Some(rates);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => f.positional.push(arg.clone()),
+        }
+    }
+    Ok(f)
+}
+
+fn parse_rate(v: &str) -> Result<f64, String> {
+    let r: f64 = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+    if r > 0.0 && r.is_finite() {
+        Ok(r)
+    } else {
+        Err(format!("rate must be positive, got {v}"))
+    }
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    scenario::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Where a run points: a server this process booted, or a remote addr.
+struct Target {
+    addr: SocketAddr,
+    server: Option<Server>,
+}
+
+impl Target {
+    fn resolve(sc: &Scenario, addr: &Option<String>) -> Result<Target, String> {
+        match addr {
+            Some(a) => {
+                let addr = a
+                    .to_socket_addrs()
+                    .map_err(|e| format!("resolving {a}: {e}"))?
+                    .next()
+                    .ok_or(format!("{a} resolves to nothing"))?;
+                Ok(Target { addr, server: None })
+            }
+            None => {
+                eprintln!(
+                    "booting in-process server: {} docs x {} sections, {} workers, queue {}",
+                    sc.docs, sc.sections, sc.workers, sc.queue
+                );
+                let server = Server::start(build_catalog(sc), "127.0.0.1:0", sc.server_config())
+                    .map_err(|e| format!("starting server: {e}"))?;
+                Ok(Target {
+                    addr: server.local_addr(),
+                    server: Some(server),
+                })
+            }
+        }
+    }
+
+    fn finish(self) {
+        if let Some(server) = self.server {
+            server.shutdown();
+        }
+    }
+}
+
+fn build_catalog(sc: &Scenario) -> Catalog {
+    let mut catalog = Catalog::new();
+    for i in 0..sc.docs {
+        let text = tr_bench::sgml_workload(sc.sections, sc.seed.wrapping_add(i as u64));
+        let engine = tr_query::Engine::from_sgml(&text).expect("generated SGML parses");
+        catalog.insert(&doc_name(i), engine);
+    }
+    catalog
+}
+
+/// Runs one scenario and prints the human summary to stderr.
+fn run_one(sc: &Scenario, addr: SocketAddr, rate: f64, duration: Duration) -> LoadReport {
+    eprintln!(
+        "offering {rate} req/s for {:.1}s against {addr} (scenario {})",
+        duration.as_secs_f64(),
+        sc.name
+    );
+    let result = loadgen::run_load(addr, sc, rate, duration);
+    let summary = report::reduce(&result, rate);
+    eprintln!(
+        "  {} requests over {:.2}s on {} conns: {} ok, {} rejected, {} expired, {} errors",
+        summary.requests,
+        summary.wall_s,
+        summary.connections,
+        summary.ok,
+        summary.rejected,
+        summary.expired,
+        summary.errors
+    );
+    eprintln!(
+        "  latency ms (ok only): p50 {:.2}  p90 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}  (sched-lag p99 {:.2})",
+        summary.latency.p50,
+        summary.latency.p90,
+        summary.latency.p95,
+        summary.latency.p99,
+        summary.latency.max,
+        summary.sched_lag_p99_ms
+    );
+    LoadReport {
+        scenario: sc.name.clone(),
+        summary,
+    }
+}
+
+fn write_report(report: &LoadReport, out: &Path) -> Result<(), String> {
+    std::fs::write(out, report.to_json().pretty() + "\n")
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("  wrote {}", out.display());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("run needs exactly one scenario file".to_owned());
+    };
+    let sc = load_scenario(path)?;
+    let rate = flags.rate.unwrap_or(sc.rate);
+    let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
+    let target = Target::resolve(&sc, &flags.addr)?;
+    let report = run_one(&sc, target.addr, rate, duration);
+    target.finish();
+    let out = flags
+        .out
+        .unwrap_or_else(|| PathBuf::from("load-report.json"));
+    write_report(&report, &out)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("check needs exactly one scenario file".to_owned());
+    };
+    let baseline_path = flags
+        .baseline
+        .as_deref()
+        .ok_or("check needs --baseline LOAD_BASELINE.json")?;
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let baseline = tr_obs::parse_json(&text)
+        .map_err(|e| format!("{}: {e}", baseline_path.display()))
+        .and_then(|j| LoadBaseline::from_json(&j))?;
+    if baseline.calibrate_ref_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("baseline calibrate_ref_secs must be positive".to_owned());
+    }
+
+    let sc = load_scenario(path)?;
+    let rate = flags.rate.unwrap_or(sc.rate);
+    let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
+    let target = Target::resolve(&sc, &flags.addr)?;
+    let report = run_one(&sc, target.addr, rate, duration);
+    target.finish();
+    let out = flags
+        .out
+        .unwrap_or_else(|| PathBuf::from("load-report.json"));
+    write_report(&report, &out)?;
+
+    // Same normalization as the tr-bench perf gate: a slower machine
+    // raises the p99 ceiling proportionally, a faster one never lowers
+    // it below the committed budget.
+    let observed = tr_bench::gate::calibration_secs();
+    let scale = (observed / baseline.calibrate_ref_secs).max(1.0);
+    eprintln!(
+        "  calibration: observed {observed:.4}s vs ref {:.4}s -> p99 budget x{scale:.2}",
+        baseline.calibrate_ref_secs
+    );
+    let violations = report::check(&report, &baseline, scale)?;
+    if violations.is_empty() {
+        let budget = baseline.get(&report.scenario).expect("checked above");
+        println!(
+            "load gate PASS: {} p99 {:.2}ms <= {:.2}ms, error-rate {:.4} <= {:.4}",
+            report.scenario,
+            report.summary.latency.p99,
+            budget.p99_budget_ms * scale,
+            report.summary.error_rate,
+            budget.error_budget
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            println!("load gate FAIL: {} {v}", report.scenario);
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("sweep needs exactly one scenario file".to_owned());
+    };
+    let sc = load_scenario(path)?;
+    let rates = flags
+        .rates
+        .unwrap_or_else(|| vec![25.0, 50.0, 100.0, 200.0, 400.0]);
+    let duration = Duration::from_secs_f64(flags.duration.unwrap_or(5.0));
+    let target = Target::resolve(&sc, &flags.addr)?;
+    println!("| offered/s | achieved/s | ok | rej | exp | p50 ms | p95 ms | p99 ms | max ms |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for &rate in &rates {
+        let r = run_one(&sc, target.addr, rate, duration).summary;
+        println!(
+            "| {rate} | {:.0} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.achieved_rate,
+            r.ok,
+            r.rejected,
+            r.expired,
+            r.latency.p50,
+            r.latency.p95,
+            r.latency.p99,
+            r.latency.max
+        );
+    }
+    target.finish();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    if flags.positional.is_empty() {
+        return Err("baseline needs at least one scenario file".to_owned());
+    }
+    if flags.addr.is_some() {
+        return Err(
+            "baseline always boots in-process (budgets must match the scenario's server)"
+                .to_owned(),
+        );
+    }
+    let mut budgets = Vec::new();
+    for path in &flags.positional {
+        let sc = load_scenario(path)?;
+        let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
+        let target = Target::resolve(&sc, &None)?;
+        let r = run_one(&sc, target.addr, sc.rate, duration);
+        target.finish();
+        if r.summary.ok == 0 {
+            return Err(format!(
+                "scenario {} produced no successes; no baseline",
+                sc.name
+            ));
+        }
+        // ~8x headroom over the quiet-run p99, floored at 40ms: wide
+        // enough that CI noise passes, tight enough that an O(n^2) or a
+        // serialized hot path still trips it.
+        let p99_budget_ms = (r.summary.latency.p99 * 8.0).max(40.0).ceil();
+        eprintln!(
+            "  budget: p99 {:.2}ms -> {p99_budget_ms}ms, error 0.01",
+            r.summary.latency.p99
+        );
+        budgets.push(ScenarioBudget {
+            scenario: sc.name.clone(),
+            p99_budget_ms,
+            error_budget: 0.01,
+        });
+    }
+    eprintln!("measuring calibration reference...");
+    let baseline = LoadBaseline {
+        calibrate_ref_secs: tr_bench::gate::calibration_secs(),
+        budgets,
+    };
+    let out = flags
+        .out
+        .unwrap_or_else(|| PathBuf::from("LOAD_BASELINE.json"));
+    std::fs::write(&out, baseline.to_json().pretty() + "\n")
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("wrote {}", out.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gen_corpus(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [path, dir] = flags.positional.as_slice() else {
+        return Err("gen-corpus needs a scenario file and a target directory".to_owned());
+    };
+    let sc = load_scenario(path)?;
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for i in 0..sc.docs {
+        let text = tr_bench::sgml_workload(sc.sections, sc.seed.wrapping_add(i as u64));
+        let file = dir.join(format!("{}.sgml", doc_name(i)));
+        std::fs::write(&file, &text).map_err(|e| format!("writing {}: {e}", file.display()))?;
+        eprintln!("wrote {} ({} bytes)", file.display(), text.len());
+    }
+    // `trq serve` catalogs by file stem, so doc names line up with the
+    // plan's doc0..docN-1 targets.
+    println!(
+        "corpus ready; matching server:\n  trq serve {} --addr 127.0.0.1:7979 --workers {} --queue {} --deadline-ms {} --max-frame-bytes {} --max-conns 256",
+        dir.display(),
+        sc.workers,
+        sc.queue,
+        sc.deadline_ms,
+        sc.max_frame_kb * 1024
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,579 @@
+//! Trace reduction, the `load-report.json` format, and the baseline gate.
+//!
+//! The reducer folds a run's [`RequestRecord`]s into tail-latency
+//! percentiles via `tr_obs::Histogram` (power-of-two buckets with
+//! sub-bucket interpolation, the same machinery the server's own
+//! `serve.queue_wait_ns` uses). Two deliberate choices:
+//!
+//! * **percentiles cover `Ok` outcomes only.** A stalled server sheds
+//!   most of its load with fast `rejected` frames; folding those
+//!   near-zero latencies into the distribution would *lower* p99
+//!   exactly when the server is broken. Failures are gated separately
+//!   through `error_rate`.
+//! * **the gate compares against absolute budgets, not a recorded
+//!   measurement.** CI machines vary wildly run to run; a budget with
+//!   ~8× headroom over a quiet local run catches real regressions
+//!   (a lock on the hot path, an accidental O(n²)) without flaking.
+//!   Budgets are additionally rescaled by the shared tr-bench
+//!   calibration workload, so a slower machine raises its own ceiling.
+
+use crate::loadgen::{Outcome, RequestRecord, RunResult};
+use tr_obs::{Histogram, Json};
+
+/// Version stamp in both `load-report.json` and `LOAD_BASELINE.json`;
+/// bump when the format or the workload semantics change.
+pub const LOAD_SUITE_VERSION: u64 = 1;
+
+/// Latency percentiles in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile — the gated number.
+    pub p99: f64,
+    /// Exact maximum (not bucketed).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Reduces a histogram of nanosecond samples to milliseconds.
+    pub fn from_ns_histogram(h: &Histogram) -> Percentiles {
+        let ms = 1e-6;
+        Percentiles {
+            p50: h.quantile_interp(0.50) * ms,
+            p90: h.quantile_interp(0.90) * ms,
+            p95: h.quantile_interp(0.95) * ms,
+            p99: h.quantile_interp(0.99) * ms,
+            max: h.max() as f64 * ms,
+            mean: h.mean() * ms,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("p50", Json::from(round3(self.p50)))
+            .with("p90", Json::from(round3(self.p90)))
+            .with("p95", Json::from(round3(self.p95)))
+            .with("p99", Json::from(round3(self.p99)))
+            .with("max", Json::from(round3(self.max)))
+            .with("mean", Json::from(round3(self.mean)))
+    }
+
+    fn from_json(j: &Json) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: j.get("p50")?.as_f64()?,
+            p90: j.get("p90")?.as_f64()?,
+            p95: j.get("p95")?.as_f64()?,
+            p99: j.get("p99")?.as_f64()?,
+            max: j.get("max")?.as_f64()?,
+            mean: j.get("mean")?.as_f64()?,
+        })
+    }
+}
+
+/// Everything the report and the gate need from one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Scheduled requests.
+    pub requests: u64,
+    /// Expected replies (including expected `too_large` on oversize probes).
+    pub ok: u64,
+    /// Admission refusals.
+    pub rejected: u64,
+    /// Deadline expiries.
+    pub expired: u64,
+    /// Unexpected server errors + transport failures.
+    pub errors: u64,
+    /// First arrival → last completion, seconds.
+    pub wall_s: f64,
+    /// The rate the schedule offered (requests/second).
+    pub offered_rate: f64,
+    /// `ok / wall` — what the server actually absorbed.
+    pub achieved_rate: f64,
+    /// `(rejected + expired + errors) / requests`.
+    pub error_rate: f64,
+    /// Connections the generator opened.
+    pub connections: u64,
+    /// Scheduled-arrival → completion, `Ok` outcomes only.
+    pub latency: Percentiles,
+    /// Send → first reply byte, `Ok` outcomes only.
+    pub first_byte: Percentiles,
+    /// p99 of generator send lag — open-loop health, not server speed.
+    pub sched_lag_p99_ms: f64,
+}
+
+/// Folds a run into a [`Summary`] at the given offered rate.
+pub fn reduce(result: &RunResult, offered_rate: f64) -> Summary {
+    summarize(
+        &result.records,
+        offered_rate,
+        result.wall.as_secs_f64(),
+        result.connections,
+    )
+}
+
+/// [`reduce`] on bare records, for tests and replay.
+pub fn summarize(
+    records: &[RequestRecord],
+    offered_rate: f64,
+    wall_s: f64,
+    connections: u64,
+) -> Summary {
+    let latency = Histogram::default();
+    let first_byte = Histogram::default();
+    let lag = Histogram::default();
+    let (mut ok, mut rejected, mut expired, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    for r in records {
+        lag.record(r.sched_lag_ns());
+        match r.outcome {
+            Outcome::Ok => {
+                ok += 1;
+                latency.record(r.latency_ns());
+                first_byte.record(r.first_byte_latency_ns());
+            }
+            Outcome::Rejected => rejected += 1,
+            Outcome::DeadlineExpired => expired += 1,
+            Outcome::Error | Outcome::Transport => errors += 1,
+        }
+    }
+    let requests = records.len() as u64;
+    Summary {
+        requests,
+        ok,
+        rejected,
+        expired,
+        errors,
+        wall_s,
+        offered_rate,
+        achieved_rate: if wall_s > 0.0 {
+            ok as f64 / wall_s
+        } else {
+            0.0
+        },
+        error_rate: if requests > 0 {
+            (rejected + expired + errors) as f64 / requests as f64
+        } else {
+            0.0
+        },
+        connections,
+        latency: Percentiles::from_ns_histogram(&latency),
+        first_byte: Percentiles::from_ns_histogram(&first_byte),
+        sched_lag_p99_ms: lag.quantile_interp(0.99) * 1e-6,
+    }
+}
+
+/// A summary tagged with its scenario — the `load-report.json` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadReport {
+    /// The scenario that produced it.
+    pub scenario: String,
+    /// The reduced run.
+    pub summary: Summary,
+}
+
+impl LoadReport {
+    /// Serializes to the `load-report.json` shape.
+    pub fn to_json(&self) -> Json {
+        let s = &self.summary;
+        Json::obj()
+            .with("version", Json::from(LOAD_SUITE_VERSION))
+            .with("scenario", Json::from(self.scenario.as_str()))
+            .with("requests", Json::from(s.requests))
+            .with(
+                "outcomes",
+                Json::obj()
+                    .with("ok", Json::from(s.ok))
+                    .with("rejected", Json::from(s.rejected))
+                    .with("deadline_expired", Json::from(s.expired))
+                    .with("errors", Json::from(s.errors)),
+            )
+            .with("wall_s", Json::from(round3(s.wall_s)))
+            .with("offered_rate", Json::from(round3(s.offered_rate)))
+            .with("achieved_rate", Json::from(round3(s.achieved_rate)))
+            .with("error_rate", Json::from(round6(s.error_rate)))
+            .with("connections", Json::from(s.connections))
+            .with("latency_ms", s.latency.to_json())
+            .with("first_byte_ms", s.first_byte.to_json())
+            .with("sched_lag_p99_ms", Json::from(round3(s.sched_lag_p99_ms)))
+    }
+
+    /// Parses what [`LoadReport::to_json`] wrote.
+    pub fn from_json(j: &Json) -> Result<LoadReport, String> {
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing version")?;
+        if version != LOAD_SUITE_VERSION {
+            return Err(format!(
+                "report version {version} != supported {LOAD_SUITE_VERSION}"
+            ));
+        }
+        let f = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing {k}"))
+        };
+        let u = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing {k}"))
+        };
+        let outcomes = j.get("outcomes").ok_or("missing outcomes")?;
+        let ou = |k: &str| {
+            outcomes
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing outcomes.{k}"))
+        };
+        Ok(LoadReport {
+            scenario: j
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("missing scenario")?
+                .to_owned(),
+            summary: Summary {
+                requests: u("requests")?,
+                ok: ou("ok")?,
+                rejected: ou("rejected")?,
+                expired: ou("deadline_expired")?,
+                errors: ou("errors")?,
+                wall_s: f("wall_s")?,
+                offered_rate: f("offered_rate")?,
+                achieved_rate: f("achieved_rate")?,
+                error_rate: f("error_rate")?,
+                connections: u("connections")?,
+                latency: j
+                    .get("latency_ms")
+                    .and_then(Percentiles::from_json)
+                    .ok_or("missing latency_ms")?,
+                first_byte: j
+                    .get("first_byte_ms")
+                    .and_then(Percentiles::from_json)
+                    .ok_or("missing first_byte_ms")?,
+                sched_lag_p99_ms: f("sched_lag_p99_ms")?,
+            },
+        })
+    }
+}
+
+/// One scenario's budgets in `LOAD_BASELINE.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioBudget {
+    /// Which scenario this gates.
+    pub scenario: String,
+    /// Ceiling for latency p99 (ms) on the reference machine; scaled
+    /// up by calibration on slower ones.
+    pub p99_budget_ms: f64,
+    /// Ceiling for `error_rate` (not calibration-scaled: shedding is a
+    /// capacity property the budget already prices in).
+    pub error_budget: f64,
+}
+
+/// The committed gate file: a calibration reference plus per-scenario
+/// budgets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadBaseline {
+    /// `tr_bench::gate::calibration_secs()` on the machine that set the
+    /// budgets.
+    pub calibrate_ref_secs: f64,
+    /// The budgets.
+    pub budgets: Vec<ScenarioBudget>,
+}
+
+impl LoadBaseline {
+    /// Looks up a scenario's budget.
+    pub fn get(&self, scenario: &str) -> Option<&ScenarioBudget> {
+        self.budgets.iter().find(|b| b.scenario == scenario)
+    }
+
+    /// Serializes to the `LOAD_BASELINE.json` shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("version", Json::from(LOAD_SUITE_VERSION))
+            .with("calibrate_ref_secs", Json::from(self.calibrate_ref_secs))
+            .with(
+                "scenarios",
+                Json::Arr(
+                    self.budgets
+                        .iter()
+                        .map(|b| {
+                            Json::obj()
+                                .with("scenario", Json::from(b.scenario.as_str()))
+                                .with("p99_budget_ms", Json::from(b.p99_budget_ms))
+                                .with("error_budget", Json::from(b.error_budget))
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Parses what [`LoadBaseline::to_json`] wrote.
+    pub fn from_json(j: &Json) -> Result<LoadBaseline, String> {
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline missing version")?;
+        if version != LOAD_SUITE_VERSION {
+            return Err(format!(
+                "baseline version {version} != supported {LOAD_SUITE_VERSION} \
+                 (regenerate with `tr-bencher baseline`)"
+            ));
+        }
+        let budgets = j
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("baseline missing scenarios")?
+            .iter()
+            .map(|b| {
+                Ok(ScenarioBudget {
+                    scenario: b
+                        .get("scenario")
+                        .and_then(Json::as_str)
+                        .ok_or("budget missing scenario")?
+                        .to_owned(),
+                    p99_budget_ms: b
+                        .get("p99_budget_ms")
+                        .and_then(Json::as_f64)
+                        .ok_or("budget missing p99_budget_ms")?,
+                    error_budget: b
+                        .get("error_budget")
+                        .and_then(Json::as_f64)
+                        .ok_or("budget missing error_budget")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(LoadBaseline {
+            calibrate_ref_secs: j
+                .get("calibrate_ref_secs")
+                .and_then(Json::as_f64)
+                .ok_or("baseline missing calibrate_ref_secs")?,
+            budgets,
+        })
+    }
+}
+
+/// One gate failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which budget was blown.
+    pub what: String,
+    /// The (scaled) ceiling.
+    pub limit: f64,
+    /// What the run measured.
+    pub actual: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} exceeds budget {:.3}",
+            self.what, self.actual, self.limit
+        )
+    }
+}
+
+/// Gates `report` against `baseline`. `scale` is the calibration ratio
+/// (`observed / reference`, clamped to ≥ 1 so a fast machine can't
+/// loosen the gate); it multiplies the p99 budget only. Returns the
+/// violations (empty = pass) or an error when the baseline has no
+/// budget for the scenario.
+pub fn check(
+    report: &LoadReport,
+    baseline: &LoadBaseline,
+    scale: f64,
+) -> Result<Vec<Violation>, String> {
+    let budget = baseline.get(&report.scenario).ok_or_else(|| {
+        format!(
+            "baseline has no budget for scenario {:?} (run `tr-bencher baseline` to add it)",
+            report.scenario
+        )
+    })?;
+    let s = &report.summary;
+    let mut violations = Vec::new();
+    if s.ok == 0 {
+        // No successes means the p99 is computed over nothing; that is
+        // a failure in itself, not a vacuous pass.
+        violations.push(Violation {
+            what: "ok-count (no successful requests; p99 undefined)".to_owned(),
+            limit: 1.0,
+            actual: 0.0,
+        });
+        return Ok(violations);
+    }
+    let p99_limit = budget.p99_budget_ms * scale.max(1.0);
+    if s.latency.p99 > p99_limit {
+        violations.push(Violation {
+            what: "latency p99 (ms)".to_owned(),
+            limit: p99_limit,
+            actual: s.latency.p99,
+        });
+    }
+    if s.error_rate > budget.error_budget {
+        violations.push(Violation {
+            what: "error-rate".to_owned(),
+            limit: budget.error_budget,
+            actual: s.error_rate,
+        });
+    }
+    Ok(violations)
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::Outcome;
+
+    fn rec(scheduled: u64, done: u64, outcome: Outcome) -> RequestRecord {
+        RequestRecord {
+            scheduled_ns: scheduled,
+            sent_ns: scheduled,
+            first_byte_ns: done,
+            done_ns: done,
+            outcome,
+        }
+    }
+
+    fn report(summary: Summary) -> LoadReport {
+        LoadReport {
+            scenario: "t".to_owned(),
+            summary,
+        }
+    }
+
+    fn baseline(p99_ms: f64, err: f64) -> LoadBaseline {
+        LoadBaseline {
+            calibrate_ref_secs: 0.004,
+            budgets: vec![ScenarioBudget {
+                scenario: "t".to_owned(),
+                p99_budget_ms: p99_ms,
+                error_budget: err,
+            }],
+        }
+    }
+
+    #[test]
+    fn percentiles_cover_ok_outcomes_only() {
+        // 90 slow successes at 8ms, 910 instant rejections. If the
+        // rejections leaked into the distribution, p99 would be ~0.
+        let mut records: Vec<_> = (0..90)
+            .map(|i| rec(i, i + 8_000_000, Outcome::Ok))
+            .collect();
+        records.extend((0..910).map(|i| rec(1000 + i, 1000 + i, Outcome::Rejected)));
+        let s = summarize(&records, 100.0, 1.0, 4);
+        assert_eq!(s.ok, 90);
+        assert_eq!(s.rejected, 910);
+        assert!(s.latency.p50 > 4.0, "p50 {} should be ~8ms", s.latency.p50);
+        assert!((s.error_rate - 0.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_rate_counts_every_non_ok_outcome() {
+        let records = vec![
+            rec(0, 1, Outcome::Ok),
+            rec(1, 2, Outcome::Rejected),
+            rec(2, 3, Outcome::DeadlineExpired),
+            rec(3, 4, Outcome::Error),
+            rec(4, 5, Outcome::Transport),
+        ];
+        let s = summarize(&records, 5.0, 1.0, 1);
+        assert_eq!((s.ok, s.rejected, s.expired, s.errors), (1, 1, 1, 2));
+        assert!((s.error_rate - 0.8).abs() < 1e-9);
+        assert!((s.achieved_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let records: Vec<_> = (0..500)
+            .map(|i| rec(i * 1000, i * 1000 + 3_000_000 + i, Outcome::Ok))
+            .collect();
+        let r = report(summarize(&records, 250.0, 2.0, 7));
+        let text = r.to_json().pretty();
+        let back = LoadReport::from_json(&tr_obs::parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back.scenario, r.scenario);
+        assert_eq!(back.summary.requests, 500);
+        assert_eq!(back.summary.connections, 7);
+        // Floats were rounded for the file; stay within that rounding.
+        assert!((back.summary.latency.p99 - r.summary.latency.p99).abs() < 1e-3);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_rejects_wrong_version() {
+        let b = baseline(40.0, 0.01);
+        let back = LoadBaseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+        let mut j = b.to_json();
+        j.set("version", Json::from(99u64));
+        assert!(LoadBaseline::from_json(&j).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn gate_passes_within_budget_and_fails_beyond_it() {
+        let records: Vec<_> = (0..100)
+            .map(|i| rec(i, i + 2_000_000, Outcome::Ok))
+            .collect();
+        let r = report(summarize(&records, 100.0, 1.0, 1));
+        assert!(check(&r, &baseline(40.0, 0.01), 1.0).unwrap().is_empty());
+        let v = check(&r, &baseline(0.001, 0.01), 1.0).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("p99"));
+    }
+
+    #[test]
+    fn gate_scales_p99_but_never_tightens() {
+        let records: Vec<_> = (0..100)
+            .map(|i| rec(i, i + 8_000_000, Outcome::Ok))
+            .collect();
+        let r = report(summarize(&records, 100.0, 1.0, 1));
+        // Budget 5ms fails at scale 1 but passes on a 2× slower machine.
+        assert!(!check(&r, &baseline(5.0, 0.01), 1.0).unwrap().is_empty());
+        assert!(check(&r, &baseline(5.0, 0.01), 2.5).unwrap().is_empty());
+        // A 4× *faster* machine must not shrink the ceiling below 5ms:
+        // 2ms actual stays passing at scale 0.25.
+        let fast: Vec<_> = (0..100)
+            .map(|i| rec(i, i + 2_000_000, Outcome::Ok))
+            .collect();
+        let rf = report(summarize(&fast, 100.0, 1.0, 1));
+        assert!(check(&rf, &baseline(5.0, 0.01), 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_error_rate_and_on_zero_successes() {
+        let mut records: Vec<_> = (0..90)
+            .map(|i| rec(i, i + 1_000_000, Outcome::Ok))
+            .collect();
+        records.extend((0..10).map(|i| rec(90 + i, 90 + i, Outcome::Rejected)));
+        let r = report(summarize(&records, 100.0, 1.0, 1));
+        let v = check(&r, &baseline(100.0, 0.01), 1.0).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("error-rate"));
+
+        let all_rejected: Vec<_> = (0..10).map(|i| rec(i, i, Outcome::Rejected)).collect();
+        let r = report(summarize(&all_rejected, 10.0, 1.0, 1));
+        let v = check(&r, &baseline(100.0, 1.0), 1.0).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("no successful requests"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error_not_a_pass() {
+        let records = vec![rec(0, 1, Outcome::Ok)];
+        let mut r = report(summarize(&records, 1.0, 1.0, 1));
+        r.scenario = "other".to_owned();
+        assert!(check(&r, &baseline(1.0, 1.0), 1.0).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! The scenario DSL: a declarative description of one load shape.
+//!
+//! A scenario file is plain text, one `key = value` per line, `#` to end
+//! of line is a comment, blank lines ignored. Every key has a default, so
+//! a scenario states only what it cares about; unknown keys, repeated or
+//! malformed values, and out-of-range settings are rejected with the line
+//! number — never a panic — so a typo in CI fails loudly instead of
+//! silently benchmarking the wrong thing.
+//!
+//! ```text
+//! name         = smoke
+//! docs         = 4            # catalog size
+//! sections     = 300          # sgml_workload sections per doc
+//! hot_fraction = 0.8          # P(request hits doc0)
+//! mix.point    = 6            # relative weights, not percentages
+//! mix.join     = 2
+//! rate         = 150          # offered arrivals per second
+//! duration_s   = 10
+//! ```
+//!
+//! The same struct also describes the *server* the scenario expects
+//! (workers, queue depth, deadline, frame cap), so `tr-bencher run` can
+//! boot a faithfully configured in-process server when `--addr` is not
+//! given, and `gen-corpus` can print the matching `trq serve` flags.
+
+use std::fmt;
+use std::time::Duration;
+use tr_serve::ServerConfig;
+
+/// Relative weights of the four request shapes. Weights are ratios, not
+/// percentages: `6/2/1/1` and `60/20/10/10` describe the same mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Single `name matching "word"` queries (cheap, cache-friendly).
+    pub point: u32,
+    /// Structural joins (`containing` / `within` / `intersect`).
+    pub join: u32,
+    /// `batch` frames carrying three queries under one shared plan.
+    pub batch: u32,
+    /// Deliberately oversize frames the server must answer `too_large`.
+    pub oversize: u32,
+}
+
+impl Mix {
+    /// Sum of the weights; zero means the scenario generates nothing.
+    pub fn total(&self) -> u32 {
+        self.point + self.join + self.batch + self.oversize
+    }
+}
+
+/// One parsed scenario: corpus shape, request mix, server sizing, and
+/// the offered load. See the module docs for the file format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario name; keys reports and baseline budgets.
+    pub name: String,
+    /// Catalog documents (`doc0`..`docN-1`), doc0 is the hot one.
+    pub docs: usize,
+    /// `tr_bench::sgml_workload` sections per document.
+    pub sections: usize,
+    /// Seed for corpus generation and the request plan.
+    pub seed: u64,
+    /// Probability a request targets `doc0`; the rest spread uniformly.
+    pub hot_fraction: f64,
+    /// Request-shape weights.
+    pub mix: Mix,
+    /// When true, half the point queries go through a per-connection
+    /// session view (`define-view` once per connection per doc).
+    pub session_views: bool,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission-queue capacity.
+    pub queue: usize,
+    /// Server per-request deadline.
+    pub deadline_ms: u64,
+    /// Server frame cap in KiB (also sizes the oversize probes).
+    pub max_frame_kb: usize,
+    /// Default offered rate (arrivals/second); `--rate` overrides.
+    pub rate: f64,
+    /// Default run length in seconds; `--duration` overrides.
+    pub duration_s: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Scenario {
+        Scenario {
+            name: "unnamed".to_owned(),
+            docs: 2,
+            sections: 200,
+            seed: 42,
+            hot_fraction: 0.8,
+            mix: Mix {
+                point: 6,
+                join: 2,
+                batch: 1,
+                oversize: 0,
+            },
+            session_views: false,
+            workers: 4,
+            queue: 64,
+            deadline_ms: 1000,
+            max_frame_kb: 64,
+            rate: 100.0,
+            duration_s: 10.0,
+        }
+    }
+}
+
+impl Scenario {
+    /// The [`ServerConfig`] this scenario expects. `max_connections` is
+    /// set high: an open-loop generator opens fresh connections when the
+    /// pool is busy, and refusing those at the server would measure the
+    /// connection cap, not the query path.
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: self.workers,
+            queue_capacity: self.queue,
+            max_connections: 1024,
+            max_frame_bytes: self.max_frame_kb * 1024,
+            deadline: Duration::from_millis(self.deadline_ms),
+        }
+    }
+
+    /// Serializes back to the file format; `parse(to_text(s)) == s`.
+    pub fn to_text(&self) -> String {
+        format!(
+            "name = {}\n\
+             docs = {}\n\
+             sections = {}\n\
+             seed = {}\n\
+             hot_fraction = {}\n\
+             mix.point = {}\n\
+             mix.join = {}\n\
+             mix.batch = {}\n\
+             mix.oversize = {}\n\
+             session_views = {}\n\
+             workers = {}\n\
+             queue = {}\n\
+             deadline_ms = {}\n\
+             max_frame_kb = {}\n\
+             rate = {}\n\
+             duration_s = {}\n",
+            self.name,
+            self.docs,
+            self.sections,
+            self.seed,
+            self.hot_fraction,
+            self.mix.point,
+            self.mix.join,
+            self.mix.batch,
+            self.mix.oversize,
+            self.session_views,
+            self.workers,
+            self.queue,
+            self.deadline_ms,
+            self.max_frame_kb,
+            self.rate,
+            self.duration_s,
+        )
+    }
+}
+
+/// Why a scenario file was rejected; `line` is 1-based, 0 for whole-file
+/// (validation) errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based source line, or 0 for cross-field validation failures.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Parses and validates a scenario file. Total: every input either
+/// yields a valid [`Scenario`] or a [`ScenarioError`] — no panics.
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut sc = Scenario::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |message: String| ScenarioError {
+            line: line_no,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected `key = value`, got {line:?}")))?;
+        let (key, value) = (key.trim(), value.trim());
+        if value.is_empty() {
+            return Err(err(format!("key {key:?} has an empty value")));
+        }
+        match key {
+            "name" => sc.name = value.to_owned(),
+            "docs" => sc.docs = parse_num(key, value).map_err(err)?,
+            "sections" => sc.sections = parse_num(key, value).map_err(err)?,
+            "seed" => sc.seed = parse_num(key, value).map_err(err)?,
+            "hot_fraction" => sc.hot_fraction = parse_float(key, value).map_err(err)?,
+            "mix.point" => sc.mix.point = parse_num(key, value).map_err(err)?,
+            "mix.join" => sc.mix.join = parse_num(key, value).map_err(err)?,
+            "mix.batch" => sc.mix.batch = parse_num(key, value).map_err(err)?,
+            "mix.oversize" => sc.mix.oversize = parse_num(key, value).map_err(err)?,
+            "session_views" => {
+                sc.session_views = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => {
+                        return Err(err(format!(
+                            "session_views must be true/false, got {value:?}"
+                        )))
+                    }
+                }
+            }
+            "workers" => sc.workers = parse_num(key, value).map_err(err)?,
+            "queue" => sc.queue = parse_num(key, value).map_err(err)?,
+            "deadline_ms" => sc.deadline_ms = parse_num(key, value).map_err(err)?,
+            "max_frame_kb" => sc.max_frame_kb = parse_num(key, value).map_err(err)?,
+            "rate" => sc.rate = parse_float(key, value).map_err(err)?,
+            "duration_s" => sc.duration_s = parse_float(key, value).map_err(err)?,
+            _ => return Err(err(format!("unknown key {key:?}"))),
+        }
+    }
+    validate(&sc).map_err(|message| ScenarioError { line: 0, message })?;
+    Ok(sc)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("key {key:?}: not a valid number: {value:?}"))
+}
+
+fn parse_float(key: &str, value: &str) -> Result<f64, String> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| format!("key {key:?}: not a valid number: {value:?}"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("key {key:?}: must be finite, got {value:?}"))
+    }
+}
+
+/// Cross-field sanity; bounds are generous but finite so a fat-fingered
+/// scenario cannot ask the harness for a terabyte corpus or a 0-rate
+/// infinite run.
+fn validate(sc: &Scenario) -> Result<(), String> {
+    if sc.name.is_empty() || sc.name.contains(char::is_whitespace) {
+        return Err(format!(
+            "name must be non-empty without whitespace, got {:?}",
+            sc.name
+        ));
+    }
+    check_range("docs", sc.docs, 1, 64)?;
+    check_range("sections", sc.sections, 1, 100_000)?;
+    if !(0.0..=1.0).contains(&sc.hot_fraction) {
+        return Err(format!(
+            "hot_fraction must be in [0, 1], got {}",
+            sc.hot_fraction
+        ));
+    }
+    if sc.mix.total() == 0 {
+        return Err("mix weights sum to zero; nothing to send".to_owned());
+    }
+    check_range("workers", sc.workers, 1, 256)?;
+    check_range("queue", sc.queue, 1, 1 << 20)?;
+    check_range("deadline_ms", sc.deadline_ms as usize, 1, 3_600_000)?;
+    check_range("max_frame_kb", sc.max_frame_kb, 1, 1 << 20)?;
+    if !(sc.rate > 0.0 && sc.rate <= 1e6) {
+        return Err(format!("rate must be in (0, 1e6], got {}", sc.rate));
+    }
+    if !(sc.duration_s > 0.0 && sc.duration_s <= 86_400.0) {
+        return Err(format!(
+            "duration_s must be in (0, 86400], got {}",
+            sc.duration_s
+        ));
+    }
+    Ok(())
+}
+
+fn check_range(key: &str, v: usize, lo: usize, hi: usize) -> Result<(), String> {
+    if (lo..=hi).contains(&v) {
+        Ok(())
+    } else {
+        Err(format!("{key} must be in [{lo}, {hi}], got {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip() {
+        let sc = Scenario::default();
+        assert_eq!(parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    #[test]
+    fn comments_blanks_and_overrides() {
+        let sc = parse(
+            "# a comment\n\
+             \n\
+             name = hot   # trailing comment\n\
+             rate = 250.5\n\
+             mix.oversize = 3\n\
+             session_views = true\n",
+        )
+        .unwrap();
+        assert_eq!(sc.name, "hot");
+        assert_eq!(sc.rate, 250.5);
+        assert_eq!(sc.mix.oversize, 3);
+        assert!(sc.session_views);
+        // Untouched keys keep their defaults.
+        assert_eq!(sc.docs, Scenario::default().docs);
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        let cases: &[(&str, &str)] = &[
+            ("rate 100", "expected `key = value`"),
+            ("bogus = 1", "unknown key"),
+            ("docs = many", "not a valid number"),
+            ("docs =", "empty value"),
+            ("rate = inf", "must be finite"),
+            ("rate = -3", "rate must be in"),
+            ("docs = 0", "docs must be in"),
+            ("hot_fraction = 1.5", "hot_fraction must be in"),
+            ("session_views = yes", "must be true/false"),
+            ("name = two words", "without whitespace"),
+            (
+                "mix.point = 0\nmix.join = 0\nmix.batch = 0\nmix.oversize = 0",
+                "sum to zero",
+            ),
+            ("duration_s = 1e9", "duration_s must be in"),
+        ];
+        for (text, needle) in cases {
+            let e = parse(text).expect_err(text);
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?}: error {e} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_carries_the_line_number() {
+        let e = parse("name = ok\n\nrate = fast\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn server_config_mirrors_the_scenario() {
+        let sc = parse("workers = 2\nqueue = 32\ndeadline_ms = 500\nmax_frame_kb = 16\n").unwrap();
+        let cfg = sc.server_config();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.queue_capacity, 32);
+        assert_eq!(cfg.max_frame_bytes, 16 * 1024);
+        assert_eq!(cfg.deadline, Duration::from_millis(500));
+    }
+}

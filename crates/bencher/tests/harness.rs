@@ -1,0 +1,291 @@
+//! tr-bencher integration and property tests.
+//!
+//! Three layers: property tests pinning the reducer's percentiles to a
+//! sorted-vec oracle and the scenario DSL to round-trip/total-parse
+//! laws; schedule-jitter bounds; and a live end-to-end run against an
+//! in-process tr-serve instance (the same path `tr-bencher run` takes
+//! without `--addr`).
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tr_bencher::loadgen::{self, doc_name, Outcome, RequestRecord, WorkItem};
+use tr_bencher::report::{self, LoadBaseline, LoadReport, ScenarioBudget};
+use tr_bencher::scenario::{self, Mix, Scenario};
+use tr_serve::{Catalog, Server};
+
+// ---------------------------------------------------------------- oracle
+
+/// The sorted-vec percentile the histogram approximates: smallest value
+/// with at least `ceil(q*n)` samples at or below it.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// The power-of-two bucket `[lower, upper)` that `v` falls in —
+/// interpolation may land anywhere inside the oracle's bucket, but
+/// never outside it.
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    if v == 0 {
+        return (0, 1);
+    }
+    let lower = 1u64 << (63 - v.leading_zeros());
+    (lower, lower.saturating_mul(2))
+}
+
+fn ok_records(latencies_ns: &[u64]) -> Vec<RequestRecord> {
+    latencies_ns
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| RequestRecord {
+            scheduled_ns: i as u64 * 1000,
+            sent_ns: i as u64 * 1000,
+            first_byte_ns: i as u64 * 1000 + l,
+            done_ns: i as u64 * 1000 + l,
+            outcome: Outcome::Ok,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each reported percentile lands inside the bucket that contains
+    /// the exact sorted-vec oracle, and the max is exact.
+    #[test]
+    fn reducer_percentiles_track_the_sorted_oracle(
+        mut lats in proptest::collection::vec(0u64..2_000_000_000, 1..300)
+    ) {
+        let s = report::summarize(&ok_records(&lats), 100.0, 1.0, 1);
+        lats.sort_unstable();
+        for (q, est_ms) in [
+            (0.50, s.latency.p50),
+            (0.90, s.latency.p90),
+            (0.95, s.latency.p95),
+            (0.99, s.latency.p99),
+        ] {
+            let o = oracle(&lats, q);
+            let (lower, upper) = bucket_bounds(o);
+            // The histogram clamps its top estimate to the exact max.
+            let upper = upper.min(*lats.last().unwrap()).max(lower);
+            let est_ns = est_ms * 1e6;
+            prop_assert!(
+                est_ns >= lower as f64 - 0.5 && est_ns <= upper as f64 + 0.5,
+                "q={q}: est {est_ns}ns outside oracle bucket [{lower}, {upper}] (oracle {o})"
+            );
+        }
+        let max_ns = s.latency.max * 1e6;
+        prop_assert!((max_ns - *lats.last().unwrap() as f64).abs() < 0.5);
+    }
+
+    /// Percentiles are monotone in q and bounded by the max.
+    #[test]
+    fn reducer_percentiles_are_monotone(
+        lats in proptest::collection::vec(0u64..1_000_000_000, 1..200)
+    ) {
+        let s = report::summarize(&ok_records(&lats), 100.0, 1.0, 1);
+        let l = s.latency;
+        prop_assert!(l.p50 <= l.p90 + 1e-9);
+        prop_assert!(l.p90 <= l.p95 + 1e-9);
+        prop_assert!(l.p95 <= l.p99 + 1e-9);
+        prop_assert!(l.p99 <= l.max + 1e-9);
+    }
+
+    /// Valid scenarios survive text round-trips exactly.
+    #[test]
+    fn scenario_round_trips(
+        docs in 1usize..16,
+        sections in 1usize..2000,
+        seed in any::<u64>(),
+        hot in 0u32..=100,
+        point in 0u32..10, join in 0u32..10, batch in 0u32..10, oversize in 0u32..10,
+        session_views in any::<bool>(),
+        workers in 1usize..16,
+        queue in 1usize..512,
+        deadline_ms in 1u64..10_000,
+        max_frame_kb in 1usize..1024,
+        rate_centi in 1u64..100_000,
+        duration_centi in 1u64..100_000,
+    ) {
+        let sc = Scenario {
+            name: "prop".to_owned(),
+            docs,
+            sections,
+            seed,
+            hot_fraction: hot as f64 / 100.0,
+            mix: Mix { point, join, batch, oversize: oversize.max(1) },
+            session_views,
+            workers,
+            queue,
+            deadline_ms,
+            max_frame_kb,
+            rate: rate_centi as f64 / 100.0,
+            duration_s: duration_centi as f64 / 100.0,
+        };
+        prop_assert_eq!(scenario::parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    /// Parsing is total: arbitrary input never panics, it either
+    /// yields a valid scenario or a diagnostic.
+    #[test]
+    fn scenario_parse_never_panics(
+        bytes in proptest::collection::vec(9u8..127, 0..200)
+    ) {
+        // Printable-ish ASCII with tabs and newlines mixed in.
+        let text = String::from_utf8(bytes).unwrap();
+        let _ = scenario::parse(&text);
+    }
+
+    /// The open-loop schedule is exact: request i is due at i/rate,
+    /// with zero accumulated drift.
+    #[test]
+    fn schedule_has_no_drift(rate_deci in 5u64..5000, secs_deci in 1u64..100) {
+        let rate = rate_deci as f64 / 10.0;
+        let schedule = loadgen::arrival_schedule(
+            rate,
+            Duration::from_secs_f64(secs_deci as f64 / 10.0),
+        );
+        for (i, due) in schedule.iter().enumerate() {
+            let ideal = i as f64 / rate;
+            prop_assert!(
+                (due.as_secs_f64() - ideal).abs() < 1e-6,
+                "arrival {i}: {due:?} vs ideal {ideal}"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------- live runs
+
+fn live_scenario() -> Scenario {
+    scenario::parse(
+        "name = live\n\
+         docs = 2\n\
+         sections = 40\n\
+         seed = 11\n\
+         hot_fraction = 0.7\n\
+         mix.point = 4\n\
+         mix.join = 2\n\
+         mix.batch = 1\n\
+         mix.oversize = 1\n\
+         session_views = true\n\
+         workers = 4\n\
+         queue = 64\n\
+         deadline_ms = 2000\n\
+         max_frame_kb = 8\n\
+         rate = 300\n\
+         duration_s = 1\n",
+    )
+    .unwrap()
+}
+
+fn boot(sc: &Scenario) -> Server {
+    let mut catalog = Catalog::new();
+    for i in 0..sc.docs {
+        let text = tr_bench::sgml_workload(sc.sections, sc.seed.wrapping_add(i as u64));
+        catalog.insert(&doc_name(i), tr_query::Engine::from_sgml(&text).unwrap());
+    }
+    Server::start(catalog, "127.0.0.1:0", sc.server_config()).unwrap()
+}
+
+#[test]
+fn end_to_end_open_loop_run_against_a_live_server() {
+    let sc = live_scenario();
+    let server = boot(&sc);
+    let result = loadgen::run_load(
+        server.local_addr(),
+        &sc,
+        sc.rate,
+        Duration::from_secs_f64(1.0),
+    );
+    server.shutdown();
+
+    // Open loop: every scheduled request produced a record.
+    assert_eq!(result.records.len(), 300);
+    // A healthy unloaded server answers everything, including the
+    // oversize probes (whose expected too_large reply is an Ok).
+    let ok = result
+        .records
+        .iter()
+        .filter(|r| r.outcome == Outcome::Ok)
+        .count();
+    assert_eq!(ok, 300, "outcomes: {:?}", &result.records[..5]);
+    // Pool reuse: far fewer connections than requests, at least one.
+    assert!(
+        result.connections >= 1 && result.connections < 150,
+        "{}",
+        result.connections
+    );
+    // Trace sanity on every record.
+    for r in &result.records {
+        assert!(r.sent_ns >= r.scheduled_ns, "sent before schedule: {r:?}");
+        assert!(
+            r.first_byte_ns >= r.sent_ns,
+            "first byte before send: {r:?}"
+        );
+        assert!(
+            r.done_ns >= r.first_byte_ns,
+            "done before first byte: {r:?}"
+        );
+    }
+
+    // Reduce, serialize, re-parse, gate: the full `check` path minus
+    // the CLI. A generous budget passes; a sub-microsecond one fails.
+    let summary = report::reduce(&result, sc.rate);
+    assert_eq!(summary.ok, 300);
+    assert!(summary.error_rate == 0.0);
+    assert!(summary.achieved_rate > 100.0, "{}", summary.achieved_rate);
+    let rep = LoadReport {
+        scenario: sc.name.clone(),
+        summary,
+    };
+    let parsed = tr_obs::parse_json(&rep.to_json().pretty()).unwrap();
+    let back = LoadReport::from_json(&parsed).unwrap();
+    assert_eq!(back.summary.requests, 300);
+
+    let budget = |p99: f64| LoadBaseline {
+        calibrate_ref_secs: 0.004,
+        budgets: vec![ScenarioBudget {
+            scenario: "live".to_owned(),
+            p99_budget_ms: p99,
+            error_budget: 0.01,
+        }],
+    };
+    assert!(report::check(&back, &budget(10_000.0), 1.0)
+        .unwrap()
+        .is_empty());
+    let violations = report::check(&back, &budget(0.0001), 1.0).unwrap();
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].what.contains("p99"), "{violations:?}");
+}
+
+#[test]
+fn oversize_probes_get_too_large_and_keep_their_connection() {
+    let sc = scenario::parse(
+        "name = oversize\nmix.point = 0\nmix.join = 0\nmix.batch = 0\nmix.oversize = 1\n\
+         docs = 1\nsections = 10\nmax_frame_kb = 4\nrate = 50\nduration_s = 1\n",
+    )
+    .unwrap();
+    let server = boot(&sc);
+    let result = loadgen::run_load(server.local_addr(), &sc, 50.0, Duration::from_secs(1));
+    server.shutdown();
+    assert_eq!(result.records.len(), 50);
+    assert!(result.records.iter().all(|r| r.outcome == Outcome::Ok));
+    // `too_large` must not cost a reconnect per probe: the pool keeps
+    // the (still healthy) connections circulating.
+    assert!(result.connections < 25, "{} reconnects", result.connections);
+}
+
+#[test]
+fn session_view_queries_reach_the_server() {
+    // A plan with views enabled contains via_view items, and the live
+    // run answers them all — i.e. define-view really ran per conn/doc.
+    let sc = live_scenario();
+    let plan = loadgen::build_plan(&sc, 300);
+    let via = plan
+        .iter()
+        .filter(|i| matches!(i, WorkItem::Query { via_view: true, .. }))
+        .count();
+    assert!(via > 10, "only {via} view queries in 300");
+}

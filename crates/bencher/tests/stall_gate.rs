@@ -1,0 +1,59 @@
+//! Self-test of the p99 gate: with `TR_SERVE_TEST_STALL_MS` injected
+//! into the server's workers, the gate MUST fail on p99 — proving the
+//! gate detects a genuinely slow server rather than vacuously passing.
+//!
+//! This lives in its own integration-test binary (own process) because
+//! the server reads the env var once through a `OnceLock`; setting it
+//! here must not leak into the other tests' servers.
+
+use std::time::Duration;
+use tr_bencher::loadgen::{self, doc_name};
+use tr_bencher::report::{self, LoadBaseline, LoadReport, ScenarioBudget};
+use tr_bencher::scenario;
+use tr_serve::{Catalog, Server};
+
+#[test]
+fn injected_stall_fails_the_p99_gate() {
+    std::env::set_var("TR_SERVE_TEST_STALL_MS", "100");
+    let sc = scenario::parse(
+        "name = stall\ndocs = 1\nsections = 20\nworkers = 4\n\
+         deadline_ms = 5000\nrate = 10\nduration_s = 1\n",
+    )
+    .unwrap();
+    let mut catalog = Catalog::new();
+    let text = tr_bench::sgml_workload(sc.sections, sc.seed);
+    catalog.insert(&doc_name(0), tr_query::Engine::from_sgml(&text).unwrap());
+    let server = Server::start(catalog, "127.0.0.1:0", sc.server_config()).unwrap();
+
+    // Rate 10 against 4 workers stalling 100ms each: well under the
+    // stalled capacity of ~40/s, so every request *succeeds slowly* —
+    // the stall must surface in p99, not hide behind rejections.
+    let result = loadgen::run_load(server.local_addr(), &sc, 10.0, Duration::from_secs(1));
+    server.shutdown();
+
+    let summary = report::reduce(&result, 10.0);
+    assert!(summary.ok >= 8, "stall starved successes: {summary:?}");
+    assert!(
+        summary.latency.p99 >= 100.0,
+        "p99 {}ms does not show the 100ms stall",
+        summary.latency.p99
+    );
+
+    let baseline = LoadBaseline {
+        calibrate_ref_secs: 0.004,
+        budgets: vec![ScenarioBudget {
+            scenario: "stall".to_owned(),
+            p99_budget_ms: 50.0,
+            error_budget: 0.01,
+        }],
+    };
+    let report = LoadReport {
+        scenario: "stall".to_owned(),
+        summary,
+    };
+    let violations = report::check(&report, &baseline, 1.0).unwrap();
+    assert!(
+        violations.iter().any(|v| v.what.contains("p99")),
+        "gate passed a stalled server: {violations:?}"
+    );
+}

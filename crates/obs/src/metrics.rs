@@ -130,6 +130,37 @@ impl Histogram {
         self.max()
     }
 
+    /// Quantile with sub-bucket linear interpolation: the q-th sample's
+    /// bucket is located exactly (bucket counts are exact), then the
+    /// value is interpolated inside the bucket's `(lower, upper]` range
+    /// by the sample's rank among that bucket's samples. The top bucket
+    /// is clamped to the observed max, so `quantile_interp(1.0)` never
+    /// exceeds a value that was actually recorded. Resolution is the
+    /// bucket's factor of two at worst — tight enough for tail-latency
+    /// gating, where budgets carry far more slack than one bucket.
+    pub fn quantile_interp(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let upper = bucket_bound(i).min(self.max()) as f64;
+                let lower = (if i == 0 { 0 } else { bucket_bound(i - 1) } as f64).min(upper);
+                let frac = (target - seen) as f64 / c as f64;
+                return lower + (upper - lower) * frac;
+            }
+            seen += c;
+        }
+        self.max() as f64
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -147,8 +178,9 @@ impl Histogram {
             .with("count", Json::from(self.count()))
             .with("sum", Json::from(self.sum()))
             .with("mean", Json::from(self.mean()))
-            .with("p50", Json::from(self.quantile(0.5)))
-            .with("p99", Json::from(self.quantile(0.99)))
+            .with("p50", Json::from(self.quantile_interp(0.5).round() as u64))
+            .with("p95", Json::from(self.quantile_interp(0.95).round() as u64))
+            .with("p99", Json::from(self.quantile_interp(0.99).round() as u64))
             .with("max", Json::from(self.max()));
         let buckets = self
             .nonzero_buckets()
@@ -312,6 +344,53 @@ mod tests {
         // p100 caps at the observed max, not the bucket bound (127).
         assert_eq!(h.quantile(1.0), 100);
         assert_eq!(Histogram::default().quantile(0.9), 0, "empty histogram");
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_in_the_oracle_bucket() {
+        // The defining property (the bencher's reducer leans on it): the
+        // interpolated quantile lands inside the bucket that holds the
+        // exact (sorted-vec) quantile, for any sample distribution.
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i % 4093).collect();
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let est = h.quantile_interp(q);
+            let b = bucket_of(oracle);
+            let lower = if b == 0 { 0 } else { bucket_bound(b - 1) } as f64;
+            let upper = bucket_bound(b).min(h.max()) as f64;
+            assert!(
+                est >= lower && est <= upper,
+                "q={q}: est {est} outside oracle bucket [{lower}, {upper}] (oracle {oracle})"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_clamped() {
+        let h = Histogram::default();
+        for v in [3u64, 5, 6, 7, 200, 210, 220, 230] {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let est = h.quantile_interp(i as f64 / 20.0);
+            assert!(est >= prev, "quantile must be monotone in q");
+            prev = est;
+        }
+        // The top is clamped to the observed max, not the bucket bound (255).
+        assert!(h.quantile_interp(1.0) <= 230.0);
+        assert_eq!(Histogram::default().quantile_interp(0.99), 0.0);
+        // A single sample: every quantile is that sample's bucket, clamped.
+        let one = Histogram::default();
+        one.record(100);
+        assert!(one.quantile_interp(0.5) <= 100.0 && one.quantile_interp(0.5) > 63.0);
     }
 
     #[test]

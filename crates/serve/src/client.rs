@@ -8,10 +8,24 @@
 
 use crate::protocol::ErrorCode;
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tr_obs::Json;
+
+/// Client-side wall-clock timing of one request/reply exchange, both
+/// measured from the moment the request (or [`Client::recv_timed`] call)
+/// started: `first_byte` is when the first byte of the *matching* reply
+/// line arrived, `total` when its newline did. The gap between them is
+/// serialization + kernel buffering; the gap before `first_byte` is
+/// queueing + execution — which is why the load harness records both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyTiming {
+    /// Delay until the reply's first byte.
+    pub first_byte: Duration,
+    /// Delay until the reply line was complete.
+    pub total: Duration,
+}
 
 /// What a request can fail with.
 #[derive(Debug)]
@@ -99,29 +113,70 @@ impl Client {
 
     /// Reads the next reply frame, whatever its `id`.
     pub fn recv(&mut self) -> Result<Json, ClientError> {
-        if let Some(j) = self.stashed.pop_front() {
-            return Ok(j);
-        }
-        self.read_frame()
+        self.recv_timed().map(|(j, _)| j)
     }
 
-    fn read_frame(&mut self) -> Result<Json, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+    /// [`Client::recv`] plus first-byte/total timing. A frame that was
+    /// already stashed by an out-of-order [`Client::request`] reports
+    /// zero delays — it had arrived before this call started.
+    pub fn recv_timed(&mut self) -> Result<(Json, ReplyTiming), ClientError> {
+        if let Some(j) = self.stashed.pop_front() {
+            let zero = ReplyTiming {
+                first_byte: Duration::ZERO,
+                total: Duration::ZERO,
+            };
+            return Ok((j, zero));
         }
-        tr_obs::parse_json(line.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+        self.read_frame_timed(Instant::now())
+    }
+
+    /// Blocks for one reply line, timestamping its first byte and its
+    /// completion relative to `start`.
+    fn read_frame_timed(&mut self, start: Instant) -> Result<(Json, ReplyTiming), ClientError> {
+        let mut first = [0u8; 1];
+        self.reader.read_exact(&mut first).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            } else {
+                ClientError::Io(e)
+            }
+        })?;
+        let first_byte = start.elapsed();
+        let mut buf = vec![first[0]];
+        if first[0] != b'\n' {
+            self.reader.read_until(b'\n', &mut buf)?;
+        }
+        let total = start.elapsed();
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let json = tr_obs::parse_json(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+        Ok((json, ReplyTiming { first_byte, total }))
     }
 
     /// Sends `fields` as a request frame (an `"id"` is added), waits for
     /// the reply with that id, and converts error frames to
     /// [`ClientError::Server`].
     pub fn request(&mut self, op: &str, fields: Json) -> Result<Json, ClientError> {
+        self.request_timed(op, fields).map(|(j, _)| j)
+    }
+
+    /// [`Client::request`] plus client-side timing: `first_byte` and
+    /// `total` measure from just before the frame was written, so they
+    /// include serialization, the wire, admission queueing, and
+    /// execution — the full client-observed latency the load harness
+    /// (`tr-bencher`) records per request. Error frames still convert to
+    /// [`ClientError::Server`]; their timing is discarded with the `Err`.
+    pub fn request_timed(
+        &mut self,
+        op: &str,
+        fields: Json,
+    ) -> Result<(Json, ReplyTiming), ClientError> {
         self.next_id += 1;
         let id = self.next_id;
         let mut frame = Json::obj()
@@ -132,11 +187,12 @@ impl Client {
                 frame.set(&k, v);
             }
         }
+        let start = Instant::now();
         self.send_raw(&frame.to_string())?;
         loop {
-            let reply = self.read_frame()?;
+            let (reply, timing) = self.read_frame_timed(start)?;
             if reply.get("id").and_then(Json::as_u64) == Some(id) {
-                return check_ok(reply);
+                return check_ok(reply).map(|j| (j, timing));
             }
             self.stashed.push_back(reply);
         }

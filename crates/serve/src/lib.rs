@@ -49,7 +49,7 @@ pub mod queue;
 pub mod server;
 
 pub use catalog::{Catalog, CatalogError, DocSummary};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ReplyTiming};
 pub use protocol::ErrorCode;
 pub use server::{Server, ServerConfig};
 
@@ -144,6 +144,21 @@ mod tests {
             Some("too_large")
         );
         // Still alive.
+        client.ping().unwrap();
+
+        // An oversize line short enough to arrive *whole* (body and
+        // newline in one read) must get the same answer: the frame cap
+        // applies to completed lines too, not only to mid-line overflow
+        // — and repeatedly, with the connection surviving each time.
+        for _ in 0..3 {
+            client.send_raw(&"y".repeat(1024)).unwrap();
+            let reply = client.recv().unwrap();
+            assert_eq!(
+                reply.get("error").unwrap().get("code").unwrap().as_str(),
+                Some("too_large"),
+                "completed-line oversize must not degrade to bad_json"
+            );
+        }
         client.ping().unwrap();
         server.shutdown();
     }

@@ -321,6 +321,15 @@ impl FrameReader {
             }
             if !self.discarding {
                 if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    // A complete line is still subject to the frame cap:
+                    // without this check, an oversize line whose newline
+                    // arrives in the same read as its body would be
+                    // answered `bad_json` instead of `too_large` (and
+                    // the answer would depend on TCP chunking).
+                    if pos > max {
+                        self.buf.drain(..=pos);
+                        return Ok(Frame::TooLarge);
+                    }
                     let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
                     line.pop(); // the \n
                     if line.last() == Some(&b'\r') {
@@ -611,11 +620,30 @@ impl Shared {
     }
 }
 
+/// Test-only per-request stall, read once from `TR_SERVE_TEST_STALL_MS`.
+/// CI's load-gate self-test sets it to simulate a queueing regression —
+/// every heavy op then sleeps this long on the worker before executing,
+/// which inflates tail latency and (at sufficient offered rate) backs up
+/// the admission queue. `None` in every real deployment.
+fn test_stall() -> Option<Duration> {
+    static STALL: OnceLock<Option<Duration>> = OnceLock::new();
+    *STALL.get_or_init(|| {
+        std::env::var("TR_SERVE_TEST_STALL_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let m = ServeMetrics::get();
     let queue_wait = tr_obs::histogram("serve.queue_wait_ns");
     while let Some(job) = shared.queue.pop() {
         queue_wait.record(job.enqueued.elapsed().as_nanos() as u64);
+        if let Some(stall) = test_stall() {
+            std::thread::sleep(stall);
+        }
         if Instant::now() >= job.deadline {
             m.timeouts.inc();
             m.failed.inc();
