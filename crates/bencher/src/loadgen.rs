@@ -14,7 +14,7 @@
 //! (scheduled, sent, first reply byte, done) and an [`Outcome`]; the
 //! reduction to percentiles lives in [`crate::report`].
 
-use crate::scenario::Scenario;
+use crate::scenario::{Arrivals, Scenario};
 use rand::prelude::*;
 use std::collections::HashSet;
 use std::io;
@@ -128,6 +128,19 @@ impl RequestRecord {
     }
 }
 
+impl Outcome {
+    /// Stable label used in the per-request trace CSV.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Rejected => "rejected",
+            Outcome::DeadlineExpired => "deadline_expired",
+            Outcome::Error => "error",
+            Outcome::Transport => "transport",
+        }
+    }
+}
+
 /// Everything one run produced.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -140,15 +153,46 @@ pub struct RunResult {
     pub connections: u64,
 }
 
-/// The deterministic arrival schedule: `n = round(rate · duration)`
-/// offsets at exactly `i / rate` seconds. Deterministic spacing (rather
-/// than Poisson) keeps run-to-run variance out of the CI gate; the
-/// queueing the gate cares about comes from service-time variance.
+/// The deterministic uniform arrival schedule: `n = round(rate ·
+/// duration)` offsets at exactly `i / rate` seconds. Deterministic
+/// spacing keeps run-to-run variance out of the CI gate; the queueing
+/// the gate cares about comes from service-time variance.
 pub fn arrival_schedule(rate: f64, duration: Duration) -> Vec<Duration> {
     let n = (rate * duration.as_secs_f64()).round().max(1.0) as usize;
     (0..n)
         .map(|i| Duration::from_secs_f64(i as f64 / rate))
         .collect()
+}
+
+/// The arrival schedule for any [`Arrivals`] process. `Uniform` ignores
+/// the seed and matches [`arrival_schedule`]; `Poisson` draws
+/// exponential inter-arrival gaps (inverse-CDF `-ln(1-U)/rate`) from a
+/// seeded generator — the same seed always produces the same bursts, so
+/// a bursty run is exactly as reproducible as a uniform one. The first
+/// arrival is at offset zero either way (a schedule is never empty) and
+/// every offset stays below `duration`.
+pub fn arrival_schedule_for(
+    arrivals: Arrivals,
+    rate: f64,
+    duration: Duration,
+    seed: u64,
+) -> Vec<Duration> {
+    match arrivals {
+        Arrivals::Uniform => arrival_schedule(rate, duration),
+        Arrivals::Poisson => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x706f_6973); // ^ "pois"
+            let mut offsets = vec![Duration::ZERO];
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                t += -(1.0 - u).ln() / rate;
+                if t >= duration.as_secs_f64() {
+                    break offsets;
+                }
+                offsets.push(Duration::from_secs_f64(t));
+            }
+        }
+    }
 }
 
 /// Builds the request plan: `n` work items drawn from the scenario's
@@ -307,7 +351,7 @@ fn classify(e: &ClientError) -> Outcome {
 /// Runs the scenario's plan against `addr` at `rate` for `duration`,
 /// open-loop. Blocks until every in-flight request has resolved.
 pub fn run_load(addr: SocketAddr, sc: &Scenario, rate: f64, duration: Duration) -> RunResult {
-    let schedule = arrival_schedule(rate, duration);
+    let schedule = arrival_schedule_for(sc.arrivals, rate, duration, sc.seed);
     let plan = build_plan(sc, schedule.len());
     // One shared oversize payload: max_frame_bytes + 1 KiB of padding,
     // built once instead of per request.
@@ -385,6 +429,28 @@ pub fn run_load(addr: SocketAddr, sc: &Scenario, rate: f64, duration: Duration) 
     }
 }
 
+/// Serializes the per-request trace as CSV (one row per scheduled
+/// request, in schedule order) for offline analysis: latency scatter
+/// plots, coordinated-omission audits, burst close-ups. Offsets are
+/// nanoseconds from run start; `latency_ns` is the
+/// coordinated-omission-corrected scheduled→done latency the percentile
+/// gate is built from, so the CSV can reproduce the report exactly.
+pub fn trace_csv(result: &RunResult) -> String {
+    let mut out = String::from("scheduled_ns,sent_ns,first_byte_ns,done_ns,latency_ns,outcome\n");
+    for r in &result.records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.scheduled_ns,
+            r.sent_ns,
+            r.first_byte_ns,
+            r.done_ns,
+            r.latency_ns(),
+            r.outcome.as_str(),
+        ));
+    }
+    out
+}
+
 fn ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
@@ -412,6 +478,62 @@ mod tests {
     #[test]
     fn schedule_never_goes_empty() {
         assert_eq!(arrival_schedule(0.1, Duration::from_secs(1)).len(), 1);
+        assert_eq!(
+            arrival_schedule_for(Arrivals::Poisson, 0.001, Duration::from_secs(1), 7).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_is_seeded_sorted_and_bounded() {
+        // Property sweep over seeds: determinism, monotone offsets, all
+        // inside the run window, and the empirical mean rate within a
+        // loose band of the offered one (law of large numbers at n≈2000;
+        // the band is wide enough to be flake-free, tight enough to
+        // catch a wrong inverse-CDF).
+        let duration = Duration::from_secs(20);
+        for seed in 0..8u64 {
+            let a = arrival_schedule_for(Arrivals::Poisson, 100.0, duration, seed);
+            let b = arrival_schedule_for(Arrivals::Poisson, 100.0, duration, seed);
+            assert_eq!(a, b, "seed {seed} must reproduce its bursts");
+            assert_eq!(a[0], Duration::ZERO);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "seed {seed}: sorted");
+            assert!(a.iter().all(|&t| t < duration), "seed {seed}: bounded");
+            let n = a.len() as f64;
+            let rate = n / duration.as_secs_f64();
+            assert!(
+                (70.0..=130.0).contains(&rate),
+                "seed {seed}: empirical rate {rate} too far from 100"
+            );
+        }
+        // Different seeds give different bursts.
+        let a = arrival_schedule_for(Arrivals::Poisson, 100.0, duration, 1);
+        let b = arrival_schedule_for(Arrivals::Poisson, 100.0, duration, 2);
+        assert_ne!(a, b);
+        // Gaps are actually irregular — a Poisson schedule that came out
+        // evenly spaced would mean the exponential draw is broken.
+        let gaps: Vec<f64> = a.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        // Exponential: stddev == mean. Uniform spacing: stddev == 0.
+        assert!(
+            var.sqrt() > mean * 0.5,
+            "gap stddev {} vs mean {mean}: not exponential-shaped",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn uniform_arrivals_ignore_the_seed() {
+        let d = Duration::from_secs(2);
+        assert_eq!(
+            arrival_schedule_for(Arrivals::Uniform, 50.0, d, 1),
+            arrival_schedule(50.0, d)
+        );
+        assert_eq!(
+            arrival_schedule_for(Arrivals::Uniform, 50.0, d, 999),
+            arrival_schedule(50.0, d)
+        );
     }
 
     #[test]
@@ -439,6 +561,39 @@ mod tests {
                 WorkItem::Oversize => {}
             }
         }
+    }
+
+    #[test]
+    fn trace_csv_round_trips_the_records() {
+        let result = RunResult {
+            records: vec![
+                RequestRecord {
+                    scheduled_ns: 0,
+                    sent_ns: 10,
+                    first_byte_ns: 500,
+                    done_ns: 700,
+                    outcome: Outcome::Ok,
+                },
+                RequestRecord {
+                    scheduled_ns: 1_000,
+                    sent_ns: 1_020,
+                    first_byte_ns: 1_020,
+                    done_ns: 1_020,
+                    outcome: Outcome::Rejected,
+                },
+            ],
+            wall: Duration::from_millis(2),
+            connections: 1,
+        };
+        let csv = trace_csv(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per record");
+        assert_eq!(
+            lines[0],
+            "scheduled_ns,sent_ns,first_byte_ns,done_ns,latency_ns,outcome"
+        );
+        assert_eq!(lines[1], "0,10,500,700,700,ok");
+        assert_eq!(lines[2], "1000,1020,1020,1020,20,rejected");
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn print_usage() {
          \n\
          commands:\n\
          \x20 run        <scenario.scn> [--rate N] [--duration S] [--addr H:P] [--out PATH]\n\
-         \x20            one open-loop run; writes load-report.json\n\
+         \x20            [--trace-out PATH]\n\
+         \x20            one open-loop run; writes load-report.json (and optionally a\n\
+         \x20            per-request latency-trace CSV)\n\
          \x20 check      <scenario.scn> --baseline LOAD_BASELINE.json [run flags]\n\
          \x20            run + gate p99/error-rate against committed budgets (exit 1 on fail)\n\
          \x20 sweep      <scenario.scn> [--rates 25,50,100,200,400] [--duration S] [--addr H:P]\n\
@@ -81,6 +83,7 @@ struct Flags {
     duration: Option<f64>,
     addr: Option<String>,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     rates: Option<Vec<f64>>,
     positional: Vec<String>,
@@ -111,6 +114,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--addr" => f.addr = Some(value("--addr")?),
             "--out" => f.out = Some(PathBuf::from(value("--out")?)),
+            "--trace-out" => f.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--baseline" => f.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--rates" => {
                 let v = value("--rates")?;
@@ -193,12 +197,19 @@ fn build_catalog(sc: &Scenario) -> Catalog {
     catalog
 }
 
-/// Runs one scenario and prints the human summary to stderr.
-fn run_one(sc: &Scenario, addr: SocketAddr, rate: f64, duration: Duration) -> LoadReport {
+/// Runs one scenario and prints the human summary to stderr. The raw
+/// [`loadgen::RunResult`] rides along for `--trace-out`.
+fn run_one(
+    sc: &Scenario,
+    addr: SocketAddr,
+    rate: f64,
+    duration: Duration,
+) -> (LoadReport, loadgen::RunResult) {
     eprintln!(
-        "offering {rate} req/s for {:.1}s against {addr} (scenario {})",
+        "offering {rate} req/s for {:.1}s against {addr} (scenario {}, {} arrivals)",
         duration.as_secs_f64(),
-        sc.name
+        sc.name,
+        sc.arrivals.as_str()
     );
     let result = loadgen::run_load(addr, sc, rate, duration);
     let summary = report::reduce(&result, rate);
@@ -221,16 +232,33 @@ fn run_one(sc: &Scenario, addr: SocketAddr, rate: f64, duration: Duration) -> Lo
         summary.latency.max,
         summary.sched_lag_p99_ms
     );
-    LoadReport {
-        scenario: sc.name.clone(),
-        summary,
-    }
+    (
+        LoadReport {
+            scenario: sc.name.clone(),
+            summary,
+        },
+        result,
+    )
 }
 
 fn write_report(report: &LoadReport, out: &Path) -> Result<(), String> {
     std::fs::write(out, report.to_json().pretty() + "\n")
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     eprintln!("  wrote {}", out.display());
+    Ok(())
+}
+
+/// Writes the per-request trace CSV when `--trace-out` was given.
+fn write_trace(result: &loadgen::RunResult, out: &Option<PathBuf>) -> Result<(), String> {
+    if let Some(out) = out {
+        std::fs::write(out, loadgen::trace_csv(result))
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        eprintln!(
+            "  wrote {} ({} request rows)",
+            out.display(),
+            result.records.len()
+        );
+    }
     Ok(())
 }
 
@@ -243,12 +271,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let rate = flags.rate.unwrap_or(sc.rate);
     let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
     let target = Target::resolve(&sc, &flags.addr)?;
-    let report = run_one(&sc, target.addr, rate, duration);
+    let (report, result) = run_one(&sc, target.addr, rate, duration);
     target.finish();
     let out = flags
         .out
         .unwrap_or_else(|| PathBuf::from("load-report.json"));
     write_report(&report, &out)?;
+    write_trace(&result, &flags.trace_out)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -274,12 +303,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let rate = flags.rate.unwrap_or(sc.rate);
     let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
     let target = Target::resolve(&sc, &flags.addr)?;
-    let report = run_one(&sc, target.addr, rate, duration);
+    let (report, result) = run_one(&sc, target.addr, rate, duration);
     target.finish();
     let out = flags
         .out
         .unwrap_or_else(|| PathBuf::from("load-report.json"));
     write_report(&report, &out)?;
+    write_trace(&result, &flags.trace_out)?;
 
     // Same normalization as the tr-bench perf gate: a slower machine
     // raises the p99 ceiling proportionally, a faster one never lowers
@@ -324,7 +354,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, String> {
     println!("| offered/s | achieved/s | ok | rej | exp | p50 ms | p95 ms | p99 ms | max ms |");
     println!("|---|---|---|---|---|---|---|---|---|");
     for &rate in &rates {
-        let r = run_one(&sc, target.addr, rate, duration).summary;
+        let r = run_one(&sc, target.addr, rate, duration).0.summary;
         println!(
             "| {rate} | {:.0} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
             r.achieved_rate,
@@ -357,7 +387,7 @@ fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
         let sc = load_scenario(path)?;
         let duration = Duration::from_secs_f64(flags.duration.unwrap_or(sc.duration_s));
         let target = Target::resolve(&sc, &None)?;
-        let r = run_one(&sc, target.addr, sc.rate, duration);
+        let (r, _) = run_one(&sc, target.addr, sc.rate, duration);
         target.finish();
         if r.summary.ok == 0 {
             return Err(format!(

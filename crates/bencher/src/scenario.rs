@@ -16,6 +16,7 @@
 //! mix.join     = 2
 //! rate         = 150          # offered arrivals per second
 //! duration_s   = 10
+//! arrivals     = poisson      # uniform (default) or poisson bursts
 //! ```
 //!
 //! The same struct also describes the *server* the scenario expects
@@ -26,6 +27,30 @@
 use std::fmt;
 use std::time::Duration;
 use tr_serve::ServerConfig;
+
+/// The arrival process shaping the open-loop schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Evenly spaced arrivals at exactly `i / rate` seconds — zero
+    /// run-to-run variance, the right default for the CI latency gate.
+    #[default]
+    Uniform,
+    /// Memoryless (exponential inter-arrival) gaps at the same mean
+    /// rate, drawn deterministically from the scenario seed. Bursty the
+    /// way real traffic is: the same offered load now arrives in clumps
+    /// that probe queue depth, which uniform spacing never does.
+    Poisson,
+}
+
+impl Arrivals {
+    /// The scenario-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Arrivals::Uniform => "uniform",
+            Arrivals::Poisson => "poisson",
+        }
+    }
+}
 
 /// Relative weights of the four request shapes. Weights are ratios, not
 /// percentages: `6/2/1/1` and `60/20/10/10` describe the same mix.
@@ -79,6 +104,8 @@ pub struct Scenario {
     pub rate: f64,
     /// Default run length in seconds; `--duration` overrides.
     pub duration_s: f64,
+    /// Arrival process: `uniform` (default) or `poisson`.
+    pub arrivals: Arrivals,
 }
 
 impl Default for Scenario {
@@ -102,6 +129,7 @@ impl Default for Scenario {
             max_frame_kb: 64,
             rate: 100.0,
             duration_s: 10.0,
+            arrivals: Arrivals::Uniform,
         }
     }
 }
@@ -118,6 +146,7 @@ impl Scenario {
             max_connections: 1024,
             max_frame_bytes: self.max_frame_kb * 1024,
             deadline: Duration::from_millis(self.deadline_ms),
+            ..ServerConfig::default()
         }
     }
 
@@ -139,7 +168,8 @@ impl Scenario {
              deadline_ms = {}\n\
              max_frame_kb = {}\n\
              rate = {}\n\
-             duration_s = {}\n",
+             duration_s = {}\n\
+             arrivals = {}\n",
             self.name,
             self.docs,
             self.sections,
@@ -156,6 +186,7 @@ impl Scenario {
             self.max_frame_kb,
             self.rate,
             self.duration_s,
+            self.arrivals.as_str(),
         )
     }
 }
@@ -230,6 +261,17 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
             "max_frame_kb" => sc.max_frame_kb = parse_num(key, value).map_err(err)?,
             "rate" => sc.rate = parse_float(key, value).map_err(err)?,
             "duration_s" => sc.duration_s = parse_float(key, value).map_err(err)?,
+            "arrivals" => {
+                sc.arrivals = match value {
+                    "uniform" => Arrivals::Uniform,
+                    "poisson" => Arrivals::Poisson,
+                    _ => {
+                        return Err(err(format!(
+                            "arrivals must be uniform/poisson, got {value:?}"
+                        )))
+                    }
+                }
+            }
             _ => return Err(err(format!("unknown key {key:?}"))),
         }
     }
@@ -310,6 +352,13 @@ mod tests {
     }
 
     #[test]
+    fn poisson_arrivals_round_trip() {
+        let sc = parse("arrivals = poisson\n").unwrap();
+        assert_eq!(sc.arrivals, Arrivals::Poisson);
+        assert_eq!(parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    #[test]
     fn comments_blanks_and_overrides() {
         let sc = parse(
             "# a comment\n\
@@ -340,6 +389,7 @@ mod tests {
             ("docs = 0", "docs must be in"),
             ("hot_fraction = 1.5", "hot_fraction must be in"),
             ("session_views = yes", "must be true/false"),
+            ("arrivals = bursty", "must be uniform/poisson"),
             ("name = two words", "without whitespace"),
             (
                 "mix.point = 0\nmix.join = 0\nmix.batch = 0\nmix.oversize = 0",

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use std::time::Duration;
 use tr_bencher::loadgen::{self, doc_name, Outcome, RequestRecord, WorkItem};
 use tr_bencher::report::{self, LoadBaseline, LoadReport, ScenarioBudget};
-use tr_bencher::scenario::{self, Mix, Scenario};
+use tr_bencher::scenario::{self, Arrivals, Mix, Scenario};
 use tr_serve::{Catalog, Server};
 
 // ---------------------------------------------------------------- oracle
@@ -101,6 +101,7 @@ proptest! {
         hot in 0u32..=100,
         point in 0u32..10, join in 0u32..10, batch in 0u32..10, oversize in 0u32..10,
         session_views in any::<bool>(),
+        poisson in any::<bool>(),
         workers in 1usize..16,
         queue in 1usize..512,
         deadline_ms in 1u64..10_000,
@@ -122,6 +123,7 @@ proptest! {
             max_frame_kb,
             rate: rate_centi as f64 / 100.0,
             duration_s: duration_centi as f64 / 100.0,
+            arrivals: if poisson { Arrivals::Poisson } else { Arrivals::Uniform },
         };
         prop_assert_eq!(scenario::parse(&sc.to_text()).unwrap(), sc);
     }

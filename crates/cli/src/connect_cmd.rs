@@ -46,7 +46,7 @@ pub fn run(args: &[String]) -> ExitCode {
     };
     println!(
         "querying {current:?} (:use <doc>, :docs, :explain <q>, :batch <q>; <q>…, \
-         :let <name> = <q>, :stats, :quit)"
+         :let <name> = <q>, :stats, :mutate …, :watch <q>, :unwatch <id>, :events, :quit)"
     );
 
     let stdin = std::io::stdin();
@@ -155,9 +155,159 @@ fn dispatch(client: &mut Client, current: &mut String, line: &str) -> Result<(),
         }
         return Ok(());
     }
+    if let Some(q) = line.strip_prefix(":watch ") {
+        let reply = client.watch(current, q.trim())?;
+        let id = reply.get("watch").and_then(Json::as_u64).unwrap_or(0);
+        println!("watch {id} registered; baseline:");
+        print_result(&reply);
+        println!("(use :events to read diffs, :unwatch {id} to cancel)");
+        return Ok(());
+    }
+    if let Some(id) = line.strip_prefix(":unwatch ") {
+        match id.trim().parse::<u64>() {
+            Ok(id) => {
+                client.unwatch(id)?;
+                println!("watch {id} cancelled");
+            }
+            Err(_) => eprintln!("usage: :unwatch <id>"),
+        }
+        return Ok(());
+    }
+    if line == ":events" {
+        drain_events(client)?;
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix(":mutate ") {
+        match parse_mutate(rest.trim()) {
+            Ok(edit) => {
+                let reply = client.mutate(current, Json::Arr(vec![edit]))?;
+                let get = |k: &str| reply.get(k).and_then(Json::as_u64).unwrap_or(0);
+                println!(
+                    "generation {} ({} segment(s) reindexed, {} reused, cache {} kept / {} dropped)",
+                    get("generation"),
+                    get("segments_reindexed"),
+                    get("segments_reused"),
+                    get("cache_kept"),
+                    get("cache_dropped"),
+                );
+            }
+            Err(why) => eprintln!("{why}"),
+        }
+        return Ok(());
+    }
     let reply = client.query(current, line)?;
     print_result(&reply);
     Ok(())
+}
+
+/// Parses the REPL's mutate shorthand into one protocol edit object:
+/// `append <text>`, `splice <at> <delete> [text]`,
+/// `add-region <name> <l> <r>`, `remove-region <name> <l> <r>`.
+fn parse_mutate(rest: &str) -> Result<Json, String> {
+    const USAGE: &str = "usage: :mutate append <text> | :mutate splice <at> <delete> [text] \
+                         | :mutate add-region <name> <l> <r> | :mutate remove-region <name> <l> <r>";
+    let (kind, tail) = rest.split_once(' ').unwrap_or((rest, ""));
+    let tail = tail.trim();
+    match kind {
+        "append" => {
+            if tail.is_empty() {
+                return Err(USAGE.to_owned());
+            }
+            Ok(Json::obj()
+                .with("kind", Json::from("append"))
+                .with("text", Json::from(tail)))
+        }
+        "splice" => {
+            let mut words = tail.splitn(3, ' ');
+            let at = words.next().and_then(|w| w.parse::<u64>().ok());
+            let delete = words.next().and_then(|w| w.parse::<u64>().ok());
+            match (at, delete) {
+                (Some(at), Some(delete)) => Ok(Json::obj()
+                    .with("kind", Json::from("splice"))
+                    .with("at", Json::from(at))
+                    .with("delete", Json::from(delete))
+                    .with("insert", Json::from(words.next().unwrap_or("")))),
+                _ => Err(USAGE.to_owned()),
+            }
+        }
+        "add-region" | "remove-region" => {
+            let parts: Vec<&str> = tail.split_whitespace().collect();
+            let [name, l, r] = parts.as_slice() else {
+                return Err(USAGE.to_owned());
+            };
+            match (l.parse::<u64>(), r.parse::<u64>()) {
+                (Ok(l), Ok(r)) => Ok(Json::obj()
+                    .with("kind", Json::from(kind))
+                    .with("name", Json::from(*name))
+                    .with("left", Json::from(l))
+                    .with("right", Json::from(r))),
+                _ => Err(USAGE.to_owned()),
+            }
+        }
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+/// Prints every watch event already buffered or arriving within a short
+/// poll window; a read timeout ends the drain (it is not an error).
+fn drain_events(client: &mut Client) -> Result<(), ClientError> {
+    client
+        .set_read_timeout(Some(std::time::Duration::from_millis(150)))
+        .ok();
+    let mut n = 0usize;
+    let outcome = loop {
+        match client.next_event() {
+            Ok(ev) => {
+                n += 1;
+                print_event(&ev);
+            }
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break Ok(())
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    client.set_read_timeout(None).ok();
+    if n == 0 && outcome.is_ok() {
+        println!("(no pending events)");
+    }
+    outcome
+}
+
+fn print_event(ev: &Json) {
+    let kind = ev.get("ev").and_then(Json::as_str).unwrap_or("?");
+    let watch = ev.get("watch").and_then(Json::as_u64).unwrap_or(0);
+    let generation = ev.get("generation").and_then(Json::as_u64).unwrap_or(0);
+    match kind {
+        "watch" => {
+            let count = |k: &str| {
+                ev.get(k)
+                    .and_then(Json::as_arr)
+                    .map(|a| a.len())
+                    .unwrap_or(0)
+            };
+            println!(
+                "watch {watch} @ gen {generation}: +{} -{} ({} hit(s) now)",
+                count("added"),
+                count("removed"),
+                ev.get("hits").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+        "watch-lagged" => println!(
+            "watch {watch} @ gen {generation}: LAGGED — {} event(s) dropped, re-run the query",
+            ev.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+        ),
+        "watch-error" => println!(
+            "watch {watch}: ERROR {} (watch cancelled)",
+            ev.get("message").and_then(Json::as_str).unwrap_or("?"),
+        ),
+        other => println!("event {other:?}: {ev}"),
+    }
 }
 
 fn print_result(result: &Json) {

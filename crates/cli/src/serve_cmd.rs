@@ -15,7 +15,8 @@ use tr_serve::{Catalog, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: trq serve <corpus-dir> [--addr HOST:PORT] [--workers N] \
-         [--queue N] [--max-conns N] [--deadline-ms N] [--max-frame-bytes N]\n\
+         [--queue N] [--max-conns N] [--deadline-ms N] [--max-frame-bytes N] \
+         [--watch-queue N]\n\
          serves every .trx/.sgml/.xml/.src/.txt file in <corpus-dir>; \
          EOF or \"quit\" on stdin shuts down gracefully"
     );
@@ -41,6 +42,7 @@ pub fn run(args: &[String]) -> ExitCode {
             "--max-conns" => cfg.max_connections = num("--max-conns").max(1),
             "--deadline-ms" => cfg.deadline = Duration::from_millis(num("--deadline-ms") as u64),
             "--max-frame-bytes" => cfg.max_frame_bytes = num("--max-frame-bytes").max(64),
+            "--watch-queue" => cfg.watch_queue_capacity = num("--watch-queue").max(2),
             "--help" | "-h" => usage(),
             _ if dir.is_none() => dir = Some(arg),
             other => {

@@ -28,6 +28,7 @@ pub mod exec;
 pub mod expr;
 pub mod instance;
 pub mod kernel;
+pub mod mutate;
 pub mod naive;
 pub mod ops;
 pub mod par;
@@ -44,6 +45,7 @@ pub use eval::{
 pub use exec::{execute, execute_segmented, ExecConfig, ExecStats, Executed};
 pub use expr::{BinOp, Expr};
 pub use instance::{Forest, Instance, InstanceBuilder, InstanceError};
+pub use mutate::{splice_instance, splice_region, splice_set, Edit};
 pub use par::Parallelism;
 pub use plan::{expr_fingerprint, NodeId, Plan, PlanOp};
 pub use region::{region, Pos, Region};

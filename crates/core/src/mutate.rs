@@ -1,0 +1,273 @@
+//! Document mutation: splice transforms over region sets and instances.
+//!
+//! A live document changes in two ways — its **text** (append/splice of
+//! bytes) and its **regions** (add/remove a named region). This module
+//! defines the edit vocabulary ([`Edit`]) and the pure region-coordinate
+//! transforms a text splice induces, so every layer (engine swap in
+//! `tr-query`, the `mutate` verb in `tr-serve`) agrees on exactly one
+//! semantics:
+//!
+//! A splice replaces `delete` bytes at position `at` with `insert_len`
+//! new bytes (`delta = insert_len - delete`). For a region `[l, r]`
+//! (inclusive endpoints, as everywhere in the paper's model):
+//!
+//! * entirely before the edit (`r < at`) — kept verbatim;
+//! * entirely after the deleted range (`l ≥ at + delete`) — shifted by
+//!   `delta`;
+//! * strictly containing the edit — stretched: `[l, r + delta]`;
+//! * overlapping from the left — truncated to `[l, at − 1]`;
+//! * overlapping from the right — clipped to `[at + insert_len, r + delta]`;
+//! * entirely inside the deleted range — dropped.
+//!
+//! [`splice_set`] lifts the per-region rule to a whole [`RegionSet`] with
+//! a zero-copy fast path: a set whose regions all end before the edit is
+//! returned as a handle clone of the same `Arc`'d columns (provable via
+//! [`RegionSet::shares_buf`]), which is what makes clean-segment reuse
+//! free under append-heavy workloads.
+
+use crate::instance::{Instance, InstanceError};
+use crate::region::{region, Pos, Region};
+use crate::set::RegionSet;
+
+/// One document edit, in the engine's coordinate space (byte offsets).
+///
+/// Region names are carried as strings because edits originate outside
+/// the schema (the serve protocol, the REPL); the engine resolves them
+/// when applying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Replace `delete` bytes at `at` with `insert`. `at` past the end
+    /// of the text clamps to an append; `delete` clamps to the tail.
+    Splice {
+        /// Byte offset of the edit.
+        at: Pos,
+        /// Bytes removed.
+        delete: Pos,
+        /// Bytes inserted in their place.
+        insert: String,
+    },
+    /// Add `region` under the (existing) name `name`.
+    AddRegion {
+        /// The schema name to add under.
+        name: String,
+        /// The region to add.
+        region: Region,
+    },
+    /// Remove `region` from under `name` (a no-op if absent).
+    RemoveRegion {
+        /// The schema name to remove from.
+        name: String,
+        /// The region to remove.
+        region: Region,
+    },
+}
+
+impl Edit {
+    /// Convenience constructor for an append at the end of the text
+    /// (`at` is clamped by the applier, so `Pos::MAX` always appends).
+    pub fn append(text: impl Into<String>) -> Edit {
+        Edit::Splice {
+            at: Pos::MAX,
+            delete: 0,
+            insert: text.into(),
+        }
+    }
+
+    /// True when the edit changes text bytes (any splice, even an empty
+    /// one — callers that care about no-ops check `delete`/`insert`).
+    pub fn touches_text(&self) -> bool {
+        matches!(self, Edit::Splice { .. })
+    }
+}
+
+/// Where a splice maps one region, per the module-level rule. `None`
+/// means the region fell entirely inside the deleted range.
+pub fn splice_region(r: Region, at: Pos, delete: Pos, insert_len: Pos) -> Option<Region> {
+    let zone_end = at as i64 + delete as i64;
+    let delta = insert_len as i64 - delete as i64;
+    let (l, rr) = (r.left() as i64, r.right() as i64);
+    if rr < at as i64 {
+        Some(r)
+    } else if l >= zone_end {
+        Some(region((l + delta) as Pos, (rr + delta) as Pos))
+    } else if l < at as i64 && rr >= zone_end {
+        Some(region(l as Pos, (rr + delta) as Pos))
+    } else if l < at as i64 {
+        Some(region(l as Pos, at - 1))
+    } else if rr >= zone_end {
+        Some(region(at + insert_len, (rr + delta) as Pos))
+    } else {
+        None
+    }
+}
+
+/// Lifts [`splice_region`] to a whole set. Regions that survive are
+/// re-sorted and de-duplicated (two overlapping regions can truncate to
+/// identical endpoints). Fast path: a set entirely before the edit is
+/// returned as a zero-copy handle clone.
+pub fn splice_set(set: &RegionSet, at: Pos, delete: Pos, insert_len: Pos) -> RegionSet {
+    if set.is_empty() {
+        return set.clone();
+    }
+    // All regions end before the edit: columns are byte-identical, so the
+    // Arc'd buffer is reused verbatim.
+    if set.iter().map(|r| r.right()).max().is_some_and(|m| m < at) {
+        return set.clone();
+    }
+    let survivors: Vec<Region> = set
+        .iter()
+        .filter_map(|r| splice_region(r, at, delete, insert_len))
+        .collect();
+    RegionSet::from_regions(survivors)
+}
+
+/// Applies a text splice to every region set of an instance, pairing the
+/// transformed sets with a new word index (built by the caller over the
+/// new text — see `tr_text::SuffixWordIndex::spliced`). Re-validates the
+/// hierarchy: a splice that truncates two nested regions onto partially
+/// overlapping endpoints is an error, not a corrupt instance.
+pub fn splice_instance<W, V>(
+    inst: &Instance<W>,
+    at: Pos,
+    delete: Pos,
+    insert_len: Pos,
+    word: V,
+) -> Result<Instance<V>, InstanceError> {
+    let sets: Vec<RegionSet> = inst
+        .schema()
+        .ids()
+        .map(|id| splice_set(inst.regions_of(id), at, delete, insert_len))
+        .collect();
+    Instance::build(inst.schema().clone(), sets, word)
+}
+
+/// Returns a copy of the instance with `r` added under `id`,
+/// re-validated (duplicate or partially-overlapping additions surface as
+/// an [`InstanceError`]). The word index is shared via clone — region
+/// membership does not affect `W`.
+pub fn with_region_added<W: Clone>(
+    inst: &Instance<W>,
+    id: crate::schema::NameId,
+    r: Region,
+) -> Result<Instance<W>, InstanceError> {
+    let sets: Vec<RegionSet> = inst
+        .schema()
+        .ids()
+        .map(|name| {
+            let mut s = inst.regions_of(name).clone();
+            if name == id {
+                s.insert(r);
+            }
+            s
+        })
+        .collect();
+    Instance::build(inst.schema().clone(), sets, inst.word_index().clone())
+}
+
+/// Returns a copy of the instance with `r` removed from under `id` (a
+/// no-op when absent). Removal cannot break the hierarchy, but the
+/// result is rebuilt through the same validated path for uniformity.
+pub fn with_region_removed<W: Clone>(
+    inst: &Instance<W>,
+    id: crate::schema::NameId,
+    r: Region,
+) -> Result<Instance<W>, InstanceError> {
+    let doomed = RegionSet::singleton(r);
+    let sets: Vec<RegionSet> = inst
+        .schema()
+        .ids()
+        .map(|name| {
+            if name == id {
+                inst.regions_of(name).difference(&doomed)
+            } else {
+                inst.regions_of(name).clone()
+            }
+        })
+        .collect();
+    Instance::build(inst.schema().clone(), sets, inst.word_index().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::schema::Schema;
+
+    #[test]
+    fn splice_region_case_table() {
+        // Splice at 10, delete 4 (zone [10, 14)), insert 2 → delta −2.
+        let case = |l, r| splice_region(region(l, r), 10, 4, 2);
+        assert_eq!(case(0, 9), Some(region(0, 9)), "before: kept");
+        assert_eq!(case(14, 20), Some(region(12, 18)), "after: shifted");
+        assert_eq!(case(5, 20), Some(region(5, 18)), "contains: stretched");
+        assert_eq!(case(8, 12), Some(region(8, 9)), "left overlap: truncated");
+        assert_eq!(case(12, 20), Some(region(12, 18)), "right overlap: clipped");
+        assert_eq!(case(10, 13), None, "inside: dropped");
+        assert_eq!(case(11, 13), None, "inside: dropped");
+    }
+
+    #[test]
+    fn pure_insert_shifts_and_stretches() {
+        // Insert 3 bytes at 10 (delete 0).
+        let case = |l, r| splice_region(region(l, r), 10, 0, 3);
+        assert_eq!(case(0, 9), Some(region(0, 9)), "ends before the cursor");
+        assert_eq!(case(10, 12), Some(region(13, 15)), "starts at the cursor");
+        assert_eq!(case(5, 15), Some(region(5, 18)), "spans the cursor");
+    }
+
+    #[test]
+    fn splice_set_fast_path_is_zero_copy() {
+        let set = RegionSet::from_regions(vec![region(0, 3), region(5, 8)]);
+        let out = splice_set(&set, 20, 2, 5);
+        assert!(
+            out.shares_buf(&set),
+            "untouched set reuses the Arc'd columns"
+        );
+        assert_eq!(out.to_vec(), set.to_vec());
+    }
+
+    #[test]
+    fn splice_set_dedups_collapsed_regions() {
+        // Both regions truncate to [0, 9].
+        let set = RegionSet::from_regions(vec![region(0, 12), region(0, 15)]);
+        let out = splice_set(&set, 10, 10, 0);
+        assert_eq!(out.to_vec(), vec![region(0, 9)]);
+    }
+
+    #[test]
+    fn splice_instance_revalidates() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema)
+            .add("A", region(0, 20))
+            .add("B", region(5, 10))
+            .build_valid();
+        // Deleting [8, 30) truncates both; B becomes [5, 7] ⊂ A [0, 7].
+        let out = splice_instance(&inst, 8, 22, 0, ()).unwrap();
+        assert_eq!(out.regions_of_name("A").to_vec(), vec![region(0, 7)]);
+        assert_eq!(out.regions_of_name("B").to_vec(), vec![region(5, 7)]);
+    }
+
+    #[test]
+    fn add_and_remove_region_round_trip() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 20))
+            .build_valid();
+        let id_b = schema.expect_id("B");
+        let bigger = with_region_added(&inst, id_b, region(3, 9)).unwrap();
+        assert_eq!(bigger.regions_of_name("B").to_vec(), vec![region(3, 9)]);
+        let back = with_region_removed(&bigger, id_b, region(3, 9)).unwrap();
+        assert!(back.regions_of_name("B").is_empty());
+        assert_eq!(back.len(), inst.len());
+    }
+
+    #[test]
+    fn add_region_rejects_partial_overlap() {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 10))
+            .build_valid();
+        let err = with_region_added(&inst, schema.expect_id("B"), region(5, 15));
+        assert!(matches!(err, Err(InstanceError::PartialOverlap { .. })));
+    }
+}

@@ -115,14 +115,14 @@ pub struct BatchStats {
 /// A bounded FIFO cache of query results, keyed by structural expression
 /// fingerprint and verified against the stored expression (a 64-bit hash
 /// collision degrades to a miss, never a wrong answer).
-struct ResultCache {
+pub(crate) struct ResultCache {
     capacity: usize,
     map: HashMap<u64, (Expr, RegionSet)>,
     order: VecDeque<u64>,
 }
 
 impl ResultCache {
-    fn new(capacity: usize) -> ResultCache {
+    pub(crate) fn new(capacity: usize) -> ResultCache {
         ResultCache {
             capacity,
             map: HashMap::new(),
@@ -153,6 +153,26 @@ impl ResultCache {
     fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
+    }
+
+    /// The cache a mutated engine generation starts with: entries whose
+    /// expression still evaluates to the same bytes (per `keep`) carry
+    /// over in FIFO order; the rest are dropped. Returns the new cache
+    /// plus (kept, dropped) counts.
+    pub(crate) fn carried(&self, keep: impl Fn(&Expr) -> bool) -> (ResultCache, usize, usize) {
+        let mut out = ResultCache::new(self.capacity);
+        let (mut kept, mut dropped) = (0, 0);
+        for fp in &self.order {
+            if let Some((e, v)) = self.map.get(fp) {
+                if keep(e) {
+                    out.insert(*fp, e.clone(), v.clone());
+                    kept += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+        (out, kept, dropped)
     }
 }
 
@@ -192,18 +212,22 @@ impl SessionViews {
 
 /// A queryable indexed document.
 pub struct Engine {
-    text: String,
-    instance: Instance<SuffixWordIndex>,
-    rig: Option<Rig>,
-    views: BTreeMap<String, Query>,
-    exec: ExecConfig,
+    pub(crate) text: String,
+    pub(crate) instance: Instance<SuffixWordIndex>,
+    pub(crate) rig: Option<Rig>,
+    pub(crate) views: BTreeMap<String, Query>,
+    pub(crate) exec: ExecConfig,
     /// The document's position-range partition. Segment count defaults to
     /// [`seg::segment_count_for`] of the text size — a pure function of
     /// the document, never of the machine — and is execution-only state:
     /// the result-cache fingerprint is the expression structure, so the
     /// same query yields the same bytes at any segment count.
-    corpus: Corpus,
-    cache: Mutex<ResultCache>,
+    pub(crate) corpus: Corpus,
+    pub(crate) cache: Mutex<ResultCache>,
+    /// Monotone edit epoch: 0 at load, +1 per applied mutation batch (see
+    /// `Engine::apply_edits`). Lets clients and watchers correlate result
+    /// sets with document versions.
+    pub(crate) generation: u64,
 }
 
 impl Engine {
@@ -218,7 +242,14 @@ impl Engine {
             exec: ExecConfig::default(),
             corpus,
             cache: Mutex::new(ResultCache::new(RESULT_CACHE_CAPACITY)),
+            generation: 0,
         }
+    }
+
+    /// The document's edit generation: 0 as loaded, incremented once per
+    /// applied mutation batch.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Indexes an SGML-lite document (schema derived from its tags).

@@ -20,8 +20,10 @@
 
 pub mod ast;
 pub mod engine;
+pub mod live;
 pub mod parse;
 
 pub use ast::Query;
 pub use engine::{BatchStats, Engine, EngineError, SessionViews};
+pub use live::{MutateError, MutateStats, ResultDiff};
 pub use parse::{parse, ParseError};

@@ -1,0 +1,524 @@
+//! Live documents: applying edits to an [`Engine`] incrementally.
+//!
+//! An engine is immutable once built — concurrent queries hold `Arc`s to
+//! it and never lock. Mutation therefore works by **generation swap**:
+//! [`Engine::apply_edits`] builds a *successor* engine sharing everything
+//! the edit batch did not touch, and the caller (the serve catalog, a
+//! REPL) swaps the `Arc`. In-flight queries finish against the old
+//! generation; new queries see the new one.
+//!
+//! What is shared rather than rebuilt:
+//!
+//! * **Word-index shards** — a text splice re-indexes only the suffix
+//!   shards whose byte range it touched (`tr_text::SuffixWordIndex::
+//!   spliced`); clean shards' suffix arrays and pattern memos are reused
+//!   via `Arc` (counted in [`MutateStats::segments_reindexed`] /
+//!   [`MutateStats::segments_reused`]).
+//! * **Region columns** — region sets entirely before a splice are
+//!   carried as zero-copy handle clones of the same Arc'd `(lefts,
+//!   rights)` columns (`tr_core::mutate::splice_set`).
+//! * **Cached results** — cache entries survive a region-only edit batch
+//!   when their expression does not mention any edited name. Any text
+//!   splice drops the whole cache: pattern occurrences and positions may
+//!   both have moved, and correctness beats reuse.
+//!
+//! Counter taxonomy (`mutate.*`): `mutate.applied` batches,
+//! `mutate.edits` individual edits, `mutate.cache_kept` /
+//! `mutate.cache_dropped` carry-over outcomes, and — incremented by the
+//! text layer itself — `mutate.segments_reindexed` /
+//! `mutate.segments_reused` plus the `mutate.reindex_ns` histogram.
+
+use crate::engine::Engine;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+use tr_core::mutate::{splice_instance, with_region_added, with_region_removed, Edit};
+use tr_core::{seg, Corpus, InstanceError, NameId, Pos, RegionSet};
+
+/// `mutate.*` counter handles (see the module docs for the taxonomy).
+struct MutateMetrics {
+    applied: Arc<tr_obs::Counter>,
+    edits: Arc<tr_obs::Counter>,
+    cache_kept: Arc<tr_obs::Counter>,
+    cache_dropped: Arc<tr_obs::Counter>,
+}
+
+impl MutateMetrics {
+    fn get() -> &'static MutateMetrics {
+        static METRICS: OnceLock<MutateMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| MutateMetrics {
+            applied: tr_obs::counter("mutate.applied"),
+            edits: tr_obs::counter("mutate.edits"),
+            cache_kept: tr_obs::counter("mutate.cache_kept"),
+            cache_dropped: tr_obs::counter("mutate.cache_dropped"),
+        })
+    }
+}
+
+/// Why an edit batch could not be applied. The engine is never left in a
+/// partial state: `apply_edits` builds the successor off to the side and
+/// an error discards it wholesale.
+#[derive(Debug)]
+pub enum MutateError {
+    /// An edit referenced a region name the schema does not define.
+    UnknownName(String),
+    /// The edited instance failed re-validation (duplicate region, or a
+    /// splice/addition producing partially overlapping regions).
+    Instance(InstanceError),
+    /// A splice offset landed inside a multi-byte UTF-8 character.
+    NotCharBoundary {
+        /// The offending byte offset.
+        at: usize,
+    },
+}
+
+impl fmt::Display for MutateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutateError::UnknownName(n) => write!(f, "unknown region name {n:?}"),
+            MutateError::Instance(e) => write!(f, "edit breaks the instance: {e}"),
+            MutateError::NotCharBoundary { at } => {
+                write!(f, "splice offset {at} is not a UTF-8 character boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl From<InstanceError> for MutateError {
+    fn from(e: InstanceError) -> MutateError {
+        MutateError::Instance(e)
+    }
+}
+
+/// What applying an edit batch did — the receipt the `mutate` protocol
+/// verb reports back to clients.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutateStats {
+    /// The successor engine's generation.
+    pub generation: u64,
+    /// Edits in the batch.
+    pub edits: usize,
+    /// Word-index shards re-tokenized and re-indexed across the batch.
+    pub segments_reindexed: usize,
+    /// Word-index shards reused verbatim (Arc'd) across the batch.
+    pub segments_reused: usize,
+    /// Result-cache entries carried over to the successor.
+    pub cache_kept: usize,
+    /// Result-cache entries invalidated by the batch.
+    pub cache_dropped: usize,
+    /// True when any edit spliced text bytes.
+    pub text_changed: bool,
+}
+
+/// The added/removed regions between two runs of the same query — the
+/// payload of a watch event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultDiff {
+    /// Regions present now but not before.
+    pub added: RegionSet,
+    /// Regions present before but not now.
+    pub removed: RegionSet,
+}
+
+impl ResultDiff {
+    /// Diffs `new` against `old` (set difference both ways).
+    pub fn between(old: &RegionSet, new: &RegionSet) -> ResultDiff {
+        ResultDiff {
+            added: new.difference(old),
+            removed: old.difference(new),
+        }
+    }
+
+    /// True when the two result sets were identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Replays the diff on `old`, reconstructing the new result set —
+    /// the identity watch clients rely on: `old − removed + added` is
+    /// byte-identical to re-running the query from scratch.
+    pub fn apply_to(&self, old: &RegionSet) -> RegionSet {
+        old.difference(&self.removed).union(&self.added)
+    }
+}
+
+impl Engine {
+    /// Applies a batch of edits, returning the successor engine (one
+    /// generation newer) and a receipt of what was reused vs rebuilt.
+    ///
+    /// The batch is atomic: edits apply in order against a scratch copy,
+    /// and any failure (unknown name, hierarchy violation) discards the
+    /// scratch without touching `self`. `self` is never modified — the
+    /// caller swaps its `Arc<Engine>` for the successor.
+    pub fn apply_edits(&self, edits: &[Edit]) -> Result<(Engine, MutateStats), MutateError> {
+        let _span = tr_obs::span("mutate.apply");
+        let metrics = MutateMetrics::get();
+        metrics.applied.inc();
+        metrics.edits.add(edits.len() as u64);
+
+        let mut text = self.text.clone();
+        let mut instance = self.instance.clone();
+        let mut stats = MutateStats {
+            generation: self.generation + 1,
+            edits: edits.len(),
+            ..MutateStats::default()
+        };
+        // Names whose region sets changed, for cache carry-over.
+        let mut changed: BTreeSet<NameId> = BTreeSet::new();
+
+        for edit in edits {
+            match edit {
+                Edit::Splice { at, delete, insert } => {
+                    // Clamp to the current text: `at` past the end is an
+                    // append, `delete` past the end stops at the end.
+                    let at = (*at as usize).min(text.len());
+                    let delete = (*delete as usize).min(text.len() - at);
+                    if !text.is_char_boundary(at) {
+                        return Err(MutateError::NotCharBoundary { at });
+                    }
+                    if !text.is_char_boundary(at + delete) {
+                        return Err(MutateError::NotCharBoundary { at: at + delete });
+                    }
+                    // Re-index only dirty shards (old-text coordinates).
+                    let (word, re) = instance.word_index().spliced(at, delete, insert.as_bytes());
+                    stats.segments_reindexed += re.segments_reindexed;
+                    stats.segments_reused += re.segments_reused;
+                    // Transform every region set and re-validate.
+                    instance = splice_instance(
+                        &instance,
+                        at as Pos,
+                        delete as Pos,
+                        insert.len() as Pos,
+                        word,
+                    )?;
+                    text.replace_range(at..at + delete, insert);
+                    stats.text_changed = true;
+                }
+                Edit::AddRegion { name, region } => {
+                    let id = self
+                        .schema()
+                        .id(name)
+                        .ok_or_else(|| MutateError::UnknownName(name.clone()))?;
+                    instance = with_region_added(&instance, id, *region)?;
+                    changed.insert(id);
+                }
+                Edit::RemoveRegion { name, region } => {
+                    let id = self
+                        .schema()
+                        .id(name)
+                        .ok_or_else(|| MutateError::UnknownName(name.clone()))?;
+                    instance = with_region_removed(&instance, id, *region)?;
+                    changed.insert(id);
+                }
+            }
+        }
+
+        // Segment count follows the document size while the engine is at
+        // its size-derived default; an explicit `with_segments` override
+        // is sticky across generations.
+        let segments = if self.corpus.num_segments() == seg::segment_count_for(self.text.len()) {
+            seg::segment_count_for(text.len())
+        } else {
+            self.corpus.num_segments()
+        };
+        let corpus = Corpus::from_instance(&instance, text.len(), segments);
+
+        // Cache carry-over: a text splice can move positions and change
+        // pattern occurrences, so it drops everything. A region-only
+        // batch keeps entries whose expression mentions none of the
+        // edited names (σ_pattern results depend only on the text).
+        let (cache, kept, dropped) = {
+            let guard = self
+                .cache
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            if stats.text_changed {
+                guard.carried(|_| false)
+            } else {
+                guard.carried(|e| e.names().is_disjoint(&changed))
+            }
+        };
+        stats.cache_kept = kept;
+        stats.cache_dropped = dropped;
+        metrics.cache_kept.add(kept as u64);
+        metrics.cache_dropped.add(dropped as u64);
+
+        let next = Engine {
+            text,
+            instance,
+            rig: self.rig.clone(),
+            views: self.views.clone(),
+            exec: self.exec,
+            corpus,
+            cache: Mutex::new(cache),
+            generation: self.generation + 1,
+        };
+        Ok((next, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_core::region;
+
+    fn live_engine() -> Engine {
+        Engine::from_sgml("<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>")
+            .unwrap()
+    }
+
+    /// Oracle: an engine rebuilt from scratch over the mutated text must
+    /// agree with the incrementally mutated engine on every query.
+    fn assert_matches_fresh(e: &Engine, queries: &[&str]) {
+        let fresh = Engine::from_sgml(e.text()).unwrap();
+        for q in queries {
+            assert_eq!(
+                e.query(q).unwrap(),
+                fresh.query(q).unwrap(),
+                "query {q} diverges from a from-scratch rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn append_advances_generation_and_matches_fresh() {
+        let e = live_engine();
+        assert_eq!(e.generation(), 0);
+        let at = e.text().rfind("</doc>").unwrap() as u32;
+        let (e2, stats) = e
+            .apply_edits(&[Edit::Splice {
+                at,
+                delete: 0,
+                insert: "<sec>delta beta</sec>".into(),
+            }])
+            .unwrap();
+        assert_eq!(e2.generation(), 1);
+        assert_eq!(stats.generation, 1);
+        assert!(stats.text_changed);
+        // The old engine is untouched.
+        assert_eq!(e.generation(), 0);
+        assert_eq!(e.query(r#"sec matching "beta""#).unwrap().len(), 2);
+        // The new one sees the appended section... except the appended
+        // text has no markup reparse — regions were spliced, so the new
+        // <sec> tags are plain text, not regions. The paper model keeps
+        // markup and regions separate: region edits are explicit.
+        assert_eq!(e2.query(r#"sec matching "beta""#).unwrap().len(), 2);
+        assert!(e2.text().contains("delta beta"));
+        assert_eq!(e2.query(r#""delta""#).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn splice_remaps_regions_and_matches_oracle() {
+        let e = live_engine();
+        let queries = [
+            r#"sec matching "beta""#,
+            "note within sec",
+            r#""beta" within note"#,
+            "doc containing sec",
+        ];
+        // Replace "gamma" (byte 31..36) with a longer word.
+        let at = e.text().find("gamma").unwrap() as u32;
+        let (e2, _) = e
+            .apply_edits(&[Edit::Splice {
+                at,
+                delete: 5,
+                insert: "gamma_prime".into(),
+            }])
+            .unwrap();
+        // Structural queries still see both sections and the note, at
+        // shifted positions.
+        assert_eq!(e2.query(r#"sec matching "beta""#).unwrap().len(), 2);
+        assert_eq!(e2.query("note within sec").unwrap().len(), 1);
+        // Region positions: compare against a scratch instance built over
+        // the mutated text only for text patterns (regions were remapped,
+        // not re-derived from markup, so snippets must still line up).
+        for r in e2.query("note").unwrap().iter() {
+            assert_eq!(e2.snippet(r), "<note>beta</note>");
+        }
+        let fresh = Engine::from_sgml(e2.text()).unwrap();
+        for q in queries {
+            assert_eq!(e2.query(q).unwrap(), fresh.query(q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn add_and_remove_region_edits() {
+        let e = live_engine();
+        let hole = e.text().find("gamma").unwrap() as u32;
+        let (e2, stats) = e
+            .apply_edits(&[Edit::AddRegion {
+                name: "note".into(),
+                region: region(hole, hole + 4),
+            }])
+            .unwrap();
+        assert!(!stats.text_changed);
+        assert_eq!(e2.query("note").unwrap().len(), 2);
+        assert_matches_fresh_regions(&e, &e2);
+        let (e3, _) = e2
+            .apply_edits(&[Edit::RemoveRegion {
+                name: "note".into(),
+                region: region(hole, hole + 4),
+            }])
+            .unwrap();
+        assert_eq!(e3.query("note").unwrap(), e.query("note").unwrap());
+        assert_eq!(e3.generation(), 2);
+        // Unknown names are rejected atomically.
+        let err = e.apply_edits(&[Edit::AddRegion {
+            name: "nope".into(),
+            region: region(0, 1),
+        }]);
+        assert!(matches!(err, Err(MutateError::UnknownName(_))));
+    }
+
+    /// Text was untouched, so both engines share the same text; region
+    /// queries must agree wherever the edit didn't land.
+    fn assert_matches_fresh_regions(before: &Engine, after: &Engine) {
+        assert_eq!(before.text(), after.text());
+        assert_eq!(after.query("sec").unwrap(), before.query("sec").unwrap());
+    }
+
+    #[test]
+    fn invalid_edits_leave_no_trace() {
+        let e = live_engine();
+        // A region partially overlapping an existing sec is rejected by
+        // re-validation; the engine must be unchanged and queryable.
+        let sec = e.query("sec").unwrap().iter().next().unwrap();
+        let bad = region(sec.left() + 1, sec.right() + 3);
+        let err = e.apply_edits(&[Edit::AddRegion {
+            name: "note".into(),
+            region: bad,
+        }]);
+        assert!(matches!(
+            err,
+            Err(MutateError::Instance(InstanceError::PartialOverlap { .. }))
+        ));
+        assert_eq!(e.generation(), 0);
+        assert_eq!(e.query(r#"sec matching "beta""#).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cache_carries_over_region_only_edits() {
+        let e = live_engine();
+        // Prime the cache with a note-free and a note-using query.
+        let secs = e.query("sec").unwrap();
+        let _ = e.query("sec containing note").unwrap();
+        let hole = e.text().find("alpha").unwrap() as u32;
+        let (e2, stats) = e
+            .apply_edits(&[Edit::AddRegion {
+                name: "note".into(),
+                region: region(hole, hole + 4),
+            }])
+            .unwrap();
+        // "sec" survives (does not mention note); "sec containing note"
+        // is dropped.
+        assert_eq!(stats.cache_kept, 1);
+        assert_eq!(stats.cache_dropped, 1);
+        assert_eq!(e2.query("sec").unwrap(), secs);
+        assert_eq!(e2.query("sec containing note").unwrap().len(), 2);
+        // A text splice drops everything.
+        let (_, stats) = e2.apply_edits(&[Edit::append(" tail")]).unwrap();
+        assert!(stats.cache_kept == 0 && stats.cache_dropped >= 1);
+    }
+
+    #[test]
+    fn incremental_reindex_is_counted() {
+        // Large two-shard document: an edit in the first shard must not
+        // re-index the second.
+        let body = "word ".repeat(26_000); // ~130 KiB ⇒ ≥2 shards
+        let text = format!("<doc>{body}</doc>");
+        let e = Engine::from_sgml(&text).unwrap();
+        // First splice converts Whole → Sharded (full re-index, honest).
+        let (e1, s1) = e
+            .apply_edits(&[Edit::Splice {
+                at: 10,
+                delete: 4,
+                insert: "WORD".into(),
+            }])
+            .unwrap();
+        assert!(s1.segments_reindexed >= 2, "{s1:?}");
+        // Steady state: a second early-shard edit reuses the tail shards.
+        let (e2, s2) = e1
+            .apply_edits(&[Edit::Splice {
+                at: 20,
+                delete: 4,
+                insert: "Word".into(),
+            }])
+            .unwrap();
+        assert_eq!(s2.segments_reindexed, 1, "{s2:?}");
+        assert!(s2.segments_reused >= 1, "{s2:?}");
+        assert_matches_fresh(&e2, &[r#""WORD""#, r#""Word""#, r#""word""#]);
+    }
+
+    #[test]
+    fn random_edit_sequences_match_from_scratch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x11FE);
+        let queries = [r#"sec matching "beta""#, "note within sec", r#""beta""#];
+        for _ in 0..10 {
+            let mut e = live_engine();
+            for _ in 0..6 {
+                let len = e.text().len();
+                // Splice inside the character data, away from tags, so the
+                // region structure stays meaningful.
+                let at = rng.gen_range(10..len.saturating_sub(10)) as u32;
+                let delete = rng.gen_range(0..3);
+                let insert = if rng.gen_bool(0.5) { "xy" } else { "" };
+                let edit = Edit::Splice {
+                    at,
+                    delete,
+                    insert: insert.into(),
+                };
+                match e.apply_edits(&[edit]) {
+                    Ok((next, _)) => e = next,
+                    // Edits that break the hierarchy are rejected; the
+                    // engine stays valid either way.
+                    Err(MutateError::Instance(_)) => continue,
+                    Err(other) => panic!("unexpected: {other}"),
+                }
+                let fresh =
+                    Engine::from_parts(e.text().to_owned(), rebuild_instance(&e), e.rig().cloned());
+                for q in queries {
+                    assert_eq!(e.query(q).unwrap(), fresh.query(q).unwrap(), "query {q}");
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the instance from the mutated engine's own regions over a
+    /// fresh (non-incremental) word index — the from-scratch oracle.
+    fn rebuild_instance(e: &Engine) -> tr_core::Instance<tr_text::SuffixWordIndex> {
+        let schema = e.schema().clone();
+        let sets = schema
+            .ids()
+            .map(|id| e.instance().regions_of(id).clone())
+            .collect();
+        tr_core::Instance::build(
+            schema,
+            sets,
+            tr_text::SuffixWordIndex::new(e.text().as_bytes()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn result_diff_round_trips() {
+        let e = live_engine();
+        let old = e.query("sec").unwrap();
+        let hole = e.text().find("alpha").unwrap() as u32;
+        let (e2, _) = e
+            .apply_edits(&[Edit::AddRegion {
+                name: "sec".into(),
+                region: region(hole, hole + 4),
+            }])
+            .unwrap();
+        let new = e2.query("sec").unwrap();
+        let diff = ResultDiff::between(&old, &new);
+        assert_eq!(diff.added.len(), 1);
+        assert!(diff.removed.is_empty());
+        assert_eq!(diff.apply_to(&old), new, "replay identity");
+        assert!(ResultDiff::between(&new, &new).is_empty());
+    }
+}

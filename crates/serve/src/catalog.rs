@@ -1,4 +1,10 @@
-//! The document catalog: one shared, immutable [`Engine`] per document.
+//! The document catalog: one shared [`Engine`] generation per document.
+//!
+//! Engines themselves are immutable; **documents** are not. Each slot
+//! holds the document's *current generation* behind an `RwLock`, and the
+//! live-document path ([`Catalog::lock_for_mutation`] + [`Catalog::swap`])
+//! publishes a successor engine while in-flight queries keep their `Arc`
+//! to the generation they started on.
 //!
 //! A corpus directory is scanned once at startup; every recognised file
 //! becomes a named document (the file stem). Engines are shared across
@@ -34,21 +40,42 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use tr_query::Engine;
 
 /// A named collection of shared engines.
 #[derive(Default)]
 pub struct Catalog {
-    docs: BTreeMap<String, Entry>,
+    docs: BTreeMap<String, DocSlot>,
 }
 
-/// One catalog slot: either a built engine or a validated-but-deferred
-/// v2 store.
-enum Entry {
-    /// Engine built at startup (raw text, v1 store, or [`Catalog::insert`]).
+/// One catalog slot. The engine reference is behind an `RwLock` so the
+/// live-document path can **swap** it for a newer generation while
+/// concurrent queries keep their `Arc` to the old one; `mutate` is the
+/// per-document mutation lock serializing writers (queries never take
+/// it — they only read-lock the slot for the nanoseconds of an `Arc`
+/// clone).
+struct DocSlot {
+    state: RwLock<SlotState>,
+    mutate: Mutex<()>,
+}
+
+impl DocSlot {
+    fn ready(engine: Arc<Engine>) -> DocSlot {
+        DocSlot {
+            state: RwLock::new(SlotState::Ready(engine)),
+            mutate: Mutex::new(()),
+        }
+    }
+}
+
+/// What a slot currently holds.
+enum SlotState {
+    /// A resident engine (built at startup, forced, or swapped in).
     Ready(Arc<Engine>),
-    /// v2/v3 store: manifest validated at startup, body loaded on first use.
+    /// v2/v3 store: manifest validated at startup, body loaded on first
+    /// use. A failed deferred load is cached in `failed`, so a corrupt
+    /// file costs one decode attempt, not one per query.
     Lazy(LazyDoc),
 }
 
@@ -56,27 +83,11 @@ enum Entry {
 struct LazyDoc {
     path: PathBuf,
     manifest: tr_store::Manifest,
-    /// Filled exactly once by the first `force`; a failed load is cached
-    /// too, so a corrupt file costs one decode attempt, not one per query.
-    cell: OnceLock<Result<Arc<Engine>, String>>,
+    failed: Option<String>,
 }
 
-impl LazyDoc {
-    fn force(&self) -> &Result<Arc<Engine>, String> {
-        self.cell.get_or_init(|| {
-            tr_store::load_document_auto(&self.path)
-                .map(|doc| Arc::new(Engine::from_stored(doc)))
-                .map_err(|e| e.to_string())
-        })
-    }
-
-    fn loaded_engine(&self) -> Option<&Arc<Engine>> {
-        match self.cell.get() {
-            Some(Ok(engine)) => Some(engine),
-            _ => None,
-        }
-    }
-}
+/// A held per-document mutation lock (see [`Catalog::lock_for_mutation`]).
+pub struct MutationGuard<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
 
 /// Per-document metadata for `list-docs`-style listings, available
 /// without forcing lazy documents to load.
@@ -169,7 +180,7 @@ impl Catalog {
     /// Adds (or replaces) a document under `name`.
     pub fn insert(&mut self, name: &str, engine: Engine) {
         self.docs
-            .insert(name.to_owned(), Entry::Ready(Arc::new(engine)));
+            .insert(name.to_owned(), DocSlot::ready(Arc::new(engine)));
     }
 
     /// The engine for `name`, if present and loadable. Forces a lazy
@@ -184,10 +195,65 @@ impl Catalog {
     /// document, `Some(Err(reason))` if it exists but its deferred load
     /// failed. Forces a lazy document's first load.
     pub fn try_engine(&self, name: &str) -> Option<Result<Arc<Engine>, String>> {
-        match self.docs.get(name)? {
-            Entry::Ready(engine) => Some(Ok(Arc::clone(engine))),
-            Entry::Lazy(lazy) => Some(lazy.force().clone()),
+        let slot = self.docs.get(name)?;
+        {
+            let state = slot.state.read().unwrap_or_else(|p| p.into_inner());
+            match &*state {
+                SlotState::Ready(engine) => return Some(Ok(Arc::clone(engine))),
+                SlotState::Lazy(lazy) => {
+                    if let Some(why) = &lazy.failed {
+                        return Some(Err(why.clone()));
+                    }
+                }
+            }
         }
+        // Deferred load: take the write lock, re-check (another thread
+        // may have won the race), then load in place.
+        let mut state = slot.state.write().unwrap_or_else(|p| p.into_inner());
+        match &mut *state {
+            SlotState::Ready(engine) => Some(Ok(Arc::clone(engine))),
+            SlotState::Lazy(lazy) => {
+                if let Some(why) = &lazy.failed {
+                    return Some(Err(why.clone()));
+                }
+                match tr_store::load_document_auto(&lazy.path) {
+                    Ok(doc) => {
+                        let engine = Arc::new(Engine::from_stored(doc));
+                        *state = SlotState::Ready(Arc::clone(&engine));
+                        Some(Ok(engine))
+                    }
+                    Err(e) => {
+                        let why = e.to_string();
+                        lazy.failed = Some(why.clone());
+                        Some(Err(why))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes mutations of `name`: the live-document path holds this
+    /// guard across read-engine → apply-edits → [`Catalog::swap`] →
+    /// notify-watchers, so concurrent `mutate` requests to one document
+    /// apply in a total order (and watch diffs never interleave).
+    /// Returns `None` for an unknown document.
+    pub fn lock_for_mutation(&self, name: &str) -> Option<MutationGuard<'_>> {
+        let slot = self.docs.get(name)?;
+        Some(MutationGuard(
+            slot.mutate.lock().unwrap_or_else(|p| p.into_inner()),
+        ))
+    }
+
+    /// Publishes a new engine generation for `name` (no-op returning
+    /// `false` for an unknown document). Queries started before the swap
+    /// finish against the old generation via their own `Arc`.
+    pub fn swap(&self, name: &str, engine: Arc<Engine>) -> bool {
+        let Some(slot) = self.docs.get(name) else {
+            return false;
+        };
+        let mut state = slot.state.write().unwrap_or_else(|p| p.into_inner());
+        *state = SlotState::Ready(engine);
+        true
     }
 
     /// Per-document metadata, sorted by name. Lazy documents answer from
@@ -195,11 +261,11 @@ impl Catalog {
     pub fn summaries(&self) -> Vec<DocSummary> {
         self.docs
             .iter()
-            .map(|(name, entry)| match entry {
-                Entry::Ready(engine) => summary_from_engine(name, engine, true),
-                Entry::Lazy(lazy) => match lazy.loaded_engine() {
-                    Some(engine) => summary_from_engine(name, engine, true),
-                    None => DocSummary {
+            .map(|(name, slot)| {
+                let state = slot.state.read().unwrap_or_else(|p| p.into_inner());
+                match &*state {
+                    SlotState::Ready(engine) => summary_from_engine(name, engine, true),
+                    SlotState::Lazy(lazy) => DocSummary {
                         name: name.clone(),
                         regions: lazy.manifest.total_regions(),
                         bytes: lazy.manifest.text_bytes,
@@ -207,7 +273,7 @@ impl Catalog {
                         segments: lazy.manifest.num_segments(),
                         loaded: false,
                     },
-                },
+                }
             })
             .collect()
     }
@@ -240,7 +306,7 @@ fn summary_from_engine(name: &str, engine: &Engine, loaded: bool) -> DocSummary 
 }
 
 /// Loads one corpus file by extension; `Ok(None)` means "not a document".
-fn load_path(path: &Path) -> Result<Option<Entry>, String> {
+fn load_path(path: &Path) -> Result<Option<DocSlot>, String> {
     let ext = path
         .extension()
         .map(|e| e.to_string_lossy().to_ascii_lowercase())
@@ -251,25 +317,28 @@ fn load_path(path: &Path) -> Result<Option<Entry>, String> {
             // for a non-manifest reason) goes through the eager loader,
             // whose error aborts the catalog.
             if let Ok(manifest) = tr_store::peek_manifest(path) {
-                return Ok(Some(Entry::Lazy(LazyDoc {
-                    path: path.to_owned(),
-                    manifest,
-                    cell: OnceLock::new(),
-                })));
+                return Ok(Some(DocSlot {
+                    state: RwLock::new(SlotState::Lazy(LazyDoc {
+                        path: path.to_owned(),
+                        manifest,
+                        failed: None,
+                    })),
+                    mutate: Mutex::new(()),
+                }));
             }
             let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
-            Ok(Some(Entry::Ready(Arc::new(Engine::from_stored(doc)))))
+            Ok(Some(DocSlot::ready(Arc::new(Engine::from_stored(doc)))))
         }
         "sgml" | "xml" => {
             let text = read_utf8(path)?;
             Engine::from_sgml(&text)
-                .map(|e| Some(Entry::Ready(Arc::new(e))))
+                .map(|e| Some(DocSlot::ready(Arc::new(e))))
                 .map_err(|e| e.to_string())
         }
         "src" | "txt" => {
             let text = read_utf8(path)?;
             Engine::from_source(&text)
-                .map(|e| Some(Entry::Ready(Arc::new(e))))
+                .map(|e| Some(DocSlot::ready(Arc::new(e))))
                 .map_err(|e| e.to_string())
         }
         _ => Ok(None),
@@ -363,6 +432,29 @@ mod tests {
         assert!(!catalog.summaries()[0].loaded);
         assert!(catalog.try_engine("missing").is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swap_publishes_a_new_generation() {
+        let mut catalog = Catalog::new();
+        catalog.insert("d", Engine::from_sgml("<d><s>alpha</s></d>").unwrap());
+        let old = catalog.get("d").unwrap();
+        assert_eq!(old.generation(), 0);
+
+        let _guard = catalog.lock_for_mutation("d").unwrap();
+        let (next, _) = old
+            .apply_edits(&[tr_core::mutate::Edit::append(" tail")])
+            .unwrap();
+        assert!(catalog.swap("d", Arc::new(next)));
+        let new = catalog.get("d").unwrap();
+        assert_eq!(new.generation(), 1);
+        assert!(new.text().ends_with(" tail"));
+        // The old generation is still queryable by holders of its Arc.
+        assert_eq!(old.generation(), 0);
+        assert!(!old.text().ends_with(" tail"));
+        // Unknown documents: no guard, no swap.
+        assert!(catalog.lock_for_mutation("nope").is_none());
+        assert!(!catalog.swap("nope", new));
     }
 
     #[test]

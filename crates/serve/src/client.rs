@@ -255,6 +255,53 @@ impl Client {
         )
         .map(|_| ())
     }
+
+    /// Applies `edits` (an array of edit objects, see the protocol docs)
+    /// to `doc`, atomically publishing a new engine generation. The reply
+    /// carries `generation` and reindex/cache statistics.
+    pub fn mutate(&mut self, doc: &str, edits: Json) -> Result<Json, ClientError> {
+        self.request(
+            "mutate",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("edits", edits),
+        )
+    }
+
+    /// Registers `q` as a standing query on `doc`. The reply carries the
+    /// baseline result plus a `watch` id; subsequent mutations of `doc`
+    /// deliver diff event frames, readable via [`Client::next_event`].
+    pub fn watch(&mut self, doc: &str, q: &str) -> Result<Json, ClientError> {
+        self.request(
+            "watch",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("q", Json::from(q)),
+        )
+    }
+
+    /// Cancels a standing query by the id its `watch` reply reported.
+    pub fn unwatch(&mut self, watch: u64) -> Result<(), ClientError> {
+        self.request("unwatch", Json::obj().with("watch", Json::from(watch)))
+            .map(|_| ())
+    }
+
+    /// Returns the next *event* frame (`watch`, `watch-lagged`, or
+    /// `watch-error` — anything carrying `"ev"`), first from the stash of
+    /// frames that arrived during requests, then from the wire. Non-event
+    /// frames read along the way stay stashed in order.
+    pub fn next_event(&mut self) -> Result<Json, ClientError> {
+        if let Some(pos) = self.stashed.iter().position(|j| j.get("ev").is_some()) {
+            return Ok(self.stashed.remove(pos).expect("position just found"));
+        }
+        loop {
+            let (frame, _) = self.read_frame_timed(Instant::now())?;
+            if frame.get("ev").is_some() {
+                return Ok(frame);
+            }
+            self.stashed.push_back(frame);
+        }
+    }
 }
 
 /// Turns an error frame into [`ClientError::Server`].

@@ -10,12 +10,18 @@
 //!
 //! The design bets are:
 //!
-//! * **immutability buys concurrency** — engines are built once at
-//!   startup and never mutated, so queries need no locks beyond the
-//!   engines' internal memo caches; per-session state (`define-view`)
-//!   lives in the connection, layered over the shared engine;
+//! * **immutability buys concurrency** — each engine generation is an
+//!   immutable snapshot; queries need no locks beyond the engines'
+//!   internal memo caches, and a `mutate` builds a *successor*
+//!   generation (sharing untouched index segments) and atomically swaps
+//!   it into the catalog rather than editing anything in place;
+//!   per-session state (`define-view`) lives in the connection, layered
+//!   over the shared engine;
 //! * **overload is an answer, not a stall** — admission is `try_push`:
-//!   when the queue is full the client hears `rejected` immediately;
+//!   when the queue is full the client hears `rejected` immediately,
+//!   and a `watch`er that reads slower than its document mutates is
+//!   shed to a single `watch-lagged` notice ([`watch`]) instead of
+//!   buffering without bound;
 //! * **bad input costs one reply** — a malformed frame, oversize line,
 //!   hostile query, or even a panicking handler produces a structured
 //!   error on that connection and touches nothing else.
@@ -35,10 +41,11 @@
 //! Observability: connections run under a `serve.conn` span, worker-side
 //! execution under `serve.request`; counters `serve.accepted`,
 //! `serve.completed`, `serve.failed`, `serve.rejected`, `serve.timeouts`,
-//! `serve.malformed`, `serve.conns.*` and the `serve.queue_wait_ns`
-//! histogram land in the process-global `tr_obs` registry (see DESIGN.md
-//! for the full taxonomy). The invariant `accepted == completed + failed`
-//! holds exactly once the server has drained.
+//! `serve.malformed`, `serve.conns.*`, the live-document families
+//! `mutate.*` and `watch.*`, and the `serve.queue_wait_ns` histogram land
+//! in the process-global `tr_obs` registry (see DESIGN.md for the full
+//! taxonomy). The invariant `accepted == completed + failed` holds
+//! exactly once the server has drained.
 
 #![warn(missing_docs)]
 
@@ -47,6 +54,7 @@ pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod watch;
 
 pub use catalog::{Catalog, CatalogError, DocSummary};
 pub use client::{Client, ClientError, ReplyTiming};

@@ -17,7 +17,8 @@
 //! layer"); this module is the single source of truth for frame shapes —
 //! both the server and [`crate::client`] go through it.
 
-use tr_core::RegionSet;
+use tr_core::mutate::Edit;
+use tr_core::{region, RegionSet};
 use tr_obs::Json;
 
 /// Machine-readable error codes carried in `error.code`.
@@ -44,6 +45,11 @@ pub enum ErrorCode {
     /// The request crashed the handler (a bug — but the connection and
     /// its neighbours survive it).
     Internal,
+    /// An edit batch could not be applied (unknown region name, edit
+    /// breaking the region hierarchy, bad offset).
+    Mutate,
+    /// The `watch` value names no standing query on this connection.
+    UnknownWatch,
 }
 
 impl ErrorCode {
@@ -60,6 +66,8 @@ impl ErrorCode {
             ErrorCode::TooLarge => "too_large",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Mutate => "mutate_error",
+            ErrorCode::UnknownWatch => "unknown_watch",
         }
     }
 }
@@ -121,6 +129,29 @@ pub enum RequestBody {
         /// View definition (query text).
         def: String,
     },
+    /// Apply an edit batch to a document, publishing a new generation.
+    Mutate {
+        /// Catalog document name.
+        doc: String,
+        /// The edits, applied in order, atomically.
+        edits: Vec<Edit>,
+    },
+    /// Register a standing query: the reply carries its current result
+    /// and a watch id; every later mutation that changes the result
+    /// pushes an `{"ev":"watch"}` diff frame on this connection.
+    Watch {
+        /// Catalog document name.
+        doc: String,
+        /// Query text.
+        q: String,
+        /// Region cap for the baseline reply (clamped like `query`).
+        limit: usize,
+    },
+    /// Cancel a standing query registered on this connection.
+    Unwatch {
+        /// The watch id from the `watch` reply.
+        watch: u64,
+    },
 }
 
 impl RequestBody {
@@ -134,6 +165,9 @@ impl RequestBody {
             RequestBody::Batch { .. } => "batch",
             RequestBody::Explain { .. } => "explain",
             RequestBody::DefineView { .. } => "define-view",
+            RequestBody::Mutate { .. } => "mutate",
+            RequestBody::Watch { .. } => "watch",
+            RequestBody::Unwatch { .. } => "unwatch",
         }
     }
 }
@@ -238,9 +272,161 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             name: str_field("name")?,
             def: str_field("def")?,
         },
+        "mutate" => {
+            let edits_json = json.get("edits").and_then(Json::as_arr).ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    "missing or non-array field \"edits\"".to_owned(),
+                )
+            })?;
+            if edits_json.is_empty() {
+                return Err(fail(
+                    ErrorCode::BadRequest,
+                    "\"edits\" must not be empty".to_owned(),
+                ));
+            }
+            let edits = edits_json
+                .iter()
+                .map(|e| parse_edit(e).map_err(|m| fail(ErrorCode::BadRequest, m)))
+                .collect::<Result<Vec<_>, _>>()?;
+            RequestBody::Mutate {
+                doc: str_field("doc")?,
+                edits,
+            }
+        }
+        "watch" => RequestBody::Watch {
+            doc: str_field("doc")?,
+            q: str_field("q")?,
+            limit: limit_field()?,
+        },
+        "unwatch" => {
+            let watch = json.get("watch").and_then(Json::as_u64).ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    "missing or non-integer field \"watch\"".to_owned(),
+                )
+            })?;
+            RequestBody::Unwatch { watch }
+        }
         other => return Err(fail(ErrorCode::UnknownOp, format!("unknown op {other:?}"))),
     };
     Ok(Request { id, body })
+}
+
+/// Parses one edit object from a `mutate` request's `edits` array.
+///
+/// ```text
+/// {"kind": "append",        "text": "…"}
+/// {"kind": "splice",        "at": 10, "delete": 4, "insert": "…"}
+/// {"kind": "add-region",    "name": "sec", "left": 5, "right": 9}
+/// {"kind": "remove-region", "name": "sec", "left": 5, "right": 9}
+/// ```
+///
+/// `delete` and `insert` default to `0` / `""`; positions must fit `u32`
+/// and `left ≤ right`.
+fn parse_edit(e: &Json) -> Result<Edit, String> {
+    let pos = |name: &str, default: Option<u32>| -> Result<u32, String> {
+        match e.get(name) {
+            None => default.ok_or_else(|| format!("edit is missing field {name:?}")),
+            Some(v) => v
+                .as_u64()
+                .filter(|&n| n <= u64::from(u32::MAX))
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("edit field {name:?} must be a u32 position")),
+        }
+    };
+    let text = |name: &str, required: bool| -> Result<String, String> {
+        match e.get(name) {
+            None if !required => Ok(String::new()),
+            None => Err(format!("edit is missing field {name:?}")),
+            Some(v) => v
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("edit field {name:?} must be a string")),
+        }
+    };
+    let named_region = || -> Result<(String, tr_core::Region), String> {
+        let name = text("name", true)?;
+        let (l, r) = (pos("left", None)?, pos("right", None)?);
+        if l > r {
+            return Err(format!("region left {l} exceeds right {r}"));
+        }
+        Ok((name, region(l, r)))
+    };
+    match e.get("kind").and_then(Json::as_str) {
+        Some("append") => Ok(Edit::append(text("text", true)?)),
+        Some("splice") => Ok(Edit::Splice {
+            at: pos("at", None)?,
+            delete: pos("delete", Some(0))?,
+            insert: text("insert", false)?,
+        }),
+        Some("add-region") => {
+            let (name, region) = named_region()?;
+            Ok(Edit::AddRegion { name, region })
+        }
+        Some("remove-region") => {
+            let (name, region) = named_region()?;
+            Ok(Edit::RemoveRegion { name, region })
+        }
+        Some(other) => Err(format!("unknown edit kind {other:?}")),
+        None => Err("edit is missing field \"kind\"".to_owned()),
+    }
+}
+
+/// A watch diff event frame. Events are keyed by `"ev"` and carry **no**
+/// `"id"`: the client library stashes unrecognized frames while matching
+/// request replies, and retrieves events with `next_event`.
+pub fn watch_event_frame(
+    watch: u64,
+    doc: &str,
+    generation: u64,
+    added: &RegionSet,
+    removed: &RegionSet,
+    hits: usize,
+) -> String {
+    let j = Json::obj()
+        .with("ev", Json::from("watch"))
+        .with("watch", Json::from(watch))
+        .with("doc", Json::from(doc))
+        .with("generation", Json::from(generation))
+        .with("added", regions_json(added))
+        .with("removed", regions_json(removed))
+        .with("hits", Json::from(hits));
+    format!("{j}\n")
+}
+
+/// The slow-consumer shed notice: `dropped` queued diffs were discarded;
+/// the client must re-run its query to resynchronize.
+pub fn watch_lagged_frame(watch: u64, doc: &str, generation: u64, dropped: usize) -> String {
+    let j = Json::obj()
+        .with("ev", Json::from("watch-lagged"))
+        .with("watch", Json::from(watch))
+        .with("doc", Json::from(doc))
+        .with("generation", Json::from(generation))
+        .with("dropped", Json::from(dropped));
+    format!("{j}\n")
+}
+
+/// A standing query became unanswerable (its view or engine rejected the
+/// re-run); the watch is cancelled server-side.
+pub fn watch_error_frame(watch: u64, doc: &str, message: &str) -> String {
+    let j = Json::obj()
+        .with("ev", Json::from("watch-error"))
+        .with("watch", Json::from(watch))
+        .with("doc", Json::from(doc))
+        .with("message", Json::from(message));
+    format!("{j}\n")
+}
+
+/// Every region of a set as `[[l, r], …]`, straight off the columns.
+fn regions_json(set: &RegionSet) -> Json {
+    Json::Arr(
+        set.lefts()
+            .iter()
+            .zip(set.rights())
+            .map(|(&l, &r)| Json::Arr(vec![Json::from(u64::from(l)), Json::from(u64::from(r))]))
+            .collect(),
+    )
 }
 
 /// An ok reply frame: `{"id": …, "ok": true, "op": …, <fields>}`.
@@ -312,6 +498,12 @@ mod tests {
                 r#"{"op":"define-view","doc":"d","name":"v","def":"sec"}"#,
                 "define-view",
             ),
+            (
+                r#"{"op":"mutate","doc":"d","edits":[{"kind":"append","text":"x"}]}"#,
+                "mutate",
+            ),
+            (r#"{"op":"watch","doc":"d","q":"sec"}"#, "watch"),
+            (r#"{"op":"unwatch","watch":3}"#, "unwatch"),
         ];
         for (line, op) in cases {
             let req = parse_request(line).unwrap();
@@ -365,6 +557,79 @@ mod tests {
             parsed.get("error").unwrap().get("code").unwrap().as_str(),
             Some("rejected")
         );
+    }
+
+    #[test]
+    fn mutate_edits_parse_and_validate() {
+        let req = parse_request(
+            r#"{"op":"mutate","doc":"d","edits":[
+                {"kind":"splice","at":4,"delete":2,"insert":"yy"},
+                {"kind":"splice","at":9},
+                {"kind":"add-region","name":"sec","left":1,"right":8},
+                {"kind":"remove-region","name":"sec","left":1,"right":8},
+                {"kind":"append","text":"tail"}]}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::Mutate { doc, edits } => {
+                assert_eq!(doc, "d");
+                assert_eq!(edits.len(), 5);
+                assert_eq!(
+                    edits[0],
+                    Edit::Splice {
+                        at: 4,
+                        delete: 2,
+                        insert: "yy".into()
+                    }
+                );
+                // delete/insert default to a pure no-op splice.
+                assert_eq!(
+                    edits[1],
+                    Edit::Splice {
+                        at: 9,
+                        delete: 0,
+                        insert: String::new()
+                    }
+                );
+                assert!(matches!(edits[2], Edit::AddRegion { .. }));
+                assert!(matches!(edits[4], Edit::Splice { at: u32::MAX, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Rejected shapes: empty batch, bad kind, inverted region, huge
+        // positions, missing fields.
+        for bad in [
+            r#"{"op":"mutate","doc":"d","edits":[]}"#,
+            r#"{"op":"mutate","doc":"d","edits":[{"kind":"teleport"}]}"#,
+            r#"{"op":"mutate","doc":"d","edits":[{"kind":"add-region","name":"s","left":9,"right":2}]}"#,
+            r#"{"op":"mutate","doc":"d","edits":[{"kind":"splice","at":5000000000}]}"#,
+            r#"{"op":"mutate","doc":"d","edits":[{"kind":"append"}]}"#,
+            r#"{"op":"mutate","doc":"d"}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn event_frames_have_ev_and_no_id() {
+        let added = RegionSet::from_regions(vec![tr_core::region(3, 7)]);
+        let removed = RegionSet::from_regions(vec![]);
+        let frame = watch_event_frame(5, "d", 2, &added, &removed, 4);
+        assert!(frame.ends_with('\n'));
+        let j = tr_obs::parse_json(frame.trim_end()).unwrap();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("watch"));
+        assert!(j.get("id").is_none(), "events must not carry an id");
+        assert_eq!(j.get("watch").unwrap().as_u64(), Some(5));
+        assert_eq!(j.get("generation").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("added").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(j.get("removed").unwrap().as_arr().unwrap().len(), 0);
+        let lag = watch_lagged_frame(5, "d", 9, 12);
+        let j = tr_obs::parse_json(lag.trim_end()).unwrap();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("watch-lagged"));
+        assert_eq!(j.get("dropped").unwrap().as_u64(), Some(12));
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //!
 //! * one **accept thread** enforces the connection limit;
 //! * one **connection thread** per client reads frames, answers cheap
-//!   session-state ops (`ping`, `list-docs`, `stats`, `define-view`)
-//!   inline, and submits heavy ops (`query`, `batch`, `explain`) to the
-//!   shared admission queue — [`crate::queue::Queue::try_push`] never
-//!   blocks, so an overloaded server answers `rejected` immediately
-//!   instead of hanging;
+//!   session-state ops (`ping`, `list-docs`, `stats`, `define-view`,
+//!   `unwatch`) inline, and submits heavy ops (`query`, `batch`,
+//!   `explain`, `mutate`, `watch`) to the shared admission queue —
+//!   [`crate::queue::Queue::try_push`] never blocks, so an overloaded
+//!   server answers `rejected` immediately instead of hanging;
 //! * a fixed pool of **worker threads** drains the queue, checks each
-//!   job's deadline, and writes the reply to that job's connection.
+//!   job's deadline, and writes the reply to that job's connection;
+//! * one **watch notifier thread** delivers standing-query diff frames
+//!   (see [`crate::watch`]) so a slow watcher's socket never blocks a
+//!   mutating worker.
 //!
 //! Malformed input of any kind — broken JSON, missing fields, oversize
 //! frames, hostile query nesting — produces a JSON error reply on the
@@ -26,11 +29,12 @@
 use crate::catalog::Catalog;
 use crate::protocol::{self, ErrorCode, Request, RequestBody};
 use crate::queue::{PushError, Queue};
+use crate::watch::WatchRegistry;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +57,10 @@ pub struct ServerConfig {
     /// Per-request deadline: a job still queued past it is answered
     /// `timeout` instead of executed.
     pub deadline: Duration,
+    /// Per-watcher pending event frame cap: a standing query whose
+    /// client reads slower than the document mutates has its backlog
+    /// shed and replaced by one `watch-lagged` frame.
+    pub watch_queue_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_frame_bytes: 1 << 20,
             deadline: Duration::from_secs(5),
+            watch_queue_capacity: 64,
         }
     }
 }
@@ -110,6 +119,9 @@ impl ServeMetrics {
 struct Job {
     engine: Arc<Engine>,
     views: Arc<SessionViews>,
+    /// The submitting connection's id — `watch` registrations are owned
+    /// by it and die with it.
+    conn: u64,
     id: Option<Json>,
     body: RequestBody,
     writer: Arc<ConnWriter>,
@@ -117,15 +129,16 @@ struct Job {
     deadline: Instant,
 }
 
-/// The write half of a connection. Workers and the connection thread
-/// share it; the mutex keeps reply frames line-atomic.
-struct ConnWriter {
+/// The write half of a connection. Workers, the watch notifier, and the
+/// connection thread share it; the mutex keeps reply and event frames
+/// line-atomic.
+pub(crate) struct ConnWriter {
     stream: Mutex<TcpStream>,
 }
 
 impl ConnWriter {
     /// Best-effort frame write — a vanished client is not an error.
-    fn send(&self, frame: &str) {
+    pub(crate) fn send(&self, frame: &str) {
         let mut s = self.stream.lock().unwrap_or_else(|p| p.into_inner());
         let _ = s.write_all(frame.as_bytes());
     }
@@ -135,8 +148,10 @@ struct Shared {
     catalog: Catalog,
     cfg: ServerConfig,
     queue: Queue<Job>,
+    watches: WatchRegistry,
     shutdown: AtomicBool,
     conns: AtomicUsize,
+    next_conn: AtomicU64,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
 }
@@ -147,6 +162,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    notifier: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -161,10 +177,12 @@ impl Server {
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: Queue::new(cfg.queue_capacity),
+            watches: WatchRegistry::new(cfg.watch_queue_capacity),
             catalog,
             cfg,
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
             conn_handles: Mutex::new(Vec::new()),
             started: Instant::now(),
         });
@@ -176,6 +194,12 @@ impl Server {
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
+        let notifier = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tr-serve-watch".to_owned())
+                .spawn(move || shared.watches.notifier_loop())?
+        };
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -187,6 +211,7 @@ impl Server {
             shared,
             accept: Some(accept),
             workers,
+            notifier: Some(notifier),
         })
     }
 
@@ -231,6 +256,13 @@ impl Server {
         // Drain: workers finish every admitted job, then exit.
         self.shared.queue.close();
         for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+        // Last, the watch notifier: no worker can queue further events
+        // now, so closing the registry flushes the remaining frames and
+        // unregisters every surviving watcher.
+        self.shared.watches.close();
+        if let Some(h) = self.notifier.take() {
             h.join().ok();
         }
     }
@@ -365,6 +397,7 @@ impl FrameReader {
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let _conn = tr_obs::span("serve.conn");
     let m = ServeMetrics::get();
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
     stream.set_read_timeout(Some(READ_TICK)).ok();
     stream.set_nodelay(true).ok();
     let Ok(write_half) = stream.try_clone() else {
@@ -404,7 +437,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 m.frames.inc();
                 let line = String::from_utf8_lossy(&bytes);
                 match protocol::parse_request(&line) {
-                    Ok(req) => handle_request(shared, &writer, &mut sessions, req),
+                    Ok(req) => handle_request(shared, &writer, &mut sessions, conn_id, req),
                     Err(e) => {
                         m.malformed.inc();
                         writer.send(&protocol::err_frame(e.id.as_ref(), e.code, &e.message));
@@ -413,12 +446,15 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
         }
     }
+    // This connection's standing queries die with it.
+    shared.watches.unregister_conn(conn_id);
 }
 
 fn handle_request(
     shared: &Arc<Shared>,
     writer: &Arc<ConnWriter>,
     sessions: &mut HashMap<String, Arc<SessionViews>>,
+    conn_id: u64,
     req: Request,
 ) {
     let m = ServeMetrics::get();
@@ -507,14 +543,36 @@ fn handle_request(
                 }
             }
         }
+        RequestBody::Unwatch { watch } => {
+            m.accepted.inc();
+            if shared.watches.unregister(conn_id, watch) {
+                writer.send(&protocol::ok_frame(
+                    id.as_ref(),
+                    "unwatch",
+                    Json::obj().with("watch", Json::from(watch)),
+                ));
+                m.completed.inc();
+            } else {
+                m.failed.inc();
+                writer.send(&protocol::err_frame(
+                    id.as_ref(),
+                    ErrorCode::UnknownWatch,
+                    &format!("no watch {watch} on this connection"),
+                ));
+            }
+        }
         // Heavy ops go through admission control to the worker pool.
         body @ (RequestBody::Query { .. }
         | RequestBody::Batch { .. }
-        | RequestBody::Explain { .. }) => {
+        | RequestBody::Explain { .. }
+        | RequestBody::Mutate { .. }
+        | RequestBody::Watch { .. }) => {
             let doc = match &body {
                 RequestBody::Query { doc, .. }
                 | RequestBody::Batch { doc, .. }
-                | RequestBody::Explain { doc, .. } => doc.clone(),
+                | RequestBody::Explain { doc, .. }
+                | RequestBody::Mutate { doc, .. }
+                | RequestBody::Watch { doc, .. } => doc.clone(),
                 _ => unreachable!(),
             };
             // Forces a lazy document's first load; the decode runs on
@@ -546,6 +604,7 @@ fn handle_request(
             let job = Job {
                 engine,
                 views: sessions.get(&doc).cloned().unwrap_or_default(),
+                conn: conn_id,
                 id,
                 body,
                 writer: Arc::clone(writer),
@@ -603,6 +662,8 @@ impl Shared {
         for (name, v) in tr_obs::counter_values() {
             let relevant = name.starts_with("serve.")
                 || name.starts_with("corpus.")
+                || name.starts_with("mutate.")
+                || name.starts_with("watch.")
                 || name == "exec.segment_waves"
                 || name == "exec.merge_ns";
             if relevant {
@@ -616,6 +677,7 @@ impl Shared {
             )
             .with("docs", Json::from(self.catalog.len()))
             .with("queue_depth", Json::from(self.queue.len()))
+            .with("watchers", Json::from(self.watches.len()))
             .with("counters", counters)
     }
 }
@@ -657,10 +719,15 @@ fn worker_loop(shared: &Arc<Shared>) {
         let _span = tr_obs::span("serve.request");
         // A handler panic must cost exactly one error reply, never the
         // worker (or the process).
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(&job)));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, &job)));
         match outcome {
             Ok(Ok(frame)) => {
-                job.writer.send(&frame);
+                // `None` means the handler already sent its reply (watch
+                // registration replies go out under the mutation lock so
+                // no event frame can overtake them).
+                if let Some(frame) = frame {
+                    job.writer.send(&frame);
+                }
                 m.completed.inc();
             }
             Ok(Err((code, message))) => {
@@ -680,19 +747,21 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Runs one heavy op against its engine, returning the ok frame.
-fn execute(job: &Job) -> Result<String, (ErrorCode, String)> {
+/// Runs one heavy op against its engine, returning the ok frame —
+/// `Ok(None)` when the handler already wrote its own reply.
+fn execute(shared: &Shared, job: &Job) -> Result<Option<String>, (ErrorCode, String)> {
     match &job.body {
         RequestBody::Query { q, limit, .. } => {
             let hits = job
                 .engine
                 .query_with(&job.views, q)
                 .map_err(|e| (ErrorCode::Query, e.to_string()))?;
-            Ok(protocol::ok_frame(
+            Ok(Some(protocol::ok_frame(
                 job.id.as_ref(),
                 "query",
-                protocol::result_fields(&hits, *limit),
-            ))
+                protocol::result_fields(&hits, *limit)
+                    .with("generation", Json::from(job.engine.generation())),
+            )))
         }
         RequestBody::Batch { queries, limit, .. } => {
             let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
@@ -710,24 +779,109 @@ fn execute(job: &Job) -> Result<String, (ErrorCode, String)> {
                 .with("distinct_nodes", Json::from(stats.distinct_nodes))
                 .with("nodes_evaluated", Json::from(stats.nodes_evaluated))
                 .with("threads", Json::from(stats.threads));
-            Ok(protocol::ok_frame(
+            Ok(Some(protocol::ok_frame(
                 job.id.as_ref(),
                 "batch",
                 Json::obj()
                     .with("results", Json::Arr(results))
                     .with("batch", batch),
-            ))
+            )))
         }
         RequestBody::Explain { q, .. } => {
             let text = job
                 .engine
                 .explain_with(&job.views, q)
                 .map_err(|e| (ErrorCode::Query, e.to_string()))?;
-            Ok(protocol::ok_frame(
+            Ok(Some(protocol::ok_frame(
                 job.id.as_ref(),
                 "explain",
                 Json::obj().with("text", Json::from(text)),
-            ))
+            )))
+        }
+        RequestBody::Mutate { doc, edits } => {
+            // Serialize against other mutations of this document, then
+            // re-fetch the engine: the snapshot taken at admission may
+            // already be a superseded generation.
+            let _guard = shared
+                .catalog
+                .lock_for_mutation(doc)
+                .ok_or_else(|| (ErrorCode::UnknownDoc, format!("no document {doc:?}")))?;
+            let engine = match shared.catalog.try_engine(doc) {
+                Some(Ok(engine)) => engine,
+                Some(Err(why)) => {
+                    return Err((
+                        ErrorCode::Internal,
+                        format!("document {doc:?} failed to load: {why}"),
+                    ))
+                }
+                None => return Err((ErrorCode::UnknownDoc, format!("no document {doc:?}"))),
+            };
+            let (next, stats) = engine
+                .apply_edits(edits)
+                .map_err(|e| (ErrorCode::Mutate, e.to_string()))?;
+            let next = Arc::new(next);
+            if !shared.catalog.swap(doc, Arc::clone(&next)) {
+                return Err((
+                    ErrorCode::Internal,
+                    format!("document {doc:?} vanished during mutation"),
+                ));
+            }
+            // Still under the mutation lock: standing queries see each
+            // generation exactly once, in order.
+            shared.watches.notify(doc, &next);
+            Ok(Some(protocol::ok_frame(
+                job.id.as_ref(),
+                "mutate",
+                Json::obj()
+                    .with("generation", Json::from(stats.generation))
+                    .with("edits", Json::from(stats.edits))
+                    .with(
+                        "segments_reindexed",
+                        Json::from(stats.segments_reindexed as u64),
+                    )
+                    .with("segments_reused", Json::from(stats.segments_reused as u64))
+                    .with("cache_kept", Json::from(stats.cache_kept as u64))
+                    .with("cache_dropped", Json::from(stats.cache_dropped as u64))
+                    .with("text_changed", Json::Bool(stats.text_changed)),
+            )))
+        }
+        RequestBody::Watch { doc, q, limit } => {
+            // Register under the mutation lock and send the reply before
+            // releasing it: the first diff a client sees is guaranteed to
+            // be relative to the baseline in this reply.
+            let _guard = shared
+                .catalog
+                .lock_for_mutation(doc)
+                .ok_or_else(|| (ErrorCode::UnknownDoc, format!("no document {doc:?}")))?;
+            let engine = match shared.catalog.try_engine(doc) {
+                Some(Ok(engine)) => engine,
+                Some(Err(why)) => {
+                    return Err((
+                        ErrorCode::Internal,
+                        format!("document {doc:?} failed to load: {why}"),
+                    ))
+                }
+                None => return Err((ErrorCode::UnknownDoc, format!("no document {doc:?}"))),
+            };
+            let hits = engine
+                .query_with(&job.views, q)
+                .map_err(|e| (ErrorCode::Query, e.to_string()))?;
+            let watch = shared.watches.register(
+                job.conn,
+                doc,
+                q,
+                Arc::clone(&job.views),
+                Arc::clone(&job.writer),
+                hits.clone(),
+            );
+            job.writer.send(&protocol::ok_frame(
+                job.id.as_ref(),
+                "watch",
+                protocol::result_fields(&hits, *limit)
+                    .with("watch", Json::from(watch))
+                    .with("generation", Json::from(engine.generation())),
+            ));
+            Ok(None)
         }
         _ => Err((
             ErrorCode::Internal,

@@ -1,0 +1,308 @@
+//! Standing queries: the watch registry and its notifier thread.
+//!
+//! A `watch` request registers a query whose result the client wants to
+//! track across mutations. The registry stores, per watcher, the query,
+//! the session-view snapshot it resolves under, the last delivered
+//! result, and a **bounded** queue of pending event frames.
+//!
+//! The flow on `mutate` (under the document's mutation lock, so diffs
+//! for one document never interleave):
+//!
+//! 1. the worker swaps the new engine generation into the catalog;
+//! 2. `WatchRegistry::notify` re-runs every standing query for that
+//!    document against the new generation, diffs against the watcher's
+//!    last result, and enqueues a diff frame when anything changed;
+//! 3. a dedicated **notifier thread** drains the queues and writes the
+//!    frames — so a slow client's TCP backpressure can never stall the
+//!    mutating worker (or any other watcher).
+//!
+//! **Slow-consumer shedding**: a watcher whose queue is full has its
+//! pending diffs discarded and replaced by a single structured
+//! `watch-lagged` frame carrying the drop count — bounded memory, and an
+//! explicit signal that the client must re-run its query to resync. The
+//! watcher stays registered and keeps receiving future diffs.
+//!
+//! **Drain**: connection teardown unregisters that connection's
+//! watchers; server shutdown closes the registry, and the notifier
+//! flushes every still-queued frame before exiting.
+//!
+//! Counter taxonomy (`watch.*`): `watch.registered`,
+//! `watch.unregistered`, `watch.events` (frames written),
+//! `watch.lagged` (shed episodes), `watch.dropped_events` (frames
+//! discarded by sheds).
+
+use crate::protocol;
+use crate::server::ConnWriter;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+use tr_core::RegionSet;
+use tr_query::{Engine, ResultDiff, SessionViews};
+
+/// `watch.*` counter handles (see the module docs for the taxonomy).
+struct WatchMetrics {
+    registered: Arc<tr_obs::Counter>,
+    unregistered: Arc<tr_obs::Counter>,
+    events: Arc<tr_obs::Counter>,
+    lagged: Arc<tr_obs::Counter>,
+    dropped_events: Arc<tr_obs::Counter>,
+}
+
+impl WatchMetrics {
+    fn get() -> &'static WatchMetrics {
+        static METRICS: OnceLock<WatchMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| WatchMetrics {
+            registered: tr_obs::counter("watch.registered"),
+            unregistered: tr_obs::counter("watch.unregistered"),
+            events: tr_obs::counter("watch.events"),
+            lagged: tr_obs::counter("watch.lagged"),
+            dropped_events: tr_obs::counter("watch.dropped_events"),
+        })
+    }
+}
+
+/// One standing query.
+struct Watcher {
+    /// Owning connection (watches die with their connection).
+    conn: u64,
+    /// Document the query runs against.
+    doc: String,
+    /// The query text, re-run on every mutation of `doc`.
+    query: String,
+    /// Session views snapshotted at registration — the standing query
+    /// keeps resolving against them even if the session redefines views
+    /// later (a new `watch` picks the new snapshot up).
+    views: Arc<SessionViews>,
+    /// Where event frames go.
+    writer: Arc<ConnWriter>,
+    /// The last result delivered (or shed to) this watcher; diffs are
+    /// computed against it.
+    last: RegionSet,
+    /// Pending event frames, bounded by the registry's capacity.
+    queue: VecDeque<String>,
+}
+
+/// The shared registry of standing queries. One per server.
+pub(crate) struct WatchRegistry {
+    inner: Mutex<Inner>,
+    /// Wakes the notifier when events are queued or the registry closes.
+    wake: Condvar,
+    /// Per-watcher pending-frame cap; overflow sheds (see module docs).
+    capacity: usize,
+}
+
+struct Inner {
+    watchers: HashMap<u64, Watcher>,
+    next_id: u64,
+    closed: bool,
+}
+
+impl WatchRegistry {
+    pub(crate) fn new(capacity: usize) -> WatchRegistry {
+        WatchRegistry {
+            inner: Mutex::new(Inner {
+                watchers: HashMap::new(),
+                next_id: 0,
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(2),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a standing query and returns its watch id. `last` is
+    /// the baseline result the registration reply reported — the first
+    /// diff is computed against exactly what the client saw.
+    pub(crate) fn register(
+        &self,
+        conn: u64,
+        doc: &str,
+        query: &str,
+        views: Arc<SessionViews>,
+        writer: Arc<ConnWriter>,
+        last: RegionSet,
+    ) -> u64 {
+        let mut inner = self.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.watchers.insert(
+            id,
+            Watcher {
+                conn,
+                doc: doc.to_owned(),
+                query: query.to_owned(),
+                views,
+                writer,
+                last,
+                queue: VecDeque::new(),
+            },
+        );
+        WatchMetrics::get().registered.inc();
+        id
+    }
+
+    /// Cancels watch `id` if it belongs to connection `conn`. Pending
+    /// events for it are discarded.
+    pub(crate) fn unregister(&self, conn: u64, id: u64) -> bool {
+        let mut inner = self.lock();
+        match inner.watchers.get(&id) {
+            Some(w) if w.conn == conn => {
+                inner.watchers.remove(&id);
+                WatchMetrics::get().unregistered.inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops every watch owned by `conn` (connection teardown).
+    pub(crate) fn unregister_conn(&self, conn: u64) {
+        let mut inner = self.lock();
+        let before = inner.watchers.len();
+        inner.watchers.retain(|_, w| w.conn != conn);
+        let removed = before - inner.watchers.len();
+        WatchMetrics::get().unregistered.add(removed as u64);
+    }
+
+    /// Standing queries currently registered (tests, stats).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().watchers.len()
+    }
+
+    /// Re-runs every standing query on `doc` against the new engine
+    /// generation and enqueues diff frames. Called by the mutating
+    /// worker while it still holds the document's mutation lock.
+    pub(crate) fn notify(&self, doc: &str, engine: &Engine) {
+        let m = WatchMetrics::get();
+        let mut inner = self.lock();
+        let capacity = self.capacity;
+        let mut errored: Vec<u64> = Vec::new();
+        let mut queued = false;
+        for (&id, w) in inner.watchers.iter_mut() {
+            if w.doc != doc {
+                continue;
+            }
+            let new = match engine.query_with(&w.views, &w.query) {
+                Ok(new) => new,
+                Err(e) => {
+                    // The standing query no longer runs (cannot happen
+                    // through the protocol today — the schema is fixed —
+                    // but defense in depth): tell the client, cancel it.
+                    w.queue.clear();
+                    w.writer
+                        .send(&protocol::watch_error_frame(id, doc, &e.to_string()));
+                    errored.push(id);
+                    continue;
+                }
+            };
+            let diff = ResultDiff::between(&w.last, &new);
+            w.last = new;
+            if diff.is_empty() {
+                continue;
+            }
+            let frame = protocol::watch_event_frame(
+                id,
+                doc,
+                engine.generation(),
+                &diff.added,
+                &diff.removed,
+                w.last.len(),
+            );
+            if w.queue.len() + 1 >= capacity {
+                // Shed: every pending diff (and this one) is replaced by
+                // one lagged notice. `last` already tracks the true
+                // current result, so post-resync diffs stay correct.
+                let dropped = w.queue.len() + 1;
+                w.queue.clear();
+                m.lagged.inc();
+                m.dropped_events.add(dropped as u64);
+                w.queue.push_back(protocol::watch_lagged_frame(
+                    id,
+                    doc,
+                    engine.generation(),
+                    dropped,
+                ));
+            } else {
+                w.queue.push_back(frame);
+            }
+            queued = true;
+        }
+        for id in errored {
+            inner.watchers.remove(&id);
+            m.unregistered.inc();
+        }
+        drop(inner);
+        if queued {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Closes the registry: the notifier flushes what is queued, then
+    /// exits; remaining watchers are unregistered.
+    pub(crate) fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// The notifier thread body: pop one queued frame at a time (FIFO
+    /// per watcher) and write it outside the lock, so one slow socket
+    /// never blocks the registry. Exits once the registry is closed
+    /// *and* every queue is flushed, then unregisters the leftovers.
+    pub(crate) fn notifier_loop(&self) {
+        let m = WatchMetrics::get();
+        loop {
+            let work: Option<(Arc<ConnWriter>, String)> = {
+                let mut inner = self.lock();
+                loop {
+                    let next = inner
+                        .watchers
+                        .values_mut()
+                        .find(|w| !w.queue.is_empty())
+                        .map(|w| (Arc::clone(&w.writer), w.queue.pop_front().unwrap()));
+                    if let Some(found) = next {
+                        break Some(found);
+                    }
+                    if inner.closed {
+                        break None;
+                    }
+                    inner = self.wake.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            match work {
+                Some((writer, frame)) => {
+                    if let Some(stall) = test_stall() {
+                        std::thread::sleep(stall);
+                    }
+                    writer.send(&frame);
+                    m.events.inc();
+                }
+                None => break,
+            }
+        }
+        let mut inner = self.lock();
+        let leftover = inner.watchers.len();
+        inner.watchers.clear();
+        m.unregistered.add(leftover as u64);
+    }
+}
+
+/// Test-only per-event send stall, read once from
+/// `TR_SERVE_TEST_WATCH_STALL_MS`. The shed integration test sets it to
+/// make the notifier slower than the mutation rate, forcing a queue
+/// overflow. `None` in every real deployment.
+fn test_stall() -> Option<Duration> {
+    static STALL: OnceLock<Option<Duration>> = OnceLock::new();
+    *STALL.get_or_init(|| {
+        std::env::var("TR_SERVE_TEST_WATCH_STALL_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}

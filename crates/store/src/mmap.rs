@@ -13,9 +13,17 @@
 //! a `u64` heap buffer for the copy), so the format's 64-byte-aligned
 //! column offsets always land `u32`-aligned in memory.
 //!
-//! Two registry counters make the dispatch observable: `store.mmap_opens`
+//! A fresh mapping is advised `MADV_WILLNEED` so the kernel starts
+//! reading the column pages ahead of the first query touching them —
+//! the mapped open path otherwise pays its deferred decode as a burst of
+//! major faults on the first scan. The hint is best-effort (`madvise`
+//! failures are ignored) and compiled out off Unix or without the `mmap`
+//! feature.
+//!
+//! Three registry counters make the dispatch observable: `store.mmap_opens`
 //! counts true mappings, `store.decode_fallbacks` counts opens served by
-//! a copy or by the streaming decoder instead.
+//! a copy or by the streaming decoder instead, and `store.madvise_willneed`
+//! counts mappings whose readahead hint the kernel accepted.
 
 use std::fs::File;
 use std::io::Read;
@@ -159,6 +167,8 @@ mod sys {
 
     pub const PROT_READ: i32 = 1;
     pub const MAP_PRIVATE: i32 = 2;
+    /// `MADV_WILLNEED` — same value on Linux and the BSDs/macOS.
+    pub const MADV_WILLNEED: i32 = 3;
 
     extern "C" {
         pub fn mmap(
@@ -170,6 +180,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
     }
 }
 
@@ -191,6 +202,13 @@ impl Mapping {
         };
         if ptr.is_null() || ptr as isize == -1 {
             return None;
+        }
+        // Best-effort readahead: the v3 open path defers all column
+        // decoding to first touch, so telling the kernel the whole file
+        // is about to be needed turns the first scan's major-fault burst
+        // into background I/O. A refusing kernel costs nothing.
+        if unsafe { sys::madvise(ptr, len, sys::MADV_WILLNEED) } == 0 {
+            tr_obs::counter("store.madvise_willneed").inc();
         }
         Some(Mapping { ptr, len })
     }
@@ -233,6 +251,22 @@ mod tests {
         assert_eq!(copied.bytes(), &data[..]);
         // The copy fallback must still hand out u32-alignable memory.
         assert_eq!(copied.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn willneed_hint_is_counted_for_real_mappings() {
+        let path = tmp("willneed");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let before = tr_obs::counter("store.madvise_willneed").get();
+        let m = MappedBytes::open(&path).unwrap();
+        if m.is_mapped() {
+            assert!(
+                tr_obs::counter("store.madvise_willneed").get() > before,
+                "a successful mapping should record its accepted hint"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -4,6 +4,31 @@
 //! `σ_p` evaluates `W(r, p)` once per candidate region with the *same*
 //! pattern, so the index memoizes the sorted occurrence list per pattern;
 //! after the first lookup each `W(r, p)` test is a binary search.
+//!
+//! # Live documents: the sharded backing
+//!
+//! The index has two interchangeable backings behind one API:
+//!
+//! * **Whole** — a single suffix array over the full text. This is what
+//!   [`SuffixWordIndex::new`] and [`SuffixWordIndex::from_suffix_array`]
+//!   build, and it is bit-for-bit the pre-live-documents behavior.
+//! * **Sharded** — the text cut into contiguous shards (one per
+//!   `tr_core::seg` segment, with cuts *snapped* forward so no word
+//!   straddles a cut), each shard carrying its own local suffix array,
+//!   word-start table, and pattern memo behind an `Arc`.
+//!
+//! The sharded backing exists for [`SuffixWordIndex::spliced`]: an edit
+//! re-tokenizes and re-indexes only the shards it touches, while clean
+//! shards are reused by bumping their `Arc` — including their memoized
+//! pattern occurrence lists. The reuse is counter-proven:
+//! `mutate.segments_reindexed` / `mutate.segments_reused` record exactly
+//! how many shards each splice rebuilt vs. recycled.
+//!
+//! Snapped cuts make shard-local answers globally correct for word
+//! patterns (a word never spans two shards, so word-boundary checks at
+//! shard edges agree with the whole-text checks); substring patterns
+//! additionally get a boundary patch scan over the `±needle` window at
+//! each interior cut to find occurrences that straddle it.
 
 use crate::pattern::Pattern;
 use crate::suffix::SuffixArray;
@@ -24,6 +49,13 @@ struct TextMetrics {
     /// `text.index.build_ns` / `text.pattern.compute_ns`: wall times.
     build_ns: Arc<tr_obs::Histogram>,
     compute_ns: Arc<tr_obs::Histogram>,
+    /// `mutate.segments_reindexed` / `mutate.segments_reused`: shards
+    /// rebuilt vs. Arc-recycled per [`SuffixWordIndex::spliced`] call —
+    /// the ledger proving incremental maintenance is real.
+    segments_reindexed: Arc<tr_obs::Counter>,
+    segments_reused: Arc<tr_obs::Counter>,
+    /// `mutate.reindex_ns`: wall time of each incremental reindex.
+    reindex_ns: Arc<tr_obs::Histogram>,
 }
 
 impl TextMetrics {
@@ -36,6 +68,9 @@ impl TextMetrics {
             pattern_computed: tr_obs::counter("text.pattern.computed"),
             build_ns: tr_obs::histogram("text.index.build_ns"),
             compute_ns: tr_obs::histogram("text.pattern.compute_ns"),
+            segments_reindexed: tr_obs::counter("mutate.segments_reindexed"),
+            segments_reused: tr_obs::counter("mutate.segments_reused"),
+            reindex_ns: tr_obs::histogram("mutate.reindex_ns"),
         })
     }
 }
@@ -43,13 +78,155 @@ impl TextMetrics {
 /// An occurrence of a pattern: `(start offset, byte length)`.
 pub type Occurrence = (u32, u32);
 
+type PatternCache = RwLock<HashMap<String, Arc<Vec<Occurrence>>>>;
+
+/// What one [`SuffixWordIndex::spliced`] call rebuilt vs. recycled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReindexStats {
+    /// Shards whose suffix array was rebuilt (the dirty ones).
+    pub segments_reindexed: usize,
+    /// Shards reused verbatim via their `Arc` (clean ones).
+    pub segments_reused: usize,
+}
+
 /// A suffix-array-backed word index over a text buffer.
+///
+/// Internally `Arc`-shared: [`Clone`] is a reference-count bump, so the
+/// index can be held by an old engine generation and a new one at once.
 pub struct SuffixWordIndex {
+    inner: Arc<Inner>,
+}
+
+impl Clone for SuffixWordIndex {
+    fn clone(&self) -> SuffixWordIndex {
+        SuffixWordIndex {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+struct Inner {
+    backing: Backing,
+    /// pattern string → sorted whole-document occurrences, memoized.
+    cache: PatternCache,
+}
+
+enum Backing {
+    /// One suffix array over the full text (the immutable fast path).
+    Whole { sa: SuffixArray, starts: Vec<u32> },
+    /// The text cut into shards at snapped segment boundaries.
+    Sharded {
+        text: Vec<u8>,
+        shards: Vec<ShardSlot>,
+        /// Whole-text suffix array, built lazily only if persistence
+        /// ([`SuffixWordIndex::suffix_array`]) asks for it.
+        whole: OnceLock<SuffixArray>,
+    },
+}
+
+/// One shard placed at its global byte offset.
+struct ShardSlot {
+    base: u32,
+    shard: Arc<Shard>,
+}
+
+impl ShardSlot {
+    fn lo(&self) -> usize {
+        self.base as usize
+    }
+
+    fn hi(&self) -> usize {
+        self.base as usize + self.shard.len()
+    }
+}
+
+/// A self-contained index over one contiguous slice of the text, in
+/// *local* coordinates. Reused across generations via `Arc` — including
+/// its memoized pattern lists.
+struct Shard {
     sa: SuffixArray,
-    /// Sorted word-start offsets, for boundary checks.
     starts: Vec<u32>,
-    /// pattern string → sorted occurrences, memoized.
-    cache: RwLock<HashMap<String, Arc<Vec<Occurrence>>>>,
+    cache: PatternCache,
+}
+
+impl Shard {
+    fn new(slice: &[u8]) -> Shard {
+        Shard {
+            sa: SuffixArray::new(slice.to_vec()),
+            starts: word_starts(slice),
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sa.text().len()
+    }
+
+    /// Local occurrences of `pattern`, memoized per shard so clean shards
+    /// answer repeated patterns across generations without re-scanning.
+    fn occurrences(&self, pattern: &str, p: &Pattern) -> Arc<Vec<Occurrence>> {
+        if let Some(hit) = read_cache(&self.cache).get(pattern) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(compute_on(&self.sa, &self.starts, p));
+        Arc::clone(
+            self.cache
+                .write()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .entry(pattern.to_owned())
+                .or_insert(computed),
+        )
+    }
+}
+
+fn read_cache(
+    cache: &PatternCache,
+) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Vec<Occurrence>>>> {
+    cache.read().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// True when cutting the text at `c` splits no word: the cut is at a text
+/// edge or between bytes that are not both word bytes.
+fn cut_is_snapped(text: &[u8], c: usize) -> bool {
+    c == 0 || c >= text.len() || !(is_word_byte(text[c - 1]) && is_word_byte(text[c]))
+}
+
+/// Advances `c` forward to the nearest snapped cut (worst case the text
+/// end, for a text that is one giant word).
+fn snap(text: &[u8], mut c: usize) -> usize {
+    while !cut_is_snapped(text, c) {
+        c += 1;
+    }
+    c
+}
+
+/// The canonical shard cuts for a text: the `tr_core::seg` segment bounds
+/// with every interior cut snapped forward, deduplicated. Monotone
+/// because `snap` is (it maps each position to the next snapped one).
+fn canonical_cuts(text: &[u8]) -> Vec<usize> {
+    let n = tr_core::seg::segment_count_for(text.len());
+    let mut cuts: Vec<usize> = tr_core::seg::segment_bounds(text.len(), n)
+        .iter()
+        .map(|&b| b as usize)
+        .collect();
+    for c in cuts.iter_mut().take(n).skip(1) {
+        *c = snap(text, *c);
+    }
+    cuts.dedup();
+    cuts
+}
+
+/// Builds shard slots for `text` over the given monotone cuts
+/// (`cuts[0] == offset of first shard`, last cut == end), skipping empty
+/// windows.
+fn build_slots(text: &[u8], cuts: &[usize]) -> Vec<ShardSlot> {
+    cuts.windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| ShardSlot {
+            base: w[0] as u32,
+            shard: Arc::new(Shard::new(&text[w[0]..w[1]])),
+        })
+        .collect()
 }
 
 impl SuffixWordIndex {
@@ -63,9 +240,13 @@ impl SuffixWordIndex {
         metrics.bytes.add(text.len() as u64);
         let starts = word_starts(&text);
         let built = SuffixWordIndex {
-            sa: SuffixArray::new(text),
-            starts,
-            cache: RwLock::new(HashMap::new()),
+            inner: Arc::new(Inner {
+                backing: Backing::Whole {
+                    sa: SuffixArray::new(text),
+                    starts,
+                },
+                cache: RwLock::new(HashMap::new()),
+            }),
         };
         metrics.build_ns.record(started.elapsed().as_nanos() as u64);
         built
@@ -76,31 +257,120 @@ impl SuffixWordIndex {
     pub fn from_suffix_array(sa: SuffixArray) -> SuffixWordIndex {
         let starts = word_starts(sa.text());
         SuffixWordIndex {
-            sa,
-            starts,
-            cache: RwLock::new(HashMap::new()),
+            inner: Arc::new(Inner {
+                backing: Backing::Whole { sa, starts },
+                cache: RwLock::new(HashMap::new()),
+            }),
         }
     }
 
-    /// The underlying suffix array (for persistence).
+    /// The underlying suffix array (for persistence). On a sharded index
+    /// (one that has been [`spliced`](SuffixWordIndex::spliced)) the
+    /// whole-text array is built lazily on first call and cached, so
+    /// saving a mutated document costs one full build, not one per save.
     pub fn suffix_array(&self) -> &SuffixArray {
-        &self.sa
+        match &self.inner.backing {
+            Backing::Whole { sa, .. } => sa,
+            Backing::Sharded { text, whole, .. } => {
+                whole.get_or_init(|| SuffixArray::new(text.clone()))
+            }
+        }
     }
 
     /// The indexed text.
     pub fn text(&self) -> &[u8] {
-        self.sa.text()
+        match &self.inner.backing {
+            Backing::Whole { sa, .. } => sa.text(),
+            Backing::Sharded { text, .. } => text,
+        }
+    }
+
+    /// Number of shards backing the index (1 for the whole backing).
+    pub fn shard_count(&self) -> usize {
+        match &self.inner.backing {
+            Backing::Whole { .. } => 1,
+            Backing::Sharded { shards, .. } => shards.len().max(1),
+        }
+    }
+
+    /// Replaces `delete` bytes at byte offset `at` with `insert`,
+    /// returning the re-indexed text and a ledger of how many shards the
+    /// edit rebuilt vs. recycled. `at` is clamped to the text length and
+    /// `delete` to the remaining tail, so `spliced(len, 0, b"…")` is an
+    /// append.
+    ///
+    /// The first splice on a whole-backed index converts it to the
+    /// sharded backing (an honest full rebuild: every shard counts as
+    /// reindexed). Subsequent splices rebuild only the shards whose bytes
+    /// — or whose snapped cut validity — the edit touches; every other
+    /// shard is reused by bumping its `Arc`, memoized pattern lists
+    /// included. Adds to `mutate.segments_reindexed` /
+    /// `mutate.segments_reused` and records `mutate.reindex_ns`.
+    pub fn spliced(
+        &self,
+        at: usize,
+        delete: usize,
+        insert: &[u8],
+    ) -> (SuffixWordIndex, ReindexStats) {
+        let _span = tr_obs::span("mutate.reindex");
+        let started = std::time::Instant::now();
+        let old = self.text();
+        let at = at.min(old.len());
+        let delete = delete.min(old.len() - at);
+        let mut new_text = Vec::with_capacity(old.len() - delete + insert.len());
+        new_text.extend_from_slice(&old[..at]);
+        new_text.extend_from_slice(insert);
+        new_text.extend_from_slice(&old[at + delete..]);
+
+        let (slots, stats) = match &self.inner.backing {
+            Backing::Whole { .. } => {
+                // First mutation: convert to the sharded backing. A full
+                // rebuild, and counted as one — the incremental ledger
+                // starts honest at edit #2.
+                let slots = build_slots(&new_text, &canonical_cuts(&new_text));
+                let stats = ReindexStats {
+                    segments_reindexed: slots.len(),
+                    segments_reused: 0,
+                };
+                (slots, stats)
+            }
+            Backing::Sharded { shards, .. } => {
+                incremental_slots(shards, &new_text, at, delete, insert.len())
+            }
+        };
+
+        let metrics = TextMetrics::get();
+        metrics
+            .segments_reindexed
+            .add(stats.segments_reindexed as u64);
+        metrics.segments_reused.add(stats.segments_reused as u64);
+        metrics
+            .reindex_ns
+            .record(started.elapsed().as_nanos() as u64);
+        let next = SuffixWordIndex {
+            inner: Arc::new(Inner {
+                backing: Backing::Sharded {
+                    text: new_text,
+                    shards: slots,
+                    whole: OnceLock::new(),
+                },
+                // The whole-document memo never survives a text edit:
+                // occurrence positions and lists both change.
+                cache: RwLock::new(HashMap::new()),
+            }),
+        };
+        (next, stats)
     }
 
     /// The sorted occurrences of a pattern (memoized).
     pub fn occurrences(&self, pattern: &str) -> Arc<Vec<Occurrence>> {
         let metrics = TextMetrics::get();
-        if let Some(hit) = self.read_cache().get(pattern) {
+        if let Some(hit) = read_cache(&self.inner.cache).get(pattern) {
             metrics.pattern_hits.inc();
             return Arc::clone(hit);
         }
         let started = std::time::Instant::now();
-        let computed = Arc::new(self.compute(&Pattern::parse(pattern)));
+        let computed = Arc::new(self.compute(&Pattern::parse(pattern), pattern));
         metrics.pattern_computed.inc();
         metrics
             .compute_ns
@@ -108,18 +378,13 @@ impl SuffixWordIndex {
         // Two threads may compute the same pattern concurrently; keep the
         // first entry so all callers share one allocation.
         Arc::clone(
-            self.cache
+            self.inner
+                .cache
                 .write()
                 .unwrap_or_else(|poison| poison.into_inner())
                 .entry(pattern.to_owned())
                 .or_insert(computed),
         )
-    }
-
-    fn read_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Vec<Occurrence>>>> {
-        self.cache
-            .read()
-            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// Number of occurrences of a pattern.
@@ -148,47 +413,192 @@ impl SuffixWordIndex {
         full.slice(full.lower_bound_left(lo), full.lower_bound_left(hi))
     }
 
-    fn compute(&self, p: &Pattern) -> Vec<Occurrence> {
-        let text = self.sa.text();
-        let needle = p.needle();
-        if needle.is_empty() {
-            return Vec::new();
+    fn compute(&self, p: &Pattern, pattern: &str) -> Vec<Occurrence> {
+        match &self.inner.backing {
+            Backing::Whole { sa, starts } => compute_on(sa, starts, p),
+            Backing::Sharded { text, shards, .. } => compute_sharded(text, shards, p, pattern),
         }
-        let raw = self.sa.positions(needle);
-        let mut out: Vec<Occurrence> = match p {
-            Pattern::Substring(s) => raw.iter().map(|&pos| (pos, s.len() as u32)).collect(),
-            Pattern::WordExact(s) => raw
-                .iter()
-                .copied()
-                .filter(|&pos| {
-                    let end = pos as usize + s.len();
-                    self.is_word_start(pos) && (end >= text.len() || !is_word_byte(text[end]))
-                })
-                .map(|pos| (pos, s.len() as u32))
-                .collect(),
-            Pattern::WordPrefix(_) => raw
-                .iter()
-                .copied()
-                .filter(|&pos| self.is_word_start(pos))
-                .map(|pos| {
-                    // The occurrence covers the whole matched word, so that
-                    // W(r, "pre*") requires the word to fit inside r.
-                    let mut end = pos as usize;
-                    while end < text.len() && is_word_byte(text[end]) {
-                        end += 1;
-                    }
-                    (pos, (end - pos as usize) as u32)
-                })
-                .collect(),
-        };
-        out.sort_unstable();
-        out.dedup();
-        out
+    }
+}
+
+/// Computes a pattern's occurrences against one suffix array + word-start
+/// table (whole text or one shard, in that table's coordinates).
+fn compute_on(sa: &SuffixArray, starts: &[u32], p: &Pattern) -> Vec<Occurrence> {
+    let text = sa.text();
+    let needle = p.needle();
+    if needle.is_empty() {
+        return Vec::new();
+    }
+    let is_word_start = |pos: u32| starts.binary_search(&pos).is_ok();
+    let raw = sa.positions(needle);
+    let mut out: Vec<Occurrence> = match p {
+        Pattern::Substring(s) => raw.iter().map(|&pos| (pos, s.len() as u32)).collect(),
+        Pattern::WordExact(s) => raw
+            .iter()
+            .copied()
+            .filter(|&pos| {
+                let end = pos as usize + s.len();
+                is_word_start(pos) && (end >= text.len() || !is_word_byte(text[end]))
+            })
+            .map(|pos| (pos, s.len() as u32))
+            .collect(),
+        Pattern::WordPrefix(_) => raw
+            .iter()
+            .copied()
+            .filter(|&pos| is_word_start(pos))
+            .map(|pos| {
+                // The occurrence covers the whole matched word, so that
+                // W(r, "pre*") requires the word to fit inside r.
+                let mut end = pos as usize;
+                while end < text.len() && is_word_byte(text[end]) {
+                    end += 1;
+                }
+                (pos, (end - pos as usize) as u32)
+            })
+            .collect(),
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Sharded pattern computation: shard-local answers lifted to global
+/// coordinates, plus a boundary patch scan at each interior cut for
+/// substring occurrences that straddle it. Word patterns need no patch:
+/// snapped cuts guarantee no word spans two shards.
+fn compute_sharded(
+    text: &[u8],
+    shards: &[ShardSlot],
+    p: &Pattern,
+    pattern: &str,
+) -> Vec<Occurrence> {
+    let needle = p.needle();
+    if needle.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for slot in shards {
+        let local = slot.shard.occurrences(pattern, p);
+        out.extend(local.iter().map(|&(s, l)| (s + slot.base, l)));
+    }
+    if matches!(p, Pattern::Substring(_)) {
+        let len = needle.len();
+        for slot in shards.iter().skip(1) {
+            let c = slot.lo();
+            for start in c.saturating_sub(len - 1)..c {
+                if start + len <= text.len() && &text[start..start + len] == needle {
+                    out.push((start as u32, len as u32));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    // A needle longer than a shard can straddle two cuts and be found by
+    // both patch scans; the in-shard lists themselves are disjoint.
+    out.dedup();
+    out
+}
+
+/// The incremental splice on an already-sharded backing: keep prefix
+/// shards that end at-or-before the edit, keep (and re-base) suffix
+/// shards that start at-or-after the deleted range, rebuild the middle
+/// from the new bytes. Shards adjacent to the edit are also rebuilt when
+/// the edit un-snaps their cut (e.g. an insert gluing two words
+/// together), so shard-local word-boundary answers stay globally exact.
+fn incremental_slots(
+    shards: &[ShardSlot],
+    new_text: &[u8],
+    at: usize,
+    delete: usize,
+    insert_len: usize,
+) -> (Vec<ShardSlot>, ReindexStats) {
+    let delta = insert_len as i64 - delete as i64;
+
+    // Prefix shards: entirely before the edit, with their right cut
+    // still snapped against the new bytes (a cut strictly before `at`
+    // compares only unchanged bytes, so the check is exact either way).
+    let mut keep_prefix = 0;
+    for slot in shards {
+        if slot.hi() <= at && cut_is_snapped(new_text, slot.hi()) {
+            keep_prefix += 1;
+        } else {
+            break;
+        }
     }
 
-    fn is_word_start(&self, pos: u32) -> bool {
-        self.starts.binary_search(&pos).is_ok()
+    // Suffix shards: entirely after the deleted range, shifted by the
+    // edit's length delta, with their (shifted) left cut still snapped.
+    let mut keep_suffix = 0;
+    for slot in shards.iter().rev().take(shards.len() - keep_prefix) {
+        let lo = slot.lo();
+        let shifted = lo as i64 + delta;
+        if lo >= at + delete && shifted >= 0 && cut_is_snapped(new_text, shifted as usize) {
+            keep_suffix += 1;
+        } else {
+            break;
+        }
     }
+
+    let mut mid_lo = shards[..keep_prefix].last().map_or(0, ShardSlot::hi);
+    let mut mid_hi = shards[shards.len() - keep_suffix..]
+        .first()
+        .map_or(new_text.len(), |slot| (slot.lo() as i64 + delta) as usize);
+
+    // Anti-fragmentation: a tiny dirty middle (e.g. a short append) is
+    // absorbed into a neighboring shard instead of becoming its own
+    // sliver, so repeated small edits cannot grow the shard count past
+    // O(len / SEGMENT_TARGET_BYTES). The absorbed neighbor is rebuilt,
+    // but the whole merged region still counts (and rebuilds) as one.
+    if mid_hi > mid_lo && mid_hi - mid_lo < tr_core::seg::SEGMENT_TARGET_BYTES / 2 {
+        if keep_prefix > 0 {
+            keep_prefix -= 1;
+            mid_lo = shards[..keep_prefix].last().map_or(0, ShardSlot::hi);
+        } else if keep_suffix > 0 {
+            keep_suffix -= 1;
+            mid_hi = shards[shards.len() - keep_suffix..]
+                .first()
+                .map_or(new_text.len(), |slot| (slot.lo() as i64 + delta) as usize);
+        }
+    }
+
+    let mut slots: Vec<ShardSlot> = Vec::with_capacity(shards.len() + 2);
+    for slot in &shards[..keep_prefix] {
+        slots.push(ShardSlot {
+            base: slot.base,
+            shard: Arc::clone(&slot.shard),
+        });
+    }
+    let mut reindexed = 0;
+    if mid_hi > mid_lo {
+        // Rebuild the dirty middle at the canonical per-segment scale so
+        // repeated edits keep shard sizes near the global heuristic. A
+        // middle at-or-below the target stays one shard — that is the
+        // "edit touching 1 of N re-indexes exactly 1" guarantee.
+        let mid_len = mid_hi - mid_lo;
+        let k = (mid_len / tr_core::seg::SEGMENT_TARGET_BYTES).max(1);
+        let mut cuts: Vec<usize> = tr_core::seg::segment_bounds(mid_len, k)
+            .iter()
+            .map(|&b| mid_lo + b as usize)
+            .collect();
+        for c in cuts.iter_mut().take(k).skip(1) {
+            *c = snap(new_text, *c).min(mid_hi);
+        }
+        cuts.dedup();
+        let mid = build_slots(new_text, &cuts);
+        reindexed = mid.len();
+        slots.extend(mid);
+    }
+    for slot in &shards[shards.len() - keep_suffix..] {
+        slots.push(ShardSlot {
+            base: (slot.lo() as i64 + delta) as u32,
+            shard: Arc::clone(&slot.shard),
+        });
+    }
+    let stats = ReindexStats {
+        segments_reindexed: reindexed,
+        segments_reused: keep_prefix + keep_suffix,
+    };
+    (slots, stats)
 }
 
 impl WordIndex for SuffixWordIndex {
@@ -217,8 +627,9 @@ impl WordIndex for SuffixWordIndex {
 impl std::fmt::Debug for SuffixWordIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SuffixWordIndex")
-            .field("text_len", &self.sa.text().len())
-            .field("cached_patterns", &self.read_cache().len())
+            .field("text_len", &self.text().len())
+            .field("shards", &self.shard_count())
+            .field("cached_patterns", &read_cache(&self.inner.cache).len())
             .finish()
     }
 }
@@ -313,5 +724,123 @@ mod tests {
         let w = SuffixWordIndex::new(&b"find the cat"[..]);
         assert_eq!(w.count("cat"), 1);
         assert!(w.matches(region(9, 11), "cat"));
+    }
+
+    /// Oracle: a spliced index must answer every pattern exactly like a
+    /// from-scratch index over the same final text.
+    fn assert_matches_fresh(spliced: &SuffixWordIndex, patterns: &[&str]) {
+        let fresh = SuffixWordIndex::new(spliced.text().to_vec());
+        assert_eq!(spliced.text(), fresh.text());
+        for pat in patterns {
+            assert_eq!(
+                &*spliced.occurrences(pat),
+                &*fresh.occurrences(pat),
+                "pattern {pat:?} on text {:?}",
+                String::from_utf8_lossy(spliced.text())
+            );
+        }
+    }
+
+    const PATTERNS: &[&str] = &[
+        "cat", "cat*", "the", "at", "at s", "a", "dog", "og t", "talo",
+    ];
+
+    #[test]
+    fn splice_append_matches_fresh_index() {
+        let w = idx();
+        let (w2, stats) = w.spliced(w.text().len(), 0, b" the cat");
+        assert_eq!(stats.segments_reused, 0, "first splice converts");
+        assert!(stats.segments_reindexed >= 1);
+        assert_matches_fresh(&w2, PATTERNS);
+        // Second append re-checks the incremental path.
+        let len = w2.text().len();
+        let (w3, _) = w2.spliced(len, 0, b" og the");
+        assert_matches_fresh(&w3, PATTERNS);
+    }
+
+    #[test]
+    fn splice_delete_and_replace_match_fresh_index() {
+        let w = idx();
+        // Delete "sat " (offset 8, 4 bytes).
+        let (w2, _) = w.spliced(8, 4, b"");
+        assert_matches_fresh(&w2, PATTERNS);
+        // Replace "cat" at 4 with "dogged".
+        let (w3, _) = w2.spliced(4, 3, b"dogged");
+        assert_matches_fresh(&w3, PATTERNS);
+        // Out-of-range clamps: splice far past the end appends.
+        let (w4, _) = w3.spliced(10_000, 50, b"!tail");
+        assert_matches_fresh(&w4, PATTERNS);
+    }
+
+    #[test]
+    fn spliced_suffix_array_is_consistent_for_persistence() {
+        let w = idx();
+        let (w2, _) = w.spliced(4, 3, b"dog");
+        let sa = w2.suffix_array();
+        assert!(sa.is_consistent());
+        assert_eq!(sa.text(), w2.text());
+    }
+
+    #[test]
+    fn random_splices_match_fresh_index() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xED17);
+        let alphabet = b"abc d";
+        for round in 0..30 {
+            let n = rng.gen_range(0..120);
+            let text: Vec<u8> = (0..n)
+                .map(|_| *alphabet.choose(&mut rng).unwrap())
+                .collect();
+            let mut w = SuffixWordIndex::new(text);
+            for edit in 0..6 {
+                let len = w.text().len();
+                let at = if len == 0 { 0 } else { rng.gen_range(0..=len) };
+                let delete = rng.gen_range(0..=(len - at).min(10));
+                let ins_n = rng.gen_range(0..8);
+                let insert: Vec<u8> = (0..ins_n)
+                    .map(|_| *alphabet.choose(&mut rng).unwrap())
+                    .collect();
+                let (next, _) = w.spliced(at, delete, &insert);
+                assert_matches_fresh(&next, &["a", "ab", "abc", "c d", "d", "b*", "ca"]);
+                w = next;
+                let _ = (round, edit);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_edit_reindexes_one_shard_of_many() {
+        // Big enough for several segments: 4 * 64KiB.
+        let word = b"word ";
+        let text: Vec<u8> = word
+            .iter()
+            .cycle()
+            .take(4 * tr_core::seg::SEGMENT_TARGET_BYTES)
+            .copied()
+            .collect();
+        let w = SuffixWordIndex::new(text);
+        // Edit #1 converts to sharded.
+        let (w2, s1) = w.spliced(10, 2, b"xy");
+        assert!(s1.segments_reindexed >= 4);
+        let shards = w2.shard_count();
+        assert!(shards >= 4, "expected several shards, got {shards}");
+        // Edit #2, mid-document, small: exactly one shard rebuilds.
+        let mid = w2.text().len() / 2;
+        let (w3, s2) = w2.spliced(mid, 3, b"zzz");
+        assert_eq!(
+            s2.segments_reindexed, 1,
+            "a local edit must rebuild exactly one of {shards} shards"
+        );
+        assert_eq!(s2.segments_reused, shards - 1);
+        assert_eq!(w3.shard_count(), shards);
+    }
+
+    #[test]
+    fn clone_shares_the_backing() {
+        let w = idx();
+        let c = w.clone();
+        let a = w.occurrences("cat");
+        let b = c.occurrences("cat");
+        assert!(Arc::ptr_eq(&a, &b), "clone shares the memo");
     }
 }

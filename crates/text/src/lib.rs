@@ -23,7 +23,7 @@ pub mod pattern;
 pub mod suffix;
 pub mod tokenize;
 
-pub use index::{Occurrence, SuffixWordIndex};
+pub use index::{Occurrence, ReindexStats, SuffixWordIndex};
 pub use pattern::Pattern;
 pub use suffix::SuffixArray;
 pub use tokenize::{is_word_byte, tokens, word_starts, Token};

@@ -1,0 +1,446 @@
+//! End-to-end tests for the live-document subsystem: `mutate` swapping
+//! engine generations under a real server, `watch` standing queries
+//! streaming diffs, slow-consumer shedding, and drain-on-shutdown.
+//!
+//! The oracle throughout is the server itself *from scratch*: a watch
+//! diff stream replayed onto the baseline result must land byte-for-byte
+//! on what a fresh `query` against the current generation returns. No
+//! test trusts the incremental path to check the incremental path.
+//!
+//! Counters (`mutate.*`, `watch.*`) live in the process-global `tr_obs`
+//! registry, so every test serializes on [`lock`] and reads deltas. The
+//! lock helper also pins `TR_SERVE_TEST_WATCH_STALL_MS` for the whole
+//! process (the env var is read once), slowing the watch notifier enough
+//! that the shed test can overflow a bounded watcher queue.
+
+use rand::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+use tr_obs::Json;
+use tr_query::Engine;
+use tr_serve::{Catalog, Client, Server, ServerConfig};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| {
+        // Before any server exists: every watch event send in this test
+        // binary stalls 25ms, making the notifier reliably slower than a
+        // burst of mutations (the shed test depends on it; the others
+        // just read a handful of events and barely notice).
+        std::env::set_var("TR_SERVE_TEST_WATCH_STALL_MS", "25");
+        Mutex::new(())
+    });
+    lock.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// An SGML document of `secs` sections, each `words_per_sec` filler
+/// words, with no occurrence of the probe word "needle".
+fn corpus(secs: usize, words_per_sec: usize) -> String {
+    const FILLER: [&str; 8] = [
+        "alpha", "beta", "gamma", "delta", "text", "region", "algebra", "query",
+    ];
+    let mut doc = String::from("<doc>");
+    for s in 0..secs {
+        doc.push_str("<sec>");
+        for w in 0..words_per_sec {
+            doc.push_str(FILLER[(s * 31 + w * 7) % FILLER.len()]);
+            doc.push(' ');
+        }
+        doc.push_str("</sec>");
+    }
+    doc.push_str("</doc>");
+    doc
+}
+
+fn boot(sgml: &str, cfg: ServerConfig) -> Server {
+    let mut catalog = Catalog::new();
+    catalog.insert("live", Engine::from_sgml(sgml).unwrap());
+    Server::start(catalog, "127.0.0.1:0", cfg).unwrap()
+}
+
+/// Extracts an `[[l, r], …]` field as an ordered set of pairs.
+fn region_pairs(j: &Json, field: &str) -> BTreeSet<(u64, u64)> {
+    j.get(field)
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|pair| {
+                    let p = pair.as_arr()?;
+                    Some((p.first()?.as_u64()?, p.get(1)?.as_u64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn splice(at: u64, delete: u64, insert: &str) -> Json {
+    Json::obj()
+        .with("kind", Json::from("splice"))
+        .with("at", Json::from(at))
+        .with("delete", Json::from(delete))
+        .with("insert", Json::from(insert))
+}
+
+/// Reads events (≤ `timeout` of quiet) and applies `watch` diffs for
+/// `watch_id` onto `state`; returns lagged-frame drop counts seen.
+fn drain_events(
+    client: &mut Client,
+    watch_id: u64,
+    state: &mut BTreeSet<(u64, u64)>,
+    timeout: Duration,
+) -> Vec<u64> {
+    let mut lags = Vec::new();
+    client.set_read_timeout(Some(timeout)).unwrap();
+    // An Err means the socket stayed quiet for a full timeout window —
+    // the stream is drained for now.
+    while let Ok(ev) = client.next_event() {
+        assert_eq!(
+            ev.get("doc").and_then(Json::as_str),
+            Some("live"),
+            "event names its document"
+        );
+        if ev.get("watch").and_then(Json::as_u64) != Some(watch_id) {
+            continue;
+        }
+        match ev.get("ev").and_then(Json::as_str) {
+            Some("watch") => {
+                for r in region_pairs(&ev, "removed") {
+                    state.remove(&r);
+                }
+                for r in region_pairs(&ev, "added") {
+                    state.insert(r);
+                }
+            }
+            Some("watch-lagged") => {
+                lags.push(ev.get("dropped").and_then(Json::as_u64).unwrap_or(0));
+            }
+            other => panic!("unexpected event kind {other:?}"),
+        }
+    }
+    client.set_read_timeout(None).unwrap();
+    lags
+}
+
+/// The tentpole property: under random edit batches — splices inside
+/// sections, deletes straddling the 64KiB segment boundary, appends —
+/// the diff stream replayed onto the watcher's baseline is byte-identical
+/// to a from-scratch re-run at every generation.
+#[test]
+fn watch_diff_replay_matches_from_scratch_under_random_edits() {
+    let _guard = lock();
+    // ~12 sections x ~12KB ≈ 150KB of text: three 64KiB segments, so
+    // random positions routinely land in (and deletes straddle) interior
+    // segment boundaries.
+    let server = boot(&corpus(12, 2000), ServerConfig::default());
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).unwrap();
+    let mut mutator = Client::connect(addr).unwrap();
+
+    const Q: &str = r#"sec matching "needle""#;
+    let reply = watcher.watch("live", Q).unwrap();
+    let watch_id = reply.get("watch").and_then(Json::as_u64).unwrap();
+    assert_eq!(reply.get("generation").and_then(Json::as_u64), Some(0));
+    let mut replay = region_pairs(&reply, "regions");
+    assert!(replay.is_empty(), "no needles in the seed corpus");
+
+    let mut rng = StdRng::seed_from_u64(0x11FE_2026);
+    for round in 0..8 {
+        // Current section spans, fresh each round (earlier rounds moved
+        // them); splice positions are drawn inside these.
+        let secs: Vec<(u64, u64)> = region_pairs(&mutator.query("live", "sec").unwrap(), "regions")
+            .into_iter()
+            .collect();
+        let mut edits = Vec::new();
+        for _ in 0..rng.gen_range(1..=3) {
+            let (l, r) = secs[rng.gen_range(0..secs.len())];
+            let at = rng.gen_range(l + 1..r);
+            if rng.gen_bool(0.6) {
+                edits.push(splice(at, 0, " needle "));
+            } else {
+                // Delete up to 64 bytes (clipped to the section) — may
+                // swallow earlier needles, shrink the section, or cross
+                // a segment boundary.
+                edits.push(splice(at, (r - at).min(rng.gen_range(1..64)), ""));
+            }
+        }
+        if rng.gen_bool(0.3) {
+            edits.push(
+                Json::obj()
+                    .with("kind", Json::from("append"))
+                    .with("text", Json::from(" trailing filler ")),
+            );
+        }
+        let reply = mutator.mutate("live", Json::Arr(edits)).unwrap();
+        assert_eq!(
+            reply.get("generation").and_then(Json::as_u64),
+            Some(round + 1),
+            "generations count mutation batches"
+        );
+
+        // Replay the diff stream until it converges on the from-scratch
+        // answer for this generation (the notifier is async — give it a
+        // bounded window, not an assumption).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let fresh = region_pairs(&watcher.query("live", Q).unwrap(), "regions");
+            if fresh == replay {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "round {round}: replay {replay:?} never converged on {fresh:?}"
+            );
+            let lags = drain_events(
+                &mut watcher,
+                watch_id,
+                &mut replay,
+                Duration::from_millis(300),
+            );
+            assert!(
+                lags.is_empty(),
+                "default queue capacity must not shed this gentle load"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+/// The incrementality proof, end to end: once the index is sharded, a
+/// one-segment edit re-indexes exactly one of N segments — visible both
+/// in the `mutate` reply and in the `mutate.segments_reindexed` counter.
+#[test]
+fn mutation_reindexes_only_the_touched_segment() {
+    let _guard = lock();
+    // ~160KB of text → 3 segments.
+    let server = boot(&corpus(8, 3600), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // First splice: the freshly loaded index is one whole-document
+    // shard, so this pays the full sharding conversion (everything
+    // re-indexed). That cost is once per document, not per edit.
+    let r1 = client
+        .mutate("live", Json::Arr(vec![splice(40, 0, " first ")]))
+        .unwrap();
+    let reindexed_1 = r1.get("segments_reindexed").and_then(Json::as_u64).unwrap();
+    assert!(reindexed_1 >= 2, "conversion touches every shard");
+
+    // Second splice, near the start: exactly one of the shards may be
+    // re-indexed; the rest are reused verbatim.
+    let before = tr_obs::counter_value("mutate.segments_reindexed");
+    let r2 = client
+        .mutate("live", Json::Arr(vec![splice(60, 5, " second ")]))
+        .unwrap();
+    assert_eq!(
+        r2.get("segments_reindexed").and_then(Json::as_u64),
+        Some(1),
+        "an edit inside one segment re-indexes exactly that segment"
+    );
+    assert!(r2.get("segments_reused").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(
+        tr_obs::counter_value("mutate.segments_reindexed") - before,
+        1,
+        "the counter agrees with the reply"
+    );
+
+    // The mutated document still answers queries correctly.
+    let hits = client
+        .query("live", r#"sec matching "second""#)
+        .unwrap()
+        .get("hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(hits, 1);
+    server.shutdown();
+}
+
+/// A watcher that reads slower than the document mutates is shed: its
+/// backlog collapses into one `watch-lagged` frame with a drop count,
+/// and diffs delivered after a resync are correct again.
+#[test]
+fn slow_watcher_is_shed_and_recovers_after_resync() {
+    let _guard = lock();
+    let cfg = ServerConfig {
+        watch_queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let server = boot(&corpus(12, 40), cfg);
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).unwrap();
+    let mut mutator = Client::connect(addr).unwrap();
+
+    const Q: &str = r#"sec matching "needle""#;
+    let reply = watcher.watch("live", Q).unwrap();
+    let watch_id = reply.get("watch").and_then(Json::as_u64).unwrap();
+    let lagged_before = tr_obs::counter_value("watch.lagged");
+    let dropped_before = tr_obs::counter_value("watch.dropped_events");
+
+    // Burst: plant a needle in each section, highest position first so
+    // earlier splices never shift later targets. Each mutation changes
+    // the result (one event apiece) and the 25ms-per-send notifier
+    // stall guarantees the 2-frame watcher queue overflows.
+    let mut secs: Vec<(u64, u64)> = region_pairs(&mutator.query("live", "sec").unwrap(), "regions")
+        .into_iter()
+        .collect();
+    secs.sort_by_key(|&(l, _)| std::cmp::Reverse(l));
+    for &(l, _) in &secs {
+        mutator
+            .mutate("live", Json::Arr(vec![splice(l + 1, 0, " needle ")]))
+            .unwrap();
+    }
+
+    // Drain everything that survives; the shed must be visible.
+    let mut replay = BTreeSet::new();
+    let lags = drain_events(
+        &mut watcher,
+        watch_id,
+        &mut replay,
+        Duration::from_millis(400),
+    );
+    assert!(
+        !lags.is_empty(),
+        "a 12-event burst into a 2-slot queue must lag"
+    );
+    assert!(
+        lags.iter().all(|&d| d >= 1),
+        "lagged frames carry drop counts"
+    );
+    assert!(tr_obs::counter_value("watch.lagged") > lagged_before);
+    assert!(tr_obs::counter_value("watch.dropped_events") > dropped_before);
+
+    // Resync exactly as a client is told to: re-run the query, then keep
+    // applying diffs. The next mutation's diff must replay correctly.
+    let mut replay = region_pairs(&watcher.query("live", Q).unwrap(), "regions");
+    let (l, _) = *secs.last().unwrap();
+    mutator
+        .mutate("live", Json::Arr(vec![splice(l + 1, 0, " needle needle ")]))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let fresh = region_pairs(&watcher.query("live", Q).unwrap(), "regions");
+        if fresh == replay {
+            break;
+        }
+        assert!(Instant::now() < deadline, "post-shed diff never converged");
+        drain_events(
+            &mut watcher,
+            watch_id,
+            &mut replay,
+            Duration::from_millis(300),
+        );
+    }
+    server.shutdown();
+}
+
+/// Graceful shutdown drains the notifier and unregisters every watcher;
+/// a dropped connection unregisters its own watches while the server
+/// keeps running.
+#[test]
+fn shutdown_and_disconnect_unregister_watchers() {
+    let _guard = lock();
+    let server = boot(&corpus(4, 40), ServerConfig::default());
+    let addr = server.local_addr();
+
+    // A connection that goes away takes its watches with it.
+    let registered_before = tr_obs::counter_value("watch.registered");
+    let unregistered_before = tr_obs::counter_value("watch.unregistered");
+    {
+        let mut ghost = Client::connect(addr).unwrap();
+        ghost.watch("live", "sec").unwrap();
+    } // dropped: the conn thread notices EOF within one read tick
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while tr_obs::counter_value("watch.unregistered") == unregistered_before {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never unregistered the watch"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Live watchers at shutdown: the drain unregisters the rest.
+    let mut client = Client::connect(addr).unwrap();
+    client.watch("live", "sec").unwrap();
+    client.watch("live", r#"sec matching "alpha""#).unwrap();
+    let secs = region_pairs(&client.query("live", "sec").unwrap(), "regions");
+    let (l, _) = *secs.iter().next().unwrap();
+    client
+        .mutate("live", Json::Arr(vec![splice(l + 1, 0, " alpha ")]))
+        .unwrap();
+    server.shutdown(); // must not hang on the queued events
+    assert_eq!(
+        tr_obs::counter_value("watch.registered") - registered_before,
+        tr_obs::counter_value("watch.unregistered") - unregistered_before,
+        "every watch registered in this test was unregistered"
+    );
+}
+
+/// `unwatch` stops the stream (and only the owning connection can do
+/// it); unknown ids are a structured error.
+#[test]
+fn unwatch_stops_events_and_checks_ownership() {
+    let _guard = lock();
+    let server = boot(&corpus(4, 40), ServerConfig::default());
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).unwrap();
+    let mut other = Client::connect(addr).unwrap();
+
+    let reply = watcher.watch("live", r#"sec matching "needle""#).unwrap();
+    let watch_id = reply.get("watch").and_then(Json::as_u64).unwrap();
+
+    // Another connection cannot cancel it…
+    let err = other.unwatch(watch_id).unwrap_err();
+    assert_eq!(err.code(), Some("unknown_watch"));
+    // …the owner can.
+    watcher.unwatch(watch_id).unwrap();
+    let err = watcher.unwatch(watch_id).unwrap_err();
+    assert_eq!(err.code(), Some("unknown_watch"));
+
+    // A result-changing mutation after unwatch produces no event.
+    let secs = region_pairs(&other.query("live", "sec").unwrap(), "regions");
+    let (l, _) = *secs.iter().next().unwrap();
+    other
+        .mutate("live", Json::Arr(vec![splice(l + 1, 0, " needle ")]))
+        .unwrap();
+    watcher
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    assert!(
+        watcher.next_event().is_err(),
+        "no events may arrive after unwatch"
+    );
+    server.shutdown();
+}
+
+/// Session views observe mutations: a `define-view` query re-resolves
+/// against the newest generation on every use (satellite regression for
+/// the catalog swap — a stale cached engine would freeze the view).
+#[test]
+fn session_views_resolve_against_the_new_generation() {
+    let _guard = lock();
+    let server = boot(&corpus(6, 40), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client
+        .define_view("live", "hot", r#"sec matching "needle""#)
+        .unwrap();
+    let hits0 = client
+        .query("live", "hot")
+        .unwrap()
+        .get("hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(hits0, 0);
+
+    let secs = region_pairs(&client.query("live", "sec").unwrap(), "regions");
+    let (l, _) = *secs.iter().next().unwrap();
+    let reply = client
+        .mutate("live", Json::Arr(vec![splice(l + 1, 0, " needle ")]))
+        .unwrap();
+    assert_eq!(reply.get("generation").and_then(Json::as_u64), Some(1));
+
+    // Same session, same view, new generation.
+    let reply = client.query("live", "hot").unwrap();
+    assert_eq!(reply.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("generation").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+}
