@@ -11,6 +11,8 @@
 //! report --check BENCH_BASELINE.json --handicap 1.35   # simulate one
 //! report --check BENCH_BASELINE.json --inflate-counter exec.nodes
 //!                                              # simulate a work regression
+//! report --plan-gate                           # cost-based vs structural
+//!                                              # lowering, same-run ratio
 //! report --stats-json                          # suite results as JSON
 //! ```
 //!
@@ -127,6 +129,41 @@ fn run_gate_mode(args: &mut Vec<String>) -> Option<i32> {
     let emit = take_valued(args, "--emit-baseline");
     let check = take_valued(args, "--check");
     let stats_json = take_switch(args, "--stats-json");
+    let plan_gate = take_switch(args, "--plan-gate");
+    if plan_gate {
+        // The plan-quality leg alone: no baseline file — the verdict is
+        // the same-run ratio, so the leg is machine-independent and fast
+        // enough to run on every push.
+        eprintln!("running plan-quality gate (cost-based vs structural lowering)...");
+        let suite = gate::run_plan_quality();
+        let (Some(structural), Some(costbased)) = (
+            suite.get("plan_structural_cold"),
+            suite.get("plan_costbased_cold"),
+        ) else {
+            eprintln!("plan gate: suite incomplete");
+            return Some(2);
+        };
+        let ratio = costbased.secs / structural.secs;
+        let rewrites = costbased
+            .counters
+            .iter()
+            .find(|(n, _)| n == "plan.rewrites_applied")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        eprintln!(
+            "  structural {:>10.3} µs   cost-based {:>10.3} µs   ratio {ratio:.3} \
+             (max {:.2})   rewrites/batch {rewrites}",
+            structural.secs * 1e6,
+            costbased.secs * 1e6,
+            gate::MAX_PLAN_SLOWDOWN,
+        );
+        if ratio > gate::MAX_PLAN_SLOWDOWN {
+            eprintln!("plan gate: FAIL — cost-based lowering is {ratio:.2}x structural");
+            return Some(1);
+        }
+        eprintln!("plan gate: PASS");
+        return Some(0);
+    }
     if emit.is_none() && check.is_none() && !stats_json {
         return None;
     }

@@ -38,13 +38,29 @@ pub const DEFAULT_TOLERANCE: f64 = 0.20;
 /// [`MIN_MMAP_SPEEDUP`] ratio rule, and the `exec.kernel_simd` /
 /// `exec.kernel_scalar_tail` / `store.mmap_opens` /
 /// `store.decode_fallbacks` counters.
-pub const SUITE_VERSION: u64 = 4;
+/// v5: cost-based planner — adds a fusable query to [`GATE_QUERIES`],
+/// the `plan_structural_cold` / `plan_costbased_cold` benches with the
+/// [`MAX_PLAN_SLOWDOWN`] ratio rule, and the `plan.rewrites_applied`
+/// counter.
+pub const SUITE_VERSION: u64 = 5;
 
 /// The mapped-open promise as a *ratio*, immune to machine speed: a v3
 /// mapped cold open (`store_open_cold_1m`) must be at least this many
 /// times faster than the v2 streaming decode of the same document
 /// (`store_open_decode_1m`), measured in the same run.
 pub const MIN_MMAP_SPEEDUP: f64 = 5.0;
+
+/// The plan-quality promise, also a same-run ratio: the cost-based
+/// planner (`plan_costbased_cold`) may cost at most this factor of
+/// structural lowering (`plan_structural_cold`) on the tracked suite —
+/// i.e. rewrite search and segmentation choice must pay for themselves,
+/// never plan a tracked query materially slower than the old fixed
+/// heuristics. Planning itself is memoized per expression, so the
+/// steady-state overhead is a memo lookup; the headroom absorbs timer
+/// noise between two sub-millisecond loops, not regressions — a planner
+/// gone wrong (the failure this rule exists for) is integer factors
+/// slower, not 25%.
+pub const MAX_PLAN_SLOWDOWN: f64 = 1.25;
 
 /// One measured hot-path bench.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,7 +154,8 @@ impl Suite {
 /// Counters whose deltas are recorded per bench: deterministic under a
 /// fixed [`ExecConfig`], machine-independent, and each guarding a real
 /// optimization (plan sharing, the result cache, pattern memoization).
-const TRACKED_COUNTERS: [&str; 15] = [
+const TRACKED_COUNTERS: [&str; 16] = [
+    "plan.rewrites_applied",
     "engine.queries",
     "engine.cache.hits",
     "engine.cache.misses",
@@ -228,13 +245,17 @@ fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchResult {
 /// The mixed query batch the engine benches run (heavy sub-expression
 /// sharing; all names from the Figure 1 schema, `"x"` from the generator's
 /// variable vocabulary).
-pub const GATE_QUERIES: [&str; 6] = [
+pub const GATE_QUERIES: [&str; 7] = [
     "Name within Proc_header within Proc within Program",
     r#"Var matching "x""#,
     r#"Proc containing (Var matching "x")"#,
     "Proc_header within Proc",
     r#"(Proc containing (Var matching "x")) intersect (Proc_header within Proc)"#,
     "Var within Proc_body",
+    // Fusable under the synthesized rule set: two `containing` filters
+    // over the same base collapse to one pass, so this query is where
+    // the cost-based planner visibly earns its keep.
+    r#"(Proc containing (Var matching "x")) intersect (Proc containing Proc_header)"#,
 ];
 
 /// Runs the hot-path suite. `handicap` multiplies every measured time
@@ -291,6 +312,12 @@ pub fn run_suite(handicap: f64) -> Suite {
     benches.push(bench("cache_hit_hot", 200, || {
         cached.query(GATE_QUERIES[0]).expect("gate query runs")
     }));
+
+    // Plan quality: the same cold batch under structural lowering vs the
+    // cost-based planner, in one run. `check` holds the pair to the
+    // MAX_PLAN_SLOWDOWN ratio — the planner must never make a tracked
+    // query slower than the fixed heuristics it replaced.
+    benches.extend(plan_quality_benches(&text));
 
     // Segmented execution: corpus construction plus a cold batch on an
     // 8-segment engine. `corpus.segments` and `exec.segment_waves` are
@@ -356,6 +383,58 @@ pub fn run_suite(handicap: f64) -> Suite {
         }
     }
     Suite { benches }
+}
+
+/// The two plan-quality benches: an identical cold batch lowered
+/// structurally and through the cost-based planner. Before timing, the
+/// results are asserted byte-identical — the ratio rule compares speed
+/// only because correctness is pinned here (and by the oracle proptests).
+fn plan_quality_benches(text: &str) -> Vec<BenchResult> {
+    let mk = |mode: tr_core::PlannerMode| {
+        Engine::from_source(text)
+            .expect("generated programs parse")
+            .with_exec_config(ExecConfig {
+                threads: 2,
+                kernel_cutoff: tr_core::par::DEFAULT_CUTOFF,
+            })
+            .with_planner_mode(mode)
+    };
+    let structural = mk(tr_core::PlannerMode::Structural);
+    let costbased = mk(tr_core::PlannerMode::CostBased);
+    let rewrites0 = tr_obs::counter_value("plan.rewrites_applied");
+    let a = structural.query_batch(&GATE_QUERIES).expect("gate queries");
+    let b = costbased.query_batch(&GATE_QUERIES).expect("gate queries");
+    assert_eq!(a, b, "planner modes must agree byte-for-byte");
+    // Planning is memoized per distinct expression, so the rewrite count
+    // is a first-batch (cold-plan) delta — deterministic in the rule set
+    // and the workload, recorded on the cost-based bench by hand.
+    let rewrites = tr_obs::counter_value("plan.rewrites_applied") - rewrites0;
+    let mut out = vec![
+        bench("plan_structural_cold", 20, || {
+            structural.clear_result_cache();
+            structural.query_batch(&GATE_QUERIES).expect("gate queries")
+        }),
+        bench("plan_costbased_cold", 20, || {
+            costbased.clear_result_cache();
+            costbased.query_batch(&GATE_QUERIES).expect("gate queries")
+        }),
+    ];
+    let cb = &mut out[1];
+    cb.counters.retain(|(n, _)| n != "plan.rewrites_applied");
+    cb.counters
+        .push(("plan.rewrites_applied".to_owned(), rewrites));
+    cb.counters.sort();
+    out
+}
+
+/// Runs only the plan-quality pair (the `report --plan-gate` leg): much
+/// faster than the full suite, no baseline needed — the verdict is the
+/// same-run [`MAX_PLAN_SLOWDOWN`] ratio that `check` also enforces.
+pub fn run_plan_quality() -> Suite {
+    let (text, _) = program_workload(2_000, 42);
+    Suite {
+        benches: plan_quality_benches(&text),
+    }
 }
 
 /// One gate violation.
@@ -447,6 +526,22 @@ pub fn check(current: &Suite, baseline: &Suite, tolerance: f64) -> Vec<Regressio
                 what: format!("mmap speedup below {MIN_MMAP_SPEEDUP}x"),
                 baseline: MIN_MMAP_SPEEDUP,
                 current: decode.secs / cold.secs,
+            });
+        }
+    }
+    // The plan-quality ratio rule (v5), same-run for the same reason:
+    // the cost-based planner must not lower the tracked batch slower
+    // than structural lowering does, whatever the machine.
+    if let (Some(structural), Some(costbased)) = (
+        current.get("plan_structural_cold"),
+        current.get("plan_costbased_cold"),
+    ) {
+        if structural.secs > 0.0 && costbased.secs / structural.secs > MAX_PLAN_SLOWDOWN {
+            out.push(Regression {
+                bench: "plan_costbased_cold".into(),
+                what: format!("cost-based plans slower than structural x{MAX_PLAN_SLOWDOWN}"),
+                baseline: MAX_PLAN_SLOWDOWN,
+                current: costbased.secs / structural.secs,
             });
         }
     }
@@ -549,6 +644,25 @@ mod tests {
         let regs = check(&bad, &bad, DEFAULT_TOLERANCE);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].what.contains("speedup"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn plan_slowdown_ratio_is_enforced() {
+        // Cost-based marginally faster: fine.
+        let ok = suite(&[
+            ("plan_structural_cold", 1e-2, &[]),
+            ("plan_costbased_cold", 9e-3, &[]),
+        ]);
+        assert!(check(&ok, &ok, DEFAULT_TOLERANCE).is_empty());
+        // Cost-based 50% slower than structural in the same run: the
+        // ratio rule fires even though every time matches its baseline.
+        let bad = suite(&[
+            ("plan_structural_cold", 1e-2, &[]),
+            ("plan_costbased_cold", 1.5e-2, &[]),
+        ]);
+        let regs = check(&bad, &bad, DEFAULT_TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].what.contains("cost-based"), "{}", regs[0]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: trq serve <corpus-dir> [--addr HOST:PORT] [--workers N] \
          [--queue N] [--max-conns N] [--deadline-ms N] [--max-frame-bytes N] \
-         [--watch-queue N]\n\
+         [--watch-queue N] [--watch-coalesce-ms N]\n\
          serves every .trx/.sgml/.xml/.src/.txt file in <corpus-dir>; \
          EOF or \"quit\" on stdin shuts down gracefully"
     );
@@ -43,6 +43,9 @@ pub fn run(args: &[String]) -> ExitCode {
             "--deadline-ms" => cfg.deadline = Duration::from_millis(num("--deadline-ms") as u64),
             "--max-frame-bytes" => cfg.max_frame_bytes = num("--max-frame-bytes").max(64),
             "--watch-queue" => cfg.watch_queue_capacity = num("--watch-queue").max(2),
+            "--watch-coalesce-ms" => {
+                cfg.watch_coalesce = Duration::from_millis(num("--watch-coalesce-ms") as u64)
+            }
             "--help" | "-h" => usage(),
             _ if dir.is_none() => dir = Some(arg),
             other => {

@@ -1,0 +1,670 @@
+//! The cost-based planner: cardinality statistics, a cost model over
+//! lowered [`Plan`] DAGs, rewrite search over the verified rule set, and
+//! per-node segmentation choice.
+//!
+//! Pipeline position: the engine lowers `parse → RIG-intercept →`
+//! **`cost::optimize`** `→ Plan → exec`. [`optimize`] canonicalizes
+//! commutative operands (cheaper side first) and then greedily applies
+//! rules from [`crate::rules::verified_rules`] — in either direction, at
+//! any position — as long as the model predicts a strictly cheaper plan.
+//! Because every rule shipped through the oracle-verification protocol,
+//! a bad estimate can only cost time, never correctness; the adversarial
+//! "stats lie" test in `tests/` pins that down.
+//!
+//! Costs are coarse by design: nanosecond-scale per-element coefficients
+//! for merge/sweep/select kernels, a per-node overhead, and a per-segment
+//! overhead for the segmented kernels. The model only has to *rank*
+//! candidate plans (and decide when segmentation pays), not predict wall
+//! time — the `plan_quality` gate bench holds it to "never slower than
+//! structural lowering" on the tracked suite.
+
+use crate::expr::{BinOp, Expr};
+use crate::instance::Instance;
+use crate::plan::{NodeId, Plan, PlanOp};
+use crate::rules::{self, Rule};
+use crate::schema::NameId;
+use crate::seg::{self, Corpus};
+use crate::word::WordIndex;
+use std::sync::{Arc, OnceLock};
+
+/// `plan.*` counter handles for the planner.
+struct CostMetrics {
+    /// `plan.rewrites_applied`: rule applications accepted by the search.
+    rewrites_applied: Arc<tr_obs::Counter>,
+    /// `plan.cost_estimated_ns`: summed model cost of chosen plans.
+    cost_estimated_ns: Arc<tr_obs::Counter>,
+}
+
+impl CostMetrics {
+    fn get() -> &'static CostMetrics {
+        static METRICS: OnceLock<CostMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| CostMetrics {
+            rewrites_applied: tr_obs::counter("plan.rewrites_applied"),
+            cost_estimated_ns: tr_obs::counter("plan.cost_estimated_ns"),
+        })
+    }
+}
+
+/// How the engine turns expressions into plans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Lower the expression as written (the historical behavior).
+    Structural,
+    /// Rewrite via [`optimize`] and choose per-node segmentation before
+    /// lowering. The default.
+    #[default]
+    CostBased,
+}
+
+/// Per-name per-segment cardinalities — the planner's view of the data.
+///
+/// Derived from the store `Manifest` (whose per-segment counts exist for
+/// exactly this purpose) when a document is opened from disk, or
+/// recomputed from the instance via [`Stats::from_instance`] on builds
+/// and after live mutation.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// `per_name[name][segment]` = number of regions of that name whose
+    /// left endpoint falls in that segment.
+    per_name: Vec<Vec<u64>>,
+    /// Document length in bytes (drives nothing yet beyond reporting).
+    text_bytes: u64,
+    /// Assumed fraction of regions surviving a `σ_p` selection when no
+    /// better information exists.
+    select_selectivity: f64,
+}
+
+impl Stats {
+    /// Builds statistics from manifest-shaped counts: one row per name,
+    /// one column per segment.
+    pub fn from_counts(per_name: Vec<Vec<u64>>, text_bytes: u64) -> Stats {
+        Stats {
+            per_name,
+            text_bytes,
+            select_selectivity: DEFAULT_SELECT_SELECTIVITY,
+        }
+    }
+
+    /// Recomputes statistics from a live instance, splitting each name's
+    /// regions at the corpus segment boundaries (same definition as the
+    /// stored manifest, so both sources agree on identical data).
+    pub fn from_instance<W: WordIndex>(inst: &Instance<W>, corpus: &Corpus) -> Stats {
+        let bounds = corpus.bounds();
+        let per_name = (0..inst.schema().len())
+            .map(|i| {
+                let set = inst.regions_of(NameId::from_index(i));
+                let ps = seg::split_points(set, bounds);
+                ps.windows(2).map(|w| (w[1] - w[0]) as u64).collect()
+            })
+            .collect();
+        Stats {
+            per_name,
+            text_bytes: bounds.last().copied().unwrap_or(0) as u64,
+            select_selectivity: DEFAULT_SELECT_SELECTIVITY,
+        }
+    }
+
+    /// Total cardinality of a name (0 for names the stats never saw).
+    pub fn name_card(&self, id: NameId) -> u64 {
+        self.per_name
+            .get(id.index())
+            .map(|segs| segs.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of segments the statistics are split into (1 if empty).
+    pub fn num_segments(&self) -> usize {
+        self.per_name.first().map_or(1, |s| s.len().max(1))
+    }
+
+    /// Document length in bytes.
+    pub fn text_bytes(&self) -> u64 {
+        self.text_bytes
+    }
+
+    /// Overrides the assumed selection selectivity (tests, tuning).
+    pub fn with_select_selectivity(mut self, s: f64) -> Stats {
+        self.select_selectivity = s.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Default assumed fraction of regions surviving a `σ_p` selection.
+const DEFAULT_SELECT_SELECTIVITY: f64 = 0.1;
+
+/// Per-element nanosecond coefficients for the operator kernels.
+///
+/// Calibrated coarsely against the gate bench's 200k-element kernel
+/// timings; only relative magnitudes matter for plan ranking.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Per input element of a sorted merge (∪ ∩ −).
+    pub merge_ns: f64,
+    /// Per input element of a structural sweep (⊃ ⊂ < >), covering both
+    /// the probe side and the monotone window advance.
+    pub sweep_ns: f64,
+    /// Per input element of a `σ_p` word-index probe.
+    pub select_ns: f64,
+    /// Fixed overhead per plan node (scheduling, allocation).
+    pub node_ns: f64,
+    /// Fixed overhead per segment when a node runs the segmented kernels
+    /// (split-point search, per-segment dispatch, ordered merge).
+    pub segment_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            merge_ns: 2.0,
+            sweep_ns: 4.0,
+            select_ns: 30.0,
+            node_ns: 400.0,
+            segment_ns: 900.0,
+        }
+    }
+}
+
+/// The model's verdict on one lowered plan.
+#[derive(Clone, Debug, Default)]
+pub struct PlanEstimate {
+    /// Estimated output cardinality per node.
+    pub cards: Vec<f64>,
+    /// Estimated serial evaluation cost per node, in nanoseconds.
+    pub node_ns: Vec<f64>,
+    /// Sum of `node_ns` — the plan's total estimated cost.
+    pub total_ns: f64,
+}
+
+impl PlanEstimate {
+    /// Estimated cardinality of node `id`, rounded for reporting.
+    pub fn card(&self, id: NodeId) -> u64 {
+        self.cards.get(id).map_or(0, |&c| c.round() as u64)
+    }
+}
+
+/// Estimates output cardinalities and evaluation cost for every node of
+/// `plan`. Hash-consing has already collapsed shared sub-expressions, so
+/// summing per-node costs naturally credits reuse: a sub-expression two
+/// queries share is paid for once.
+pub fn estimate(plan: &Plan, stats: &Stats, model: &CostModel) -> PlanEstimate {
+    let n = plan.len();
+    let mut cards = vec![0.0f64; n];
+    let mut node_ns = vec![0.0f64; n];
+    for id in 0..n {
+        let (card, ns) = match plan.op(id) {
+            PlanOp::Name(name) => (stats.name_card(*name) as f64, model.node_ns),
+            PlanOp::Select(_, c) => {
+                let child = cards[*c];
+                (
+                    child * stats.select_selectivity,
+                    model.node_ns + model.select_ns * child,
+                )
+            }
+            PlanOp::Bin(op, l, r) => {
+                let (lc, rc) = (cards[*l], cards[*r]);
+                // Hash-consing makes identical sub-expressions share a
+                // node id, so `l == r` is a *proof* the operands are
+                // equal — the set-algebra identities then give exact
+                // cardinalities. Without this the independence-style
+                // guesses below would rate `A ∩ A` smaller than `A`,
+                // and the rewrite search would chase that phantom win
+                // through reverse idempotence.
+                let card = if l == r {
+                    match op {
+                        BinOp::Union | BinOp::Intersect => lc,
+                        BinOp::Diff => 0.0,
+                        // Strict inclusion/ordering is irreflexive, but
+                        // distinct regions of one set can still nest or
+                        // precede each other; keep the subset guess.
+                        BinOp::Including | BinOp::IncludedIn | BinOp::Before | BinOp::After => {
+                            0.5 * lc
+                        }
+                    }
+                } else {
+                    match op {
+                        BinOp::Union => lc + rc,
+                        BinOp::Intersect => 0.5 * lc.min(rc),
+                        BinOp::Diff => 0.75 * lc,
+                        // Structural filters return a subset of the left
+                        // operand; assume half survives.
+                        BinOp::Including | BinOp::IncludedIn | BinOp::Before | BinOp::After => {
+                            0.5 * lc
+                        }
+                    }
+                };
+                let per_elem = match op {
+                    BinOp::Union | BinOp::Intersect | BinOp::Diff => model.merge_ns,
+                    _ => model.sweep_ns,
+                };
+                (card, model.node_ns + per_elem * (lc + rc))
+            }
+        };
+        cards[id] = card;
+        node_ns[id] = ns;
+    }
+    let total_ns = node_ns.iter().sum();
+    PlanEstimate {
+        cards,
+        node_ns,
+        total_ns,
+    }
+}
+
+/// Lowers `e` into a fresh plan and returns its total estimated cost —
+/// the comparison key of the rewrite search.
+pub fn estimate_expr(e: &Expr, stats: &Stats, model: &CostModel) -> f64 {
+    estimate_expr_full(e, stats, model).1
+}
+
+/// Like [`estimate_expr`], also returning the root's estimated output
+/// cardinality (the commutative-ordering key).
+fn estimate_expr_full(e: &Expr, stats: &Stats, model: &CostModel) -> (f64, f64) {
+    let mut plan = Plan::new();
+    let root = plan.lower(e);
+    let est = estimate(&plan, stats, model);
+    (est.cards[root], est.total_ns)
+}
+
+/// One rule application the search accepted, for `explain`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppliedRewrite {
+    /// The rule's name in `RULES.txt`.
+    pub rule: &'static str,
+    /// `true` when applied left→right as written, `false` for the
+    /// reverse direction.
+    pub forward: bool,
+}
+
+/// Cap on accepted rewrite steps per query — the greedy search strictly
+/// decreases cost so it terminates anyway, but query expressions are
+/// small and a runaway model should not stall the engine.
+const MAX_REWRITE_STEPS: usize = 24;
+
+/// Relative improvement a candidate must show to be accepted; guards
+/// against float-noise oscillation between equal-cost forms.
+const MIN_GAIN: f64 = 1e-6;
+
+/// Rewrites `e` into the cheapest form the model can find, returning the
+/// rewritten expression and the rule applications taken (in order).
+///
+/// The search is greedy steepest-descent: canonicalize commutative
+/// operands (cheaper side left), then repeatedly try every verified rule
+/// in both directions at every position, lower each candidate into a
+/// fresh hash-consed plan, and accept the best strict improvement.
+/// Greediness is deliberate — the rule set is small and query
+/// expressions are shallow, so the useful composites (fuse after
+/// commute, un-distribute after reorder) are within reach, and strict
+/// descent guarantees termination.
+pub fn optimize(e: &Expr, stats: &Stats, model: &CostModel) -> (Expr, Vec<AppliedRewrite>) {
+    let m = CostMetrics::get();
+    let mut applied = Vec::new();
+    let mut current = canonicalize_commutative(e, stats, model, &mut applied);
+    let mut current_cost = estimate_expr(&current, stats, model);
+    while applied.len() < MAX_REWRITE_STEPS {
+        let mut best: Option<(Expr, f64, AppliedRewrite)> = None;
+        for rule in rules::verified_rules() {
+            for forward in [true, false] {
+                let (lhs, rhs) = if forward {
+                    (&rule.lhs, &rule.rhs)
+                } else {
+                    (&rule.rhs, &rule.lhs)
+                };
+                // Never apply a direction that *duplicates* a bound
+                // sub-expression (reverse idempotence, un-absorption…):
+                // duplication is only ever predicted to win when the
+                // estimator is wrong about correlated operands, and it
+                // grows the expression without bound. The useful
+                // rewrites — commute, fuse, reassociate — copy nothing.
+                if duplicates_vars(lhs, rhs) {
+                    continue;
+                }
+                for candidate in rewrites_anywhere(&current, lhs, rhs) {
+                    let cost = estimate_expr(&candidate, stats, model);
+                    if cost < current_cost * (1.0 - MIN_GAIN)
+                        && best.as_ref().is_none_or(|(_, b, _)| cost < *b)
+                    {
+                        best = Some((
+                            candidate,
+                            cost,
+                            AppliedRewrite {
+                                rule: rule.name,
+                                forward,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((next, cost, step)) => {
+                current = next;
+                current_cost = cost;
+                applied.push(step);
+            }
+            None => break,
+        }
+    }
+    m.rewrites_applied.add(applied.len() as u64);
+    m.cost_estimated_ns.add(current_cost.max(0.0) as u64);
+    (current, applied)
+}
+
+/// Orders the operands of every commutative node (∪ ∩) cheapest-side
+/// first — a stable canonical form, justified by the verified
+/// `union-comm` / `intersect-comm` rules and recorded under their names.
+fn canonicalize_commutative(
+    e: &Expr,
+    stats: &Stats,
+    model: &CostModel,
+    applied: &mut Vec<AppliedRewrite>,
+) -> Expr {
+    match e {
+        Expr::Name(_) => e.clone(),
+        Expr::Select(p, inner) => Expr::Select(
+            p.clone(),
+            Box::new(canonicalize_commutative(inner, stats, model, applied)),
+        ),
+        Expr::Bin(op, l, r) => {
+            let l = canonicalize_commutative(l, stats, model, applied);
+            let r = canonicalize_commutative(r, stats, model, applied);
+            if matches!(op, BinOp::Union | BinOp::Intersect) {
+                // Smaller estimated cardinality first (the downstream
+                // consumer's scan starts from the left operand); cost,
+                // then display form, break ties deterministically.
+                let key = |e: &Expr| {
+                    let (card, ns) = estimate_expr_full(e, stats, model);
+                    (card, ns)
+                };
+                let ((lcard, lns), (rcard, rns)) = (key(&l), key(&r));
+                if (lcard, lns) > (rcard, rns)
+                    || ((lcard, lns) == (rcard, rns) && l.to_string() > r.to_string())
+                {
+                    applied.push(AppliedRewrite {
+                        rule: match op {
+                            BinOp::Union => "union-comm",
+                            _ => "intersect-comm",
+                        },
+                        forward: true,
+                    });
+                    return Expr::bin(*op, r, l);
+                }
+            }
+            Expr::bin(*op, l, r)
+        }
+    }
+}
+
+/// True when rewriting `from → to` would duplicate some metavariable —
+/// i.e. a variable occurs more often in `to` than in `from`.
+fn duplicates_vars(from: &rules::Pat, to: &rules::Pat) -> bool {
+    fn occurrences(p: &rules::Pat, counts: &mut [u32; 8]) {
+        match p {
+            rules::Pat::Var(i) => counts[*i as usize % 8] += 1,
+            rules::Pat::Bin(_, l, r) => {
+                occurrences(l, counts);
+                occurrences(r, counts);
+            }
+        }
+    }
+    let (mut f, mut t) = ([0u32; 8], [0u32; 8]);
+    occurrences(from, &mut f);
+    occurrences(to, &mut t);
+    f.iter().zip(&t).any(|(a, b)| b > a)
+}
+
+/// Every expression obtainable from `e` by one application of
+/// `lhs → rhs` at any position.
+fn rewrites_anywhere(e: &Expr, lhs: &rules::Pat, rhs: &rules::Pat) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Some(root) = rules::rewrite_root(e, lhs, rhs) {
+        out.push(root);
+    }
+    match e {
+        Expr::Name(_) => {}
+        Expr::Select(p, inner) => {
+            for rewritten in rewrites_anywhere(inner, lhs, rhs) {
+                out.push(Expr::Select(p.clone(), Box::new(rewritten)));
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            for rewritten in rewrites_anywhere(l, lhs, rhs) {
+                out.push(Expr::bin(*op, rewritten, (**r).clone()));
+            }
+            for rewritten in rewrites_anywhere(r, lhs, rhs) {
+                out.push(Expr::bin(*op, (**l).clone(), rewritten));
+            }
+        }
+    }
+    out
+}
+
+/// Picks, per plan node, whether the segmented kernels pay off: `true`
+/// when the parallel saving the model predicts (serial cost minus its
+/// `1/S` share) exceeds the per-segment dispatch overhead. `Name` nodes
+/// are never segmented — they are zero-copy handle clones. Used with
+/// [`crate::exec::execute_with_choices`]; any vector is correct, this
+/// one is just fast.
+pub fn choose_segmentation(
+    plan: &Plan,
+    est: &PlanEstimate,
+    num_segments: usize,
+    model: &CostModel,
+) -> Vec<bool> {
+    let s = num_segments.max(1) as f64;
+    (0..plan.len())
+        .map(|id| {
+            if num_segments <= 1 || matches!(plan.op(id), PlanOp::Name(_)) {
+                return false;
+            }
+            let serial = est.node_ns[id];
+            serial * (1.0 - 1.0 / s) > model.segment_ns * s
+        })
+        .collect()
+}
+
+/// The full verified-rule rewrite set, re-exported for callers that
+/// report on it (`explain`, docs, tests).
+pub fn rule_set() -> &'static [Rule] {
+    rules::verified_rules()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::region::region;
+    use crate::schema::Schema;
+
+    /// A: 64 wide regions, B: 8, C: 2 — skewed so ordering matters.
+    fn skewed() -> (Schema, Instance) {
+        let schema = Schema::new(["A", "B", "C"]);
+        let mut b = InstanceBuilder::new(schema.clone());
+        let mut pos = 0u32;
+        for i in 0..64u32 {
+            b = b.add("A", region(pos, pos + 3));
+            if i % 8 == 0 {
+                b = b.add("B", region(pos, pos + 7));
+            }
+            if i % 32 == 0 {
+                b = b.add("C", region(pos, pos + 9));
+            }
+            pos += 10;
+        }
+        (schema, b.build_valid())
+    }
+
+    fn stats_for(inst: &Instance, segments: usize) -> Stats {
+        let corpus = Corpus::from_instance(inst, 640, segments);
+        Stats::from_instance(inst, &corpus)
+    }
+
+    #[test]
+    fn stats_count_per_name() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 4);
+        assert_eq!(stats.name_card(schema.expect_id("A")), 64);
+        assert_eq!(stats.name_card(schema.expect_id("B")), 8);
+        assert_eq!(stats.name_card(schema.expect_id("C")), 2);
+        assert_eq!(stats.num_segments(), 4);
+        // Per-segment counts sum to the totals regardless of splits.
+        assert_eq!(
+            stats_for(&inst, 1).name_card(schema.expect_id("A")),
+            stats_for(&inst, 16).name_card(schema.expect_id("A")),
+        );
+    }
+
+    #[test]
+    fn estimates_track_operand_sizes() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 1);
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        let c = Expr::name(schema.expect_id("C"));
+        let big = a.clone().including(a.clone());
+        let small = c.clone().including(c.clone());
+        assert!(
+            estimate_expr(&big, &stats, &model) > estimate_expr(&small, &stats, &model),
+            "bigger operands must cost more"
+        );
+        // Cardinality propagates: root of A ∪ C estimates 64 + 2.
+        let mut plan = Plan::new();
+        let root = plan.lower(&a.clone().union(c));
+        let est = estimate(&plan, &stats, &model);
+        assert_eq!(est.card(root), 66);
+    }
+
+    #[test]
+    fn self_application_is_never_a_predicted_win() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 1);
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        // Hash-consing gives identical operands one node id, and the
+        // estimator is exact there: A ∩ A and A ∪ A are just A, and
+        // A − A is empty.
+        let card_of = |e: &Expr| {
+            let mut plan = Plan::new();
+            let root = plan.lower(e);
+            estimate(&plan, &stats, &model).card(root)
+        };
+        assert_eq!(card_of(&a.clone().intersect(a.clone())), 64);
+        assert_eq!(card_of(&a.clone().union(a.clone())), 64);
+        assert_eq!(card_of(&a.clone().diff(a.clone())), 0);
+        // So expanding a select's child through reverse idempotence can
+        // never look cheaper, and the search leaves the query alone —
+        // this pins the fix for a planner that once rewrote σ(Var) into
+        // σ(Var ∩ Var ∩ …) chasing a phantom cardinality win.
+        let e = a.clone().select("x");
+        let (opt, applied) = optimize(&e, &stats, &model);
+        assert_eq!(opt.to_string(), e.to_string());
+        assert!(applied.is_empty(), "no phantom rewrites: {applied:?}");
+    }
+
+    #[test]
+    fn optimizer_fuses_shared_filter_intersections() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 1);
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        let c = Expr::name(schema.expect_id("C"));
+        // (A ⊃ B) ∩ (A ⊃ C): two sweeps over all of A plus a merge;
+        // fusing to (A ⊃ B) ⊃ C (or the commuted order) must win.
+        let e = a
+            .clone()
+            .including(b.clone())
+            .intersect(a.clone().including(c.clone()));
+        let before = estimate_expr(&e, &stats, &model);
+        let (opt, applied) = optimize(&e, &stats, &model);
+        let after = estimate_expr(&opt, &stats, &model);
+        assert!(after < before, "optimization must reduce estimated cost");
+        assert!(
+            applied.iter().any(|r| r.rule == "cont-fuse"),
+            "expected cont-fuse in {applied:?}"
+        );
+        // The rewritten expression is still the same query.
+        assert_eq!(crate::eval(&opt, &inst), crate::eval(&e, &inst));
+    }
+
+    #[test]
+    fn optimizer_leaves_cheap_plans_alone() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 1);
+        let model = CostModel::default();
+        let c = Expr::name(schema.expect_id("C"));
+        let b = Expr::name(schema.expect_id("B"));
+        // C ⊂ B is already minimal: no rewrite applies profitably.
+        let e = c.included_in(b);
+        let (opt, applied) = optimize(&e, &stats, &model);
+        assert_eq!(opt, e);
+        assert!(applied.is_empty(), "unexpected rewrites: {applied:?}");
+    }
+
+    #[test]
+    fn commutative_operands_order_cheap_first() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 1);
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        let c = Expr::name(schema.expect_id("C"));
+        let (opt, applied) = optimize(&a.clone().union(c.clone()), &stats, &model);
+        assert_eq!(opt, c.union(a), "cheaper operand moves left");
+        assert!(applied.iter().any(|r| r.rule == "union-comm"));
+    }
+
+    #[test]
+    fn segmentation_choice_scales_with_cost() {
+        let (schema, inst) = skewed();
+        let stats = stats_for(&inst, 8);
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        let mut plan = Plan::new();
+        let root = plan.lower(&a.clone().including(a.clone()));
+        let mut est = estimate(&plan, &stats, &model);
+        // Real estimate for this small instance: nothing worth segmenting.
+        let choices = choose_segmentation(&plan, &est, 8, &model);
+        assert!(!choices[root]);
+        assert!(!choices.iter().any(|&c| c), "tiny plans stay serial");
+        // Inflate the root's cost: now (only) the root is worth it.
+        est.node_ns[root] = 1e9;
+        let choices = choose_segmentation(&plan, &est, 8, &model);
+        assert!(choices[root]);
+        assert!(!choices[0], "Name leaves never segment");
+        // Single segment: never.
+        let choices = choose_segmentation(&plan, &est, 1, &model);
+        assert!(!choices.iter().any(|&c| c));
+    }
+
+    #[test]
+    fn rewritten_plans_agree_with_oracle_under_any_stats() {
+        // Even with absurd statistics the optimizer output must stay
+        // semantically identical — rules are verified, stats only rank.
+        let (schema, inst) = skewed();
+        let model = CostModel::default();
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        let c = Expr::name(schema.expect_id("C"));
+        let exprs = [
+            a.clone()
+                .including(b.clone())
+                .intersect(a.clone().including(c.clone())),
+            a.clone()
+                .included_in(b.clone())
+                .union(a.clone().included_in(c.clone())),
+            a.clone().union(b.clone()).before(c.clone()),
+            a.clone().diff(a.clone().diff(b.clone())),
+        ];
+        let lying = Stats::from_counts(vec![vec![1], vec![1_000_000], vec![3]], 640);
+        let honest = stats_for(&inst, 3);
+        for stats in [&lying, &honest] {
+            for e in &exprs {
+                let (opt, _) = optimize(e, stats, &model);
+                assert_eq!(
+                    crate::eval_naive(&opt, &inst),
+                    crate::eval_naive(e, &inst),
+                    "rewrite changed semantics of {e}"
+                );
+            }
+        }
+    }
+}

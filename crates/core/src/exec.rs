@@ -213,9 +213,30 @@ pub fn execute_segmented<W: WordIndex + Sync>(
     cfg: &ExecConfig,
     corpus: Option<&Corpus>,
 ) -> Executed {
+    execute_with_choices(plan, inst, cfg, corpus, None)
+}
+
+/// [`execute_segmented`], with an optional per-node segmentation choice.
+///
+/// `choices[id]` says whether node `id` should run through the
+/// segment-parallel kernels (`true`) or the whole-document kernels
+/// (`false`); the cost model in [`crate::cost`] produces the vector
+/// (see [`crate::cost::choose_segmentation`]). `None` segments every
+/// eligible node — the historical fixed heuristic. The choice affects
+/// only *how* a node is evaluated, never its value: both kernel families
+/// are byte-identical, so any `choices` vector yields the same results.
+pub fn execute_with_choices<W: WordIndex + Sync>(
+    plan: &Plan,
+    inst: &Instance<W>,
+    cfg: &ExecConfig,
+    corpus: Option<&Corpus>,
+    choices: Option<&[bool]>,
+) -> Executed {
     let _span = tr_obs::span("exec.execute");
     // A trivial (single-segment) corpus is the unsegmented path.
     let bounds = corpus.filter(|c| !c.is_trivial()).map(Corpus::bounds);
+    debug_assert!(choices.is_none_or(|c| c.len() == plan.len()));
+    let node_bounds = |id: NodeId| bounds.filter(|_| choices.is_none_or(|c| c[id]));
     let started = Instant::now();
     let metrics = ExecMetrics::get();
     let n = plan.len();
@@ -228,7 +249,13 @@ pub fn execute_segmented<W: WordIndex + Sync>(
     if threads <= 1 {
         let mut results: Vec<RegionSet> = Vec::with_capacity(n);
         for id in 0..n {
-            let value = eval_node(plan.op(id), |c| &results[c], inst, &kernels, bounds);
+            let value = eval_node(
+                plan.op(id),
+                |c| &results[c],
+                inst,
+                &kernels,
+                node_bounds(id),
+            );
             results.push(value);
         }
         let wall_ns = started.elapsed().as_nanos() as u64;
@@ -287,7 +314,7 @@ pub fn execute_segmented<W: WordIndex + Sync>(
                         |c| slots[c].get().expect("children complete before parents"),
                         inst,
                         &kernels,
-                        bounds,
+                        node_bounds(id),
                     );
                     slots[id].set(value).expect("each node evaluated once");
                     // Release readiness to parents; wake workers for new work

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod eval;
 pub mod exec;
 pub mod expr;
@@ -34,15 +35,20 @@ pub mod ops;
 pub mod par;
 pub mod plan;
 pub mod region;
+pub mod rules;
 pub mod schema;
 pub mod seg;
 pub mod set;
 pub mod word;
 
+pub use cost::{
+    choose_segmentation, estimate, optimize, AppliedRewrite, CostModel, PlanEstimate, PlannerMode,
+    Stats,
+};
 pub use eval::{
     eval, eval_memo, eval_naive, eval_parallel, eval_parallel_with, eval_with, OpTable, FAST, NAIVE,
 };
-pub use exec::{execute, execute_segmented, ExecConfig, ExecStats, Executed};
+pub use exec::{execute, execute_segmented, execute_with_choices, ExecConfig, ExecStats, Executed};
 pub use expr::{BinOp, Expr};
 pub use instance::{Forest, Instance, InstanceBuilder, InstanceError};
 pub use mutate::{splice_instance, splice_region, splice_set, Edit};

@@ -1,0 +1,481 @@
+//! The verified rewrite-rule set: patterns, matching, and the oracle
+//! verification protocol.
+//!
+//! Rules live in `RULES.txt` at the workspace root (embedded here via
+//! `include_str!`), one identity per line in the form
+//! `name: LHS == RHS` with metavariables `?a ?b ?c` and the seven
+//! operators of Definition 2.2. They are *synthesized* by
+//! `tr_ext::synth` (enumerate → conjecture by fingerprint → verify) and
+//! *consumed* by the cost-based planner in [`crate::cost`], which
+//! applies a rule in either direction whenever its model predicts a
+//! cheaper plan.
+//!
+//! Nothing in the planner trusts the file: [`verify_rule`] re-checks an
+//! identity against the quadratic [`crate::naive`] oracle (and the fast
+//! kernels) on freshly seeded random region-set assignments, and the
+//! regeneration test in `tr-ext` runs it over every shipped rule. A rule
+//! that fails verification panics the process at first use — a wrong
+//! rewrite is a correctness bug, not a performance bug.
+
+use crate::eval::{OpTable, FAST, NAIVE};
+use crate::expr::{BinOp, Expr};
+use crate::region::region;
+use crate::set::RegionSet;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Maximum number of distinct metavariables in a rule (`?a ?b ?c`).
+pub const MAX_VARS: usize = 3;
+
+/// The shipped rule file, embedded at compile time.
+pub const RULES_TEXT: &str = include_str!("../../../RULES.txt");
+
+/// A rule pattern: a region-algebra expression over metavariables.
+///
+/// Patterns deliberately exclude `Select` and concrete names — every
+/// shipped identity holds for *arbitrary* region sets, so a
+/// metavariable can bind any sub-expression (including selections).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pat {
+    /// Metavariable `?a` (0), `?b` (1), `?c` (2).
+    Var(u8),
+    /// A binary operator over two sub-patterns.
+    Bin(BinOp, Box<Pat>, Box<Pat>),
+}
+
+impl Pat {
+    /// Metavariable `i` as a pattern.
+    pub fn var(i: u8) -> Pat {
+        Pat::Var(i)
+    }
+
+    /// Applies a binary operator.
+    pub fn bin(op: BinOp, l: Pat, r: Pat) -> Pat {
+        Pat::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// Number of operator applications in the pattern.
+    pub fn num_ops(&self) -> usize {
+        match self {
+            Pat::Var(_) => 0,
+            Pat::Bin(_, l, r) => 1 + l.num_ops() + r.num_ops(),
+        }
+    }
+
+    /// Marks which metavariables occur (index → present).
+    fn mark_vars(&self, seen: &mut [bool; MAX_VARS]) {
+        match self {
+            Pat::Var(i) => seen[*i as usize] = true,
+            Pat::Bin(_, l, r) => {
+                l.mark_vars(seen);
+                r.mark_vars(seen);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pat::Var(i) => write!(f, "?{}", (b'a' + i) as char),
+            Pat::Bin(op, l, r) => write!(f, "({} {} {})", l, op.symbol(), r),
+        }
+    }
+}
+
+/// One verified identity: `lhs == rhs` for every assignment of region
+/// sets to the metavariables.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable rule name from `RULES.txt` (reported by `explain`).
+    pub name: &'static str,
+    /// Left-hand pattern.
+    pub lhs: Pat,
+    /// Right-hand pattern.
+    pub rhs: Pat,
+}
+
+/// The parsed and validated shipped rule set.
+///
+/// Parsed once; panics on a malformed `RULES.txt` (a build artifact
+/// problem, not a runtime condition). Oracle verification of the rules
+/// themselves is the regeneration test's job — see [`verify_rule`].
+pub fn verified_rules() -> &'static [Rule] {
+    static RULES: OnceLock<Vec<Rule>> = OnceLock::new();
+    RULES.get_or_init(|| parse_rules(RULES_TEXT).expect("malformed RULES.txt"))
+}
+
+/// The `version N` stamp of the shipped rule file.
+pub fn rules_version() -> u64 {
+    static VERSION: OnceLock<u64> = OnceLock::new();
+    *VERSION.get_or_init(|| {
+        RULES_TEXT
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("version ")?.trim().parse().ok())
+            .expect("RULES.txt missing `version N` line")
+    })
+}
+
+/// Parses a rule file: `# comments`, blank lines, one `version N` line,
+/// and `name: LHS == RHS` rules. Validates that every right-hand
+/// metavariable is bound on the left and that the two sides differ.
+pub fn parse_rules(text: &'static str) -> Result<Vec<Rule>, String> {
+    let mut rules = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("version ") {
+            continue;
+        }
+        let err = |what: &str| format!("RULES.txt line {}: {what}: {line}", lineno + 1);
+        let (name, body) = line.split_once(':').ok_or_else(|| err("missing `:`"))?;
+        let (lhs_src, rhs_src) = body.split_once("==").ok_or_else(|| err("missing `==`"))?;
+        let lhs = parse_pat(lhs_src).map_err(|e| err(&e))?;
+        let rhs = parse_pat(rhs_src).map_err(|e| err(&e))?;
+        if lhs == rhs {
+            return Err(err("sides are identical"));
+        }
+        let (mut lv, mut rv) = ([false; MAX_VARS], [false; MAX_VARS]);
+        lhs.mark_vars(&mut lv);
+        rhs.mark_vars(&mut rv);
+        if (0..MAX_VARS).any(|i| rv[i] && !lv[i]) {
+            return Err(err("rhs uses a metavariable unbound on the lhs"));
+        }
+        rules.push(Rule {
+            name: name.trim(),
+            lhs,
+            rhs,
+        });
+    }
+    if rules.is_empty() {
+        return Err("RULES.txt contains no rules".into());
+    }
+    Ok(rules)
+}
+
+/// Parses one side of a rule: `pat := ?v | ( pat op pat )`, fully
+/// parenthesized (the file format never relies on precedence).
+fn parse_pat(src: &str) -> Result<Pat, String> {
+    let mut toks = tokenize(src)?;
+    toks.reverse(); // pop() from the front
+    let pat = parse_tokens(&mut toks)?;
+    match toks.last() {
+        None => Ok(pat),
+        Some(t) => Err(format!("trailing token `{t}`")),
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<String>, String> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => {}
+            '(' | ')' => toks.push(c.to_string()),
+            '?' => {
+                let v = chars.next().ok_or("dangling `?`")?;
+                toks.push(format!("?{v}"));
+            }
+            '∪' | '∩' | '−' | '⊃' | '⊂' | '<' | '>' => toks.push(c.to_string()),
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_tokens(toks: &mut Vec<String>) -> Result<Pat, String> {
+    let tok = toks.pop().ok_or("unexpected end of pattern")?;
+    match tok.as_str() {
+        "(" => {
+            let l = parse_tokens(toks)?;
+            let op_tok = toks.pop().ok_or("missing operator")?;
+            let op = BinOp::ALL
+                .into_iter()
+                .find(|op| op.symbol() == op_tok)
+                .ok_or_else(|| format!("unknown operator `{op_tok}`"))?;
+            let r = parse_tokens(toks)?;
+            match toks.pop().as_deref() {
+                Some(")") => Ok(Pat::bin(op, l, r)),
+                _ => Err("missing `)`".into()),
+            }
+        }
+        v if v.starts_with('?') => {
+            let c = v.as_bytes()[1];
+            if !(b'a'..b'a' + MAX_VARS as u8).contains(&c) {
+                return Err(format!("unknown metavariable `{v}`"));
+            }
+            Ok(Pat::Var(c - b'a'))
+        }
+        other => Err(format!("unexpected token `{other}`")),
+    }
+}
+
+/// Matches `pat` against `e`, extending `binds` (one slot per
+/// metavariable, all `None` on entry for a fresh attempt). A repeated
+/// metavariable must bind structurally equal sub-expressions.
+pub fn match_pat<'e>(pat: &Pat, e: &'e Expr, binds: &mut [Option<&'e Expr>; MAX_VARS]) -> bool {
+    match pat {
+        Pat::Var(i) => match binds[*i as usize] {
+            Some(bound) => bound == e,
+            None => {
+                binds[*i as usize] = Some(e);
+                true
+            }
+        },
+        Pat::Bin(op, pl, pr) => match e {
+            Expr::Bin(eop, el, er) if eop == op => {
+                match_pat(pl, el, binds) && match_pat(pr, er, binds)
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Builds the expression `pat[binds]`, or `None` if `pat` uses a
+/// metavariable the match left unbound. That happens when a rule is
+/// applied in *reverse* with a strictly smaller variable set on the
+/// matched side — e.g. `absorb-union` backwards would have to conjure a
+/// `?b` out of thin air; such a direction simply does not apply.
+pub fn instantiate(pat: &Pat, binds: &[Option<&Expr>; MAX_VARS]) -> Option<Expr> {
+    match pat {
+        Pat::Var(i) => binds[*i as usize].cloned(),
+        Pat::Bin(op, l, r) => Some(Expr::bin(
+            *op,
+            instantiate(l, binds)?,
+            instantiate(r, binds)?,
+        )),
+    }
+}
+
+/// Rewrites the *root* of `e` by `lhs → rhs` if `lhs` matches there and
+/// binds every metavariable `rhs` needs. The planner walks the tree
+/// itself, so root-only is all it needs.
+pub fn rewrite_root(e: &Expr, lhs: &Pat, rhs: &Pat) -> Option<Expr> {
+    let mut binds: [Option<&Expr>; MAX_VARS] = [None; MAX_VARS];
+    if match_pat(lhs, e, &mut binds) {
+        instantiate(rhs, &binds)
+    } else {
+        None
+    }
+}
+
+/// Evaluates a pattern under an assignment of region sets to
+/// metavariables, with set operators exact and structural operators
+/// drawn from `t` (so the same assignment can be run under both
+/// [`NAIVE`] and [`FAST`]).
+pub fn eval_pat(pat: &Pat, env: &[RegionSet; MAX_VARS], t: &OpTable) -> RegionSet {
+    match pat {
+        Pat::Var(i) => env[*i as usize].clone(),
+        Pat::Bin(op, l, r) => {
+            let lv = eval_pat(l, env, t);
+            let rv = eval_pat(r, env, t);
+            match op {
+                BinOp::Union => lv.union(&rv),
+                BinOp::Intersect => lv.intersect(&rv),
+                BinOp::Diff => lv.difference(&rv),
+                BinOp::Including => (t.includes)(&lv, &rv),
+                BinOp::IncludedIn => (t.included_in)(&lv, &rv),
+                BinOp::Before => (t.precedes)(&lv, &rv),
+                BinOp::After => (t.follows)(&lv, &rv),
+            }
+        }
+    }
+}
+
+/// SplitMix64 — tr-core has no dependency on the vendored `rand` in
+/// library code, and verification needs only a small, well-seeded
+/// stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One random metavariable assignment. Deliberately adversarial for
+/// identities: empty sets, *aliased* variables (two metavariables bound
+/// to the same set — the assignments that kill `?a ⊂ ?a == ?a` under
+/// strict inclusion), and — crucially — variables drawn as overlapping
+/// subsets of one shared region pool. The shared pool makes cross-
+/// variable coincidences routine, so conjectures that only hold when
+/// operands never interact (`?a ∩ (?b ⊂ ?c) == ∅`-style fingerprint
+/// coincidences) are refuted within a few rounds instead of surviving
+/// on disjoint random data.
+fn random_env(rng: &mut SplitMix64) -> [RegionSet; MAX_VARS] {
+    // A hierarchical shared pool: wide spans with strict sub-regions
+    // (so inclusion chains and span-crossing counterexamples exist),
+    // plus free-standing regions.
+    let mut pool: Vec<crate::region::Region> = Vec::with_capacity(24);
+    for _ in 0..4 {
+        let l = rng.below(36) as u32;
+        let len = 8 + rng.below(12) as u32;
+        pool.push(region(l, l + len));
+        for _ in 0..rng.below(4) {
+            let cl = l + 1 + rng.below(len as u64 - 1) as u32;
+            let clen = rng.below((l + len - cl + 1) as u64) as u32;
+            pool.push(region(cl, cl + clen));
+        }
+    }
+    for _ in 0..4 {
+        let l = rng.below(48) as u32;
+        pool.push(region(l, l + rng.below(9) as u32));
+    }
+    let mut env: [RegionSet; MAX_VARS] = [RegionSet::new(), RegionSet::new(), RegionSet::new()];
+    for i in 0..MAX_VARS {
+        let roll = rng.below(8);
+        env[i] = if roll == 0 {
+            RegionSet::new()
+        } else if roll == 1 && i > 0 {
+            env[rng.below(i as u64) as usize].clone()
+        } else {
+            // About half the shared pool, plus a few private regions.
+            let mut regions: Vec<_> = pool.iter().copied().filter(|_| rng.below(2) == 0).collect();
+            for _ in 0..rng.below(4) {
+                let l = rng.below(48) as u32;
+                regions.push(region(l, l + rng.below(9) as u32));
+            }
+            RegionSet::from_regions(regions)
+        };
+    }
+    env
+}
+
+/// Verifies `rule` against the naive oracle: for `rounds` seeded random
+/// assignments, `lhs` and `rhs` must evaluate to byte-identical sets
+/// under **both** [`NAIVE`] and [`FAST`]. Returns `false` at the first
+/// divergence. This is the protocol both the synthesizer and the
+/// regeneration test run; the planner only applies rules that shipped
+/// through it.
+pub fn verify_rule(rule: &Rule, seed: u64, rounds: usize) -> bool {
+    verify_identity(&rule.lhs, &rule.rhs, seed, rounds)
+}
+
+/// [`verify_rule`] over bare patterns — the entry point the synthesizer
+/// uses before a conjecture has a name.
+pub fn verify_identity(lhs: &Pat, rhs: &Pat, seed: u64, rounds: usize) -> bool {
+    let mut rng = SplitMix64(seed ^ 0xA076_1D64_78BD_642F);
+    for _ in 0..rounds {
+        let env = random_env(&mut rng);
+        let l_naive = eval_pat(lhs, &env, &NAIVE);
+        let r_naive = eval_pat(rhs, &env, &NAIVE);
+        if l_naive != r_naive {
+            return false;
+        }
+        let l_fast = eval_pat(lhs, &env, &FAST);
+        let r_fast = eval_pat(rhs, &env, &FAST);
+        if l_fast != l_naive || r_fast != r_naive {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::NameId;
+
+    #[test]
+    fn shipped_rules_parse_and_are_plentiful() {
+        let rules = verified_rules();
+        assert!(
+            rules.len() >= 10,
+            "need ≥ 10 shipped identities, got {}",
+            rules.len()
+        );
+        assert_eq!(rules_version(), 1);
+        // Names are unique.
+        let mut names: Vec<_> = rules.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rules.len());
+    }
+
+    #[test]
+    fn every_shipped_rule_verifies() {
+        // Cheap smoke pass; the full-depth run lives in the tr-ext
+        // regeneration test.
+        for rule in verified_rules() {
+            assert!(verify_rule(rule, 0x5EED, 48), "rule failed: {}", rule.name);
+        }
+    }
+
+    #[test]
+    fn strict_inclusion_reflexivity_is_rejected() {
+        // `?a ⊂ ?a == ?a` is false under the paper's strict inclusion:
+        // the verifier must catch it (on an aliased/self assignment).
+        let bogus = Rule {
+            name: "bogus-in-refl",
+            lhs: Pat::bin(BinOp::IncludedIn, Pat::var(0), Pat::var(0)),
+            rhs: Pat::var(0),
+        };
+        assert!(!verify_rule(&bogus, 0x5EED, 128));
+        let bogus2 = Rule {
+            name: "bogus-cont-refl",
+            lhs: Pat::bin(BinOp::Including, Pat::var(0), Pat::var(0)),
+            rhs: Pat::var(0),
+        };
+        assert!(!verify_rule(&bogus2, 0x5EED, 128));
+    }
+
+    #[test]
+    fn match_and_instantiate_round_trip() {
+        // (R0 ⊂ R1) ∩ (R0 ⊂ R2) matches in-fuse and rewrites to
+        // (R0 ⊂ R1) ⊂ R2.
+        let (a, b, c) = (
+            Expr::name(NameId::from_index(0)),
+            Expr::name(NameId::from_index(1)),
+            Expr::name(NameId::from_index(2)),
+        );
+        let e = a
+            .clone()
+            .included_in(b.clone())
+            .intersect(a.clone().included_in(c.clone()));
+        let fuse = verified_rules()
+            .iter()
+            .find(|r| r.name == "in-fuse")
+            .unwrap();
+        let out = rewrite_root(&e, &fuse.lhs, &fuse.rhs).expect("in-fuse should match");
+        assert_eq!(out, a.clone().included_in(b).included_in(c));
+        // And the reverse direction un-fuses it.
+        let back = rewrite_root(&out, &fuse.rhs, &fuse.lhs).expect("reverse should match");
+        assert_eq!(back, e);
+        // A repeated metavariable must not match distinct operands.
+        let distinct = a.clone().union(Expr::name(NameId::from_index(1)));
+        let idem = verified_rules()
+            .iter()
+            .find(|r| r.name == "union-idem")
+            .unwrap();
+        assert!(rewrite_root(&distinct, &idem.lhs, &idem.rhs).is_none());
+        assert!(rewrite_root(&a.clone().union(a.clone()), &idem.lhs, &idem.rhs).is_some());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_rules("rule-a (?a ∪ ?a) == ?a").is_err()); // no colon
+        assert!(parse_rules("r: (?a ∪ ?a) = ?a").is_err()); // no ==
+        assert!(parse_rules("r: (?a ∪ ?b) == ?c").is_err()); // unbound rhs var
+        assert!(parse_rules("r: ?a == ?a").is_err()); // identical sides
+        assert!(parse_rules("r: (?a ∪ ?d) == ?a").is_err()); // unknown var
+        assert!(parse_rules("r: (?a ∪ ?a == ?a").is_err()); // unbalanced
+        assert!(parse_rules("version 1\n# only comments").is_err()); // empty
+    }
+
+    #[test]
+    fn pattern_display_matches_file_format() {
+        let fuse = verified_rules()
+            .iter()
+            .find(|r| r.name == "in-fuse")
+            .unwrap();
+        assert_eq!(fuse.lhs.to_string(), "((?a ⊂ ?b) ∩ (?a ⊂ ?c))");
+        assert_eq!(fuse.rhs.to_string(), "((?a ⊂ ?b) ⊂ ?c)");
+    }
+}

@@ -26,6 +26,7 @@ pub mod enumerate;
 pub mod kreduce;
 pub mod program;
 pub mod reduce;
+pub mod synth;
 
 pub use bounded::{
     all_names_expr, both_included_expr, direct_included_expr, direct_including_expr,
@@ -42,3 +43,4 @@ pub use program::{
     direct_including_program,
 };
 pub use reduce::{isomorphic, reduce, reduce_mapping};
+pub use synth::{synthesize, to_rules_txt, SynthConfig, SynthReport, SynthRule};

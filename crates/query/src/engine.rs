@@ -13,8 +13,9 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 use tr_core::{
-    execute_segmented, expr_fingerprint, seg, Corpus, ExecConfig, Expr, Instance, Plan, Region,
-    RegionSet, Schema,
+    choose_segmentation, estimate, execute_segmented, execute_with_choices, expr_fingerprint, seg,
+    AppliedRewrite, Corpus, CostModel, ExecConfig, Executed, Expr, Instance, Plan, PlannerMode,
+    Region, RegionSet, Schema, Stats,
 };
 use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
 use tr_rig::Rig;
@@ -179,6 +180,12 @@ impl ResultCache {
 /// Default capacity of the engine's result cache (distinct queries).
 const RESULT_CACHE_CAPACITY: usize = 128;
 
+/// Distinct expressions whose rewrite-search outcome is memoized; at
+/// capacity the memo is simply cleared (planning is recomputable, and a
+/// server churning through this many distinct query shapes is already
+/// paying far more in execution than in planning).
+const PLAN_MEMO_CAPACITY: usize = 256;
+
 /// View definitions scoped to one client session, layered over a shared
 /// (immutable) [`Engine`].
 ///
@@ -228,12 +235,39 @@ pub struct Engine {
     /// `Engine::apply_edits`). Lets clients and watchers correlate result
     /// sets with document versions.
     pub(crate) generation: u64,
+    /// How pure-algebra expressions become plans: structural lowering as
+    /// written, or cost-based rewriting over the verified rule set (the
+    /// default). Semantics are identical either way — every rule shipped
+    /// through the oracle-verification protocol — so this is a
+    /// performance/debugging knob, never a correctness one.
+    pub(crate) planner: PlannerMode,
+    /// Per-name per-segment cardinalities the planner ranks plans with:
+    /// seeded from the store manifest when the document is opened from
+    /// disk, recomputed from the instance otherwise — and again after
+    /// every applied edit batch, so live mutation keeps them honest.
+    pub(crate) stats: Stats,
+    /// Kernel cost coefficients for estimation and segmentation choice.
+    pub(crate) cost_model: CostModel,
+    /// Memoized rewrite-search outcomes, keyed by the fingerprint of the
+    /// RIG-optimized expression (verified against the stored expression,
+    /// like the result cache). Planning a query is pure in the engine's
+    /// stats, so it is paid once per distinct expression, not once per
+    /// evaluation — the plan-quality gate holds the cost-based planner
+    /// to ~structural lowering speed, and this is what makes that true
+    /// on cache-cold batches.
+    pub(crate) plan_memo: Mutex<PlanMemo>,
 }
+
+/// The plan memo's shape: fingerprint → (the exact expression the entry
+/// was planned for, and the (rewritten expression, applied rewrites)
+/// outcome to replay).
+type PlanMemo = HashMap<u64, (Expr, (Expr, Vec<AppliedRewrite>))>;
 
 impl Engine {
     fn new(text: String, instance: Instance<SuffixWordIndex>, rig: Option<Rig>) -> Engine {
         let corpus =
             Corpus::from_instance(&instance, text.len(), seg::segment_count_for(text.len()));
+        let stats = Stats::from_instance(&instance, &corpus);
         Engine {
             text,
             instance,
@@ -243,6 +277,10 @@ impl Engine {
             corpus,
             cache: Mutex::new(ResultCache::new(RESULT_CACHE_CAPACITY)),
             generation: 0,
+            planner: PlannerMode::default(),
+            stats,
+            cost_model: CostModel::default(),
+            plan_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -270,9 +308,15 @@ impl Engine {
     }
 
     /// Builds an engine from a document loaded by `tr-store` — the one
-    /// loading path shared by the CLI and the server catalog.
+    /// loading path shared by the CLI and the server catalog. The store
+    /// manifest's per-name per-segment counts, when present, seed the
+    /// planner statistics directly (no re-scan of the region columns).
     pub fn from_stored(doc: tr_store::StoredDocument) -> Engine {
-        Engine::from_parts(doc.text, doc.instance, doc.rig)
+        let mut e = Engine::from_parts(doc.text, doc.instance, doc.rig);
+        if let Some(m) = doc.manifest {
+            e.stats = Stats::from_counts(m.counts, m.text_bytes);
+        }
+        e
     }
 
     /// Builds an engine from already-indexed parts (e.g. a persisted
@@ -301,12 +345,55 @@ impl Engine {
     /// this is a tuning/testing knob, not a semantic one.
     pub fn with_segments(mut self, n: usize) -> Engine {
         self.corpus = Corpus::from_instance(&self.instance, self.text.len(), n);
+        // Statistics follow the segment grid so per-segment counts stay
+        // aligned with the corpus the planner is choosing kernels for —
+        // and memoized plans ranked under the old stats are dropped.
+        self.stats = Stats::from_instance(&self.instance, &self.corpus);
+        self.plan_memo
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
         self
     }
 
     /// The number of position-range segments queries execute over.
     pub fn segment_count(&self) -> usize {
         self.corpus.num_segments()
+    }
+
+    /// Overrides how expressions are planned ([`PlannerMode::CostBased`]
+    /// by default). Structural mode reproduces the historical lower-as-
+    /// written behavior; results are byte-identical either way.
+    pub fn with_planner_mode(mut self, mode: PlannerMode) -> Engine {
+        self.planner = mode;
+        self.plan_memo
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+        self
+    }
+
+    /// The active planner mode.
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.planner
+    }
+
+    /// The planner's cardinality statistics for this document.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Replaces the planner statistics wholesale. Statistics only rank
+    /// plans — every candidate is verified-equivalent — so results are
+    /// byte-identical no matter how wrong the numbers are; only speed is
+    /// at stake. This is the adversarial knob the "stats lie" tests turn.
+    pub fn with_stats(mut self, stats: Stats) -> Engine {
+        self.stats = stats;
+        self.plan_memo
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+        self
     }
 
     /// Attaches a RIG (the instance is *assumed* to satisfy it; use
@@ -381,11 +468,63 @@ impl Engine {
         }
     }
 
-    /// Applies RIG chain optimization when a RIG is attached.
+    /// Applies RIG chain optimization when a RIG is attached, then the
+    /// cost-based rewrite search (unless in structural mode).
     fn planned(&self, e: Expr) -> Expr {
-        match &self.rig {
+        self.planned_full(e).0
+    }
+
+    /// [`Engine::planned`], also returning the accepted rewrite steps
+    /// (for `explain`). Empty in structural mode.
+    fn planned_full(&self, e: Expr) -> (Expr, Vec<AppliedRewrite>) {
+        let e = match &self.rig {
             Some(rig) => tr_rig::optimize_expr(&e, rig),
             None => e,
+        };
+        match self.planner {
+            PlannerMode::Structural => (e, Vec::new()),
+            PlannerMode::CostBased => {
+                let fp = expr_fingerprint(&e);
+                {
+                    let memo = self.lock_plan_memo();
+                    if let Some((key, out)) = memo.get(&fp) {
+                        if *key == e {
+                            return out.clone();
+                        }
+                    }
+                }
+                let out = tr_core::optimize(&e, &self.stats, &self.cost_model);
+                let mut memo = self.lock_plan_memo();
+                if memo.len() >= PLAN_MEMO_CAPACITY {
+                    memo.clear();
+                }
+                memo.insert(fp, (e, out.clone()));
+                out
+            }
+        }
+    }
+
+    /// Runs a lowered plan on the executor, letting the cost model pick
+    /// per-node segmentation in cost-based mode (structural mode keeps
+    /// the historical segment-everything behavior). Either choice yields
+    /// byte-identical results; only the kernel family differs.
+    fn run_plan(&self, plan: &Plan) -> Executed {
+        match self.planner {
+            PlannerMode::Structural => {
+                execute_segmented(plan, &self.instance, &self.exec, Some(&self.corpus))
+            }
+            PlannerMode::CostBased => {
+                let est = estimate(plan, &self.stats, &self.cost_model);
+                let choices =
+                    choose_segmentation(plan, &est, self.corpus.num_segments(), &self.cost_model);
+                execute_with_choices(
+                    plan,
+                    &self.instance,
+                    &self.exec,
+                    Some(&self.corpus),
+                    Some(&choices),
+                )
+            }
         }
     }
 
@@ -406,7 +545,7 @@ impl Engine {
         // count) covers every evaluation path.
         let mut plan = Plan::new();
         let root = plan.lower(&e);
-        let executed = execute_segmented(&plan, &self.instance, &self.exec, Some(&self.corpus));
+        let executed = self.run_plan(&plan);
         metrics
             .nodes_executed
             .add(executed.stats().nodes_evaluated as u64);
@@ -417,6 +556,12 @@ impl Engine {
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, ResultCache> {
         self.cache
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn lock_plan_memo(&self) -> std::sync::MutexGuard<'_, PlanMemo> {
+        self.plan_memo
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
     }
@@ -516,7 +661,7 @@ impl Engine {
         if !plan.is_empty() {
             let executed = {
                 let _span = tr_obs::span("engine.execute");
-                execute_segmented(&plan, &self.instance, &self.exec, Some(&self.corpus))
+                self.run_plan(&plan)
             };
             let exec_stats = executed.stats();
             stats.nodes_evaluated = exec_stats.nodes_evaluated;
@@ -558,19 +703,72 @@ impl Engine {
         Ok(match ast.to_expr() {
             Some(e) => {
                 let mut out = format!("algebra: {}", e.display(schema));
-                if let Some(rig) = &self.rig {
-                    let opt = tr_rig::optimize_expr(&e, rig);
-                    if opt != e {
-                        out.push_str(&format!(
-                            "\noptimized (w.r.t. RIG): {} [{} → {} ops]",
-                            opt.display(schema),
-                            e.num_ops(),
-                            opt.num_ops()
-                        ));
+                let rigged = match &self.rig {
+                    Some(rig) => {
+                        let opt = tr_rig::optimize_expr(&e, rig);
+                        if opt != e {
+                            out.push_str(&format!(
+                                "\noptimized (w.r.t. RIG): {} [{} → {} ops]",
+                                opt.display(schema),
+                                e.num_ops(),
+                                opt.num_ops()
+                            ));
+                        } else {
+                            out.push_str("\noptimized (w.r.t. RIG): unchanged");
+                        }
+                        opt
+                    }
+                    None => e,
+                };
+                let (planned, applied) = match self.planner {
+                    PlannerMode::Structural => (rigged, Vec::new()),
+                    PlannerMode::CostBased => {
+                        tr_core::optimize(&rigged, &self.stats, &self.cost_model)
+                    }
+                };
+                if self.planner == PlannerMode::CostBased {
+                    if applied.is_empty() {
+                        out.push_str("\nrewritten (cost-based): unchanged");
                     } else {
-                        out.push_str("\noptimized (w.r.t. RIG): unchanged");
+                        let rules: Vec<String> = applied
+                            .iter()
+                            .map(|r| {
+                                if r.forward {
+                                    r.rule.to_string()
+                                } else {
+                                    format!("{} (rev)", r.rule)
+                                }
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "\nrewritten (cost-based): {} [rules: {}]",
+                            planned.display(schema),
+                            rules.join(", ")
+                        ));
                     }
                 }
+                let mut plan = Plan::new();
+                let root = plan.lower(&planned);
+                let est = estimate(&plan, &self.stats, &self.cost_model);
+                let choices =
+                    choose_segmentation(&plan, &est, self.corpus.num_segments(), &self.cost_model);
+                let segmented = choices.iter().filter(|&&c| c).count();
+                out.push_str(&format!(
+                    "\nplan: {} nodes, est cost ~{} ns, segmented {}/{}",
+                    plan.len(),
+                    est.total_ns.round() as u64,
+                    segmented,
+                    plan.len()
+                ));
+                // The actual cardinality runs the query — through the
+                // result cache, so an explain both reflects and warms the
+                // engine's real execution path.
+                let est_card = est.card(root);
+                let actual = self.eval_algebra(planned);
+                out.push_str(&format!(
+                    "\ncardinality: est ~{est_card}, actual {}",
+                    actual.len()
+                ));
                 out
             }
             None => format!(
@@ -966,6 +1164,83 @@ mod tests {
                 assert_eq!(a.rights(), b.rights());
             }
         }
+    }
+
+    #[test]
+    fn explain_reports_cost_based_plan_and_cardinalities() {
+        let e = sgml_engine();
+        // A fusible shape: (sec ⊃ note) ∩ (sec ⊃ doc) — the cost-based
+        // rewrite collapses the shared-filter intersection.
+        let q = "(sec containing note) intersect (sec containing doc)";
+        let plan = e.explain(q).unwrap();
+        assert!(plan.contains("rewritten (cost-based):"), "{plan}");
+        assert!(plan.contains("rules:"), "{plan}");
+        assert!(plan.contains("cont-fuse"), "{plan}");
+        assert!(plan.contains("\nplan: "), "{plan}");
+        assert!(plan.contains("est cost ~"), "{plan}");
+        assert!(plan.contains("segmented "), "{plan}");
+        // Estimated and actual cardinalities are both reported, and the
+        // actual one is the real answer.
+        let actual = e.query(q).unwrap().len();
+        assert!(plan.contains("cardinality: est ~"), "{plan}");
+        assert!(plan.contains(&format!("actual {actual}")), "{plan}");
+        // A trivial query reports an unchanged rewrite but still a plan.
+        let plan = e.explain("sec").unwrap();
+        assert!(plan.contains("rewritten (cost-based): unchanged"), "{plan}");
+        assert!(plan.contains("cardinality: est ~"), "{plan}");
+    }
+
+    #[test]
+    fn cost_based_and_structural_modes_agree() {
+        let text = "<doc><sec>alpha beta</sec><sec>gamma <note>beta</note></sec></doc>";
+        let queries = [
+            r#"sec matching "beta""#,
+            "(sec containing note) intersect (sec containing doc)",
+            r#"(sec matching "beta") union (note within sec)"#,
+            "sec minus (sec minus (sec containing note))",
+        ];
+        let cost = Engine::from_sgml(text).unwrap();
+        let structural = Engine::from_sgml(text)
+            .unwrap()
+            .with_planner_mode(PlannerMode::Structural);
+        assert_eq!(cost.planner_mode(), PlannerMode::CostBased);
+        assert_eq!(structural.planner_mode(), PlannerMode::Structural);
+        for q in queries {
+            assert_eq!(
+                cost.query(q).unwrap(),
+                structural.query(q).unwrap(),
+                "query {q} must be planner-mode invariant"
+            );
+        }
+        // Structural explains carry no cost-rewrite line.
+        let plan = structural.explain(queries[1]).unwrap();
+        assert!(!plan.contains("rewritten (cost-based)"), "{plan}");
+        assert!(plan.contains("cardinality:"), "{plan}");
+    }
+
+    #[test]
+    fn stats_seed_from_manifest_and_follow_edits() {
+        let e = sgml_engine();
+        let sec = e.schema().expect_id("sec");
+        assert_eq!(e.stats().name_card(sec), 2);
+        // Round-trip through the store: manifest counts seed the stats.
+        let path =
+            std::env::temp_dir().join(format!("tr_query_stats_seed_{}.trx", std::process::id()));
+        tr_store::save_document(&path, e.text(), e.instance(), e.rig()).unwrap();
+        let loaded = Engine::from_stored(tr_store::load_document(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.stats().name_card(sec), 2);
+        assert_eq!(loaded.stats().text_bytes(), e.text().len() as u64);
+        // Live mutation recomputes: adding a region bumps the count.
+        let hole = e.text().find("alpha").unwrap() as u32;
+        let (e2, _) = e
+            .apply_edits(&[tr_core::mutate::Edit::AddRegion {
+                name: "sec".into(),
+                region: tr_core::region(hole, hole + 4),
+            }])
+            .unwrap();
+        assert_eq!(e2.stats().name_card(sec), 3);
+        assert_eq!(e.stats().name_card(sec), 2, "predecessor untouched");
     }
 
     #[test]

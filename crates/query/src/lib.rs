@@ -27,3 +27,4 @@ pub use ast::Query;
 pub use engine::{BatchStats, Engine, EngineError, SessionViews};
 pub use live::{MutateError, MutateStats, ResultDiff};
 pub use parse::{parse, ParseError};
+pub use tr_core::PlannerMode;

@@ -245,6 +245,10 @@ impl Engine {
         metrics.cache_kept.add(kept as u64);
         metrics.cache_dropped.add(dropped as u64);
 
+        // Planner statistics are recomputed against the successor's
+        // instance and segment grid, so cost-based choices track the
+        // document as it mutates instead of drifting stale.
+        let plan_stats = tr_core::Stats::from_instance(&instance, &corpus);
         let next = Engine {
             text,
             instance,
@@ -254,6 +258,14 @@ impl Engine {
             corpus,
             cache: Mutex::new(cache),
             generation: self.generation + 1,
+            planner: self.planner,
+            stats: plan_stats,
+            cost_model: self.cost_model,
+            // Memoized plans were ranked under the predecessor's stats;
+            // the successor re-plans from scratch (correctness would
+            // survive stale plans — the rules are verified identities —
+            // but plan quality should track the fresh counts).
+            plan_memo: Mutex::new(std::collections::HashMap::new()),
         };
         Ok((next, stats))
     }

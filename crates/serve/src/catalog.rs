@@ -18,8 +18,11 @@
 //! array until the first query against that document. A server fronting
 //! a large corpus thus starts in milliseconds and `list-docs` answers
 //! from manifests alone. When a deferred v3 load does fire it goes
-//! through `tr_store::load_document_auto`, i.e. the mapped open — the
-//! columns are used in place rather than decoded.
+//! through `tr_store::load_document_shared`, i.e. the mapped open via
+//! the process-wide weak cache — the columns are used in place rather
+//! than decoded, the slot holds the cache guard, and documents that
+//! alias the same file (or repeat opens of one path) share a single
+//! mapping: `store.mmap_opens` does not grow per session.
 //!
 //! Recognised files:
 //!
@@ -63,7 +66,7 @@ struct DocSlot {
 impl DocSlot {
     fn ready(engine: Arc<Engine>) -> DocSlot {
         DocSlot {
-            state: RwLock::new(SlotState::Ready(engine)),
+            state: RwLock::new(SlotState::Ready(ReadyDoc { engine, map: None })),
             mutate: Mutex::new(()),
         }
     }
@@ -72,11 +75,22 @@ impl DocSlot {
 /// What a slot currently holds.
 enum SlotState {
     /// A resident engine (built at startup, forced, or swapped in).
-    Ready(Arc<Engine>),
+    Ready(ReadyDoc),
     /// v2/v3 store: manifest validated at startup, body loaded on first
     /// use. A failed deferred load is cached in `failed`, so a corrupt
     /// file costs one decode attempt, not one per query.
     Lazy(LazyDoc),
+}
+
+/// A resident engine plus, for documents that came off the mapped v3
+/// path, the shared-mapping guard. Holding the guard for the slot's
+/// lifetime keeps the entry in `tr_store`'s weak cache alive, so other
+/// documents (or re-opens) of the same `.trx` file reuse one mapping —
+/// `store.mmap_opens` stays flat no matter how many sessions or aliases
+/// hit the file.
+struct ReadyDoc {
+    engine: Arc<Engine>,
+    map: Option<Arc<tr_store::MappedStore>>,
 }
 
 /// A v2/v3 `.trx` document awaiting its first use.
@@ -199,7 +213,7 @@ impl Catalog {
         {
             let state = slot.state.read().unwrap_or_else(|p| p.into_inner());
             match &*state {
-                SlotState::Ready(engine) => return Some(Ok(Arc::clone(engine))),
+                SlotState::Ready(ready) => return Some(Ok(Arc::clone(&ready.engine))),
                 SlotState::Lazy(lazy) => {
                     if let Some(why) = &lazy.failed {
                         return Some(Err(why.clone()));
@@ -211,15 +225,18 @@ impl Catalog {
         // may have won the race), then load in place.
         let mut state = slot.state.write().unwrap_or_else(|p| p.into_inner());
         match &mut *state {
-            SlotState::Ready(engine) => Some(Ok(Arc::clone(engine))),
+            SlotState::Ready(ready) => Some(Ok(Arc::clone(&ready.engine))),
             SlotState::Lazy(lazy) => {
                 if let Some(why) = &lazy.failed {
                     return Some(Err(why.clone()));
                 }
-                match tr_store::load_document_auto(&lazy.path) {
-                    Ok(doc) => {
+                match tr_store::load_document_shared(&lazy.path) {
+                    Ok((doc, map)) => {
                         let engine = Arc::new(Engine::from_stored(doc));
-                        *state = SlotState::Ready(Arc::clone(&engine));
+                        *state = SlotState::Ready(ReadyDoc {
+                            engine: Arc::clone(&engine),
+                            map,
+                        });
                         Some(Ok(engine))
                     }
                     Err(e) => {
@@ -252,7 +269,14 @@ impl Catalog {
             return false;
         };
         let mut state = slot.state.write().unwrap_or_else(|p| p.into_inner());
-        *state = SlotState::Ready(engine);
+        // Carry the mapping guard across generations: a successor engine
+        // may still borrow column views of the mapped file, and keeping
+        // the guard keeps the weak-cache entry warm for other aliases.
+        let map = match &*state {
+            SlotState::Ready(ready) => ready.map.clone(),
+            SlotState::Lazy(_) => None,
+        };
+        *state = SlotState::Ready(ReadyDoc { engine, map });
         true
     }
 
@@ -264,7 +288,7 @@ impl Catalog {
             .map(|(name, slot)| {
                 let state = slot.state.read().unwrap_or_else(|p| p.into_inner());
                 match &*state {
-                    SlotState::Ready(engine) => summary_from_engine(name, engine, true),
+                    SlotState::Ready(ready) => summary_from_engine(name, &ready.engine, true),
                     SlotState::Lazy(lazy) => DocSummary {
                         name: name.clone(),
                         regions: lazy.manifest.total_regions(),
@@ -406,6 +430,33 @@ mod tests {
         let forced = catalog.get("doc").unwrap();
         assert_eq!(forced.query(r#"s matching "gamma""#).unwrap().len(), 1);
         assert!(catalog.summaries()[0].loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn aliased_trx_documents_share_one_mapping() {
+        let dir = tmp_dir("aliased");
+        let e = Engine::from_sgml("<d><s>alpha</s><s>beta gamma</s></d>").unwrap();
+        tr_store::save_document(dir.join("a.trx"), e.text(), e.instance(), e.rig()).unwrap();
+        std::os::unix::fs::symlink(dir.join("a.trx"), dir.join("b.trx")).unwrap();
+
+        let catalog = Catalog::open(&dir).unwrap();
+        assert_eq!(catalog.len(), 2);
+        let hits_before = tr_obs::counter_value("store.mmap_cache_hits");
+        let a = catalog.get("a").unwrap();
+        let b = catalog.get("b").unwrap();
+        assert_eq!(a.query(r#"s matching "gamma""#).unwrap().len(), 1);
+        assert_eq!(b.query(r#"s matching "gamma""#).unwrap().len(), 1);
+        // Two documents, one file: the second load is a cache hit, not a
+        // second mapping. (Other tests in this binary open *distinct*
+        // paths, which can only miss, so the hit delta is race-free; the
+        // strict `store.mmap_opens` delta is pinned by the dedicated
+        // `shared_mmap_cache` integration test.)
+        assert_eq!(
+            tr_obs::counter_value("store.mmap_cache_hits"),
+            hits_before + 1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

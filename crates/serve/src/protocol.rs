@@ -383,6 +383,7 @@ pub fn watch_event_frame(
     added: &RegionSet,
     removed: &RegionSet,
     hits: usize,
+    coalesced: usize,
 ) -> String {
     let j = Json::obj()
         .with("ev", Json::from("watch"))
@@ -391,7 +392,8 @@ pub fn watch_event_frame(
         .with("generation", Json::from(generation))
         .with("added", regions_json(added))
         .with("removed", regions_json(removed))
-        .with("hits", Json::from(hits));
+        .with("hits", Json::from(hits))
+        .with("coalesced", Json::from(coalesced));
     format!("{j}\n")
 }
 
@@ -617,7 +619,7 @@ mod tests {
     fn event_frames_have_ev_and_no_id() {
         let added = RegionSet::from_regions(vec![tr_core::region(3, 7)]);
         let removed = RegionSet::from_regions(vec![]);
-        let frame = watch_event_frame(5, "d", 2, &added, &removed, 4);
+        let frame = watch_event_frame(5, "d", 2, &added, &removed, 4, 3);
         assert!(frame.ends_with('\n'));
         let j = tr_obs::parse_json(frame.trim_end()).unwrap();
         assert_eq!(j.get("ev").unwrap().as_str(), Some("watch"));
@@ -626,6 +628,7 @@ mod tests {
         assert_eq!(j.get("generation").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("added").unwrap().as_arr().unwrap().len(), 1);
         assert_eq!(j.get("removed").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(j.get("coalesced").unwrap().as_u64(), Some(3));
         let lag = watch_lagged_frame(5, "d", 9, 12);
         let j = tr_obs::parse_json(lag.trim_end()).unwrap();
         assert_eq!(j.get("ev").unwrap().as_str(), Some("watch-lagged"));

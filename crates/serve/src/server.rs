@@ -61,6 +61,10 @@ pub struct ServerConfig {
     /// client reads slower than the document mutates has its backlog
     /// shed and replaced by one `watch-lagged` frame.
     pub watch_queue_capacity: usize,
+    /// Minimum spacing between diff frames per watcher: changes landing
+    /// inside the window are merged into one diff whose `coalesced`
+    /// field counts them. Zero (the default) delivers every diff.
+    pub watch_coalesce: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +78,7 @@ impl Default for ServerConfig {
             max_frame_bytes: 1 << 20,
             deadline: Duration::from_secs(5),
             watch_queue_capacity: 64,
+            watch_coalesce: Duration::ZERO,
         }
     }
 }
@@ -177,7 +182,7 @@ impl Server {
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: Queue::new(cfg.queue_capacity),
-            watches: WatchRegistry::new(cfg.watch_queue_capacity),
+            watches: WatchRegistry::new(cfg.watch_queue_capacity, cfg.watch_coalesce),
             catalog,
             cfg,
             shutdown: AtomicBool::new(false),
@@ -664,6 +669,8 @@ impl Shared {
                 || name.starts_with("corpus.")
                 || name.starts_with("mutate.")
                 || name.starts_with("watch.")
+                || name.starts_with("plan.")
+                || name.starts_with("store.")
                 || name == "exec.segment_waves"
                 || name == "exec.merge_ns";
             if relevant {

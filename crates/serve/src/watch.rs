@@ -22,20 +22,33 @@
 //! explicit signal that the client must re-run its query to resync. The
 //! watcher stays registered and keeps receiving future diffs.
 //!
+//! **Coalescing**: with a nonzero coalesce window (`--watch-coalesce-ms`
+//! on the CLI), each watcher receives at most one diff frame per window.
+//! The first result-changing mutation after a quiet period is delivered
+//! immediately (leading edge); further changes inside the window are
+//! *merged* — the notifier wakes at the window deadline and emits a
+//! single diff from the last delivered result to the current one, whose
+//! `coalesced` field counts the mutation batches it folded together.
+//! Changes that cancel out inside a window (add then remove) produce no
+//! frame at all. A zero window (the default) delivers every diff, each
+//! with `coalesced: 1`.
+//!
 //! **Drain**: connection teardown unregisters that connection's
 //! watchers; server shutdown closes the registry, and the notifier
-//! flushes every still-queued frame before exiting.
+//! flushes every still-pending merged diff and queued frame before
+//! exiting.
 //!
 //! Counter taxonomy (`watch.*`): `watch.registered`,
 //! `watch.unregistered`, `watch.events` (frames written),
-//! `watch.lagged` (shed episodes), `watch.dropped_events` (frames
-//! discarded by sheds).
+//! `watch.coalesced` (result-changing mutations merged into a later
+//! frame instead of delivered on their own), `watch.lagged` (shed
+//! episodes), `watch.dropped_events` (frames discarded by sheds).
 
 use crate::protocol;
 use crate::server::ConnWriter;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tr_core::RegionSet;
 use tr_query::{Engine, ResultDiff, SessionViews};
 
@@ -44,6 +57,7 @@ struct WatchMetrics {
     registered: Arc<tr_obs::Counter>,
     unregistered: Arc<tr_obs::Counter>,
     events: Arc<tr_obs::Counter>,
+    coalesced: Arc<tr_obs::Counter>,
     lagged: Arc<tr_obs::Counter>,
     dropped_events: Arc<tr_obs::Counter>,
 }
@@ -55,6 +69,7 @@ impl WatchMetrics {
             registered: tr_obs::counter("watch.registered"),
             unregistered: tr_obs::counter("watch.unregistered"),
             events: tr_obs::counter("watch.events"),
+            coalesced: tr_obs::counter("watch.coalesced"),
             lagged: tr_obs::counter("watch.lagged"),
             dropped_events: tr_obs::counter("watch.dropped_events"),
         })
@@ -75,9 +90,20 @@ struct Watcher {
     views: Arc<SessionViews>,
     /// Where event frames go.
     writer: Arc<ConnWriter>,
-    /// The last result delivered (or shed to) this watcher; diffs are
-    /// computed against it.
+    /// The newest computed result for this query — updated on every
+    /// notify, even when delivery is deferred by a coalescing window.
     last: RegionSet,
+    /// The result the last *enqueued* frame brought the client to;
+    /// merged diffs are computed against it.
+    delivered: RegionSet,
+    /// Result-changing mutation batches deferred into the open window
+    /// (0 = nothing pending).
+    merged: usize,
+    /// End of the open coalescing window: no further frame may be
+    /// enqueued for this watcher before it. `None` = no window open.
+    due: Option<Instant>,
+    /// The engine generation of `last`, stamped on deferred-flush frames.
+    generation: u64,
     /// Pending event frames, bounded by the registry's capacity.
     queue: VecDeque<String>,
 }
@@ -89,6 +115,9 @@ pub(crate) struct WatchRegistry {
     wake: Condvar,
     /// Per-watcher pending-frame cap; overflow sheds (see module docs).
     capacity: usize,
+    /// Minimum spacing between diff frames per watcher; zero disables
+    /// coalescing.
+    coalesce: Duration,
 }
 
 struct Inner {
@@ -98,7 +127,7 @@ struct Inner {
 }
 
 impl WatchRegistry {
-    pub(crate) fn new(capacity: usize) -> WatchRegistry {
+    pub(crate) fn new(capacity: usize, coalesce: Duration) -> WatchRegistry {
         WatchRegistry {
             inner: Mutex::new(Inner {
                 watchers: HashMap::new(),
@@ -107,6 +136,7 @@ impl WatchRegistry {
             }),
             wake: Condvar::new(),
             capacity: capacity.max(2),
+            coalesce,
         }
     }
 
@@ -137,7 +167,11 @@ impl WatchRegistry {
                 query: query.to_owned(),
                 views,
                 writer,
+                delivered: last.clone(),
                 last,
+                merged: 0,
+                due: None,
+                generation: 0,
                 queue: VecDeque::new(),
             },
         );
@@ -174,12 +208,15 @@ impl WatchRegistry {
     }
 
     /// Re-runs every standing query on `doc` against the new engine
-    /// generation and enqueues diff frames. Called by the mutating
-    /// worker while it still holds the document's mutation lock.
+    /// generation and enqueues diff frames (or defers them into the
+    /// watcher's open coalescing window). Called by the mutating worker
+    /// while it still holds the document's mutation lock.
     pub(crate) fn notify(&self, doc: &str, engine: &Engine) {
         let m = WatchMetrics::get();
+        let now = Instant::now();
         let mut inner = self.lock();
         let capacity = self.capacity;
+        let coalesce = self.coalesce;
         let mut errored: Vec<u64> = Vec::new();
         let mut queued = false;
         for (&id, w) in inner.watchers.iter_mut() {
@@ -199,36 +236,34 @@ impl WatchRegistry {
                     continue;
                 }
             };
-            let diff = ResultDiff::between(&w.last, &new);
+            if new == w.last {
+                continue; // this mutation didn't change the result
+            }
             w.last = new;
+            w.generation = engine.generation();
+            if let Some(due) = w.due {
+                if now < due {
+                    // Inside an open window: merge. The notifier wakes at
+                    // the deadline and emits one combined diff.
+                    w.merged += 1;
+                    m.coalesced.inc();
+                    queued = true; // wake the notifier to arm its timer
+                    continue;
+                }
+            }
+            // Leading edge (or lapsed window): deliver now, counting any
+            // deferred batches a lapsed window left behind.
+            let merged = w.merged + 1;
+            w.merged = 0;
+            let diff = ResultDiff::between(&w.delivered, &w.last);
             if diff.is_empty() {
+                // Net no-op vs what the client last saw (changes inside
+                // the lapsed window cancelled out).
+                w.due = None;
                 continue;
             }
-            let frame = protocol::watch_event_frame(
-                id,
-                doc,
-                engine.generation(),
-                &diff.added,
-                &diff.removed,
-                w.last.len(),
-            );
-            if w.queue.len() + 1 >= capacity {
-                // Shed: every pending diff (and this one) is replaced by
-                // one lagged notice. `last` already tracks the true
-                // current result, so post-resync diffs stay correct.
-                let dropped = w.queue.len() + 1;
-                w.queue.clear();
-                m.lagged.inc();
-                m.dropped_events.add(dropped as u64);
-                w.queue.push_back(protocol::watch_lagged_frame(
-                    id,
-                    doc,
-                    engine.generation(),
-                    dropped,
-                ));
-            } else {
-                w.queue.push_back(frame);
-            }
+            enqueue_or_shed(w, id, &diff, merged, capacity, m);
+            w.due = (!coalesce.is_zero()).then(|| now + coalesce);
             queued = true;
         }
         for id in errored {
@@ -241,6 +276,40 @@ impl WatchRegistry {
         }
     }
 
+    /// Flushes every watcher whose coalescing window has expired (all of
+    /// them when `force` is set — the shutdown path): one merged diff
+    /// frame per watcher with deferred changes. Returns true when
+    /// anything was enqueued. Caller holds the registry lock.
+    fn flush_windows(&self, inner: &mut Inner, m: &WatchMetrics, force: bool) -> bool {
+        let now = Instant::now();
+        let mut queued = false;
+        for (&id, w) in inner.watchers.iter_mut() {
+            let Some(due) = w.due else { continue };
+            if now < due && !force {
+                continue;
+            }
+            if w.merged == 0 {
+                // The window lapsed quietly; the next change is a fresh
+                // leading edge.
+                w.due = None;
+                continue;
+            }
+            let merged = w.merged;
+            w.merged = 0;
+            let diff = ResultDiff::between(&w.delivered, &w.last);
+            if diff.is_empty() {
+                w.due = None;
+                continue; // deferred changes cancelled out
+            }
+            enqueue_or_shed(w, id, &diff, merged, self.capacity, m);
+            // A frame went out: the rate limit re-arms (unless forced —
+            // the registry is shutting down anyway).
+            w.due = (!force && !self.coalesce.is_zero()).then(|| now + self.coalesce);
+            queued = true;
+        }
+        queued
+    }
+
     /// Closes the registry: the notifier flushes what is queued, then
     /// exits; remaining watchers are unregistered.
     pub(crate) fn close(&self) {
@@ -250,16 +319,21 @@ impl WatchRegistry {
         self.wake.notify_all();
     }
 
-    /// The notifier thread body: pop one queued frame at a time (FIFO
-    /// per watcher) and write it outside the lock, so one slow socket
-    /// never blocks the registry. Exits once the registry is closed
-    /// *and* every queue is flushed, then unregisters the leftovers.
+    /// The notifier thread body: flush expired coalescing windows, then
+    /// pop one queued frame at a time (FIFO per watcher) and write it
+    /// outside the lock, so one slow socket never blocks the registry.
+    /// Sleeps until the next window deadline when diffs are deferred.
+    /// Exits once the registry is closed *and* every queue is flushed
+    /// (pending merged diffs are force-flushed first), then unregisters
+    /// the leftovers.
     pub(crate) fn notifier_loop(&self) {
         let m = WatchMetrics::get();
         loop {
             let work: Option<(Arc<ConnWriter>, String)> = {
                 let mut inner = self.lock();
                 loop {
+                    let force = inner.closed;
+                    self.flush_windows(&mut inner, m, force);
                     let next = inner
                         .watchers
                         .values_mut()
@@ -271,7 +345,24 @@ impl WatchRegistry {
                     if inner.closed {
                         break None;
                     }
-                    inner = self.wake.wait(inner).unwrap_or_else(|p| p.into_inner());
+                    // Deferred merges set a deadline; sleep only until the
+                    // earliest one, otherwise until woken.
+                    let next_due = inner
+                        .watchers
+                        .values()
+                        .filter(|w| w.merged > 0)
+                        .filter_map(|w| w.due)
+                        .min();
+                    inner = match next_due {
+                        Some(t) => {
+                            let wait = t.saturating_duration_since(Instant::now());
+                            self.wake
+                                .wait_timeout(inner, wait)
+                                .unwrap_or_else(|p| p.into_inner())
+                                .0
+                        }
+                        None => self.wake.wait(inner).unwrap_or_else(|p| p.into_inner()),
+                    };
                 }
             };
             match work {
@@ -290,6 +381,47 @@ impl WatchRegistry {
         inner.watchers.clear();
         m.unregistered.add(leftover as u64);
     }
+}
+
+/// Queues a diff frame for `w` (or sheds its backlog into one lagged
+/// notice when the queue is full) and advances the delivered baseline.
+/// `merged` is the number of result-changing mutation batches the diff
+/// folds together (1 = uncoalesced).
+fn enqueue_or_shed(
+    w: &mut Watcher,
+    id: u64,
+    diff: &ResultDiff,
+    merged: usize,
+    capacity: usize,
+    m: &WatchMetrics,
+) {
+    let frame = protocol::watch_event_frame(
+        id,
+        &w.doc,
+        w.generation,
+        &diff.added,
+        &diff.removed,
+        w.last.len(),
+        merged,
+    );
+    if w.queue.len() + 1 >= capacity {
+        // Shed: every pending diff (and this one) is replaced by one
+        // lagged notice. `delivered` advances to the true current result
+        // so post-resync diffs stay correct.
+        let dropped = w.queue.len() + 1;
+        w.queue.clear();
+        m.lagged.inc();
+        m.dropped_events.add(dropped as u64);
+        w.queue.push_back(protocol::watch_lagged_frame(
+            id,
+            &w.doc,
+            w.generation,
+            dropped,
+        ));
+    } else {
+        w.queue.push_back(frame);
+    }
+    w.delivered = w.last.clone();
 }
 
 /// Test-only per-event send stall, read once from

@@ -43,10 +43,11 @@ pub mod codec;
 pub mod mmap;
 
 use codec::{fnv1a_words, DecodeError, Decoder, Encoder, FNV_SEED};
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
-use std::sync::{Arc, OnceLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use tr_core::{Instance, RegionSet, Schema};
 use tr_rig::Rig;
 use tr_text::{SuffixArray, SuffixWordIndex};
@@ -905,6 +906,15 @@ impl MappedStore {
     /// skipped (the sectional hash already authenticates the bytes as
     /// written, and `Instance::build` still re-validates the hierarchy).
     pub fn into_document(self) -> Result<StoredDocument, LoadError> {
+        self.document()
+    }
+
+    /// Like [`MappedStore::into_document`], but borrowing: the store
+    /// stays usable, so a *shared* store (see [`open_mapped_shared`])
+    /// can hand a document to each holder while they all keep the one
+    /// mapping alive. The returned document's region sets are views into
+    /// the mapping either way; only the manifest is copied.
+    pub fn document(&self) -> Result<StoredDocument, LoadError> {
         let bytes = self.map.bytes();
         let sa_lo = self.dir.sa_off as usize;
         let sa_bytes = &bytes[sa_lo..sa_lo + 4 * self.manifest.text_bytes as usize];
@@ -933,7 +943,63 @@ impl MappedStore {
             .map(|i| self.regions(i))
             .collect::<Result<Vec<_>, _>>()?;
         let names = self.manifest.names.clone();
-        assemble_document(text, sa, false, names, sets, rig_edges, Some(self.manifest))
+        let manifest = self.manifest.clone();
+        assemble_document(text, sa, false, names, sets, rig_edges, Some(manifest))
+    }
+}
+
+/// Process-wide weak cache behind [`open_mapped_shared`], keyed by
+/// canonical path. Weak entries mean the cache never keeps a mapping
+/// alive by itself — holders do; dead entries are swept on each miss.
+fn shared_stores() -> &'static Mutex<HashMap<PathBuf, Weak<MappedStore>>> {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, Weak<MappedStore>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Opens a v3 file as a **shared** mapping: while any holder keeps the
+/// returned `Arc` alive, further opens of the same file (paths are
+/// canonicalized, so symlinked aliases coalesce) reuse the existing
+/// [`MappedStore`] instead of mapping it again — `store.mmap_cache_hits`
+/// counts the reuses and `store.mmap_opens` stays flat. The cache holds
+/// weak references only: dropping the last holder unmaps the file
+/// exactly as with [`MappedStore::open`]. The cache lock is held across
+/// a miss's open, so two threads racing on one path map it once.
+pub fn open_mapped_shared<P: AsRef<Path>>(path: P) -> Result<Arc<MappedStore>, LoadError> {
+    let path = path.as_ref();
+    let key = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+    let mut cache = shared_stores().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(live) = cache.get(&key).and_then(Weak::upgrade) {
+        tr_obs::counter("store.mmap_cache_hits").inc();
+        return Ok(live);
+    }
+    let store = Arc::new(MappedStore::open(&key)?);
+    cache.retain(|_, w| w.strong_count() > 0);
+    cache.insert(key, Arc::downgrade(&store));
+    Ok(store)
+}
+
+/// Like [`load_document_auto`], but v3 files open through the shared
+/// mapping cache ([`open_mapped_shared`]). The second tuple element is
+/// the cache guard — `Some` exactly when the mapped path was taken.
+/// Hold it alongside the document: while it lives, later opens of the
+/// same path reuse this mapping instead of re-mapping the file.
+pub fn load_document_shared<P: AsRef<Path>>(
+    path: P,
+) -> Result<(StoredDocument, Option<Arc<MappedStore>>), LoadError> {
+    let path = path.as_ref();
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read;
+        let mut f = File::open(path).map_err(DecodeError::Io)?;
+        f.read_exact(&mut magic).map_err(DecodeError::Io)?;
+    }
+    if &magic == MAGIC_V3 {
+        let store = open_mapped_shared(path)?;
+        let doc = store.document()?;
+        Ok((doc, Some(store)))
+    } else {
+        mmap::note_decode_fallback();
+        load_document(path).map(|doc| (doc, None))
     }
 }
 
@@ -1045,6 +1111,45 @@ mod tests {
         // The auto loader takes the mapped path for v3.
         let auto = load_document_auto(&path).unwrap();
         assert_eq!(auto.instance.len(), streamed.instance.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_open_reuses_one_mapping() {
+        let text = "<doc><sec>alpha beta</sec><sec>gamma</sec></doc>";
+        let inst = tr_markup::parse_sgml(text).unwrap();
+        let path = tmp("shared");
+        save_document(&path, text, &inst, None).unwrap();
+
+        // Counter deltas are safe here: this is the only test in the
+        // binary touching the shared cache.
+        let hits = || tr_obs::counter_value("store.mmap_cache_hits");
+        let before = hits();
+        let a = open_mapped_shared(&path).unwrap();
+        assert_eq!(hits(), before, "first open is a miss");
+        let b = open_mapped_shared(&path).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same path must share one store");
+        assert_eq!(hits(), before + 1);
+
+        // Every holder materializes its own document from the one mapping.
+        let doc_a = a.document().unwrap();
+        let doc_b = b.document().unwrap();
+        assert_eq!(doc_a.text, doc_b.text);
+        assert_eq!(doc_a.instance.len(), doc_b.instance.len());
+
+        // The cache is weak: with no holders left, the next open re-maps
+        // rather than resurrecting a dead entry.
+        drop((a, b));
+        let c = open_mapped_shared(&path).unwrap();
+        assert_eq!(hits(), before + 1, "dead entry must not count as a hit");
+
+        // `load_document_shared` takes the cached path for v3 and hands
+        // back the guard that keeps the entry alive.
+        let (doc, guard) = load_document_shared(&path).unwrap();
+        assert_eq!(hits(), before + 2);
+        assert!(guard.is_some(), "v3 load must return the cache guard");
+        assert!(Arc::ptr_eq(&c, guard.as_ref().unwrap()));
+        assert_eq!(doc.text, text);
         std::fs::remove_file(&path).ok();
     }
 

@@ -332,6 +332,92 @@ fn slow_watcher_is_shed_and_recovers_after_resync() {
     server.shutdown();
 }
 
+/// With a coalescing window configured, a burst of result-changing
+/// mutations collapses into fewer diff frames — at most one per window —
+/// whose `coalesced` fields account for every merged mutation, and the
+/// merged stream still replays onto the baseline exactly.
+#[test]
+fn coalescing_merges_burst_diffs_into_few_frames() {
+    let _guard = lock();
+    let cfg = ServerConfig {
+        watch_coalesce: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let server = boot(&corpus(8, 40), cfg);
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).unwrap();
+    let mut mutator = Client::connect(addr).unwrap();
+
+    const Q: &str = r#"sec matching "needle""#;
+    let reply = watcher.watch("live", Q).unwrap();
+    let watch_id = reply.get("watch").and_then(Json::as_u64).unwrap();
+    let mut replay = region_pairs(&reply, "regions");
+    assert!(replay.is_empty());
+    let coalesced_before = tr_obs::counter_value("watch.coalesced");
+
+    // Burst: plant a needle in each of 6 sections back to back (highest
+    // position first so earlier splices never shift later targets) —
+    // far faster than the 400ms window.
+    let mut secs: Vec<(u64, u64)> = region_pairs(&mutator.query("live", "sec").unwrap(), "regions")
+        .into_iter()
+        .collect();
+    secs.sort_by_key(|&(l, _)| std::cmp::Reverse(l));
+    let burst = 6.min(secs.len());
+    for &(l, _) in secs.iter().take(burst) {
+        mutator
+            .mutate("live", Json::Arr(vec![splice(l + 1, 0, " needle ")]))
+            .unwrap();
+    }
+
+    let fresh = region_pairs(&watcher.query("live", Q).unwrap(), "regions");
+    assert_eq!(fresh.len(), burst);
+    let mut frames = 0u64;
+    let mut coalesced_sum = 0u64;
+    watcher
+        .set_read_timeout(Some(Duration::from_millis(600)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replay != fresh {
+        assert!(
+            Instant::now() < deadline,
+            "coalesced stream never converged: {replay:?} vs {fresh:?}"
+        );
+        let Ok(ev) = watcher.next_event() else {
+            continue;
+        };
+        if ev.get("watch").and_then(Json::as_u64) != Some(watch_id) {
+            continue;
+        }
+        assert_eq!(
+            ev.get("ev").and_then(Json::as_str),
+            Some("watch"),
+            "default capacity must not shed this burst"
+        );
+        for r in region_pairs(&ev, "removed") {
+            replay.remove(&r);
+        }
+        for r in region_pairs(&ev, "added") {
+            replay.insert(r);
+        }
+        frames += 1;
+        coalesced_sum += ev.get("coalesced").and_then(Json::as_u64).unwrap();
+    }
+    watcher.set_read_timeout(None).unwrap();
+    assert!(
+        frames < burst as u64,
+        "a {burst}-mutation burst must coalesce into fewer than {burst} frames (got {frames})"
+    );
+    assert_eq!(
+        coalesced_sum, burst as u64,
+        "the coalesced fields account for every merged mutation"
+    );
+    assert!(
+        tr_obs::counter_value("watch.coalesced") > coalesced_before,
+        "deferred merges are counted"
+    );
+    server.shutdown();
+}
+
 /// Graceful shutdown drains the notifier and unregisters every watcher;
 /// a dropped connection unregisters its own watches while the server
 /// keeps running.

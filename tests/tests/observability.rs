@@ -161,7 +161,13 @@ fn batch_stats_and_obs_registry_agree() {
         tr_obs::counter_value("corpus.segments"),
         tr_obs::counter_value("exec.segment_waves"),
     );
-    let seg_engine = Engine::from_source(text).unwrap().with_segments(4);
+    // Structural mode lowers every node segmented; the cost-based default
+    // would (correctly) choose serial kernels on a document this small and
+    // record no waves at all.
+    let seg_engine = Engine::from_source(text)
+        .unwrap()
+        .with_segments(4)
+        .with_planner_mode(tr_query::PlannerMode::Structural);
     let seg_res = seg_engine
         .query("Name within Proc_header within Proc")
         .unwrap();

@@ -1,0 +1,162 @@
+//! Property tests for the cost-based planner: the oracle of ISSUE 9.
+//!
+//! The planner may rewrite an expression (using the synthesized,
+//! oracle-verified rules of `RULES.txt`), reorder commutative operands,
+//! and choose serial vs segmented kernels per node — but every choice is
+//! invisible in the output. For any random document, any random algebra
+//! query, and any segment count, the cost-based engine must be
+//! **byte-identical** to two independent referees:
+//!
+//! 1. the quadratic naive evaluator (`tr_core::eval_naive`, the paper's
+//!    Definition 2.3 set-builder semantics applied to the *unrewritten*
+//!    expression), and
+//! 2. the structural engine (`PlannerMode::Structural`, the historical
+//!    lower-as-written path).
+//!
+//! A final adversarial property feeds the planner deliberately *wrong*
+//! statistics — empty, astronomically inflated, all-zero with a bogus
+//! byte count — and checks the answers still match. Statistics rank
+//! verified-equivalent plans; lying to the ranker can only cost time,
+//! never correctness.
+
+use proptest::prelude::*;
+use tr_core::{eval_naive, Stats};
+use tr_query::{parse, Engine, PlannerMode};
+
+/// Segment counts under test: unsegmented, odd, and fine-grained (the
+/// same spread the segmented-execution oracle uses).
+const SEGMENT_COUNTS: [usize; 3] = [1, 3, 16];
+
+/// Random SGML documents over a fixed tag vocabulary. The first section
+/// always carries a note so `sec` and `note` are in every schema and all
+/// generated queries parse.
+fn doc_strat() -> impl Strategy<Value = String> {
+    let words = prop_oneof![
+        Just("alpha"),
+        Just("beta"),
+        Just("gamma"),
+        Just("delta"),
+        Just("rho"),
+    ];
+    let item = (words, any::<bool>());
+    let sec = proptest::collection::vec(item, 1..10);
+    proptest::collection::vec(sec, 1..8).prop_map(|secs| {
+        let mut text = String::from("<doc>");
+        for (i, sec) in secs.iter().enumerate() {
+            text.push_str("<sec>");
+            if i == 0 {
+                text.push_str("<note>alpha</note> ");
+            }
+            for (word, noted) in sec {
+                if *noted {
+                    text.push_str("<note>");
+                    text.push_str(word);
+                    text.push_str("</note>");
+                } else {
+                    text.push_str(word);
+                }
+                text.push(' ');
+            }
+            text.push_str("</sec>");
+        }
+        text.push_str("</doc>");
+        text
+    })
+}
+
+/// Random algebra queries: every binary operator the planner can rewrite
+/// plus `matching` selections, over name and literal atoms, to depth 3.
+/// Duplicated subtrees show up naturally (small atom pool), which is
+/// exactly where idempotence/absorption rewrites could misfire.
+fn query_strat() -> impl Strategy<Value = String> {
+    // Atoms are names and `matching` selections (a bare literal like
+    // `"alpha"` parses to match-points, which live outside the algebra
+    // the planner rewrites — and outside what `to_expr` can lower).
+    let atom = prop_oneof![
+        Just("sec".to_owned()),
+        Just("note".to_owned()),
+        Just(r#"(sec matching "alpha")"#.to_owned()),
+        Just(r#"(sec matching "beta")"#.to_owned()),
+        Just(r#"(sec matching "gamma")"#.to_owned()),
+        Just(r#"(note matching "alpha")"#.to_owned()),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        let op = prop_oneof![
+            Just("union"),
+            Just("intersect"),
+            Just("minus"),
+            Just("containing"),
+            Just("within"),
+            Just("before"),
+            Just("after"),
+        ];
+        (inner.clone(), op, inner).prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+/// The naive referee: parse against the engine's schema, evaluate the
+/// *original* expression with the quadratic Definition 2.3 operators.
+fn oracle(engine: &Engine, q: &str) -> tr_core::RegionSet {
+    let ast = parse(q, engine.schema()).expect("generated queries parse");
+    let e = ast.to_expr().expect("generated queries are pure algebra");
+    eval_naive(&e, engine.instance())
+}
+
+fn assert_identical(got: &tr_core::RegionSet, want: &tr_core::RegionSet, ctx: &str) {
+    assert_eq!(got.lefts(), want.lefts(), "{ctx}: lefts column");
+    assert_eq!(got.rights(), want.rights(), "{ctx}: rights column");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cost-based plans equal the naive oracle and the structural engine
+    /// at every segment count — rewrites, operand reordering, and
+    /// per-node segmentation choices included.
+    #[test]
+    fn cost_based_plans_match_naive_oracle(text in doc_strat(), q in query_strat()) {
+        let reference = Engine::from_sgml(&text).unwrap();
+        let want = oracle(&reference, &q);
+        for n in SEGMENT_COUNTS {
+            let cost = Engine::from_sgml(&text)
+                .unwrap()
+                .with_segments(n)
+                .with_planner_mode(PlannerMode::CostBased);
+            let structural = Engine::from_sgml(&text)
+                .unwrap()
+                .with_segments(n)
+                .with_planner_mode(PlannerMode::Structural);
+            let got = cost.query(&q).unwrap();
+            assert_identical(&got, &want, &format!("naive oracle, N={n}, {q}"));
+            let s = structural.query(&q).unwrap();
+            assert_identical(&got, &s, &format!("structural mode, N={n}, {q}"));
+        }
+    }
+
+    /// Lying statistics change which plan wins, never what it returns.
+    /// Three adversaries: stats that know nothing, stats that claim every
+    /// name is astronomically large, and all-zero counts with a bogus
+    /// document size.
+    #[test]
+    fn lying_stats_never_change_results(text in doc_strat(), q in query_strat()) {
+        let truth = Engine::from_sgml(&text).unwrap().with_segments(3);
+        let names = truth.schema().len();
+        let segs = truth.segment_count();
+        let want = truth.query(&q).unwrap();
+        let lies = [
+            Stats::from_counts(Vec::new(), 0),
+            Stats::from_counts(vec![vec![u64::MAX / 8; segs]; names], 1),
+            Stats::from_counts(vec![vec![0; segs]; names], u64::MAX / 2),
+        ];
+        for (i, lie) in lies.into_iter().enumerate() {
+            let lied = Engine::from_sgml(&text)
+                .unwrap()
+                .with_segments(3)
+                .with_planner_mode(PlannerMode::CostBased)
+                .with_stats(lie);
+            let got = lied.query(&q).unwrap();
+            assert_identical(&got, &want, &format!("lie #{i}, {q}"));
+            assert_identical(&got, &oracle(&truth, &q), &format!("lie #{i} vs oracle, {q}"));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The shared-mapping catalog cache, end to end: N sessions and aliased
+//! documents against one v3 `.trx` file must share a single mapping.
+//! `store.mmap_opens` counts real mappings, so its delta is the proof —
+//! this binary owns the strict assertions (its tests serialize on
+//! [`lock`] and nothing else here maps files), while the crate-level
+//! tests only pin the race-free `store.mmap_cache_hits` deltas.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use tr_query::Engine;
+use tr_serve::{Catalog, Client, Server, ServerConfig};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+const DOC: &str = "<d><s>alpha</s><s>beta gamma</s></d>";
+
+/// A corpus with one persisted v3 store plus a symlinked alias of it —
+/// two catalog documents, one file on disk.
+fn corpus_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tr_mmap_cache_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let e = Engine::from_sgml(DOC).unwrap();
+    tr_store::save_document(dir.join("shared.trx"), e.text(), e.instance(), e.rig()).unwrap();
+    #[cfg(unix)]
+    std::os::unix::fs::symlink(dir.join("shared.trx"), dir.join("alias.trx")).unwrap();
+    dir
+}
+
+fn opens() -> u64 {
+    tr_obs::counter_value("store.mmap_opens")
+}
+
+fn hits() -> u64 {
+    tr_obs::counter_value("store.mmap_cache_hits")
+}
+
+/// Many sessions querying one v3 document (and its alias) cost exactly
+/// one mapping: the first query forces the load, every later session —
+/// and the aliased document — reuses it.
+#[cfg(unix)]
+#[test]
+fn sessions_do_not_grow_mmap_opens() {
+    let _guard = lock();
+    let dir = corpus_dir("sessions");
+    let catalog = Catalog::open(&dir).unwrap();
+    assert_eq!(catalog.len(), 2, "store + alias");
+
+    let (opens0, hits0) = (opens(), hits());
+    let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    const SESSIONS: usize = 6;
+    for _ in 0..SESSIONS {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let reply = client.query("shared", r#"s matching "gamma""#).unwrap();
+        assert_eq!(reply.get("hits").unwrap().as_u64(), Some(1));
+    }
+    assert_eq!(
+        opens() - opens0,
+        1,
+        "one mapping across {SESSIONS} sessions"
+    );
+    assert_eq!(hits() - hits0, 0, "the alias has not been touched yet");
+
+    // The aliased document resolves to the same file: a cache hit, not a
+    // second mapping.
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let reply = client.query("alias", r#"s matching "gamma""#).unwrap();
+    assert_eq!(reply.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(opens() - opens0, 1, "alias must reuse the mapping");
+    assert_eq!(hits() - hits0, 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Publishing a successor generation (the live-document path) keeps the
+/// slot's mapping guard, so an alias loaded *after* a mutation still
+/// finds the cache entry alive.
+#[cfg(unix)]
+#[test]
+fn mutation_keeps_the_shared_mapping_alive() {
+    let _guard = lock();
+    let dir = corpus_dir("mutate");
+    let catalog = Catalog::open(&dir).unwrap();
+
+    let (opens0, hits0) = (opens(), hits());
+    let old = catalog.get("shared").unwrap();
+    assert_eq!(opens() - opens0, 1);
+
+    let _guard_doc = catalog.lock_for_mutation("shared").unwrap();
+    let (next, _) = old
+        .apply_edits(&[tr_core::mutate::Edit::append(" tail")])
+        .unwrap();
+    assert!(catalog.swap("shared", std::sync::Arc::new(next)));
+
+    // The alias forces its own deferred load now — same file, same
+    // mapping, zero new opens.
+    let alias = catalog.get("alias").unwrap();
+    assert_eq!(alias.query(r#"s matching "gamma""#).unwrap().len(), 1);
+    assert_eq!(opens() - opens0, 1, "post-swap alias load must not re-map");
+    assert_eq!(hits() - hits0, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
