@@ -5,7 +5,7 @@
 //! tr-bencher check <scenario.scn> --baseline LOAD_BASELINE.json [run flags]
 //! tr-bencher sweep <scenario.scn> [--rates 25,50,..] [--duration S] [--addr H:P]
 //! tr-bencher baseline <scenario.scn>... [--out PATH] [--duration S]
-//! tr-bencher gen-corpus <scenario.scn> <dir>
+//! tr-bencher gen-corpus <scenario.scn> <dir> [--shards N]
 //! ```
 //!
 //! Without `--addr`, `run`/`check`/`sweep`/`baseline` boot an
@@ -71,8 +71,10 @@ fn print_usage() {
          \x20            latency-vs-offered-rate table (EXPERIMENTS.md E18)\n\
          \x20 baseline   <scenario.scn>... [--out LOAD_BASELINE.json] [--duration S]\n\
          \x20            measure and write fresh budgets (~8x headroom over observed p99)\n\
-         \x20 gen-corpus <scenario.scn> <dir>\n\
-         \x20            write the scenario's corpus as .sgml files for `trq serve`"
+         \x20 gen-corpus <scenario.scn> <dir> [--shards N]\n\
+         \x20            write the scenario's corpus as .sgml files for `trq serve`;\n\
+         \x20            --shards splits it round-robin into <dir>/shard0..N-1 and\n\
+         \x20            prints the matching backend commands + backends.toml"
     );
 }
 
@@ -86,6 +88,7 @@ struct Flags {
     trace_out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     rates: Option<Vec<f64>>,
+    shards: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -126,6 +129,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--rates needs at least one rate".to_owned());
                 }
                 f.rates = Some(rates);
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                f.shards = Some(n);
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             _ => f.positional.push(arg.clone()),
@@ -430,7 +441,14 @@ fn cmd_gen_corpus(args: &[String]) -> Result<ExitCode, String> {
     };
     let sc = load_scenario(path)?;
     let dir = PathBuf::from(dir);
-    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    match flags.shards {
+        None => gen_corpus_flat(&sc, &dir),
+        Some(shards) => gen_corpus_sharded(&sc, &dir, shards),
+    }
+}
+
+fn gen_corpus_flat(sc: &Scenario, dir: &Path) -> Result<ExitCode, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     for i in 0..sc.docs {
         let text = tr_bench::sgml_workload(sc.sections, sc.seed.wrapping_add(i as u64));
         let file = dir.join(format!("{}.sgml", doc_name(i)));
@@ -446,6 +464,62 @@ fn cmd_gen_corpus(args: &[String]) -> Result<ExitCode, String> {
         sc.queue,
         sc.deadline_ms,
         sc.max_frame_kb * 1024
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The cluster layout: documents round-robined into `shard0..N-1`
+/// subdirectories, plus a ready-to-use `backends.toml` wired to ports
+/// 7980..7980+N-1 so `trq serve --route` can front the shards. Doc
+/// names stay the plan's `doc0..docN-1` regardless of which shard holds
+/// each file — the router learns placement from each backend's
+/// `list-docs`, not from the layout.
+fn gen_corpus_sharded(sc: &Scenario, dir: &Path, shards: usize) -> Result<ExitCode, String> {
+    let mut shard_bytes = vec![0u64; shards];
+    for s in 0..shards {
+        let sub = dir.join(format!("shard{s}"));
+        std::fs::create_dir_all(&sub).map_err(|e| format!("creating {}: {e}", sub.display()))?;
+    }
+    for i in 0..sc.docs {
+        let text = tr_bench::sgml_workload(sc.sections, sc.seed.wrapping_add(i as u64));
+        let shard = i % shards;
+        let file = dir.join(format!("shard{shard}/{}.sgml", doc_name(i)));
+        std::fs::write(&file, &text).map_err(|e| format!("writing {}: {e}", file.display()))?;
+        shard_bytes[shard] += text.len() as u64;
+        eprintln!("wrote {} ({} bytes)", file.display(), text.len());
+    }
+    let toml: String = (0..shards)
+        .map(|s| {
+            format!(
+                "[[backend]]\nname = \"shard{s}\"\naddr = \"127.0.0.1:{}\"\n",
+                7980 + s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let toml_path = dir.join("backends.toml");
+    std::fs::write(&toml_path, &toml)
+        .map_err(|e| format!("writing {}: {e}", toml_path.display()))?;
+    eprintln!("wrote {}", toml_path.display());
+    let total: u64 = shard_bytes.iter().sum();
+    println!(
+        "sharded corpus ready: {} docs, {} bytes across {shards} shard(s); matching cluster:",
+        sc.docs, total
+    );
+    for (s, bytes) in shard_bytes.iter().enumerate() {
+        println!(
+            "  trq serve {}/shard{s} --addr 127.0.0.1:{} --workers {} --queue {} --deadline-ms {} --max-frame-bytes {} --max-conns 256  # {bytes} bytes",
+            dir.display(),
+            7980 + s,
+            sc.workers,
+            sc.queue,
+            sc.deadline_ms,
+            sc.max_frame_kb * 1024
+        );
+    }
+    println!(
+        "  trq serve --route {} --addr 127.0.0.1:7979",
+        toml_path.display()
     );
     Ok(ExitCode::SUCCESS)
 }

@@ -5,19 +5,27 @@
 //! that makes it scriptable: `trq serve corpus/ < /dev/null` serves until
 //! killed, and a test harness can hold the pipe open and close it to
 //! trigger a drain.
+//!
+//! `trq serve --route backends.toml` runs the scatter-gather **router**
+//! instead: no corpus directory, just a routing file listing backend
+//! instances (see [`tr_serve::router::parse_backends_toml`]). The same
+//! stdin convention applies.
 
 use std::io::BufRead;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
-use tr_serve::{Catalog, Server, ServerConfig};
+use tr_serve::{Catalog, Router, RouterConfig, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: trq serve <corpus-dir> [--addr HOST:PORT] [--workers N] \
          [--queue N] [--max-conns N] [--deadline-ms N] [--max-frame-bytes N] \
-         [--watch-queue N] [--watch-coalesce-ms N]\n\
-         serves every .trx/.sgml/.xml/.src/.txt file in <corpus-dir>; \
+         [--watch-queue N] [--watch-coalesce-ms N] [--max-corpus-bytes N]\n\
+       or: trq serve --route <backends.toml> [--addr HOST:PORT]\n\
+         serves every .trx/.sgml/.xml/.src/.txt file in <corpus-dir> \
+         (refusing to start when the corpus exceeds --max-corpus-bytes), \
+         or routes queries across the backends listed in <backends.toml>; \
          EOF or \"quit\" on stdin shuts down gracefully"
     );
     std::process::exit(2);
@@ -25,8 +33,10 @@ fn usage() -> ! {
 
 pub fn run(args: &[String]) -> ExitCode {
     let mut dir: Option<&str> = None;
+    let mut route: Option<String> = None;
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut cfg = ServerConfig::default();
+    let mut max_corpus_bytes: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -37,6 +47,7 @@ pub fn run(args: &[String]) -> ExitCode {
         };
         match arg.as_str() {
             "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--route" => route = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--workers" => cfg.workers = num("--workers").max(1),
             "--queue" => cfg.queue_capacity = num("--queue").max(1),
             "--max-conns" => cfg.max_connections = num("--max-conns").max(1),
@@ -46,6 +57,7 @@ pub fn run(args: &[String]) -> ExitCode {
             "--watch-coalesce-ms" => {
                 cfg.watch_coalesce = Duration::from_millis(num("--watch-coalesce-ms") as u64)
             }
+            "--max-corpus-bytes" => max_corpus_bytes = Some(num("--max-corpus-bytes") as u64),
             "--help" | "-h" => usage(),
             _ if dir.is_none() => dir = Some(arg),
             other => {
@@ -54,9 +66,17 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         }
     }
+
+    if let Some(route) = route {
+        if dir.is_some() {
+            eprintln!("error: --route takes a backends file, not a corpus directory");
+            usage();
+        }
+        return run_router(&route, &addr);
+    }
     let Some(dir) = dir else { usage() };
 
-    let catalog = match Catalog::open(Path::new(dir)) {
+    let catalog = match Catalog::open_capped(Path::new(dir), max_corpus_bytes) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -76,6 +96,59 @@ pub fn run(args: &[String]) -> ExitCode {
     println!("tr-serve listening on {}", server.local_addr());
     println!("(EOF or \"quit\" on stdin shuts down gracefully)");
 
+    wait_for_quit();
+    println!("draining…");
+    server.shutdown();
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}
+
+/// The router mode of `trq serve`: parse the backends file, fan in to
+/// the configured instances, and serve the merged corpus.
+fn run_router(route: &str, addr: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(route) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {route}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match tr_serve::parse_backends_toml(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {route}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+    println!(
+        "routing across {} backend(s): {}",
+        names.len(),
+        names.join(", ")
+    );
+    let router = match Router::start(specs, addr, RouterConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot start router on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "tr-serve routing {} document(s) on {}",
+        router.num_docs(),
+        router.local_addr()
+    );
+    println!("(EOF or \"quit\" on stdin shuts down gracefully)");
+
+    wait_for_quit();
+    println!("draining…");
+    router.shutdown();
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}
+
+/// Blocks until stdin reaches EOF or a line saying `quit`.
+fn wait_for_quit() {
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line {
@@ -84,8 +157,4 @@ pub fn run(args: &[String]) -> ExitCode {
             Err(_) => break,
         }
     }
-    println!("draining…");
-    server.shutdown();
-    println!("shutdown complete");
-    ExitCode::SUCCESS
 }

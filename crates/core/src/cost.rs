@@ -150,6 +150,13 @@ pub struct CostModel {
     /// Fixed overhead per segment when a node runs the segmented kernels
     /// (split-point search, per-segment dispatch, ordered merge).
     pub segment_ns: f64,
+    /// Fixed overhead per *remote* shard when a query scatters across
+    /// backends (one protocol round trip: connect reuse, JSON framing,
+    /// result deserialization). Same role as `segment_ns`, three orders
+    /// of magnitude larger — which is why a router forwards small
+    /// queries whole and only fans out work that dwarfs the wire (see
+    /// [`choose_fanout`]).
+    pub remote_fanout_ns: f64,
 }
 
 impl Default for CostModel {
@@ -160,6 +167,7 @@ impl Default for CostModel {
             select_ns: 30.0,
             node_ns: 400.0,
             segment_ns: 900.0,
+            remote_fanout_ns: 200_000.0,
         }
     }
 }
@@ -450,16 +458,39 @@ pub fn choose_segmentation(
     num_segments: usize,
     model: &CostModel,
 ) -> Vec<bool> {
-    let s = num_segments.max(1) as f64;
     (0..plan.len())
         .map(|id| {
             if num_segments <= 1 || matches!(plan.op(id), PlanOp::Name(_)) {
                 return false;
             }
-            let serial = est.node_ns[id];
-            serial * (1.0 - 1.0 / s) > model.segment_ns * s
+            fanout_pays(est.node_ns[id], num_segments, model.segment_ns)
         })
         .collect()
+}
+
+/// The one fan-out law both tiers share: splitting `serial_ns` of work
+/// across `shards` executors, each charging `per_shard_ns` of fixed
+/// dispatch overhead, pays off when the parallel saving
+/// `serial · (1 − 1/s)` exceeds the dispatch cost `per_shard · s`.
+/// [`choose_segmentation`] instantiates it with
+/// [`CostModel::segment_ns`] per local segment; [`choose_fanout`] with
+/// [`CostModel::remote_fanout_ns`] per remote shard.
+pub fn fanout_pays(serial_ns: f64, shards: usize, per_shard_ns: f64) -> bool {
+    let s = shards.max(1) as f64;
+    serial_ns * (1.0 - 1.0 / s) > per_shard_ns * s
+}
+
+/// Picks the scatter width for a remote fan-out: the largest width
+/// `≤ max_shards` whose predicted parallel saving still beats the
+/// per-shard remote overhead, or `1` (forward whole, no scatter) when
+/// fanning out never pays. `serial_ns` is the caller's estimate of the
+/// query's single-node cost — a router without plan statistics can use
+/// a bytes-proportional proxy; only the ranking matters.
+pub fn choose_fanout(serial_ns: f64, max_shards: usize, model: &CostModel) -> usize {
+    (2..=max_shards)
+        .rev()
+        .find(|&s| fanout_pays(serial_ns, s, model.remote_fanout_ns))
+        .unwrap_or(1)
 }
 
 /// The full verified-rule rewrite set, re-exported for callers that
@@ -633,6 +664,22 @@ mod tests {
         // Single segment: never.
         let choices = choose_segmentation(&plan, &est, 1, &model);
         assert!(!choices.iter().any(|&c| c));
+    }
+
+    #[test]
+    fn remote_fanout_needs_much_more_work_than_segmentation() {
+        let model = CostModel::default();
+        // Work that easily justifies 8 local segments is still far below
+        // the wire's break-even: the same law, a much bigger coefficient.
+        let serial = 5e5;
+        assert!(fanout_pays(serial, 8, model.segment_ns));
+        assert_eq!(choose_fanout(serial, 8, &model), 1, "stays single-node");
+        // Work that dwarfs the wire scatters as wide as allowed.
+        assert_eq!(choose_fanout(1e9, 3, &model), 3);
+        // Degenerate inputs stay sane.
+        assert_eq!(choose_fanout(0.0, 4, &model), 1);
+        assert_eq!(choose_fanout(1e9, 1, &model), 1);
+        assert!(!fanout_pays(1e9, 1, model.segment_ns), "one shard never");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod mutate;
 pub mod naive;
 pub mod ops;
 pub mod par;
+pub mod partition;
 pub mod plan;
 pub mod region;
 pub mod rules;
@@ -42,8 +43,8 @@ pub mod set;
 pub mod word;
 
 pub use cost::{
-    choose_segmentation, estimate, optimize, AppliedRewrite, CostModel, PlanEstimate, PlannerMode,
-    Stats,
+    choose_fanout, choose_segmentation, estimate, fanout_pays, optimize, AppliedRewrite, CostModel,
+    PlanEstimate, PlannerMode, Stats,
 };
 pub use eval::{
     eval, eval_memo, eval_naive, eval_parallel, eval_parallel_with, eval_with, OpTable, FAST, NAIVE,
@@ -53,6 +54,10 @@ pub use expr::{BinOp, Expr};
 pub use instance::{Forest, Instance, InstanceBuilder, InstanceError};
 pub use mutate::{splice_instance, splice_region, splice_set, Edit};
 pub use par::Parallelism;
+pub use partition::{
+    execute_range, partner_rule, partner_window, LocalPartition, PartitionError, PartitionExec,
+    PartitionPlanner, PartitionQuery, PartitionSet, PartnerRule, Window,
+};
 pub use plan::{expr_fingerprint, NodeId, Plan, PlanOp};
 pub use region::{region, Pos, Region};
 pub use schema::{NameId, Schema};

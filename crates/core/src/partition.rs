@@ -1,0 +1,656 @@
+//! The partition/execution boundary: left-endpoint [`Window`]s, the
+//! per-operator operand-window rules (shared with [`crate::seg`]'s
+//! segment kernels), a [`PartitionPlanner`] that propagates windows down
+//! a lowered [`Plan`], a range-restricted executor ([`execute_range`]),
+//! and the [`PartitionExec`] / [`PartitionSet`] abstraction a plan
+//! evaluates against — a local segment slice today, a remote backend
+//! tomorrow.
+//!
+//! # The window algebra
+//!
+//! A window `[lo, hi)` selects the regions of a set whose **left
+//! endpoint** falls inside it — the same convention as segment
+//! membership in [`crate::seg`], so a window restriction of a sorted
+//! [`RegionSet`] is always one zero-copy [`RegionSet::slice`]. Every
+//! operator of the region algebra distributes over such windows given
+//! the right window of each operand:
+//!
+//! | node producing `[lo, hi)` | left operand | right (partner) operand |
+//! |---------------------------|--------------|-------------------------|
+//! | `∪` / `∩` / `−`           | `[lo, hi)`   | `[lo, hi)`              |
+//! | including (`R ⊃ S`)       | `[lo, hi)`   | `[lo, ∞)`               |
+//! | included-in (`R ⊂ S`)     | `[lo, hi)`   | `[0, hi)`               |
+//! | before / after            | `[lo, hi)`   | whole document          |
+//! | `σ_p` (select)            | `[lo, hi)`   | —                       |
+//!
+//! Why these suffice: an output region `x` has `lo ≤ x.left < hi` and is
+//! drawn from the left operand. Any witness `s ⊂ x` has
+//! `s.left ≥ x.left ≥ lo`; any `s ⊃ x` has `s.left ≤ x.left < hi`; the
+//! positional operators compare against one global scalar of `S`
+//! (`max_left` / `min_right`), which no window of `S` can stand in for.
+//! The set operators pair regions with equal endpoints, and equal lefts
+//! share a window. [`crate::seg::eval_bin_segmented`] instantiates the
+//! same table per segment; [`PartitionPlanner`] instantiates it per plan
+//! node for one arbitrary range, which is what a remote shard executes.
+//!
+//! Byte-identity is the contract everywhere: for any plan, window, and
+//! partition of the document's position space into windows,
+//! concatenating the per-window results of [`execute_range`] in window
+//! order equals the unrestricted result exactly.
+
+use crate::exec::ExecConfig;
+use crate::instance::Instance;
+use crate::ops;
+use crate::par::Parallelism;
+use crate::plan::{NodeId, Plan, PlanOp};
+use crate::region::Pos;
+use crate::set::RegionSet;
+use crate::word::WordIndex;
+use crate::BinOp;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// `partition.*` counter handles.
+struct PartitionMetrics {
+    /// `partition.range_execs`: range-restricted plan executions.
+    range_execs: Arc<tr_obs::Counter>,
+    /// `partition.nodes_skipped`: plan nodes outside the demanded cone
+    /// that a range execution never evaluated.
+    nodes_skipped: Arc<tr_obs::Counter>,
+    /// `partition.scatter`: [`PartitionSet::execute`] calls that fanned
+    /// out across more than one partition.
+    scatter: Arc<tr_obs::Counter>,
+}
+
+impl PartitionMetrics {
+    fn get() -> &'static PartitionMetrics {
+        static METRICS: OnceLock<PartitionMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| PartitionMetrics {
+            range_execs: tr_obs::counter("partition.range_execs"),
+            nodes_skipped: tr_obs::counter("partition.nodes_skipped"),
+            scatter: tr_obs::counter("partition.scatter"),
+        })
+    }
+}
+
+/// A half-open left-endpoint window `[lo, hi)`. `hi == Pos::MAX` means
+/// unbounded (no document position reaches `Pos::MAX`, see
+/// [`crate::seg::segment_bounds`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First left endpoint inside the window.
+    pub lo: Pos,
+    /// First left endpoint past the window (`Pos::MAX` ⇒ unbounded).
+    pub hi: Pos,
+}
+
+impl Window {
+    /// The whole position space.
+    pub const ALL: Window = Window {
+        lo: 0,
+        hi: Pos::MAX,
+    };
+
+    /// The window `[lo, hi)`.
+    pub fn new(lo: Pos, hi: Pos) -> Window {
+        Window { lo, hi }
+    }
+
+    /// True when the window is the whole position space.
+    pub fn is_all(&self) -> bool {
+        self.lo == 0 && self.hi == Pos::MAX
+    }
+
+    /// True when no position is inside.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// The smallest window containing both — safe to *evaluate* over
+    /// (evaluation over a superset window restricts down exactly).
+    pub fn hull(self, other: Window) -> Window {
+        Window {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Restricts `set` to the regions whose left endpoint lies in the
+    /// window — a zero-copy slice (the set is sorted by left).
+    pub fn restrict(&self, set: &RegionSet) -> RegionSet {
+        if self.is_all() {
+            return set.clone();
+        }
+        if self.is_empty() {
+            return RegionSet::new();
+        }
+        let a = set.lower_bound_left(self.lo);
+        let b = if self.hi == Pos::MAX {
+            set.len()
+        } else {
+            set.lower_bound_left(self.hi)
+        };
+        set.slice(a, b.max(a))
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == Pos::MAX {
+            write!(f, "[{}, ∞)", self.lo)
+        } else {
+            write!(f, "[{}, {})", self.lo, self.hi)
+        }
+    }
+}
+
+/// Which window of the partner (right) operand a binary node needs to
+/// produce its own output window — the boundary rule of the module-level
+/// table, shared by the segment kernels and the partition planner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartnerRule {
+    /// Partner restricted to the node's own window (`∪ ∩ −`).
+    InWindow,
+    /// Suffix of the partner with lefts `≥ lo` (including, `R ⊃ S`).
+    SuffixFromLo,
+    /// Prefix of the partner with lefts `< hi` (included-in, `R ⊂ S`).
+    PrefixToHi,
+    /// The whole partner — positional operators compare against a global
+    /// scalar of `S` (before / after).
+    Whole,
+}
+
+/// The boundary rule for `op`'s right operand. The left operand always
+/// takes the node's own window.
+pub fn partner_rule(op: BinOp) -> PartnerRule {
+    match op {
+        BinOp::Union | BinOp::Intersect | BinOp::Diff => PartnerRule::InWindow,
+        BinOp::Including => PartnerRule::SuffixFromLo,
+        BinOp::IncludedIn => PartnerRule::PrefixToHi,
+        BinOp::Before | BinOp::After => PartnerRule::Whole,
+    }
+}
+
+/// The partner-operand window for a node producing `w` — the same rule
+/// as `partner_slice`, phrased over position windows instead of
+/// pre-split column indices.
+pub fn partner_window(op: BinOp, w: Window) -> Window {
+    match partner_rule(op) {
+        PartnerRule::InWindow => w,
+        PartnerRule::SuffixFromLo => Window::new(w.lo, Pos::MAX),
+        PartnerRule::PrefixToHi => Window::new(0, w.hi),
+        PartnerRule::Whole => Window::ALL,
+    }
+}
+
+/// The partner-operand view for segment `i` of a pre-split operand:
+/// `sp` are `s`'s split points at the segment boundaries (see
+/// [`crate::seg::split_points`]), so column range `[sp[i], sp[i+1])` is
+/// exactly `s` restricted to the segment's window. Used by
+/// [`crate::seg::eval_bin_segmented`] so the segment kernels and the
+/// remote-shard planner share one implementation of the window table.
+pub(crate) fn partner_slice(op: BinOp, s: &RegionSet, sp: &[usize], i: usize) -> RegionSet {
+    match partner_rule(op) {
+        PartnerRule::InWindow => s.slice(sp[i], sp[i + 1]),
+        PartnerRule::SuffixFromLo => s.slice(sp[i], s.len()),
+        PartnerRule::PrefixToHi => s.slice(0, sp[i + 1]),
+        PartnerRule::Whole => s.clone(),
+    }
+}
+
+/// Per-node evaluation windows for one root's cone of a lowered plan.
+///
+/// Built top-down from the root's demanded output window: each node's
+/// window is the hull of every window its consumers demand (evaluating
+/// over a hull is safe — consumers re-restrict to exactly the window
+/// their rule prescribes, and window restriction commutes with taking
+/// subsets). Nodes outside the root's cone have no window and are never
+/// evaluated.
+#[derive(Clone, Debug)]
+pub struct PartitionPlanner {
+    windows: Vec<Option<Window>>,
+    root: NodeId,
+}
+
+impl PartitionPlanner {
+    /// Plans the evaluation windows for `plan` restricted to producing
+    /// `window` at `root`.
+    pub fn plan(plan: &Plan, root: NodeId, window: Window) -> PartitionPlanner {
+        let mut windows: Vec<Option<Window>> = vec![None; plan.len()];
+        windows[root] = Some(window);
+        // Children-first node ids mean one reverse pass sees every
+        // consumer before the node it consumes.
+        for id in (0..=root).rev() {
+            let Some(w) = windows[id] else { continue };
+            match plan.op(id) {
+                PlanOp::Name(_) => {}
+                PlanOp::Select(_, c) => widen(&mut windows, *c, w),
+                PlanOp::Bin(op, l, r) => {
+                    widen(&mut windows, *l, w);
+                    widen(&mut windows, *r, partner_window(*op, w));
+                }
+            }
+        }
+        PartitionPlanner { windows, root }
+    }
+
+    /// The window node `id` must be evaluated over, or `None` when the
+    /// node is outside the planned root's cone.
+    pub fn window_of(&self, id: NodeId) -> Option<Window> {
+        self.windows.get(id).copied().flatten()
+    }
+
+    /// The planned root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+}
+
+fn widen(windows: &mut [Option<Window>], id: NodeId, w: Window) {
+    windows[id] = Some(match windows[id] {
+        Some(old) => old.hull(w),
+        None => w,
+    });
+}
+
+/// Evaluates `plan`'s `root` restricted to `window`: the returned set is
+/// exactly `window.restrict(full_result)`, computed without building the
+/// full result — each node in the root's cone is evaluated over the
+/// window the [`PartitionPlanner`] assigned it, and consumers slice
+/// their operands down to the window their boundary rule prescribes.
+///
+/// This is what a shard executes: concatenating `execute_range` results
+/// over any ordered partition of the position space into windows
+/// reproduces the unrestricted result byte-for-byte.
+pub fn execute_range<W: WordIndex + Sync>(
+    plan: &Plan,
+    root: NodeId,
+    inst: &Instance<W>,
+    cfg: &ExecConfig,
+    window: Window,
+) -> RegionSet {
+    let metrics = PartitionMetrics::get();
+    metrics.range_execs.inc();
+    let planner = PartitionPlanner::plan(plan, root, window);
+    let kernels = Parallelism::new(cfg.resolved_threads(), cfg.kernel_cutoff);
+    let mut results: Vec<Option<RegionSet>> = vec![None; root + 1];
+    let mut skipped = (plan.len() - (root + 1)) as u64;
+    for id in 0..=root {
+        let Some(w) = planner.window_of(id) else {
+            skipped += 1;
+            continue;
+        };
+        // `operand` re-restricts a child (evaluated over its hull
+        // window) down to the exact window this consumer demands.
+        let operand = |c: NodeId, want: Window| -> RegionSet {
+            let v = results[c].as_ref().expect("children precede parents");
+            if planner.window_of(c) == Some(want) {
+                v.clone()
+            } else {
+                want.restrict(v)
+            }
+        };
+        let value = match plan.op(id) {
+            PlanOp::Name(name) => w.restrict(inst.regions_of(*name)),
+            PlanOp::Select(pattern, c) => {
+                let word = inst.word_index();
+                operand(*c, w).filter_par(&kernels, |r| word.matches(r, pattern))
+            }
+            PlanOp::Bin(op, l, r) => {
+                let lv = operand(*l, w);
+                let rv = operand(*r, partner_window(*op, w));
+                match op {
+                    BinOp::Union => lv.union_par(&rv, &kernels),
+                    BinOp::Intersect => lv.intersect_par(&rv, &kernels),
+                    BinOp::Diff => lv.difference_par(&rv, &kernels),
+                    BinOp::Including => ops::includes_par(&lv, &rv, &kernels),
+                    BinOp::IncludedIn => ops::included_in_par(&lv, &rv, &kernels),
+                    BinOp::Before => ops::precedes_par(&lv, &rv, &kernels),
+                    BinOp::After => ops::follows_par(&lv, &rv, &kernels),
+                }
+            }
+        };
+        results[id] = Some(value);
+    }
+    metrics.nodes_skipped.add(skipped);
+    results[root].take().expect("root planned")
+}
+
+/// A failed partition evaluation (unreachable backend, refused shard…).
+/// Local partitions are infallible; remote ones surface transport and
+/// server errors here.
+#[derive(Clone, Debug)]
+pub struct PartitionError {
+    /// The failing partition's label.
+    pub partition: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition {}: {}", self.partition, self.message)
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// One query as a partition sees it: the lowered plan for in-process
+/// partitions, plus the serialized query text remote partitions put on
+/// the wire (the query language is its own plan serialization).
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionQuery<'a> {
+    /// Lowered plan and root, for partitions evaluating in-process.
+    pub plan: Option<(&'a Plan, NodeId)>,
+    /// The query's textual form, for partitions evaluating remotely.
+    /// Empty when the caller only ever executes locally.
+    pub text: &'a str,
+}
+
+/// One partition of a document's position space that can evaluate a
+/// query restricted to its window. Implemented by local executors (a
+/// window over the in-memory instance) and by remote shards (a backend
+/// reached over the serve protocol).
+pub trait PartitionExec: Send + Sync {
+    /// A short label for errors and stats (`"local"`, a backend name…).
+    fn label(&self) -> &str;
+
+    /// The left-endpoint window this partition covers.
+    fn window(&self) -> Window;
+
+    /// Evaluates the query restricted to [`PartitionExec::window`].
+    fn execute(&self, query: &PartitionQuery<'_>) -> Result<RegionSet, PartitionError>;
+}
+
+/// An ordered set of partitions jointly covering a position space: the
+/// abstract executor a plan runs against. Scatter-gathers the query
+/// across partitions and merges with the zero-copy
+/// [`RegionSet::concat`] path (per-partition outputs keep their lefts
+/// inside their windows, so concatenation in window order is globally
+/// sorted by construction).
+pub struct PartitionSet<'a> {
+    parts: Vec<Box<dyn PartitionExec + 'a>>,
+}
+
+impl<'a> PartitionSet<'a> {
+    /// A set with one partition covering everything — the single-node
+    /// fast path (no scatter, no merge).
+    pub fn single(part: Box<dyn PartitionExec + 'a>) -> PartitionSet<'a> {
+        PartitionSet { parts: vec![part] }
+    }
+
+    /// A set from ordered partitions. Panics unless windows are
+    /// non-overlapping and ascending (`parts[i].window().hi ==
+    /// parts[i+1].window().lo`) — the precondition for the ordered
+    /// concat to be byte-identical to an unpartitioned run.
+    pub fn from_parts(parts: Vec<Box<dyn PartitionExec + 'a>>) -> PartitionSet<'a> {
+        assert!(!parts.is_empty(), "a partition set needs a partition");
+        for pair in parts.windows(2) {
+            assert!(
+                pair[0].window().hi == pair[1].window().lo,
+                "partition windows must tile: {} then {}",
+                pair[0].window(),
+                pair[1].window()
+            );
+        }
+        PartitionSet { parts }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the set is a single whole-space partition.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The partitions, in window order.
+    pub fn parts(&self) -> &[Box<dyn PartitionExec + 'a>] {
+        &self.parts
+    }
+
+    /// Scatter-gathers `query` across the partitions and merges the
+    /// partial results in window order. Fails with the first partition's
+    /// error (after all partitions were attempted, so a caller retrying
+    /// one failed shard does not re-run the healthy ones' work on the
+    /// remote side — their results are simply discarded here).
+    pub fn execute(&self, query: &PartitionQuery<'_>) -> Result<RegionSet, PartitionError> {
+        if self.parts.len() == 1 {
+            return self.parts[0].execute(query);
+        }
+        PartitionMetrics::get().scatter.inc();
+        let partials: Vec<Result<RegionSet, PartitionError>> =
+            self.parts.iter().map(|p| p.execute(query)).collect();
+        let mut sets = Vec::with_capacity(partials.len());
+        for partial in partials {
+            sets.push(partial?);
+        }
+        Ok(RegionSet::concat(&sets))
+    }
+}
+
+/// A [`PartitionExec`] over a local instance: evaluates plans with
+/// [`execute_range`]. The "local segment slice" implementation of the
+/// seam — remote implementations live in the serving tier.
+pub struct LocalPartition<'a, W: WordIndex + Sync> {
+    inst: &'a Instance<W>,
+    cfg: ExecConfig,
+    window: Window,
+}
+
+impl<'a, W: WordIndex + Sync> LocalPartition<'a, W> {
+    /// A local partition of `inst` covering `window`.
+    pub fn new(inst: &'a Instance<W>, cfg: ExecConfig, window: Window) -> LocalPartition<'a, W> {
+        LocalPartition { inst, cfg, window }
+    }
+}
+
+impl<'a, W: WordIndex + Sync> PartitionExec for LocalPartition<'a, W> {
+    fn label(&self) -> &str {
+        "local"
+    }
+
+    fn window(&self) -> Window {
+        self.window
+    }
+
+    fn execute(&self, query: &PartitionQuery<'_>) -> Result<RegionSet, PartitionError> {
+        let (plan, root) = query.plan.ok_or_else(|| PartitionError {
+            partition: "local".to_owned(),
+            message: "local partitions need a lowered plan".to_owned(),
+        })?;
+        Ok(execute_range(plan, root, self.inst, &self.cfg, self.window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::expr::Expr;
+    use crate::instance::InstanceBuilder;
+    use crate::region::region;
+    use crate::schema::Schema;
+    use crate::seg::segment_bounds;
+
+    fn sample() -> (Schema, Instance) {
+        let schema = Schema::new(["A", "B"]);
+        let inst = InstanceBuilder::new(schema.clone())
+            .add("A", region(0, 9))
+            .add("B", region(1, 8))
+            .add("A", region(2, 5))
+            .add("B", region(12, 20))
+            .add("A", region(13, 17))
+            .add("A", region(21, 30))
+            .add("B", region(22, 25))
+            .occurrence("x", 3, 1)
+            .occurrence("x", 14, 1)
+            .occurrence("x", 23, 1)
+            .build_valid();
+        (schema, inst)
+    }
+
+    fn exprs(schema: &Schema) -> Vec<Expr> {
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        vec![
+            a.clone(),
+            a.clone().union(b.clone()),
+            a.clone().intersect(b.clone()),
+            a.clone().diff(b.clone()),
+            a.clone().including(b.clone()),
+            a.clone().included_in(b.clone()),
+            a.clone().before(b.clone()),
+            a.clone().after(b.clone()),
+            a.clone().select("x"),
+            a.clone()
+                .including(b.clone())
+                .union(a.clone().included_in(b.clone()))
+                .select("x"),
+            a.clone().before(b.clone()).after(b.clone()),
+            a.including(b.clone()).diff(b),
+        ]
+    }
+
+    #[test]
+    fn window_restrict_is_a_left_range() {
+        let (_, inst) = sample();
+        let a = inst.regions_of(crate::schema::NameId::from_index(0));
+        let w = Window::new(2, 19);
+        let r = w.restrict(a);
+        assert!(r.iter().all(|x| x.left() >= 2 && x.left() < 19));
+        assert_eq!(r.len(), 2);
+        assert!(r.shares_buf(a), "restriction is zero-copy");
+        assert!(Window::ALL.restrict(a).len() == a.len());
+        assert!(Window::new(5, 5).restrict(a).is_empty());
+    }
+
+    #[test]
+    fn partner_windows_match_the_rule_table() {
+        let w = Window::new(10, 20);
+        assert_eq!(partner_window(BinOp::Union, w), w);
+        assert_eq!(partner_window(BinOp::Intersect, w), w);
+        assert_eq!(partner_window(BinOp::Diff, w), w);
+        assert_eq!(
+            partner_window(BinOp::Including, w),
+            Window::new(10, Pos::MAX)
+        );
+        assert_eq!(partner_window(BinOp::IncludedIn, w), Window::new(0, 20));
+        assert_eq!(partner_window(BinOp::Before, w), Window::ALL);
+        assert_eq!(partner_window(BinOp::After, w), Window::ALL);
+    }
+
+    #[test]
+    fn planner_windows_cover_only_the_roots_cone() {
+        let (schema, _) = sample();
+        let a = Expr::name(schema.expect_id("A"));
+        let b = Expr::name(schema.expect_id("B"));
+        let mut plan = Plan::new();
+        let unused = plan.lower(&a.clone().union(b.clone()));
+        let root = plan.lower(&a.clone().including(b.clone()));
+        let w = Window::new(5, 15);
+        let planner = PartitionPlanner::plan(&plan, root, w);
+        assert_eq!(planner.window_of(root), Some(w));
+        assert_eq!(planner.window_of(unused), None, "outside the cone");
+        // Node 1 is B (children lower first); `including` demands it as
+        // a suffix window.
+        assert_eq!(planner.window_of(1), Some(Window::new(5, Pos::MAX)));
+    }
+
+    #[test]
+    fn range_execution_equals_restricted_full_execution() {
+        let (schema, inst) = sample();
+        let cfg = ExecConfig::sequential();
+        let windows = [
+            Window::ALL,
+            Window::new(0, 13),
+            Window::new(13, Pos::MAX),
+            Window::new(2, 20),
+            Window::new(19, 22),
+            Window::new(25, 25),
+        ];
+        for e in exprs(&schema) {
+            let mut plan = Plan::new();
+            let root = plan.lower(&e);
+            let full = execute(&plan, &inst, &cfg);
+            for w in windows {
+                let got = execute_range(&plan, root, &inst, &cfg, w);
+                let want = w.restrict(full.result(root));
+                assert_eq!(got, want, "expr {e}, window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_shards_equal_the_whole() {
+        let (schema, inst) = sample();
+        let cfg = ExecConfig::sequential();
+        for n in [1usize, 2, 3, 5] {
+            let bounds = segment_bounds(31, n);
+            for e in exprs(&schema) {
+                let mut plan = Plan::new();
+                let root = plan.lower(&e);
+                let full = execute(&plan, &inst, &cfg);
+                let parts: Vec<RegionSet> = (0..n)
+                    .map(|i| {
+                        let hi = if i + 1 == n { Pos::MAX } else { bounds[i + 1] };
+                        execute_range(&plan, root, &inst, &cfg, Window::new(bounds[i], hi))
+                    })
+                    .collect();
+                assert_eq!(
+                    RegionSet::concat(&parts),
+                    *full.result(root),
+                    "expr {e}, {n} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_set_scatter_gathers_local_partitions() {
+        let (schema, inst) = sample();
+        for e in exprs(&schema) {
+            let mut plan = Plan::new();
+            let root = plan.lower(&e);
+            let full = execute(&plan, &inst, &ExecConfig::sequential());
+            let bounds = segment_bounds(31, 3);
+            let parts: Vec<Box<dyn PartitionExec + '_>> = (0..3)
+                .map(|i| {
+                    let hi = if i == 2 { Pos::MAX } else { bounds[i + 1] };
+                    Box::new(LocalPartition::new(
+                        &inst,
+                        ExecConfig::sequential(),
+                        Window::new(bounds[i], hi),
+                    )) as Box<dyn PartitionExec + '_>
+                })
+                .collect();
+            let set = PartitionSet::from_parts(parts);
+            let query = PartitionQuery {
+                plan: Some((&plan, root)),
+                text: "",
+            };
+            assert_eq!(set.execute(&query).unwrap(), *full.result(root), "expr {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn overlapping_partitions_are_rejected() {
+        let (_, inst) = sample();
+        let parts: Vec<Box<dyn PartitionExec + '_>> = vec![
+            Box::new(LocalPartition::new(
+                &inst,
+                ExecConfig::sequential(),
+                Window::new(0, 20),
+            )),
+            Box::new(LocalPartition::new(
+                &inst,
+                ExecConfig::sequential(),
+                Window::new(10, Pos::MAX),
+            )),
+        ];
+        PartitionSet::from_parts(parts);
+    }
+}

@@ -24,6 +24,13 @@
 //! | included-in (`R ⊂ S`) | prefix of `S` with lefts `< hi`             |
 //! | before / after        | one global scalar (`max_left` / `min_right`)|
 //!
+//! The table is owned by [`crate::partition`] (see
+//! [`crate::partition::partner_rule`]), which phrases the same rules
+//! over arbitrary position windows — that is what lets a *remote* shard
+//! evaluate a plan over its range with only local operand windows. This
+//! module consumes the rules via `partition::partner_slice`,
+//! pre-split at the segment boundaries.
+//!
 //! Why these suffice: a region `x` in segment `[lo, hi)` has
 //! `lo ≤ x.left < hi`. Any `s ⊂ x` has `s.left ≥ x.left ≥ lo`; any
 //! `s ⊃ x` has `s.left ≤ x.left < hi`; the positional operators only
@@ -39,6 +46,7 @@
 use crate::instance::Instance;
 use crate::ops;
 use crate::par::{self, Parallelism};
+use crate::partition;
 use crate::region::{Pos, Region};
 use crate::set::RegionSet;
 use crate::word::WordIndex;
@@ -212,35 +220,32 @@ pub fn eval_bin_segmented(
     SegMetrics::get().waves.inc();
     let rp = split_points(r, bounds);
     match op {
-        BinOp::Union | BinOp::Intersect | BinOp::Diff => {
+        BinOp::Union | BinOp::Intersect | BinOp::Diff | BinOp::Including | BinOp::IncludedIn => {
             let sp = split_points(s, bounds);
+            // Prebuild the shared probe auxiliary once, outside the
+            // fan-out, so the per-segment runs reuse one structure.
+            match op {
+                BinOp::Including => {
+                    s.min_right_rmq();
+                }
+                BinOp::IncludedIn => {
+                    s.prefix_max_right();
+                }
+                _ => {}
+            }
+            // Each segment sees the partner window its boundary rule
+            // prescribes — the rule table lives in `crate::partition`,
+            // shared with the remote-shard planner.
             fan_out_merge(n_seg, par, |i| {
                 let rseg = r.slice(rp[i], rp[i + 1]);
-                let sseg = s.slice(sp[i], sp[i + 1]);
+                let sseg = partition::partner_slice(op, s, &sp, i);
                 match op {
                     BinOp::Union => rseg.union(&sseg),
                     BinOp::Intersect => rseg.intersect(&sseg),
-                    _ => rseg.difference(&sseg),
+                    BinOp::Diff => rseg.difference(&sseg),
+                    BinOp::Including => ops::includes(&rseg, &sseg),
+                    _ => ops::included_in(&rseg, &sseg),
                 }
-            })
-        }
-        BinOp::Including => {
-            let sp = split_points(s, bounds);
-            // Prebuild the shared auxiliary once, outside the fan-out.
-            s.min_right_rmq();
-            fan_out_merge(n_seg, par, |i| {
-                // Contained partners have lefts ≥ this segment's lo: the
-                // suffix window starting at the segment's own split point.
-                ops::includes(&r.slice(rp[i], rp[i + 1]), &s.slice(sp[i], s.len()))
-            })
-        }
-        BinOp::IncludedIn => {
-            let sp = split_points(s, bounds);
-            s.prefix_max_right();
-            fan_out_merge(n_seg, par, |i| {
-                // Containing partners have lefts < this segment's hi: the
-                // prefix window ending at the next split point.
-                ops::included_in(&r.slice(rp[i], rp[i + 1]), &s.slice(0, sp[i + 1]))
             })
         }
         BinOp::Before => match s.max_left() {

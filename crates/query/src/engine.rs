@@ -13,9 +13,10 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 use tr_core::{
-    choose_segmentation, estimate, execute_segmented, execute_with_choices, expr_fingerprint, seg,
-    AppliedRewrite, Corpus, CostModel, ExecConfig, Executed, Expr, Instance, Plan, PlannerMode,
-    Region, RegionSet, Schema, Stats,
+    choose_segmentation, estimate, execute_range, execute_segmented, execute_with_choices,
+    expr_fingerprint, seg, AppliedRewrite, Corpus, CostModel, ExecConfig, Executed, Expr, Instance,
+    PartitionError, PartitionExec, PartitionQuery, PartitionSet, Plan, PlannerMode, Pos, Region,
+    RegionSet, Schema, Stats, Window,
 };
 use tr_markup::{parse_program, parse_sgml, ParseError as SourceError, SgmlError};
 use tr_rig::Rig;
@@ -528,6 +529,18 @@ impl Engine {
         }
     }
 
+    /// The partition set this engine's plans evaluate against: a single
+    /// local partition covering the whole document. The seam the
+    /// distributed serving tier plugs into — a router substitutes remote
+    /// shard partitions behind the same [`PartitionExec`] interface and
+    /// gets byte-identical results (see `tr_core::partition`).
+    pub fn partitions(&self) -> PartitionSet<'_> {
+        PartitionSet::single(Box::new(EnginePartition {
+            engine: self,
+            window: Window::ALL,
+        }))
+    }
+
     /// Evaluates a pure-algebra expression through the result cache.
     fn eval_algebra(&self, e: Expr) -> RegionSet {
         let metrics = EngineMetrics::get();
@@ -540,18 +553,85 @@ impl Engine {
             return hit;
         }
         metrics.cache_misses.inc();
-        // Single queries run on the same segmented executor as batches,
-        // so the oracle property (byte-identical results at any segment
-        // count) covers every evaluation path.
+        // Single queries run against the engine's partition set — one
+        // whole-document local partition, whose executor is the same
+        // segmented path batches use, so the oracle property
+        // (byte-identical results at any segment count or partition
+        // layout) covers every evaluation path.
         let mut plan = Plan::new();
         let root = plan.lower(&e);
-        let executed = self.run_plan(&plan);
-        metrics
-            .nodes_executed
-            .add(executed.stats().nodes_evaluated as u64);
-        let out = executed.result(root).clone();
+        let query = PartitionQuery {
+            plan: Some((&plan, root)),
+            text: "",
+        };
+        let out = self
+            .partitions()
+            .execute(&query)
+            .expect("local partitions are infallible");
         self.lock_cache().insert(fp, e, out.clone());
         out
+    }
+
+    /// Evaluates `q` restricted to the left-endpoint window `[lo, hi)`
+    /// (`hi == Pos::MAX` ⇒ unbounded) — the backend half of distributed
+    /// scatter-gather. The result equals the window restriction of
+    /// [`Engine::query_with`]'s result, so concatenating shard results
+    /// over any ordered tiling of the position space reproduces the
+    /// single-node answer byte-for-byte. Bypasses the result cache
+    /// (entries are keyed by expression, not window).
+    pub fn query_shard(
+        &self,
+        session: &SessionViews,
+        q: &str,
+        lo: Pos,
+        hi: Pos,
+    ) -> Result<RegionSet, EngineError> {
+        let window = Window::new(lo, hi);
+        let ast = parse_with_views(q, self.schema(), &self.merged_views(session))?;
+        match ast.to_expr() {
+            Some(e) => {
+                let e = self.planned(e);
+                let mut plan = Plan::new();
+                let root = plan.lower(&e);
+                let query = PartitionQuery {
+                    plan: Some((&plan, root)),
+                    text: q,
+                };
+                let part = EnginePartition {
+                    engine: self,
+                    window,
+                };
+                Ok(part
+                    .execute(&query)
+                    .expect("local partitions are infallible"))
+            }
+            // Extended operators evaluate whole, then restrict: shard
+            // semantics is output restriction, and the extended AST
+            // evaluator has no windowed form.
+            None => Ok(window.restrict(&ast.eval(&self.instance))),
+        }
+    }
+
+    /// Writes the document — text, index, manifest, and RIG — to `path`
+    /// as a v3 `.trx` store, atomically: bytes land in a temporary file
+    /// in the destination directory first, then one `rename` moves them
+    /// into place, so a concurrent reader (or a crash) sees either the
+    /// old store or the new one, never a torn write. This is how a live
+    /// document's successor generation gets persisted (`save` verb).
+    pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("doc.trx");
+        let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+        tr_store::save_document(&tmp, &self.text, &self.instance, self.rig.as_ref())?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, ResultCache> {
@@ -848,6 +928,50 @@ impl Engine {
 
 fn is_identifier(name: &str) -> bool {
     !name.is_empty() && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// The engine's own side of the partition seam: a [`PartitionExec`]
+/// over the in-memory instance. A whole-document window runs the
+/// engine's planned single-node path unchanged (segmented kernels,
+/// cost-based per-node choices) — the `PartitionExec` indirection adds
+/// one virtual call, nothing else, which is what keeps the single-node
+/// perf gates honest. A restricted window runs the range executor, the
+/// same code a remote shard's backend runs for `shard-query`.
+struct EnginePartition<'a> {
+    engine: &'a Engine,
+    window: Window,
+}
+
+impl PartitionExec for EnginePartition<'_> {
+    fn label(&self) -> &str {
+        "local"
+    }
+
+    fn window(&self) -> Window {
+        self.window
+    }
+
+    fn execute(&self, query: &PartitionQuery<'_>) -> Result<RegionSet, PartitionError> {
+        let (plan, root) = query.plan.ok_or_else(|| PartitionError {
+            partition: "local".to_owned(),
+            message: "local partitions need a lowered plan".to_owned(),
+        })?;
+        if self.window.is_all() {
+            let executed = self.engine.run_plan(plan);
+            EngineMetrics::get()
+                .nodes_executed
+                .add(executed.stats().nodes_evaluated as u64);
+            Ok(executed.result(root).clone())
+        } else {
+            Ok(execute_range(
+                plan,
+                root,
+                &self.engine.instance,
+                &self.engine.exec,
+                self.window,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1241,6 +1365,75 @@ mod tests {
             .unwrap();
         assert_eq!(e2.stats().name_card(sec), 3);
         assert_eq!(e.stats().name_card(sec), 2, "predecessor untouched");
+    }
+
+    #[test]
+    fn shard_queries_tile_to_the_single_node_answer() {
+        let e = sgml_engine();
+        let session = SessionViews::new();
+        let len = e.text().len();
+        let queries = [
+            r#"sec matching "beta""#,
+            r#"sec matching "beta" minus (sec containing note)"#,
+            "note within sec",
+            "doc containing sec",
+            // Extended operator: whole-then-restrict path.
+            "sec directly containing note",
+        ];
+        for q in queries {
+            let full = e.query(q).unwrap();
+            for shards in [1usize, 2, 3, 5] {
+                let bounds = tr_core::seg::segment_bounds(len, shards);
+                let parts: Vec<RegionSet> = (0..shards)
+                    .map(|i| {
+                        let hi = if i + 1 == shards {
+                            tr_core::Pos::MAX
+                        } else {
+                            bounds[i + 1]
+                        };
+                        e.query_shard(&session, q, bounds[i], hi).unwrap()
+                    })
+                    .collect();
+                assert_eq!(
+                    RegionSet::concat(&parts),
+                    full,
+                    "query {q} over {shards} shards"
+                );
+            }
+        }
+        // A shard query's result is the window restriction of the whole.
+        let whole = e.query(queries[0]).unwrap();
+        let shard = e.query_shard(&session, queries[0], 0, 10).unwrap();
+        assert!(shard.len() <= whole.len());
+        assert!(shard.iter().all(|r| r.left() < 10));
+        // Errors surface like ordinary queries.
+        assert!(e
+            .query_shard(&session, "nope", 0, tr_core::Pos::MAX)
+            .is_err());
+    }
+
+    #[test]
+    fn save_to_writes_an_atomic_reloadable_store() {
+        let e = sgml_engine();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tr_query_save_to_{}.trx", std::process::id()));
+        e.save_to(&path).unwrap();
+        // No temp file survives a successful save.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|f| f.ok())
+            .filter(|f| {
+                let n = f.file_name();
+                let n = n.to_string_lossy().into_owned();
+                n.contains("tr_query_save_to") && n.contains(".tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp files are renamed or removed");
+        let loaded = Engine::from_stored(tr_store::load_document(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.text(), e.text());
+        let q = r#"sec matching "beta""#;
+        assert_eq!(loaded.query(q).unwrap(), e.query(q).unwrap());
     }
 
     #[test]

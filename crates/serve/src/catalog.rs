@@ -61,13 +61,22 @@ pub struct Catalog {
 struct DocSlot {
     state: RwLock<SlotState>,
     mutate: Mutex<()>,
+    /// The corpus file this document came from, when it came from one.
+    /// `save` without an explicit path targets it (with a `.trx`
+    /// extension); documents inserted programmatically have none.
+    source: Option<PathBuf>,
 }
 
 impl DocSlot {
     fn ready(engine: Arc<Engine>) -> DocSlot {
+        DocSlot::ready_from(engine, None)
+    }
+
+    fn ready_from(engine: Arc<Engine>, source: Option<PathBuf>) -> DocSlot {
         DocSlot {
             state: RwLock::new(SlotState::Ready(ReadyDoc { engine, map: None })),
             mutate: Mutex::new(()),
+            source,
         }
     }
 }
@@ -132,6 +141,11 @@ pub enum CatalogError {
     Duplicate(String),
     /// The directory held no recognised documents at all.
     Empty,
+    /// The corpus text exceeds the configured admission cap (bytes, cap).
+    /// A capped instance refuses to start rather than degrade under a
+    /// corpus it was not sized for — shard the corpus across backends
+    /// behind a router instead.
+    OverCapacity(u64, u64),
 }
 
 impl fmt::Display for CatalogError {
@@ -143,6 +157,11 @@ impl fmt::Display for CatalogError {
                 write!(f, "duplicate document name {name:?} in corpus")
             }
             CatalogError::Empty => write!(f, "corpus directory holds no documents"),
+            CatalogError::OverCapacity(bytes, cap) => write!(
+                f,
+                "corpus is {bytes} bytes but the admission cap is {cap} — \
+                 shard it across backends or raise --max-corpus-bytes"
+            ),
         }
     }
 }
@@ -157,6 +176,14 @@ impl Catalog {
 
     /// Scans `dir` and loads every recognised file.
     pub fn open(dir: &Path) -> Result<Catalog, CatalogError> {
+        Catalog::open_capped(dir, None)
+    }
+
+    /// [`Catalog::open`] with an admission cap: when the corpus text
+    /// totals more than `max_corpus_bytes`, the catalog refuses to open
+    /// ([`CatalogError::OverCapacity`]). Lazy `.trx` documents are
+    /// measured from their manifests, so the check never forces a load.
+    pub fn open_capped(dir: &Path, max_corpus_bytes: Option<u64>) -> Result<Catalog, CatalogError> {
         let mut catalog = Catalog::new();
         let mut entries: Vec<_> = std::fs::read_dir(dir)
             .map_err(CatalogError::Io)?
@@ -168,11 +195,12 @@ impl Catalog {
             if !path.is_file() {
                 continue;
             }
-            let Some(loaded) = load_path(&path)
+            let Some(mut loaded) = load_path(&path)
                 .map_err(|why| CatalogError::Load(path.display().to_string(), why))?
             else {
                 continue; // unrecognised extension
             };
+            loaded.source = Some(path.clone());
             let name = path
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
@@ -188,7 +216,19 @@ impl Catalog {
         if catalog.docs.is_empty() {
             return Err(CatalogError::Empty);
         }
+        if let Some(cap) = max_corpus_bytes {
+            let bytes = catalog.total_bytes();
+            if bytes > cap {
+                return Err(CatalogError::OverCapacity(bytes, cap));
+            }
+        }
         Ok(catalog)
+    }
+
+    /// Total corpus text bytes across all documents, answered from
+    /// manifests for lazy documents (no load is forced).
+    pub fn total_bytes(&self) -> u64 {
+        self.summaries().iter().map(|s| s.bytes).sum()
     }
 
     /// Adds (or replaces) a document under `name`.
@@ -302,6 +342,15 @@ impl Catalog {
             .collect()
     }
 
+    /// Where a parameterless `save` of `name` lands: the document's
+    /// source file with a `.trx` extension. `None` for unknown documents
+    /// and for documents inserted programmatically (no backing file) —
+    /// those need an explicit path.
+    pub fn default_save_path(&self, name: &str) -> Option<PathBuf> {
+        let source = self.docs.get(name)?.source.as_ref()?;
+        Some(source.with_extension("trx"))
+    }
+
     /// Document names, sorted.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.docs.keys().map(String::as_str)
@@ -348,6 +397,7 @@ fn load_path(path: &Path) -> Result<Option<DocSlot>, String> {
                         failed: None,
                     })),
                     mutate: Mutex::new(()),
+                    source: Some(path.to_owned()),
                 }));
             }
             let doc = tr_store::load_document(path).map_err(|e| e.to_string())?;
@@ -506,6 +556,38 @@ mod tests {
         // Unknown documents: no guard, no swap.
         assert!(catalog.lock_for_mutation("nope").is_none());
         assert!(!catalog.swap("nope", new));
+    }
+
+    #[test]
+    fn admission_cap_refuses_an_oversize_corpus() {
+        let dir = tmp_dir("capped");
+        std::fs::write(dir.join("a.sgml"), "<d><s>alpha beta gamma delta</s></d>").unwrap();
+        let bytes = Catalog::open(&dir).unwrap().total_bytes();
+        assert!(bytes > 0);
+        // A cap below the corpus refuses to open; at or above it, opens.
+        match Catalog::open_capped(&dir, Some(bytes - 1)) {
+            Err(CatalogError::OverCapacity(b, c)) => {
+                assert_eq!(b, bytes);
+                assert_eq!(c, bytes - 1);
+            }
+            other => panic!("expected OverCapacity, got ok={}", other.is_ok()),
+        }
+        assert!(Catalog::open_capped(&dir, Some(bytes)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_save_path_tracks_the_source_file() {
+        let dir = tmp_dir("savepath");
+        std::fs::write(dir.join("a.sgml"), "<d><s>alpha</s></d>").unwrap();
+        let catalog = Catalog::open(&dir).unwrap();
+        assert_eq!(catalog.default_save_path("a"), Some(dir.join("a.trx")));
+        assert_eq!(catalog.default_save_path("missing"), None);
+        // Programmatic inserts have no backing file.
+        let mut mem = Catalog::new();
+        mem.insert("m", Engine::from_sgml("<d><s>x</s></d>").unwrap());
+        assert_eq!(mem.default_save_path("m"), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -234,6 +234,38 @@ impl Client {
         )
     }
 
+    /// Runs `q` against `doc` restricted to result regions whose left
+    /// endpoint falls in `[lo, hi)` (`u32::MAX` for unbounded). The reply
+    /// carries *every* matching region, uncapped — shard replies are
+    /// router merge inputs, not displays.
+    pub fn shard_query(
+        &mut self,
+        doc: &str,
+        q: &str,
+        lo: u32,
+        hi: u32,
+    ) -> Result<Json, ClientError> {
+        self.request(
+            "shard-query",
+            Json::obj()
+                .with("doc", Json::from(doc))
+                .with("q", Json::from(q))
+                .with("lo", Json::from(u64::from(lo)))
+                .with("hi", Json::from(u64::from(hi))),
+        )
+    }
+
+    /// Persists `doc`'s current generation to a `.trx` store, atomically.
+    /// Without `path` the server targets the document's backing file with
+    /// a `.trx` extension.
+    pub fn save(&mut self, doc: &str, path: Option<&str>) -> Result<Json, ClientError> {
+        let mut fields = Json::obj().with("doc", Json::from(doc));
+        if let Some(p) = path {
+            fields.set("path", Json::from(p));
+        }
+        self.request("save", fields)
+    }
+
     /// Asks for `q`'s plan without running it.
     pub fn explain(&mut self, doc: &str, q: &str) -> Result<Json, ClientError> {
         self.request(

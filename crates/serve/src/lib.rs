@@ -53,12 +53,14 @@ pub mod catalog;
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod watch;
 
 pub use catalog::{Catalog, CatalogError, DocSummary};
 pub use client::{Client, ClientError, ReplyTiming};
 pub use protocol::ErrorCode;
+pub use router::{parse_backends_toml, BackendSpec, Router, RouterConfig};
 pub use server::{Server, ServerConfig};
 
 #[cfg(test)]

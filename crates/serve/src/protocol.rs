@@ -50,6 +50,10 @@ pub enum ErrorCode {
     Mutate,
     /// The `watch` value names no standing query on this connection.
     UnknownWatch,
+    /// A routed request could not be served in full: the backend(s)
+    /// holding the document are unreachable even after a reconnect
+    /// attempt. The router stays up and other documents keep working.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -68,6 +72,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Mutate => "mutate_error",
             ErrorCode::UnknownWatch => "unknown_watch",
+            ErrorCode::Degraded => "degraded",
         }
     }
 }
@@ -152,6 +157,30 @@ pub enum RequestBody {
         /// The watch id from the `watch` reply.
         watch: u64,
     },
+    /// Run one query restricted to result regions whose left endpoint
+    /// falls in `[lo, hi)`. This is the router's scatter verb: the reply
+    /// carries **every** matching region, uncapped, because it is a
+    /// merge input for [`tr_core::RegionSet::concat`], not a display.
+    ShardQuery {
+        /// Catalog document name.
+        doc: String,
+        /// Query text.
+        q: String,
+        /// Inclusive lower bound on result left endpoints.
+        lo: u32,
+        /// Exclusive upper bound on result left endpoints (`u32::MAX`
+        /// means unbounded).
+        hi: u32,
+    },
+    /// Persist a document's current generation to a `.trx` v3 store,
+    /// atomically (write-temp-then-rename).
+    Save {
+        /// Catalog document name.
+        doc: String,
+        /// Target path; defaults to the document's backing file with a
+        /// `.trx` extension.
+        path: Option<String>,
+    },
 }
 
 impl RequestBody {
@@ -168,6 +197,8 @@ impl RequestBody {
             RequestBody::Mutate { .. } => "mutate",
             RequestBody::Watch { .. } => "watch",
             RequestBody::Unwatch { .. } => "unwatch",
+            RequestBody::ShardQuery { .. } => "shard-query",
+            RequestBody::Save { .. } => "save",
         }
     }
 }
@@ -307,6 +338,51 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 )
             })?;
             RequestBody::Unwatch { watch }
+        }
+        "shard-query" => {
+            let pos_field = |name: &str, default: u32| -> Result<u32, RequestError> {
+                match json.get(name) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .map(|n| n as u32)
+                        .ok_or_else(|| {
+                            fail(
+                                ErrorCode::BadRequest,
+                                format!("field {name:?} must be a u32 position"),
+                            )
+                        }),
+                }
+            };
+            let (lo, hi) = (pos_field("lo", 0)?, pos_field("hi", u32::MAX)?);
+            if lo > hi {
+                return Err(fail(
+                    ErrorCode::BadRequest,
+                    format!("shard window lo {lo} exceeds hi {hi}"),
+                ));
+            }
+            RequestBody::ShardQuery {
+                doc: str_field("doc")?,
+                q: str_field("q")?,
+                lo,
+                hi,
+            }
+        }
+        "save" => {
+            let path = match json.get("path") {
+                None => None,
+                Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadRequest,
+                        "field \"path\" must be a string".to_owned(),
+                    )
+                })?),
+            };
+            RequestBody::Save {
+                doc: str_field("doc")?,
+                path,
+            }
         }
         other => return Err(fail(ErrorCode::UnknownOp, format!("unknown op {other:?}"))),
     };
@@ -506,6 +582,11 @@ mod tests {
             ),
             (r#"{"op":"watch","doc":"d","q":"sec"}"#, "watch"),
             (r#"{"op":"unwatch","watch":3}"#, "unwatch"),
+            (
+                r#"{"op":"shard-query","doc":"d","q":"sec","lo":0,"hi":50}"#,
+                "shard-query",
+            ),
+            (r#"{"op":"save","doc":"d"}"#, "save"),
         ];
         for (line, op) in cases {
             let req = parse_request(line).unwrap();
@@ -613,6 +694,42 @@ mod tests {
             let err = parse_request(bad).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
         }
+    }
+
+    #[test]
+    fn shard_query_windows_default_and_validate() {
+        // Omitted bounds default to the whole position space.
+        let req = parse_request(r#"{"op":"shard-query","doc":"d","q":"sec"}"#).unwrap();
+        match req.body {
+            RequestBody::ShardQuery { lo, hi, .. } => {
+                assert_eq!(lo, 0);
+                assert_eq!(hi, u32::MAX);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Inverted or oversize windows are refused.
+        for bad in [
+            r#"{"op":"shard-query","doc":"d","q":"s","lo":9,"hi":3}"#,
+            r#"{"op":"shard-query","doc":"d","q":"s","lo":5000000000}"#,
+            r#"{"op":"shard-query","doc":"d","q":"s","lo":"x"}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn save_path_is_optional_but_typed() {
+        let req = parse_request(r#"{"op":"save","doc":"d","path":"/tmp/out.trx"}"#).unwrap();
+        match req.body {
+            RequestBody::Save { doc, path } => {
+                assert_eq!(doc, "d");
+                assert_eq!(path.as_deref(), Some("/tmp/out.trx"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_request(r#"{"op":"save","doc":"d","path":7}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -1,0 +1,966 @@
+//! The scatter-gather routing tier: one process fronting N backends.
+//!
+//! A [`Router`] speaks the same newline-delimited JSON protocol as
+//! [`crate::server`], but owns no documents. At startup it connects to
+//! every configured backend (see [`parse_backends_toml`]), asks each for
+//! its catalog, and builds a routing table `doc → backends`. A corpus
+//! too large for any single instance's admission cap
+//! ([`crate::Catalog::open_capped`]) is served by splitting it across
+//! backend corpus directories and pointing the router at all of them.
+//!
+//! Per query, the router is a [`tr_core::PartitionExec`] consumer in
+//! spirit: it picks a fanout with [`tr_core::choose_fanout`] (the cost
+//! model's `remote_fanout_ns` term keeps small documents on one wire
+//! round-trip), carves the document's position space with
+//! [`tr_core::seg::segment_bounds`], scatters `shard-query` requests —
+//! each answering only result regions whose left endpoint falls in its
+//! window — and merges the sorted shard replies with the zero-copy
+//! [`RegionSet::concat`] path. Because the windows tile `[0, ∞)`, the
+//! merged reply is **byte-identical** to a single-node evaluation; the
+//! `router_oracle` integration test pins that across shard counts and
+//! backend permutations.
+//!
+//! Failure semantics: a backend request that breaks the connection marks
+//! the backend unhealthy and is retried **once** (the retry reconnects
+//! with bounded exponential backoff plus jitter; `router.backend_reconnects`
+//! counts those re-dial cycles). If the retry also fails the client gets a
+//! structured [`ErrorCode::Degraded`] reply — never a hang — and the
+//! router keeps serving documents on the surviving backends. A health
+//! thread pings every backend on an interval so `stats` reports
+//! per-backend health (and each backend's admission-queue depth) without
+//! waiting for a query to trip over a dead one.
+//!
+//! The router answers `ping`, `list-docs` (merged), `stats`, `query`,
+//! and `batch`. Mutating and session ops (`mutate`, `watch`,
+//! `define-view`, `save`, …) are refused with `bad_request`: they need a
+//! single authoritative generation, which is the backend's job.
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{self, ErrorCode, Request, RequestBody};
+use crate::server::{ConnWriter, Frame, FrameReader, READ_TICK};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use tr_core::seg::segment_bounds;
+use tr_core::{choose_fanout, CostModel, RegionSet};
+use tr_obs::Json;
+
+/// One configured backend: a display name and a `host:port` address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Operator-chosen name, shown in `stats` and error messages.
+    pub name: String,
+    /// TCP address of a running tr-serve instance.
+    pub addr: String,
+}
+
+/// Tuning knobs for [`Router::start`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Maximum request frame size on router connections.
+    pub max_frame_bytes: usize,
+    /// How often the health thread pings each backend.
+    pub health_interval: Duration,
+    /// Read timeout on backend connections: a hung backend costs at most
+    /// this long before the request degrades, never a hang.
+    pub backend_timeout: Duration,
+    /// Upper bound on shards per query, independent of backend count.
+    pub max_fanout: usize,
+    /// Cost model consulted by [`tr_core::choose_fanout`]; its
+    /// `remote_fanout_ns` term keeps small documents on one round-trip.
+    pub cost_model: CostModel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            max_frame_bytes: 1 << 20,
+            health_interval: Duration::from_secs(1),
+            backend_timeout: Duration::from_secs(5),
+            max_fanout: 8,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Reconnect backoff: first retry after [`RECONNECT_BASE`], doubling up
+/// to [`RECONNECT_MAX`], each delay jittered to ±50%. Bounded at
+/// [`RECONNECT_ATTEMPTS`] connection attempts per reconnect cycle so a
+/// dead backend costs milliseconds, not minutes, before degrading.
+const RECONNECT_ATTEMPTS: usize = 3;
+const RECONNECT_BASE: Duration = Duration::from_millis(25);
+const RECONNECT_MAX: Duration = Duration::from_millis(200);
+
+/// Cached handles into the `tr_obs` registry.
+struct RouterMetrics {
+    queries: Arc<tr_obs::Counter>,
+    forwarded: Arc<tr_obs::Counter>,
+    scatter: Arc<tr_obs::Counter>,
+    shard_requests: Arc<tr_obs::Counter>,
+    degraded: Arc<tr_obs::Counter>,
+    backend_reconnects: Arc<tr_obs::Counter>,
+}
+
+impl RouterMetrics {
+    fn get() -> &'static RouterMetrics {
+        static METRICS: OnceLock<RouterMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| RouterMetrics {
+            queries: tr_obs::counter("router.queries"),
+            forwarded: tr_obs::counter("router.forwarded"),
+            scatter: tr_obs::counter("router.scatter"),
+            shard_requests: tr_obs::counter("router.shard_requests"),
+            degraded: tr_obs::counter("router.degraded"),
+            backend_reconnects: tr_obs::counter("router.backend_reconnects"),
+        })
+    }
+}
+
+/// Parses the `backends.toml` routing file. The accepted grammar is the
+/// TOML subset the file actually needs (no dependency on a TOML crate):
+///
+/// ```text
+/// # comments and blank lines are ignored
+/// [[backend]]
+/// name = "alpha"
+/// addr = "127.0.0.1:7879"
+///
+/// [[backend]]
+/// name = "beta"
+/// addr = "127.0.0.1:7880"
+/// ```
+///
+/// Every block needs both keys; names must be unique.
+pub fn parse_backends_toml(text: &str) -> Result<Vec<BackendSpec>, String> {
+    fn finish(
+        current: &mut Option<(Option<String>, Option<String>)>,
+        specs: &mut Vec<BackendSpec>,
+    ) -> Result<(), String> {
+        if let Some((name, addr)) = current.take() {
+            let name = name.ok_or("a [[backend]] block is missing \"name\"")?;
+            let addr = addr.ok_or_else(|| format!("backend {name:?} is missing \"addr\""))?;
+            if specs.iter().any(|s| s.name == name) {
+                return Err(format!("duplicate backend name {name:?}"));
+            }
+            specs.push(BackendSpec { name, addr });
+        }
+        Ok(())
+    }
+    let mut specs = Vec::new();
+    let mut current: Option<(Option<String>, Option<String>)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[backend]]" {
+            finish(&mut current, &mut specs)?;
+            current = Some((None, None));
+            continue;
+        }
+        let lineno = idx + 1;
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let value = value
+            .trim()
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: value must be double-quoted"))?;
+        let Some((name_slot, addr_slot)) = current.as_mut() else {
+            return Err(format!("line {lineno}: key outside a [[backend]] block"));
+        };
+        match key.trim() {
+            "name" => *name_slot = Some(value.to_owned()),
+            "addr" => *addr_slot = Some(value.to_owned()),
+            other => return Err(format!("line {lineno}: unknown key {other:?}")),
+        }
+    }
+    finish(&mut current, &mut specs)?;
+    if specs.is_empty() {
+        return Err("no [[backend]] blocks found".to_owned());
+    }
+    Ok(specs)
+}
+
+/// One backend's live state: at most one pooled connection (requests to
+/// a backend serialize over it — the router's parallelism is across
+/// backends, not per backend) plus a health flag the ping thread and the
+/// request path both maintain.
+struct Backend {
+    spec: BackendSpec,
+    conn: Mutex<Option<Client>>,
+    healthy: AtomicBool,
+    /// Distinguishes the startup connect from *re*-connects, so
+    /// `router.backend_reconnects` counts only re-dial cycles after a
+    /// connection was lost, not the initial fan-in.
+    ever_connected: AtomicBool,
+}
+
+impl Backend {
+    fn new(spec: BackendSpec) -> Backend {
+        Backend {
+            spec,
+            conn: Mutex::new(None),
+            healthy: AtomicBool::new(false),
+            ever_connected: AtomicBool::new(false),
+        }
+    }
+
+    /// Runs `f` over a live connection, establishing one (with bounded
+    /// backoff) if none is pooled. A connection-level failure inside `f`
+    /// drops the pooled connection and marks the backend unhealthy; the
+    /// *caller* decides whether to retry — calling again reconnects.
+    fn with_conn<T>(
+        &self,
+        cfg: &RouterConfig,
+        f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut slot = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(self.reconnect(cfg)?);
+        }
+        let client = slot.as_mut().expect("connection just ensured");
+        match f(client) {
+            Ok(v) => {
+                self.healthy.store(true, Ordering::SeqCst);
+                Ok(v)
+            }
+            Err(e) => {
+                if matches!(e, ClientError::Io(_) | ClientError::Protocol(_)) {
+                    *slot = None;
+                    self.healthy.store(false, Ordering::SeqCst);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Dials the backend: up to [`RECONNECT_ATTEMPTS`] attempts, the
+    /// first immediate, later ones spaced by exponential backoff with
+    /// ±50% jitter (so a fleet of routers re-dialing a restarted backend
+    /// does not stampede it on one schedule).
+    fn reconnect(&self, cfg: &RouterConfig) -> Result<Client, ClientError> {
+        if self.ever_connected.load(Ordering::SeqCst) {
+            RouterMetrics::get().backend_reconnects.inc();
+        }
+        let mut seed = jitter_seed();
+        let mut delay = RECONNECT_BASE;
+        let mut last = None;
+        for attempt in 0..RECONNECT_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(jittered(delay, &mut seed));
+                delay = (delay * 2).min(RECONNECT_MAX);
+            }
+            match Client::connect(self.spec.addr.as_str()) {
+                Ok(client) => {
+                    client.set_read_timeout(Some(cfg.backend_timeout)).ok();
+                    self.ever_connected.store(true, Ordering::SeqCst);
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        self.healthy.store(false, Ordering::SeqCst);
+        Err(ClientError::Io(last.expect("at least one attempt ran")))
+    }
+}
+
+fn jitter_seed() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e37_79b9_7f4a_7c15)
+        | 1
+}
+
+/// xorshift64* step → a delay multiplied into [0.5, 1.5).
+fn jittered(delay: Duration, seed: &mut u64) -> Duration {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    let unit = (seed.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+    delay.mul_f64(0.5 + unit)
+}
+
+/// Where one document lives: its advertised size (for carving shard
+/// windows) plus the backends listing it, in configuration order.
+struct Route {
+    bytes: u64,
+    /// The startup `list-docs` summary, re-served by the router's own
+    /// `list-docs` with a `backends` field appended.
+    summary: Json,
+    backends: Vec<usize>,
+}
+
+struct RouterShared {
+    backends: Vec<Backend>,
+    routes: BTreeMap<String, Route>,
+    cfg: RouterConfig,
+    shutdown: AtomicBool,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+/// A running routing tier. Dropping it shuts down gracefully.
+pub struct Router {
+    local: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Connects to every backend, builds the routing table from their
+    /// catalogs, binds `addr`, and starts serving. Backends that are
+    /// unreachable at startup begin unhealthy and contribute no routes;
+    /// if *none* is reachable the router refuses to start.
+    pub fn start(
+        specs: Vec<BackendSpec>,
+        addr: impl ToSocketAddrs,
+        cfg: RouterConfig,
+    ) -> io::Result<Router> {
+        if specs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let backends: Vec<Backend> = specs.into_iter().map(Backend::new).collect();
+        let mut routes: BTreeMap<String, Route> = BTreeMap::new();
+        let mut reachable = 0usize;
+        for (i, backend) in backends.iter().enumerate() {
+            let docs = backend.with_conn(&cfg, |c| c.list_docs());
+            let Ok(reply) = docs else { continue };
+            reachable += 1;
+            for doc in reply.get("docs").and_then(Json::as_arr).unwrap_or_default() {
+                let Some(name) = doc.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                let bytes = doc.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+                routes
+                    .entry(name.to_owned())
+                    .or_insert_with(|| Route {
+                        bytes,
+                        summary: doc.clone(),
+                        backends: Vec::new(),
+                    })
+                    .backends
+                    .push(i);
+            }
+        }
+        if reachable == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "no configured backend is reachable",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            backends,
+            routes,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conn_handles: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tr-route-accept".to_owned())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tr-route-health".to_owned())
+                .spawn(move || health_loop(&shared))?
+        };
+        Ok(Router {
+            local,
+            shared,
+            accept: Some(accept),
+            health: Some(health),
+        })
+    }
+
+    /// The bound address (for ephemeral-port routers).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The number of distinct documents in the routing table.
+    pub fn num_docs(&self) -> usize {
+        self.shared.routes.len()
+    }
+
+    /// Gracefully shuts down: stop accepting, join every thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.local);
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        let conns: Vec<_> = {
+            let mut handles = self
+                .shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            handles.drain(..).collect()
+        };
+        for h in conns {
+            h.join().ok();
+        }
+        if let Some(h) = self.health.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<RouterShared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("tr-route-conn".to_owned())
+            .spawn(move || handle_conn(&conn_shared, stream));
+        if let Ok(h) = handle {
+            shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(h);
+        }
+    }
+}
+
+fn health_loop(shared: &Arc<RouterShared>) {
+    let mut since_ping = shared.cfg.health_interval; // ping immediately
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if since_ping >= shared.cfg.health_interval {
+            since_ping = Duration::ZERO;
+            for backend in &shared.backends {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A failed ping flips `healthy` inside with_conn; one
+                // more reconnect cycle per interval is the recovery path
+                // for a backend that came back between pings.
+                let _ = backend.with_conn(&shared.cfg, Client::ping);
+            }
+        }
+        std::thread::sleep(READ_TICK);
+        since_ping += READ_TICK;
+    }
+}
+
+fn handle_conn(shared: &Arc<RouterShared>, stream: TcpStream) {
+    stream.set_read_timeout(Some(READ_TICK)).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = ConnWriter::new(write_half);
+    let mut reader = FrameReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match reader.next(shared.cfg.max_frame_bytes) {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        match frame {
+            Frame::Idle => continue,
+            Frame::Eof => break,
+            Frame::TooLarge => {
+                writer.send(&protocol::err_frame(
+                    None,
+                    ErrorCode::TooLarge,
+                    &format!("frame exceeds {} bytes", shared.cfg.max_frame_bytes),
+                ));
+            }
+            Frame::Line(bytes) => {
+                if bytes.iter().all(u8::is_ascii_whitespace) {
+                    continue;
+                }
+                let line = String::from_utf8_lossy(&bytes);
+                match protocol::parse_request(&line) {
+                    Ok(req) => writer.send(&answer(shared, req)),
+                    Err(e) => writer.send(&protocol::err_frame(e.id.as_ref(), e.code, &e.message)),
+                }
+            }
+        }
+    }
+}
+
+/// Produces the reply frame for one parsed request. Everything runs on
+/// the connection thread: the router's work per request is wire I/O, so
+/// a worker pool would only add queueing.
+fn answer(shared: &RouterShared, req: Request) -> String {
+    let id = req.id;
+    let op = req.body.op();
+    match req.body {
+        RequestBody::Ping => protocol::ok_frame(
+            id.as_ref(),
+            "ping",
+            Json::obj().with("pong", Json::Bool(true)),
+        ),
+        RequestBody::ListDocs => {
+            let docs = shared
+                .routes
+                .values()
+                .map(|route| {
+                    let mut doc = route.summary.clone();
+                    doc.set(
+                        "backends",
+                        Json::Arr(
+                            route
+                                .backends
+                                .iter()
+                                .map(|&i| Json::from(shared.backends[i].spec.name.as_str()))
+                                .collect(),
+                        ),
+                    );
+                    doc
+                })
+                .collect();
+            protocol::ok_frame(
+                id.as_ref(),
+                "list-docs",
+                Json::obj().with("docs", Json::Arr(docs)),
+            )
+        }
+        RequestBody::Stats => protocol::ok_frame(id.as_ref(), "stats", stats_fields(shared)),
+        RequestBody::Query { doc, q, limit } => match routed_query(shared, &doc, &q) {
+            Ok((hits, generation)) => protocol::ok_frame(
+                id.as_ref(),
+                "query",
+                protocol::result_fields(&hits, limit).with("generation", Json::from(generation)),
+            ),
+            Err((code, message)) => protocol::err_frame(id.as_ref(), code, &message),
+        },
+        RequestBody::Batch {
+            doc,
+            queries,
+            limit,
+        } => {
+            let mut results = Vec::with_capacity(queries.len());
+            for q in &queries {
+                match routed_query(shared, &doc, q) {
+                    Ok((hits, _)) => results.push(protocol::result_fields(&hits, limit)),
+                    Err((code, message)) => {
+                        return protocol::err_frame(id.as_ref(), code, &message)
+                    }
+                }
+            }
+            protocol::ok_frame(
+                id.as_ref(),
+                "batch",
+                Json::obj().with("results", Json::Arr(results)).with(
+                    "batch",
+                    Json::obj().with("queries", Json::from(queries.len())),
+                ),
+            )
+        }
+        _ => protocol::err_frame(
+            id.as_ref(),
+            ErrorCode::BadRequest,
+            &format!("op {op:?} is not supported by the router — connect to a backend directly"),
+        ),
+    }
+}
+
+/// Routes one query: forwards whole when the cost model says fanout
+/// does not pay (or only one backend holds the document), otherwise
+/// scatters window-restricted `shard-query`s and concatenates.
+fn routed_query(
+    shared: &RouterShared,
+    doc: &str,
+    q: &str,
+) -> Result<(RegionSet, u64), (ErrorCode, String)> {
+    let m = RouterMetrics::get();
+    let Some(route) = shared.routes.get(doc) else {
+        return Err((ErrorCode::UnknownDoc, format!("no document {doc:?}")));
+    };
+    m.queries.inc();
+    let replicas = route.backends.len();
+    let width = if replicas < 2 {
+        1
+    } else {
+        // Serial-cost proxy: one structural sweep over the document.
+        let serial_ns = route.bytes as f64 * shared.cfg.cost_model.sweep_ns;
+        choose_fanout(
+            serial_ns,
+            replicas.min(shared.cfg.max_fanout),
+            &shared.cfg.cost_model,
+        )
+    };
+    if width <= 1 {
+        m.forwarded.inc();
+        let reply = on_some_replica(shared, route, doc, |backend| {
+            backend.with_conn(&shared.cfg, |c| c.shard_query(doc, q, 0, u32::MAX))
+        })?;
+        let hits = regions_from_reply(&reply).map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+        let generation = reply.get("generation").and_then(Json::as_u64).unwrap_or(0);
+        return Ok((hits, generation));
+    }
+    m.scatter.inc();
+    let bounds = segment_bounds(route.bytes as usize, width);
+    let mut parts = Vec::with_capacity(width);
+    let mut generation = 0u64;
+    for shard in 0..width {
+        let lo = if shard == 0 { 0 } else { bounds[shard] };
+        let hi = if shard == width - 1 {
+            u32::MAX
+        } else {
+            bounds[shard + 1]
+        };
+        m.shard_requests.inc();
+        // Primary replica round-robin; retry-once lands on the others.
+        let first = shard % replicas;
+        let reply = on_some_replica_from(shared, route, doc, first, |backend| {
+            backend.with_conn(&shared.cfg, |c| c.shard_query(doc, q, lo, hi))
+        })?;
+        generation = generation.max(reply.get("generation").and_then(Json::as_u64).unwrap_or(0));
+        parts.push(regions_from_reply(&reply).map_err(|e| (ErrorCode::Internal, e.to_string()))?);
+    }
+    // The windows tile [0, ∞) in order, so the shard results are sorted
+    // and disjoint: ordered concat reproduces the single-node answer.
+    Ok((RegionSet::concat(&parts), generation))
+}
+
+/// Tries `f` on the document's replicas starting at the first one.
+fn on_some_replica(
+    shared: &RouterShared,
+    route: &Route,
+    doc: &str,
+    f: impl FnMut(&Backend) -> Result<Json, ClientError>,
+) -> Result<Json, (ErrorCode, String)> {
+    on_some_replica_from(shared, route, doc, 0, f)
+}
+
+/// Tries `f` on the document's replicas, starting at offset `first` and
+/// wrapping. Connection-level failures rotate to the next replica (at
+/// most one full rotation — "retry once, then degrade"); a structured
+/// backend error propagates immediately with its own code.
+fn on_some_replica_from(
+    shared: &RouterShared,
+    route: &Route,
+    doc: &str,
+    first: usize,
+    mut f: impl FnMut(&Backend) -> Result<Json, ClientError>,
+) -> Result<Json, (ErrorCode, String)> {
+    let replicas = route.backends.len();
+    let mut last = None;
+    // A sole replica still gets one more try: the second with_conn call
+    // finds no pooled connection and runs a reconnect cycle (backoff +
+    // jitter) before the request is declared degraded.
+    for attempt in 0..replicas.max(2) {
+        let backend = &shared.backends[route.backends[(first + attempt) % replicas]];
+        match f(backend) {
+            Ok(reply) => return Ok(reply),
+            Err(ClientError::Server { code, message }) => {
+                return Err((backend_code(&code), message));
+            }
+            Err(e) => last = Some((backend.spec.name.clone(), e)),
+        }
+    }
+    RouterMetrics::get().degraded.inc();
+    let (name, err) = last.expect("at least one replica attempted");
+    Err((
+        ErrorCode::Degraded,
+        format!("document {doc:?}: backend {name:?} unreachable after retry: {err}"),
+    ))
+}
+
+/// Maps a backend's wire error code back to the enum, so the router
+/// relays `query_error`, `rejected`, … faithfully instead of flattening
+/// everything to one code.
+fn backend_code(code: &str) -> ErrorCode {
+    match code {
+        "query_error" => ErrorCode::Query,
+        "rejected" => ErrorCode::Rejected,
+        "timeout" => ErrorCode::Timeout,
+        "shutting_down" => ErrorCode::ShuttingDown,
+        "unknown_doc" => ErrorCode::UnknownDoc,
+        "bad_request" => ErrorCode::BadRequest,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Rebuilds a [`RegionSet`] from a shard reply's `regions` array. Shard
+/// replies are uncapped, so this is the complete window result.
+fn regions_from_reply(reply: &Json) -> Result<RegionSet, ClientError> {
+    let arr = reply
+        .get("regions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("shard reply missing \"regions\"".to_owned()))?;
+    let mut lefts = Vec::with_capacity(arr.len());
+    let mut rights = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let bad = || ClientError::Protocol("malformed region pair in shard reply".to_owned());
+        let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(bad)?;
+        let l = pair[0]
+            .as_u64()
+            .filter(|&n| n <= u64::from(u32::MAX))
+            .ok_or_else(bad)? as u32;
+        let r = pair[1]
+            .as_u64()
+            .filter(|&n| n <= u64::from(u32::MAX))
+            .ok_or_else(bad)? as u32;
+        if l > r {
+            return Err(bad());
+        }
+        lefts.push(l);
+        rights.push(r);
+    }
+    Ok(RegionSet::from_columns(lefts, rights))
+}
+
+/// The router's `stats` reply: its own counters plus per-backend health
+/// and (best-effort) each live backend's admission-queue depth and
+/// rejection count — the operator's view of which instance is saturating.
+fn stats_fields(shared: &RouterShared) -> Json {
+    let mut counters = Json::obj();
+    for (name, v) in tr_obs::counter_values() {
+        if name.starts_with("router.") {
+            counters.set(&name, Json::from(v));
+        }
+    }
+    let backends = shared
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            let mut j = Json::obj()
+                .with("name", Json::from(b.spec.name.as_str()))
+                .with("addr", Json::from(b.spec.addr.as_str()))
+                .with("healthy", Json::Bool(b.healthy.load(Ordering::SeqCst)))
+                .with(
+                    "docs",
+                    Json::from(
+                        shared
+                            .routes
+                            .values()
+                            .filter(|r| r.backends.contains(&bi))
+                            .count(),
+                    ),
+                );
+            // Admission visibility: relay the backend's own queue depth
+            // and rejection counter when it answers in time.
+            if let Ok(stats) = b.with_conn(&shared.cfg, Client::stats) {
+                if let Some(depth) = stats.get("queue_depth").and_then(Json::as_u64) {
+                    j.set("queue_depth", Json::from(depth));
+                }
+                if let Some(rej) = stats
+                    .get("counters")
+                    .and_then(|c| c.get("serve.rejected"))
+                    .and_then(Json::as_u64)
+                {
+                    j.set("rejected", Json::from(rej));
+                }
+            }
+            j
+        })
+        .collect();
+    Json::obj()
+        .with(
+            "uptime_ms",
+            Json::from(shared.started.elapsed().as_millis() as u64),
+        )
+        .with("docs", Json::from(shared.routes.len()))
+        .with("backends", Json::Arr(backends))
+        .with("counters", counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::server::{Server, ServerConfig};
+    use tr_query::Engine;
+
+    #[test]
+    fn backends_toml_parses_and_validates() {
+        let specs = parse_backends_toml(
+            "# cluster\n\n[[backend]]\nname = \"alpha\"\naddr = \"127.0.0.1:7879\"\n\
+             \n[[backend]]\naddr = \"127.0.0.1:7880\"  # trailing comment\nname = \"beta\"\n",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "alpha");
+        assert_eq!(specs[1].addr, "127.0.0.1:7880");
+        for bad in [
+            "",
+            "[[backend]]\nname = \"a\"\n",              // missing addr
+            "name = \"a\"\n",                           // key outside block
+            "[[backend]]\nname = \"a\"\naddr = bare\n", // unquoted value
+            "[[backend]]\nname = \"a\"\nport = \"1\"\naddr = \"x\"\n", // unknown key
+            "[[backend]]\nname = \"a\"\naddr = \"x\"\n[[backend]]\nname = \"a\"\naddr = \"y\"\n",
+        ] {
+            assert!(parse_backends_toml(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    fn sgml_doc(paras: usize) -> String {
+        let mut s = String::from("<play>");
+        for i in 0..paras {
+            s.push_str(&format!(
+                "<act><speech>scene {i} to be or not to be</speech>\
+                 <speech>words words {i}</speech></act>"
+            ));
+        }
+        s.push_str("</play>");
+        s
+    }
+
+    fn backend(docs: &[(&str, &str)]) -> Server {
+        let mut catalog = Catalog::new();
+        for (name, text) in docs {
+            catalog.insert(name, Engine::from_sgml(text).unwrap());
+        }
+        Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    fn router_over(servers: &[&Server], cfg: RouterConfig) -> Router {
+        let specs = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| BackendSpec {
+                name: format!("b{i}"),
+                addr: s.local_addr().to_string(),
+            })
+            .collect();
+        Router::start(specs, "127.0.0.1:0", cfg).unwrap()
+    }
+
+    #[test]
+    fn routed_queries_match_direct_answers() {
+        let shared_text = sgml_doc(40);
+        // "solo" lives on one backend; "both" is replicated on the two.
+        let b0 = backend(&[("solo", "<d><s>alpha beta</s></d>"), ("both", &shared_text)]);
+        let b1 = backend(&[("both", &shared_text)]);
+        // remote_fanout_ns = 0 forces the scatter path for any
+        // replicated document, exercising the merge deterministically.
+        let cfg = RouterConfig {
+            cost_model: CostModel {
+                remote_fanout_ns: 0.0,
+                ..CostModel::default()
+            },
+            ..RouterConfig::default()
+        };
+        let router = router_over(&[&b0, &b1], cfg);
+        assert_eq!(router.num_docs(), 2);
+
+        let mut via_router = Client::connect(router.local_addr()).unwrap();
+        let mut direct = Client::connect(b0.local_addr()).unwrap();
+        for q in [
+            "speech",
+            r#"speech matching "be""#,
+            "speech within act",
+            "act containing speech",
+        ] {
+            let routed = via_router.query("both", q).unwrap();
+            let straight = direct.query("both", q).unwrap();
+            assert_eq!(
+                routed.get("hits"),
+                straight.get("hits"),
+                "hits diverge for {q:?}"
+            );
+            assert_eq!(
+                routed.get("regions"),
+                straight.get("regions"),
+                "regions diverge for {q:?}"
+            );
+        }
+        // Scatter actually happened (2 replicas, zero fanout cost).
+        let stats = via_router.stats().unwrap();
+        let counters = stats.get("counters").unwrap();
+        assert!(counters.get("router.scatter").unwrap().as_u64().unwrap() >= 1);
+
+        // Single-replica documents forward.
+        let routed = via_router.query("solo", r#"s matching "beta""#).unwrap();
+        assert_eq!(routed.get("hits").unwrap().as_u64(), Some(1));
+
+        // Batch rides the same path.
+        let reply = via_router.batch("both", &["speech", "act"]).unwrap();
+        assert_eq!(reply.get("results").unwrap().as_arr().unwrap().len(), 2);
+
+        // Backend query errors relay with their own code.
+        let err = via_router.query("both", "no_such_name").unwrap_err();
+        assert_eq!(err.code(), Some("query_error"));
+        let err = via_router.query("nope", "speech").unwrap_err();
+        assert_eq!(err.code(), Some("unknown_doc"));
+
+        // Unsupported ops are refused, not hung.
+        let err = via_router.mutate("both", Json::Arr(vec![])).unwrap_err();
+        assert_eq!(err.code(), Some("bad_request"));
+
+        router.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn dead_backend_degrades_structurally() {
+        let b0 = backend(&[("left", "<d><s>alpha</s></d>")]);
+        let b1 = backend(&[("right", "<d><s>omega</s></d>")]);
+        let router = router_over(&[&b0, &b1], RouterConfig::default());
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        client.query("left", "s").unwrap();
+        client.query("right", "s").unwrap();
+
+        let reconnects_before = tr_obs::counter_value("router.backend_reconnects");
+        b1.shutdown();
+        // The dead backend's document degrades (structured error, no
+        // hang); the surviving backend keeps answering.
+        let err = client.query("right", "s").unwrap_err();
+        assert_eq!(err.code(), Some("degraded"));
+        assert_eq!(
+            client
+                .query("left", "s")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        client.ping().unwrap();
+        // The failed request went through a reconnect cycle (counted)
+        // before degrading.
+        assert!(tr_obs::counter_value("router.backend_reconnects") > reconnects_before);
+
+        let stats = client.stats().unwrap();
+        let backends = stats.get("backends").unwrap().as_arr().unwrap();
+        assert_eq!(backends.len(), 2);
+        assert_eq!(
+            backends[0].get("healthy"),
+            Some(&Json::Bool(true)),
+            "surviving backend stays healthy"
+        );
+
+        router.shutdown();
+        b0.shutdown();
+    }
+}

@@ -85,7 +85,7 @@ impl Default for ServerConfig {
 
 /// How long connection threads sleep in `read` before re-checking the
 /// shutdown flag — the upper bound on how stale a drain can be.
-const READ_TICK: Duration = Duration::from_millis(50);
+pub(crate) const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Cached handles into the `tr_obs` registry. The request counters keep
 /// the invariant `accepted == completed + failed` at quiescence;
@@ -142,6 +142,12 @@ pub(crate) struct ConnWriter {
 }
 
 impl ConnWriter {
+    pub(crate) fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+        }
+    }
+
     /// Best-effort frame write — a vanished client is not an error.
     pub(crate) fn send(&self, frame: &str) {
         let mut s = self.stream.lock().unwrap_or_else(|p| p.into_inner());
@@ -318,7 +324,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 }
 
 /// What one attempt to read a frame produced.
-enum Frame {
+pub(crate) enum Frame {
     /// A complete line (without the `\n`).
     Line(Vec<u8>),
     /// The line exceeded the frame limit; its bytes are being discarded.
@@ -330,15 +336,16 @@ enum Frame {
 }
 
 /// Incremental line reader over a non-blocking-ish socket (read
-/// timeouts), with oversize-line discard.
-struct FrameReader {
+/// timeouts), with oversize-line discard. Shared with [`crate::router`],
+/// whose connection loop reads the same frames.
+pub(crate) struct FrameReader {
     stream: TcpStream,
     buf: Vec<u8>,
     discarding: bool,
 }
 
 impl FrameReader {
-    fn new(stream: TcpStream) -> FrameReader {
+    pub(crate) fn new(stream: TcpStream) -> FrameReader {
         FrameReader {
             stream,
             buf: Vec::new(),
@@ -346,7 +353,7 @@ impl FrameReader {
         }
     }
 
-    fn next(&mut self, max: usize) -> io::Result<Frame> {
+    pub(crate) fn next(&mut self, max: usize) -> io::Result<Frame> {
         loop {
             if self.discarding {
                 if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
@@ -408,9 +415,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let writer = Arc::new(ConnWriter {
-        stream: Mutex::new(write_half),
-    });
+    let writer = Arc::new(ConnWriter::new(write_half));
     let mut reader = FrameReader::new(stream);
     // Per-session, per-document view definitions. Snapshots (`Arc`s) are
     // attached to jobs at admission, so a view defined *before* a query
@@ -571,13 +576,17 @@ fn handle_request(
         | RequestBody::Batch { .. }
         | RequestBody::Explain { .. }
         | RequestBody::Mutate { .. }
-        | RequestBody::Watch { .. }) => {
+        | RequestBody::Watch { .. }
+        | RequestBody::ShardQuery { .. }
+        | RequestBody::Save { .. }) => {
             let doc = match &body {
                 RequestBody::Query { doc, .. }
                 | RequestBody::Batch { doc, .. }
                 | RequestBody::Explain { doc, .. }
                 | RequestBody::Mutate { doc, .. }
-                | RequestBody::Watch { doc, .. } => doc.clone(),
+                | RequestBody::Watch { doc, .. }
+                | RequestBody::ShardQuery { doc, .. }
+                | RequestBody::Save { doc, .. } => doc.clone(),
                 _ => unreachable!(),
             };
             // Forces a lazy document's first load; the decode runs on
@@ -671,6 +680,8 @@ impl Shared {
                 || name.starts_with("watch.")
                 || name.starts_with("plan.")
                 || name.starts_with("store.")
+                || name.starts_with("router.")
+                || name.starts_with("partition.")
                 || name == "exec.segment_waves"
                 || name == "exec.merge_ns";
             if relevant {
@@ -889,6 +900,64 @@ fn execute(shared: &Shared, job: &Job) -> Result<Option<String>, (ErrorCode, Str
                     .with("generation", Json::from(engine.generation())),
             ));
             Ok(None)
+        }
+        RequestBody::ShardQuery { q, lo, hi, .. } => {
+            let hits = job
+                .engine
+                .query_shard(&job.views, q, *lo, *hi)
+                .map_err(|e| (ErrorCode::Query, e.to_string()))?;
+            // Shard replies are merge inputs, never displays: every
+            // region ships, uncapped, so the router's ordered concat is
+            // byte-identical to a single-node evaluation.
+            Ok(Some(protocol::ok_frame(
+                job.id.as_ref(),
+                "shard-query",
+                protocol::result_fields(&hits, usize::MAX)
+                    .with("lo", Json::from(u64::from(*lo)))
+                    .with("hi", Json::from(u64::from(*hi)))
+                    .with("generation", Json::from(job.engine.generation())),
+            )))
+        }
+        RequestBody::Save { doc, path } => {
+            // Serialize against mutations and re-fetch: the saved bytes
+            // must be the *current* generation, not the admission-time
+            // snapshot, and no successor may be published mid-write.
+            let _guard = shared
+                .catalog
+                .lock_for_mutation(doc)
+                .ok_or_else(|| (ErrorCode::UnknownDoc, format!("no document {doc:?}")))?;
+            let engine = match shared.catalog.try_engine(doc) {
+                Some(Ok(engine)) => engine,
+                Some(Err(why)) => {
+                    return Err((
+                        ErrorCode::Internal,
+                        format!("document {doc:?} failed to load: {why}"),
+                    ))
+                }
+                None => return Err((ErrorCode::UnknownDoc, format!("no document {doc:?}"))),
+            };
+            let target = match path {
+                Some(p) => std::path::PathBuf::from(p),
+                None => shared.catalog.default_save_path(doc).ok_or_else(|| {
+                    (
+                        ErrorCode::BadRequest,
+                        format!("document {doc:?} has no backing file — supply \"path\""),
+                    )
+                })?,
+            };
+            engine.save_to(&target).map_err(|e| {
+                (
+                    ErrorCode::Internal,
+                    format!("cannot save {doc:?} to {}: {e}", target.display()),
+                )
+            })?;
+            Ok(Some(protocol::ok_frame(
+                job.id.as_ref(),
+                "save",
+                Json::obj()
+                    .with("path", Json::from(target.display().to_string()))
+                    .with("generation", Json::from(engine.generation())),
+            )))
         }
         _ => Err((
             ErrorCode::Internal,

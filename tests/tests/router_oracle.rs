@@ -1,0 +1,202 @@
+//! Property oracle for the sharded serving tier (ISSUE 10): results
+//! merged across partitions must be **byte-identical** to single-node
+//! evaluation, across shard counts ∈ {1, 2, 3} and backend assignment
+//! permutations, including queries whose result regions straddle the
+//! shard boundaries.
+//!
+//! Two layers of the same oracle:
+//!
+//! * the engine layer — `query_shard` over an arbitrary ordered tiling
+//!   of the position space, concatenated with `RegionSet::concat`,
+//!   versus a plain `query` on the same engine (this is the algebraic
+//!   core the router relies on: operators distribute over position
+//!   windows given boundary context);
+//! * the serving layer — a real `Router` over 1–3 real backend
+//!   `Server`s, with documents assigned to arbitrary non-empty backend
+//!   subsets, versus a reference server holding every document. The
+//!   router config zeroes `remote_fanout_ns` so replicated documents
+//!   take the scatter path deterministically.
+
+use proptest::prelude::*;
+use tr_core::{CostModel, RegionSet};
+use tr_query::{Engine, SessionViews};
+use tr_serve::{BackendSpec, Catalog, Client, Router, RouterConfig, Server, ServerConfig};
+
+/// Small vocabulary so `matching` queries routinely hit.
+const WORDS: [&str; 6] = ["be", "question", "fortune", "arms", "sea", "silence"];
+
+/// Builds a play whose act/speech sizes come from the strategy, with
+/// every speech carrying a vocabulary word — wide acts make straddling
+/// any shard cut likely.
+fn play(acts: &[Vec<u8>]) -> String {
+    let mut s = String::from("<play>");
+    for (a, speeches) in acts.iter().enumerate() {
+        s.push_str("<act>");
+        for (sp, &w) in speeches.iter().enumerate() {
+            s.push_str(&format!(
+                "<speech>act {a} scene {sp} says {} and {}</speech>",
+                WORDS[w as usize % WORDS.len()],
+                WORDS[(w as usize + a) % WORDS.len()],
+            ));
+        }
+        s.push_str("</act>");
+    }
+    s.push_str("</play>");
+    s
+}
+
+/// The query mix: point matches, structural joins, and set algebra —
+/// each shape stresses a different partner-window rule at boundaries.
+const QUERIES: [&str; 6] = [
+    "speech",
+    r#"speech matching "be""#,
+    "speech within act",
+    "act containing speech",
+    r#"(speech matching "sea") union (speech matching "arms")"#,
+    r#"speech minus (speech matching "be")"#,
+];
+
+fn acts_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..6, 1..4), 1..8)
+}
+
+proptest! {
+    /// Engine layer: for any document, any shard count in {1, 2, 3},
+    /// and any cut positions, concatenating `query_shard` over the
+    /// tiling reproduces `query` byte-for-byte — columns included.
+    #[test]
+    fn shard_tiling_reproduces_single_node(
+        acts in acts_strategy(),
+        shards in 1usize..=3,
+        cuts in proptest::collection::vec(0u32..4096, 2..3),
+    ) {
+        let text = play(&acts);
+        let engine = Engine::from_sgml(&text).unwrap();
+        let session = SessionViews::new();
+        // Shard boundaries: `shards - 1` cut positions clamped into the
+        // document, deduped and sorted; the tiling always spans [0, ∞).
+        let len = text.len() as u32;
+        let mut bounds: Vec<u32> = cuts[..shards - 1]
+            .iter()
+            .map(|&c| c % (len + 1))
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut windows = Vec::new();
+        let mut lo = 0u32;
+        for &b in &bounds {
+            windows.push((lo, b));
+            lo = b;
+        }
+        windows.push((lo, u32::MAX));
+
+        for q in QUERIES {
+            let full = engine.query_with(&session, q).unwrap();
+            let parts: Vec<RegionSet> = windows
+                .iter()
+                .map(|&(lo, hi)| engine.query_shard(&session, q, lo, hi).unwrap())
+                .collect();
+            let merged = RegionSet::concat(&parts);
+            prop_assert_eq!(merged.to_vec(), full.to_vec(), "regions diverge for {}", q);
+            prop_assert_eq!(merged.lefts(), full.lefts(), "lefts column diverges for {}", q);
+            prop_assert_eq!(merged.rights(), full.rights(), "rights column diverges for {}", q);
+        }
+    }
+}
+
+/// Three fixed documents, distinct enough that a misrouted reply is
+/// visible in the very first hit count.
+fn corpus() -> Vec<(String, String)> {
+    vec![
+        ("alpha".to_owned(), play(&[vec![0, 1, 2], vec![3, 4]])),
+        (
+            "bravo".to_owned(),
+            play(&(0..24).map(|a| vec![a as u8 % 6, 5, 1]).collect::<Vec<_>>()),
+        ),
+        ("charlie".to_owned(), play(&[vec![5], vec![5, 5], vec![0]])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving layer: a real router over 1–3 real backends, documents
+    /// assigned to arbitrary non-empty backend subsets (bitmask per
+    /// doc), versus a reference server holding everything. Replicated
+    /// documents scatter (fanout cost zeroed); sole-replica documents
+    /// forward. Replies must match field-for-field.
+    #[test]
+    fn router_merge_matches_reference_server(
+        shards in 1usize..=3,
+        masks in proptest::collection::vec(1u8..8, 3..4),
+    ) {
+        let docs = corpus();
+
+        // Backend `b` holds doc `d` iff bit `b` of d's mask is set
+        // (masks are non-zero, then clamped into the live shard range
+        // so every document lands somewhere).
+        let mut catalogs: Vec<Catalog> = (0..shards).map(|_| Catalog::new()).collect();
+        let mut reference = Catalog::new();
+        for (d, (name, text)) in docs.iter().enumerate() {
+            let mask = masks[d] as usize;
+            let mut placed = false;
+            for (b, catalog) in catalogs.iter_mut().enumerate() {
+                if mask & (1 << b) != 0 {
+                    catalog.insert(name, Engine::from_sgml(text).unwrap());
+                    placed = true;
+                }
+            }
+            if !placed {
+                catalogs[d % shards].insert(name, Engine::from_sgml(text).unwrap());
+            }
+            reference.insert(name, Engine::from_sgml(text).unwrap());
+        }
+
+        let backends: Vec<Server> = catalogs
+            .into_iter()
+            .map(|c| Server::start(c, "127.0.0.1:0", ServerConfig::default()).unwrap())
+            .collect();
+        let reference = Server::start(reference, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+        let specs: Vec<BackendSpec> = backends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| BackendSpec {
+                name: format!("b{i}"),
+                addr: s.local_addr().to_string(),
+            })
+            .collect();
+        let cfg = RouterConfig {
+            cost_model: CostModel {
+                remote_fanout_ns: 0.0,
+                ..CostModel::default()
+            },
+            ..RouterConfig::default()
+        };
+        let router = Router::start(specs, "127.0.0.1:0", cfg).unwrap();
+        prop_assert_eq!(router.num_docs(), docs.len());
+
+        let mut routed = Client::connect(router.local_addr()).unwrap();
+        let mut direct = Client::connect(reference.local_addr()).unwrap();
+        for (name, _) in &docs {
+            for q in QUERIES {
+                let via_router = routed.query(name, q).unwrap();
+                let single = direct.query(name, q).unwrap();
+                for field in ["hits", "regions", "truncated"] {
+                    prop_assert_eq!(
+                        via_router.get(field),
+                        single.get(field),
+                        "{} diverges for {} on {:?} ({} shard(s), masks {:?})",
+                        field, q, name, shards, &masks
+                    );
+                }
+            }
+        }
+
+        router.shutdown();
+        reference.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+    }
+}
